@@ -1,0 +1,53 @@
+// Command skipper-bench regenerates the paper's evaluation: every
+// experiment indexed in DESIGN.md §4 (E1–E9) prints the corresponding
+// table, with the paper's reported value alongside the measured one where
+// the paper gives a number.
+//
+// Usage:
+//
+//	skipper-bench [-exp all|e1|e2|...|e9] [-iters 30]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"skipper/internal/harness"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment to run: all or e1..e9 (comma-separated)")
+	iters := flag.Int("iters", 30, "stream iterations per measurement")
+	flag.Parse()
+
+	want := map[string]bool{}
+	for _, e := range strings.Split(*exp, ",") {
+		want[strings.TrimSpace(strings.ToLower(e))] = true
+	}
+	all := want["all"]
+	run := func(name string, f func() error) {
+		if !all && !want[name] {
+			return
+		}
+		if err := f(); err != nil {
+			fmt.Fprintf(os.Stderr, "skipper-bench: %s: %v\n", name, err)
+			os.Exit(1)
+		}
+		fmt.Println()
+	}
+
+	w := os.Stdout
+	run("e1", func() error { _, err := harness.E1(w, *iters); return err })
+	run("e2", func() error { _, err := harness.E2(w, *iters, []int{1, 2, 4, 6, 8, 12, 16}); return err })
+	run("e3", func() error { _, err := harness.E3(w, *iters); return err })
+	run("e4", func() error { _, err := harness.E4(w, *iters); return err })
+	run("e5", func() error { _, err := harness.E5(w, 32, 8); return err })
+	run("e6", func() error { _, err := harness.E6(w, *iters); return err })
+	run("e7", func() error { _, err := harness.E7(w, []int{1, 2, 4, 8, 16}); return err })
+	run("e8", func() error { _, err := harness.E8(w, []int{1, 2, 4, 8}); return err })
+	run("e9", func() error { _, err := harness.E9(w); return err })
+	run("e10", func() error { _, err := harness.E10(w, *iters); return err })
+	run("e11", func() error { _, err := harness.E11(w, *iters); return err })
+}

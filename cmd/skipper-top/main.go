@@ -1,0 +1,31 @@
+// Command skipper-top is the SKiPPER interactive toplevel: a Caml-style
+// REPL over the specification language. Declarations accumulate across
+// inputs, expressions are type-checked and evaluated against the
+// declarative skeleton semantics, and the process graph of the current
+// program can be rendered at any point.
+//
+//	$ skipper-top
+//	# let double x = 2 * x;;
+//	val double : int -> int = <fun>
+//	# df 2 double (fun a b -> a + b) 0 [1; 2; 3];;
+//	...
+//	# :type itermem
+//	# :quit
+//
+// Extern declarations are stubbed from their signatures, so specifications
+// can be explored before any sequential function exists.
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"skipper/internal/repl"
+)
+
+func main() {
+	if err := repl.Run(os.Stdin, os.Stdout, true); err != nil {
+		fmt.Fprintln(os.Stderr, "skipper-top:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,210 @@
+// Roadfollow: white-line detection for road following (the application of
+// the paper's reference [6], Ginhac's PhD work), built from the scm
+// skeleton inside an itermem loop.
+//
+// Each frame shows a lane marking as a bright, slightly curved stripe. The
+// image is split into horizontal bands; each band extracts its brightest
+// point per row and fits a local line segment; the merge stage fuses the
+// per-band fits into one global lane estimate, from which a steering value
+// is derived and threaded through the itermem memory (exponential
+// smoothing across frames).
+//
+// Run with: go run ./examples/roadfollow
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	"skipper"
+	"skipper/internal/vision"
+)
+
+const (
+	w, h   = 256, 256
+	bands  = 8
+	thresh = 180
+)
+
+// lineScene renders frames with a bright lane marking x = a*y + b whose
+// parameters drift smoothly over time.
+type lineScene struct {
+	frame int
+}
+
+func (s *lineScene) next() *vision.Image {
+	im := vision.NewImage(w, h)
+	// Road texture.
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			im.Set(x, y, uint8(40+30*y/h))
+		}
+	}
+	a := 0.3 * math.Sin(float64(s.frame)/15)
+	b := float64(w)/2 + 20*math.Cos(float64(s.frame)/23)
+	for y := 0; y < h; y++ {
+		x := int(a*float64(y) + b)
+		for dx := -2; dx <= 2; dx++ {
+			im.Set(x+dx, y, 230)
+		}
+	}
+	s.frame++
+	return im
+}
+
+// bandFit couples a band's line fit with the band geometry for the merge.
+type bandFit struct {
+	fit  vision.Line
+	band vision.Rect
+}
+
+type steering struct {
+	Angle  float64 // estimated lane slope
+	Offset float64 // lane x at the bottom of the frame
+}
+
+func registry(scene *lineScene, outs *[]steering) *skipper.Registry {
+	reg := skipper.NewRegistry()
+	reg.Register(&skipper.Func{
+		Name: "grab", Sig: "unit -> img", Arity: 1,
+		Fn:   func([]skipper.Value) skipper.Value { return scene.next() },
+		Cost: func([]skipper.Value) int64 { return 20_000 },
+	})
+	reg.Register(&skipper.Func{
+		Name: "split_bands", Sig: "img -> band list", Arity: 1,
+		Fn: func(args []skipper.Value) skipper.Value {
+			im := args[0].(*vision.Image)
+			out := make(skipper.List, 0, bands)
+			for _, r := range vision.SplitGrid(im.W, im.H, bands) {
+				out = append(out, vision.Extract(im, r))
+			}
+			return out
+		},
+		Cost: func([]skipper.Value) int64 { return 10_000 + w*h },
+	})
+	reg.Register(&skipper.Func{
+		Name: "fit_band", Sig: "band -> fit", Arity: 1,
+		Fn: func(args []skipper.Value) skipper.Value {
+			win := args[0].(vision.Window)
+			xs, ys := vision.RowMaxima(win.Img, vision.Rect{X0: 0, Y0: 0, X1: win.Img.W, Y1: win.Img.H}, thresh)
+			// Shift rows back to frame coordinates before fitting.
+			for i := range ys {
+				ys[i] += float64(win.Origin.Y0)
+			}
+			return bandFit{fit: vision.FitLine(xs, ys), band: win.Origin}
+		},
+		Cost: func(args []skipper.Value) int64 {
+			win := args[0].(vision.Window)
+			return 15_000 + int64(win.Origin.Area())*8
+		},
+	})
+	reg.Register(&skipper.Func{
+		Name: "merge_fits", Sig: "fit list -> fit", Arity: 1,
+		Fn: func(args []skipper.Value) skipper.Value {
+			var fits []vision.Line
+			var rects []vision.Rect
+			for _, v := range args[0].(skipper.List) {
+				bf := v.(bandFit)
+				fits = append(fits, bf.fit)
+				rects = append(rects, bf.band)
+			}
+			return bandFit{fit: vision.MergeFits(fits, rects),
+				band: vision.Rect{X0: 0, Y0: 0, X1: w, Y1: h}}
+		},
+		Cost: func([]skipper.Value) int64 { return 30_000 },
+	})
+	reg.Register(&skipper.Func{
+		Name: "steer", Sig: "state * fit -> state * state", Arity: 1,
+		Fn: func(args []skipper.Value) skipper.Value {
+			pr := args[0].(skipper.Tuple)
+			prev := pr[0].(steering)
+			bf := pr[1].(bandFit)
+			// Exponential smoothing across frames: the itermem memory.
+			const alpha = 0.5
+			cur := steering{
+				Angle:  alpha*bf.fit.A + (1-alpha)*prev.Angle,
+				Offset: alpha*bf.fit.XAt(h-1) + (1-alpha)*prev.Offset,
+			}
+			return skipper.Tuple{cur, cur}
+		},
+		Cost: func([]skipper.Value) int64 { return 8_000 },
+	})
+	reg.Register(&skipper.Func{
+		Name: "emit", Sig: "state -> unit", Arity: 1,
+		Fn: func(args []skipper.Value) skipper.Value {
+			*outs = append(*outs, args[0].(steering))
+			return skipper.Unit{}
+		},
+		Cost: func([]skipper.Value) int64 { return 2_000 },
+	})
+	reg.Register(&skipper.Func{
+		Name: "s0", Sig: "state", Arity: 0,
+		Fn: func([]skipper.Value) skipper.Value {
+			return steering{Offset: w / 2}
+		},
+	})
+	return reg
+}
+
+const spec = `
+type img;; type band;; type fit;; type state;;
+extern grab        : unit -> img;;
+extern split_bands : img -> band list;;
+extern fit_band    : band -> fit;;
+extern merge_fits  : fit list -> fit;;
+extern steer       : state * fit -> state * state;;
+extern emit        : state -> unit;;
+extern s0          : state;;
+
+let loop (z, im) =
+  let f = scm 8 split_bands fit_band merge_fits im in
+  steer (z, f);;
+let main = itermem grab loop emit s0 ();;
+`
+
+func main() {
+	const iters = 60
+	scene := &lineScene{}
+	var outs []steering
+	prog, err := skipper.Compile(spec, registry(scene, &outs))
+	if err != nil {
+		log.Fatal(err)
+	}
+	dep, err := prog.MapOnto(skipper.Ring(8), skipper.Structured)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if _, err := dep.Run(iters); err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("road following: smoothed lane estimate per frame")
+	for i := 0; i < len(outs); i += 10 {
+		fmt.Printf("  frame %2d: slope %+6.3f, offset at bottom %6.1f px\n",
+			i, outs[i].Angle, outs[i].Offset)
+	}
+
+	// Accuracy check against the generator's ground truth on the last frame.
+	last := outs[len(outs)-1]
+	trueA := 0.3 * math.Sin(float64(iters-1)/15)
+	fmt.Printf("\nfinal slope estimate %+.3f (ground truth %+.3f)\n", last.Angle, trueA)
+
+	// Timing on the Transvision model.
+	scene2 := &lineScene{}
+	var outs2 []steering
+	prog2, err := skipper.Compile(spec, registry(scene2, &outs2))
+	if err != nil {
+		log.Fatal(err)
+	}
+	dep2, err := prog2.MapOnto(skipper.Ring(8), skipper.Structured)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := dep2.Simulate(skipper.SimOptions{Iters: 20, FramePeriod: skipper.VideoPeriod})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("simulated latency on ring(8): %.1f ms mean, %d frames skipped\n",
+		res.MeanLatency(2)*1000, res.FramesSkipped)
+}

@@ -1,0 +1,3 @@
+module skipper
+
+go 1.22

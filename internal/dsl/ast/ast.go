@@ -1,0 +1,352 @@
+// Package ast defines the abstract syntax tree of the SKiPPER specification
+// language: expressions, patterns, type expressions (for extern signatures)
+// and top-level declarations.
+package ast
+
+import (
+	"fmt"
+	"strings"
+
+	"skipper/internal/dsl/token"
+)
+
+// Expr is any expression node.
+type Expr interface {
+	Pos() token.Pos
+	String() string
+	exprNode()
+}
+
+// Ident is a variable reference.
+type Ident struct {
+	Name    string
+	NamePos token.Pos
+}
+
+// IntLit is an integer literal.
+type IntLit struct {
+	Value   int
+	ValPos  token.Pos
+	Literal string
+}
+
+// FloatLit is a floating-point literal.
+type FloatLit struct {
+	Value   float64
+	ValPos  token.Pos
+	Literal string
+}
+
+// BoolLit is true or false.
+type BoolLit struct {
+	Value  bool
+	ValPos token.Pos
+}
+
+// StringLit is a string literal.
+type StringLit struct {
+	Value  string
+	ValPos token.Pos
+}
+
+// UnitLit is ().
+type UnitLit struct {
+	ValPos token.Pos
+}
+
+// Tuple is (e1, e2, ...) with at least two elements.
+type Tuple struct {
+	Elems  []Expr
+	LParen token.Pos
+}
+
+// ListLit is [e1; e2; ...] (possibly empty).
+type ListLit struct {
+	Elems    []Expr
+	LBracket token.Pos
+}
+
+// App is curried function application: Fn Arg.
+type App struct {
+	Fn  Expr
+	Arg Expr
+}
+
+// Lambda is fun p1 p2 ... -> body.
+type Lambda struct {
+	Params []Pattern
+	Body   Expr
+	FunPos token.Pos
+}
+
+// Let is let [rec] pat = rhs in body.
+type Let struct {
+	Pat    Pattern
+	Rhs    Expr
+	Body   Expr
+	LetPos token.Pos
+	// Rec marks a recursive binding: Pat's name is visible inside Rhs.
+	Rec bool
+}
+
+// If is if cond then a else b.
+type If struct {
+	Cond, Then, Else Expr
+	IfPos            token.Pos
+}
+
+// BinOp is a binary primitive: + - * / = <> < > <= >=.
+type BinOp struct {
+	Op   string
+	L, R Expr
+}
+
+func (e *Ident) exprNode()     {}
+func (e *IntLit) exprNode()    {}
+func (e *FloatLit) exprNode()  {}
+func (e *BoolLit) exprNode()   {}
+func (e *StringLit) exprNode() {}
+func (e *UnitLit) exprNode()   {}
+func (e *Tuple) exprNode()     {}
+func (e *ListLit) exprNode()   {}
+func (e *App) exprNode()       {}
+func (e *Lambda) exprNode()    {}
+func (e *Let) exprNode()       {}
+func (e *If) exprNode()        {}
+func (e *BinOp) exprNode()     {}
+
+func (e *Ident) Pos() token.Pos     { return e.NamePos }
+func (e *IntLit) Pos() token.Pos    { return e.ValPos }
+func (e *FloatLit) Pos() token.Pos  { return e.ValPos }
+func (e *BoolLit) Pos() token.Pos   { return e.ValPos }
+func (e *StringLit) Pos() token.Pos { return e.ValPos }
+func (e *UnitLit) Pos() token.Pos   { return e.ValPos }
+func (e *Tuple) Pos() token.Pos     { return e.LParen }
+func (e *ListLit) Pos() token.Pos   { return e.LBracket }
+func (e *App) Pos() token.Pos       { return e.Fn.Pos() }
+func (e *Lambda) Pos() token.Pos    { return e.FunPos }
+func (e *Let) Pos() token.Pos       { return e.LetPos }
+func (e *If) Pos() token.Pos        { return e.IfPos }
+func (e *BinOp) Pos() token.Pos     { return e.L.Pos() }
+
+func (e *Ident) String() string     { return e.Name }
+func (e *IntLit) String() string    { return e.Literal }
+func (e *FloatLit) String() string  { return e.Literal }
+func (e *BoolLit) String() string   { return fmt.Sprintf("%t", e.Value) }
+func (e *StringLit) String() string { return fmt.Sprintf("%q", e.Value) }
+func (e *UnitLit) String() string   { return "()" }
+
+func (e *Tuple) String() string {
+	parts := make([]string, len(e.Elems))
+	for i, el := range e.Elems {
+		parts[i] = el.String()
+	}
+	return "(" + strings.Join(parts, ", ") + ")"
+}
+
+func (e *ListLit) String() string {
+	parts := make([]string, len(e.Elems))
+	for i, el := range e.Elems {
+		parts[i] = el.String()
+	}
+	return "[" + strings.Join(parts, "; ") + "]"
+}
+
+func (e *App) String() string {
+	arg := e.Arg.String()
+	switch e.Arg.(type) {
+	case *App, *Lambda, *Let, *If, *BinOp:
+		arg = "(" + arg + ")"
+	}
+	return e.Fn.String() + " " + arg
+}
+
+func (e *Lambda) String() string {
+	parts := make([]string, len(e.Params))
+	for i, p := range e.Params {
+		parts[i] = p.String()
+	}
+	return "fun " + strings.Join(parts, " ") + " -> " + e.Body.String()
+}
+
+func (e *Let) String() string {
+	kw := "let "
+	if e.Rec {
+		kw = "let rec "
+	}
+	return kw + e.Pat.String() + " = " + e.Rhs.String() + " in " + e.Body.String()
+}
+
+func (e *If) String() string {
+	return "if " + e.Cond.String() + " then " + e.Then.String() + " else " + e.Else.String()
+}
+
+func (e *BinOp) String() string {
+	return "(" + e.L.String() + " " + e.Op + " " + e.R.String() + ")"
+}
+
+// Pattern is a binding pattern.
+type Pattern interface {
+	String() string
+	patNode()
+}
+
+// PVar binds a name.
+type PVar struct {
+	Name string
+	Pos  token.Pos
+}
+
+// PTuple destructures a tuple.
+type PTuple struct {
+	Elems []Pattern
+}
+
+// PWild is the wildcard _.
+type PWild struct {
+	Pos token.Pos
+}
+
+// PUnit matches ().
+type PUnit struct {
+	Pos token.Pos
+}
+
+func (*PVar) patNode()   {}
+func (*PTuple) patNode() {}
+func (*PWild) patNode()  {}
+func (*PUnit) patNode()  {}
+
+func (p *PVar) String() string { return p.Name }
+func (p *PTuple) String() string {
+	parts := make([]string, len(p.Elems))
+	for i, el := range p.Elems {
+		parts[i] = el.String()
+	}
+	return "(" + strings.Join(parts, ", ") + ")"
+}
+func (p *PWild) String() string { return "_" }
+func (p *PUnit) String() string { return "()" }
+
+// TypeExpr is a surface-syntax type, used in extern declarations.
+type TypeExpr interface {
+	String() string
+	typeNode()
+}
+
+// TEVar is a type variable 'a.
+type TEVar struct {
+	Name string // without the quote
+}
+
+// TECon is a (possibly parameterized, postfix) type constructor:
+// int, img, 'a list, window list.
+type TECon struct {
+	Name string
+	Args []TypeExpr
+}
+
+// TEArrow is t1 -> t2.
+type TEArrow struct {
+	From, To TypeExpr
+}
+
+// TETuple is t1 * t2 * ...
+type TETuple struct {
+	Elems []TypeExpr
+}
+
+func (*TEVar) typeNode()   {}
+func (*TECon) typeNode()   {}
+func (*TEArrow) typeNode() {}
+func (*TETuple) typeNode() {}
+
+func (t *TEVar) String() string { return "'" + t.Name }
+func (t *TECon) String() string {
+	if len(t.Args) == 0 {
+		return t.Name
+	}
+	parts := make([]string, len(t.Args))
+	for i, a := range t.Args {
+		parts[i] = a.String()
+		switch a.(type) {
+		case *TEArrow, *TETuple:
+			parts[i] = "(" + parts[i] + ")"
+		}
+	}
+	return strings.Join(parts, " ") + " " + t.Name
+}
+func (t *TEArrow) String() string {
+	from := t.From.String()
+	if _, ok := t.From.(*TEArrow); ok {
+		from = "(" + from + ")"
+	}
+	return from + " -> " + t.To.String()
+}
+func (t *TETuple) String() string {
+	parts := make([]string, len(t.Elems))
+	for i, el := range t.Elems {
+		parts[i] = el.String()
+		switch el.(type) {
+		case *TEArrow, *TETuple:
+			parts[i] = "(" + parts[i] + ")"
+		}
+	}
+	return strings.Join(parts, " * ")
+}
+
+// Decl is a top-level declaration.
+type Decl interface {
+	String() string
+	declNode()
+}
+
+// DType declares an abstract type: type img;;
+type DType struct {
+	Name string
+	Pos  token.Pos
+}
+
+// DExtern declares a user (Go-registered) function: extern f : t;;
+type DExtern struct {
+	Name string
+	Sig  TypeExpr
+	Pos  token.Pos
+}
+
+// DLet is a top-level binding: let [rec] name p1 p2 = e;; (params already
+// desugared into a Lambda when present).
+type DLet struct {
+	Name string
+	Rhs  Expr
+	Pos  token.Pos
+	// Rec marks a recursive binding.
+	Rec bool
+}
+
+func (*DType) declNode()   {}
+func (*DExtern) declNode() {}
+func (*DLet) declNode()    {}
+
+func (d *DType) String() string   { return "type " + d.Name + ";;" }
+func (d *DExtern) String() string { return "extern " + d.Name + " : " + d.Sig.String() + ";;" }
+func (d *DLet) String() string {
+	kw := "let "
+	if d.Rec {
+		kw = "let rec "
+	}
+	return kw + d.Name + " = " + d.Rhs.String() + ";;"
+}
+
+// Program is a parsed source file.
+type Program struct {
+	Decls []Decl
+}
+
+func (p *Program) String() string {
+	parts := make([]string, len(p.Decls))
+	for i, d := range p.Decls {
+		parts[i] = d.String()
+	}
+	return strings.Join(parts, "\n")
+}

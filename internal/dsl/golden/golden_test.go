@@ -1,0 +1,139 @@
+// Package golden runs the specification-language conformance corpus:
+// every testdata/*.skl file declares its expectations in header comments —
+//
+//	(* EXPECT-TYPE name : type *)   the binding must infer to exactly this
+//	(* EXPECT-ERROR substring *)    checking must fail mentioning this
+//
+// and the driver verifies them. The corpus doubles as living documentation
+// of the language accepted by the compiler.
+package golden
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"skipper/internal/dsl/parser"
+	"skipper/internal/dsl/types"
+)
+
+type expectation struct {
+	kind string // "type" or "error"
+	name string // binding name for "type"
+	want string // type string or error substring
+}
+
+// parseExpectations extracts EXPECT- directives from comment headers.
+func parseExpectations(src string) []expectation {
+	var out []expectation
+	for _, line := range strings.Split(src, "\n") {
+		line = strings.TrimSpace(line)
+		if !strings.HasPrefix(line, "(*") {
+			continue
+		}
+		body := strings.TrimSuffix(strings.TrimPrefix(line, "(*"), "*)")
+		body = strings.TrimSpace(body)
+		switch {
+		case strings.HasPrefix(body, "EXPECT-TYPE "):
+			rest := strings.TrimPrefix(body, "EXPECT-TYPE ")
+			name, ty, ok := strings.Cut(rest, ":")
+			if !ok {
+				continue
+			}
+			out = append(out, expectation{
+				kind: "type",
+				name: strings.TrimSpace(name),
+				want: strings.TrimSpace(ty),
+			})
+		case strings.HasPrefix(body, "EXPECT-ERROR "):
+			out = append(out, expectation{
+				kind: "error",
+				want: strings.TrimSpace(strings.TrimPrefix(body, "EXPECT-ERROR ")),
+			})
+		}
+	}
+	return out
+}
+
+func TestGoldenCorpus(t *testing.T) {
+	files, err := filepath.Glob("testdata/*.skl")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) < 10 {
+		t.Fatalf("corpus too small: %d files", len(files))
+	}
+	for _, file := range files {
+		file := file
+		t.Run(filepath.Base(file), func(t *testing.T) {
+			raw, err := os.ReadFile(file)
+			if err != nil {
+				t.Fatal(err)
+			}
+			src := string(raw)
+			exps := parseExpectations(src)
+			if len(exps) == 0 {
+				t.Fatalf("%s declares no expectations", file)
+			}
+
+			prog, perr := parser.Parse(src)
+			var info *types.Info
+			var cerr error
+			if perr == nil {
+				info, cerr = types.Check(prog)
+			}
+			failure := perr
+			if failure == nil {
+				failure = cerr
+			}
+
+			for _, e := range exps {
+				switch e.kind {
+				case "error":
+					if failure == nil {
+						t.Fatalf("expected failure mentioning %q, but program checked", e.want)
+					}
+					if !strings.Contains(failure.Error(), e.want) {
+						t.Fatalf("failure %q does not mention %q", failure, e.want)
+					}
+				case "type":
+					if failure != nil {
+						t.Fatalf("unexpected failure: %v", failure)
+					}
+					sch, ok := info.Types[e.name]
+					if !ok {
+						t.Fatalf("no binding %q", e.name)
+					}
+					if got := sch.String(); got != e.want {
+						t.Fatalf("%s : %q, want %q", e.name, got, e.want)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestCorpusPrettyPrintStable: every valid corpus program survives a
+// print/reparse/print round trip.
+func TestCorpusPrettyPrintStable(t *testing.T) {
+	files, _ := filepath.Glob("testdata/*.skl")
+	for _, file := range files {
+		raw, err := os.ReadFile(file)
+		if err != nil {
+			t.Fatal(err)
+		}
+		prog, err := parser.Parse(string(raw))
+		if err != nil {
+			continue // error-corpus entries
+		}
+		printed := prog.String()
+		prog2, err := parser.Parse(printed)
+		if err != nil {
+			t.Fatalf("%s: pretty output does not reparse: %v", file, err)
+		}
+		if prog2.String() != printed {
+			t.Fatalf("%s: printer unstable", file)
+		}
+	}
+}

@@ -1,0 +1,264 @@
+// Package lexer tokenizes SKiPPER specification sources. It handles nested
+// Caml comments (* like (* this *) one *), string literals, numeric
+// literals, and the operator set of the subset language.
+package lexer
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+
+	"skipper/internal/dsl/token"
+)
+
+// Error is a lexical error with its source position.
+type Error struct {
+	Pos token.Pos
+	Msg string
+}
+
+func (e *Error) Error() string { return fmt.Sprintf("%s: lexical error: %s", e.Pos, e.Msg) }
+
+// Lexer scans an input string into tokens.
+type Lexer struct {
+	src  []rune
+	pos  int
+	line int
+	col  int
+}
+
+// New returns a lexer over src.
+func New(src string) *Lexer {
+	return &Lexer{src: []rune(src), line: 1, col: 1}
+}
+
+// Tokenize scans the whole input and returns the token stream terminated by
+// an EOF token, or the first lexical error.
+func Tokenize(src string) ([]token.Token, error) {
+	lx := New(src)
+	var out []token.Token
+	for {
+		t, err := lx.Next()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, t)
+		if t.Kind == token.EOF {
+			return out, nil
+		}
+	}
+}
+
+func (l *Lexer) peek() rune {
+	if l.pos >= len(l.src) {
+		return 0
+	}
+	return l.src[l.pos]
+}
+
+func (l *Lexer) peek2() rune {
+	if l.pos+1 >= len(l.src) {
+		return 0
+	}
+	return l.src[l.pos+1]
+}
+
+func (l *Lexer) advance() rune {
+	r := l.src[l.pos]
+	l.pos++
+	if r == '\n' {
+		l.line++
+		l.col = 1
+	} else {
+		l.col++
+	}
+	return r
+}
+
+func (l *Lexer) here() token.Pos { return token.Pos{Line: l.line, Col: l.col} }
+
+func (l *Lexer) errf(pos token.Pos, format string, args ...any) error {
+	return &Error{Pos: pos, Msg: fmt.Sprintf(format, args...)}
+}
+
+// skipSpaceAndComments consumes whitespace and (possibly nested) comments.
+func (l *Lexer) skipSpaceAndComments() error {
+	for l.pos < len(l.src) {
+		switch {
+		case unicode.IsSpace(l.peek()):
+			l.advance()
+		case l.peek() == '(' && l.peek2() == '*':
+			start := l.here()
+			l.advance()
+			l.advance()
+			depth := 1
+			for depth > 0 {
+				if l.pos >= len(l.src) {
+					return l.errf(start, "unterminated comment")
+				}
+				if l.peek() == '(' && l.peek2() == '*' {
+					l.advance()
+					l.advance()
+					depth++
+				} else if l.peek() == '*' && l.peek2() == ')' {
+					l.advance()
+					l.advance()
+					depth--
+				} else {
+					l.advance()
+				}
+			}
+		default:
+			return nil
+		}
+	}
+	return nil
+}
+
+// Next returns the next token.
+func (l *Lexer) Next() (token.Token, error) {
+	if err := l.skipSpaceAndComments(); err != nil {
+		return token.Token{}, err
+	}
+	pos := l.here()
+	if l.pos >= len(l.src) {
+		return token.Token{Kind: token.EOF, Pos: pos}, nil
+	}
+	r := l.peek()
+	switch {
+	case unicode.IsLetter(r):
+		return l.ident(pos), nil
+	case unicode.IsDigit(r):
+		return l.number(pos)
+	case r == '"':
+		return l.str(pos)
+	}
+	l.advance()
+	two := func(second rune, k2, k1 token.Kind) token.Token {
+		if l.peek() == second {
+			l.advance()
+			return token.Token{Kind: k2, Text: string(r) + string(second), Pos: pos}
+		}
+		return token.Token{Kind: k1, Text: string(r), Pos: pos}
+	}
+	switch r {
+	case '(':
+		return token.Token{Kind: token.LPAREN, Text: "(", Pos: pos}, nil
+	case ')':
+		return token.Token{Kind: token.RPAREN, Text: ")", Pos: pos}, nil
+	case '[':
+		return token.Token{Kind: token.LBRACKET, Text: "[", Pos: pos}, nil
+	case ']':
+		return token.Token{Kind: token.RBRACKET, Text: "]", Pos: pos}, nil
+	case ',':
+		return token.Token{Kind: token.COMMA, Text: ",", Pos: pos}, nil
+	case ';':
+		return two(';', token.SEMISEMI, token.SEMI), nil
+	case '=':
+		return token.Token{Kind: token.EQ, Text: "=", Pos: pos}, nil
+	case ':':
+		return token.Token{Kind: token.COLON, Text: ":", Pos: pos}, nil
+	case '*':
+		return two('.', token.STARDOT, token.STAR), nil
+	case '+':
+		return two('.', token.PLUSDOT, token.PLUS), nil
+	case '-':
+		if l.peek() == '>' {
+			l.advance()
+			return token.Token{Kind: token.ARROW, Text: "->", Pos: pos}, nil
+		}
+		return two('.', token.MINUSDOT, token.MINUS), nil
+	case '/':
+		return two('.', token.SLASHDOT, token.SLASH), nil
+	case '<':
+		if l.peek() == '=' {
+			l.advance()
+			return token.Token{Kind: token.LE, Text: "<=", Pos: pos}, nil
+		}
+		if l.peek() == '>' {
+			l.advance()
+			return token.Token{Kind: token.NE, Text: "<>", Pos: pos}, nil
+		}
+		return token.Token{Kind: token.LT, Text: "<", Pos: pos}, nil
+	case '>':
+		return two('=', token.GE, token.GT), nil
+	case '\'':
+		return token.Token{Kind: token.QUOTE, Text: "'", Pos: pos}, nil
+	case '_':
+		return token.Token{Kind: token.UNDERSCOR, Text: "_", Pos: pos}, nil
+	}
+	return token.Token{}, l.errf(pos, "unexpected character %q", r)
+}
+
+func (l *Lexer) ident(pos token.Pos) token.Token {
+	var b strings.Builder
+	for l.pos < len(l.src) {
+		r := l.peek()
+		if unicode.IsLetter(r) || unicode.IsDigit(r) || r == '_' || r == '\'' {
+			b.WriteRune(r)
+			l.advance()
+		} else {
+			break
+		}
+	}
+	text := b.String()
+	if k, ok := token.Keywords[text]; ok {
+		return token.Token{Kind: k, Text: text, Pos: pos}
+	}
+	return token.Token{Kind: token.IDENT, Text: text, Pos: pos}
+}
+
+func (l *Lexer) number(pos token.Pos) (token.Token, error) {
+	var b strings.Builder
+	isFloat := false
+	for l.pos < len(l.src) && unicode.IsDigit(l.peek()) {
+		b.WriteRune(l.advance())
+	}
+	if l.peek() == '.' && unicode.IsDigit(l.peek2()) {
+		isFloat = true
+		b.WriteRune(l.advance())
+		for l.pos < len(l.src) && unicode.IsDigit(l.peek()) {
+			b.WriteRune(l.advance())
+		}
+	}
+	if r := l.peek(); unicode.IsLetter(r) {
+		return token.Token{}, l.errf(pos, "malformed number: %q followed by %q", b.String(), r)
+	}
+	k := token.INT
+	if isFloat {
+		k = token.FLOAT
+	}
+	return token.Token{Kind: k, Text: b.String(), Pos: pos}, nil
+}
+
+func (l *Lexer) str(pos token.Pos) (token.Token, error) {
+	l.advance() // opening quote
+	var b strings.Builder
+	for {
+		if l.pos >= len(l.src) {
+			return token.Token{}, l.errf(pos, "unterminated string literal")
+		}
+		r := l.advance()
+		if r == '"' {
+			return token.Token{Kind: token.STRING, Text: b.String(), Pos: pos}, nil
+		}
+		if r == '\\' {
+			if l.pos >= len(l.src) {
+				return token.Token{}, l.errf(pos, "unterminated escape in string")
+			}
+			e := l.advance()
+			switch e {
+			case 'n':
+				b.WriteRune('\n')
+			case 't':
+				b.WriteRune('\t')
+			case '\\', '"':
+				b.WriteRune(e)
+			default:
+				return token.Token{}, l.errf(pos, "unknown escape \\%c", e)
+			}
+			continue
+		}
+		b.WriteRune(r)
+	}
+}

@@ -1,0 +1,166 @@
+package lexer
+
+import (
+	"testing"
+
+	"skipper/internal/dsl/token"
+)
+
+func kinds(t *testing.T, src string) []token.Kind {
+	t.Helper()
+	toks, err := Tokenize(src)
+	if err != nil {
+		t.Fatalf("Tokenize(%q): %v", src, err)
+	}
+	out := make([]token.Kind, len(toks))
+	for i, tok := range toks {
+		out[i] = tok.Kind
+	}
+	return out
+}
+
+func expectKinds(t *testing.T, src string, want ...token.Kind) {
+	t.Helper()
+	got := kinds(t, src)
+	want = append(want, token.EOF)
+	if len(got) != len(want) {
+		t.Fatalf("%q: got %v, want %v", src, got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("%q: token %d = %v, want %v", src, i, got[i], want[i])
+		}
+	}
+}
+
+func TestKeywordsAndIdents(t *testing.T) {
+	expectKinds(t, "let rec in fun if then else type extern true false",
+		token.LET, token.REC, token.IN, token.FUN, token.IF, token.THEN,
+		token.ELSE, token.TYPE, token.EXTERN, token.TRUE, token.FALSE)
+	expectKinds(t, "foo read_img x2 z'", token.IDENT, token.IDENT, token.IDENT, token.IDENT)
+}
+
+func TestPrimeInIdentifier(t *testing.T) {
+	toks, err := Tokenize("z'")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[0].Text != "z'" {
+		t.Fatalf("ident = %q", toks[0].Text)
+	}
+}
+
+func TestNumbers(t *testing.T) {
+	expectKinds(t, "42 3.14 0", token.INT, token.FLOAT, token.INT)
+	toks, _ := Tokenize("512")
+	if toks[0].Text != "512" {
+		t.Fatalf("text = %q", toks[0].Text)
+	}
+}
+
+func TestMalformedNumber(t *testing.T) {
+	if _, err := Tokenize("12abc"); err == nil {
+		t.Fatal("expected error for 12abc")
+	}
+}
+
+func TestOperators(t *testing.T) {
+	expectKinds(t, "-> - = <> <= >= < > + * / ; ;; , : ( ) [ ] _",
+		token.ARROW, token.MINUS, token.EQ, token.NE, token.LE, token.GE,
+		token.LT, token.GT, token.PLUS, token.STAR, token.SLASH, token.SEMI,
+		token.SEMISEMI, token.COMMA, token.COLON, token.LPAREN, token.RPAREN,
+		token.LBRACKET, token.RBRACKET, token.UNDERSCOR)
+}
+
+func TestStrings(t *testing.T) {
+	toks, err := Tokenize(`"hello\nworld" "tab\t" "q\"q"`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[0].Text != "hello\nworld" || toks[1].Text != "tab\t" || toks[2].Text != `q"q` {
+		t.Fatalf("bad strings: %q %q %q", toks[0].Text, toks[1].Text, toks[2].Text)
+	}
+}
+
+func TestUnterminatedString(t *testing.T) {
+	if _, err := Tokenize(`"oops`); err == nil {
+		t.Fatal("expected error")
+	}
+}
+
+func TestUnknownEscape(t *testing.T) {
+	if _, err := Tokenize(`"\q"`); err == nil {
+		t.Fatal("expected error")
+	}
+}
+
+func TestComments(t *testing.T) {
+	expectKinds(t, "(* plain *) x", token.IDENT)
+	expectKinds(t, "(* nested (* inner *) outer *) y", token.IDENT)
+	expectKinds(t, "a (* mid *) b", token.IDENT, token.IDENT)
+}
+
+func TestUnterminatedComment(t *testing.T) {
+	if _, err := Tokenize("(* never ends"); err == nil {
+		t.Fatal("expected error")
+	}
+	if _, err := Tokenize("(* outer (* inner *)"); err == nil {
+		t.Fatal("expected error for half-closed nested comment")
+	}
+}
+
+func TestPositions(t *testing.T) {
+	toks, err := Tokenize("let x =\n  42")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[0].Pos != (token.Pos{Line: 1, Col: 1}) {
+		t.Fatalf("let at %v", toks[0].Pos)
+	}
+	if toks[3].Pos != (token.Pos{Line: 2, Col: 3}) {
+		t.Fatalf("42 at %v", toks[3].Pos)
+	}
+}
+
+func TestQuoteTypeVariable(t *testing.T) {
+	// A quote NOT glued to a preceding identifier starts a type variable.
+	expectKinds(t, "'a", token.QUOTE, token.IDENT)
+}
+
+func TestUnexpectedCharacter(t *testing.T) {
+	if _, err := Tokenize("let # = 1"); err == nil {
+		t.Fatal("expected error for #")
+	}
+	var lerr *Error
+	_, err := Tokenize("@")
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	if e, ok := err.(*Error); ok {
+		lerr = e
+	} else {
+		t.Fatalf("error type %T", err)
+	}
+	if lerr.Pos.Line != 1 || lerr.Pos.Col != 1 {
+		t.Fatalf("error position %v", lerr.Pos)
+	}
+}
+
+func TestPaperProgramLexes(t *testing.T) {
+	src := `
+let nproc = 8;;
+let s0 = init_state ();;
+let loop (state, im) =
+  let ws = get_windows nproc state im in
+  let marks = df nproc detect_mark accum_marks empty_list ws in
+  predict marks;;
+let main = itermem read_img loop display_marks s0 (512,512);;
+`
+	toks, err := Tokenize(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(toks) < 40 {
+		t.Fatalf("suspiciously few tokens: %d", len(toks))
+	}
+}

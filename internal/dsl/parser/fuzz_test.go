@@ -1,0 +1,93 @@
+package parser
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"skipper/internal/dsl/lexer"
+)
+
+// fragmentAlphabet biases random inputs toward syntactically interesting
+// material so the robustness test exercises deep parser paths, not just the
+// first error.
+var fragments = []string{
+	"let", "in", "fun", "if", "then", "else", "type", "extern", "rec",
+	"true", "false", ";;", ";", "->", "(", ")", "[", "]", ",", "*", "+",
+	"-", "/", "=", "<", ">", "<=", ">=", "<>", "'", "_", ":",
+	"x", "f", "df", "scm", "itermem", "main", "42", "3.14", `"s"`,
+	" ", "\n", "(*", "*)",
+}
+
+func randomSource(rng *rand.Rand, n int) string {
+	var b strings.Builder
+	for i := 0; i < n; i++ {
+		b.WriteString(fragments[rng.Intn(len(fragments))])
+		if rng.Intn(3) == 0 {
+			b.WriteByte(' ')
+		}
+	}
+	return b.String()
+}
+
+// TestParserNeverPanics feeds random token soup to the full front end; any
+// outcome is acceptable except a panic.
+func TestParserNeverPanics(t *testing.T) {
+	f := func(seed int64, size uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		src := randomSource(rng, int(size%120)+1)
+		defer func() {
+			if r := recover(); r != nil {
+				t.Fatalf("panic on input %q: %v", src, r)
+			}
+		}()
+		_, _ = Parse(src)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestLexerNeverPanics feeds fully random bytes to the tokenizer.
+func TestLexerNeverPanics(t *testing.T) {
+	f := func(raw []byte) bool {
+		src := string(raw)
+		defer func() {
+			if r := recover(); r != nil {
+				t.Fatalf("panic on input %q: %v", src, r)
+			}
+		}()
+		_, _ = lexer.Tokenize(src)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestParsePrintReparse: any program that parses pretty-prints to something
+// that parses to the same rendering (printer/parser agreement).
+func TestParsePrintReparse(t *testing.T) {
+	f := func(seed int64, size uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		src := randomSource(rng, int(size%120)+1)
+		prog, err := Parse(src)
+		if err != nil {
+			return true // only well-formed programs are in scope
+		}
+		printed := prog.String()
+		prog2, err := Parse(printed)
+		if err != nil {
+			t.Fatalf("pretty output does not reparse: %q -> %q: %v", src, printed, err)
+		}
+		if prog2.String() != printed {
+			t.Fatalf("printer not stable: %q vs %q", printed, prog2.String())
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Fatal(err)
+	}
+}

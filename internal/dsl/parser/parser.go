@@ -1,0 +1,570 @@
+// Package parser builds SKiPPER ASTs from token streams. The grammar is the
+// Caml subset described in DESIGN.md §3: top-level type/extern/let
+// declarations terminated by ";;", with let-in, fun, if, curried
+// application, tuples, lists and arithmetic/comparison operators.
+package parser
+
+import (
+	"fmt"
+
+	"skipper/internal/dsl/ast"
+	"skipper/internal/dsl/lexer"
+	"skipper/internal/dsl/token"
+)
+
+// Error is a syntax error with its source position.
+type Error struct {
+	Pos token.Pos
+	Msg string
+}
+
+func (e *Error) Error() string { return fmt.Sprintf("%s: syntax error: %s", e.Pos, e.Msg) }
+
+type parser struct {
+	toks []token.Token
+	pos  int
+}
+
+// Parse tokenizes and parses a complete source file.
+func Parse(src string) (*ast.Program, error) {
+	toks, err := lexer.Tokenize(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	return p.program()
+}
+
+// ParseTypeExpr parses a standalone type expression (used by the registry to
+// declare extern signatures programmatically).
+func ParseTypeExpr(src string) (ast.TypeExpr, error) {
+	toks, err := lexer.Tokenize(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	t, err := p.typeExpr()
+	if err != nil {
+		return nil, err
+	}
+	if p.peek().Kind != token.EOF {
+		return nil, p.errf("trailing input after type: %s", p.peek())
+	}
+	return t, nil
+}
+
+func (p *parser) peek() token.Token { return p.toks[p.pos] }
+func (p *parser) peek2() token.Token {
+	if p.pos+1 < len(p.toks) {
+		return p.toks[p.pos+1]
+	}
+	return p.toks[len(p.toks)-1]
+}
+
+func (p *parser) next() token.Token {
+	t := p.toks[p.pos]
+	if t.Kind != token.EOF {
+		p.pos++
+	}
+	return t
+}
+
+func (p *parser) at(k token.Kind) bool { return p.peek().Kind == k }
+
+func (p *parser) accept(k token.Kind) bool {
+	if p.at(k) {
+		p.next()
+		return true
+	}
+	return false
+}
+
+func (p *parser) expect(k token.Kind) (token.Token, error) {
+	if p.at(k) {
+		return p.next(), nil
+	}
+	return token.Token{}, p.errf("expected %s, found %s", k, p.peek())
+}
+
+func (p *parser) errf(format string, args ...any) error {
+	return &Error{Pos: p.peek().Pos, Msg: fmt.Sprintf(format, args...)}
+}
+
+// --- declarations -----------------------------------------------------------
+
+func (p *parser) program() (*ast.Program, error) {
+	prog := &ast.Program{}
+	for !p.at(token.EOF) {
+		d, err := p.decl()
+		if err != nil {
+			return nil, err
+		}
+		prog.Decls = append(prog.Decls, d)
+	}
+	return prog, nil
+}
+
+func (p *parser) decl() (ast.Decl, error) {
+	switch p.peek().Kind {
+	case token.TYPE:
+		pos := p.next().Pos
+		name, err := p.expect(token.IDENT)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(token.SEMISEMI); err != nil {
+			return nil, err
+		}
+		return &ast.DType{Name: name.Text, Pos: pos}, nil
+
+	case token.EXTERN:
+		pos := p.next().Pos
+		name, err := p.expect(token.IDENT)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(token.COLON); err != nil {
+			return nil, err
+		}
+		sig, err := p.typeExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(token.SEMISEMI); err != nil {
+			return nil, err
+		}
+		return &ast.DExtern{Name: name.Text, Sig: sig, Pos: pos}, nil
+
+	case token.LET:
+		pos := p.next().Pos
+		rec := p.accept(token.REC)
+		var name string
+		switch p.peek().Kind {
+		case token.IDENT:
+			name = p.next().Text
+		case token.UNDERSCOR:
+			p.next()
+			name = "_"
+		default:
+			return nil, p.errf("expected binding name, found %s", p.peek())
+		}
+		params, err := p.patternsUntil(token.EQ)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(token.EQ); err != nil {
+			return nil, err
+		}
+		rhs, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(token.SEMISEMI); err != nil {
+			return nil, err
+		}
+		if len(params) > 0 {
+			rhs = &ast.Lambda{Params: params, Body: rhs, FunPos: pos}
+		}
+		return &ast.DLet{Name: name, Rhs: rhs, Pos: pos, Rec: rec}, nil
+	}
+	return nil, p.errf("expected declaration, found %s", p.peek())
+}
+
+// --- patterns ----------------------------------------------------------------
+
+func (p *parser) patternsUntil(stop token.Kind) ([]ast.Pattern, error) {
+	var out []ast.Pattern
+	for !p.at(stop) && !p.at(token.ARROW) {
+		pat, err := p.pattern()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, pat)
+	}
+	return out, nil
+}
+
+func (p *parser) pattern() (ast.Pattern, error) {
+	switch p.peek().Kind {
+	case token.IDENT:
+		t := p.next()
+		return &ast.PVar{Name: t.Text, Pos: t.Pos}, nil
+	case token.UNDERSCOR:
+		t := p.next()
+		return &ast.PWild{Pos: t.Pos}, nil
+	case token.LPAREN:
+		t := p.next()
+		if p.accept(token.RPAREN) {
+			return &ast.PUnit{Pos: t.Pos}, nil
+		}
+		first, err := p.pattern()
+		if err != nil {
+			return nil, err
+		}
+		if p.accept(token.RPAREN) {
+			return first, nil
+		}
+		elems := []ast.Pattern{first}
+		for p.accept(token.COMMA) {
+			e, err := p.pattern()
+			if err != nil {
+				return nil, err
+			}
+			elems = append(elems, e)
+		}
+		if _, err := p.expect(token.RPAREN); err != nil {
+			return nil, err
+		}
+		return &ast.PTuple{Elems: elems}, nil
+	}
+	return nil, p.errf("expected pattern, found %s", p.peek())
+}
+
+// --- expressions --------------------------------------------------------------
+
+// expr parses a sequence expression: e1 ; e2 ; … desugars to
+// let _ = e1 in e2 (Caml sequencing, used by the paper's itermem
+// definition: "out y; f z'"). List literals parse their elements with
+// exprNoSeq, where ';' is the element separator instead.
+func (p *parser) expr() (ast.Expr, error) {
+	first, err := p.exprNoSeq()
+	if err != nil {
+		return nil, err
+	}
+	if !p.at(token.SEMI) {
+		return first, nil
+	}
+	pos := p.peek().Pos
+	p.next() // ';'
+	rest, err := p.expr()
+	if err != nil {
+		return nil, err
+	}
+	return &ast.Let{
+		Pat:    &ast.PWild{Pos: pos},
+		Rhs:    first,
+		Body:   rest,
+		LetPos: pos,
+	}, nil
+}
+
+func (p *parser) exprNoSeq() (ast.Expr, error) {
+	switch p.peek().Kind {
+	case token.LET:
+		pos := p.next().Pos
+		rec := p.accept(token.REC)
+		// let [rec] <pattern> <params>* = rhs in body
+		head, err := p.pattern()
+		if err != nil {
+			return nil, err
+		}
+		params, err := p.patternsUntil(token.EQ)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(token.EQ); err != nil {
+			return nil, err
+		}
+		rhs, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(token.IN); err != nil {
+			return nil, err
+		}
+		body, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if len(params) > 0 {
+			if _, ok := head.(*ast.PVar); !ok {
+				return nil, &Error{Pos: pos, Msg: "function binding requires a simple name"}
+			}
+			rhs = &ast.Lambda{Params: params, Body: rhs, FunPos: pos}
+		}
+		if rec {
+			if _, ok := head.(*ast.PVar); !ok {
+				return nil, &Error{Pos: pos, Msg: "let rec requires a simple name"}
+			}
+		}
+		return &ast.Let{Pat: head, Rhs: rhs, Body: body, LetPos: pos, Rec: rec}, nil
+
+	case token.FUN:
+		pos := p.next().Pos
+		params, err := p.patternsUntil(token.ARROW)
+		if err != nil {
+			return nil, err
+		}
+		if len(params) == 0 {
+			return nil, p.errf("fun requires at least one parameter")
+		}
+		if _, err := p.expect(token.ARROW); err != nil {
+			return nil, err
+		}
+		body, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		return &ast.Lambda{Params: params, Body: body, FunPos: pos}, nil
+
+	case token.IF:
+		pos := p.next().Pos
+		cond, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(token.THEN); err != nil {
+			return nil, err
+		}
+		thn, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(token.ELSE); err != nil {
+			return nil, err
+		}
+		els, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		return &ast.If{Cond: cond, Then: thn, Else: els, IfPos: pos}, nil
+	}
+	return p.cmp()
+}
+
+func (p *parser) cmp() (ast.Expr, error) {
+	l, err := p.additive()
+	if err != nil {
+		return nil, err
+	}
+	switch p.peek().Kind {
+	case token.EQ, token.NE, token.LT, token.GT, token.LE, token.GE:
+		op := p.next().Text
+		r, err := p.additive()
+		if err != nil {
+			return nil, err
+		}
+		return &ast.BinOp{Op: op, L: l, R: r}, nil
+	}
+	return l, nil
+}
+
+func (p *parser) additive() (ast.Expr, error) {
+	l, err := p.multiplicative()
+	if err != nil {
+		return nil, err
+	}
+	for p.at(token.PLUS) || p.at(token.MINUS) || p.at(token.PLUSDOT) || p.at(token.MINUSDOT) {
+		op := p.next().Text
+		r, err := p.multiplicative()
+		if err != nil {
+			return nil, err
+		}
+		l = &ast.BinOp{Op: op, L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *parser) multiplicative() (ast.Expr, error) {
+	l, err := p.unary()
+	if err != nil {
+		return nil, err
+	}
+	for p.at(token.STAR) || p.at(token.SLASH) || p.at(token.STARDOT) || p.at(token.SLASHDOT) {
+		op := p.next().Text
+		r, err := p.unary()
+		if err != nil {
+			return nil, err
+		}
+		l = &ast.BinOp{Op: op, L: l, R: r}
+	}
+	return l, nil
+}
+
+// unary parses an optional prefix minus (desugared to 0 - e, so the rest of
+// the pipeline only sees binary operators).
+func (p *parser) unary() (ast.Expr, error) {
+	if p.at(token.MINUS) {
+		pos := p.next().Pos
+		r, err := p.unary()
+		if err != nil {
+			return nil, err
+		}
+		return &ast.BinOp{Op: "-", L: &ast.IntLit{Value: 0, ValPos: pos, Literal: "0"}, R: r}, nil
+	}
+	return p.application()
+}
+
+func (p *parser) application() (ast.Expr, error) {
+	fn, err := p.atom()
+	if err != nil {
+		return nil, err
+	}
+	for p.atomStart() {
+		arg, err := p.atom()
+		if err != nil {
+			return nil, err
+		}
+		fn = &ast.App{Fn: fn, Arg: arg}
+	}
+	return fn, nil
+}
+
+func (p *parser) atomStart() bool {
+	switch p.peek().Kind {
+	case token.IDENT, token.INT, token.FLOAT, token.STRING,
+		token.TRUE, token.FALSE, token.LPAREN, token.LBRACKET:
+		return true
+	}
+	return false
+}
+
+func (p *parser) atom() (ast.Expr, error) {
+	t := p.peek()
+	switch t.Kind {
+	case token.IDENT:
+		p.next()
+		return &ast.Ident{Name: t.Text, NamePos: t.Pos}, nil
+	case token.INT:
+		p.next()
+		var v int
+		if _, err := fmt.Sscanf(t.Text, "%d", &v); err != nil {
+			return nil, &Error{Pos: t.Pos, Msg: "bad integer literal " + t.Text}
+		}
+		return &ast.IntLit{Value: v, ValPos: t.Pos, Literal: t.Text}, nil
+	case token.FLOAT:
+		p.next()
+		var v float64
+		if _, err := fmt.Sscanf(t.Text, "%g", &v); err != nil {
+			return nil, &Error{Pos: t.Pos, Msg: "bad float literal " + t.Text}
+		}
+		return &ast.FloatLit{Value: v, ValPos: t.Pos, Literal: t.Text}, nil
+	case token.STRING:
+		p.next()
+		return &ast.StringLit{Value: t.Text, ValPos: t.Pos}, nil
+	case token.TRUE, token.FALSE:
+		p.next()
+		return &ast.BoolLit{Value: t.Kind == token.TRUE, ValPos: t.Pos}, nil
+	case token.LPAREN:
+		p.next()
+		if p.accept(token.RPAREN) {
+			return &ast.UnitLit{ValPos: t.Pos}, nil
+		}
+		first, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if p.accept(token.RPAREN) {
+			return first, nil
+		}
+		elems := []ast.Expr{first}
+		for p.accept(token.COMMA) {
+			e, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			elems = append(elems, e)
+		}
+		if _, err := p.expect(token.RPAREN); err != nil {
+			return nil, err
+		}
+		return &ast.Tuple{Elems: elems, LParen: t.Pos}, nil
+	case token.LBRACKET:
+		p.next()
+		lst := &ast.ListLit{LBracket: t.Pos}
+		if p.accept(token.RBRACKET) {
+			return lst, nil
+		}
+		for {
+			e, err := p.exprNoSeq()
+			if err != nil {
+				return nil, err
+			}
+			lst.Elems = append(lst.Elems, e)
+			if !p.accept(token.SEMI) {
+				break
+			}
+		}
+		if _, err := p.expect(token.RBRACKET); err != nil {
+			return nil, err
+		}
+		return lst, nil
+	}
+	return nil, p.errf("expected expression, found %s", t)
+}
+
+// --- type expressions ----------------------------------------------------------
+
+// typeExpr := tuple ("->" typeExpr)?      (arrow is right associative)
+func (p *parser) typeExpr() (ast.TypeExpr, error) {
+	l, err := p.typeTuple()
+	if err != nil {
+		return nil, err
+	}
+	if p.accept(token.ARROW) {
+		r, err := p.typeExpr()
+		if err != nil {
+			return nil, err
+		}
+		return &ast.TEArrow{From: l, To: r}, nil
+	}
+	return l, nil
+}
+
+// typeTuple := postfix ("*" postfix)*
+func (p *parser) typeTuple() (ast.TypeExpr, error) {
+	first, err := p.typePostfix()
+	if err != nil {
+		return nil, err
+	}
+	if !p.at(token.STAR) {
+		return first, nil
+	}
+	elems := []ast.TypeExpr{first}
+	for p.accept(token.STAR) {
+		e, err := p.typePostfix()
+		if err != nil {
+			return nil, err
+		}
+		elems = append(elems, e)
+	}
+	return &ast.TETuple{Elems: elems}, nil
+}
+
+// typePostfix := atom IDENT*      ('a list, window list, 'a list list)
+func (p *parser) typePostfix() (ast.TypeExpr, error) {
+	t, err := p.typeAtom()
+	if err != nil {
+		return nil, err
+	}
+	for p.at(token.IDENT) {
+		name := p.next().Text
+		t = &ast.TECon{Name: name, Args: []ast.TypeExpr{t}}
+	}
+	return t, nil
+}
+
+func (p *parser) typeAtom() (ast.TypeExpr, error) {
+	switch p.peek().Kind {
+	case token.QUOTE:
+		p.next()
+		name, err := p.expect(token.IDENT)
+		if err != nil {
+			return nil, err
+		}
+		return &ast.TEVar{Name: name.Text}, nil
+	case token.IDENT:
+		return &ast.TECon{Name: p.next().Text}, nil
+	case token.LPAREN:
+		p.next()
+		t, err := p.typeExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(token.RPAREN); err != nil {
+			return nil, err
+		}
+		return t, nil
+	}
+	return nil, p.errf("expected type, found %s", p.peek())
+}

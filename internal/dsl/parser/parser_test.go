@@ -1,0 +1,377 @@
+package parser
+
+import (
+	"strings"
+	"testing"
+
+	"skipper/internal/dsl/ast"
+)
+
+func parseOne(t *testing.T, src string) ast.Decl {
+	t.Helper()
+	prog, err := Parse(src)
+	if err != nil {
+		t.Fatalf("Parse(%q): %v", src, err)
+	}
+	if len(prog.Decls) != 1 {
+		t.Fatalf("got %d decls", len(prog.Decls))
+	}
+	return prog.Decls[0]
+}
+
+func mustFail(t *testing.T, src string) {
+	t.Helper()
+	if _, err := Parse(src); err == nil {
+		t.Fatalf("Parse(%q) should fail", src)
+	}
+}
+
+func TestTypeDecl(t *testing.T) {
+	d := parseOne(t, "type img;;").(*ast.DType)
+	if d.Name != "img" {
+		t.Fatalf("name = %q", d.Name)
+	}
+}
+
+func TestExternDecl(t *testing.T) {
+	d := parseOne(t, "extern f : int -> img list;;").(*ast.DExtern)
+	if d.Name != "f" {
+		t.Fatalf("name = %q", d.Name)
+	}
+	if got := d.Sig.String(); got != "int -> img list" {
+		t.Fatalf("sig = %q", got)
+	}
+}
+
+func TestExternTupleArrowPrecedence(t *testing.T) {
+	d := parseOne(t, "extern predict : mark list -> mark list * state;;").(*ast.DExtern)
+	arrow, ok := d.Sig.(*ast.TEArrow)
+	if !ok {
+		t.Fatalf("sig is %T", d.Sig)
+	}
+	if _, ok := arrow.To.(*ast.TETuple); !ok {
+		t.Fatalf("result is %T, want tuple", arrow.To)
+	}
+}
+
+func TestExternHigherOrderSig(t *testing.T) {
+	d := parseOne(t, "extern apply : ('a -> 'b) -> 'a -> 'b;;").(*ast.DExtern)
+	if got := d.Sig.String(); got != "('a -> 'b) -> 'a -> 'b" {
+		t.Fatalf("sig = %q", got)
+	}
+}
+
+func TestPostfixTypeConstructors(t *testing.T) {
+	d := parseOne(t, "extern x : 'a list list;;").(*ast.DExtern)
+	outer := d.Sig.(*ast.TECon)
+	if outer.Name != "list" {
+		t.Fatalf("outer %q", outer.Name)
+	}
+	inner := outer.Args[0].(*ast.TECon)
+	if inner.Name != "list" {
+		t.Fatalf("inner %q", inner.Name)
+	}
+	if _, ok := inner.Args[0].(*ast.TEVar); !ok {
+		t.Fatalf("innermost %T", inner.Args[0])
+	}
+}
+
+func TestSimpleLet(t *testing.T) {
+	d := parseOne(t, "let nproc = 8;;").(*ast.DLet)
+	if d.Name != "nproc" {
+		t.Fatalf("name %q", d.Name)
+	}
+	if lit, ok := d.Rhs.(*ast.IntLit); !ok || lit.Value != 8 {
+		t.Fatalf("rhs %v", d.Rhs)
+	}
+}
+
+func TestFunctionLetDesugarsToLambda(t *testing.T) {
+	d := parseOne(t, "let f x y = x;;").(*ast.DLet)
+	lam, ok := d.Rhs.(*ast.Lambda)
+	if !ok {
+		t.Fatalf("rhs %T", d.Rhs)
+	}
+	if len(lam.Params) != 2 {
+		t.Fatalf("%d params", len(lam.Params))
+	}
+}
+
+func TestTuplePatternParam(t *testing.T) {
+	d := parseOne(t, "let loop (state, im) = state;;").(*ast.DLet)
+	lam := d.Rhs.(*ast.Lambda)
+	pt, ok := lam.Params[0].(*ast.PTuple)
+	if !ok || len(pt.Elems) != 2 {
+		t.Fatalf("param %v", lam.Params[0])
+	}
+}
+
+func TestApplicationLeftAssociative(t *testing.T) {
+	d := parseOne(t, "let x = f a b c;;").(*ast.DLet)
+	// ((f a) b) c
+	app1 := d.Rhs.(*ast.App)
+	app2 := app1.Fn.(*ast.App)
+	app3 := app2.Fn.(*ast.App)
+	if app3.Fn.(*ast.Ident).Name != "f" {
+		t.Fatalf("innermost fn %v", app3.Fn)
+	}
+	if app1.Arg.(*ast.Ident).Name != "c" {
+		t.Fatalf("outermost arg %v", app1.Arg)
+	}
+}
+
+func TestOperatorPrecedence(t *testing.T) {
+	d := parseOne(t, "let x = 1 + 2 * 3;;").(*ast.DLet)
+	add := d.Rhs.(*ast.BinOp)
+	if add.Op != "+" {
+		t.Fatalf("top op %q", add.Op)
+	}
+	mul := add.R.(*ast.BinOp)
+	if mul.Op != "*" {
+		t.Fatalf("inner op %q", mul.Op)
+	}
+}
+
+func TestComparisonBindsLoosest(t *testing.T) {
+	d := parseOne(t, "let x = a + 1 < b * 2;;").(*ast.DLet)
+	cmp := d.Rhs.(*ast.BinOp)
+	if cmp.Op != "<" {
+		t.Fatalf("top op %q", cmp.Op)
+	}
+}
+
+func TestUnaryMinus(t *testing.T) {
+	d := parseOne(t, "let x = -3 + 1;;").(*ast.DLet)
+	add := d.Rhs.(*ast.BinOp)
+	if add.Op != "+" {
+		t.Fatalf("top %q", add.Op)
+	}
+	neg := add.L.(*ast.BinOp)
+	if neg.Op != "-" || neg.L.(*ast.IntLit).Value != 0 || neg.R.(*ast.IntLit).Value != 3 {
+		t.Fatalf("neg %v", neg)
+	}
+}
+
+func TestApplicationBindsTighterThanOps(t *testing.T) {
+	d := parseOne(t, "let x = f a + g b;;").(*ast.DLet)
+	add := d.Rhs.(*ast.BinOp)
+	if _, ok := add.L.(*ast.App); !ok {
+		t.Fatalf("left %T", add.L)
+	}
+	if _, ok := add.R.(*ast.App); !ok {
+		t.Fatalf("right %T", add.R)
+	}
+}
+
+func TestLetIn(t *testing.T) {
+	d := parseOne(t, "let x = let y = 1 in y + y;;").(*ast.DLet)
+	le := d.Rhs.(*ast.Let)
+	if le.Pat.(*ast.PVar).Name != "y" {
+		t.Fatalf("pat %v", le.Pat)
+	}
+}
+
+func TestLetInWithTuplePattern(t *testing.T) {
+	d := parseOne(t, "let x = let (a, b) = p in a;;").(*ast.DLet)
+	le := d.Rhs.(*ast.Let)
+	if _, ok := le.Pat.(*ast.PTuple); !ok {
+		t.Fatalf("pat %T", le.Pat)
+	}
+}
+
+func TestLocalFunctionLet(t *testing.T) {
+	d := parseOne(t, "let x = let g n = n + 1 in g 4;;").(*ast.DLet)
+	le := d.Rhs.(*ast.Let)
+	if _, ok := le.Rhs.(*ast.Lambda); !ok {
+		t.Fatalf("local fn rhs %T", le.Rhs)
+	}
+}
+
+func TestFunExpression(t *testing.T) {
+	d := parseOne(t, "let f = fun x y -> x;;").(*ast.DLet)
+	lam := d.Rhs.(*ast.Lambda)
+	if len(lam.Params) != 2 {
+		t.Fatalf("params %d", len(lam.Params))
+	}
+}
+
+func TestIfThenElse(t *testing.T) {
+	d := parseOne(t, "let x = if a < b then 1 else 2;;").(*ast.DLet)
+	ife := d.Rhs.(*ast.If)
+	if _, ok := ife.Cond.(*ast.BinOp); !ok {
+		t.Fatalf("cond %T", ife.Cond)
+	}
+}
+
+func TestTupleExpr(t *testing.T) {
+	d := parseOne(t, "let x = (1, 2.5, a);;").(*ast.DLet)
+	tp := d.Rhs.(*ast.Tuple)
+	if len(tp.Elems) != 3 {
+		t.Fatalf("elems %d", len(tp.Elems))
+	}
+}
+
+func TestParenNotTuple(t *testing.T) {
+	d := parseOne(t, "let x = (1);;").(*ast.DLet)
+	if _, ok := d.Rhs.(*ast.IntLit); !ok {
+		t.Fatalf("rhs %T, want IntLit (no 1-tuple)", d.Rhs)
+	}
+}
+
+func TestListLiterals(t *testing.T) {
+	d := parseOne(t, "let x = [1; 2; 3];;").(*ast.DLet)
+	lst := d.Rhs.(*ast.ListLit)
+	if len(lst.Elems) != 3 {
+		t.Fatalf("elems %d", len(lst.Elems))
+	}
+	d2 := parseOne(t, "let e = [];;").(*ast.DLet)
+	if len(d2.Rhs.(*ast.ListLit).Elems) != 0 {
+		t.Fatal("empty list not empty")
+	}
+}
+
+func TestUnitLiteralAndWildcardLet(t *testing.T) {
+	d := parseOne(t, "let _ = output ();;").(*ast.DLet)
+	if d.Name != "_" {
+		t.Fatalf("name %q", d.Name)
+	}
+	app := d.Rhs.(*ast.App)
+	if _, ok := app.Arg.(*ast.UnitLit); !ok {
+		t.Fatalf("arg %T", app.Arg)
+	}
+}
+
+func TestPaperProgramParses(t *testing.T) {
+	src := `
+(* the vehicle tracking application, paper section 4 *)
+type img;;
+type state;;
+type window;;
+type mark;;
+extern read_img : int * int -> img;;
+extern init_state : unit -> state;;
+extern get_windows : int -> state -> img -> window list;;
+extern detect_mark : window -> mark;;
+extern accum_marks : mark list -> mark -> mark list;;
+extern predict : mark list -> state * mark list;;
+extern display_marks : mark list -> unit;;
+extern empty_list : mark list;;
+
+let nproc = 8;;
+let s0 = init_state ();;
+let loop (state, im) =
+  let ws = get_windows nproc state im in
+  let marks = df nproc detect_mark accum_marks empty_list ws in
+  predict marks;;
+let main = itermem read_img loop display_marks s0 (512, 512);;
+`
+	prog, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(prog.Decls) != 16 {
+		t.Fatalf("decls = %d, want 16", len(prog.Decls))
+	}
+	// Round-trip: printing and reparsing is stable.
+	printed := prog.String()
+	prog2, err := Parse(printed)
+	if err != nil {
+		t.Fatalf("reparse failed: %v\n%s", err, printed)
+	}
+	if prog2.String() != printed {
+		t.Fatal("pretty printer not idempotent")
+	}
+}
+
+func TestErrorsCarryPosition(t *testing.T) {
+	_, err := Parse("let x =\n  ;;")
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	if !strings.Contains(err.Error(), "2:") {
+		t.Fatalf("error lacks line info: %v", err)
+	}
+}
+
+func TestSyntaxErrors(t *testing.T) {
+	for _, src := range []string{
+		"let = 3;;",
+		"let x = ;;",
+		"type ;;",
+		"extern f int;;",
+		"let x = (1, 2;;",
+		"let x = [1; ;;",
+		"let x = if a then b;;",
+		"let x = fun -> 1;;",
+		"let x = let y = 1;;",    // missing in
+		"let (a,b) c = a in b;;", // function with tuple head at expr level is inside decl
+		"let x = 1",              // missing ;;
+		"99;;",                   // not a declaration
+	} {
+		mustFail(t, src)
+	}
+}
+
+func TestParseTypeExpr(t *testing.T) {
+	te, err := ParseTypeExpr("int -> 'a list -> ('a * int) list")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := "int -> 'a list -> ('a * int) list"
+	if te.String() != want {
+		t.Fatalf("got %q", te.String())
+	}
+	if _, err := ParseTypeExpr("int -> ;;"); err == nil {
+		t.Fatal("expected error")
+	}
+	if _, err := ParseTypeExpr("int int -> bool extra ("); err == nil {
+		t.Fatal("expected trailing-input error")
+	}
+}
+
+func TestSequencingDesugarsToLet(t *testing.T) {
+	d := parseOne(t, "let f x = g x; h x;;").(*ast.DLet)
+	lam := d.Rhs.(*ast.Lambda)
+	seq, ok := lam.Body.(*ast.Let)
+	if !ok {
+		t.Fatalf("body %T, want desugared let", lam.Body)
+	}
+	if _, ok := seq.Pat.(*ast.PWild); !ok {
+		t.Fatalf("pattern %T, want wildcard", seq.Pat)
+	}
+	if _, ok := seq.Rhs.(*ast.App); !ok {
+		t.Fatalf("rhs %T", seq.Rhs)
+	}
+}
+
+func TestSequencingChains(t *testing.T) {
+	d := parseOne(t, "let x = a; b; c;;").(*ast.DLet)
+	// a; (b; c)
+	outer := d.Rhs.(*ast.Let)
+	if _, ok := outer.Body.(*ast.Let); !ok {
+		t.Fatalf("inner %T", outer.Body)
+	}
+}
+
+func TestSemicolonStillSeparatesListElements(t *testing.T) {
+	d := parseOne(t, "let x = [f 1; 2; g 3];;").(*ast.DLet)
+	lst := d.Rhs.(*ast.ListLit)
+	if len(lst.Elems) != 3 {
+		t.Fatalf("elems = %d", len(lst.Elems))
+	}
+}
+
+func TestPaperItermemBodySyntax(t *testing.T) {
+	// The paper's Fig. 4 inner recursion, verbatim shape:
+	//   let rec f z = let (z', y) = loop (z, inp x) in out y; f z'
+	src := `
+let mk inp loop out z x =
+  let rec f z =
+    let (z', y) = loop (z, inp x) in
+    out y; f z' in
+  f z;;
+`
+	if _, err := Parse(src); err != nil {
+		t.Fatalf("paper syntax rejected: %v", err)
+	}
+}

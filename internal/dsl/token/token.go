@@ -1,0 +1,106 @@
+// Package token defines the lexical tokens of the SKiPPER specification
+// language, the Caml subset in which applications are written (paper §3).
+package token
+
+import "fmt"
+
+// Kind identifies a class of lexical token.
+type Kind int
+
+// Token kinds. Keywords mirror the Caml constructs the paper's source
+// programs use; EXTERN and TYPE replace the out-of-band C prototypes.
+const (
+	EOF Kind = iota
+	IDENT
+	INT
+	FLOAT
+	STRING
+
+	// Keywords
+	LET
+	REC
+	IN
+	FUN
+	IF
+	THEN
+	ELSE
+	TYPE
+	EXTERN
+	TRUE
+	FALSE
+
+	// Punctuation and operators
+	LPAREN    // (
+	RPAREN    // )
+	LBRACKET  // [
+	RBRACKET  // ]
+	COMMA     // ,
+	SEMI      // ;
+	SEMISEMI  // ;;
+	ARROW     // ->
+	EQ        // =
+	COLON     // :
+	STAR      // *
+	PLUS      // +
+	MINUS     // -
+	SLASH     // /
+	LT        // <
+	GT        // >
+	LE        // <=
+	GE        // >=
+	NE        // <>
+	QUOTE     // ' (type variables)
+	UNDERSCOR // _
+	PLUSDOT   // +.
+	MINUSDOT  // -.
+	STARDOT   // *.
+	SLASHDOT  // /.
+)
+
+var names = map[Kind]string{
+	EOF: "EOF", IDENT: "IDENT", INT: "INT", FLOAT: "FLOAT", STRING: "STRING",
+	LET: "let", REC: "rec", IN: "in", FUN: "fun", IF: "if", THEN: "then",
+	ELSE: "else", TYPE: "type", EXTERN: "extern", TRUE: "true", FALSE: "false",
+	LPAREN: "(", RPAREN: ")", LBRACKET: "[", RBRACKET: "]", COMMA: ",",
+	SEMI: ";", SEMISEMI: ";;", ARROW: "->", EQ: "=", COLON: ":", STAR: "*",
+	PLUS: "+", MINUS: "-", SLASH: "/", LT: "<", GT: ">", LE: "<=", GE: ">=",
+	NE: "<>", QUOTE: "'", UNDERSCOR: "_",
+	PLUSDOT: "+.", MINUSDOT: "-.", STARDOT: "*.", SLASHDOT: "/.",
+}
+
+// String returns the display name of the kind.
+func (k Kind) String() string {
+	if s, ok := names[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+// Keywords maps keyword spellings to their kinds.
+var Keywords = map[string]Kind{
+	"let": LET, "rec": REC, "in": IN, "fun": FUN, "if": IF, "then": THEN,
+	"else": ELSE, "type": TYPE, "extern": EXTERN, "true": TRUE, "false": FALSE,
+}
+
+// Pos is a source position (1-based line and column).
+type Pos struct {
+	Line, Col int
+}
+
+func (p Pos) String() string { return fmt.Sprintf("%d:%d", p.Line, p.Col) }
+
+// Token is one lexical token with its source text and position.
+type Token struct {
+	Kind Kind
+	Text string
+	Pos  Pos
+}
+
+func (t Token) String() string {
+	switch t.Kind {
+	case IDENT, INT, FLOAT, STRING:
+		return fmt.Sprintf("%s(%q)", t.Kind, t.Text)
+	default:
+		return t.Kind.String()
+	}
+}

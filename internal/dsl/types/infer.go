@@ -1,0 +1,555 @@
+package types
+
+import (
+	"fmt"
+
+	"skipper/internal/dsl/ast"
+	"skipper/internal/dsl/token"
+)
+
+// Error is a type error with its source position.
+type Error struct {
+	Pos token.Pos
+	Msg string
+}
+
+func (e *Error) Error() string { return fmt.Sprintf("%s: type error: %s", e.Pos, e.Msg) }
+
+// Env maps names to type schemes.
+type Env struct {
+	parent *Env
+	vars   map[string]*Scheme
+}
+
+// NewEnv returns an empty environment with the given parent (nil for root).
+func NewEnv(parent *Env) *Env {
+	return &Env{parent: parent, vars: map[string]*Scheme{}}
+}
+
+// Lookup finds a name in the environment chain.
+func (e *Env) Lookup(name string) (*Scheme, bool) {
+	for env := e; env != nil; env = env.parent {
+		if s, ok := env.vars[name]; ok {
+			return s, true
+		}
+	}
+	return nil, false
+}
+
+// Bind adds a binding to this frame.
+func (e *Env) Bind(name string, s *Scheme) { e.vars[name] = s }
+
+// free collects the free variables of every scheme in the chain.
+func (e *Env) free() map[*Var]bool {
+	acc := map[*Var]bool{}
+	for env := e; env != nil; env = env.parent {
+		for _, s := range env.vars {
+			inner := map[*Var]bool{}
+			freeVars(s.Body, inner)
+			bound := map[*Var]bool{}
+			for _, v := range s.Vars {
+				bound[v] = true
+			}
+			for v := range inner {
+				if !bound[v] {
+					acc[v] = true
+				}
+			}
+		}
+	}
+	return acc
+}
+
+// Info is the result of type checking a program.
+type Info struct {
+	// Types holds the inferred scheme of every top-level binding in
+	// declaration order (later bindings shadow earlier ones in Env).
+	Types map[string]*Scheme
+	// Order lists top-level binding names in declaration order.
+	Order []string
+	// AbstractTypes lists the names declared with `type t;;`.
+	AbstractTypes []string
+	// Externs maps extern names to their declared schemes.
+	Externs map[string]*Scheme
+}
+
+// Checker carries inference state.
+type Checker struct {
+	nextID   int
+	abstract map[string]bool
+	env      *Env
+	info     *Info
+}
+
+// Builtin skeleton and higher-order function signatures; fresh instances are
+// created per Checker so unification cannot leak between programs.
+func (c *Checker) installBuiltins() {
+	// map : ('a -> 'b) -> 'a list -> 'b list
+	a, b := c.fresh(), c.fresh()
+	c.env.Bind("map", &Scheme{Vars: []*Var{a, b},
+		Body: ArrowN([]Type{&Arrow{From: a, To: b}, List(a)}, List(b))})
+
+	// fold_left : ('c -> 'b -> 'c) -> 'c -> 'b list -> 'c
+	cc, bb := c.fresh(), c.fresh()
+	c.env.Bind("fold_left", &Scheme{Vars: []*Var{cc, bb},
+		Body: ArrowN([]Type{ArrowN([]Type{cc, bb}, cc), cc, List(bb)}, cc)})
+
+	// scm : int -> ('a -> 'b list) -> ('b -> 'c) -> ('c list -> 'd) -> 'a -> 'd
+	sa, sb, sc, sd := c.fresh(), c.fresh(), c.fresh(), c.fresh()
+	c.env.Bind("scm", &Scheme{Vars: []*Var{sa, sb, sc, sd},
+		Body: ArrowN([]Type{
+			Int,
+			&Arrow{From: sa, To: List(sb)},
+			&Arrow{From: sb, To: sc},
+			&Arrow{From: List(sc), To: sd},
+			sa,
+		}, sd)})
+
+	// df : int -> ('a -> 'b) -> ('c -> 'b -> 'c) -> 'c -> 'a list -> 'c
+	da, db, dc := c.fresh(), c.fresh(), c.fresh()
+	c.env.Bind("df", &Scheme{Vars: []*Var{da, db, dc},
+		Body: ArrowN([]Type{
+			Int,
+			&Arrow{From: da, To: db},
+			ArrowN([]Type{dc, db}, dc),
+			dc,
+			List(da),
+		}, dc)})
+
+	// tf : int -> ('a -> 'b list * 'a list) -> ('c -> 'b -> 'c) -> 'c -> 'a list -> 'c
+	ta, tb, tc := c.fresh(), c.fresh(), c.fresh()
+	c.env.Bind("tf", &Scheme{Vars: []*Var{ta, tb, tc},
+		Body: ArrowN([]Type{
+			Int,
+			&Arrow{From: ta, To: &Tuple{Elems: []Type{List(tb), List(ta)}}},
+			ArrowN([]Type{tc, tb}, tc),
+			tc,
+			List(ta),
+		}, tc)})
+
+	// itermem : ('a -> 'b) -> ('c * 'b -> 'c * 'd) -> ('d -> unit) -> 'c -> 'a -> unit
+	ia, ib, ic, id := c.fresh(), c.fresh(), c.fresh(), c.fresh()
+	c.env.Bind("itermem", &Scheme{Vars: []*Var{ia, ib, ic, id},
+		Body: ArrowN([]Type{
+			&Arrow{From: ia, To: ib},
+			&Arrow{From: &Tuple{Elems: []Type{ic, ib}}, To: &Tuple{Elems: []Type{ic, id}}},
+			&Arrow{From: id, To: Unit},
+			ic,
+			ia,
+		}, Unit)})
+}
+
+// SkeletonNames are the identifiers reserved for skeletons.
+var SkeletonNames = map[string]bool{"scm": true, "df": true, "tf": true, "itermem": true}
+
+// Check type-checks a program and returns the inference results.
+func Check(prog *ast.Program) (*Info, error) {
+	c := &Checker{
+		abstract: map[string]bool{},
+		env:      NewEnv(nil),
+		info: &Info{
+			Types:   map[string]*Scheme{},
+			Externs: map[string]*Scheme{},
+		},
+	}
+	c.installBuiltins()
+	for _, d := range prog.Decls {
+		if err := c.decl(d); err != nil {
+			return nil, err
+		}
+	}
+	return c.info, nil
+}
+
+func (c *Checker) fresh() *Var {
+	c.nextID++
+	return &Var{ID: c.nextID}
+}
+
+func (c *Checker) errf(pos token.Pos, format string, args ...any) error {
+	return &Error{Pos: pos, Msg: fmt.Sprintf(format, args...)}
+}
+
+func (c *Checker) decl(d ast.Decl) error {
+	switch d := d.(type) {
+	case *ast.DType:
+		if c.abstract[d.Name] || isBuiltinCon(d.Name) {
+			return c.errf(d.Pos, "type %s already declared", d.Name)
+		}
+		c.abstract[d.Name] = true
+		c.info.AbstractTypes = append(c.info.AbstractTypes, d.Name)
+		return nil
+
+	case *ast.DExtern:
+		sch, err := c.convertSig(d.Sig, d.Pos)
+		if err != nil {
+			return err
+		}
+		c.env.Bind(d.Name, sch)
+		c.info.Externs[d.Name] = sch
+		return nil
+
+	case *ast.DLet:
+		rhsEnv := c.env
+		var recVar *Var
+		if d.Rec && d.Name != "_" {
+			// Monomorphic recursion: the name is visible in its own body
+			// at a fresh monotype, unified with the inferred type.
+			recVar = c.fresh()
+			rhsEnv = NewEnv(c.env)
+			rhsEnv.Bind(d.Name, Mono(recVar))
+		}
+		t, err := c.infer(rhsEnv, d.Rhs)
+		if err != nil {
+			return err
+		}
+		if recVar != nil {
+			if err := Unify(recVar, t); err != nil {
+				return c.errf(d.Pos, "recursive binding %s: %v", d.Name, err)
+			}
+		}
+		sch := c.generalize(c.env, t)
+		if d.Name != "_" {
+			c.env.Bind(d.Name, sch)
+			c.info.Types[d.Name] = sch
+			c.info.Order = append(c.info.Order, d.Name)
+		}
+		return nil
+	}
+	return fmt.Errorf("unknown declaration %T", d)
+}
+
+func isBuiltinCon(name string) bool {
+	switch name {
+	case "int", "float", "bool", "string", "unit", "list":
+		return true
+	}
+	return false
+}
+
+// convertSig converts a surface type expression to a Scheme, creating one
+// quantified variable per distinct 'a name and validating constructor names.
+func (c *Checker) convertSig(te ast.TypeExpr, pos token.Pos) (*Scheme, error) {
+	vars := map[string]*Var{}
+	t, err := c.convertType(te, vars, pos)
+	if err != nil {
+		return nil, err
+	}
+	qs := make([]*Var, 0, len(vars))
+	for _, v := range vars {
+		qs = append(qs, v)
+	}
+	return &Scheme{Vars: qs, Body: t}, nil
+}
+
+func (c *Checker) convertType(te ast.TypeExpr, vars map[string]*Var, pos token.Pos) (Type, error) {
+	switch te := te.(type) {
+	case *ast.TEVar:
+		v, ok := vars[te.Name]
+		if !ok {
+			v = c.fresh()
+			vars[te.Name] = v
+		}
+		return v, nil
+	case *ast.TECon:
+		args := make([]Type, len(te.Args))
+		for i, a := range te.Args {
+			t, err := c.convertType(a, vars, pos)
+			if err != nil {
+				return nil, err
+			}
+			args[i] = t
+		}
+		switch {
+		case te.Name == "list":
+			if len(args) != 1 {
+				return nil, c.errf(pos, "list expects 1 argument, got %d", len(args))
+			}
+			return &Con{Name: "list", Args: args}, nil
+		case isBuiltinCon(te.Name):
+			if len(args) != 0 {
+				return nil, c.errf(pos, "type %s takes no arguments", te.Name)
+			}
+			return &Con{Name: te.Name}, nil
+		case c.abstract[te.Name]:
+			if len(args) != 0 {
+				return nil, c.errf(pos, "abstract type %s takes no arguments", te.Name)
+			}
+			return &Con{Name: te.Name}, nil
+		default:
+			return nil, c.errf(pos, "unknown type constructor %q", te.Name)
+		}
+	case *ast.TEArrow:
+		from, err := c.convertType(te.From, vars, pos)
+		if err != nil {
+			return nil, err
+		}
+		to, err := c.convertType(te.To, vars, pos)
+		if err != nil {
+			return nil, err
+		}
+		return &Arrow{From: from, To: to}, nil
+	case *ast.TETuple:
+		elems := make([]Type, len(te.Elems))
+		for i, e := range te.Elems {
+			t, err := c.convertType(e, vars, pos)
+			if err != nil {
+				return nil, err
+			}
+			elems[i] = t
+		}
+		return &Tuple{Elems: elems}, nil
+	}
+	return nil, c.errf(pos, "unsupported type expression %T", te)
+}
+
+// instantiate replaces a scheme's quantified variables by fresh ones.
+func (c *Checker) instantiate(s *Scheme) Type {
+	if len(s.Vars) == 0 {
+		return s.Body
+	}
+	subst := map[*Var]Type{}
+	for _, v := range s.Vars {
+		subst[v] = c.fresh()
+	}
+	return substitute(s.Body, subst)
+}
+
+func substitute(t Type, subst map[*Var]Type) Type {
+	switch t := prune(t).(type) {
+	case *Var:
+		if r, ok := subst[t]; ok {
+			return r
+		}
+		return t
+	case *Con:
+		if len(t.Args) == 0 {
+			return t
+		}
+		args := make([]Type, len(t.Args))
+		for i, a := range t.Args {
+			args[i] = substitute(a, subst)
+		}
+		return &Con{Name: t.Name, Args: args}
+	case *Arrow:
+		return &Arrow{From: substitute(t.From, subst), To: substitute(t.To, subst)}
+	case *Tuple:
+		elems := make([]Type, len(t.Elems))
+		for i, e := range t.Elems {
+			elems[i] = substitute(e, subst)
+		}
+		return &Tuple{Elems: elems}
+	}
+	return t
+}
+
+// generalize quantifies the variables of t that are not free in env.
+func (c *Checker) generalize(env *Env, t Type) *Scheme {
+	envFree := env.free()
+	var qs []*Var
+	for _, v := range FreeVars(t) {
+		if !envFree[v] {
+			qs = append(qs, v)
+		}
+	}
+	return &Scheme{Vars: qs, Body: t}
+}
+
+// bindPattern unifies a pattern against a type and binds its variables
+// (monomorphically) in env.
+func (c *Checker) bindPattern(env *Env, p ast.Pattern, t Type) error {
+	switch p := p.(type) {
+	case *ast.PVar:
+		env.Bind(p.Name, Mono(t))
+		return nil
+	case *ast.PWild:
+		return nil
+	case *ast.PUnit:
+		if err := Unify(t, Unit); err != nil {
+			return c.errf(p.Pos, "pattern () requires unit, got %s", TypeString(t))
+		}
+		return nil
+	case *ast.PTuple:
+		elems := make([]Type, len(p.Elems))
+		for i := range elems {
+			elems[i] = c.fresh()
+		}
+		if err := Unify(t, &Tuple{Elems: elems}); err != nil {
+			return c.errf(token.Pos{}, "tuple pattern %s does not match %s", p, TypeString(t))
+		}
+		for i, sub := range p.Elems {
+			if err := c.bindPattern(env, sub, elems[i]); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	return fmt.Errorf("unknown pattern %T", p)
+}
+
+// infer implements Algorithm W over the expression language.
+func (c *Checker) infer(env *Env, e ast.Expr) (Type, error) {
+	switch e := e.(type) {
+	case *ast.IntLit:
+		return Int, nil
+	case *ast.FloatLit:
+		return Float, nil
+	case *ast.BoolLit:
+		return Bool, nil
+	case *ast.StringLit:
+		return String, nil
+	case *ast.UnitLit:
+		return Unit, nil
+
+	case *ast.Ident:
+		s, ok := env.Lookup(e.Name)
+		if !ok {
+			return nil, c.errf(e.NamePos, "unbound identifier %q", e.Name)
+		}
+		return c.instantiate(s), nil
+
+	case *ast.Tuple:
+		elems := make([]Type, len(e.Elems))
+		for i, el := range e.Elems {
+			t, err := c.infer(env, el)
+			if err != nil {
+				return nil, err
+			}
+			elems[i] = t
+		}
+		return &Tuple{Elems: elems}, nil
+
+	case *ast.ListLit:
+		elem := Type(c.fresh())
+		for _, el := range e.Elems {
+			t, err := c.infer(env, el)
+			if err != nil {
+				return nil, err
+			}
+			if err := Unify(elem, t); err != nil {
+				return nil, c.errf(el.Pos(), "list elements disagree: %v", err)
+			}
+		}
+		return List(elem), nil
+
+	case *ast.App:
+		fn, err := c.infer(env, e.Fn)
+		if err != nil {
+			return nil, err
+		}
+		arg, err := c.infer(env, e.Arg)
+		if err != nil {
+			return nil, err
+		}
+		res := c.fresh()
+		if err := Unify(fn, &Arrow{From: arg, To: res}); err != nil {
+			return nil, c.errf(e.Pos(), "cannot apply %s to argument of type %s",
+				TypeString(fn), TypeString(arg))
+		}
+		return res, nil
+
+	case *ast.Lambda:
+		inner := NewEnv(env)
+		params := make([]Type, len(e.Params))
+		for i, p := range e.Params {
+			pv := c.fresh()
+			params[i] = pv
+			if err := c.bindPattern(inner, p, pv); err != nil {
+				return nil, err
+			}
+		}
+		body, err := c.infer(inner, e.Body)
+		if err != nil {
+			return nil, err
+		}
+		return ArrowN(params, body), nil
+
+	case *ast.Let:
+		rhsEnv := env
+		var recVar *Var
+		if e.Rec {
+			pv, ok := e.Pat.(*ast.PVar)
+			if !ok {
+				return nil, c.errf(e.LetPos, "let rec requires a simple name")
+			}
+			recVar = c.fresh()
+			rhsEnv = NewEnv(env)
+			rhsEnv.Bind(pv.Name, Mono(recVar))
+		}
+		rhs, err := c.infer(rhsEnv, e.Rhs)
+		if err != nil {
+			return nil, err
+		}
+		if recVar != nil {
+			if err := Unify(recVar, rhs); err != nil {
+				return nil, c.errf(e.LetPos, "recursive binding: %v", err)
+			}
+		}
+		inner := NewEnv(env)
+		if pv, ok := e.Pat.(*ast.PVar); ok {
+			// let-polymorphism on simple bindings
+			inner.Bind(pv.Name, c.generalize(env, rhs))
+		} else if err := c.bindPattern(inner, e.Pat, rhs); err != nil {
+			return nil, err
+		}
+		return c.infer(inner, e.Body)
+
+	case *ast.If:
+		cond, err := c.infer(env, e.Cond)
+		if err != nil {
+			return nil, err
+		}
+		if err := Unify(cond, Bool); err != nil {
+			return nil, c.errf(e.Cond.Pos(), "if condition must be bool, got %s", TypeString(cond))
+		}
+		thn, err := c.infer(env, e.Then)
+		if err != nil {
+			return nil, err
+		}
+		els, err := c.infer(env, e.Else)
+		if err != nil {
+			return nil, err
+		}
+		if err := Unify(thn, els); err != nil {
+			return nil, c.errf(e.Pos(), "if branches disagree: %s vs %s",
+				TypeString(thn), TypeString(els))
+		}
+		return thn, nil
+
+	case *ast.BinOp:
+		l, err := c.infer(env, e.L)
+		if err != nil {
+			return nil, err
+		}
+		r, err := c.infer(env, e.R)
+		if err != nil {
+			return nil, err
+		}
+		switch e.Op {
+		case "+", "-", "*", "/":
+			if err := Unify(l, Int); err != nil {
+				return nil, c.errf(e.L.Pos(), "operator %s requires int, got %s", e.Op, TypeString(l))
+			}
+			if err := Unify(r, Int); err != nil {
+				return nil, c.errf(e.R.Pos(), "operator %s requires int, got %s", e.Op, TypeString(r))
+			}
+			return Int, nil
+		case "+.", "-.", "*.", "/.":
+			if err := Unify(l, Float); err != nil {
+				return nil, c.errf(e.L.Pos(), "operator %s requires float, got %s", e.Op, TypeString(l))
+			}
+			if err := Unify(r, Float); err != nil {
+				return nil, c.errf(e.R.Pos(), "operator %s requires float, got %s", e.Op, TypeString(r))
+			}
+			return Float, nil
+		case "=", "<>", "<", ">", "<=", ">=":
+			if err := Unify(l, r); err != nil {
+				return nil, c.errf(e.Pos(), "comparison of %s with %s",
+					TypeString(l), TypeString(r))
+			}
+			return Bool, nil
+		}
+		return nil, c.errf(e.Pos(), "unknown operator %q", e.Op)
+	}
+	return nil, fmt.Errorf("unknown expression %T", e)
+}

@@ -1,0 +1,292 @@
+package types
+
+import (
+	"strings"
+	"testing"
+
+	"skipper/internal/dsl/parser"
+)
+
+func inferProgram(t *testing.T, src string) *Info {
+	t.Helper()
+	prog, err := parser.Parse(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	info, err := Check(prog)
+	if err != nil {
+		t.Fatalf("check: %v", err)
+	}
+	return info
+}
+
+func typeOf(t *testing.T, src, name string) string {
+	t.Helper()
+	info := inferProgram(t, src)
+	s, ok := info.Types[name]
+	if !ok {
+		t.Fatalf("no type for %q", name)
+	}
+	return s.String()
+}
+
+func mustFailCheck(t *testing.T, src, wantSub string) {
+	t.Helper()
+	prog, err := parser.Parse(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	_, err = Check(prog)
+	if err == nil {
+		t.Fatalf("Check(%q) should fail", src)
+	}
+	if wantSub != "" && !strings.Contains(err.Error(), wantSub) {
+		t.Fatalf("error %q does not mention %q", err, wantSub)
+	}
+}
+
+func TestLiteralTypes(t *testing.T) {
+	cases := map[string]string{
+		"let a = 1;;":       "int",
+		"let a = 1.5;;":     "float",
+		"let a = true;;":    "bool",
+		`let a = "s";;`:     "string",
+		"let a = ();;":      "unit",
+		"let a = (1, 2);;":  "int * int",
+		"let a = [1; 2];;":  "int list",
+		"let a = [];;":      "'a list",
+		"let a = [(1,2)];;": "(int * int) list",
+	}
+	for src, want := range cases {
+		if got := typeOf(t, src, "a"); got != want {
+			t.Errorf("%s: got %q, want %q", src, got, want)
+		}
+	}
+}
+
+func TestIdentityIsPolymorphic(t *testing.T) {
+	if got := typeOf(t, "let id x = x;;", "id"); got != "'a -> 'a" {
+		t.Fatalf("id : %q", got)
+	}
+}
+
+func TestLetPolymorphism(t *testing.T) {
+	// id used at two different types in one body.
+	src := "let a = let id = fun x -> x in (id 1, id true);;"
+	if got := typeOf(t, src, "a"); got != "int * bool" {
+		t.Fatalf("a : %q", got)
+	}
+}
+
+func TestLambdaParamIsMonomorphic(t *testing.T) {
+	// A lambda-bound variable must not be polymorphic.
+	mustFailCheck(t, "let bad = fun f -> (f 1, f true);;", "")
+}
+
+func TestComposition(t *testing.T) {
+	src := "let compose f g x = f (g x);;"
+	if got := typeOf(t, src, "compose"); got != "('a -> 'b) -> ('c -> 'a) -> 'c -> 'b" {
+		t.Fatalf("compose : %q", got)
+	}
+}
+
+func TestArithmeticAndComparison(t *testing.T) {
+	if got := typeOf(t, "let f x = x + 1;;", "f"); got != "int -> int" {
+		t.Fatalf("f : %q", got)
+	}
+	if got := typeOf(t, "let g x y = x < y;;", "g"); got != "'a -> 'a -> bool" {
+		t.Fatalf("g : %q", got)
+	}
+	mustFailCheck(t, "let bad = 1 + true;;", "requires int")
+	mustFailCheck(t, `let bad = 1 = "x";;`, "comparison")
+}
+
+func TestIfTyping(t *testing.T) {
+	if got := typeOf(t, "let f x = if x then 1 else 2;;", "f"); got != "bool -> int" {
+		t.Fatalf("f : %q", got)
+	}
+	mustFailCheck(t, "let bad = if 1 then 2 else 3;;", "bool")
+	mustFailCheck(t, "let bad = if true then 1 else false;;", "branches")
+}
+
+func TestListElementAgreement(t *testing.T) {
+	mustFailCheck(t, "let bad = [1; true];;", "list elements")
+}
+
+func TestTuplePatternTyping(t *testing.T) {
+	src := "let swap (a, b) = (b, a);;"
+	if got := typeOf(t, src, "swap"); got != "'a * 'b -> 'b * 'a" {
+		t.Fatalf("swap : %q", got)
+	}
+}
+
+func TestUnboundIdentifier(t *testing.T) {
+	mustFailCheck(t, "let a = nope;;", "unbound identifier")
+}
+
+func TestOccursCheck(t *testing.T) {
+	mustFailCheck(t, "let f x = x x;;", "")
+}
+
+func TestBuiltinMapFold(t *testing.T) {
+	if got := typeOf(t, "let f = map;;", "f"); got != "('a -> 'b) -> 'a list -> 'b list" {
+		t.Fatalf("map : %q", got)
+	}
+	src := "let sum xs = fold_left (fun a b -> a + b) 0 xs;;"
+	if got := typeOf(t, src, "sum"); got != "int list -> int" {
+		t.Fatalf("sum : %q", got)
+	}
+}
+
+func TestDFSignatureMatchesPaper(t *testing.T) {
+	// val df : int -> ('a -> 'b) -> ('c -> 'b -> 'c) -> 'c -> 'a list -> 'c
+	if got := typeOf(t, "let d = df;;", "d"); got != "int -> ('a -> 'b) -> ('c -> 'b -> 'c) -> 'c -> 'a list -> 'c" {
+		t.Fatalf("df : %q", got)
+	}
+}
+
+func TestDFDeclarativeDefinitionChecks(t *testing.T) {
+	// The paper's own declarative definition must typecheck against the
+	// builtin combinators: let df n comp acc z xs = fold_left acc z (map comp xs)
+	src := "let mydf n comp acc z xs = fold_left acc z (map comp xs);;"
+	got := typeOf(t, src, "mydf")
+	if got != "'a -> ('b -> 'c) -> ('d -> 'c -> 'd) -> 'd -> 'b list -> 'd" {
+		t.Fatalf("mydf : %q", got)
+	}
+}
+
+func TestItermemSignatureMatchesPaper(t *testing.T) {
+	want := "('a -> 'b) -> ('c * 'b -> 'c * 'd) -> ('d -> unit) -> 'c -> 'a -> unit"
+	if got := typeOf(t, "let i = itermem;;", "i"); got != want {
+		t.Fatalf("itermem : %q, want %q", got, want)
+	}
+}
+
+func TestAbstractTypesAndExterns(t *testing.T) {
+	src := `
+type img;;
+extern read_img : int * int -> img;;
+let im = read_img (512, 512);;
+`
+	if got := typeOf(t, src, "im"); got != "img" {
+		t.Fatalf("im : %q", got)
+	}
+}
+
+func TestExternUnknownTypeRejected(t *testing.T) {
+	mustFailCheck(t, "extern f : nothere -> int;;", "unknown type constructor")
+}
+
+func TestDuplicateTypeDeclRejected(t *testing.T) {
+	mustFailCheck(t, "type img;; type img;;", "already declared")
+	mustFailCheck(t, "type int;;", "already declared")
+}
+
+func TestAbstractTypeArityRejected(t *testing.T) {
+	mustFailCheck(t, "type img;; extern f : int img -> int;;", "takes no arguments")
+	mustFailCheck(t, "extern f : int int -> bool;;", "takes no arguments")
+}
+
+func TestExternPolymorphicSignature(t *testing.T) {
+	src := `
+extern choose : 'a -> 'a -> 'a;;
+let a = choose 1 2;;
+let b = choose true false;;
+`
+	info := inferProgram(t, src)
+	if info.Types["a"].String() != "int" || info.Types["b"].String() != "bool" {
+		t.Fatalf("a : %s, b : %s", info.Types["a"], info.Types["b"])
+	}
+}
+
+func TestPaperProgramTypes(t *testing.T) {
+	src := `
+type img;;
+type state;;
+type window;;
+type mark;;
+extern read_img : int * int -> img;;
+extern init_state : unit -> state;;
+extern get_windows : int -> state -> img -> window list;;
+extern detect_mark : window -> mark;;
+extern accum_marks : mark list -> mark -> mark list;;
+extern predict : mark list -> state * mark list;;
+extern display_marks : mark list -> unit;;
+extern empty_list : mark list;;
+
+let nproc = 8;;
+let s0 = init_state ();;
+let loop (state, im) =
+  let ws = get_windows nproc state im in
+  let marks = df nproc detect_mark accum_marks empty_list ws in
+  predict marks;;
+let main = itermem read_img loop display_marks s0 (512, 512);;
+`
+	info := inferProgram(t, src)
+	if got := info.Types["loop"].String(); got != "state * img -> state * mark list" {
+		t.Fatalf("loop : %q", got)
+	}
+	if got := info.Types["main"].String(); got != "unit" {
+		t.Fatalf("main : %q", got)
+	}
+	if got := info.Types["nproc"].String(); got != "int" {
+		t.Fatalf("nproc : %q", got)
+	}
+	if len(info.AbstractTypes) != 4 {
+		t.Fatalf("abstract types: %v", info.AbstractTypes)
+	}
+	if len(info.Order) != 4 {
+		t.Fatalf("order: %v", info.Order)
+	}
+}
+
+func TestPaperProgramWrongWiringRejected(t *testing.T) {
+	// Swapping detect_mark and accum_marks must be a type error.
+	src := `
+type window;;
+type mark;;
+extern detect_mark : window -> mark;;
+extern accum_marks : mark list -> mark -> mark list;;
+extern empty_list : mark list;;
+let bad ws = df 8 accum_marks detect_mark empty_list ws;;
+`
+	mustFailCheck(t, src, "")
+}
+
+func TestShadowing(t *testing.T) {
+	src := "let a = 1;; let a = true;; let b = a;;"
+	if got := typeOf(t, src, "b"); got != "bool" {
+		t.Fatalf("b : %q", got)
+	}
+}
+
+func TestWildcardTopLevelNotRecorded(t *testing.T) {
+	info := inferProgram(t, "let _ = 1;;")
+	if len(info.Order) != 0 {
+		t.Fatalf("wildcard binding recorded: %v", info.Order)
+	}
+}
+
+func TestUnifyErrorMessage(t *testing.T) {
+	err := Unify(Int, Bool)
+	if err == nil || !strings.Contains(err.Error(), "int") || !strings.Contains(err.Error(), "bool") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestTypeStringCanonicalNames(t *testing.T) {
+	v1, v2 := &Var{ID: 100}, &Var{ID: 200}
+	s := TypeString(&Arrow{From: v1, To: &Arrow{From: v2, To: v1}})
+	if s != "'a -> 'b -> 'a" {
+		t.Fatalf("got %q", s)
+	}
+}
+
+func TestAlphaEquivalenceOfInference(t *testing.T) {
+	// Renaming bound variables must not change the inferred type string.
+	a := typeOf(t, "let f x y = (y, x);;", "f")
+	b := typeOf(t, "let f u v = (v, u);;", "f")
+	if a != b {
+		t.Fatalf("alpha-variance: %q vs %q", a, b)
+	}
+}

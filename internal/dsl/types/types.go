@@ -1,0 +1,271 @@
+// Package types implements the polymorphic type discipline of the SKiPPER
+// specification language: Hindley–Milner inference (Algorithm W) with
+// let-polymorphism, exactly the "parsing and polymorphic type-checking"
+// stage of the paper's custom Caml compiler. Type variables ('a, 'b, …)
+// "introduce polymorphism, i.e. the ability for the skeleton to accommodate
+// arguments with various (but related) types" (paper §2).
+package types
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Type is the internal representation of a type: a mutable-variable graph
+// pruned through union-find style reference chasing.
+type Type interface{ typ() }
+
+// Var is a unification variable; Ref is non-nil once bound.
+type Var struct {
+	ID  int
+	Ref Type
+}
+
+// Con is a type constructor application: int, img, list(t), …
+type Con struct {
+	Name string
+	Args []Type
+}
+
+// Arrow is the function type From -> To.
+type Arrow struct {
+	From, To Type
+}
+
+// Tuple is the product type t1 * t2 * …
+type Tuple struct {
+	Elems []Type
+}
+
+func (*Var) typ()   {}
+func (*Con) typ()   {}
+func (*Arrow) typ() {}
+func (*Tuple) typ() {}
+
+// Base type constructors.
+var (
+	Int    = &Con{Name: "int"}
+	Float  = &Con{Name: "float"}
+	Bool   = &Con{Name: "bool"}
+	String = &Con{Name: "string"}
+	Unit   = &Con{Name: "unit"}
+)
+
+// List returns the type t list.
+func List(t Type) Type { return &Con{Name: "list", Args: []Type{t}} }
+
+// Abstract returns a user-declared abstract base type.
+func Abstract(name string) Type { return &Con{Name: name} }
+
+// ArrowN folds a0 -> a1 -> ... -> r.
+func ArrowN(args []Type, r Type) Type {
+	t := r
+	for i := len(args) - 1; i >= 0; i-- {
+		t = &Arrow{From: args[i], To: t}
+	}
+	return t
+}
+
+// prune follows bound variables to the representative type.
+func prune(t Type) Type {
+	for {
+		v, ok := t.(*Var)
+		if !ok || v.Ref == nil {
+			return t
+		}
+		t = v.Ref
+	}
+}
+
+// Prune exposes pruning for clients that inspect inferred types.
+func Prune(t Type) Type { return prune(t) }
+
+// occurs reports whether variable v appears in t.
+func occurs(v *Var, t Type) bool {
+	switch t := prune(t).(type) {
+	case *Var:
+		return t == v
+	case *Con:
+		for _, a := range t.Args {
+			if occurs(v, a) {
+				return true
+			}
+		}
+	case *Arrow:
+		return occurs(v, t.From) || occurs(v, t.To)
+	case *Tuple:
+		for _, e := range t.Elems {
+			if occurs(v, e) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// UnifyError reports a failed unification with the two offending types.
+type UnifyError struct {
+	A, B Type
+}
+
+func (e *UnifyError) Error() string {
+	return fmt.Sprintf("cannot unify %s with %s", TypeString(e.A), TypeString(e.B))
+}
+
+// Unify makes a and b equal, binding variables as needed.
+func Unify(a, b Type) error {
+	a, b = prune(a), prune(b)
+	if av, ok := a.(*Var); ok {
+		if bv, ok := b.(*Var); ok && av == bv {
+			return nil
+		}
+		if occurs(av, b) {
+			return &UnifyError{A: a, B: b}
+		}
+		av.Ref = b
+		return nil
+	}
+	if _, ok := b.(*Var); ok {
+		return Unify(b, a)
+	}
+	switch at := a.(type) {
+	case *Con:
+		bt, ok := b.(*Con)
+		if !ok || at.Name != bt.Name || len(at.Args) != len(bt.Args) {
+			return &UnifyError{A: a, B: b}
+		}
+		for i := range at.Args {
+			if err := Unify(at.Args[i], bt.Args[i]); err != nil {
+				return &UnifyError{A: a, B: b}
+			}
+		}
+		return nil
+	case *Arrow:
+		bt, ok := b.(*Arrow)
+		if !ok {
+			return &UnifyError{A: a, B: b}
+		}
+		if err := Unify(at.From, bt.From); err != nil {
+			return &UnifyError{A: a, B: b}
+		}
+		if err := Unify(at.To, bt.To); err != nil {
+			return &UnifyError{A: a, B: b}
+		}
+		return nil
+	case *Tuple:
+		bt, ok := b.(*Tuple)
+		if !ok || len(at.Elems) != len(bt.Elems) {
+			return &UnifyError{A: a, B: b}
+		}
+		for i := range at.Elems {
+			if err := Unify(at.Elems[i], bt.Elems[i]); err != nil {
+				return &UnifyError{A: a, B: b}
+			}
+		}
+		return nil
+	}
+	return &UnifyError{A: a, B: b}
+}
+
+// Scheme is a polymorphic type scheme ∀ vars . Body.
+type Scheme struct {
+	Vars []*Var
+	Body Type
+}
+
+// Mono wraps a monomorphic type as a scheme with no quantified variables.
+func Mono(t Type) *Scheme { return &Scheme{Body: t} }
+
+// TypeString renders a type with canonical 'a, 'b, … variable names, in the
+// Caml convention: arrows associate right, tuples bind tighter than arrows,
+// constructor application binds tightest.
+func TypeString(t Type) string {
+	names := map[*Var]string{}
+	return typeString(t, names)
+}
+
+// SchemeString renders a scheme's body (quantified variables are displayed
+// the same way Caml displays them: implicitly).
+func (s *Scheme) String() string { return TypeString(s.Body) }
+
+func varName(i int) string {
+	name := string(rune('a' + i%26))
+	if i >= 26 {
+		name = fmt.Sprintf("%s%d", name, i/26)
+	}
+	return "'" + name
+}
+
+func typeString(t Type, names map[*Var]string) string {
+	switch t := prune(t).(type) {
+	case *Var:
+		n, ok := names[t]
+		if !ok {
+			n = varName(len(names))
+			names[t] = n
+		}
+		return n
+	case *Con:
+		if len(t.Args) == 0 {
+			return t.Name
+		}
+		parts := make([]string, len(t.Args))
+		for i, a := range t.Args {
+			parts[i] = typeString(a, names)
+			switch prune(a).(type) {
+			case *Arrow, *Tuple:
+				parts[i] = "(" + parts[i] + ")"
+			}
+		}
+		return strings.Join(parts, " ") + " " + t.Name
+	case *Arrow:
+		from := typeString(t.From, names)
+		if _, ok := prune(t.From).(*Arrow); ok {
+			from = "(" + from + ")"
+		}
+		return from + " -> " + typeString(t.To, names)
+	case *Tuple:
+		parts := make([]string, len(t.Elems))
+		for i, e := range t.Elems {
+			parts[i] = typeString(e, names)
+			switch prune(e).(type) {
+			case *Arrow, *Tuple:
+				parts[i] = "(" + parts[i] + ")"
+			}
+		}
+		return strings.Join(parts, " * ")
+	}
+	return "?"
+}
+
+// freeVars appends the unbound variables of t to acc (deduplicated).
+func freeVars(t Type, acc map[*Var]bool) {
+	switch t := prune(t).(type) {
+	case *Var:
+		acc[t] = true
+	case *Con:
+		for _, a := range t.Args {
+			freeVars(a, acc)
+		}
+	case *Arrow:
+		freeVars(t.From, acc)
+		freeVars(t.To, acc)
+	case *Tuple:
+		for _, e := range t.Elems {
+			freeVars(e, acc)
+		}
+	}
+}
+
+// FreeVars returns the unbound variables of t in deterministic (ID) order.
+func FreeVars(t Type) []*Var {
+	acc := map[*Var]bool{}
+	freeVars(t, acc)
+	out := make([]*Var, 0, len(acc))
+	for v := range acc {
+		out = append(out, v)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}

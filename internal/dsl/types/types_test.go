@@ -1,0 +1,148 @@
+package types
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestUnifyStructuralMismatches(t *testing.T) {
+	cases := []struct{ a, b Type }{
+		{Int, Bool},
+		{List(Int), List(Bool)},
+		{List(Int), Int},
+		{&Arrow{From: Int, To: Int}, Int},
+		{&Tuple{Elems: []Type{Int, Int}}, &Tuple{Elems: []Type{Int}}},
+		{&Tuple{Elems: []Type{Int}}, Int},
+		{&Arrow{From: Int, To: Int}, &Arrow{From: Bool, To: Int}},
+		{&Arrow{From: Int, To: Int}, &Arrow{From: Int, To: Bool}},
+	}
+	for _, c := range cases {
+		if err := Unify(c.a, c.b); err == nil {
+			t.Errorf("Unify(%s, %s) should fail", TypeString(c.a), TypeString(c.b))
+		}
+	}
+}
+
+func TestUnifySuccessAndIdempotence(t *testing.T) {
+	v := &Var{ID: 1}
+	if err := Unify(v, Int); err != nil {
+		t.Fatal(err)
+	}
+	// Unifying again with the same binding succeeds.
+	if err := Unify(v, Int); err != nil {
+		t.Fatal(err)
+	}
+	// Same variable both sides.
+	w := &Var{ID: 2}
+	if err := Unify(w, w); err != nil {
+		t.Fatal(err)
+	}
+	// Var on the right.
+	u := &Var{ID: 3}
+	if err := Unify(Bool, u); err != nil {
+		t.Fatal(err)
+	}
+	if TypeString(u) != "bool" {
+		t.Fatalf("u = %s", TypeString(u))
+	}
+}
+
+func TestOccursCheckDirect(t *testing.T) {
+	v := &Var{ID: 1}
+	if err := Unify(v, List(v)); err == nil {
+		t.Fatal("occurs check missed v = v list")
+	}
+	w := &Var{ID: 2}
+	if err := Unify(w, &Arrow{From: w, To: Int}); err == nil {
+		t.Fatal("occurs check missed arrow")
+	}
+	x := &Var{ID: 3}
+	if err := Unify(x, &Tuple{Elems: []Type{Int, x}}); err == nil {
+		t.Fatal("occurs check missed tuple")
+	}
+}
+
+func TestTypeStringManyVariables(t *testing.T) {
+	// Variable 26 wraps to 'a1.
+	vars := make([]Type, 28)
+	for i := range vars {
+		vars[i] = &Var{ID: i + 1}
+	}
+	s := TypeString(&Tuple{Elems: vars})
+	if !strings.Contains(s, "'a") || !strings.Contains(s, "'a1") {
+		t.Fatalf("naming: %s", s)
+	}
+}
+
+func TestTypeStringNestedShapes(t *testing.T) {
+	ft := &Arrow{From: &Arrow{From: Int, To: Bool}, To: List(&Tuple{Elems: []Type{Int, Float}})}
+	if got := TypeString(ft); got != "(int -> bool) -> (int * float) list" {
+		t.Fatalf("got %q", got)
+	}
+	inner := &Tuple{Elems: []Type{&Tuple{Elems: []Type{Int, Int}}, Bool}}
+	if got := TypeString(inner); got != "(int * int) * bool" {
+		t.Fatalf("got %q", got)
+	}
+}
+
+func TestFreeVarsOrderAndDedup(t *testing.T) {
+	a, b := &Var{ID: 5}, &Var{ID: 2}
+	ty := &Arrow{From: a, To: &Tuple{Elems: []Type{b, a, List(b)}}}
+	vs := FreeVars(ty)
+	if len(vs) != 2 || vs[0].ID != 2 || vs[1].ID != 5 {
+		t.Fatalf("FreeVars = %+v", vs)
+	}
+	// Bound variables are pruned away.
+	if err := Unify(a, Int); err != nil {
+		t.Fatal(err)
+	}
+	vs2 := FreeVars(ty)
+	if len(vs2) != 1 || vs2[0].ID != 2 {
+		t.Fatalf("FreeVars after binding = %+v", vs2)
+	}
+}
+
+func TestArrowNAndHelpers(t *testing.T) {
+	ty := ArrowN([]Type{Int, Bool}, String)
+	if got := TypeString(ty); got != "int -> bool -> string" {
+		t.Fatalf("got %q", got)
+	}
+	if got := TypeString(ArrowN(nil, Unit)); got != "unit" {
+		t.Fatalf("got %q", got)
+	}
+	if got := TypeString(Abstract("img")); got != "img" {
+		t.Fatalf("got %q", got)
+	}
+	if (&Scheme{Body: Int}).String() != "int" {
+		t.Fatal("scheme string")
+	}
+	if Mono(Int).Vars != nil {
+		t.Fatal("Mono should not quantify")
+	}
+}
+
+func TestEnvLookupChainAndShadow(t *testing.T) {
+	root := NewEnv(nil)
+	root.Bind("x", Mono(Int))
+	child := NewEnv(root)
+	child.Bind("x", Mono(Bool))
+	if s, ok := child.Lookup("x"); !ok || s.String() != "bool" {
+		t.Fatal("shadowing broken")
+	}
+	if s, ok := root.Lookup("x"); !ok || s.String() != "int" {
+		t.Fatal("parent binding lost")
+	}
+	if _, ok := child.Lookup("ghost"); ok {
+		t.Fatal("phantom binding")
+	}
+}
+
+func TestPruneExposed(t *testing.T) {
+	v := &Var{ID: 9}
+	if err := Unify(v, List(Int)); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := Prune(v).(*Con); !ok {
+		t.Fatalf("Prune(v) = %T", Prune(v))
+	}
+}

@@ -1,0 +1,605 @@
+package exec
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"skipper/internal/arch"
+	"skipper/internal/graph"
+	"skipper/internal/syndex"
+	"skipper/internal/value"
+)
+
+// sentinel terminates a farm worker's task loop for one iteration.
+type sentinel struct{}
+
+// reply is a worker's answer to its master.
+type reply struct {
+	widx int
+	task int // index of the task within this iteration's input list
+	v    value.Value
+}
+
+// task couples a packet of work with its position in the input list.
+type task struct {
+	idx int
+	v   value.Value
+}
+
+// mailKey addresses a mailbox slot: static edges, farm tasks (per worker)
+// and farm replies (per master).
+type mailKey struct {
+	kind byte // 'e' static edge, 't' farm task, 'r' farm reply
+	edge graph.EdgeID
+	farm graph.NodeID
+	widx int
+}
+
+func ekey(e graph.EdgeID) mailKey        { return mailKey{kind: 'e', edge: e} }
+func tkey(m graph.NodeID, w int) mailKey { return mailKey{kind: 't', farm: m, widx: w} }
+func rkey(m graph.NodeID) mailKey        { return mailKey{kind: 'r', farm: m} }
+
+// packet travels between processors through the routers.
+type packet struct {
+	dst     arch.ProcID
+	key     mailKey
+	payload value.Value
+}
+
+// queue is an unbounded MPSC queue with abort support; routers never block
+// on delivery, which (together with the topologically ordered static
+// schedule) rules out store-and-forward deadlock.
+type queue struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	items  []packet
+	closed bool
+}
+
+func newQueue() *queue {
+	q := &queue{}
+	q.cond = sync.NewCond(&q.mu)
+	return q
+}
+
+func (q *queue) put(p packet) {
+	q.mu.Lock()
+	q.items = append(q.items, p)
+	q.mu.Unlock()
+	q.cond.Signal()
+}
+
+func (q *queue) get() (packet, bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for len(q.items) == 0 && !q.closed {
+		q.cond.Wait()
+	}
+	if len(q.items) == 0 {
+		return packet{}, false
+	}
+	p := q.items[0]
+	q.items = q.items[1:]
+	return p, true
+}
+
+func (q *queue) close() {
+	q.mu.Lock()
+	q.closed = true
+	q.mu.Unlock()
+	q.cond.Broadcast()
+}
+
+// mailbox holds delivered payloads per key, FIFO per key.
+type mailbox struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	slots  map[mailKey][]value.Value
+	closed bool
+}
+
+func newMailbox() *mailbox {
+	m := &mailbox{slots: map[mailKey][]value.Value{}}
+	m.cond = sync.NewCond(&m.mu)
+	return m
+}
+
+func (m *mailbox) deliver(k mailKey, v value.Value) {
+	m.mu.Lock()
+	m.slots[k] = append(m.slots[k], v)
+	m.mu.Unlock()
+	m.cond.Broadcast()
+}
+
+func (m *mailbox) get(k mailKey) (value.Value, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for len(m.slots[k]) == 0 && !m.closed {
+		m.cond.Wait()
+	}
+	if len(m.slots[k]) == 0 {
+		return nil, false
+	}
+	v := m.slots[k][0]
+	m.slots[k] = m.slots[k][1:]
+	return v, true
+}
+
+func (m *mailbox) close() {
+	m.mu.Lock()
+	m.closed = true
+	m.mu.Unlock()
+	m.cond.Broadcast()
+}
+
+// RunResult is the outcome of executing a schedule.
+type RunResult struct {
+	// Outputs collects the value delivered to the Output node at each
+	// iteration, in iteration order. For Output nodes with a display
+	// function, the function has also been called.
+	Outputs []value.Value
+	// Messages is the total number of packets injected into the network
+	// (tasks, replies, sentinels and static communications).
+	Messages int64
+	// Hops is the total number of link traversals performed by the
+	// routers (Messages <= Hops on multi-hop topologies).
+	Hops int64
+}
+
+// Machine executes a static schedule on goroutine "processors" connected by
+// channel "links" — the operational realization of the process graph.
+type Machine struct {
+	sched *syndex.Schedule
+	reg   *value.Registry
+
+	// DeterministicFarm makes df masters accumulate results in input-list
+	// order instead of arrival order. The paper requires the accumulating
+	// function to be commutative and associative precisely because arrival
+	// order is unpredictable; this mode lifts that requirement (at the cost
+	// of buffering all results), making the executive bit-identical to the
+	// sequential emulation even for non-commutative accumulators. tf farms
+	// are unaffected (their task order is itself dynamic).
+	DeterministicFarm bool
+
+	queues []*queue
+	boxes  []*mailbox
+
+	outMu   sync.Mutex
+	outputs map[int]value.Value // iteration -> output
+
+	errMu sync.Mutex
+	err   error
+	wg    sync.WaitGroup // worker goroutines
+
+	messages atomic.Int64
+	hops     atomic.Int64
+}
+
+// NewMachine prepares an executive for the given schedule and registry.
+func NewMachine(sched *syndex.Schedule, reg *value.Registry) *Machine {
+	return &Machine{sched: sched, reg: reg, outputs: map[int]value.Value{}}
+}
+
+// Run executes iters iterations of the distributed program (1 for one-shot
+// graphs) and returns the collected outputs.
+func (m *Machine) Run(iters int) (*RunResult, error) {
+	return m.RunWithTimeout(iters, 0)
+}
+
+// RunWithTimeout is Run with a watchdog: if the executive has not completed
+// within d, every blocked communication is aborted and a timeout error is
+// returned. A zero duration disables the watchdog. The watchdog can only
+// interrupt communication waits — a user sequential function that never
+// returns cannot be cancelled.
+func (m *Machine) RunWithTimeout(iters int, d time.Duration) (*RunResult, error) {
+	if iters < 1 {
+		iters = 1
+	}
+	n := m.sched.Arch.N
+	m.queues = make([]*queue, n)
+	m.boxes = make([]*mailbox, n)
+	for i := 0; i < n; i++ {
+		m.queues[i] = newQueue()
+		m.boxes[i] = newMailbox()
+	}
+	// Routers: one per processor, forwarding store-and-forward packets.
+	var routerWG sync.WaitGroup
+	for i := 0; i < n; i++ {
+		routerWG.Add(1)
+		go func(p arch.ProcID) {
+			defer routerWG.Done()
+			for {
+				pkt, ok := m.queues[p].get()
+				if !ok {
+					return
+				}
+				if pkt.dst == p {
+					m.boxes[p].deliver(pkt.key, pkt.payload)
+					continue
+				}
+				next := m.sched.Arch.NextHop(p, pkt.dst)
+				if next < 0 {
+					m.fail(fmt.Errorf("exec: no route from %d to %d", p, pkt.dst))
+					return
+				}
+				m.hops.Add(1)
+				m.queues[next].put(pkt)
+			}
+		}(arch.ProcID(i))
+	}
+	// Processors.
+	var procWG sync.WaitGroup
+	for i := 0; i < n; i++ {
+		procWG.Add(1)
+		go func(p arch.ProcID) {
+			defer procWG.Done()
+			m.runProcessor(p, iters)
+		}(arch.ProcID(i))
+	}
+	// Watchdog: abort all communication waits if the deadline passes.
+	var watchdog *time.Timer
+	if d > 0 {
+		watchdog = time.AfterFunc(d, func() {
+			m.fail(fmt.Errorf("exec: executive did not complete within %v (communication stalled)", d))
+		})
+	}
+	procWG.Wait()
+	if watchdog != nil {
+		watchdog.Stop()
+	}
+	m.wg.Wait() // farm workers
+	for i := 0; i < n; i++ {
+		m.queues[i].close()
+		m.boxes[i].close()
+	}
+	routerWG.Wait()
+	if err := m.firstErr(); err != nil {
+		return nil, err
+	}
+	res := &RunResult{Messages: m.messages.Load(), Hops: m.hops.Load()}
+	for i := 0; i < iters; i++ {
+		if v, ok := m.outputs[i]; ok {
+			res.Outputs = append(res.Outputs, v)
+		}
+	}
+	return res, nil
+}
+
+// fail records the first error and unblocks everything.
+func (m *Machine) fail(err error) {
+	m.errMu.Lock()
+	already := m.err != nil
+	if !already {
+		m.err = err
+	}
+	m.errMu.Unlock()
+	if already {
+		return
+	}
+	for _, q := range m.queues {
+		q.close()
+	}
+	for _, b := range m.boxes {
+		b.close()
+	}
+}
+
+// firstErr returns the recorded error, if any.
+func (m *Machine) firstErr() error {
+	m.errMu.Lock()
+	defer m.errMu.Unlock()
+	return m.err
+}
+
+// send injects a packet at processor p; the routers take it from there.
+func (m *Machine) send(p arch.ProcID, pkt packet) {
+	m.messages.Add(1)
+	m.queues[p].put(pkt)
+}
+
+// procState is the per-processor, per-iteration execution context.
+type procState struct {
+	p    arch.ProcID
+	outs map[graph.NodeID][]value.Value // local node outputs this iteration
+	recv map[graph.EdgeID]value.Value   // received static edge values
+}
+
+// runProcessor interprets the processor's static program iters times.
+func (m *Machine) runProcessor(p arch.ProcID, iters int) {
+	prog := m.sched.Programs[p]
+	mem := map[graph.NodeID]value.Value{} // Mem node state, persists
+	for iter := 0; iter < iters; iter++ {
+		st := &procState{
+			p:    p,
+			outs: map[graph.NodeID][]value.Value{},
+			recv: map[graph.EdgeID]value.Value{},
+		}
+		for _, op := range prog {
+			if m.firstErr() != nil {
+				return
+			}
+			if err := m.step(st, op, mem, iter); err != nil {
+				m.fail(err)
+				return
+			}
+		}
+	}
+}
+
+// inputsOf gathers a node's input values, in port order, from local outputs
+// or received packets. Back edges are excluded (Mem handles them).
+func (m *Machine) inputsOf(st *procState, id graph.NodeID) ([]value.Value, error) {
+	g := m.sched.Graph
+	var inputs []value.Value
+	for _, e := range g.InEdges(id) {
+		if e.Back || e.Intra {
+			continue
+		}
+		if m.sched.Assign[e.From] == st.p {
+			outs, ok := st.outs[e.From]
+			if !ok || e.FromPort >= len(outs) {
+				return nil, fmt.Errorf("exec: value for edge %d not yet produced at %s",
+					e.ID, g.Node(id).Name)
+			}
+			inputs = append(inputs, outs[e.FromPort])
+		} else {
+			v, ok := st.recv[e.ID]
+			if !ok {
+				return nil, fmt.Errorf("exec: edge %d consumed before receive at %s",
+					e.ID, g.Node(id).Name)
+			}
+			inputs = append(inputs, v)
+		}
+	}
+	return inputs, nil
+}
+
+func (m *Machine) step(st *procState, op syndex.Op, mem map[graph.NodeID]value.Value, iter int) error {
+	g := m.sched.Graph
+	switch op.Kind {
+	case syndex.OpRecv:
+		v, ok := m.boxes[st.p].get(ekey(op.Edge))
+		if !ok {
+			return fmt.Errorf("exec: receive aborted")
+		}
+		st.recv[op.Edge] = v
+		return nil
+
+	case syndex.OpSend:
+		e := g.Edges[op.Edge]
+		outs, ok := st.outs[e.From]
+		if !ok || e.FromPort >= len(outs) {
+			return fmt.Errorf("exec: send of unproduced edge %d", e.ID)
+		}
+		m.send(st.p, packet{dst: op.Peer, key: ekey(e.ID), payload: outs[e.FromPort]})
+		return nil
+
+	case syndex.OpExec:
+		n := g.Node(op.Node)
+		if n.Kind == graph.KindMem {
+			// Read: iteration 0 uses the init input; later iterations use
+			// the stored feedback value.
+			v, ok := mem[n.ID]
+			if !ok {
+				inputs, err := m.inputsOf(st, n.ID)
+				if err != nil {
+					return err
+				}
+				v = inputs[0]
+			}
+			st.outs[n.ID] = []value.Value{v}
+			return nil
+		}
+		inputs, err := m.inputsOf(st, n.ID)
+		if err != nil {
+			return err
+		}
+		outs, err := EvalNode(n, m.reg, inputs)
+		if err != nil {
+			return err
+		}
+		st.outs[n.ID] = outs
+		if n.Kind == graph.KindOutput {
+			m.outMu.Lock()
+			m.outputs[iter] = inputs[0]
+			m.outMu.Unlock()
+		}
+		return nil
+
+	case syndex.OpMemWrite:
+		n := g.Node(op.Node)
+		for _, e := range g.InEdges(n.ID) {
+			if !e.Back {
+				continue
+			}
+			var v value.Value
+			if m.sched.Assign[e.From] == st.p {
+				outs, ok := st.outs[e.From]
+				if !ok || e.FromPort >= len(outs) {
+					return fmt.Errorf("exec: mem feedback not produced")
+				}
+				v = outs[e.FromPort]
+			} else {
+				rv, ok := st.recv[e.ID]
+				if !ok {
+					return fmt.Errorf("exec: mem feedback edge %d not received", e.ID)
+				}
+				v = rv
+			}
+			mem[n.ID] = v
+		}
+		return nil
+
+	case syndex.OpWorker:
+		w := g.Node(op.Node)
+		masterID, comp, err := m.workerWiring(w)
+		if err != nil {
+			return err
+		}
+		masterProc := m.sched.Assign[masterID]
+		m.wg.Add(1)
+		go func(p arch.ProcID) {
+			defer m.wg.Done()
+			for {
+				tv, ok := m.boxes[p].get(tkey(masterID, w.Index))
+				if !ok {
+					return
+				}
+				if _, done := tv.(sentinel); done {
+					return
+				}
+				tk, ok := tv.(task)
+				if !ok {
+					m.fail(fmt.Errorf("exec: worker received non-task payload"))
+					return
+				}
+				y := comp.Fn([]value.Value{tk.v})
+				m.send(p, packet{dst: masterProc, key: rkey(masterID),
+					payload: reply{widx: w.Index, task: tk.idx, v: y}})
+			}
+		}(st.p)
+		return nil
+
+	case syndex.OpMaster:
+		return m.runMaster(st, op.Node)
+	}
+	return fmt.Errorf("exec: unknown op kind %v", op.Kind)
+}
+
+// workerWiring finds a worker's master and compute function.
+func (m *Machine) workerWiring(w *graph.Node) (graph.NodeID, *value.Func, error) {
+	g := m.sched.Graph
+	var masterID graph.NodeID = -1
+	for _, e := range g.InEdges(w.ID) {
+		if g.Node(e.From).Kind == graph.KindMaster {
+			masterID = e.From
+		}
+	}
+	if masterID < 0 {
+		return -1, nil, fmt.Errorf("exec: worker %s has no master", w.Name)
+	}
+	comp, ok := m.reg.Lookup(w.Fn)
+	if !ok {
+		return -1, nil, fmt.Errorf("exec: worker function %q not registered", w.Fn)
+	}
+	return masterID, comp, nil
+}
+
+// runMaster executes the dynamic farm protocol: demand-driven dispatch of
+// the input list to the worker pool, accumulation of results in arrival
+// order, task feedback for tf, and sentinel-based termination.
+func (m *Machine) runMaster(st *procState, id graph.NodeID) error {
+	g := m.sched.Graph
+	n := g.Node(id)
+	inputs, err := m.inputsOf(st, id)
+	if err != nil {
+		return err
+	}
+	xs, ok := inputs[0].(value.List)
+	if !ok {
+		return fmt.Errorf("exec: farm input of %s is not a list", n.Name)
+	}
+	acc := inputs[1]
+	accFn, ok := m.reg.Lookup(n.AccFn)
+	if !ok {
+		return fmt.Errorf("exec: accumulate function %q not registered", n.AccFn)
+	}
+
+	// Worker processor table, indexed by worker index.
+	workerProc := make([]arch.ProcID, n.Workers)
+	for _, e := range g.OutEdges(id) {
+		if w := g.Node(e.To); w.Kind == graph.KindWorker {
+			workerProc[w.Index] = m.sched.Assign[w.ID]
+		}
+	}
+	sendTask := func(widx int, t task) {
+		m.send(st.p, packet{dst: workerProc[widx], key: tkey(id, widx), payload: t})
+	}
+	sendSentinel := func(widx int) {
+		m.send(st.p, packet{dst: workerProc[widx], key: tkey(id, widx), payload: sentinel{}})
+	}
+
+	pending := make([]task, 0, len(xs))
+	for i, x := range xs {
+		pending = append(pending, task{idx: i, v: x})
+	}
+	// In deterministic mode, buffer df results by task index and fold at
+	// the end in input order.
+	var buffered []value.Value
+	deterministic := m.DeterministicFarm && !n.TaskFarm
+	if deterministic {
+		buffered = make([]value.Value, len(xs))
+	}
+	outstanding := 0
+	idle := make([]int, 0, n.Workers)
+	// Initial dispatch: one task per worker while tasks remain.
+	for w := 0; w < n.Workers; w++ {
+		if len(pending) > 0 {
+			sendTask(w, pending[0])
+			pending = pending[1:]
+			outstanding++
+		} else {
+			idle = append(idle, w)
+		}
+	}
+	for outstanding > 0 {
+		rv, ok := m.boxes[st.p].get(rkey(id))
+		if !ok {
+			return fmt.Errorf("exec: master receive aborted")
+		}
+		rep, ok := rv.(reply)
+		if !ok {
+			return fmt.Errorf("exec: master %s received non-reply", n.Name)
+		}
+		outstanding--
+		if n.TaskFarm {
+			pair, ok := rep.v.(value.Tuple)
+			if !ok || len(pair) != 2 {
+				return fmt.Errorf("exec: tf worker must return (results, new-tasks)")
+			}
+			ys, ok1 := pair[0].(value.List)
+			more, ok2 := pair[1].(value.List)
+			if !ok1 || !ok2 {
+				return fmt.Errorf("exec: tf worker returned non-lists")
+			}
+			for _, y := range ys {
+				acc = accFn.Fn([]value.Value{acc, y})
+			}
+			for _, x := range more {
+				pending = append(pending, task{idx: -1, v: x})
+			}
+		} else if deterministic {
+			buffered[rep.task] = rep.v
+		} else {
+			acc = accFn.Fn([]value.Value{acc, rep.v})
+		}
+		if len(pending) > 0 {
+			sendTask(rep.widx, pending[0])
+			pending = pending[1:]
+			outstanding++
+		} else {
+			idle = append(idle, rep.widx)
+		}
+		// Re-dispatch to idle workers when tf feedback refills the queue.
+		for len(pending) > 0 && len(idle) > 0 {
+			w := idle[len(idle)-1]
+			idle = idle[:len(idle)-1]
+			sendTask(w, pending[0])
+			pending = pending[1:]
+			outstanding++
+		}
+	}
+	// Terminate every worker for this iteration.
+	for w := 0; w < n.Workers; w++ {
+		sendSentinel(w)
+	}
+	if deterministic {
+		for _, y := range buffered {
+			acc = accFn.Fn([]value.Value{acc, y})
+		}
+	}
+	st.outs[id] = []value.Value{acc}
+	return nil
+}

@@ -1,0 +1,116 @@
+// Package exec implements SKiPPER's distributed executive: the kernel
+// primitives ("thread creation, communication and synchronisation and
+// sequentialisation of user supplied computation functions and of
+// inter-processor communications", paper §3) and a goroutine-based backend
+// in which each processor of the architecture graph is a goroutine, each
+// physical link a channel, and store-and-forward routing is performed by
+// per-processor router processes (the M->W / W->M auxiliary processes of
+// paper Fig. 1).
+package exec
+
+import (
+	"fmt"
+
+	"skipper/internal/graph"
+	"skipper/internal/value"
+)
+
+// NodeError reports a failure while executing one process node.
+type NodeError struct {
+	Node string
+	Err  error
+}
+
+func (e *NodeError) Error() string { return fmt.Sprintf("exec: node %s: %v", e.Node, e.Err) }
+func (e *NodeError) Unwrap() error { return e.Err }
+
+// EvalNode computes the output port values of a static node from its input
+// port values. It covers every node kind except Master, Worker (dynamic
+// protocol) and Mem (stateful); those are handled by their dedicated
+// executive operations. The same semantics is shared by the goroutine
+// backend and the timing simulator, which is what makes their functional
+// results identical by construction.
+func EvalNode(n *graph.Node, reg *value.Registry, inputs []value.Value) ([]value.Value, error) {
+	switch n.Kind {
+	case graph.KindConst:
+		return []value.Value{n.Const}, nil
+
+	case graph.KindFunc, graph.KindInput:
+		f, ok := reg.Lookup(n.Fn)
+		if !ok {
+			return nil, &NodeError{Node: n.Name, Err: fmt.Errorf("function %q not registered", n.Fn)}
+		}
+		if len(inputs) != f.Arity {
+			return nil, &NodeError{Node: n.Name,
+				Err: fmt.Errorf("arity mismatch: %d inputs for %q/%d", len(inputs), n.Fn, f.Arity)}
+		}
+		return []value.Value{f.Fn(inputs)}, nil
+
+	case graph.KindOutput:
+		// Output nodes deliver their input to the host; when a display
+		// function is attached it runs first.
+		if n.Fn != "" {
+			f, ok := reg.Lookup(n.Fn)
+			if !ok {
+				return nil, &NodeError{Node: n.Name, Err: fmt.Errorf("function %q not registered", n.Fn)}
+			}
+			f.Fn(inputs)
+		}
+		return nil, nil
+
+	case graph.KindSplit:
+		f, ok := reg.Lookup(n.Fn)
+		if !ok {
+			return nil, &NodeError{Node: n.Name, Err: fmt.Errorf("split function %q not registered", n.Fn)}
+		}
+		res := f.Fn(inputs)
+		parts, ok := res.(value.List)
+		if !ok {
+			return nil, &NodeError{Node: n.Name, Err: fmt.Errorf("split did not return a list")}
+		}
+		if len(parts) != n.Out {
+			return nil, &NodeError{Node: n.Name,
+				Err: fmt.Errorf("scm split produced %d sub-domains for %d compute processes", len(parts), n.Out)}
+		}
+		return parts, nil
+
+	case graph.KindMerge:
+		f, ok := reg.Lookup(n.Fn)
+		if !ok {
+			return nil, &NodeError{Node: n.Name, Err: fmt.Errorf("merge function %q not registered", n.Fn)}
+		}
+		return []value.Value{f.Fn([]value.Value{value.List(inputs)})}, nil
+
+	case graph.KindPack:
+		return []value.Value{value.Tuple(append([]value.Value{}, inputs...))}, nil
+
+	case graph.KindUnpack:
+		t, ok := inputs[0].(value.Tuple)
+		if !ok {
+			return nil, &NodeError{Node: n.Name, Err: fmt.Errorf("unpack of non-tuple %s", value.Show(inputs[0]))}
+		}
+		if len(t) < n.Out {
+			return nil, &NodeError{Node: n.Name, Err: fmt.Errorf("unpack of %d-tuple into %d ports", len(t), n.Out)}
+		}
+		return t[:n.Out], nil
+	}
+	return nil, &NodeError{Node: n.Name, Err: fmt.Errorf("EvalNode cannot run a %s node", n.Kind)}
+}
+
+// CostOfNode estimates the cycles consumed by running a static node on the
+// given inputs (used by the timing simulator).
+func CostOfNode(n *graph.Node, reg *value.Registry, inputs []value.Value) int64 {
+	switch n.Kind {
+	case graph.KindConst, graph.KindPack, graph.KindUnpack, graph.KindMem:
+		return 200
+	case graph.KindFunc, graph.KindInput, graph.KindSplit, graph.KindMerge, graph.KindOutput:
+		if n.Fn == "" {
+			return 200
+		}
+		if f, ok := reg.Lookup(n.Fn); ok {
+			return f.CostOf(inputs)
+		}
+		return value.DefaultCost
+	}
+	return value.DefaultCost
+}

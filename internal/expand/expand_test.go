@@ -1,0 +1,727 @@
+package expand
+
+import (
+	"strings"
+	"testing"
+
+	"skipper/internal/dsl/parser"
+	"skipper/internal/dsl/token"
+	"skipper/internal/dsl/types"
+	"skipper/internal/graph"
+	"skipper/internal/value"
+)
+
+// reg builds a registry with simple stand-in functions for the given
+// name -> (sig, arity) table.
+func testRegistry() *value.Registry {
+	r := value.NewRegistry()
+	add := func(name, sig string, arity int) {
+		r.Register(&value.Func{
+			Name: name, Sig: sig, Arity: arity,
+			Fn: func(args []value.Value) value.Value { return value.Unit{} },
+		})
+	}
+	add("read_img", "int * int -> img", 1)
+	add("get_windows", "int -> state -> img -> window list", 3)
+	add("detect_mark", "window -> mark", 1)
+	add("accum_marks", "mark list -> mark -> mark list", 2)
+	add("predict", "mark list -> state * mark list", 1)
+	add("display_marks", "mark list -> unit", 1)
+	r.Register(&value.Func{Name: "init_state", Sig: "unit -> state", Arity: 1,
+		Fn: func([]value.Value) value.Value { return "STATE0" }})
+	r.Register(&value.Func{Name: "empty_list", Sig: "mark list", Arity: 0,
+		Fn: func([]value.Value) value.Value { return value.List{} }})
+	add("split_img", "img -> band list", 1)
+	add("label_band", "band -> res", 1)
+	add("merge_res", "res list -> res", 1)
+	add("load_img", "int -> img", 1)
+	add("work", "task -> res list * task list", 1)
+	add("acc_res", "res list -> res -> res list", 2)
+	return r
+}
+
+const paperSrc = `
+type img;; type state;; type window;; type mark;;
+extern read_img : int * int -> img;;
+extern init_state : unit -> state;;
+extern get_windows : int -> state -> img -> window list;;
+extern detect_mark : window -> mark;;
+extern accum_marks : mark list -> mark -> mark list;;
+extern predict : mark list -> state * mark list;;
+extern display_marks : mark list -> unit;;
+extern empty_list : mark list;;
+
+let nproc = 8;;
+let s0 = init_state ();;
+let loop (state, im) =
+  let ws = get_windows nproc state im in
+  let marks = df nproc detect_mark accum_marks empty_list ws in
+  predict marks;;
+let main = itermem read_img loop display_marks s0 (512, 512);;
+`
+
+func expandSrc(t *testing.T, src string) *Result {
+	t.Helper()
+	prog, err := parser.Parse(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	info, err := types.Check(prog)
+	if err != nil {
+		t.Fatalf("typecheck: %v", err)
+	}
+	res, err := Expand(prog, info, testRegistry())
+	if err != nil {
+		t.Fatalf("expand: %v", err)
+	}
+	return res
+}
+
+func expandErr(t *testing.T, src, wantSub string) {
+	t.Helper()
+	prog, err := parser.Parse(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	info, err := types.Check(prog)
+	if err != nil {
+		t.Fatalf("typecheck: %v", err)
+	}
+	_, err = Expand(prog, info, testRegistry())
+	if err == nil {
+		t.Fatalf("Expand should fail")
+	}
+	if !strings.Contains(err.Error(), wantSub) {
+		t.Fatalf("error %q does not mention %q", err, wantSub)
+	}
+}
+
+func countKind(g *graph.Graph, k graph.NodeKind) int {
+	n := 0
+	for _, nd := range g.Nodes {
+		if nd.Kind == k {
+			n++
+		}
+	}
+	return n
+}
+
+func TestPaperProgramExpands(t *testing.T) {
+	res := expandSrc(t, paperSrc)
+	if !res.Stream {
+		t.Fatal("paper program should be a stream program")
+	}
+	g := res.Graph
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if got := countKind(g, graph.KindWorker); got != 8 {
+		t.Fatalf("workers = %d, want 8", got)
+	}
+	if got := countKind(g, graph.KindMaster); got != 1 {
+		t.Fatalf("masters = %d", got)
+	}
+	if got := countKind(g, graph.KindMem); got != 1 {
+		t.Fatalf("mem nodes = %d", got)
+	}
+	if got := countKind(g, graph.KindInput); got != 1 || countKind(g, graph.KindOutput) != 1 {
+		t.Fatalf("input/output nodes = %d/%d", got, countKind(g, graph.KindOutput))
+	}
+	// The graph includes get_windows and predict function nodes.
+	var fns []string
+	for _, n := range g.Nodes {
+		if n.Kind == graph.KindFunc {
+			fns = append(fns, n.Fn)
+		}
+	}
+	joined := strings.Join(fns, ",")
+	if !strings.Contains(joined, "get_windows") || !strings.Contains(joined, "predict") {
+		t.Fatalf("func nodes = %v", fns)
+	}
+	// Exactly one back edge (the MEM feedback).
+	if s := g.Stats(); s.BackEdges != 1 {
+		t.Fatalf("back edges = %d", s.BackEdges)
+	}
+}
+
+func TestWorkerCountFollowsNproc(t *testing.T) {
+	src := strings.Replace(paperSrc, "let nproc = 8;;", "let nproc = 3;;", 1)
+	res := expandSrc(t, src)
+	if got := countKind(res.Graph, graph.KindWorker); got != 3 {
+		t.Fatalf("workers = %d, want 3", got)
+	}
+}
+
+func TestConstantFolding(t *testing.T) {
+	src := strings.Replace(paperSrc, "let nproc = 8;;", "let nproc = 2 * 2 + 1;;", 1)
+	res := expandSrc(t, src)
+	if got := countKind(res.Graph, graph.KindWorker); got != 5 {
+		t.Fatalf("workers = %d, want 5 (constant folding)", got)
+	}
+}
+
+func TestIfOnConstantsFolds(t *testing.T) {
+	src := strings.Replace(paperSrc, "let nproc = 8;;",
+		"let big = true;; let nproc = if big then 6 else 2;;", 1)
+	res := expandSrc(t, src)
+	if got := countKind(res.Graph, graph.KindWorker); got != 6 {
+		t.Fatalf("workers = %d, want 6", got)
+	}
+}
+
+func TestSCMExpansion(t *testing.T) {
+	src := `
+type img;; type band;; type res;;
+extern load_img : int -> img;;
+extern split_img : img -> band list;;
+extern label_band : band -> res;;
+extern merge_res : res list -> res;;
+let main = scm 4 split_img label_band merge_res (load_img 0);;
+`
+	res := expandSrc(t, src)
+	if res.Stream {
+		t.Fatal("scm program is one-shot, not a stream")
+	}
+	g := res.Graph
+	if countKind(g, graph.KindSplit) != 1 || countKind(g, graph.KindMerge) != 1 {
+		t.Fatal("split/merge missing")
+	}
+	comps := 0
+	for _, n := range g.Nodes {
+		if n.Kind == graph.KindFunc && n.Fn == "label_band" {
+			comps++
+		}
+	}
+	if comps != 4 {
+		t.Fatalf("compute nodes = %d, want 4", comps)
+	}
+	if res.Output < 0 {
+		t.Fatal("one-shot program must have an output node")
+	}
+}
+
+func TestTFExpansion(t *testing.T) {
+	src := `
+type task;; type res;;
+extern work : task -> res list * task list;;
+extern acc_res : res list -> res -> res list;;
+let main = tf 4 work acc_res [] [];;
+`
+	res := expandSrc(t, src)
+	g := res.Graph
+	var master *graph.Node
+	for _, n := range g.Nodes {
+		if n.Kind == graph.KindMaster {
+			master = n
+		}
+	}
+	if master == nil || !master.TaskFarm {
+		t.Fatalf("tf master missing or not flagged: %+v", master)
+	}
+	if countKind(g, graph.KindWorker) != 4 {
+		t.Fatal("tf workers missing")
+	}
+}
+
+func TestConstMainFoldsCompletely(t *testing.T) {
+	res := expandSrc(t, "let main = 2 + 3;;")
+	if !res.ConstFolded || res.MainConst != 5 {
+		t.Fatalf("res = %+v", res)
+	}
+}
+
+func TestLambdaAsSkeletonArgRejected(t *testing.T) {
+	// An eta-wrapped lambda in scm's compute slot typechecks fine but the
+	// operational definition requires a named sequential function.
+	src := `
+type img;; type band;; type res;;
+extern split_img : img -> band list;;
+extern label_band : band -> res;;
+extern merge_res : res list -> res;;
+extern load_img : int -> img;;
+let main = scm 2 split_img (fun b -> label_band b) merge_res (load_img 1);;
+`
+	expandErr(t, src, "lambda")
+}
+
+func TestPartialSkeletonAsMainRejected(t *testing.T) {
+	// tf partially applied as main: not a dataflow value.
+	expandErr(t, "let main = tf 2;;", "main must be")
+}
+
+func TestNestedFarmInsideFarmRejected(t *testing.T) {
+	src := `
+type window;; type mark;;
+extern detect_mark : window -> mark;;
+extern accum_marks : mark list -> mark -> mark list;;
+extern concat_marks : mark list -> mark list -> mark list;;
+extern empty_list : mark list;;
+let inner ws = df 2 detect_mark accum_marks empty_list ws;;
+let main = df 2 inner concat_marks empty_list [];;
+`
+	prog, err := parser.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	info, err := types.Check(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := testRegistry()
+	r.Register(&value.Func{Name: "concat_marks", Sig: "mark list -> mark list -> mark list",
+		Arity: 2, Fn: func([]value.Value) value.Value { return value.List{} }})
+	_, err = Expand(prog, info, r)
+	// `inner` is a closure wrapping a df -> rejected (no-nesting rule).
+	if err == nil || !strings.Contains(err.Error(), "named sequential function") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestRuntimeWorkerCountRejected(t *testing.T) {
+	src := `
+type window;; type mark;;
+extern detect_mark : window -> mark;;
+extern accum_marks : mark list -> mark -> mark list;;
+extern empty_list : mark list;;
+extern nprocs : unit -> int;;
+let main = df (nprocs ()) detect_mark accum_marks empty_list [];;
+`
+	// nprocs is not registered in testRegistry -> registration error comes
+	// first; register it instead via a fresh registry path: simply check
+	// that the error mentions either registration or compile-time.
+	prog, err := parser.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	info, err := types.Check(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := testRegistry()
+	r.Register(&value.Func{Name: "nprocs", Sig: "unit -> int", Arity: 1,
+		Fn: func([]value.Value) value.Value { return 4 }})
+	_, err2 := Expand(prog, info, r)
+	// Impure externs never fold, so the worker count is a runtime value —
+	// rejected, because the degree of parallelism must be static.
+	if err2 == nil || !strings.Contains(err2.Error(), "compile-time integer") {
+		t.Fatalf("err = %v", err2)
+	}
+
+	// A Pure extern folds through and the program compiles.
+	r2 := testRegistry()
+	r2.Register(&value.Func{Name: "nprocs", Sig: "unit -> int", Arity: 1, Pure: true,
+		Fn: func([]value.Value) value.Value { return 4 }})
+	res, err3 := Expand(prog, info, r2)
+	if err3 != nil {
+		t.Fatalf("pure fold-through failed: %v", err3)
+	}
+	if got := countKind(res.Graph, graph.KindWorker); got != 4 {
+		t.Fatalf("workers = %d", got)
+	}
+}
+
+func TestDataDependentIfRejected(t *testing.T) {
+	src := `
+type img;;
+extern load_img : int -> img;;
+extern pick : img -> bool;;
+let main = if pick (load_img 0) then 1 else 2;;
+`
+	prog, _ := parser.Parse(src)
+	info, err := types.Check(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := testRegistry()
+	r.Register(&value.Func{Name: "pick", Sig: "img -> bool", Arity: 1,
+		Fn: func([]value.Value) value.Value { return true }})
+	// load_img and pick are impure, so the condition is a runtime wire:
+	// data-dependent control flow belongs inside sequential functions.
+	_, err = Expand(prog, info, r)
+	if err == nil || !strings.Contains(err.Error(), "data-dependent control flow") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestMissingMain(t *testing.T) {
+	src := "let x = 1;;"
+	prog, _ := parser.Parse(src)
+	info, _ := types.Check(prog)
+	if _, err := Expand(prog, info, testRegistry()); err == nil ||
+		!strings.Contains(err.Error(), "no main") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestUnregisteredExtern(t *testing.T) {
+	src := "extern ghost : int -> int;; let main = ghost 1;;"
+	prog, _ := parser.Parse(src)
+	info, _ := types.Check(prog)
+	if _, err := Expand(prog, info, testRegistry()); err == nil ||
+		!strings.Contains(err.Error(), "not registered") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestTwoItermemRejected(t *testing.T) {
+	src := `
+type img;;
+extern read_img : int * int -> img;;
+extern display_marks : mark list -> unit;;
+type mark;;
+extern stub : img -> unit;;
+let main = itermem read_img (fun p -> p) stub 0 (1, 2);;
+`
+	// Simpler: itermem twice sequentially.
+	src = `
+type img;;
+extern load_img : int -> img;;
+extern sink : img -> unit;;
+let idloop p = p;;
+let a = itermem load_img idloop sink 0 1;;
+let main = itermem load_img idloop sink 0 1;;
+`
+	prog, err := parser.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	info, err := types.Check(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := testRegistry()
+	r.Register(&value.Func{Name: "sink", Sig: "img -> unit", Arity: 1,
+		Fn: func([]value.Value) value.Value { return value.Unit{} }})
+	_, err = Expand(prog, info, r)
+	if err == nil || !strings.Contains(err.Error(), "one itermem") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestDOTGeneration(t *testing.T) {
+	res := expandSrc(t, paperSrc)
+	dot := res.Graph.DOT("tracking")
+	for _, want := range []string{"Master", "Worker<detect_mark>", "MEM", "In<read_img>", "Out<display_marks>"} {
+		if !strings.Contains(dot, want) {
+			t.Fatalf("DOT missing %q", want)
+		}
+	}
+}
+
+func TestEdgeTypeAnnotations(t *testing.T) {
+	res := expandSrc(t, paperSrc)
+	found := false
+	for _, e := range res.Graph.Edges {
+		if e.Type == "window" || e.Type == "mark" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("expected 'window'/'mark' typed edges from extern signatures")
+	}
+}
+
+func TestSequentialComposition(t *testing.T) {
+	// Two farms in sequence inside the loop (allowed — composition, not
+	// nesting).
+	src := `
+type img;; type state;; type window;; type mark;;
+extern read_img : int * int -> img;;
+extern init_state : unit -> state;;
+extern get_windows : int -> state -> img -> window list;;
+extern detect_mark : window -> mark;;
+extern accum_marks : mark list -> mark -> mark list;;
+extern marks_to_windows : mark list -> window list;;
+extern predict : mark list -> state * mark list;;
+extern display_marks : mark list -> unit;;
+extern empty_list : mark list;;
+let loop (state, im) =
+  let ws = get_windows 4 state im in
+  let marks = df 4 detect_mark accum_marks empty_list ws in
+  let ws2 = marks_to_windows marks in
+  let marks2 = df 2 detect_mark accum_marks empty_list ws2 in
+  predict marks2;;
+let main = itermem read_img loop display_marks (init_state ()) (64, 64);;
+`
+	prog, err := parser.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	info, err := types.Check(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := testRegistry()
+	r.Register(&value.Func{Name: "marks_to_windows", Sig: "mark list -> window list",
+		Arity: 1, Fn: func([]value.Value) value.Value { return value.List{} }})
+	res, err := Expand(prog, info, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if countKind(res.Graph, graph.KindMaster) != 2 {
+		t.Fatal("expected two masters")
+	}
+	if countKind(res.Graph, graph.KindWorker) != 6 {
+		t.Fatalf("workers = %d, want 6", countKind(res.Graph, graph.KindWorker))
+	}
+}
+
+func TestRecursionRejectedWithDepthGuard(t *testing.T) {
+	src := `
+extern load_img : int -> img;;
+type img;;
+let rec spin n = spin n;;
+let main = spin 1;;
+`
+	// Fix declaration order (types before use).
+	src = `
+type img;;
+extern load_img : int -> img;;
+let rec spin n = spin n;;
+let main = spin 1;;
+`
+	expandErr(t, src, "inlining too deep")
+}
+
+func TestBoundedRecursionUnrollsAtCompileTime(t *testing.T) {
+	// A terminating recursion over compile-time constants is unrolled by
+	// the partial evaluator — compile-time loops are legal.
+	src := `
+let rec pow2 n = if n = 0 then 1 else 2 * pow2 (n - 1);;
+let main = pow2 10;;
+`
+	prog, err := parser.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	info, err := types.Check(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Expand(prog, info, testRegistry())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.ConstFolded || res.MainConst != 1024 {
+		t.Fatalf("res = %+v", res)
+	}
+}
+
+func TestFloatFolding(t *testing.T) {
+	src := "let main = 2.5 *. 4.0 +. 1.0;;"
+	prog, err := parser.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	info, err := types.Check(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Expand(prog, info, testRegistry())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.ConstFolded || res.MainConst != 11.0 {
+		t.Fatalf("res = %+v", res)
+	}
+}
+
+func TestFoldBinOpCoverage(t *testing.T) {
+	// Exercise every constant operator through complete programs.
+	cases := map[string]value.Value{
+		"let main = 7 - 3;;":                 4,
+		"let main = 8 / 2;;":                 4,
+		"let main = 1 = 1;;":                 true,
+		"let main = 1 <> 2;;":                true,
+		"let main = 1 < 2;;":                 true,
+		"let main = 2 > 3;;":                 false,
+		"let main = 2 <= 2;;":                true,
+		"let main = 3 >= 4;;":                false,
+		"let main = 2.0 -. 0.5;;":            1.5,
+		"let main = 9.0 /. 3.0;;":            3.0,
+		"let main = (1, true) = (1, true);;": true,
+	}
+	for src, want := range cases {
+		prog, err := parser.Parse(src)
+		if err != nil {
+			t.Fatalf("%s: %v", src, err)
+		}
+		info, err := types.Check(prog)
+		if err != nil {
+			t.Fatalf("%s: %v", src, err)
+		}
+		res, err := Expand(prog, info, testRegistry())
+		if err != nil {
+			t.Fatalf("%s: %v", src, err)
+		}
+		if !res.ConstFolded || !value.Equal(res.MainConst, want) {
+			t.Fatalf("%s => %+v, want %v", src, res.MainConst, want)
+		}
+	}
+}
+
+func TestDivisionByZeroInSpec(t *testing.T) {
+	expandErr(t, "let main = 1 / 0;;", "division by zero")
+}
+
+func TestTuplePatternAgainstConstTuple(t *testing.T) {
+	src := `
+let pairc = (3, 4);;
+let main = let (a, b) = pairc in a * b;;
+`
+	prog, _ := parser.Parse(src)
+	info, err := types.Check(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Expand(prog, info, testRegistry())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.ConstFolded || res.MainConst != 12 {
+		t.Fatalf("res = %+v", res)
+	}
+}
+
+func TestTuplePatternAgainstRuntimeTupleWire(t *testing.T) {
+	// predict returns a runtime tuple; destructuring it inserts an Unpack.
+	src := `
+type window;; type mark;; type state;; type img;;
+extern detect_mark : window -> mark;;
+extern accum_marks : mark list -> mark -> mark list;;
+extern empty_list : mark list;;
+extern predict : mark list -> state * mark list;;
+extern display_marks : mark list -> unit;;
+let main =
+  let marks = df 2 detect_mark accum_marks empty_list [] in
+  let (st, ms) = predict marks in
+  display_marks ms;;
+`
+	res := expandSrc(t, src)
+	if countKind(res.Graph, graph.KindUnpack) != 1 {
+		t.Fatalf("expected one unpack node")
+	}
+}
+
+func TestMaterializeTupleOfWires(t *testing.T) {
+	// A tuple mixing a wire and a const fed to a 1-arg extern becomes a
+	// Pack node.
+	src := `
+type img;; type state;;
+extern load_img : int -> img;;
+extern consume : img * int -> state;;
+let main = consume (load_img 1, 5);;
+`
+	prog, _ := parser.Parse(src)
+	info, err := types.Check(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := testRegistry()
+	r.Register(&value.Func{Name: "consume", Sig: "img * int -> state", Arity: 1,
+		Fn: func([]value.Value) value.Value { return "S" }})
+	res, err := Expand(prog, info, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if countKind(res.Graph, graph.KindPack) != 1 {
+		t.Fatal("expected a pack node")
+	}
+}
+
+func TestSkeletonUsedAsDataRejected(t *testing.T) {
+	src := `
+type img;;
+extern sink : img -> unit;;
+extern load_img : int -> img;;
+let main = sink (load_img (df 1 (fun x -> x) (fun a b -> a) 0 []));;
+`
+	// df's comp is a lambda -> rejected earlier; use a simpler shape:
+	src = `
+type img;;
+extern load_img : int -> img;;
+let pair = (1, df);;
+let main = load_img 1;;
+`
+	prog, err := parser.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	info, err := types.Check(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// `pair` holds a skeleton inside a tuple; it is never materialized so
+	// expansion succeeds — materialization errors only fire on use.
+	if _, err := Expand(prog, info, testRegistry()); err != nil {
+		t.Fatalf("unused skeleton tuple should be fine: %v", err)
+	}
+	// Force materialization by passing it to an extern.
+	src2 := `
+type img;;
+extern load_img : int -> img;;
+extern weird : (int -> (int -> int) -> (int -> int -> int) -> int -> int list -> int) -> img;;
+let main = weird df;;
+`
+	prog2, err := parser.Parse(src2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	info2, err := types.Check(prog2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := testRegistry()
+	r.Register(&value.Func{Name: "weird",
+		Sig:   "(int -> (int -> int) -> (int -> int -> int) -> int -> int list -> int) -> img",
+		Arity: 1, Fn: func([]value.Value) value.Value { return "X" }})
+	_, err = Expand(prog2, info2, r)
+	if err == nil || !strings.Contains(err.Error(), "cannot be nested or passed around") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestPartialExternAsDataRejected(t *testing.T) {
+	src := `
+type img;;
+extern add3 : int -> int -> int -> int;;
+extern sink : (int -> int) -> img;;
+let main = sink (add3 1 2);;
+`
+	prog, err := parser.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	info, err := types.Check(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := testRegistry()
+	r.Register(&value.Func{Name: "add3", Sig: "int -> int -> int -> int", Arity: 3,
+		Fn: func([]value.Value) value.Value { return 0 }})
+	r.Register(&value.Func{Name: "sink", Sig: "(int -> int) -> img", Arity: 1,
+		Fn: func([]value.Value) value.Value { return "X" }})
+	_, err = Expand(prog, info, r)
+	if err == nil || !strings.Contains(err.Error(), "partially applied") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestSeqFnRejectsNonFunctionValue(t *testing.T) {
+	// A constant in a skeleton's function slot: the typechecker would
+	// normally forbid this, so call the internals directly.
+	x := &expander{g: graph.New(), names: map[string]int{}}
+	if _, err := x.seqFn(sConst{v: 3}, "df compute function", token.Pos{}); err == nil {
+		t.Fatal("constant accepted as sequential function")
+	}
+}
+
+func TestApplyNonFunctionValue(t *testing.T) {
+	x := &expander{g: graph.New(), names: map[string]int{}}
+	if _, err := x.apply(sConst{v: 3}, sConst{v: 4}, token.Pos{}); err == nil {
+		t.Fatal("applying a constant should fail")
+	}
+	if _, err := x.apply(sTuple{sConst{v: 1}}, sConst{v: 4}, token.Pos{}); err == nil {
+		t.Fatal("applying a tuple should fail")
+	}
+}

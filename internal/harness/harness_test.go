@@ -1,0 +1,224 @@
+package harness
+
+import (
+	"io"
+	"strings"
+	"testing"
+)
+
+func TestE1ReproducesPaperEnvelope(t *testing.T) {
+	var sb strings.Builder
+	res, err := E1(&sb, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Paper: 30 ms tracking / 110 ms reinit. Shape requirements:
+	if res.TrackingMS < 10 || res.TrackingMS > 60 {
+		t.Fatalf("tracking %.1f ms outside [10,60]", res.TrackingMS)
+	}
+	if res.ReinitMS < 60 || res.ReinitMS > 180 {
+		t.Fatalf("reinit %.1f ms outside [60,180]", res.ReinitMS)
+	}
+	if res.ReinitMS < 2*res.TrackingMS {
+		t.Fatal("reinit should dominate tracking")
+	}
+	if !res.EveryFrameInTracking {
+		t.Fatal("tracking should process every frame (latency < 40 ms)")
+	}
+	if !res.OneOfThreeInReinit {
+		t.Fatalf("reinit should take ~3 frame periods, got %.1f ms", res.ReinitMS)
+	}
+	if !strings.Contains(sb.String(), "E1:") {
+		t.Fatal("report missing")
+	}
+}
+
+func TestE2ScalingShape(t *testing.T) {
+	rows, err := E2(io.Discard, 20, []int{1, 2, 4, 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	// Reinit latency decreases with processors (detection dominates).
+	for i := 1; i < len(rows); i++ {
+		if rows[i].ReinitMS >= rows[i-1].ReinitMS {
+			t.Fatalf("reinit not improving: %+v", rows)
+		}
+	}
+	// 8 procs at least 3x better than 1 on the reinit phase.
+	if rows[0].ReinitMS/rows[3].ReinitMS < 3 {
+		t.Fatalf("weak scaling: %+v", rows)
+	}
+}
+
+func TestE3SkeletonOverheadSmall(t *testing.T) {
+	res, err := E3(io.Discard, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.SkeletonMS <= 0 || res.HandcraftMS <= 0 {
+		t.Fatalf("degenerate result: %+v", res)
+	}
+	// Paper: performance "similar" to hand-crafted. Allow up to 40%
+	// overhead over the *idealized* baseline (which ignores all control).
+	if res.OverheadPct > 40 {
+		t.Fatalf("skeleton overhead %.1f%% too high", res.OverheadPct)
+	}
+}
+
+func TestE4AllPathsIdentical(t *testing.T) {
+	res, err := E4(io.Discard, 15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Identical {
+		t.Fatal("execution paths diverged")
+	}
+}
+
+func TestE5DynamicBeatsStaticOnSkew(t *testing.T) {
+	res, err := E5(io.Discard, 32, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.DFWinsOnSkewed {
+		t.Fatalf("df should win on skewed loads: %+v", res)
+	}
+	if res.DFMS >= res.StaticMS {
+		t.Fatalf("df %.1f >= static %.1f", res.DFMS, res.StaticMS)
+	}
+	// On uniform loads the two are close (within 15%).
+	if res.TieOnUniformPct > 15 || res.TieOnUniformPct < -15 {
+		t.Fatalf("uniform gap %.1f%% too large", res.TieOnUniformPct)
+	}
+}
+
+func TestE6FrameSkippingKicksIn(t *testing.T) {
+	rows, err := E6(io.Discard, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) < 4 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	// Light work: every frame. Heavy work: multiple frames per iteration.
+	if rows[0].FramesPerIter > 1.05 {
+		t.Fatalf("light workload should take every frame: %+v", rows[0])
+	}
+	last := rows[len(rows)-1]
+	if last.FramesPerIter < 2 {
+		t.Fatalf("heavy workload should skip frames: %+v", last)
+	}
+	// Frames per iteration is monotone in work.
+	for i := 1; i < len(rows); i++ {
+		if rows[i].FramesPerIter < rows[i-1].FramesPerIter-0.01 {
+			t.Fatalf("not monotone: %+v", rows)
+		}
+	}
+}
+
+func TestE7LabellingSpeedup(t *testing.T) {
+	rows, err := E7(io.Discard, []int{1, 2, 4, 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rows[0].Speedup != 1 {
+		t.Fatalf("baseline speedup = %v", rows[0].Speedup)
+	}
+	// Monotone improvement, and at least 2.5x on 8 procs (merge-limited).
+	for i := 1; i < len(rows); i++ {
+		if rows[i].Speedup <= rows[i-1].Speedup {
+			t.Fatalf("speedup not monotone: %+v", rows)
+		}
+	}
+	if rows[len(rows)-1].Speedup < 2.5 {
+		t.Fatalf("8-proc speedup %.2f too low", rows[len(rows)-1].Speedup)
+	}
+}
+
+func TestE8QuadtreeRuns(t *testing.T) {
+	outs, err := E8(io.Discard, []int{1, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(outs) != 2 {
+		t.Fatalf("outs = %+v", outs)
+	}
+	for _, o := range outs {
+		if !o.Correct || o.Tasks < 4 {
+			t.Fatalf("bad quadtree result: %+v", o)
+		}
+	}
+	// Same region count regardless of parallelism.
+	if outs[0].Tasks != outs[1].Tasks {
+		t.Fatalf("region counts differ: %+v", outs)
+	}
+	// Parallel version at least as fast.
+	if outs[1].TotalMS > outs[0].TotalMS*1.05 {
+		t.Fatalf("tf on 4 procs slower than 1: %+v", outs)
+	}
+}
+
+func TestE9Accounting(t *testing.T) {
+	res, err := E9(io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.SpecLines < 10 || res.SpecLines > 40 {
+		t.Fatalf("spec lines = %d", res.SpecLines)
+	}
+	if res.GraphNodes < 10 || res.MacroCodeLines < res.SpecLines {
+		t.Fatalf("generation accounting looks wrong: %+v", res)
+	}
+	if res.GeneratedPerSpec < 1 {
+		t.Fatalf("generated/spec = %.1f", res.GeneratedPerSpec)
+	}
+}
+
+func TestSkelAgreement(t *testing.T) {
+	if !SkelAgreement() {
+		t.Fatal("skeleton operational/declarative mismatch")
+	}
+}
+
+func TestE10StrategyAblation(t *testing.T) {
+	res, err := E10(io.Discard, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.StructuredMS <= 0 || res.ListSchedMS <= 0 {
+		t.Fatalf("degenerate: %+v", res)
+	}
+	// The skeleton-aware placement must not lose badly to the generic
+	// scheduler on its home workload.
+	if res.AdvantagePct < -20 {
+		t.Fatalf("structured placement loses by %.1f%%", -res.AdvantagePct)
+	}
+}
+
+func TestE11TopologySensitivity(t *testing.T) {
+	rows, err := E11(io.Discard, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 6 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	byName := map[string]float64{}
+	for _, r := range rows {
+		if r.ReinitMS <= 0 {
+			t.Fatalf("degenerate row %+v", r)
+		}
+		byName[r.Topology] = r.ReinitMS
+	}
+	// Richer interconnects are no slower than the chain (fewer hops,
+	// less contention at the scatter).
+	if byName["full(8)"] > byName["chain(8)"]+1e-9 {
+		t.Fatalf("full slower than chain: %+v", byName)
+	}
+	if byName["hypercube(3)"] > byName["chain(8)"]+1e-9 {
+		t.Fatalf("hypercube slower than chain: %+v", byName)
+	}
+}

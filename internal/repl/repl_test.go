@@ -1,0 +1,179 @@
+package repl
+
+import (
+	"strings"
+	"testing"
+)
+
+// session runs a sequence of inputs and returns the combined output.
+func session(t *testing.T, inputs ...string) string {
+	t.Helper()
+	var out strings.Builder
+	s := New(&out, nil)
+	for _, in := range inputs {
+		s.Eval(in)
+	}
+	return out.String()
+}
+
+func TestBindAndEvaluate(t *testing.T) {
+	out := session(t,
+		"let x = 21;;",
+		"x + x;;",
+	)
+	if !strings.Contains(out, "val x : int = 21") {
+		t.Fatalf("output:\n%s", out)
+	}
+	if !strings.Contains(out, "val it : int = 42") {
+		t.Fatalf("output:\n%s", out)
+	}
+}
+
+func TestExpressionWithoutTerminator(t *testing.T) {
+	out := session(t, "1 + 2")
+	if !strings.Contains(out, "val it : int = 3") {
+		t.Fatalf("output:\n%s", out)
+	}
+}
+
+func TestDeclarationsAccumulate(t *testing.T) {
+	out := session(t,
+		"let double x = 2 * x;;",
+		"double 10;;",
+	)
+	if !strings.Contains(out, "val it : int = 20") {
+		t.Fatalf("output:\n%s", out)
+	}
+}
+
+func TestTypeCommand(t *testing.T) {
+	out := session(t,
+		":type fun x -> (x, x)",
+	)
+	if !strings.Contains(out, "'a -> 'a * 'a") {
+		t.Fatalf("output:\n%s", out)
+	}
+}
+
+func TestTypeOfSkeleton(t *testing.T) {
+	out := session(t, ":type df")
+	if !strings.Contains(out, "int -> ('a -> 'b) -> ('c -> 'b -> 'c) -> 'c -> 'a list -> 'c") {
+		t.Fatalf("output:\n%s", out)
+	}
+}
+
+func TestExternIsStubbed(t *testing.T) {
+	out := session(t,
+		"type img;;",
+		"extern load : int -> img;;",
+		"load 3;;",
+	)
+	if !strings.Contains(out, "extern load : int -> img (stubbed)") {
+		t.Fatalf("output:\n%s", out)
+	}
+	if !strings.Contains(out, `val it : img = "<load>"`) {
+		t.Fatalf("output:\n%s", out)
+	}
+}
+
+func TestTypeErrorsReported(t *testing.T) {
+	out := session(t, "1 + true;;")
+	if !strings.Contains(out, "error:") {
+		t.Fatalf("output:\n%s", out)
+	}
+	// A failed input must not pollute the session.
+	out2 := session(t, "let x = true;;", "let y = x + 1;;", "x;;")
+	if !strings.Contains(out2, "val it : bool = true") {
+		t.Fatalf("output:\n%s", out2)
+	}
+}
+
+func TestGraphCommand(t *testing.T) {
+	out := session(t,
+		"extern src : int -> int list;;",
+		"extern sq : int -> int;;",
+		"extern add : int -> int -> int;;",
+		"let main = df 2 sq add 0 (src 4);;",
+		":graph",
+	)
+	if !strings.Contains(out, "digraph") || !strings.Contains(out, "Worker<sq>") {
+		t.Fatalf("output:\n%s", out)
+	}
+}
+
+func TestGraphOnConstMain(t *testing.T) {
+	out := session(t, "let main = 1 + 1;;", ":graph")
+	if !strings.Contains(out, "folds to the constant 2") {
+		t.Fatalf("output:\n%s", out)
+	}
+}
+
+func TestListAndReset(t *testing.T) {
+	out := session(t, "let a = 1;;", ":list", ":reset", ":list")
+	if !strings.Contains(out, "let a = 1;;") {
+		t.Fatalf("output:\n%s", out)
+	}
+	if !strings.Contains(out, "session cleared") {
+		t.Fatalf("output:\n%s", out)
+	}
+}
+
+func TestHelpAndUnknown(t *testing.T) {
+	out := session(t, ":help", ":wat")
+	if !strings.Contains(out, "commands:") || !strings.Contains(out, "unknown command") {
+		t.Fatalf("output:\n%s", out)
+	}
+}
+
+func TestQuit(t *testing.T) {
+	var sb strings.Builder
+	s := New(&sb, nil)
+	if s.Eval(":quit") {
+		t.Fatal(":quit should end the session")
+	}
+}
+
+func TestRunLoop(t *testing.T) {
+	in := strings.NewReader(`
+let x = 6;;
+let y =
+  x * 7;;
+y;;
+:type y
+:quit
+`)
+	var out strings.Builder
+	if err := Run(in, &out, false); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	if !strings.Contains(got, "val y : int = 42") {
+		t.Fatalf("output:\n%s", got)
+	}
+	if !strings.Contains(got, "val it : int = 42") {
+		t.Fatalf("output:\n%s", got)
+	}
+	if !strings.Contains(got, "y : int") {
+		t.Fatalf("output:\n%s", got)
+	}
+}
+
+func TestRunLoopEOF(t *testing.T) {
+	var out strings.Builder
+	if err := Run(strings.NewReader("let a = 1;;\n"), &out, true); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "SKiPPER toplevel") {
+		t.Fatalf("banner missing:\n%s", out.String())
+	}
+}
+
+func TestRecursionInREPL(t *testing.T) {
+	out := session(t,
+		"let rec fact n = if n <= 1 then 1 else n * fact (n - 1);;",
+		"fact 6;;",
+	)
+	if !strings.Contains(out, "val it : int = 720") {
+		t.Fatalf("output:\n%s", out)
+	}
+}

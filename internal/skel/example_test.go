@@ -1,0 +1,80 @@
+package skel_test
+
+import (
+	"fmt"
+
+	"skipper/internal/skel"
+)
+
+// The paper's declarative df: fold acc over the mapped list.
+func ExampleDFSeq() {
+	xs := []int{1, 2, 3, 4}
+	sum := skel.DFSeq(8,
+		func(x int) int { return x * x },
+		func(a, b int) int { return a + b },
+		0, xs)
+	fmt.Println(sum)
+	// Output: 30
+}
+
+// The operational df: a master dispatching to a pool of goroutine workers.
+// The accumulating function must be commutative and associative, because
+// accumulation happens in arrival order.
+func ExampleDFPar() {
+	xs := []int{1, 2, 3, 4, 5}
+	sum := skel.DFPar(3,
+		func(x int) int { return 2 * x },
+		func(a, b int) int { return a + b },
+		0, xs)
+	fmt.Println(sum)
+	// Output: 30
+}
+
+// scm: geometric decomposition with a positional (order-preserving) merge.
+func ExampleSCMPar() {
+	split := func(s string) []byte { return []byte(s) }
+	comp := func(b byte) string { return string([]byte{b - 32}) } // upcase
+	merge := func(parts []string) string {
+		out := ""
+		for _, p := range parts {
+			out += p
+		}
+		return out
+	}
+	fmt.Println(skel.SCMPar(4, split, comp, merge, "skipper"))
+	// Output: SKIPPER
+}
+
+// tf: divide and conquer; workers generate new packets until ranges are
+// small enough to sum directly.
+func ExampleTFSeq() {
+	work := func(r [2]int) ([]int, [][2]int) {
+		lo, hi := r[0], r[1]
+		if hi-lo <= 2 {
+			s := 0
+			for i := lo; i < hi; i++ {
+				s += i
+			}
+			return []int{s}, nil
+		}
+		mid := (lo + hi) / 2
+		return nil, [][2]int{{lo, mid}, {mid, hi}}
+	}
+	total := skel.TFSeq(4, work, func(a, b int) int { return a + b }, 0, [][2]int{{0, 10}})
+	fmt.Println(total)
+	// Output: 45
+}
+
+// itermem: the stream iterator with inter-iteration memory. The loop
+// receives the state from the previous iteration together with the current
+// input.
+func ExampleIterMem() {
+	inp := func(struct{}) int { return 1 }
+	loop := func(z, b int) (int, int) { return z + b, z + b }
+	out := func(y int) bool { fmt.Println(y); return true }
+	skel.IterMem(inp, loop, out, 0, struct{}{}, 3)
+	// Output:
+	// 1
+	// 2
+	// 3
+}

@@ -1,0 +1,337 @@
+package skel
+
+import (
+	"math/rand"
+	"sort"
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+)
+
+// --- scm -------------------------------------------------------------------
+
+func splitChunks(k int) func([]int) [][]int {
+	return func(xs []int) [][]int {
+		if k < 1 {
+			k = 1
+		}
+		var out [][]int
+		for i := 0; i < k; i++ {
+			lo, hi := i*len(xs)/k, (i+1)*len(xs)/k
+			out = append(out, xs[lo:hi])
+		}
+		return out
+	}
+}
+
+func sum(xs []int) int {
+	s := 0
+	for _, x := range xs {
+		s += x
+	}
+	return s
+}
+
+func TestSCMSeqSumsChunks(t *testing.T) {
+	xs := []int{1, 2, 3, 4, 5, 6, 7}
+	got := SCMSeq(4, splitChunks(3), sum, sum, xs)
+	if got != 28 {
+		t.Fatalf("got %d, want 28", got)
+	}
+}
+
+func TestSCMParMatchesSeq(t *testing.T) {
+	f := func(seed int64, n uint8, k uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		xs := make([]int, rng.Intn(50))
+		for i := range xs {
+			xs[i] = rng.Intn(1000)
+		}
+		workers := int(n%8) + 1
+		chunks := int(k%10) + 1
+		seq := SCMSeq(workers, splitChunks(chunks), sum, sum, xs)
+		par := SCMPar(workers, splitChunks(chunks), sum, sum, xs)
+		return seq == par
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSCMParPreservesOrder(t *testing.T) {
+	// Non-commutative merge (string concat by index) must still be correct:
+	// scm's merge is positional.
+	split := func(s string) []byte { return []byte(s) }
+	comp := func(b byte) string { return string([]byte{b, b}) }
+	merge := func(ss []string) string {
+		out := ""
+		for _, s := range ss {
+			out += s
+		}
+		return out
+	}
+	for trial := 0; trial < 50; trial++ {
+		got := SCMPar(4, split, comp, merge, "abcdef")
+		if got != "aabbccddeeff" {
+			t.Fatalf("order broken: %q", got)
+		}
+	}
+}
+
+func TestSCMParZeroWorkers(t *testing.T) {
+	got := SCMPar(0, splitChunks(2), sum, sum, []int{1, 2, 3})
+	if got != 6 {
+		t.Fatalf("n=0 should clamp to 1, got %d", got)
+	}
+}
+
+func TestSCMEmptyInput(t *testing.T) {
+	if got := SCMPar(3, splitChunks(2), sum, sum, nil); got != 0 {
+		t.Fatalf("empty scm = %d", got)
+	}
+}
+
+// --- df ---------------------------------------------------------------------
+
+func TestDFSeqIsFoldOfMap(t *testing.T) {
+	xs := []int{3, 1, 4, 1, 5}
+	got := DFSeq(8, func(x int) int { return x * x }, func(a, b int) int { return a + b }, 0, xs)
+	if got != 9+1+16+1+25 {
+		t.Fatalf("got %d", got)
+	}
+}
+
+func TestDFParMatchesSeqCommutative(t *testing.T) {
+	f := func(seed int64, n uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		xs := make([]int, rng.Intn(80))
+		for i := range xs {
+			xs[i] = rng.Intn(100) - 50
+		}
+		workers := int(n%16) + 1
+		comp := func(x int) int { return 2*x + 1 }
+		acc := func(a, b int) int { return a + b } // commutative + associative
+		return DFSeq(workers, comp, acc, 7, xs) == DFPar(workers, comp, acc, 7, xs)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDFParCollectsAllResultsAnyOrder(t *testing.T) {
+	// Accumulate into a multiset (sorted slice) — order-independent check
+	// that every element was processed exactly once.
+	xs := make([]int, 200)
+	for i := range xs {
+		xs[i] = i
+	}
+	acc := func(a []int, b int) []int { return append(a, b) }
+	got := DFPar(7, func(x int) int { return x }, acc, nil, xs)
+	sort.Ints(got)
+	if len(got) != 200 {
+		t.Fatalf("got %d results", len(got))
+	}
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("result set corrupted at %d: %d", i, v)
+		}
+	}
+}
+
+func TestDFParEmptyInputReturnsZ(t *testing.T) {
+	got := DFPar(4, func(x int) int { return x }, func(a, b int) int { return a + b }, 99, nil)
+	if got != 99 {
+		t.Fatalf("got %d, want z=99", got)
+	}
+}
+
+func TestDFParActuallyUsesMultipleWorkers(t *testing.T) {
+	// With n workers and a rendezvous barrier inside comp, progress is only
+	// possible if at least 2 workers run concurrently.
+	barrier := make(chan struct{})
+	comp := func(x int) int {
+		select {
+		case barrier <- struct{}{}:
+		case <-barrier:
+		}
+		return x
+	}
+	acc := func(a, b int) int { return a + b }
+	got := DFPar(2, comp, acc, 0, []int{1, 2, 3, 4})
+	if got != 10 {
+		t.Fatalf("got %d", got)
+	}
+}
+
+// --- tf ---------------------------------------------------------------------
+
+// splitRange recursively splits [lo,hi) ranges until small, then emits their
+// sums — a miniature divide-and-conquer workload.
+func splitRange(x [2]int) ([]int, [][2]int) {
+	lo, hi := x[0], x[1]
+	if hi-lo <= 3 {
+		s := 0
+		for i := lo; i < hi; i++ {
+			s += i
+		}
+		return []int{s}, nil
+	}
+	mid := (lo + hi) / 2
+	return nil, [][2]int{{lo, mid}, {mid, hi}}
+}
+
+func TestTFSeqDivideAndConquer(t *testing.T) {
+	got := TFSeq(4, splitRange, func(a, b int) int { return a + b }, 0, [][2]int{{0, 100}})
+	if got != 4950 {
+		t.Fatalf("got %d, want 4950", got)
+	}
+}
+
+func TestTFParMatchesSeq(t *testing.T) {
+	f := func(seed int64, n uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		hi := rng.Intn(500)
+		workers := int(n%8) + 1
+		acc := func(a, b int) int { return a + b }
+		seq := TFSeq(workers, splitRange, acc, 0, [][2]int{{0, hi}})
+		par := TFPar(workers, splitRange, acc, 0, [][2]int{{0, hi}})
+		return seq == par
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTFParEmptyInput(t *testing.T) {
+	got := TFPar(3, splitRange, func(a, b int) int { return a + b }, 11, nil)
+	if got != 11 {
+		t.Fatalf("got %d, want 11", got)
+	}
+}
+
+func TestTFParTerminatesWhenWorkersGenerateNothing(t *testing.T) {
+	work := func(x int) ([]int, []int) { return []int{x}, nil }
+	got := TFPar(4, work, func(a, b int) int { return a + b }, 0, []int{1, 2, 3})
+	if got != 6 {
+		t.Fatalf("got %d", got)
+	}
+}
+
+func TestTFWorkerCountInvariant(t *testing.T) {
+	// Every generated packet must be processed exactly once.
+	var processed int64
+	work := func(x int) ([]int, []int) {
+		atomic.AddInt64(&processed, 1)
+		if x > 0 {
+			return nil, []int{x - 1, x - 1}
+		}
+		return []int{1}, nil
+	}
+	// x=3 spawns a full binary tree of depth 3: 2^4 - 1 = 15 nodes.
+	got := TFPar(5, work, func(a, b int) int { return a + b }, 0, []int{3})
+	if got != 8 { // 2^3 leaves
+		t.Fatalf("leaf count = %d, want 8", got)
+	}
+	if processed != 15 {
+		t.Fatalf("processed %d packets, want 15", processed)
+	}
+}
+
+// --- itermem -----------------------------------------------------------------
+
+func TestIterMemThreadsState(t *testing.T) {
+	// State is a counter; loop adds the input to it; output records values.
+	var outs []int
+	z := IterMem(
+		func(x int) int { return x },
+		func(z, b int) (int, int) { return z + b, z + b },
+		func(y int) bool { outs = append(outs, y); return true },
+		0, 5, 4)
+	if z != 20 {
+		t.Fatalf("final state %d, want 20", z)
+	}
+	want := []int{5, 10, 15, 20}
+	for i := range want {
+		if outs[i] != want[i] {
+			t.Fatalf("outs = %v", outs)
+		}
+	}
+}
+
+func TestIterMemEarlyStop(t *testing.T) {
+	n := 0
+	IterMem(
+		func(x int) int { return x },
+		func(z, b int) (int, int) { n++; return z, 0 },
+		func(int) bool { return n < 3 },
+		0, 1, 1000)
+	if n != 3 {
+		t.Fatalf("loop ran %d times, want 3", n)
+	}
+}
+
+func TestIterMemPipeMatchesSeq(t *testing.T) {
+	run := func(im func(func(int) int, func(int, int) (int, int), func(int) bool, int, int, int) int) (int, []int) {
+		var outs []int
+		z := im(
+			func(x int) int { return x + 1 },
+			func(z, b int) (int, int) { return z*2 + b, z },
+			func(y int) bool { outs = append(outs, y); return true },
+			1, 3, 6)
+		return z, outs
+	}
+	z1, o1 := run(IterMem[int, int, int, int])
+	z2, o2 := run(IterMemPipe[int, int, int, int])
+	if z1 != z2 {
+		t.Fatalf("states differ: %d vs %d", z1, z2)
+	}
+	if len(o1) != len(o2) {
+		t.Fatalf("output lengths differ: %v vs %v", o1, o2)
+	}
+	for i := range o1 {
+		if o1[i] != o2[i] {
+			t.Fatalf("outputs differ at %d: %v vs %v", i, o1, o2)
+		}
+	}
+}
+
+func TestIterMemPipeEarlyStopTerminates(t *testing.T) {
+	count := 0
+	IterMemPipe(
+		func(x int) int { return x },
+		func(z, b int) (int, int) { return z, b },
+		func(y int) bool { count++; return count < 2 },
+		0, 7, 1_000_000)
+	if count < 2 {
+		t.Fatalf("output ran %d times", count)
+	}
+	// Reaching here at all proves the pipeline shut down early.
+}
+
+func TestIterMemPipeZeroIters(t *testing.T) {
+	z := IterMemPipe(
+		func(x int) int { return x },
+		func(z, b int) (int, int) { return z + 1, 0 },
+		func(int) bool { return true },
+		42, 0, 0)
+	if z != 42 {
+		t.Fatalf("z = %d, want untouched 42", z)
+	}
+}
+
+// --- cross-skeleton property: df of scm-equivalent workloads ----------------
+
+func TestDFEquivalentToSCMOnUniformChunks(t *testing.T) {
+	// For uniform chunking and commutative merge, scm(split,comp,merge) and
+	// df over the pre-split list compute the same value.
+	xs := make([]int, 64)
+	for i := range xs {
+		xs[i] = i * 3
+	}
+	chunks := splitChunks(8)(xs)
+	viaSCM := SCMPar(4, splitChunks(8), sum, sum, xs)
+	viaDF := DFPar(4, sum, func(a, b int) int { return a + b }, 0, chunks)
+	if viaSCM != viaDF {
+		t.Fatalf("scm=%d df=%d", viaSCM, viaDF)
+	}
+}

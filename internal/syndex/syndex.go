@@ -1,0 +1,507 @@
+// Package syndex reimplements the role SynDEx [13] plays in SKiPPER: it
+// "performs a static distribution of processes onto processors and a mixed
+// static/dynamic scheduling of communications onto channels … generat[ing] a
+// dead-lock free distributed executive with optional real-time performance
+// measurement" (paper §3). The underlying approach is the AAA
+// ("Algorithm Architecture Adequation") methodology: match the algorithm
+// graph against the architecture graph to minimize the critical path.
+//
+// Two distribution strategies are provided:
+//
+//   - Structured: SKiPPER's canonical placement — stream control (Input,
+//     Output, MEM), plain function nodes and skeleton control processes on
+//     the root processor, farm workers and scm compute processes spread
+//     round-robin over the machine. This matches how the Transvision
+//     applications were laid out.
+//   - ListSched: a general HEFT-style list scheduler over estimated costs,
+//     used as the baseline in the ablation experiments.
+//
+// The result is a deadlock-free static schedule: per-processor ordered
+// operation lists in which every receive is preceded (in global topological
+// order) by its matching send, together with the dynamic master/worker
+// protocol of the farm skeletons (the "mixed static/dynamic" part).
+package syndex
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"skipper/internal/arch"
+	"skipper/internal/graph"
+	"skipper/internal/value"
+)
+
+// Strategy selects the distribution heuristic.
+type Strategy int
+
+const (
+	// Structured is SKiPPER's canonical skeleton-aware placement.
+	Structured Strategy = iota
+	// ListSched is a generic estimated-finish-time list scheduler.
+	ListSched
+)
+
+func (s Strategy) String() string {
+	if s == ListSched {
+		return "listsched"
+	}
+	return "structured"
+}
+
+// OpKind enumerates executive operations.
+type OpKind int
+
+// Executive operation kinds. OpExec covers every static node; OpMaster and
+// OpWorker run the dynamic farm protocol; OpMemWrite stores the itermem
+// feedback value for the next iteration; OpSend/OpRecv are the statically
+// scheduled communications.
+const (
+	OpExec OpKind = iota
+	OpSend
+	OpRecv
+	OpMaster
+	OpWorker
+	OpMemWrite
+)
+
+var opNames = map[OpKind]string{
+	OpExec: "exec", OpSend: "send", OpRecv: "recv",
+	OpMaster: "master", OpWorker: "worker", OpMemWrite: "memwrite",
+}
+
+func (k OpKind) String() string {
+	if s, ok := opNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("OpKind(%d)", int(k))
+}
+
+// Op is one operation of a processor's static program.
+type Op struct {
+	Kind OpKind
+	// Node is the graph node concerned (all kinds except pure Send/Recv
+	// also reference their node).
+	Node graph.NodeID
+	// Edge is the communication concerned (OpSend/OpRecv only).
+	Edge graph.EdgeID
+	// Peer is the remote processor of a Send/Recv (final destination /
+	// original source — routing is transparent).
+	Peer arch.ProcID
+}
+
+// Schedule is a mapped and scheduled program: the distributed executive in
+// its processor-independent form (the paper's "m4 macro-code" stage).
+type Schedule struct {
+	Graph *graph.Graph
+	Arch  *arch.Arch
+	// Assign maps each node to its processor.
+	Assign []arch.ProcID
+	// Programs holds the ordered operation list of every processor.
+	Programs [][]Op
+	// Topo is the global topological order used to build the schedule
+	// (shared by the timing simulator so both agree on ordering).
+	Topo []graph.NodeID
+	// Strategy records the distribution heuristic used.
+	Strategy Strategy
+}
+
+// Map distributes the process graph over the architecture and builds the
+// static schedule. It fails if the graph is invalid or the architecture is
+// disconnected.
+func Map(g *graph.Graph, a *arch.Arch, reg *value.Registry, strat Strategy) (*Schedule, error) {
+	if err := g.Validate(); err != nil {
+		return nil, fmt.Errorf("syndex: %w", err)
+	}
+	if !a.Connected() {
+		return nil, fmt.Errorf("syndex: architecture %s is not connected", a.Name)
+	}
+	topo, err := g.TopoSort()
+	if err != nil {
+		return nil, fmt.Errorf("syndex: %w", err)
+	}
+	s := &Schedule{Graph: g, Arch: a, Topo: topo, Strategy: strat}
+	switch strat {
+	case Structured:
+		s.Assign = assignStructured(g, a)
+	case ListSched:
+		s.Assign = assignListSched(g, a, reg, topo)
+	default:
+		return nil, fmt.Errorf("syndex: unknown strategy %d", strat)
+	}
+	s.buildPrograms()
+	if err := s.checkDeadlockFree(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// assignStructured is the skeleton-aware placement: control and sequential
+// stages on processor 0 (which owns the video I/O on Transvision), farm
+// workers and scm compute nodes spread round-robin over all processors.
+func assignStructured(g *graph.Graph, a *arch.Arch) []arch.ProcID {
+	assign := make([]arch.ProcID, len(g.Nodes))
+	// Round-robin counters per skeleton instance so each farm spreads its
+	// own workers evenly starting next to the root.
+	rr := map[int]int{}
+	for _, n := range g.Nodes {
+		switch n.Kind {
+		case graph.KindWorker:
+			k := rr[n.SkelID]
+			rr[n.SkelID] = k + 1
+			assign[n.ID] = workerProc(a, k)
+		case graph.KindFunc:
+			if n.SkelID >= 1 {
+				// scm compute node: spread like workers.
+				k := rr[n.SkelID]
+				rr[n.SkelID] = k + 1
+				assign[n.ID] = workerProc(a, k)
+			} else {
+				assign[n.ID] = 0
+			}
+		default:
+			assign[n.ID] = 0
+		}
+	}
+	return assign
+}
+
+// workerProc places the k-th worker: processors 1, 2, …, N-1, 0, 1, … so
+// the root keeps its control load until every other processor has work.
+func workerProc(a *arch.Arch, k int) arch.ProcID {
+	if a.N == 1 {
+		return 0
+	}
+	return arch.ProcID((1 + k%(a.N)) % a.N)
+}
+
+// assignListSched is a HEFT-style earliest-finish-time list scheduler using
+// static cost estimates.
+func assignListSched(g *graph.Graph, a *arch.Arch, reg *value.Registry, topo []graph.NodeID) []arch.ProcID {
+	assign := make([]arch.ProcID, len(g.Nodes))
+	ready := make([]float64, a.N) // processor available time
+	finish := make([]float64, len(g.Nodes))
+	for _, id := range topo {
+		n := g.Node(id)
+		cost := a.CycleSeconds(estCost(n, reg))
+		bestProc, bestFinish := arch.ProcID(0), 0.0
+		for p := 0; p < a.N; p++ {
+			start := ready[p]
+			for _, e := range g.InEdges(id) {
+				if e.Back {
+					continue
+				}
+				src := e.From
+				arrive := finish[src]
+				if assign[src] != arch.ProcID(p) {
+					hops := a.Hops(assign[src], arch.ProcID(p))
+					arrive += float64(hops) * a.TransferSeconds(estBytes(g.Node(src), reg))
+				}
+				if arrive > start {
+					start = arrive
+				}
+			}
+			f := start + cost
+			if p == 0 || f < bestFinish {
+				bestProc, bestFinish = arch.ProcID(p), f
+			}
+		}
+		assign[id] = bestProc
+		finish[id] = bestFinish
+		ready[bestProc] = bestFinish
+	}
+	return assign
+}
+
+// estCost returns a node's static cycle estimate.
+func estCost(n *graph.Node, reg *value.Registry) int64 {
+	lookup := func(name string) int64 {
+		if name == "" {
+			return value.DefaultCost
+		}
+		if f, ok := reg.Lookup(name); ok {
+			return f.EstCostOf()
+		}
+		return value.DefaultCost
+	}
+	switch n.Kind {
+	case graph.KindConst, graph.KindPack, graph.KindUnpack, graph.KindMem:
+		return 200 // negligible kernel bookkeeping
+	case graph.KindMaster:
+		return lookup(n.AccFn) * int64(maxInt(n.Workers, 1))
+	default:
+		return lookup(n.Fn)
+	}
+}
+
+// estBytes returns the static size estimate of a node's output message.
+func estBytes(n *graph.Node, reg *value.Registry) int {
+	name := n.Fn
+	if n.Kind == graph.KindMaster {
+		name = n.AccFn
+	}
+	if name != "" {
+		if f, ok := reg.Lookup(name); ok {
+			return f.EstBytesOf()
+		}
+	}
+	if n.Kind == graph.KindConst {
+		return value.SizeOf(n.Const)
+	}
+	return 64
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// buildPrograms derives the per-processor operation lists from the global
+// topological order. Receives appear in the consumer's list at the
+// consumer's position, sends in the producer's list right after the
+// producer executes — so on every processor the op order is consistent with
+// the global order, which (with FIFO links and per-edge mailboxes) makes
+// the schedule deadlock-free.
+func (s *Schedule) buildPrograms() {
+	g, assign := s.Graph, s.Assign
+	s.Programs = make([][]Op, s.Arch.N)
+	add := func(p arch.ProcID, op Op) {
+		s.Programs[p] = append(s.Programs[p], op)
+	}
+	// Farm worker spawns must precede their master's blocking protocol op,
+	// so when the master node is reached all its workers are emitted first.
+	workersOf := map[graph.NodeID][]graph.NodeID{}
+	masterOf := map[graph.NodeID]graph.NodeID{}
+	for _, e := range g.Edges {
+		from, to := g.Node(e.From), g.Node(e.To)
+		if from.Kind == graph.KindMaster && to.Kind == graph.KindWorker {
+			workersOf[from.ID] = append(workersOf[from.ID], to.ID)
+			masterOf[to.ID] = from.ID
+		}
+	}
+	var memWrites []Op
+
+	for _, id := range s.Topo {
+		n := g.Node(id)
+		p := assign[id]
+		switch n.Kind {
+		case graph.KindWorker:
+			// Spawned when the master is reached; nothing here.
+			continue
+		case graph.KindMaster:
+			// Receives for xs and z first.
+			s.addRecvs(add, id)
+			for _, wid := range workersOf[id] {
+				add(assign[wid], Op{Kind: OpWorker, Node: wid})
+			}
+			add(p, Op{Kind: OpMaster, Node: id})
+			s.addSends(add, id)
+		case graph.KindMem:
+			// The read happens at the node's topological position; the
+			// write of the feedback value closes the iteration.
+			s.addRecvs(add, id)
+			add(p, Op{Kind: OpExec, Node: id})
+			s.addSends(add, id)
+			memWrites = append(memWrites, Op{Kind: OpMemWrite, Node: id})
+		default:
+			s.addRecvs(add, id)
+			add(p, Op{Kind: OpExec, Node: id})
+			s.addSends(add, id)
+		}
+	}
+	// Memory writes run after the whole iteration (their producers are the
+	// last thing the loop computes; the value crosses iterations).
+	for _, op := range memWrites {
+		memProc := assign[op.Node]
+		// If the back-edge producer lives elsewhere, its value has to be
+		// shipped to the MEM's processor first.
+		for _, e := range s.Graph.InEdges(op.Node) {
+			if !e.Back {
+				continue
+			}
+			srcProc := assign[e.From]
+			if srcProc != memProc {
+				add(srcProc, Op{Kind: OpSend, Node: e.From, Edge: e.ID, Peer: memProc})
+				add(memProc, Op{Kind: OpRecv, Node: op.Node, Edge: e.ID, Peer: srcProc})
+			}
+		}
+		add(memProc, op)
+	}
+}
+
+// addRecvs emits OpRecv for every forward in-edge of id whose producer is
+// remote. Back edges are handled by the MemWrite pass; intra edges are part
+// of the dynamic farm protocol.
+func (s *Schedule) addRecvs(add func(arch.ProcID, Op), id graph.NodeID) {
+	p := s.Assign[id]
+	for _, e := range s.Graph.InEdges(id) {
+		if e.Back || e.Intra {
+			continue
+		}
+		src := s.Assign[e.From]
+		if s.Graph.Node(e.From).Kind == graph.KindMaster && s.Graph.Node(id).Kind == graph.KindWorker {
+			continue // farm protocol edge
+		}
+		if src != p {
+			add(p, Op{Kind: OpRecv, Node: id, Edge: e.ID, Peer: src})
+		}
+	}
+}
+
+// addSends emits OpSend for every forward out-edge of id whose consumer is
+// remote.
+func (s *Schedule) addSends(add func(arch.ProcID, Op), id graph.NodeID) {
+	p := s.Assign[id]
+	for _, e := range s.Graph.OutEdges(id) {
+		if e.Back || e.Intra {
+			continue
+		}
+		dst := s.Assign[e.To]
+		if s.Graph.Node(id).Kind == graph.KindMaster && s.Graph.Node(e.To).Kind == graph.KindWorker {
+			continue // farm protocol edge
+		}
+		if dst != p {
+			add(p, Op{Kind: OpSend, Node: id, Edge: e.ID, Peer: dst})
+		}
+	}
+}
+
+// checkDeadlockFree verifies the fundamental safety property of the static
+// schedule: for every statically scheduled communication, the send appears
+// at a global position not later than any operation that transitively waits
+// for the corresponding receive on the receiving processor. With per-edge
+// mailboxes and FIFO loss-less links it suffices that (a) every OpRecv has a
+// matching OpSend somewhere, and (b) on each processor, ops consistent with
+// one global topological order (true by construction) — we still verify (a)
+// and that no processor program receives an edge it also sends (self-talk).
+func (s *Schedule) checkDeadlockFree() error {
+	sends := map[graph.EdgeID]int{}
+	recvs := map[graph.EdgeID]int{}
+	for p, prog := range s.Programs {
+		for _, op := range prog {
+			switch op.Kind {
+			case OpSend:
+				sends[op.Edge]++
+				if op.Peer == arch.ProcID(p) {
+					return fmt.Errorf("syndex: processor %d sends edge %d to itself", p, op.Edge)
+				}
+			case OpRecv:
+				recvs[op.Edge]++
+			}
+		}
+	}
+	for e, n := range recvs {
+		if sends[e] != n {
+			return fmt.Errorf("syndex: edge %d has %d receives but %d sends", e, n, sends[e])
+		}
+	}
+	for e, n := range sends {
+		if recvs[e] != n {
+			return fmt.Errorf("syndex: edge %d has %d sends but %d receives", e, n, recvs[e])
+		}
+	}
+	return nil
+}
+
+// Loads returns the number of compute ops per processor (for balance
+// reports).
+func (s *Schedule) Loads() []int {
+	loads := make([]int, s.Arch.N)
+	for p, prog := range s.Programs {
+		for _, op := range prog {
+			switch op.Kind {
+			case OpExec, OpMaster, OpWorker:
+				loads[p]++
+			}
+		}
+	}
+	return loads
+}
+
+// MacroCode renders the executive as processor-independent macro-code, the
+// textual stage the paper lowers to m4 before inlining kernel primitives.
+func (s *Schedule) MacroCode() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "; SKiPPER distributed executive\n")
+	fmt.Fprintf(&b, "; architecture: %s, strategy: %s\n", s.Arch.Name, s.Strategy)
+	for p := 0; p < s.Arch.N; p++ {
+		fmt.Fprintf(&b, "processor_(%d)\n", p)
+		for _, op := range s.Programs[p] {
+			n := s.Graph.Node(op.Node)
+			switch op.Kind {
+			case OpExec:
+				fn := n.Fn
+				if fn == "" {
+					fn = n.Kind.String()
+				}
+				fmt.Fprintf(&b, "  exec_(%s, %s)\n", fn, n.Name)
+			case OpMaster:
+				fmt.Fprintf(&b, "  master_(%s, acc=%s, workers=%d)\n", n.Name, n.AccFn, n.Workers)
+			case OpWorker:
+				fmt.Fprintf(&b, "  worker_(%s, comp=%s)\n", n.Name, n.Fn)
+			case OpMemWrite:
+				fmt.Fprintf(&b, "  memwrite_(%s)\n", n.Name)
+			case OpSend:
+				fmt.Fprintf(&b, "  send_(e%d, to=%d)\n", op.Edge, op.Peer)
+			case OpRecv:
+				fmt.Fprintf(&b, "  recv_(e%d, from=%d)\n", op.Edge, op.Peer)
+			}
+		}
+		fmt.Fprintf(&b, "end_\n")
+	}
+	return b.String()
+}
+
+// Summary renders a one-line-per-processor placement report.
+func (s *Schedule) Summary() string {
+	byProc := make([][]string, s.Arch.N)
+	for _, n := range s.Graph.Nodes {
+		p := s.Assign[n.ID]
+		byProc[p] = append(byProc[p], n.Name)
+	}
+	var b strings.Builder
+	for p := 0; p < s.Arch.N; p++ {
+		sort.Strings(byProc[p])
+		fmt.Fprintf(&b, "P%d: %s\n", p, strings.Join(byProc[p], ", "))
+	}
+	return b.String()
+}
+
+// MacroCodeFiles renders the executive as one macro-code file per
+// processor, the exact artifact shape the paper describes ("m4 macro-code,
+// one per processor"). Keys are file names ("proc0.m4", …).
+func (s *Schedule) MacroCodeFiles() map[string]string {
+	files := make(map[string]string, s.Arch.N)
+	for p := 0; p < s.Arch.N; p++ {
+		var b strings.Builder
+		fmt.Fprintf(&b, "; SKiPPER executive, processor %d of %s (%s)\n",
+			p, s.Arch.Name, s.Strategy)
+		fmt.Fprintf(&b, "processor_(%d)\n", p)
+		for _, op := range s.Programs[p] {
+			n := s.Graph.Node(op.Node)
+			switch op.Kind {
+			case OpExec:
+				fn := n.Fn
+				if fn == "" {
+					fn = n.Kind.String()
+				}
+				fmt.Fprintf(&b, "  exec_(%s, %s)\n", fn, n.Name)
+			case OpMaster:
+				fmt.Fprintf(&b, "  master_(%s, acc=%s, workers=%d)\n", n.Name, n.AccFn, n.Workers)
+			case OpWorker:
+				fmt.Fprintf(&b, "  worker_(%s, comp=%s)\n", n.Name, n.Fn)
+			case OpMemWrite:
+				fmt.Fprintf(&b, "  memwrite_(%s)\n", n.Name)
+			case OpSend:
+				fmt.Fprintf(&b, "  send_(e%d, to=%d)\n", op.Edge, op.Peer)
+			case OpRecv:
+				fmt.Fprintf(&b, "  recv_(e%d, from=%d)\n", op.Edge, op.Peer)
+			}
+		}
+		b.WriteString("end_\n")
+		files[fmt.Sprintf("proc%d.m4", p)] = b.String()
+	}
+	return files
+}

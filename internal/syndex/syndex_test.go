@@ -1,0 +1,359 @@
+package syndex
+
+import (
+	"strings"
+	"testing"
+
+	"skipper/internal/arch"
+	"skipper/internal/dsl/parser"
+	"skipper/internal/dsl/types"
+	"skipper/internal/expand"
+	"skipper/internal/graph"
+	"skipper/internal/value"
+)
+
+// pipelineRegistry registers arithmetic stand-ins used by the DSL programs
+// in these tests.
+func pipelineRegistry() *value.Registry {
+	r := value.NewRegistry()
+	reg := func(name, sig string, arity int, fn func([]value.Value) value.Value, cost int64) {
+		r.Register(&value.Func{Name: name, Sig: sig, Arity: arity, Fn: fn, EstCost: cost})
+	}
+	reg("source", "int -> int list", 1, func(a []value.Value) value.Value {
+		n := a[0].(int)
+		out := make(value.List, n)
+		for i := range out {
+			out[i] = i
+		}
+		return out
+	}, 2000)
+	reg("square", "int -> int", 1, func(a []value.Value) value.Value {
+		x := a[0].(int)
+		return x * x
+	}, 50_000)
+	reg("add", "int -> int -> int", 2, func(a []value.Value) value.Value {
+		return a[0].(int) + a[1].(int)
+	}, 1000)
+	return r
+}
+
+const farmSrc = `
+extern source : int -> int list;;
+extern square : int -> int;;
+extern add : int -> int -> int;;
+let main = df 4 square add 0 (source 10);;
+`
+
+func compileGraph(t *testing.T, src string, reg *value.Registry) *graph.Graph {
+	t.Helper()
+	prog, err := parser.Parse(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	info, err := types.Check(prog)
+	if err != nil {
+		t.Fatalf("check: %v", err)
+	}
+	res, err := expand.Expand(prog, info, reg)
+	if err != nil {
+		t.Fatalf("expand: %v", err)
+	}
+	return res.Graph
+}
+
+func TestMapStructuredPlacement(t *testing.T) {
+	reg := pipelineRegistry()
+	g := compileGraph(t, farmSrc, reg)
+	a := arch.Ring(4)
+	s, err := Map(g, a, reg, Structured)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Workers spread over distinct processors (4 workers, 4 procs).
+	procs := map[arch.ProcID]int{}
+	for _, n := range g.Nodes {
+		if n.Kind == graph.KindWorker {
+			procs[s.Assign[n.ID]]++
+		}
+	}
+	if len(procs) != 4 {
+		t.Fatalf("workers on %d processors, want 4: %v", len(procs), procs)
+	}
+	// Control nodes on processor 0.
+	for _, n := range g.Nodes {
+		if n.Kind == graph.KindMaster && s.Assign[n.ID] != 0 {
+			t.Fatalf("master on processor %d", s.Assign[n.ID])
+		}
+	}
+}
+
+func TestMapSingleProcessor(t *testing.T) {
+	reg := pipelineRegistry()
+	g := compileGraph(t, farmSrc, reg)
+	s, err := Map(g, arch.Ring(1), reg, Structured)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range s.Assign {
+		if p != 0 {
+			t.Fatal("single-processor mapping must place everything on 0")
+		}
+	}
+	// No static sends on one processor.
+	for _, op := range s.Programs[0] {
+		if op.Kind == OpSend || op.Kind == OpRecv {
+			t.Fatalf("unexpected comm op on 1-proc machine: %+v", op)
+		}
+	}
+}
+
+func TestSendsMatchedWithRecvs(t *testing.T) {
+	reg := pipelineRegistry()
+	g := compileGraph(t, farmSrc, reg)
+	for _, n := range []int{2, 3, 8} {
+		s, err := Map(g, arch.Ring(n), reg, Structured)
+		if err != nil {
+			t.Fatalf("ring(%d): %v", n, err)
+		}
+		sends, recvs := map[graph.EdgeID]int{}, map[graph.EdgeID]int{}
+		for _, prog := range s.Programs {
+			for _, op := range prog {
+				if op.Kind == OpSend {
+					sends[op.Edge]++
+				}
+				if op.Kind == OpRecv {
+					recvs[op.Edge]++
+				}
+			}
+		}
+		for e, c := range sends {
+			if recvs[e] != c {
+				t.Fatalf("edge %d: %d sends vs %d recvs", e, c, recvs[e])
+			}
+		}
+	}
+}
+
+func TestWorkerSpawnPrecedesMaster(t *testing.T) {
+	reg := pipelineRegistry()
+	g := compileGraph(t, farmSrc, reg)
+	s, err := Map(g, arch.Ring(1), reg, Structured)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog := s.Programs[0]
+	masterAt, firstWorker := -1, -1
+	for i, op := range prog {
+		if op.Kind == OpMaster && masterAt == -1 {
+			masterAt = i
+		}
+		if op.Kind == OpWorker && firstWorker == -1 {
+			firstWorker = i
+		}
+	}
+	if masterAt == -1 || firstWorker == -1 {
+		t.Fatalf("ops missing: master=%d worker=%d", masterAt, firstWorker)
+	}
+	if firstWorker > masterAt {
+		t.Fatal("co-located workers must be spawned before the master blocks")
+	}
+}
+
+func TestListSchedulerProducesValidSchedule(t *testing.T) {
+	reg := pipelineRegistry()
+	g := compileGraph(t, farmSrc, reg)
+	s, err := Map(g, arch.Ring(4), reg, ListSched)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Strategy != ListSched {
+		t.Fatal("strategy not recorded")
+	}
+	total := 0
+	for _, prog := range s.Programs {
+		total += len(prog)
+	}
+	if total == 0 {
+		t.Fatal("empty schedule")
+	}
+}
+
+func TestMacroCodeRendering(t *testing.T) {
+	reg := pipelineRegistry()
+	g := compileGraph(t, farmSrc, reg)
+	s, err := Map(g, arch.Ring(4), reg, Structured)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mc := s.MacroCode()
+	for _, want := range []string{
+		"processor_(0)", "processor_(3)", "master_(", "worker_(", "end_",
+		"acc=add", "comp=square", "exec_(source",
+	} {
+		if !strings.Contains(mc, want) {
+			t.Fatalf("macro-code missing %q:\n%s", want, mc)
+		}
+	}
+}
+
+const scmSrc = `
+extern source : int -> int list;;
+extern chunk4 : int list -> int list list;;
+extern sum : int list -> int;;
+extern total : int list -> int;;
+let main = scm 4 chunk4 sum total (source 16);;
+`
+
+func scmRegistry() *value.Registry {
+	r := pipelineRegistry()
+	r.Register(&value.Func{Name: "chunk4", Sig: "int list -> int list list", Arity: 1,
+		Fn: func(a []value.Value) value.Value {
+			xs := a[0].(value.List)
+			out := make(value.List, 4)
+			for i := 0; i < 4; i++ {
+				lo, hi := i*len(xs)/4, (i+1)*len(xs)/4
+				out[i] = value.List(xs[lo:hi])
+			}
+			return out
+		}})
+	r.Register(&value.Func{Name: "sum", Sig: "int list -> int", Arity: 1,
+		Fn: func(a []value.Value) value.Value {
+			s := 0
+			for _, v := range a[0].(value.List) {
+				s += v.(int)
+			}
+			return s
+		}})
+	r.Register(&value.Func{Name: "total", Sig: "int list -> int", Arity: 1,
+		Fn: func(a []value.Value) value.Value {
+			s := 0
+			for _, v := range a[0].(value.List) {
+				s += v.(int)
+			}
+			return s
+		}})
+	return r
+}
+
+func TestSCMScheduleHasStaticComms(t *testing.T) {
+	reg := scmRegistry()
+	g := compileGraph(t, scmSrc, reg)
+	s, err := Map(g, arch.Ring(4), reg, Structured)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mc := s.MacroCode()
+	if !strings.Contains(mc, "send_(") || !strings.Contains(mc, "recv_(") {
+		t.Fatalf("scm schedule should ship sub-domains across processors:\n%s", mc)
+	}
+	// The scm compute nodes are spread across processors.
+	procs := map[arch.ProcID]bool{}
+	for _, n := range g.Nodes {
+		if n.Kind == graph.KindFunc && n.Fn == "sum" {
+			procs[s.Assign[n.ID]] = true
+		}
+	}
+	if len(procs) != 4 {
+		t.Fatalf("sum nodes on %d processors", len(procs))
+	}
+}
+
+func TestSummaryAndLoads(t *testing.T) {
+	reg := pipelineRegistry()
+	g := compileGraph(t, farmSrc, reg)
+	s, err := Map(g, arch.Ring(4), reg, Structured)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := s.Summary()
+	if !strings.Contains(sum, "P0:") || !strings.Contains(sum, "P3:") {
+		t.Fatalf("summary:\n%s", sum)
+	}
+	loads := s.Loads()
+	if len(loads) != 4 {
+		t.Fatalf("loads = %v", loads)
+	}
+	for p, l := range loads {
+		if l == 0 {
+			t.Fatalf("processor %d has no compute ops: %v", p, loads)
+		}
+	}
+}
+
+func TestDisconnectedArchitectureRejected(t *testing.T) {
+	// A 1-node "ring" is connected; build a disconnected arch artificially
+	// is not exposed, so check the connectivity guard with a valid arch and
+	// invalid graph instead: unvalidated graph with dangling port.
+	g := graph.New()
+	g.AddNode(&graph.Node{Kind: graph.KindFunc, Name: "f", In: 1})
+	if _, err := Map(g, arch.Ring(2), pipelineRegistry(), Structured); err == nil {
+		t.Fatal("expected validation error")
+	}
+}
+
+func TestMemWriteScheduledLast(t *testing.T) {
+	src := `
+type img;;
+extern grab : int -> img;;
+extern step : int * img -> int * int;;
+extern show : int -> unit;;
+let loop (z, im) = step (z, im);;
+let main = itermem grab loop show 0 7;;
+`
+	r := value.NewRegistry()
+	r.Register(&value.Func{Name: "grab", Sig: "int -> img", Arity: 1,
+		Fn: func(a []value.Value) value.Value { return "IMG" }})
+	r.Register(&value.Func{Name: "step", Sig: "int * img -> int * int", Arity: 1,
+		Fn: func(a []value.Value) value.Value {
+			z := a[0].(value.Tuple)[0].(int)
+			return value.Tuple{z + 1, z}
+		}})
+	r.Register(&value.Func{Name: "show", Sig: "int -> unit", Arity: 1,
+		Fn: func([]value.Value) value.Value { return value.Unit{} }})
+	g := compileGraph(t, src, r)
+	s, err := Map(g, arch.Ring(2), r, Structured)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog := s.Programs[0]
+	last := prog[len(prog)-1]
+	if last.Kind != OpMemWrite {
+		t.Fatalf("last op on root = %+v, want memwrite", last)
+	}
+}
+
+func TestOpKindStrings(t *testing.T) {
+	if OpMaster.String() != "master" || OpKind(42).String() == "" {
+		t.Fatal("op names broken")
+	}
+	if Structured.String() != "structured" || ListSched.String() != "listsched" {
+		t.Fatal("strategy names broken")
+	}
+}
+
+func TestMacroCodeFiles(t *testing.T) {
+	reg := pipelineRegistry()
+	g := compileGraph(t, farmSrc, reg)
+	s, err := Map(g, arch.Ring(4), reg, Structured)
+	if err != nil {
+		t.Fatal(err)
+	}
+	files := s.MacroCodeFiles()
+	if len(files) != 4 {
+		t.Fatalf("got %d files", len(files))
+	}
+	for name, content := range files {
+		if !strings.HasPrefix(name, "proc") || !strings.HasSuffix(name, ".m4") {
+			t.Fatalf("bad file name %q", name)
+		}
+		if !strings.Contains(content, "processor_(") || !strings.Contains(content, "end_") {
+			t.Fatalf("%s malformed:\n%s", name, content)
+		}
+	}
+	if !strings.Contains(files["proc0.m4"], "master_(") {
+		t.Fatal("root processor missing master op")
+	}
+	if !strings.Contains(files["proc1.m4"], "worker_(") {
+		t.Fatal("worker processor missing worker op")
+	}
+}

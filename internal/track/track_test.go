@@ -1,0 +1,293 @@
+package track
+
+import (
+	"math"
+	"testing"
+
+	"skipper/internal/video"
+	"skipper/internal/vision"
+)
+
+func frameWithTriangle(w, h int, topX, topY, base, drop int) *vision.Image {
+	im := vision.NewImage(w, h)
+	vision.FillDisc(im, topX, topY, 2, 250)
+	vision.FillDisc(im, topX-base/2, topY+drop, 2, 250)
+	vision.FillDisc(im, topX+base/2, topY+drop, 2, 250)
+	return im
+}
+
+func TestInitState(t *testing.T) {
+	s := InitState(512, 512, 2)
+	if s.Tracking || s.W != 512 || s.NVehicles != 2 {
+		t.Fatalf("bad init state: %+v", s)
+	}
+	if InitState(10, 10, 0).NVehicles != 1 || InitState(10, 10, 7).NVehicles != 3 {
+		t.Fatal("vehicle count not clamped")
+	}
+}
+
+func TestGetWindowsReinitSplitsFrame(t *testing.T) {
+	s := InitState(128, 128, 1)
+	im := vision.NewImage(128, 128)
+	ws := GetWindows(8, s, im)
+	if len(ws) != 8 {
+		t.Fatalf("reinit should produce np=8 windows, got %d", len(ws))
+	}
+	rows := 0
+	for _, w := range ws {
+		rows += w.Origin.H()
+	}
+	if rows != 128 {
+		t.Fatalf("windows cover %d rows", rows)
+	}
+}
+
+func TestGetWindowsTrackingFollowsMarks(t *testing.T) {
+	s := InitState(256, 256, 1)
+	s.Tracking = true
+	var est VehicleEst
+	est.Marks[0] = Mark{CX: 100, CY: 80}
+	est.Marks[1] = Mark{CX: 80, CY: 120}
+	est.Marks[2] = Mark{CX: 120, CY: 120}
+	est.VX = [3]float64{2, 2, 2}
+	est.Scale = 40
+	s.Vehicles = []VehicleEst{est}
+	ws := GetWindows(8, s, vision.NewImage(256, 256))
+	if len(ws) != 3 {
+		t.Fatalf("tracking should produce 3 windows, got %d", len(ws))
+	}
+	// First window is centered near predicted position (102, 80).
+	c := ws[0].Origin
+	cx := (c.X0 + c.X1) / 2
+	if cx < 97 || cx > 107 {
+		t.Fatalf("window not centered on prediction: %v", c)
+	}
+}
+
+func TestDetectMarksTranslatesCoordinates(t *testing.T) {
+	im := frameWithTriangle(200, 200, 100, 60, 40, 30)
+	w := vision.Extract(im, vision.Rect{X0: 90, Y0: 50, X1: 110, Y1: 70})
+	marks := DetectMarks(w)
+	if len(marks) != 1 {
+		t.Fatalf("expected 1 mark in window, got %d", len(marks))
+	}
+	if math.Abs(marks[0].CX-100) > 0.6 || math.Abs(marks[0].CY-60) > 0.6 {
+		t.Fatalf("mark at (%g,%g), want (100,60)", marks[0].CX, marks[0].CY)
+	}
+}
+
+func TestMergeDuplicatesFusesSplitBlob(t *testing.T) {
+	// The same physical mark reported by two adjacent reinit bands.
+	a := Mark{CX: 50, CY: 63.5, BBox: vision.Rect{X0: 48, Y0: 62, X1: 53, Y1: 65}, Area: 10}
+	b := Mark{CX: 50, CY: 66.5, BBox: vision.Rect{X0: 48, Y0: 65, X1: 53, Y1: 69}, Area: 10}
+	far := Mark{CX: 150, CY: 20, BBox: vision.Rect{X0: 149, Y0: 19, X1: 152, Y1: 22}, Area: 5}
+	got := MergeDuplicates([]Mark{far, a, b})
+	if len(got) != 2 {
+		t.Fatalf("expected 2 marks after merge, got %d", len(got))
+	}
+	// Canonical order: sorted by CY → far first.
+	if got[0].CX != 150 {
+		t.Fatalf("canonical order broken: %+v", got)
+	}
+	fused := got[1]
+	if fused.Area != 20 || math.Abs(fused.CY-65) > 1e-9 {
+		t.Fatalf("bad fusion: %+v", fused)
+	}
+}
+
+func TestMergeDuplicatesOrderInvariant(t *testing.T) {
+	a := Mark{CX: 10, CY: 10, BBox: vision.Rect{X0: 9, Y0: 9, X1: 12, Y1: 12}, Area: 4}
+	b := Mark{CX: 40, CY: 40, BBox: vision.Rect{X0: 39, Y0: 39, X1: 42, Y1: 42}, Area: 4}
+	c := Mark{CX: 70, CY: 10, BBox: vision.Rect{X0: 69, Y0: 9, X1: 72, Y1: 12}, Area: 4}
+	m1 := MergeDuplicates([]Mark{a, b, c})
+	m2 := MergeDuplicates([]Mark{c, a, b})
+	if len(m1) != len(m2) {
+		t.Fatal("length differs")
+	}
+	for i := range m1 {
+		if m1[i] != m2[i] {
+			t.Fatalf("order dependence: %+v vs %+v", m1, m2)
+		}
+	}
+}
+
+func TestRigidAcceptsTriangle(t *testing.T) {
+	g := []Mark{
+		{CX: 100, CY: 60},  // top
+		{CX: 80, CY: 100},  // bottom-left
+		{CX: 120, CY: 100}, // bottom-right
+	}
+	if !rigid(g) {
+		t.Fatal("valid triangle rejected")
+	}
+}
+
+func TestRigidRejectsDegenerate(t *testing.T) {
+	cases := map[string][]Mark{
+		"two marks": {{CX: 1}, {CX: 2}},
+		"collinear horizontal": {
+			{CX: 80, CY: 100}, {CX: 100, CY: 100}, {CX: 120, CY: 100}},
+		"top below bottom": {
+			{CX: 100, CY: 120}, {CX: 80, CY: 100}, {CX: 120, CY: 100}},
+		"top far off-center": {
+			{CX: 300, CY: 60}, {CX: 80, CY: 100}, {CX: 120, CY: 100}},
+		"too tall": {
+			{CX: 100, CY: 10}, {CX: 98, CY: 100}, {CX: 102, CY: 100}},
+	}
+	for name, g := range cases {
+		if rigid(sortTriangle(g)) {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+func TestPredictLocksFromReinit(t *testing.T) {
+	s := InitState(200, 200, 1)
+	im := frameWithTriangle(200, 200, 100, 60, 40, 30)
+	ws := GetWindows(8, s, im)
+	var marks []Mark
+	for _, w := range ws {
+		marks = AccumMarks(marks, DetectMarks(w))
+	}
+	ns, r := Predict(s, marks)
+	if !ns.Tracking {
+		t.Fatalf("tracker failed to lock: %+v", r)
+	}
+	if r.Vehicles != 1 || len(r.Marks) != 3 {
+		t.Fatalf("result = %+v", r)
+	}
+	if r.Tracking {
+		t.Fatal("result phase should record the producing (reinit) phase")
+	}
+}
+
+func TestPredictLosesLockOnEmptyFrame(t *testing.T) {
+	s := InitState(200, 200, 1)
+	im := frameWithTriangle(200, 200, 100, 60, 40, 30)
+	ws := GetWindows(8, s, im)
+	var marks []Mark
+	for _, w := range ws {
+		marks = AccumMarks(marks, DetectMarks(w))
+	}
+	ns, _ := Predict(s, marks)
+	if !ns.Tracking {
+		t.Fatal("precondition: should lock")
+	}
+	// Next frame: nothing detected -> prediction failed -> reinit.
+	ns2, r2 := Predict(ns, nil)
+	if ns2.Tracking {
+		t.Fatal("should drop lock with no marks")
+	}
+	if r2.Vehicles != 0 {
+		t.Fatalf("r2 = %+v", r2)
+	}
+}
+
+func TestPredictDoesNotMutateInputState(t *testing.T) {
+	s := InitState(200, 200, 1)
+	before := *s
+	im := frameWithTriangle(200, 200, 100, 60, 40, 30)
+	ws := GetWindows(8, s, im)
+	var marks []Mark
+	for _, w := range ws {
+		marks = AccumMarks(marks, DetectMarks(w))
+	}
+	Predict(s, marks)
+	if s.Tracking != before.Tracking || s.Frame != before.Frame ||
+		len(s.Vehicles) != len(before.Vehicles) {
+		t.Fatalf("Predict mutated input state: %+v -> %+v", before, *s)
+	}
+}
+
+func TestAlphaBetaFollowsMotion(t *testing.T) {
+	// Triangle translating right 3px/frame: after a few frames the velocity
+	// estimate should be ≈3 and predictions should track.
+	s := InitState(400, 200, 1)
+	for f := 0; f < 12; f++ {
+		x := 100 + 3*f
+		im := frameWithTriangle(400, 200, x, 60, 40, 30)
+		ws := GetWindows(8, s, im)
+		var marks []Mark
+		for _, w := range ws {
+			marks = AccumMarks(marks, DetectMarks(w))
+		}
+		s, _ = Predict(s, marks)
+	}
+	if !s.Tracking {
+		t.Fatal("lost lock on smooth motion")
+	}
+	v := s.Vehicles[0]
+	for i := 0; i < 3; i++ {
+		if v.VX[i] < 1.5 || v.VX[i] > 4.5 {
+			t.Fatalf("VX[%d] = %g, want ≈3", i, v.VX[i])
+		}
+	}
+	if v.Age < 10 {
+		t.Fatalf("Age = %d", v.Age)
+	}
+}
+
+func TestAppTracksSyntheticScene(t *testing.T) {
+	app := NewApp(256, 256, 8, 1, 3)
+	app.Run(40)
+	if len(app.Results) != 40 {
+		t.Fatalf("got %d results", len(app.Results))
+	}
+	if lr := app.LockRatio(); lr < 0.6 {
+		t.Fatalf("lock ratio %.2f too low", lr)
+	}
+}
+
+func TestAppParallelMatchesSequential(t *testing.T) {
+	seq := NewApp(192, 192, 8, 2, 11)
+	par := NewApp(192, 192, 8, 2, 11)
+	par.Parallel = true
+	seq.Run(25)
+	par.Run(25)
+	if len(seq.Results) != len(par.Results) {
+		t.Fatalf("result counts differ: %d vs %d", len(seq.Results), len(par.Results))
+	}
+	for i := range seq.Results {
+		a, b := seq.Results[i], par.Results[i]
+		if a.Vehicles != b.Vehicles || a.Tracking != b.Tracking || len(a.Marks) != len(b.Marks) {
+			t.Fatalf("iteration %d diverged: %+v vs %+v", i, a, b)
+		}
+		for j := range a.Marks {
+			if math.Abs(a.Marks[j].CX-b.Marks[j].CX) > 1e-9 ||
+				math.Abs(a.Marks[j].CY-b.Marks[j].CY) > 1e-9 {
+				t.Fatalf("iteration %d mark %d diverged", i, j)
+			}
+		}
+	}
+}
+
+func TestMultiVehicleTracking(t *testing.T) {
+	app := NewApp(384, 288, 8, 3, 7)
+	app.Run(30)
+	locked := 0
+	for _, r := range app.Results {
+		if r.Vehicles >= 2 {
+			locked++
+		}
+	}
+	if locked < 15 {
+		t.Fatalf("only %d/30 frames locked >=2 vehicles", locked)
+	}
+}
+
+func TestDisplayFormatsPhases(t *testing.T) {
+	got := Display(Result{Frame: 3, Tracking: true, Vehicles: 2, Marks: make([]Mark, 6)})
+	want := "frame    3  TRACK   vehicles=2  marks=6"
+	if got != want {
+		t.Fatalf("Display = %q, want %q", got, want)
+	}
+	if Display(Result{})[12:18] != "REINIT" {
+		t.Fatalf("reinit label missing: %q", Display(Result{}))
+	}
+}
+
+func TestThresholdMatchesVideoContract(t *testing.T) {
+	if Threshold != video.DetectThreshold {
+		t.Fatal("threshold drifted from the video generator contract")
+	}
+}

@@ -1,0 +1,236 @@
+// Package trans implements transformation rules over the process graph —
+// the direction the paper's conclusion singles out for further work
+// ("to study inter-skeleton transformational rules, which are needed when
+// applications are built by composing and/or nesting a large number of
+// skeletons"). The rules here are semantics-preserving rewrites applied
+// between expansion and mapping:
+//
+//   - DeadNodeElimination: drop nodes whose results can never reach an
+//     Output or a MEM write (constant-folding leftovers, unused bindings).
+//   - ConstDedup: share structurally identical Const nodes.
+//   - PackUnpackCancel: cancel a Pack whose only consumer is an Unpack,
+//     wiring the producers straight to the projections' consumers.
+//
+// Every rule preserves the observable behaviour of the executive; the test
+// suite verifies this by running programs before and after optimization.
+package trans
+
+import (
+	"skipper/internal/graph"
+	"skipper/internal/value"
+)
+
+// Stats reports what a pass changed.
+type Stats struct {
+	DeadNodes    int
+	ConstsMerged int
+	PairsCut     int
+}
+
+// Total returns the total number of rewrites applied.
+func (s Stats) Total() int { return s.DeadNodes + s.ConstsMerged + s.PairsCut }
+
+// Optimize applies all rules to fixpoint and returns the rewritten graph
+// together with rewrite statistics. The input graph is not modified.
+func Optimize(g *graph.Graph) (*graph.Graph, Stats) {
+	out := Clone(g)
+	var total Stats
+	for {
+		changed := 0
+		n := PackUnpackCancel(out)
+		total.PairsCut += n
+		changed += n
+		n = ConstDedup(out)
+		total.ConstsMerged += n
+		changed += n
+		n = DeadNodeElimination(out)
+		total.DeadNodes += n
+		changed += n
+		if changed == 0 {
+			return out, total
+		}
+	}
+}
+
+// Clone deep-copies a graph (nodes and edges; Const values are shared, as
+// they are immutable by convention).
+func Clone(g *graph.Graph) *graph.Graph {
+	out := graph.New()
+	out.NextSkel = g.NextSkel
+	for _, n := range g.Nodes {
+		cp := *n
+		out.Nodes = append(out.Nodes, &cp)
+	}
+	for _, e := range g.Edges {
+		cp := *e
+		out.Edges = append(out.Edges, &cp)
+	}
+	return out
+}
+
+// roots returns the node set that anchors liveness: Output nodes and Mem
+// nodes (whose feedback writes matter across iterations).
+func roots(g *graph.Graph) []graph.NodeID {
+	var out []graph.NodeID
+	for _, n := range g.Nodes {
+		if n.Kind == graph.KindOutput || n.Kind == graph.KindMem {
+			out = append(out, n.ID)
+		}
+	}
+	return out
+}
+
+// DeadNodeElimination removes nodes from which no Output or Mem node is
+// reachable (following edges forward). It returns the number of nodes
+// removed. Node and edge IDs are re-assigned.
+func DeadNodeElimination(g *graph.Graph) int {
+	live := map[graph.NodeID]bool{}
+	var mark func(id graph.NodeID)
+	// Predecessor closure from the roots, following all edge kinds.
+	preds := map[graph.NodeID][]graph.NodeID{}
+	for _, e := range g.Edges {
+		preds[e.To] = append(preds[e.To], e.From)
+	}
+	mark = func(id graph.NodeID) {
+		if live[id] {
+			return
+		}
+		live[id] = true
+		for _, p := range preds[id] {
+			mark(p)
+		}
+	}
+	for _, r := range roots(g) {
+		mark(r)
+	}
+	dead := 0
+	for _, n := range g.Nodes {
+		if !live[n.ID] {
+			dead++
+		}
+	}
+	if dead == 0 {
+		return 0
+	}
+	rebuild(g, func(n *graph.Node) bool { return live[n.ID] }, nil)
+	return dead
+}
+
+// ConstDedup merges Const nodes with equal values, redirecting consumers to
+// one representative. Returns the number of nodes merged away.
+func ConstDedup(g *graph.Graph) int {
+	type rep struct {
+		id graph.NodeID
+	}
+	var reps []rep
+	redirect := map[graph.NodeID]graph.NodeID{}
+	for _, n := range g.Nodes {
+		if n.Kind != graph.KindConst {
+			continue
+		}
+		found := false
+		for _, r := range reps {
+			if value.Equal(g.Node(r.id).Const, n.Const) {
+				redirect[n.ID] = r.id
+				found = true
+				break
+			}
+		}
+		if !found {
+			reps = append(reps, rep{id: n.ID})
+		}
+	}
+	if len(redirect) == 0 {
+		return 0
+	}
+	for _, e := range g.Edges {
+		if to, ok := redirect[e.From]; ok {
+			e.From = to
+		}
+	}
+	rebuild(g, func(n *graph.Node) bool { _, drop := redirect[n.ID]; return !drop }, nil)
+	return len(redirect)
+}
+
+// PackUnpackCancel removes Pack nodes whose single consumer is an Unpack
+// with matching width, reconnecting producers directly. Returns the number
+// of pairs cancelled.
+func PackUnpackCancel(g *graph.Graph) int {
+	cut := 0
+	for _, pk := range g.Nodes {
+		if pk.Kind != graph.KindPack {
+			continue
+		}
+		outs := g.OutEdges(pk.ID)
+		if len(outs) != 1 {
+			continue
+		}
+		un := g.Node(outs[0].To)
+		if un.Kind != graph.KindUnpack || un.Out != pk.In {
+			continue
+		}
+		// Producer of pack port i feeds the consumers of unpack port i.
+		srcOf := map[int]*graph.Edge{}
+		for _, e := range g.InEdges(pk.ID) {
+			srcOf[e.ToPort] = e
+		}
+		complete := true
+		for i := 0; i < pk.In; i++ {
+			if srcOf[i] == nil {
+				complete = false
+			}
+		}
+		if !complete {
+			continue
+		}
+		for _, e := range g.Edges {
+			if e.From == un.ID {
+				src := srcOf[e.FromPort]
+				e.From = src.From
+				e.FromPort = src.FromPort
+				if e.Type == "" {
+					e.Type = src.Type
+				}
+			}
+		}
+		// Drop the pack/unpack pair and their connecting edges.
+		dropNodes := map[graph.NodeID]bool{pk.ID: true, un.ID: true}
+		rebuild(g, func(n *graph.Node) bool { return !dropNodes[n.ID] }, nil)
+		cut++
+		// Node IDs changed; restart scanning.
+		return cut + PackUnpackCancel(g)
+	}
+	return cut
+}
+
+// rebuild compacts the graph in place, keeping the nodes for which keep
+// returns true and every edge whose endpoints survive. extraEdgeFilter, when
+// non-nil, can drop additional edges.
+func rebuild(g *graph.Graph, keep func(*graph.Node) bool, extraEdgeFilter func(*graph.Edge) bool) {
+	remap := map[graph.NodeID]graph.NodeID{}
+	var nodes []*graph.Node
+	for _, n := range g.Nodes {
+		if !keep(n) {
+			continue
+		}
+		remap[n.ID] = graph.NodeID(len(nodes))
+		n.ID = graph.NodeID(len(nodes))
+		nodes = append(nodes, n)
+	}
+	var edges []*graph.Edge
+	for _, e := range g.Edges {
+		from, okF := remap[e.From]
+		to, okT := remap[e.To]
+		if !okF || !okT {
+			continue
+		}
+		if extraEdgeFilter != nil && !extraEdgeFilter(e) {
+			continue
+		}
+		e.From, e.To = from, to
+		e.ID = graph.EdgeID(len(edges))
+		edges = append(edges, e)
+	}
+	g.Nodes = nodes
+	g.Edges = edges
+}

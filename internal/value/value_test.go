@@ -1,0 +1,160 @@
+package value
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestShow(t *testing.T) {
+	cases := map[string]Value{
+		"42":                42,
+		"3.5":               3.5,
+		"true":              true,
+		`"hi"`:              "hi",
+		"()":                Unit{},
+		"(1, false)":        Tuple{1, false},
+		"[1; 2]":            List{1, 2},
+		"[]":                List{},
+		"<nil>":             nil,
+		"[(1, ()); [true]]": List{Tuple{1, Unit{}}, List{true}},
+	}
+	for want, v := range cases {
+		if got := Show(v); got != want {
+			t.Errorf("Show(%v) = %q, want %q", v, got, want)
+		}
+	}
+	if !strings.HasPrefix(Show(struct{ X int }{1}), "<struct") {
+		t.Errorf("opaque Show = %q", Show(struct{ X int }{1}))
+	}
+}
+
+type sized struct{ n int }
+
+func (s sized) Bytes() int { return s.n }
+
+func TestSizeOf(t *testing.T) {
+	cases := []struct {
+		v    Value
+		want int
+	}{
+		{42, 4},
+		{3.14, 8},
+		{true, 1},
+		{"abcd", 8},
+		{Unit{}, 1},
+		{Tuple{1, 2}, 12},
+		{List{1, 2, 3}, 16},
+		{sized{n: 777}, 777},
+		{nil, 4},
+		{struct{}{}, 64},
+	}
+	for _, c := range cases {
+		if got := SizeOf(c.v); got != c.want {
+			t.Errorf("SizeOf(%v) = %d, want %d", c.v, got, c.want)
+		}
+	}
+}
+
+func TestSizeOfNested(t *testing.T) {
+	v := List{Tuple{1, "ab"}, sized{100}}
+	// 4 (list hdr) + [4 (tuple hdr) + 4 + (4+2)] + 100 = 118
+	if got := SizeOf(v); got != 118 {
+		t.Fatalf("SizeOf = %d", got)
+	}
+}
+
+func TestEqual(t *testing.T) {
+	if !Equal(Tuple{1, List{true}}, Tuple{1, List{true}}) {
+		t.Fatal("deep equal failed")
+	}
+	if Equal(Tuple{1}, Tuple{2}) || Equal(List{1}, List{1, 2}) {
+		t.Fatal("inequality missed")
+	}
+	if Equal(Tuple{1}, List{1}) {
+		t.Fatal("tuple/list confusion")
+	}
+	// Incomparable dynamic types must not panic.
+	if Equal([]int{1}, []int{1}) {
+		t.Fatal("incomparable opaque values should be unequal")
+	}
+	if !Equal(Unit{}, Unit{}) {
+		t.Fatal("unit equality")
+	}
+}
+
+func TestEqualReflexiveOnStructured(t *testing.T) {
+	f := func(a int, b bool, s string) bool {
+		v := Tuple{a, List{b, s}, Unit{}}
+		return Equal(v, v)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRegistryRegisterAndLookup(t *testing.T) {
+	r := NewRegistry()
+	f := &Func{Name: "f", Sig: "int -> int", Arity: 1,
+		Fn: func(a []Value) Value { return a[0] }}
+	r.Register(f)
+	got, ok := r.Lookup("f")
+	if !ok || got != f {
+		t.Fatal("lookup failed")
+	}
+	if _, ok := r.Lookup("ghost"); ok {
+		t.Fatal("phantom lookup")
+	}
+	names := r.Names()
+	if len(names) != 1 || names[0] != "f" {
+		t.Fatalf("names = %v", names)
+	}
+}
+
+func TestRegistryPanicsOnBadRegistration(t *testing.T) {
+	check := func(name string, f *Func) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: expected panic", name)
+			}
+		}()
+		r := NewRegistry()
+		if name == "duplicate" {
+			r.Register(&Func{Name: "dup", Arity: 0, Fn: func([]Value) Value { return 0 }})
+		}
+		r.Register(f)
+	}
+	check("empty name", &Func{Arity: 1, Fn: func([]Value) Value { return 0 }})
+	check("negative arity", &Func{Name: "f", Arity: -1, Fn: func([]Value) Value { return 0 }})
+	check("nil fn", &Func{Name: "f", Arity: 1})
+	check("duplicate", &Func{Name: "dup", Arity: 0, Fn: func([]Value) Value { return 0 }})
+}
+
+func TestExternDecls(t *testing.T) {
+	r := NewRegistry()
+	r.Register(&Func{Name: "b", Sig: "int -> int", Arity: 1, Fn: func(a []Value) Value { return 0 }})
+	r.Register(&Func{Name: "a", Sig: "unit -> img", Arity: 1, Fn: func(a []Value) Value { return 0 }})
+	r.Register(&Func{Name: "nosig", Arity: 1, Fn: func(a []Value) Value { return 0 }})
+	got := r.ExternDecls()
+	want := "extern a : unit -> img;;\nextern b : int -> int;;\n"
+	if got != want {
+		t.Fatalf("ExternDecls = %q", got)
+	}
+}
+
+func TestCostAndEstimates(t *testing.T) {
+	f := &Func{Name: "f", Arity: 1, Fn: func(a []Value) Value { return 0 }}
+	if f.CostOf(nil) != DefaultCost {
+		t.Fatal("default cost")
+	}
+	if f.EstCostOf() != DefaultCost || f.EstBytesOf() != 64 {
+		t.Fatal("default estimates")
+	}
+	f.Cost = func([]Value) int64 { return 777 }
+	f.EstCost = 555
+	f.EstBytes = 333
+	if f.CostOf(nil) != 777 || f.EstCostOf() != 555 || f.EstBytesOf() != 333 {
+		t.Fatal("explicit models ignored")
+	}
+}

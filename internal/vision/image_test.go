@@ -1,0 +1,188 @@
+package vision
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestNewImageZeroed(t *testing.T) {
+	im := NewImage(7, 3)
+	if im.W != 7 || im.H != 3 || len(im.Pix) != 21 {
+		t.Fatalf("bad image geometry: %+v", im)
+	}
+	for i, p := range im.Pix {
+		if p != 0 {
+			t.Fatalf("pixel %d not zeroed: %d", i, p)
+		}
+	}
+}
+
+func TestNewImagePanicsOnNegative(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for negative size")
+		}
+	}()
+	NewImage(-1, 4)
+}
+
+func TestAtSetBounds(t *testing.T) {
+	im := NewImage(4, 4)
+	im.Set(2, 3, 77)
+	if im.At(2, 3) != 77 {
+		t.Fatalf("At(2,3) = %d, want 77", im.At(2, 3))
+	}
+	// Out of bounds reads return 0, writes are no-ops.
+	if im.At(-1, 0) != 0 || im.At(0, -1) != 0 || im.At(4, 0) != 0 || im.At(0, 4) != 0 {
+		t.Fatal("out-of-bounds At should return 0")
+	}
+	im.Set(-1, 0, 5)
+	im.Set(4, 4, 5)
+	for _, p := range im.Pix {
+		if p != 0 && p != 77 {
+			t.Fatalf("out-of-bounds Set modified image: %d", p)
+		}
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	a := NewImage(3, 3)
+	a.Set(1, 1, 9)
+	b := a.Clone()
+	b.Set(1, 1, 42)
+	if a.At(1, 1) != 9 {
+		t.Fatal("Clone shares pixel storage with original")
+	}
+}
+
+func TestFillAndBytes(t *testing.T) {
+	im := NewImage(5, 2)
+	im.Fill(200)
+	for _, p := range im.Pix {
+		if p != 200 {
+			t.Fatal("Fill missed a pixel")
+		}
+	}
+	if im.Bytes() != 10 {
+		t.Fatalf("Bytes = %d, want 10", im.Bytes())
+	}
+}
+
+func TestRectGeometry(t *testing.T) {
+	r := Rect{2, 3, 7, 9}
+	if r.W() != 5 || r.H() != 6 || r.Area() != 30 || r.Empty() {
+		t.Fatalf("bad rect arithmetic: %v", r)
+	}
+	if !r.Contains(2, 3) || r.Contains(7, 3) || r.Contains(2, 9) {
+		t.Fatal("Contains is not half-open")
+	}
+	inverted := Rect{5, 5, 1, 1}
+	if inverted.W() != 0 || inverted.H() != 0 || !inverted.Empty() {
+		t.Fatal("inverted rect should be empty")
+	}
+}
+
+func TestRectIntersect(t *testing.T) {
+	a := Rect{0, 0, 10, 10}
+	b := Rect{5, 5, 15, 15}
+	got := a.Intersect(b)
+	if got != (Rect{5, 5, 10, 10}) {
+		t.Fatalf("Intersect = %v", got)
+	}
+	c := Rect{20, 20, 30, 30}
+	if !a.Intersect(c).Empty() {
+		t.Fatal("disjoint intersect should be empty")
+	}
+}
+
+func TestRectUnion(t *testing.T) {
+	a := Rect{1, 1, 2, 2}
+	b := Rect{5, 7, 9, 8}
+	if got := a.Union(b); got != (Rect{1, 1, 9, 8}) {
+		t.Fatalf("Union = %v", got)
+	}
+	var empty Rect
+	if got := empty.Union(b); got != b {
+		t.Fatal("empty union identity failed (left)")
+	}
+	if got := b.Union(empty); got != b {
+		t.Fatal("empty union identity failed (right)")
+	}
+}
+
+func TestRectInflateClamps(t *testing.T) {
+	r := Rect{2, 2, 4, 4}
+	got := r.Inflate(3, 5, 5)
+	if got != (Rect{0, 0, 5, 5}) {
+		t.Fatalf("Inflate = %v", got)
+	}
+}
+
+func TestExtractWindow(t *testing.T) {
+	im := NewImage(8, 8)
+	for y := 0; y < 8; y++ {
+		for x := 0; x < 8; x++ {
+			im.Set(x, y, uint8(y*8+x))
+		}
+	}
+	w := Extract(im, Rect{2, 3, 5, 6})
+	if w.Origin != (Rect{2, 3, 5, 6}) || w.Img.W != 3 || w.Img.H != 3 {
+		t.Fatalf("bad window: %+v", w.Origin)
+	}
+	for y := 0; y < 3; y++ {
+		for x := 0; x < 3; x++ {
+			want := uint8((y+3)*8 + (x + 2))
+			if got := w.Img.At(x, y); got != want {
+				t.Fatalf("window pixel (%d,%d) = %d, want %d", x, y, got, want)
+			}
+		}
+	}
+}
+
+func TestExtractClipsToFrame(t *testing.T) {
+	im := NewImage(4, 4)
+	w := Extract(im, Rect{-5, -5, 100, 2})
+	if w.Origin != (Rect{0, 0, 4, 2}) {
+		t.Fatalf("clip failed: %v", w.Origin)
+	}
+	if w.Bytes() != 16+8 {
+		t.Fatalf("Bytes = %d", w.Bytes())
+	}
+}
+
+func TestSplitGridCoversFrame(t *testing.T) {
+	for _, n := range []int{1, 2, 3, 7, 8, 16} {
+		bands := SplitGrid(100, 97, n)
+		if len(bands) != n {
+			t.Fatalf("n=%d: got %d bands", n, len(bands))
+		}
+		rows := 0
+		for i, b := range bands {
+			if b.X0 != 0 || b.X1 != 100 {
+				t.Fatalf("band %d does not span width: %v", i, b)
+			}
+			if i > 0 && b.Y0 != bands[i-1].Y1 {
+				t.Fatalf("bands %d/%d not contiguous", i-1, i)
+			}
+			rows += b.H()
+		}
+		if rows != 97 {
+			t.Fatalf("n=%d: bands cover %d rows, want 97", n, rows)
+		}
+	}
+	if SplitGrid(10, 10, 0) != nil {
+		t.Fatal("n=0 should return nil")
+	}
+}
+
+func TestASCII(t *testing.T) {
+	im := NewImage(10, 10)
+	FillRect(im, Rect{0, 0, 5, 10}, 255)
+	art := im.ASCII(2, 1)
+	if !strings.HasPrefix(art, "@") {
+		t.Fatalf("bright half should render '@': %q", art)
+	}
+	if len(strings.TrimRight(art, "\n")) != 2 {
+		t.Fatalf("wrong art width: %q", art)
+	}
+}

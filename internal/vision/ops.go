@@ -1,0 +1,283 @@
+package vision
+
+// Threshold returns a binary image: 255 where the source pixel is >= t,
+// 0 elsewhere. "Marks are detected as connected groups of pixels with values
+// above a given threshold" (paper §4).
+func Threshold(im *Image, t uint8) *Image {
+	out := NewImage(im.W, im.H)
+	for i, p := range im.Pix {
+		if p >= t {
+			out.Pix[i] = 255
+		}
+	}
+	return out
+}
+
+// CountAbove returns the number of pixels with value >= t.
+func CountAbove(im *Image, t uint8) int {
+	n := 0
+	for _, p := range im.Pix {
+		if p >= t {
+			n++
+		}
+	}
+	return n
+}
+
+// Histogram returns the 256-bin gray-level histogram of the image.
+func Histogram(im *Image) [256]int {
+	var h [256]int
+	for _, p := range im.Pix {
+		h[p]++
+	}
+	return h
+}
+
+// Component is a connected group of bright pixels together with its first
+// order statistics: pixel count, center of gravity and englobing frame
+// (bounding box), exactly the per-mark characterization of paper §4.
+type Component struct {
+	Label  int
+	Area   int
+	CX, CY float64 // center of gravity
+	BBox   Rect    // englobing frame
+	SumVal int64   // sum of original gray values (weighted moments)
+}
+
+// labelUF is a union-find (disjoint-set) structure over provisional labels,
+// with path halving and union by arbitrary order (smaller root wins, which
+// keeps labels deterministic).
+type labelUF struct {
+	parent []int32
+}
+
+func newLabelUF() *labelUF { return &labelUF{parent: make([]int32, 0, 64)} }
+
+func (u *labelUF) fresh() int32 {
+	l := int32(len(u.parent))
+	u.parent = append(u.parent, l)
+	return l
+}
+
+func (u *labelUF) find(x int32) int32 {
+	for u.parent[x] != x {
+		u.parent[x] = u.parent[u.parent[x]] // path halving
+		x = u.parent[x]
+	}
+	return x
+}
+
+func (u *labelUF) union(a, b int32) int32 {
+	ra, rb := u.find(a), u.find(b)
+	if ra == rb {
+		return ra
+	}
+	if rb < ra {
+		ra, rb = rb, ra
+	}
+	u.parent[rb] = ra
+	return ra
+}
+
+// LabelResult holds the dense labelling of an image: Labels[i] is 0 for
+// background and 1..N for foreground components.
+type LabelResult struct {
+	W, H   int
+	Labels []int32
+	N      int
+}
+
+// Label performs two-pass 4-connected component labelling with union-find
+// on the binary image produced by thresholding im at t. The returned labels
+// are dense (1..N) in raster order of first appearance.
+func Label(im *Image, t uint8) *LabelResult {
+	w, h := im.W, im.H
+	res := &LabelResult{W: w, H: h, Labels: make([]int32, w*h)}
+	uf := newLabelUF()
+	// Pass 1: provisional labels. Provisional label k is stored as k+1 so
+	// zero remains "background".
+	for y := 0; y < h; y++ {
+		row := y * w
+		for x := 0; x < w; x++ {
+			if im.Pix[row+x] < t {
+				continue
+			}
+			var left, up int32
+			if x > 0 {
+				left = res.Labels[row+x-1]
+			}
+			if y > 0 {
+				up = res.Labels[row-w+x]
+			}
+			switch {
+			case left == 0 && up == 0:
+				res.Labels[row+x] = uf.fresh() + 1
+			case left != 0 && up == 0:
+				res.Labels[row+x] = left
+			case left == 0 && up != 0:
+				res.Labels[row+x] = up
+			default:
+				res.Labels[row+x] = uf.union(left-1, up-1) + 1
+			}
+		}
+	}
+	// Pass 2: resolve to dense final labels.
+	dense := make(map[int32]int32)
+	next := int32(1)
+	for i, l := range res.Labels {
+		if l == 0 {
+			continue
+		}
+		root := uf.find(l - 1)
+		d, ok := dense[root]
+		if !ok {
+			d = next
+			next++
+			dense[root] = d
+		}
+		res.Labels[i] = d
+	}
+	res.N = int(next - 1)
+	return res
+}
+
+// Components labels im at threshold t and returns per-component statistics,
+// ordered by label (raster order of first appearance). minArea filters out
+// small noise blobs (components with Area < minArea are dropped; labels of
+// surviving components are NOT renumbered).
+func Components(im *Image, t uint8, minArea int) []Component {
+	lr := Label(im, t)
+	if lr.N == 0 {
+		return nil
+	}
+	comps := make([]Component, lr.N)
+	for i := range comps {
+		comps[i].Label = i + 1
+		comps[i].BBox = Rect{X0: lr.W, Y0: lr.H, X1: 0, Y1: 0}
+	}
+	var sx, sy []int64
+	sx = make([]int64, lr.N)
+	sy = make([]int64, lr.N)
+	for y := 0; y < lr.H; y++ {
+		for x := 0; x < lr.W; x++ {
+			l := lr.Labels[y*lr.W+x]
+			if l == 0 {
+				continue
+			}
+			c := &comps[l-1]
+			c.Area++
+			sx[l-1] += int64(x)
+			sy[l-1] += int64(y)
+			c.SumVal += int64(im.Pix[y*lr.W+x])
+			if x < c.BBox.X0 {
+				c.BBox.X0 = x
+			}
+			if y < c.BBox.Y0 {
+				c.BBox.Y0 = y
+			}
+			if x+1 > c.BBox.X1 {
+				c.BBox.X1 = x + 1
+			}
+			if y+1 > c.BBox.Y1 {
+				c.BBox.Y1 = y + 1
+			}
+		}
+	}
+	out := comps[:0]
+	for i := range comps {
+		if comps[i].Area < minArea {
+			continue
+		}
+		comps[i].CX = float64(sx[i]) / float64(comps[i].Area)
+		comps[i].CY = float64(sy[i]) / float64(comps[i].Area)
+		out = append(out, comps[i])
+	}
+	// Clone to avoid aliasing surprises for callers that append.
+	res := make([]Component, len(out))
+	copy(res, out)
+	return res
+}
+
+// FloodComponents is a brute-force reference implementation of Components
+// using BFS flood fill; used by tests to validate the union-find labelling.
+func FloodComponents(im *Image, t uint8, minArea int) []Component {
+	w, h := im.W, im.H
+	seen := make([]bool, w*h)
+	var comps []Component
+	label := 0
+	for y0 := 0; y0 < h; y0++ {
+		for x0 := 0; x0 < w; x0++ {
+			i0 := y0*w + x0
+			if seen[i0] || im.Pix[i0] < t {
+				continue
+			}
+			label++
+			c := Component{Label: label, BBox: Rect{x0, y0, x0 + 1, y0 + 1}}
+			var sx, sy int64
+			queue := []int{i0}
+			seen[i0] = true
+			for len(queue) > 0 {
+				i := queue[0]
+				queue = queue[1:]
+				x, y := i%w, i/w
+				c.Area++
+				sx += int64(x)
+				sy += int64(y)
+				c.SumVal += int64(im.Pix[i])
+				c.BBox = c.BBox.Union(Rect{x, y, x + 1, y + 1})
+				for _, d := range [4][2]int{{1, 0}, {-1, 0}, {0, 1}, {0, -1}} {
+					nx, ny := x+d[0], y+d[1]
+					if nx < 0 || ny < 0 || nx >= w || ny >= h {
+						continue
+					}
+					j := ny*w + nx
+					if !seen[j] && im.Pix[j] >= t {
+						seen[j] = true
+						queue = append(queue, j)
+					}
+				}
+			}
+			if c.Area >= minArea {
+				c.CX = float64(sx) / float64(c.Area)
+				c.CY = float64(sy) / float64(c.Area)
+				comps = append(comps, c)
+			}
+		}
+	}
+	return comps
+}
+
+// DrawRect paints the outline of r with gray value v (used by the display
+// function of the tracking demo).
+func DrawRect(im *Image, r Rect, v uint8) {
+	for x := r.X0; x < r.X1; x++ {
+		im.Set(x, r.Y0, v)
+		im.Set(x, r.Y1-1, v)
+	}
+	for y := r.Y0; y < r.Y1; y++ {
+		im.Set(r.X0, y, v)
+		im.Set(r.X1-1, y, v)
+	}
+}
+
+// FillRect paints the interior of r with gray value v.
+func FillRect(im *Image, r Rect, v uint8) {
+	r = r.Intersect(Rect{0, 0, im.W, im.H})
+	for y := r.Y0; y < r.Y1; y++ {
+		for x := r.X0; x < r.X1; x++ {
+			im.Pix[y*im.W+x] = v
+		}
+	}
+}
+
+// FillDisc paints a filled disc of radius rad centered at (cx, cy).
+func FillDisc(im *Image, cx, cy, rad int, v uint8) {
+	for y := cy - rad; y <= cy+rad; y++ {
+		for x := cx - rad; x <= cx+rad; x++ {
+			dx, dy := x-cx, y-cy
+			if dx*dx+dy*dy <= rad*rad {
+				im.Set(x, y, v)
+			}
+		}
+	}
+}

@@ -1,0 +1,175 @@
+package skipper
+
+// Random-program fuzzing of the whole pipeline: generate random stream
+// specifications (a chain of df farm stages inside an itermem loop, with
+// varying worker counts), then check that the sequential emulator, the
+// goroutine executive and the timing simulator compute identical output
+// streams on random topologies. This is the strongest form of the paper's
+// equivalence claim this repository can state mechanically.
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"skipper/internal/dsl/eval"
+	"skipper/internal/sim"
+)
+
+// randPipeline builds the registry and source for a random pipeline.
+// Transforms are all pure int->int functions; the accumulator is addition
+// (commutative, per the paper's requirement).
+func randPipeline(rng *rand.Rand) (src string, mk func() (*Registry, *[]Value)) {
+	transforms := []struct {
+		name string
+		fn   func(int) int
+	}{
+		{"tri", func(x int) int { return 3*x + 1 }},
+		{"sqr", func(x int) int { return x * x }},
+		{"neg", func(x int) int { return -x }},
+		{"mod", func(x int) int { return x%97 + 7 }},
+	}
+	nStages := 1 + rng.Intn(3)
+	type stage struct {
+		fn      int
+		workers int
+	}
+	stages := make([]stage, nStages)
+	for i := range stages {
+		stages[i] = stage{fn: rng.Intn(len(transforms)), workers: 1 + rng.Intn(5)}
+	}
+	fanout := 2 + rng.Intn(4)
+
+	var b strings.Builder
+	b.WriteString("extern gen : unit -> int list;;\n")
+	for _, tr := range transforms {
+		fmt.Fprintf(&b, "extern %s : int -> int;;\n", tr.name)
+	}
+	b.WriteString("extern plus : int -> int -> int;;\n")
+	b.WriteString("extern relist : int -> int list;;\n")
+	b.WriteString("extern combine : int * int -> int * int;;\n")
+	b.WriteString("extern show : int -> unit;;\n")
+	b.WriteString("let loop (z, b) =\n")
+	cur := "b"
+	for i, st := range stages {
+		fmt.Fprintf(&b, "  let s%d = df %d %s plus 0 %s in\n",
+			i, st.workers, transforms[st.fn].name, cur)
+		if i+1 < nStages {
+			fmt.Fprintf(&b, "  let l%d = relist s%d in\n", i, i)
+			cur = fmt.Sprintf("l%d", i)
+		} else {
+			cur = fmt.Sprintf("s%d", i)
+		}
+	}
+	fmt.Fprintf(&b, "  combine (z, %s);;\n", cur)
+	b.WriteString("let main = itermem gen loop show 0 ();;\n")
+	src = b.String()
+
+	mk = func() (*Registry, *[]Value) {
+		reg := NewRegistry()
+		outs := &[]Value{}
+		frame := 0
+		reg.Register(&Func{Name: "gen", Sig: "unit -> int list", Arity: 1,
+			Fn: func([]Value) Value {
+				frame++
+				out := make(List, fanout)
+				for i := range out {
+					out[i] = frame*10 + i
+				}
+				return out
+			}})
+		for _, tr := range transforms {
+			fn := tr.fn
+			reg.Register(&Func{Name: tr.name, Sig: "int -> int", Arity: 1,
+				Fn: func(a []Value) Value { return fn(a[0].(int)) }})
+		}
+		reg.Register(&Func{Name: "plus", Sig: "int -> int -> int", Arity: 2,
+			Fn: func(a []Value) Value { return a[0].(int) + a[1].(int) }})
+		reg.Register(&Func{Name: "relist", Sig: "int -> int list", Arity: 1,
+			Fn: func(a []Value) Value {
+				n := a[0].(int)
+				return List{n, n + 1, n + 2}
+			}})
+		reg.Register(&Func{Name: "combine", Sig: "int * int -> int * int", Arity: 1,
+			Fn: func(a []Value) Value {
+				pr := a[0].(Tuple)
+				s := pr[0].(int) + pr[1].(int)
+				return Tuple{s, s}
+			}})
+		reg.Register(&Func{Name: "show", Sig: "int -> unit", Arity: 1,
+			Fn: func(a []Value) Value {
+				*outs = append(*outs, a[0])
+				return Unit{}
+			}})
+		return reg, outs
+	}
+	return src, mk
+}
+
+func TestRandomPipelinesAllPathsAgree(t *testing.T) {
+	const iters = 5
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		src, mk := randPipeline(rng)
+
+		// Path 1: sequential emulation.
+		regE, outsE := mk()
+		progE, err := Compile(src, regE)
+		if err != nil {
+			t.Fatalf("compile:\n%s\n%v", src, err)
+		}
+		if _, err := eval.New(regE, eval.Options{MaxIters: iters}).Run(progE.AST); err != nil {
+			t.Fatalf("emulate: %v", err)
+		}
+
+		// Random topology for the parallel paths.
+		archs := []*Arch{Ring(1), Ring(4), Ring(7), Chain(5), Star(6),
+			Full(4), Grid(2, 3), Torus(2, 2), Hypercube(2)}
+		a := archs[rng.Intn(len(archs))]
+
+		// Path 2: goroutine executive.
+		regX, outsX := mk()
+		progX, err := Compile(src, regX)
+		if err != nil {
+			t.Fatal(err)
+		}
+		depX, err := progX.MapOnto(a, Structured)
+		if err != nil {
+			t.Fatalf("map on %s: %v", a.Name, err)
+		}
+		if _, err := depX.Run(iters); err != nil {
+			t.Fatalf("run on %s: %v", a.Name, err)
+		}
+
+		// Path 3: timing simulator.
+		regS, outsS := mk()
+		progS, err := Compile(src, regS)
+		if err != nil {
+			t.Fatal(err)
+		}
+		depS, err := progS.MapOnto(a, Structured)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := depS.Simulate(sim.Options{Iters: iters}); err != nil {
+			t.Fatalf("simulate: %v", err)
+		}
+
+		if len(*outsE) != iters || len(*outsX) != iters || len(*outsS) != iters {
+			t.Fatalf("output counts: emu=%d exec=%d sim=%d",
+				len(*outsE), len(*outsX), len(*outsS))
+		}
+		for i := 0; i < iters; i++ {
+			if (*outsE)[i] != (*outsX)[i] || (*outsE)[i] != (*outsS)[i] {
+				t.Fatalf("seed %d iteration %d diverged on %s: emu=%v exec=%v sim=%v\n%s",
+					seed, i, a.Name, (*outsE)[i], (*outsX)[i], (*outsS)[i], src)
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,209 @@
+package skipper
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestStubRegistryCompilesPaperSpec(t *testing.T) {
+	src := `
+type img;; type state;; type window;; type mark;;
+extern read_img : int * int -> img;;
+extern init_state : unit -> state;;
+extern get_windows : int -> state -> img -> window list;;
+extern detect_mark : window -> mark;;
+extern accum_marks : mark list -> mark -> mark list;;
+extern predict : mark list -> state * mark list;;
+extern display_marks : mark list -> unit;;
+extern empty_list : mark list;;
+let nproc = 8;;
+let s0 = init_state ();;
+let loop (state, im) =
+  let ws = get_windows nproc state im in
+  let marks = df nproc detect_mark accum_marks empty_list ws in
+  predict marks;;
+let main = itermem read_img loop display_marks s0 (512, 512);;
+`
+	reg, err := StubRegistry(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := Compile(src, reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !prog.Stream {
+		t.Fatal("stream flag lost")
+	}
+	// Mapping and macro-code also work with stubs.
+	dep, err := prog.MapOnto(Ring(8), Structured)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(dep.MacroCode(), "worker_(") {
+		t.Fatal("macro-code incomplete")
+	}
+}
+
+func TestStubRegistryArities(t *testing.T) {
+	src := `
+extern a : int;;
+extern b : int -> int;;
+extern c : int -> int -> bool -> int;;
+extern d : (int -> int) -> int;;
+let main = b (c 1 2 true);;
+`
+	reg, err := StubRegistry(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, want := range map[string]int{"a": 0, "b": 1, "c": 3, "d": 1} {
+		f, ok := reg.Lookup(name)
+		if !ok {
+			t.Fatalf("missing %s", name)
+		}
+		if f.Arity != want {
+			t.Fatalf("%s arity = %d, want %d", name, f.Arity, want)
+		}
+	}
+	if _, err := Compile(src, reg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStubRegistrySyntaxErrorPropagates(t *testing.T) {
+	if _, err := StubRegistry("extern broken"); err == nil {
+		t.Fatal("expected error")
+	}
+}
+
+func TestOptimizeOnFacade(t *testing.T) {
+	src := `
+extern one : unit -> int;;
+extern sink : int -> unit;;
+let unused = one ();;
+let main = itermem one (fun p -> p) sink 0 ();;
+`
+	reg, err := StubRegistry(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := Compile(src, reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nodesBefore := len(prog.Graph.Nodes)
+	n := prog.Optimize()
+	if n == 0 {
+		t.Fatal("expected rewrites (unused binding)")
+	}
+	if len(prog.Graph.Nodes) >= nodesBefore {
+		t.Fatalf("graph did not shrink: %d -> %d", nodesBefore, len(prog.Graph.Nodes))
+	}
+	// Still mappable after optimization.
+	if _, err := prog.MapOnto(Ring(2), Structured); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParseArch(t *testing.T) {
+	cases := map[string]struct {
+		name string
+		n    int
+	}{
+		"ring:8":      {"ring(8)", 8},
+		"chain:3":     {"chain(3)", 3},
+		"star:5":      {"star(5)", 5},
+		"full:4":      {"full(4)", 4},
+		"hypercube:3": {"hypercube(3)", 8},
+		"grid:3x4":    {"grid(3x4)", 12},
+		"torus:2x2":   {"torus(2x2)", 4},
+	}
+	for in, want := range cases {
+		a, err := ParseArch(in)
+		if err != nil {
+			t.Fatalf("%s: %v", in, err)
+		}
+		if a.Name != want.name || a.N != want.n {
+			t.Fatalf("%s: got %s/%d", in, a.Name, a.N)
+		}
+	}
+	for _, bad := range []string{
+		"ring", "ring:0", "ring:x", "grid:3", "grid:0x4", "blob:3",
+		"torus:axb", "hypercube:99",
+	} {
+		if _, err := ParseArch(bad); err == nil {
+			t.Fatalf("%q should be rejected", bad)
+		}
+	}
+}
+
+func TestRegistrySignatureConsistency(t *testing.T) {
+	src := `
+type img;;
+extern load : int -> img;;
+let main = load 1;;
+`
+	// Matching signature: fine (alpha-renaming tolerated).
+	good := NewRegistry()
+	good.Register(&Func{Name: "load", Sig: "int -> img", Arity: 1,
+		Fn: func([]Value) Value { return "I" }})
+	if _, err := Compile(src, good); err != nil {
+		t.Fatal(err)
+	}
+
+	// Arity mismatch.
+	badArity := NewRegistry()
+	badArity.Register(&Func{Name: "load", Sig: "int -> img", Arity: 2,
+		Fn: func([]Value) Value { return "I" }})
+	if _, err := Compile(src, badArity); err == nil ||
+		!strings.Contains(err.Error(), "registered with arity 2") {
+		t.Fatalf("err = %v", err)
+	}
+
+	// Signature mismatch.
+	badSig := NewRegistry()
+	badSig.Register(&Func{Name: "load", Sig: "bool -> img", Arity: 1,
+		Fn: func([]Value) Value { return "I" }})
+	if _, err := Compile(src, badSig); err == nil ||
+		!strings.Contains(err.Error(), "declared as int -> img but registered as bool -> img") {
+		t.Fatalf("err = %v", err)
+	}
+
+	// Unparseable registered signature.
+	badParse := NewRegistry()
+	badParse.Register(&Func{Name: "load", Sig: "int ->", Arity: 1,
+		Fn: func([]Value) Value { return "I" }})
+	if _, err := Compile(src, badParse); err == nil ||
+		!strings.Contains(err.Error(), "does not parse") {
+		t.Fatalf("err = %v", err)
+	}
+
+	// Empty signature: only arity is checked.
+	noSig := NewRegistry()
+	noSig.Register(&Func{Name: "load", Arity: 1,
+		Fn: func([]Value) Value { return "I" }})
+	if _, err := Compile(src, noSig); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRegistrySignatureAlphaEquivalence(t *testing.T) {
+	src := `
+extern pick : 'x -> 'y -> 'x;;
+let main = pick 1 2;;
+`
+	reg := NewRegistry()
+	reg.Register(&Func{Name: "pick", Sig: "'a -> 'b -> 'a", Arity: 2,
+		Fn: func(a []Value) Value { return a[0] }})
+	if _, err := Compile(src, reg); err != nil {
+		t.Fatalf("alpha-equivalent signatures rejected: %v", err)
+	}
+	// But structurally different variable patterns are rejected.
+	reg2 := NewRegistry()
+	reg2.Register(&Func{Name: "pick", Sig: "'a -> 'b -> 'b", Arity: 2,
+		Fn: func(a []Value) Value { return a[1] }})
+	if _, err := Compile(src, reg2); err == nil {
+		t.Fatal("non-equivalent signatures accepted")
+	}
+}
