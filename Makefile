@@ -1,0 +1,32 @@
+# Developer entry points. `make tier1` is the gate every PR must keep green.
+
+GO ?= go
+
+.PHONY: all tier1 build test vet race bench clean
+
+all: tier1
+
+# Tier-1: build everything, run the full test suite, and vet.
+tier1: build test vet
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+# Race-detector pass over the concurrency-heavy packages (executive
+# mailboxes and the skeleton worker pool).
+race:
+	$(GO) test -race ./internal/exec/... ./internal/skel/...
+
+# Regenerate the machine-readable perf snapshot consumed by the tier-1
+# envelope guard (bench_guard_test.go). See README § Performance.
+bench:
+	$(GO) run ./cmd/skipper-bench -json BENCH_1.json
+
+clean:
+	$(GO) clean ./...

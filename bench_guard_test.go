@@ -1,0 +1,54 @@
+package skipper
+
+// Tier-1 benchmark guard: if a BENCH_N.json perf snapshot is present at the
+// repository root (written by `skipper-bench -json`, see the README's
+// Performance section), check that the recorded E1 latency table still sits
+// inside the paper's envelope — tracking below 40 ms and reinitialization
+// between 80 and 120 ms of simulated time. A calibration or executive
+// regression that drifts the simulated pipeline out of the paper's regime
+// then fails tier-1 instead of silently shipping a stale snapshot.
+//
+// The test skips when no snapshot exists so a fresh checkout stays green.
+
+import (
+	"os"
+	"path/filepath"
+	"sort"
+	"testing"
+
+	"skipper/internal/harness"
+)
+
+func TestBenchSnapshotWithinPaperEnvelope(t *testing.T) {
+	paths, err := filepath.Glob("BENCH_*.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) == 0 {
+		t.Skip("no BENCH_*.json snapshot; run `make bench` to create one")
+	}
+	sort.Strings(paths)
+	for _, path := range paths {
+		if _, err := os.Stat(path); err != nil {
+			continue
+		}
+		rep, err := harness.ReadBenchJSON(path)
+		if err != nil {
+			t.Fatalf("%s: %v", path, err)
+		}
+		if rep.E1 == nil {
+			t.Fatalf("%s: snapshot has no E1 latency table", path)
+		}
+		if rep.E1.TrackingMS >= 40 {
+			t.Errorf("%s: tracking latency %.1f ms, paper envelope wants < 40 ms",
+				path, rep.E1.TrackingMS)
+		}
+		if rep.E1.ReinitMS <= 80 || rep.E1.ReinitMS >= 120 {
+			t.Errorf("%s: reinit latency %.1f ms, paper envelope wants 80–120 ms",
+				path, rep.E1.ReinitMS)
+		}
+		if len(rep.Results) == 0 {
+			t.Errorf("%s: snapshot has no benchmark results", path)
+		}
+	}
+}

@@ -261,6 +261,85 @@ func BenchmarkVideoFrame512(b *testing.B) {
 	}
 }
 
+// --- hot-path allocation benchmarks -------------------------------------------
+//
+// These pin the perf contract of the pooled/in-place kernel variants: with
+// reused scratch the per-frame cost is pure compute, 0 allocs/op at steady
+// state. Compare Label512 vs Label512_OneShot to see the win.
+
+func BenchmarkLabel512(b *testing.B) {
+	scene := video.NewScene(512, 512, 3, 1)
+	frame := scene.Next()
+	var s vision.LabelScratch
+	s.Label(frame, video.DetectThreshold)
+	b.SetBytes(int64(frame.Bytes()))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Label(frame, video.DetectThreshold)
+	}
+}
+
+func BenchmarkLabel512_OneShot(b *testing.B) {
+	scene := video.NewScene(512, 512, 3, 1)
+	frame := scene.Next()
+	b.SetBytes(int64(frame.Bytes()))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		vision.Label(frame, video.DetectThreshold)
+	}
+}
+
+func BenchmarkThresholdInto512(b *testing.B) {
+	scene := video.NewScene(512, 512, 3, 1)
+	frame := scene.Next()
+	dst := vision.NewImage(frame.W, frame.H)
+	b.SetBytes(int64(frame.Bytes()))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		vision.ThresholdInto(dst, frame, video.DetectThreshold)
+	}
+}
+
+func BenchmarkExtractInto512Band(b *testing.B) {
+	scene := video.NewScene(512, 512, 3, 1)
+	frame := scene.Next()
+	band := vision.Rect{X0: 0, Y0: 0, X1: 512, Y1: 64}
+	var win vision.Window
+	vision.ExtractInto(&win, frame, band)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		vision.ExtractInto(&win, frame, band)
+	}
+}
+
+func BenchmarkSceneNextInto512(b *testing.B) {
+	scene := video.NewScene(512, 512, 3, 2)
+	buf := vision.NewImage(512, 512)
+	b.SetBytes(int64(buf.Bytes()))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		scene.NextInto(buf)
+	}
+}
+
+// Pool-backed df vs the per-call shared-pool wrapper on the same workload:
+// the pool variant reuses persistent workers instead of spawning per call.
+func BenchmarkSkelDFPool(b *testing.B) {
+	xs, comp, acc := benchDFWorkload()
+	pool := skel.NewPool(8)
+	defer pool.Close()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		skel.DFOn(pool, 8, comp, acc, 0, xs)
+	}
+}
+
 // --- E10: mapping strategy ablation -----------------------------------------
 
 func BenchmarkE10_StrategyAblation(b *testing.B) {

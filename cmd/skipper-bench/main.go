@@ -3,9 +3,17 @@
 // table, with the paper's reported value alongside the measured one where
 // the paper gives a number.
 //
+// With -json it instead measures the machine-readable benchmark suite
+// (ns/op, B/op, allocs/op for E1/E5/E7 and the hot-path micro-benchmarks,
+// plus the E1 simulated-time latency table) and writes it to the given
+// file — by convention BENCH_<pr>.json at the repository root, which the
+// tier-1 envelope guard test (bench_guard_test.go) then checks against the
+// paper's published latency envelope.
+//
 // Usage:
 //
-//	skipper-bench [-exp all|e1|e2|...|e9] [-iters 30]
+//	skipper-bench [-exp all|e1|e2|...|e11] [-iters 30]
+//	skipper-bench -json BENCH_1.json [-iters 30]
 package main
 
 import (
@@ -18,9 +26,27 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run: all or e1..e9 (comma-separated)")
+	exp := flag.String("exp", "all", "experiment to run: all or e1..e11 (comma-separated)")
 	iters := flag.Int("iters", 30, "stream iterations per measurement")
+	jsonPath := flag.String("json", "", "measure the benchmark suite and write machine-readable results to this file")
 	flag.Parse()
+
+	if *jsonPath != "" {
+		fmt.Printf("benchmark suite (iters=%d):\n", *iters)
+		rep, err := harness.RunBenchReport(os.Stdout, *iters)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "skipper-bench: %v\n", err)
+			os.Exit(1)
+		}
+		if err := harness.WriteBenchJSON(rep, *jsonPath); err != nil {
+			fmt.Fprintf(os.Stderr, "skipper-bench: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("E1 simulated latency: tracking %.1f ms, reinit %.1f ms\n",
+			rep.E1.TrackingMS, rep.E1.ReinitMS)
+		fmt.Printf("wrote %s\n", *jsonPath)
+		return
+	}
 
 	want := map[string]bool{}
 	for _, e := range strings.Split(*exp, ",") {

@@ -94,13 +94,6 @@ func main() {
 		len(rec.Results), locked, 100*float64(locked)/float64(max(len(rec.Results), 1)))
 }
 
-func max(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
-}
-
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "skipper-run:", err)
 	os.Exit(1)

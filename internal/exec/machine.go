@@ -8,6 +8,7 @@ import (
 
 	"skipper/internal/arch"
 	"skipper/internal/graph"
+	"skipper/internal/skel"
 	"skipper/internal/syndex"
 	"skipper/internal/value"
 )
@@ -50,11 +51,15 @@ type packet struct {
 
 // queue is an unbounded MPSC queue with abort support; routers never block
 // on delivery, which (together with the topologically ordered static
-// schedule) rules out store-and-forward deadlock.
+// schedule) rules out store-and-forward deadlock. Consumption advances a
+// head index over the backing array instead of reslicing items[1:], which
+// would keep every consumed packet reachable and force the append path to
+// reallocate; once the queue drains, the array is reset and reused.
 type queue struct {
 	mu     sync.Mutex
 	cond   *sync.Cond
 	items  []packet
+	head   int
 	closed bool
 }
 
@@ -74,14 +79,19 @@ func (q *queue) put(p packet) {
 func (q *queue) get() (packet, bool) {
 	q.mu.Lock()
 	defer q.mu.Unlock()
-	for len(q.items) == 0 && !q.closed {
+	for q.head == len(q.items) && !q.closed {
 		q.cond.Wait()
 	}
-	if len(q.items) == 0 {
+	if q.head == len(q.items) {
 		return packet{}, false
 	}
-	p := q.items[0]
-	q.items = q.items[1:]
+	p := q.items[q.head]
+	q.items[q.head] = packet{} // release payload for GC
+	q.head++
+	if q.head == len(q.items) {
+		q.items = q.items[:0]
+		q.head = 0
+	}
 	return p, true
 }
 
@@ -92,46 +102,99 @@ func (q *queue) close() {
 	q.cond.Broadcast()
 }
 
-// mailbox holds delivered payloads per key, FIFO per key.
-type mailbox struct {
+// mslot is one mailbox key's FIFO buffer with its own lock and condition
+// variable. Sharding the mailbox per key removes the seed implementation's
+// single global mutex and its cond.Broadcast thundering herd: a delivery
+// wakes only the consumer of that key (Signal — each key has a single
+// logical consumer in the executive), and waiters on other keys are never
+// scheduled spuriously. Consumption uses the same head-index discipline as
+// queue, so steady-state traffic through a key is allocation-free.
+type mslot struct {
 	mu     sync.Mutex
 	cond   *sync.Cond
-	slots  map[mailKey][]value.Value
+	buf    []value.Value
+	head   int
+	closed bool
+}
+
+func (s *mslot) deliver(v value.Value) {
+	s.mu.Lock()
+	s.buf = append(s.buf, v)
+	s.mu.Unlock()
+	s.cond.Signal()
+}
+
+func (s *mslot) get() (value.Value, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for s.head == len(s.buf) && !s.closed {
+		s.cond.Wait()
+	}
+	if s.head == len(s.buf) {
+		return nil, false
+	}
+	v := s.buf[s.head]
+	s.buf[s.head] = nil // release for GC
+	s.head++
+	if s.head == len(s.buf) {
+		s.buf = s.buf[:0]
+		s.head = 0
+	}
+	return v, true
+}
+
+// mailbox holds delivered payloads per key, FIFO per key, sharded into one
+// independently locked slot per key. The map itself is guarded by a mutex
+// taken only for slot lookup/creation; hot paths hoist the *mslot once and
+// bypass the map entirely (see slot).
+type mailbox struct {
+	mu     sync.Mutex
+	slots  map[mailKey]*mslot
 	closed bool
 }
 
 func newMailbox() *mailbox {
-	m := &mailbox{slots: map[mailKey][]value.Value{}}
-	m.cond = sync.NewCond(&m.mu)
-	return m
+	return &mailbox{slots: map[mailKey]*mslot{}}
+}
+
+// slot returns (creating if needed) the slot for k. The returned pointer is
+// stable for the mailbox's lifetime, so callers looping on one key should
+// call slot once and then deliver/get on it directly.
+func (m *mailbox) slot(k mailKey) *mslot {
+	m.mu.Lock()
+	s, ok := m.slots[k]
+	if !ok {
+		s = &mslot{}
+		s.cond = sync.NewCond(&s.mu)
+		s.closed = m.closed // mailbox already shut down: new slots are born closed
+		m.slots[k] = s
+	}
+	m.mu.Unlock()
+	return s
 }
 
 func (m *mailbox) deliver(k mailKey, v value.Value) {
-	m.mu.Lock()
-	m.slots[k] = append(m.slots[k], v)
-	m.mu.Unlock()
-	m.cond.Broadcast()
+	m.slot(k).deliver(v)
 }
 
 func (m *mailbox) get(k mailKey) (value.Value, bool) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	for len(m.slots[k]) == 0 && !m.closed {
-		m.cond.Wait()
-	}
-	if len(m.slots[k]) == 0 {
-		return nil, false
-	}
-	v := m.slots[k][0]
-	m.slots[k] = m.slots[k][1:]
-	return v, true
+	return m.slot(k).get()
 }
 
 func (m *mailbox) close() {
 	m.mu.Lock()
 	m.closed = true
+	slots := make([]*mslot, 0, len(m.slots))
+	for _, s := range m.slots {
+		slots = append(slots, s)
+	}
 	m.mu.Unlock()
-	m.cond.Broadcast()
+	for _, s := range slots {
+		s.mu.Lock()
+		s.closed = true
+		s.mu.Unlock()
+		s.cond.Broadcast()
+	}
 }
 
 // RunResult is the outcome of executing a schedule.
@@ -166,6 +229,11 @@ type Machine struct {
 	queues []*queue
 	boxes  []*mailbox
 
+	// pool hosts the per-iteration farm-worker processes. The seed spawned
+	// a fresh goroutine per worker node per iteration; persistent pool
+	// workers make steady-state frame iterations goroutine-setup-free.
+	pool *skel.Pool
+
 	outMu   sync.Mutex
 	outputs map[int]value.Value // iteration -> output
 
@@ -198,6 +266,8 @@ func (m *Machine) RunWithTimeout(iters int, d time.Duration) (*RunResult, error)
 		iters = 1
 	}
 	n := m.sched.Arch.N
+	m.pool = skel.NewPool(n)
+	defer m.pool.Close()
 	m.queues = make([]*queue, n)
 	m.boxes = make([]*mailbox, n)
 	for i := 0; i < n; i++ {
@@ -291,6 +361,12 @@ func (m *Machine) firstErr() error {
 	m.errMu.Lock()
 	defer m.errMu.Unlock()
 	return m.err
+}
+
+// runFarmWorker runs a farm worker body on the persistent pool, pinning the
+// processor identity the body was launched from.
+func (m *Machine) runFarmWorker(p arch.ProcID, body func(arch.ProcID)) {
+	m.pool.Go(func() { body(p) })
 }
 
 // send injects a packet at processor p; the routers take it from there.
@@ -440,10 +516,12 @@ func (m *Machine) step(st *procState, op syndex.Op, mem map[graph.NodeID]value.V
 		}
 		masterProc := m.sched.Assign[masterID]
 		m.wg.Add(1)
-		go func(p arch.ProcID) {
+		m.runFarmWorker(st.p, func(p arch.ProcID) {
 			defer m.wg.Done()
+			// Hoist the task slot: the loop always waits on the same key.
+			tasks := m.boxes[p].slot(tkey(masterID, w.Index))
 			for {
-				tv, ok := m.boxes[p].get(tkey(masterID, w.Index))
+				tv, ok := tasks.get()
 				if !ok {
 					return
 				}
@@ -459,7 +537,7 @@ func (m *Machine) step(st *procState, op syndex.Op, mem map[graph.NodeID]value.V
 				m.send(p, packet{dst: masterProc, key: rkey(masterID),
 					payload: reply{widx: w.Index, task: tk.idx, v: y}})
 			}
-		}(st.p)
+		})
 		return nil
 
 	case syndex.OpMaster:
@@ -534,6 +612,8 @@ func (m *Machine) runMaster(st *procState, id graph.NodeID) error {
 	}
 	outstanding := 0
 	idle := make([]int, 0, n.Workers)
+	// Hoist the reply slot: every receive in this farm loop uses one key.
+	replies := m.boxes[st.p].slot(rkey(id))
 	// Initial dispatch: one task per worker while tasks remain.
 	for w := 0; w < n.Workers; w++ {
 		if len(pending) > 0 {
@@ -545,7 +625,7 @@ func (m *Machine) runMaster(st *procState, id graph.NodeID) error {
 		}
 	}
 	for outstanding > 0 {
-		rv, ok := m.boxes[st.p].get(rkey(id))
+		rv, ok := replies.get()
 		if !ok {
 			return fmt.Errorf("exec: master receive aborted")
 		}

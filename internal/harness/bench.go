@@ -1,0 +1,205 @@
+package harness
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"testing"
+
+	"skipper/internal/skel"
+	"skipper/internal/track"
+	"skipper/internal/video"
+	"skipper/internal/vision"
+)
+
+// BenchSchema versions the BENCH_N.json format so the tier-1 guard test and
+// future PRs can parse perf snapshots defensively.
+const BenchSchema = "skipper-bench/v1"
+
+// BenchEntry is one benchmark measurement in machine-readable form.
+type BenchEntry struct {
+	Name        string  `json:"name"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	Iterations  int     `json:"iterations"`
+}
+
+// BenchReport is the perf snapshot written to BENCH_1.json: wall-clock and
+// allocation figures for the headline experiments (E1, E5, E7) plus the
+// hot-path micro-benchmarks, and the E1 latency table in simulated time so
+// the envelope guard can keep the calibration honest.
+type BenchReport struct {
+	Schema     string       `json:"schema"`
+	GoVersion  string       `json:"go_version"`
+	GOMAXPROCS int          `json:"gomaxprocs"`
+	E1         *E1Result    `json:"e1"`
+	Results    []BenchEntry `json:"results"`
+}
+
+// RunBenchReport measures the benchmark suite and returns the report.
+// Progress lines go to w (one per benchmark). iters is the stream length
+// used by the simulation-backed experiments.
+func RunBenchReport(w io.Writer, iters int) (*BenchReport, error) {
+	rep := &BenchReport{
+		Schema:     BenchSchema,
+		GoVersion:  runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+	}
+
+	// E1 latency table (simulated time) for the envelope guard.
+	e1, err := E1(io.Discard, iters)
+	if err != nil {
+		return nil, err
+	}
+	rep.E1 = e1
+
+	var firstErr error
+	record := func(name string, fn func(b *testing.B)) {
+		if firstErr != nil {
+			return
+		}
+		r := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			fn(b)
+		})
+		e := BenchEntry{
+			Name:        name,
+			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+			AllocsPerOp: r.AllocsPerOp(),
+			Iterations:  r.N,
+		}
+		rep.Results = append(rep.Results, e)
+		fmt.Fprintf(w, "  %-28s %12.0f ns/op %10d B/op %8d allocs/op\n",
+			e.Name, e.NsPerOp, e.BytesPerOp, e.AllocsPerOp)
+	}
+
+	// Experiment-level benchmarks (host wall-clock of the full pipeline).
+	record("E1_TrackingLatency", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := E1(io.Discard, iters); err != nil {
+				firstErr = err
+				b.Skip(err)
+			}
+		}
+	})
+	record("E5_LoadBalancing", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := E5(io.Discard, 32, 8); err != nil {
+				firstErr = err
+				b.Skip(err)
+			}
+		}
+	})
+	record("E7_Labelling_P8", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := E7(io.Discard, []int{8}); err != nil {
+				firstErr = err
+				b.Skip(err)
+			}
+		}
+	})
+
+	// Hot-path micro-benchmarks: the kernels the tentpole optimizations
+	// target, measured with and without scratch/buffer reuse.
+	scene := video.NewScene(512, 512, 3, 1)
+	frame := scene.Next()
+	record("Label512", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			vision.Label(frame, video.DetectThreshold)
+		}
+	})
+	record("Label512_Scratch", func(b *testing.B) {
+		var s vision.LabelScratch
+		for i := 0; i < b.N; i++ {
+			s.Label(frame, video.DetectThreshold)
+		}
+	})
+	record("Components512_Scratch", func(b *testing.B) {
+		var s vision.LabelScratch
+		for i := 0; i < b.N; i++ {
+			s.Components(frame, video.DetectThreshold, track.MinMarkArea)
+		}
+	})
+	record("ThresholdInto512", func(b *testing.B) {
+		dst := vision.NewImage(frame.W, frame.H)
+		for i := 0; i < b.N; i++ {
+			vision.ThresholdInto(dst, frame, video.DetectThreshold)
+		}
+	})
+	record("ExtractInto512Band", func(b *testing.B) {
+		var win vision.Window
+		band := vision.Rect{X0: 0, Y0: 0, X1: 512, Y1: 64}
+		for i := 0; i < b.N; i++ {
+			vision.ExtractInto(&win, frame, band)
+		}
+	})
+	record("DetectMarks512Band", func(b *testing.B) {
+		win := vision.Extract(frame, vision.Rect{X0: 0, Y0: 0, X1: 512, Y1: 64})
+		for i := 0; i < b.N; i++ {
+			track.DetectMarks(win)
+		}
+	})
+	record("SceneNextInto512", func(b *testing.B) {
+		s := video.NewScene(512, 512, 3, 2)
+		buf := vision.NewImage(512, 512)
+		for i := 0; i < b.N; i++ {
+			s.NextInto(buf)
+		}
+	})
+
+	// Skeleton pool vs per-call goroutine spawning, 8-window frame shape.
+	pool := skel.NewPool(8)
+	defer pool.Close()
+	windows := make([]int, 8)
+	for i := range windows {
+		windows[i] = 40_000 + i*1_000
+	}
+	comp := func(n int) int {
+		s := 0
+		for k := 0; k < n; k++ {
+			s += k % 7
+		}
+		return s
+	}
+	acc := func(a, b int) int { return a + b }
+	record("SkelDF_Pool8", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			skel.DFOn(pool, 8, comp, acc, 0, windows)
+		}
+	})
+
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return rep, nil
+}
+
+// WriteBenchJSON marshals the report and writes it to path.
+func WriteBenchJSON(rep *BenchReport, path string) error {
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	return os.WriteFile(path, data, 0o644)
+}
+
+// ReadBenchJSON loads a BENCH_N.json snapshot.
+func ReadBenchJSON(path string) (*BenchReport, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var rep BenchReport
+	if err := json.Unmarshal(data, &rep); err != nil {
+		return nil, err
+	}
+	if rep.Schema != BenchSchema {
+		return nil, fmt.Errorf("harness: unsupported bench schema %q (want %q)", rep.Schema, BenchSchema)
+	}
+	return &rep, nil
+}

@@ -554,18 +554,11 @@ let main = scm %d split_bands label_band merge_bands the_img;;
 	if err != nil {
 		return nil, err
 	}
-	s, err := syndex.Map(eres.Graph, arch.Ring(maxInt(p, 1)), r, syndex.Structured)
+	s, err := syndex.Map(eres.Graph, arch.Ring(max(p, 1)), r, syndex.Structured)
 	if err != nil {
 		return nil, err
 	}
 	return sim.Run(s, r, sim.Options{Iters: 1})
-}
-
-func maxInt(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
 }
 
 // ---------------------------------------------------------------------------
@@ -656,7 +649,7 @@ let main = tf %d split_region count_region 0 whole;;
 	if err != nil {
 		return nil, 0, err
 	}
-	s, err := syndex.Map(eres.Graph, arch.Ring(maxInt(p, 1)), r, syndex.Structured)
+	s, err := syndex.Map(eres.Graph, arch.Ring(max(p, 1)), r, syndex.Structured)
 	if err != nil {
 		return nil, 0, err
 	}

@@ -1,0 +1,220 @@
+package skel
+
+import (
+	"runtime"
+	"sync"
+)
+
+// Pool is a set of persistent worker goroutines that skeleton invocations
+// dispatch their compute processes onto. The seed implementation spawned n
+// fresh goroutines (plus their channels) on every SCMPar/DFPar/TFPar call;
+// on a per-frame hot path that setup cost dominates small skeleton bodies.
+// A Pool amortizes it: workers are created once and reused across frames.
+//
+// The pool uses direct handoff, not queueing: a submitted task is either
+// picked up immediately by an idle persistent worker or run on a fresh
+// goroutine. This preserves the operational semantics of the skeletons —
+// a df with n outstanding packets really has n concurrently running
+// compute processes (some tests and user functions rely on that, e.g.
+// rendezvous between workers) — and makes nested skeleton calls on the
+// same pool deadlock-free by construction. In steady state (frame loop
+// with idle workers between frames) no goroutine is ever spawned.
+//
+// Go does not allow generic methods, so the skeleton entry points over a
+// pool are the package-level generic functions SCMOn, DFOn and TFOn; the
+// historical one-shot SCMPar/DFPar/TFPar are thin wrappers over a shared
+// package-level pool.
+type Pool struct {
+	jobs   chan func()
+	wg     sync.WaitGroup
+	size   int
+	mu     sync.Mutex
+	closed bool
+}
+
+// NewPool starts n persistent workers. n < 1 is clamped to 1.
+func NewPool(n int) *Pool {
+	if n < 1 {
+		n = 1
+	}
+	p := &Pool{jobs: make(chan func()), size: n}
+	p.wg.Add(n)
+	for i := 0; i < n; i++ {
+		go func() {
+			defer p.wg.Done()
+			for f := range p.jobs {
+				f()
+			}
+		}()
+	}
+	return p
+}
+
+// Size returns the number of persistent workers.
+func (p *Pool) Size() int { return p.size }
+
+// Go submits f for execution: an idle persistent worker picks it up
+// immediately, or a fresh goroutine is spawned (overflow). f always runs;
+// Go never blocks on pool capacity.
+func (p *Pool) Go(f func()) {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		go f()
+		return
+	}
+	select {
+	case p.jobs <- f:
+		p.mu.Unlock()
+		return
+	default:
+	}
+	p.mu.Unlock()
+	go f()
+}
+
+// Close shuts the persistent workers down after their current task. Tasks
+// submitted after Close still run (on fresh goroutines), so in-flight
+// skeleton invocations complete correctly.
+func (p *Pool) Close() {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return
+	}
+	p.closed = true
+	close(p.jobs)
+	p.mu.Unlock()
+	p.wg.Wait()
+}
+
+// shared is the process-wide pool backing the one-shot SCMPar/DFPar/TFPar
+// wrappers. It is sized to the host parallelism and never closed.
+var (
+	sharedOnce sync.Once
+	sharedPool *Pool
+)
+
+func shared() *Pool {
+	sharedOnce.Do(func() { sharedPool = NewPool(runtime.GOMAXPROCS(0)) })
+	return sharedPool
+}
+
+// ---------------------------------------------------------------------------
+// Skeletons over a pool. These carry the operational semantics of the paper
+// (degree of parallelism n, demand-driven dispatch, arrival-order
+// accumulation for df/tf) but borrow workers from p instead of spawning.
+
+// SCMOn is SCMPar's process network run on pool p: sub-domains are fanned
+// out to at most n concurrent compute processes and merged positionally.
+func SCMOn[A, B, C, D any](p *Pool, n int, split func(A) []B, comp func(B) C, merge func([]C) D, x A) D {
+	if n < 1 {
+		n = 1
+	}
+	parts := split(x)
+	results := make([]C, len(parts))
+	if len(parts) == 0 {
+		return merge(results)
+	}
+	if n > len(parts) {
+		n = len(parts)
+	}
+	done := make(chan struct{}, n)
+	next := 0
+	dispatch := func(i int) {
+		p.Go(func() {
+			results[i] = comp(parts[i])
+			done <- struct{}{}
+		})
+	}
+	for ; next < n; next++ {
+		dispatch(next)
+	}
+	for c := 0; c < len(parts); c++ {
+		<-done
+		if next < len(parts) {
+			dispatch(next)
+			next++
+		}
+	}
+	return merge(results)
+}
+
+// DFOn is DFPar's master/worker protocol run on pool p: at most n packets
+// are outstanding at any time (demand-driven dispatch) and partial results
+// are accumulated in arrival order — hence the usual commutativity and
+// associativity requirement on acc. With n = 1 the accumulation is
+// deterministic (serial FIFO), matching DFSeq exactly.
+func DFOn[A, B, C any](p *Pool, n int, comp func(A) B, acc func(C, B) C, z C, xs []A) C {
+	if n < 1 {
+		n = 1
+	}
+	if len(xs) == 0 {
+		return z
+	}
+	if n > len(xs) {
+		n = len(xs)
+	}
+	results := make(chan B, n)
+	next := 0
+	dispatch := func(x A) {
+		p.Go(func() { results <- comp(x) })
+	}
+	for ; next < n; next++ {
+		dispatch(xs[next])
+	}
+	r := z
+	for c := 0; c < len(xs); c++ {
+		r = acc(r, <-results)
+		if next < len(xs) {
+			dispatch(xs[next])
+			next++
+		}
+	}
+	return r
+}
+
+// TFOn is TFPar's task-farm protocol run on pool p: worker-generated
+// packets flow back to the master, which keeps at most n packets
+// outstanding and terminates when the task counter reaches zero.
+func TFOn[A, B, C any](p *Pool, n int, work func(A) ([]B, []A), acc func(C, B) C, z C, xs []A) C {
+	if n < 1 {
+		n = 1
+	}
+	if len(xs) == 0 {
+		return z
+	}
+	type reply struct {
+		ys   []B
+		more []A
+	}
+	replies := make(chan reply, n)
+	pending := make([]A, len(xs))
+	copy(pending, xs)
+	head := 0 // consumed prefix of pending (avoids [1:] reslicing retention)
+	inflight := 0
+	r := z
+	for head < len(pending) || inflight > 0 {
+		for inflight < n && head < len(pending) {
+			x := pending[head]
+			head++
+			p.Go(func() {
+				ys, more := work(x)
+				replies <- reply{ys, more}
+			})
+			inflight++
+		}
+		if head == len(pending) {
+			// Fully consumed: reset so feedback appends reuse the array.
+			pending = pending[:0]
+			head = 0
+		}
+		rep := <-replies
+		inflight--
+		for _, y := range rep.ys {
+			r = acc(r, y)
+		}
+		pending = append(pending, rep.more...)
+	}
+	return r
+}

@@ -1,0 +1,201 @@
+package skel
+
+import (
+	"math/rand"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+)
+
+func TestPoolSCMMatchesSeq(t *testing.T) {
+	p := NewPool(4)
+	defer p.Close()
+	f := func(seed int64, n uint8, k uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		xs := make([]int, rng.Intn(50))
+		for i := range xs {
+			xs[i] = rng.Intn(1000)
+		}
+		workers := int(n%8) + 1
+		chunks := int(k%10) + 1
+		return SCMSeq(workers, splitChunks(chunks), sum, sum, xs) ==
+			SCMOn(p, workers, splitChunks(chunks), sum, sum, xs)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPoolSCMPreservesOrder(t *testing.T) {
+	p := NewPool(3)
+	defer p.Close()
+	split := func(s string) []byte { return []byte(s) }
+	comp := func(b byte) string { return string([]byte{b, b}) }
+	merge := func(ss []string) string {
+		out := ""
+		for _, s := range ss {
+			out += s
+		}
+		return out
+	}
+	for trial := 0; trial < 50; trial++ {
+		if got := SCMOn(p, 4, split, comp, merge, "abcdef"); got != "aabbccddeeff" {
+			t.Fatalf("order broken: %q", got)
+		}
+	}
+}
+
+func TestPoolDFMatchesSeq(t *testing.T) {
+	p := NewPool(4)
+	defer p.Close()
+	f := func(seed int64, n uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		xs := make([]int, rng.Intn(80))
+		for i := range xs {
+			xs[i] = rng.Intn(100) - 50
+		}
+		workers := int(n%16) + 1
+		comp := func(x int) int { return 2*x + 1 }
+		acc := func(a, b int) int { return a + b }
+		return DFSeq(workers, comp, acc, 7, xs) == DFOn(p, workers, comp, acc, 7, xs)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPoolDFSerialWhenNIsOne(t *testing.T) {
+	// With n=1 accumulation must be serial FIFO, so even a non-commutative
+	// accumulator is deterministic — same contract as the seed DFPar.
+	p := NewPool(4)
+	defer p.Close()
+	xs := []int{1, 2, 3, 4, 5}
+	acc := func(a []int, b int) []int { return append(a, b) }
+	got := DFOn(p, 1, func(x int) int { return x * 10 }, acc, nil, xs)
+	want := []int{10, 20, 30, 40, 50}
+	if len(got) != len(want) {
+		t.Fatalf("got %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("n=1 df not FIFO: %v", got)
+		}
+	}
+}
+
+func TestPoolDFOverflowBeyondPoolSize(t *testing.T) {
+	// A rendezvous inside comp requires 2 truly concurrent workers; a pool
+	// of size 1 must still make progress via overflow goroutines.
+	p := NewPool(1)
+	defer p.Close()
+	barrier := make(chan struct{})
+	comp := func(x int) int {
+		select {
+		case barrier <- struct{}{}:
+		case <-barrier:
+		}
+		return x
+	}
+	acc := func(a, b int) int { return a + b }
+	if got := DFOn(p, 2, comp, acc, 0, []int{1, 2, 3, 4}); got != 10 {
+		t.Fatalf("got %d", got)
+	}
+}
+
+func TestPoolTFMatchesSeq(t *testing.T) {
+	p := NewPool(4)
+	defer p.Close()
+	f := func(seed int64, n uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		hi := rng.Intn(500)
+		workers := int(n%8) + 1
+		acc := func(a, b int) int { return a + b }
+		return TFSeq(workers, splitRange, acc, 0, [][2]int{{0, hi}}) ==
+			TFOn(p, workers, splitRange, acc, 0, [][2]int{{0, hi}})
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPoolTFProcessesEveryPacketOnce(t *testing.T) {
+	p := NewPool(2)
+	defer p.Close()
+	var processed int64
+	work := func(x int) ([]int, []int) {
+		atomic.AddInt64(&processed, 1)
+		if x > 0 {
+			return nil, []int{x - 1, x - 1}
+		}
+		return []int{1}, nil
+	}
+	got := TFOn(p, 5, work, func(a, b int) int { return a + b }, 0, []int{3})
+	if got != 8 {
+		t.Fatalf("leaf count = %d, want 8", got)
+	}
+	if processed != 15 {
+		t.Fatalf("processed %d packets, want 15", processed)
+	}
+}
+
+func TestPoolNestedSkeletonsDoNotDeadlock(t *testing.T) {
+	// A comp function that itself runs a skeleton on the same pool: direct
+	// handoff + overflow makes this safe even on a size-1 pool.
+	p := NewPool(1)
+	defer p.Close()
+	inner := func(x int) int {
+		return DFOn(p, 2, func(y int) int { return y * y }, func(a, b int) int { return a + b }, 0, []int{x, x + 1})
+	}
+	got := DFOn(p, 2, inner, func(a, b int) int { return a + b }, 0, []int{1, 3})
+	// inner(1)=1+4=5, inner(3)=9+16=25
+	if got != 30 {
+		t.Fatalf("got %d, want 30", got)
+	}
+}
+
+func TestPoolConcurrentCallers(t *testing.T) {
+	// Many goroutines sharing one pool: results must stay call-local.
+	p := NewPool(4)
+	defer p.Close()
+	var wg sync.WaitGroup
+	errs := make(chan string, 16)
+	for g := 0; g < 16; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			xs := make([]int, 100)
+			for i := range xs {
+				xs[i] = g*1000 + i
+			}
+			acc := func(a []int, b int) []int { return append(a, b) }
+			got := DFOn(p, 3, func(x int) int { return x }, acc, nil, xs)
+			sort.Ints(got)
+			for i, v := range got {
+				if v != g*1000+i {
+					errs <- "cross-call contamination"
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	if msg, ok := <-errs; ok {
+		t.Fatal(msg)
+	}
+}
+
+func TestPoolCloseIsIdempotentAndTasksAfterCloseRun(t *testing.T) {
+	p := NewPool(2)
+	p.Close()
+	p.Close() // must not panic
+	done := make(chan struct{})
+	p.Go(func() { close(done) })
+	<-done
+	// Skeletons still work after Close (overflow goroutines).
+	if got := DFOn(p, 2, func(x int) int { return x }, func(a, b int) int { return a + b }, 0, []int{1, 2, 3}); got != 6 {
+		t.Fatalf("got %d", got)
+	}
+}

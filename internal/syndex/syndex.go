@@ -228,7 +228,7 @@ func estCost(n *graph.Node, reg *value.Registry) int64 {
 	case graph.KindConst, graph.KindPack, graph.KindUnpack, graph.KindMem:
 		return 200 // negligible kernel bookkeeping
 	case graph.KindMaster:
-		return lookup(n.AccFn) * int64(maxInt(n.Workers, 1))
+		return lookup(n.AccFn) * int64(max(n.Workers, 1))
 	default:
 		return lookup(n.Fn)
 	}
@@ -249,13 +249,6 @@ func estBytes(n *graph.Node, reg *value.Registry) int {
 		return value.SizeOf(n.Const)
 	}
 	return 64
-}
-
-func maxInt(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
 }
 
 // buildPrograms derives the per-processor operation lists from the global

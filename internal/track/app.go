@@ -45,9 +45,13 @@ func (a *App) Loop(s *State, im *vision.Image) (*State, Result) {
 }
 
 // Run executes iters iterations of the itermem loop, collecting results.
+// The frame buffer is reused across iterations: IterMem is strictly
+// sequential and nothing downstream of the loop retains the image (windows
+// are copies, marks are values), so one buffer serves the whole stream.
 func (a *App) Run(iters int) *State {
 	s0 := InitState(a.Scene.W, a.Scene.H, len(a.Scene.Vehicles))
-	inp := func(struct{}) *vision.Image { return a.Scene.Next() }
+	frame := vision.NewImage(a.Scene.W, a.Scene.H)
+	inp := func(struct{}) *vision.Image { return a.Scene.NextInto(frame) }
 	loop := func(s *State, im *vision.Image) (*State, Result) { return a.Loop(s, im) }
 	out := func(r Result) bool {
 		a.Results = append(a.Results, r)

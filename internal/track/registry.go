@@ -24,8 +24,11 @@ func (d Detections) Bytes() int { return 8 + 40*len(d) }
 // values reported in paper §4.
 const (
 	// CyclesPerPixelDetect covers threshold + labelling + moments per
-	// window pixel in detect_mark.
-	CyclesPerPixelDetect = 50
+	// window pixel in detect_mark. Recalibrated from 50 after the
+	// allocation-free labelling rewrite (dense remap table, reused
+	// scratch): the per-pixel cost no longer includes a hash-map update
+	// and a per-frame allocation amortisation.
+	CyclesPerPixelDetect = 40
 	// CyclesPerPixelExtract covers copying one pixel into a window of
 	// interest in get_windows (DMA-assisted on the real platform).
 	CyclesPerPixelExtract = 1

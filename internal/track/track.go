@@ -17,6 +17,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"sync"
 
 	"skipper/internal/video"
 	"skipper/internal/vision"
@@ -131,8 +132,17 @@ func GetWindows(np int, s *State, im *vision.Image) []vision.Window {
 // returns a single mark per window; the abstract DSL type "mark" is carried
 // here as the list of blobs found in the window, which is the faithful
 // functional content when a reinitialization band holds several marks.)
+// detectScratch pools labelling scratch space across DetectMarks calls:
+// detection runs once per window per frame (the paper's per-frame hot
+// path), and the label/union-find/moments buffers never escape, so a
+// sync.Pool removes all per-call labelling allocations while staying safe
+// under the df skeleton's concurrent workers.
+var detectScratch = sync.Pool{New: func() any { return new(vision.LabelScratch) }}
+
 func DetectMarks(w vision.Window) []Mark {
-	comps := vision.Components(w.Img, Threshold, MinMarkArea)
+	s := detectScratch.Get().(*vision.LabelScratch)
+	defer detectScratch.Put(s)
+	comps := s.Components(w.Img, Threshold, MinMarkArea)
 	marks := make([]Mark, 0, len(comps))
 	for _, c := range comps {
 		marks = append(marks, Mark{
@@ -465,11 +475,4 @@ func Display(r Result) string {
 	}
 	return fmt.Sprintf("frame %4d  %s  vehicles=%d  marks=%d",
 		r.Frame, phase, r.Vehicles, len(r.Marks))
-}
-
-func maxInt(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
 }

@@ -128,9 +128,21 @@ func markRadius(focal, z float64) int {
 	return r
 }
 
-// Next advances vehicle states and renders the next frame.
+// Next advances vehicle states and renders the next frame into a fresh
+// image. Frame-loop callers that recycle buffers should use NextInto.
 func (s *Scene) Next() *vision.Image {
-	im := vision.NewImage(s.W, s.H)
+	return s.NextInto(vision.NewImage(s.W, s.H))
+}
+
+// NextInto advances vehicle states and renders the next frame into im,
+// which must be a W×H image (every pixel is overwritten, so im need not be
+// cleared). It returns im. Combined with the vision arena (GetImage /
+// PutImage) or a caller-owned double buffer, a 25 Hz frame loop stops
+// allocating a frame per iteration.
+func (s *Scene) NextInto(im *vision.Image) *vision.Image {
+	if im.W != s.W || im.H != s.H {
+		panic("video: NextInto image geometry does not match scene")
+	}
 	s.renderBackground(im)
 	for i := range s.Vehicles {
 		s.stepVehicle(&s.Vehicles[i])

@@ -1,0 +1,148 @@
+package vision
+
+import "testing"
+
+// Allocation budgets for the per-frame hot-path kernels: with reused
+// destinations/scratch, the in-place variants must be 0-alloc at steady
+// state. These tests pin the contract the tracking frame loop relies on.
+
+func allocTestFrame(w, h int) *Image {
+	im := NewImage(w, h)
+	for i := range im.Pix {
+		im.Pix[i] = uint8(i * 37 % 251)
+	}
+	FillDisc(im, w/3, h/3, 5, 250)
+	FillDisc(im, 2*w/3, h/2, 4, 250)
+	FillDisc(im, w/2, 2*h/3, 3, 250)
+	return im
+}
+
+func TestThresholdIntoZeroAlloc(t *testing.T) {
+	im := allocTestFrame(128, 128)
+	dst := NewImage(128, 128)
+	if got := testing.AllocsPerRun(100, func() { ThresholdInto(dst, im, 200) }); got > 0 {
+		t.Fatalf("ThresholdInto allocates %.1f allocs/op, want 0", got)
+	}
+}
+
+func TestLabelScratchZeroAlloc(t *testing.T) {
+	im := allocTestFrame(128, 128)
+	var s LabelScratch
+	s.Label(im, 200) // warm up scratch buffers
+	if got := testing.AllocsPerRun(100, func() { s.Label(im, 200) }); got > 0 {
+		t.Fatalf("LabelScratch.Label allocates %.1f allocs/op, want 0", got)
+	}
+}
+
+func TestComponentsScratchZeroAlloc(t *testing.T) {
+	im := allocTestFrame(128, 128)
+	var s LabelScratch
+	s.Components(im, 200, 2)
+	if got := testing.AllocsPerRun(100, func() { s.Components(im, 200, 2) }); got > 0 {
+		t.Fatalf("LabelScratch.Components allocates %.1f allocs/op, want 0", got)
+	}
+}
+
+func TestExtractIntoZeroAlloc(t *testing.T) {
+	im := allocTestFrame(128, 128)
+	var w Window
+	r := Rect{X0: 10, Y0: 10, X1: 100, Y1: 90}
+	ExtractInto(&w, im, r)
+	if got := testing.AllocsPerRun(100, func() { ExtractInto(&w, im, r) }); got > 0 {
+		t.Fatalf("ExtractInto allocates %.1f allocs/op, want 0", got)
+	}
+}
+
+func TestMorphIntoZeroAlloc(t *testing.T) {
+	im := allocTestFrame(64, 64)
+	dst := NewImage(64, 64)
+	if got := testing.AllocsPerRun(50, func() { Dilate3Into(dst, im) }); got > 0 {
+		t.Fatalf("Dilate3Into allocates %.1f allocs/op, want 0", got)
+	}
+	if got := testing.AllocsPerRun(50, func() { Erode3Into(dst, im) }); got > 0 {
+		t.Fatalf("Erode3Into allocates %.1f allocs/op, want 0", got)
+	}
+}
+
+// The in-place variants must agree with their allocating counterparts.
+func TestIntoVariantsMatchOneShot(t *testing.T) {
+	im := allocTestFrame(96, 80)
+
+	want := Threshold(im, 200)
+	dst := NewImage(1, 1) // deliberately too small: reset must grow it
+	got := ThresholdInto(dst, im, 200)
+	if got.W != want.W || got.H != want.H {
+		t.Fatalf("geometry: %dx%d vs %dx%d", got.W, got.H, want.W, want.H)
+	}
+	for i := range want.Pix {
+		if got.Pix[i] != want.Pix[i] {
+			t.Fatalf("ThresholdInto differs at %d", i)
+		}
+	}
+
+	wd := Dilate3(im)
+	gd := Dilate3Into(NewImage(0, 0), im)
+	for i := range wd.Pix {
+		if gd.Pix[i] != wd.Pix[i] {
+			t.Fatalf("Dilate3Into differs at %d", i)
+		}
+	}
+
+	r := Rect{X0: 5, Y0: 7, X1: 60, Y1: 50}
+	ww := Extract(im, r)
+	var gw Window
+	ExtractInto(&gw, im, r)
+	if gw.Origin != ww.Origin {
+		t.Fatalf("origins differ: %v vs %v", gw.Origin, ww.Origin)
+	}
+	for i := range ww.Img.Pix {
+		if gw.Img.Pix[i] != ww.Img.Pix[i] {
+			t.Fatalf("ExtractInto differs at %d", i)
+		}
+	}
+}
+
+// Labelling with scratch reuse must match the one-shot path and the
+// brute-force flood-fill oracle across repeated frames.
+func TestLabelScratchReuseMatchesOneShot(t *testing.T) {
+	var s LabelScratch
+	for frame := 0; frame < 5; frame++ {
+		im := NewImage(64, 64)
+		for i := range im.Pix {
+			im.Pix[i] = uint8((i*31 + frame*97) % 256)
+		}
+		want := Label(im, 180)
+		got := s.Label(im, 180)
+		if got.N != want.N {
+			t.Fatalf("frame %d: N=%d want %d", frame, got.N, want.N)
+		}
+		for i := range want.Labels {
+			if got.Labels[i] != want.Labels[i] {
+				t.Fatalf("frame %d: label differs at %d", frame, i)
+			}
+		}
+		gotC := s.Components(im, 180, 1)
+		wantC := FloodComponents(im, 180, 1)
+		if len(gotC) != len(wantC) {
+			t.Fatalf("frame %d: %d components, oracle %d", frame, len(gotC), len(wantC))
+		}
+	}
+}
+
+func TestArenaGetImageIsZeroed(t *testing.T) {
+	im := GetImage(32, 32)
+	for i := range im.Pix {
+		im.Pix[i] = 255
+	}
+	PutImage(im)
+	im2 := GetImage(32, 32)
+	for i, p := range im2.Pix {
+		if p != 0 {
+			t.Fatalf("GetImage returned dirty pixel at %d: %d", i, p)
+		}
+	}
+	PutImage(im2)
+	if got := GetImage(8, 4); got.W != 8 || got.H != 4 || len(got.Pix) != 32 {
+		t.Fatalf("GetImage geometry wrong: %dx%d len %d", got.W, got.H, len(got.Pix))
+	}
+}

@@ -42,6 +42,23 @@ func (im *Image) Set(x, y int, v uint8) {
 	im.Pix[y*im.W+x] = v
 }
 
+// reset reshapes im to w×h, reusing the pixel buffer when it is large
+// enough; pixel contents are unspecified afterwards. It is the in-place
+// kernels' way of adopting a caller-provided destination without
+// allocating.
+func (im *Image) reset(w, h int) {
+	if w < 0 || h < 0 {
+		panic(fmt.Sprintf("vision: invalid image size %dx%d", w, h))
+	}
+	need := w * h
+	if cap(im.Pix) < need {
+		im.Pix = make([]uint8, need)
+	} else {
+		im.Pix = im.Pix[:need]
+	}
+	im.W, im.H = w, h
+}
+
 // Clone returns a deep copy of the image.
 func (im *Image) Clone() *Image {
 	out := NewImage(im.W, im.H)
@@ -149,13 +166,27 @@ type Window struct {
 // Extract copies the sub-image of im delimited by r (clipped to the frame)
 // into a fresh Window.
 func Extract(im *Image, r Rect) Window {
+	var w Window
+	ExtractInto(&w, im, r)
+	return w
+}
+
+// ExtractInto copies the sub-image of im delimited by r (clipped to the
+// frame) into dst, reusing dst's pixel buffer when large enough. With a
+// reused Window this is allocation-free — the hot-path variant for
+// per-frame window extraction.
+func ExtractInto(dst *Window, im *Image, r Rect) {
 	r = r.Intersect(Rect{0, 0, im.W, im.H})
-	w := NewImage(r.W(), r.H())
+	if dst.Img == nil {
+		dst.Img = &Image{}
+	}
+	dst.Img.reset(r.W(), r.H())
+	w := dst.Img
 	for y := 0; y < r.H(); y++ {
 		src := im.Pix[(r.Y0+y)*im.W+r.X0 : (r.Y0+y)*im.W+r.X1]
 		copy(w.Pix[y*w.W:(y+1)*w.W], src)
 	}
-	return Window{Origin: r, Img: w}
+	dst.Origin = r
 }
 
 // Bytes returns the transfer size of the window: pixels plus a small
@@ -209,18 +240,4 @@ func (im *Image) ASCII(cols, rows int) string {
 		b.WriteByte('\n')
 	}
 	return b.String()
-}
-
-func min(a, b int) int {
-	if a < b {
-		return a
-	}
-	return b
-}
-
-func max(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
 }

@@ -10,7 +10,14 @@ package vision
 // binary or grayscale image: each output pixel is the maximum of its
 // neighbourhood.
 func Dilate3(im *Image) *Image {
-	out := NewImage(im.W, im.H)
+	return Dilate3Into(getImageDirty(im.W, im.H), im)
+}
+
+// Dilate3Into writes the 3×3 dilation of im into dst (reshaped, buffer
+// reused) and returns dst. dst must not alias im. With a reused dst this
+// is allocation-free.
+func Dilate3Into(dst *Image, im *Image) *Image {
+	dst.reset(im.W, im.H)
 	for y := 0; y < im.H; y++ {
 		for x := 0; x < im.W; x++ {
 			var m uint8
@@ -21,10 +28,10 @@ func Dilate3(im *Image) *Image {
 					}
 				}
 			}
-			out.Pix[y*im.W+x] = m
+			dst.Pix[y*im.W+x] = m
 		}
 	}
-	return out
+	return dst
 }
 
 // Erode3 returns the 8-neighbourhood (3×3) morphological erosion: each
@@ -32,7 +39,14 @@ func Dilate3(im *Image) *Image {
 // frame are treated as 0, so the image border erodes (consistent with
 // At's zero padding).
 func Erode3(im *Image) *Image {
-	out := NewImage(im.W, im.H)
+	return Erode3Into(getImageDirty(im.W, im.H), im)
+}
+
+// Erode3Into writes the 3×3 erosion of im into dst (reshaped, buffer
+// reused) and returns dst. dst must not alias im. With a reused dst this
+// is allocation-free.
+func Erode3Into(dst *Image, im *Image) *Image {
+	dst.reset(im.W, im.H)
 	for y := 0; y < im.H; y++ {
 		for x := 0; x < im.W; x++ {
 			m := uint8(255)
@@ -43,19 +57,30 @@ func Erode3(im *Image) *Image {
 					}
 				}
 			}
-			out.Pix[y*im.W+x] = m
+			dst.Pix[y*im.W+x] = m
 		}
 	}
-	return out
+	return dst
 }
 
 // Open3 is erosion followed by dilation (removes speckle noise smaller
-// than the structuring element).
-func Open3(im *Image) *Image { return Dilate3(Erode3(im)) }
+// than the structuring element). The intermediate image comes from the
+// frame arena, so the composite allocates at most the result.
+func Open3(im *Image) *Image {
+	tmp := Erode3(im)
+	out := Dilate3(tmp)
+	PutImage(tmp)
+	return out
+}
 
 // Close3 is dilation followed by erosion (fills pinholes and joins close
-// blobs).
-func Close3(im *Image) *Image { return Erode3(Dilate3(im)) }
+// blobs). The intermediate image comes from the frame arena.
+func Close3(im *Image) *Image {
+	tmp := Dilate3(im)
+	out := Erode3(tmp)
+	PutImage(tmp)
+	return out
+}
 
 // Sobel computes the Sobel gradient magnitude (clamped to 255). It is the
 // classic edge detector of the low-level processing layer.

@@ -4,13 +4,23 @@ package vision
 // 0 elsewhere. "Marks are detected as connected groups of pixels with values
 // above a given threshold" (paper §4).
 func Threshold(im *Image, t uint8) *Image {
-	out := NewImage(im.W, im.H)
+	return ThresholdInto(getImageDirty(im.W, im.H), im, t)
+}
+
+// ThresholdInto writes the thresholded image into dst (reshaped to im's
+// geometry, reusing its pixel buffer when large enough) and returns dst.
+// With a reused dst this is allocation-free — the in-place variant for
+// per-frame hot loops.
+func ThresholdInto(dst *Image, im *Image, t uint8) *Image {
+	dst.reset(im.W, im.H)
 	for i, p := range im.Pix {
 		if p >= t {
-			out.Pix[i] = 255
+			dst.Pix[i] = 255
+		} else {
+			dst.Pix[i] = 0
 		}
 	}
-	return out
+	return dst
 }
 
 // CountAbove returns the number of pixels with value >= t.
@@ -46,12 +56,13 @@ type Component struct {
 
 // labelUF is a union-find (disjoint-set) structure over provisional labels,
 // with path halving and union by arbitrary order (smaller root wins, which
-// keeps labels deterministic).
+// keeps labels deterministic). The parent array is reused across frames by
+// LabelScratch.
 type labelUF struct {
 	parent []int32
 }
 
-func newLabelUF() *labelUF { return &labelUF{parent: make([]int32, 0, 64)} }
+func (u *labelUF) reset() { u.parent = u.parent[:0] }
 
 func (u *labelUF) fresh() int32 {
 	l := int32(len(u.parent))
@@ -87,13 +98,39 @@ type LabelResult struct {
 	N      int
 }
 
+// LabelScratch carries every buffer the labelling kernels need — the
+// union-find parent array, the provisional→dense remap table, the label
+// plane and the per-component statistics — so a caller processing a frame
+// stream can reuse one scratch across frames and run the whole
+// label+moments pipeline without allocating. The zero value is ready to
+// use. A scratch is not safe for concurrent use; results returned by its
+// methods alias its buffers and are valid until the next call on the same
+// scratch.
+type LabelScratch struct {
+	uf    labelUF
+	remap []int32
+	res   LabelResult
+	comps []Component
+	sx    []int64
+	sy    []int64
+}
+
 // Label performs two-pass 4-connected component labelling with union-find
 // on the binary image produced by thresholding im at t. The returned labels
-// are dense (1..N) in raster order of first appearance.
-func Label(im *Image, t uint8) *LabelResult {
+// are dense (1..N) in raster order of first appearance. The result aliases
+// the scratch and is valid until the next call on s.
+func (s *LabelScratch) Label(im *Image, t uint8) *LabelResult {
 	w, h := im.W, im.H
-	res := &LabelResult{W: w, H: h, Labels: make([]int32, w*h)}
-	uf := newLabelUF()
+	res := &s.res
+	res.W, res.H = w, h
+	if cap(res.Labels) < w*h {
+		res.Labels = make([]int32, w*h)
+	} else {
+		res.Labels = res.Labels[:w*h]
+		clear(res.Labels)
+	}
+	s.uf.reset()
+	uf := &s.uf
 	// Pass 1: provisional labels. Provisional label k is stored as k+1 so
 	// zero remains "background".
 	for y := 0; y < h; y++ {
@@ -121,19 +158,27 @@ func Label(im *Image, t uint8) *LabelResult {
 			}
 		}
 	}
-	// Pass 2: resolve to dense final labels.
-	dense := make(map[int32]int32)
+	// Pass 2: resolve to dense final labels. Provisional labels are dense
+	// (0..len(parent)-1), so a flat remap table replaces the seed's
+	// per-frame map[int32]int32 — no hashing, no allocation on reuse.
+	nprov := len(uf.parent)
+	if cap(s.remap) < nprov {
+		s.remap = make([]int32, nprov)
+	} else {
+		s.remap = s.remap[:nprov]
+		clear(s.remap)
+	}
 	next := int32(1)
 	for i, l := range res.Labels {
 		if l == 0 {
 			continue
 		}
 		root := uf.find(l - 1)
-		d, ok := dense[root]
-		if !ok {
+		d := s.remap[root]
+		if d == 0 {
 			d = next
 			next++
-			dense[root] = d
+			s.remap[root] = d
 		}
 		res.Labels[i] = d
 	}
@@ -141,23 +186,38 @@ func Label(im *Image, t uint8) *LabelResult {
 	return res
 }
 
-// Components labels im at threshold t and returns per-component statistics,
-// ordered by label (raster order of first appearance). minArea filters out
-// small noise blobs (components with Area < minArea are dropped; labels of
-// surviving components are NOT renumbered).
-func Components(im *Image, t uint8, minArea int) []Component {
-	lr := Label(im, t)
+// Label is the one-shot form: it labels im with a private scratch. Stream
+// processing should hold a LabelScratch and call its Label method instead.
+func Label(im *Image, t uint8) *LabelResult {
+	var s LabelScratch
+	return s.Label(im, t)
+}
+
+// Components labels im at threshold t and computes per-component
+// statistics, ordered by label (raster order of first appearance). minArea
+// filters out small noise blobs (components with Area < minArea are
+// dropped; labels of surviving components are NOT renumbered). The returned
+// slice aliases the scratch and is valid until the next call on s.
+func (s *LabelScratch) Components(im *Image, t uint8, minArea int) []Component {
+	lr := s.Label(im, t)
 	if lr.N == 0 {
 		return nil
 	}
-	comps := make([]Component, lr.N)
-	for i := range comps {
-		comps[i].Label = i + 1
-		comps[i].BBox = Rect{X0: lr.W, Y0: lr.H, X1: 0, Y1: 0}
+	if cap(s.comps) < lr.N {
+		s.comps = make([]Component, lr.N)
+		s.sx = make([]int64, lr.N)
+		s.sy = make([]int64, lr.N)
+	} else {
+		s.comps = s.comps[:lr.N]
+		s.sx = s.sx[:lr.N]
+		s.sy = s.sy[:lr.N]
+		clear(s.sx)
+		clear(s.sy)
 	}
-	var sx, sy []int64
-	sx = make([]int64, lr.N)
-	sy = make([]int64, lr.N)
+	comps, sx, sy := s.comps, s.sx, s.sy
+	for i := range comps {
+		comps[i] = Component{Label: i + 1, BBox: Rect{X0: lr.W, Y0: lr.H, X1: 0, Y1: 0}}
+	}
 	for y := 0; y < lr.H; y++ {
 		for x := 0; x < lr.W; x++ {
 			l := lr.Labels[y*lr.W+x]
@@ -192,7 +252,17 @@ func Components(im *Image, t uint8, minArea int) []Component {
 		comps[i].CY = float64(sy[i]) / float64(comps[i].Area)
 		out = append(out, comps[i])
 	}
-	// Clone to avoid aliasing surprises for callers that append.
+	return out
+}
+
+// Components is the one-shot form of LabelScratch.Components; the returned
+// slice is freshly allocated (safe for callers that retain or append).
+func Components(im *Image, t uint8, minArea int) []Component {
+	var s LabelScratch
+	out := s.Components(im, t, minArea)
+	if out == nil {
+		return nil
+	}
 	res := make([]Component, len(out))
 	copy(res, out)
 	return res
