@@ -25,8 +25,9 @@ race:
 
 # Regenerate the machine-readable perf snapshot consumed by the tier-1
 # envelope guard (bench_guard_test.go). See README § Performance.
+# BENCH_<pr>.json — bump the number when a PR changes the perf story.
 bench:
-	$(GO) run ./cmd/skipper-bench -json BENCH_1.json
+	$(GO) run ./cmd/skipper-bench -json BENCH_2.json
 
 clean:
 	$(GO) clean ./...

@@ -359,3 +359,35 @@ func BenchmarkE11_Topologies(b *testing.B) {
 		}
 	}
 }
+
+// --- Transport: in-process vs TCP farm round trip ----------------------------
+
+// BenchmarkTransportFarmRoundTrip measures one df-farm task/reply round
+// trip (the per-window message pattern of OpMaster/OpWorker) over each
+// executive transport backend: "mem" is the in-process mailbox substrate,
+// "tcp" a hub/client pair on a real localhost socket. The scalar payload
+// is the round-trip floor; the window payload ships the 512×64 image band
+// the tracking schedule sends per df window, so the mem-vs-tcp delta is
+// the per-window cost of going multi-process.
+func BenchmarkTransportFarmRoundTrip(b *testing.B) {
+	payloads := []struct {
+		name string
+		mk   func() func(i int) interface{}
+	}{
+		{"Scalar", harness.BenchScalarPayload},
+		{"Window512x64", harness.BenchWindowPayload},
+	}
+	for _, tr := range harness.Transports {
+		for _, pl := range payloads {
+			b.Run(tr+"/"+pl.name, func(b *testing.B) {
+				pair, err := harness.NewTransportPair(tr)
+				if err != nil {
+					b.Fatal(err)
+				}
+				defer pair.Close()
+				b.ReportAllocs()
+				harness.BenchFarmRoundTrip(b, pair, pl.mk())
+			})
+		}
+	}
+}

@@ -1,0 +1,52 @@
+// Command skipper-node runs ONE processor of a distributed SKiPPER
+// executive in its own OS process. It compiles the same tracking
+// deployment as the coordinator (the hub rejects the connection if the
+// schedule fingerprints differ), dials the hub, claims its processor and
+// interprets that processor's op program over the TCP transport.
+//
+// Node processes are normally spawned by `skipper-run -transport=tcp`,
+// which passes matching deployment flags; the command line mirrors the
+// manifest.json `launch` entry written by skipperc -outdir:
+//
+//	skipper-node -hub 127.0.0.1:7000 -proc 3 \
+//	             -procs 8 -size 512 -vehicles 3 -seed 3 -iters 50
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"skipper/internal/distrib"
+)
+
+func main() {
+	hub := flag.String("hub", "", "coordinator hub address (host:port), required")
+	proc := flag.Int("proc", -1, "processor id this node hosts (1..N-1), required")
+	procs := flag.Int("procs", 8, "number of processors in the deployment")
+	iters := flag.Int("iters", 50, "stream iterations")
+	size := flag.Int("size", 512, "frame width and height")
+	vehicles := flag.Int("vehicles", 3, "lead vehicles (1-3)")
+	seed := flag.Int64("seed", 3, "synthetic scene seed")
+	topology := flag.String("topology", "ring", "ring, chain, star or full")
+	deterministic := flag.Bool("deterministic", false, "order-insensitive farm accumulation")
+	timeout := flag.Duration("timeout", 2*time.Minute, "dial + run watchdog")
+	flag.Parse()
+
+	if *hub == "" || *proc < 0 {
+		fmt.Fprintln(os.Stderr, "skipper-node: -hub and -proc are required")
+		flag.Usage()
+		os.Exit(2)
+	}
+	sp := distrib.Spec{
+		Topology: *topology, Procs: *procs,
+		Width: *size, Height: *size,
+		Vehicles: *vehicles, Seed: *seed,
+		Iters: *iters, Deterministic: *deterministic,
+	}
+	if err := distrib.RunNode(sp, *proc, *hub, *timeout); err != nil {
+		fmt.Fprintln(os.Stderr, "skipper-node:", err)
+		os.Exit(1)
+	}
+}

@@ -4,22 +4,34 @@
 //
 // Usage:
 //
-//	skipper-run [-backend exec|sim] [-procs 8] [-iters 50]
-//	            [-size 512] [-vehicles 3] [-seed 3] [-topology ring]
+//	skipper-run [-backend exec|sim] [-transport mem|tcp] [-procs 8]
+//	            [-iters 50] [-size 512] [-vehicles 3] [-seed 3]
+//	            [-topology ring]
+//
+// With -transport=tcp the executive really runs as N OS processes: this
+// process hosts processor 0 and the routing hub, and one skipper-node
+// child process is spawned per remaining processor (the skipper-node
+// binary is looked up next to skipper-run, then on PATH).
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"os/exec"
+	"path/filepath"
+	"strconv"
+	"time"
 
 	"skipper"
+	"skipper/internal/distrib"
 	"skipper/internal/track"
 	"skipper/internal/video"
 )
 
 func main() {
 	backend := flag.String("backend", "exec", "execution backend: exec (goroutines) or sim (timing model)")
+	transportFlag := flag.String("transport", "mem", "with -backend exec: mem (in-process) or tcp (one OS process per processor)")
 	procs := flag.Int("procs", 8, "number of processors (and df workers)")
 	iters := flag.Int("iters", 50, "stream iterations")
 	size := flag.Int("size", 512, "frame width and height")
@@ -29,6 +41,14 @@ func main() {
 	trace := flag.Bool("trace", false, "with -backend sim: print the per-processor chronogram")
 	svgPath := flag.String("svg", "", "with -trace: also write an SVG chronogram to this file")
 	flag.Parse()
+
+	if *backend == "exec" && *transportFlag == "tcp" {
+		runTCP(*procs, *iters, *size, *vehicles, *seed, *topology)
+		return
+	}
+	if *transportFlag != "mem" && *transportFlag != "tcp" {
+		fatal(fmt.Errorf("unknown transport %q", *transportFlag))
+	}
 
 	scene := video.NewScene(*size, *size, *vehicles, *seed)
 	reg, rec := track.NewRegistry(scene, os.Stdout)
@@ -92,6 +112,76 @@ func main() {
 	}
 	fmt.Printf("\n%d iterations, %d in tracking phase (%.0f%%)\n",
 		len(rec.Results), locked, 100*float64(locked)/float64(max(len(rec.Results), 1)))
+}
+
+// runTCP executes the tracking deployment as N communicating OS processes
+// on localhost: processor 0 plus the hub here, one spawned skipper-node
+// per remaining processor.
+func runTCP(procs, iters, size int, vehicles int, seed int64, topology string) {
+	nodeBin, err := findNodeBinary()
+	if err != nil {
+		fatal(err)
+	}
+	sp := distrib.Spec{
+		Topology: topology, Procs: procs,
+		Width: size, Height: size,
+		Vehicles: vehicles, Seed: seed, Iters: iters,
+	}
+	var children []*exec.Cmd
+	spawn := func(addr string) error {
+		for p := 1; p < procs; p++ {
+			cmd := exec.Command(nodeBin,
+				"-hub", addr,
+				"-proc", strconv.Itoa(p),
+				"-procs", strconv.Itoa(procs),
+				"-iters", strconv.Itoa(iters),
+				"-size", strconv.Itoa(size),
+				"-vehicles", strconv.Itoa(vehicles),
+				"-seed", strconv.FormatInt(seed, 10),
+				"-topology", topology,
+			)
+			cmd.Stderr = os.Stderr
+			if err := cmd.Start(); err != nil {
+				return err
+			}
+			children = append(children, cmd)
+		}
+		return nil
+	}
+	rec, res, err := distrib.RunCoordinator(sp, "127.0.0.1:0", spawn, 5*time.Minute)
+	for _, c := range children {
+		if werr := c.Wait(); werr != nil && err == nil {
+			err = fmt.Errorf("node process %v: %w", c.Args[2:4], werr)
+		}
+	}
+	if err != nil {
+		fatal(err)
+	}
+	locked := 0
+	for _, r := range rec.Results {
+		if r.Tracking {
+			locked++
+		}
+	}
+	fmt.Printf("%d processors as OS processes over TCP, %d messages from coordinator\n",
+		procs, res.Messages)
+	fmt.Printf("\n%d iterations, %d in tracking phase (%.0f%%)\n",
+		len(rec.Results), locked, 100*float64(locked)/float64(max(len(rec.Results), 1)))
+}
+
+// findNodeBinary locates skipper-node: next to this executable first, then
+// on PATH.
+func findNodeBinary() (string, error) {
+	if self, err := os.Executable(); err == nil {
+		cand := filepath.Join(filepath.Dir(self), "skipper-node")
+		if st, err := os.Stat(cand); err == nil && !st.IsDir() {
+			return cand, nil
+		}
+	}
+	if p, err := exec.LookPath("skipper-node"); err == nil {
+		return p, nil
+	}
+	return "", fmt.Errorf("skipper-node binary not found next to skipper-run or on PATH (build it with: go build ./cmd/skipper-node)")
 }
 
 func fatal(err error) {

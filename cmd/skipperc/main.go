@@ -98,6 +98,11 @@ func main() {
 			}
 			artifacts := dep.Schedule.MacroCodeFiles()
 			artifacts["graph.dot"] = prog.DOT("skipper")
+			manifest, err := dep.Schedule.ManifestJSON()
+			if err != nil {
+				fatal(err)
+			}
+			artifacts["manifest.json"] = string(manifest)
 			for name, content := range artifacts {
 				if err := os.WriteFile(filepath.Join(*outdir, name), []byte(content), 0o644); err != nil {
 					fatal(err)

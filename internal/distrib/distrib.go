@@ -1,0 +1,155 @@
+// Package distrib runs the built-in tracking application as a multi-process
+// deployment: one coordinator process hosting processor 0 (and the TCP hub)
+// plus one skipper-node process per remaining processor. Every process
+// compiles the same specification from the same Spec — the hub's handshake
+// fingerprint check proves they agree — and then runs its share of the
+// executive over the nettransport backend. The stateful extern functions
+// (frame grabber, recorder) are instantiated per process but each is only
+// ever invoked on the processor hosting its node, so the distributed run is
+// bit-identical to the in-process one.
+package distrib
+
+import (
+	"fmt"
+	"time"
+
+	"skipper/internal/arch"
+	"skipper/internal/dsl/parser"
+	"skipper/internal/dsl/types"
+	"skipper/internal/exec"
+	"skipper/internal/exec/nettransport"
+	"skipper/internal/expand"
+	"skipper/internal/syndex"
+	"skipper/internal/track"
+	"skipper/internal/value"
+	"skipper/internal/video"
+)
+
+// Spec fixes everything the deployment's processes must agree on. The
+// schedule fingerprint covers the compiled program and architecture; the
+// scene parameters are carried alongside so every process synthesizes the
+// same video stream.
+type Spec struct {
+	Topology      string // ring, chain, star or full
+	Procs         int
+	Width, Height int
+	Vehicles      int
+	Seed          int64
+	Iters         int
+	Deterministic bool // order-insensitive df accumulation buffering
+}
+
+// Arch builds the architecture graph the spec names.
+func (sp Spec) Arch() (*arch.Arch, error) {
+	switch sp.Topology {
+	case "ring":
+		return arch.Ring(sp.Procs), nil
+	case "chain":
+		return arch.Chain(sp.Procs), nil
+	case "star":
+		return arch.Star(sp.Procs), nil
+	case "full":
+		return arch.Full(sp.Procs), nil
+	}
+	return nil, fmt.Errorf("distrib: unknown topology %q", sp.Topology)
+}
+
+// Compile builds this process's instance of the deployment: a fresh scene
+// and registry plus the mapped schedule. Every process of a deployment
+// calls this with the same Spec and obtains a schedule with the same
+// fingerprint.
+func (sp Spec) Compile() (*syndex.Schedule, *value.Registry, *track.Recorder, error) {
+	a, err := sp.Arch()
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	scene := video.NewScene(sp.Width, sp.Height, sp.Vehicles, sp.Seed)
+	reg, rec := track.NewRegistry(scene, nil)
+	prog, err := parser.Parse(track.ProgramSource(sp.Procs, sp.Width, sp.Height))
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	info, err := types.Check(prog)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	res, err := expand.Expand(prog, info, reg)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	s, err := syndex.Map(res.Graph, a, reg, syndex.Structured)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	return s, reg, rec, nil
+}
+
+// RunNode is the whole lifecycle of one node process: compile the spec,
+// dial the hub claiming proc, run the processor's program and detach. Used
+// by cmd/skipper-node and, in-process, by tests.
+func RunNode(sp Spec, proc int, hubAddr string, d time.Duration) error {
+	s, reg, _, err := sp.Compile()
+	if err != nil {
+		return err
+	}
+	if proc <= 0 || proc >= s.Arch.N {
+		return fmt.Errorf("distrib: node processor %d outside 1..%d (0 is the coordinator)", proc, s.Arch.N-1)
+	}
+	cl, err := nettransport.Dial(hubAddr, s.Fingerprint(), []arch.ProcID{arch.ProcID(proc)}, d)
+	if err != nil {
+		return err
+	}
+	defer cl.Close()
+	m := exec.NewMachineOn(s, reg, cl, []arch.ProcID{arch.ProcID(proc)})
+	m.DeterministicFarm = sp.Deterministic
+	if _, err := m.RunWithTimeout(sp.Iters, d); err != nil {
+		return fmt.Errorf("distrib: node %d: %w", proc, err)
+	}
+	return nil
+}
+
+// RunCoordinator hosts processor 0 and the hub. listen is the hub bind
+// address ("127.0.0.1:0" picks a free port); spawn is called once with the
+// bound address and must arrange for processors 1..N-1 to attach (OS
+// processes, goroutines — the coordinator does not care). It returns the
+// coordinator's recorder (which holds the per-iteration tracking results,
+// since processor 0 hosts the input/output nodes) and the run result.
+func RunCoordinator(sp Spec, listen string, spawn func(addr string) error, d time.Duration) (*track.Recorder, *exec.RunResult, error) {
+	s, reg, rec, err := sp.Compile()
+	if err != nil {
+		return nil, nil, err
+	}
+	hub, err := nettransport.NewHub(listen, s.Arch, s.Fingerprint(), []arch.ProcID{0})
+	if err != nil {
+		return nil, nil, err
+	}
+	defer hub.Close()
+	if spawn != nil {
+		if err := spawn(hub.Addr()); err != nil {
+			return nil, nil, fmt.Errorf("distrib: spawning nodes: %w", err)
+		}
+	}
+	m := exec.NewMachineOn(s, reg, hub, []arch.ProcID{0})
+	m.DeterministicFarm = sp.Deterministic
+	res, err := m.RunWithTimeout(sp.Iters, d)
+	if err != nil {
+		return nil, nil, err
+	}
+	return rec, res, nil
+}
+
+// RunInProcess executes the spec on the plain in-process executive — the
+// reference the distributed run must match bit for bit.
+func RunInProcess(sp Spec, d time.Duration) (*track.Recorder, *exec.RunResult, error) {
+	s, reg, rec, err := sp.Compile()
+	if err != nil {
+		return nil, nil, err
+	}
+	m := exec.NewMachine(s, reg)
+	m.DeterministicFarm = sp.Deterministic
+	res, err := m.RunWithTimeout(sp.Iters, d)
+	if err != nil {
+		return nil, nil, err
+	}
+	return rec, res, nil
+}

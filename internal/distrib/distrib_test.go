@@ -1,0 +1,148 @@
+package distrib
+
+import (
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"skipper/internal/track"
+)
+
+// resultsEqual compares two per-iteration tracking traces field by field.
+func resultsEqual(a, b []track.Result) (bool, string) {
+	if len(a) != len(b) {
+		return false, fmt.Sprintf("length %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		x, y := a[i], b[i]
+		if x.Frame != y.Frame || x.Tracking != y.Tracking ||
+			x.Vehicles != y.Vehicles || len(x.Marks) != len(y.Marks) {
+			return false, fmt.Sprintf("iteration %d: %+v vs %+v", i, x, y)
+		}
+		for j := range x.Marks {
+			if x.Marks[j] != y.Marks[j] {
+				return false, fmt.Sprintf("iteration %d mark %d: %+v vs %+v", i, j, x.Marks[j], y.Marks[j])
+			}
+		}
+	}
+	return true, ""
+}
+
+func trackingSpec(iters int) Spec {
+	return Spec{
+		Topology: "ring", Procs: 8,
+		Width: 128, Height: 128,
+		Vehicles: 2, Seed: 21, Iters: iters,
+	}
+}
+
+// TestDistributedGoroutineNodesMatchInProcess splits ring(8) across a hub
+// and 7 in-process node clients (real localhost TCP, shared address space
+// for speed) and requires bit-identical tracking results.
+func TestDistributedGoroutineNodesMatchInProcess(t *testing.T) {
+	sp := trackingSpec(10)
+	memRec, _, err := RunInProcess(sp, time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	errCh := make(chan error, sp.Procs-1)
+	spawn := func(addr string) error {
+		for p := 1; p < sp.Procs; p++ {
+			go func(p int) {
+				errCh <- RunNode(sp, p, addr, time.Minute)
+			}(p)
+		}
+		return nil
+	}
+	tcpRec, _, err := RunCoordinator(sp, "127.0.0.1:0", spawn, time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < sp.Procs; i++ {
+		if err := <-errCh; err != nil {
+			t.Fatal(err)
+		}
+	}
+	if ok, diff := resultsEqual(memRec.Results, tcpRec.Results); !ok {
+		t.Fatalf("tcp run diverged from in-process run: %s", diff)
+	}
+}
+
+// TestDistributedOSProcessesMatchInProcess is the full acceptance check:
+// the ring(8) tracking schedule runs as 8 OS processes on localhost (this
+// test process hosts processor 0 and the hub; 7 spawned skipper-node
+// processes host the rest) and must produce bit-identical outputs to the
+// in-process backend.
+func TestDistributedOSProcessesMatchInProcess(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns 7 OS processes")
+	}
+	nodeBin := filepath.Join(t.TempDir(), "skipper-node")
+	build := exec.Command("go", "build", "-o", nodeBin, "skipper/cmd/skipper-node")
+	build.Stderr = os.Stderr
+	if err := build.Run(); err != nil {
+		t.Fatalf("building skipper-node: %v", err)
+	}
+
+	sp := trackingSpec(6)
+	memRec, _, err := RunInProcess(sp, time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var children []*exec.Cmd
+	spawn := func(addr string) error {
+		for p := 1; p < sp.Procs; p++ {
+			cmd := exec.Command(nodeBin,
+				"-hub", addr,
+				"-proc", fmt.Sprint(p),
+				"-procs", fmt.Sprint(sp.Procs),
+				"-iters", fmt.Sprint(sp.Iters),
+				"-size", fmt.Sprint(sp.Width),
+				"-vehicles", fmt.Sprint(sp.Vehicles),
+				"-seed", fmt.Sprint(sp.Seed),
+				"-topology", sp.Topology,
+				"-timeout", "1m",
+			)
+			cmd.Stderr = os.Stderr
+			if err := cmd.Start(); err != nil {
+				return err
+			}
+			children = append(children, cmd)
+		}
+		return nil
+	}
+	tcpRec, res, err := RunCoordinator(sp, "127.0.0.1:0", spawn, time.Minute)
+	for _, c := range children {
+		if werr := c.Wait(); werr != nil && err == nil {
+			err = fmt.Errorf("node process %v: %w", c.Args[1:5], werr)
+		}
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(children) != sp.Procs-1 {
+		t.Fatalf("spawned %d node processes, want %d", len(children), sp.Procs-1)
+	}
+	if ok, diff := resultsEqual(memRec.Results, tcpRec.Results); !ok {
+		t.Fatalf("OS-process run diverged from in-process run: %s", diff)
+	}
+	if res.Messages == 0 {
+		t.Fatal("coordinator injected no messages — did the run really distribute?")
+	}
+}
+
+// TestNodeRejectsCoordinatorProcessor pins the processor-0 ownership rule.
+func TestNodeRejectsCoordinatorProcessor(t *testing.T) {
+	sp := trackingSpec(1)
+	if err := RunNode(sp, 0, "127.0.0.1:1", time.Second); err == nil {
+		t.Fatal("node accepted processor 0")
+	}
+	if err := RunNode(sp, sp.Procs, "127.0.0.1:1", time.Second); err == nil {
+		t.Fatal("node accepted out-of-range processor")
+	}
+}

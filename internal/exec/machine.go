@@ -3,216 +3,44 @@ package exec
 import (
 	"fmt"
 	"sync"
-	"sync/atomic"
 	"time"
 
 	"skipper/internal/arch"
+	"skipper/internal/exec/memtransport"
+	"skipper/internal/exec/transport"
 	"skipper/internal/graph"
 	"skipper/internal/skel"
 	"skipper/internal/syndex"
 	"skipper/internal/value"
 )
 
-// sentinel terminates a farm worker's task loop for one iteration.
-type sentinel struct{}
-
-// reply is a worker's answer to its master.
-type reply struct {
-	widx int
-	task int // index of the task within this iteration's input list
-	v    value.Value
-}
-
-// task couples a packet of work with its position in the input list.
-type task struct {
-	idx int
-	v   value.Value
-}
-
-// mailKey addresses a mailbox slot: static edges, farm tasks (per worker)
-// and farm replies (per master).
-type mailKey struct {
-	kind byte // 'e' static edge, 't' farm task, 'r' farm reply
-	edge graph.EdgeID
-	farm graph.NodeID
-	widx int
-}
-
-func ekey(e graph.EdgeID) mailKey        { return mailKey{kind: 'e', edge: e} }
-func tkey(m graph.NodeID, w int) mailKey { return mailKey{kind: 't', farm: m, widx: w} }
-func rkey(m graph.NodeID) mailKey        { return mailKey{kind: 'r', farm: m} }
-
-// packet travels between processors through the routers.
-type packet struct {
-	dst     arch.ProcID
-	key     mailKey
-	payload value.Value
-}
-
-// queue is an unbounded MPSC queue with abort support; routers never block
-// on delivery, which (together with the topologically ordered static
-// schedule) rules out store-and-forward deadlock. Consumption advances a
-// head index over the backing array instead of reslicing items[1:], which
-// would keep every consumed packet reachable and force the append path to
-// reallocate; once the queue drains, the array is reset and reused.
-type queue struct {
-	mu     sync.Mutex
-	cond   *sync.Cond
-	items  []packet
-	head   int
-	closed bool
-}
-
-func newQueue() *queue {
-	q := &queue{}
-	q.cond = sync.NewCond(&q.mu)
-	return q
-}
-
-func (q *queue) put(p packet) {
-	q.mu.Lock()
-	q.items = append(q.items, p)
-	q.mu.Unlock()
-	q.cond.Signal()
-}
-
-func (q *queue) get() (packet, bool) {
-	q.mu.Lock()
-	defer q.mu.Unlock()
-	for q.head == len(q.items) && !q.closed {
-		q.cond.Wait()
-	}
-	if q.head == len(q.items) {
-		return packet{}, false
-	}
-	p := q.items[q.head]
-	q.items[q.head] = packet{} // release payload for GC
-	q.head++
-	if q.head == len(q.items) {
-		q.items = q.items[:0]
-		q.head = 0
-	}
-	return p, true
-}
-
-func (q *queue) close() {
-	q.mu.Lock()
-	q.closed = true
-	q.mu.Unlock()
-	q.cond.Broadcast()
-}
-
-// mslot is one mailbox key's FIFO buffer with its own lock and condition
-// variable. Sharding the mailbox per key removes the seed implementation's
-// single global mutex and its cond.Broadcast thundering herd: a delivery
-// wakes only the consumer of that key (Signal — each key has a single
-// logical consumer in the executive), and waiters on other keys are never
-// scheduled spuriously. Consumption uses the same head-index discipline as
-// queue, so steady-state traffic through a key is allocation-free.
-type mslot struct {
-	mu     sync.Mutex
-	cond   *sync.Cond
-	buf    []value.Value
-	head   int
-	closed bool
-}
-
-func (s *mslot) deliver(v value.Value) {
-	s.mu.Lock()
-	s.buf = append(s.buf, v)
-	s.mu.Unlock()
-	s.cond.Signal()
-}
-
-func (s *mslot) get() (value.Value, bool) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	for s.head == len(s.buf) && !s.closed {
-		s.cond.Wait()
-	}
-	if s.head == len(s.buf) {
-		return nil, false
-	}
-	v := s.buf[s.head]
-	s.buf[s.head] = nil // release for GC
-	s.head++
-	if s.head == len(s.buf) {
-		s.buf = s.buf[:0]
-		s.head = 0
-	}
-	return v, true
-}
-
-// mailbox holds delivered payloads per key, FIFO per key, sharded into one
-// independently locked slot per key. The map itself is guarded by a mutex
-// taken only for slot lookup/creation; hot paths hoist the *mslot once and
-// bypass the map entirely (see slot).
-type mailbox struct {
-	mu     sync.Mutex
-	slots  map[mailKey]*mslot
-	closed bool
-}
-
-func newMailbox() *mailbox {
-	return &mailbox{slots: map[mailKey]*mslot{}}
-}
-
-// slot returns (creating if needed) the slot for k. The returned pointer is
-// stable for the mailbox's lifetime, so callers looping on one key should
-// call slot once and then deliver/get on it directly.
-func (m *mailbox) slot(k mailKey) *mslot {
-	m.mu.Lock()
-	s, ok := m.slots[k]
-	if !ok {
-		s = &mslot{}
-		s.cond = sync.NewCond(&s.mu)
-		s.closed = m.closed // mailbox already shut down: new slots are born closed
-		m.slots[k] = s
-	}
-	m.mu.Unlock()
-	return s
-}
-
-func (m *mailbox) deliver(k mailKey, v value.Value) {
-	m.slot(k).deliver(v)
-}
-
-func (m *mailbox) get(k mailKey) (value.Value, bool) {
-	return m.slot(k).get()
-}
-
-func (m *mailbox) close() {
-	m.mu.Lock()
-	m.closed = true
-	slots := make([]*mslot, 0, len(m.slots))
-	for _, s := range m.slots {
-		slots = append(slots, s)
-	}
-	m.mu.Unlock()
-	for _, s := range slots {
-		s.mu.Lock()
-		s.closed = true
-		s.mu.Unlock()
-		s.cond.Broadcast()
-	}
-}
-
 // RunResult is the outcome of executing a schedule.
 type RunResult struct {
-	// Outputs collects the value delivered to the Output node at each
-	// iteration, in iteration order. For Output nodes with a display
-	// function, the function has also been called.
+	// Outputs holds the value delivered to the Output node at each
+	// iteration: Outputs[i] is iteration i's output, and always has length
+	// iters. An iteration whose output was never delivered — or whose
+	// Output node lives on a processor this machine does not host — leaves
+	// a nil hole at its slot rather than silently shifting later outputs
+	// down. For Output nodes with a display function, the function has
+	// also been called.
 	Outputs []value.Value
-	// Messages is the total number of packets injected into the network
-	// (tasks, replies, sentinels and static communications).
+	// Messages is the number of payloads this machine's processors
+	// injected into the network (tasks, replies, sentinels and static
+	// communications).
 	Messages int64
-	// Hops is the total number of link traversals performed by the
-	// routers (Messages <= Hops on multi-hop topologies).
+	// Hops is the number of link traversals performed on those messages'
+	// behalf (store-and-forward router forwards on the mem backend, hub
+	// relays on the net backend; Messages <= Hops on multi-hop routes).
 	Hops int64
 }
 
-// Machine executes a static schedule on goroutine "processors" connected by
-// channel "links" — the operational realization of the process graph.
+// Machine executes a static schedule: each hosted processor interprets its
+// compiled op program, communicating through a transport.Transport. The
+// default (NewMachine) hosts every processor of the architecture over an
+// in-process transport — the operational realization of the process graph
+// on goroutines. NewMachineOn hosts a subset over a caller-supplied
+// transport, which is how one OS process runs its share of a distributed
+// deployment.
 type Machine struct {
 	sched *syndex.Schedule
 	reg   *value.Registry
@@ -226,8 +54,9 @@ type Machine struct {
 	// are unaffected (their task order is itself dynamic).
 	DeterministicFarm bool
 
-	queues []*queue
-	boxes  []*mailbox
+	t     transport.Transport
+	ownT  bool          // machine creates/destroys the transport per run
+	local []arch.ProcID // processors this machine hosts
 
 	// pool hosts the per-iteration farm-worker processes. The seed spawned
 	// a fresh goroutine per worker node per iteration; persistent pool
@@ -235,19 +64,29 @@ type Machine struct {
 	pool *skel.Pool
 
 	outMu   sync.Mutex
-	outputs map[int]value.Value // iteration -> output
+	outputs map[int]value.Value // iteration -> output, reset every run
 
 	errMu sync.Mutex
 	err   error
-	wg    sync.WaitGroup // worker goroutines
-
-	messages atomic.Int64
-	hops     atomic.Int64
+	wg    sync.WaitGroup // farm worker goroutines
 }
 
-// NewMachine prepares an executive for the given schedule and registry.
+// NewMachine prepares an executive hosting every processor of the
+// schedule's architecture over a fresh in-process transport per run.
 func NewMachine(sched *syndex.Schedule, reg *value.Registry) *Machine {
-	return &Machine{sched: sched, reg: reg, outputs: map[int]value.Value{}}
+	local := make([]arch.ProcID, sched.Arch.N)
+	for i := range local {
+		local[i] = arch.ProcID(i)
+	}
+	return &Machine{sched: sched, reg: reg, ownT: true, local: local}
+}
+
+// NewMachineOn prepares an executive hosting only the given processors,
+// communicating over t. The caller owns t's lifecycle: the machine aborts
+// it on failure but never closes it after a successful run, so several
+// machines (or OS processes, via the net backend) can share one transport.
+func NewMachineOn(sched *syndex.Schedule, reg *value.Registry, t transport.Transport, local []arch.ProcID) *Machine {
+	return &Machine{sched: sched, reg: reg, t: t, local: local}
 }
 
 // Run executes iters iterations of the distributed program (1 for one-shot
@@ -265,48 +104,31 @@ func (m *Machine) RunWithTimeout(iters int, d time.Duration) (*RunResult, error)
 	if iters < 1 {
 		iters = 1
 	}
-	n := m.sched.Arch.N
-	m.pool = skel.NewPool(n)
+	// Per-run state: a machine is reusable, so the previous run's outputs
+	// and error must not leak into this one.
+	m.outMu.Lock()
+	m.outputs = map[int]value.Value{}
+	m.outMu.Unlock()
+	m.errMu.Lock()
+	m.err = nil
+	m.errMu.Unlock()
+
+	if m.ownT {
+		m.t = memtransport.New(m.sched.Arch)
+	}
+	statsBefore := m.t.Stats()
+
+	m.pool = skel.NewPool(len(m.local))
 	defer m.pool.Close()
-	m.queues = make([]*queue, n)
-	m.boxes = make([]*mailbox, n)
-	for i := 0; i < n; i++ {
-		m.queues[i] = newQueue()
-		m.boxes[i] = newMailbox()
-	}
-	// Routers: one per processor, forwarding store-and-forward packets.
-	var routerWG sync.WaitGroup
-	for i := 0; i < n; i++ {
-		routerWG.Add(1)
-		go func(p arch.ProcID) {
-			defer routerWG.Done()
-			for {
-				pkt, ok := m.queues[p].get()
-				if !ok {
-					return
-				}
-				if pkt.dst == p {
-					m.boxes[p].deliver(pkt.key, pkt.payload)
-					continue
-				}
-				next := m.sched.Arch.NextHop(p, pkt.dst)
-				if next < 0 {
-					m.fail(fmt.Errorf("exec: no route from %d to %d", p, pkt.dst))
-					return
-				}
-				m.hops.Add(1)
-				m.queues[next].put(pkt)
-			}
-		}(arch.ProcID(i))
-	}
+
 	// Processors.
 	var procWG sync.WaitGroup
-	for i := 0; i < n; i++ {
+	for _, p := range m.local {
 		procWG.Add(1)
 		go func(p arch.ProcID) {
 			defer procWG.Done()
 			m.runProcessor(p, iters)
-		}(arch.ProcID(i))
+		}(p)
 	}
 	// Watchdog: abort all communication waits if the deadline passes.
 	var watchdog *time.Timer
@@ -320,19 +142,26 @@ func (m *Machine) RunWithTimeout(iters int, d time.Duration) (*RunResult, error)
 		watchdog.Stop()
 	}
 	m.wg.Wait() // farm workers
-	for i := 0; i < n; i++ {
-		m.queues[i].close()
-		m.boxes[i].close()
+	stats := m.t.Stats()
+	terr := m.t.Err()
+	if m.ownT {
+		m.t.Close()
 	}
-	routerWG.Wait()
+	// A transport failure (routing, connection, codec) is the root cause of
+	// any "receive aborted" the processors observed — report it first.
+	if terr != nil {
+		return nil, terr
+	}
 	if err := m.firstErr(); err != nil {
 		return nil, err
 	}
-	res := &RunResult{Messages: m.messages.Load(), Hops: m.hops.Load()}
+	res := &RunResult{
+		Outputs:  make([]value.Value, iters),
+		Messages: stats.Messages - statsBefore.Messages,
+		Hops:     stats.Hops - statsBefore.Hops,
+	}
 	for i := 0; i < iters; i++ {
-		if v, ok := m.outputs[i]; ok {
-			res.Outputs = append(res.Outputs, v)
-		}
+		res.Outputs[i] = m.outputs[i]
 	}
 	return res, nil
 }
@@ -348,12 +177,7 @@ func (m *Machine) fail(err error) {
 	if already {
 		return
 	}
-	for _, q := range m.queues {
-		q.close()
-	}
-	for _, b := range m.boxes {
-		b.close()
-	}
+	m.t.Abort()
 }
 
 // firstErr returns the recorded error, if any.
@@ -367,12 +191,6 @@ func (m *Machine) firstErr() error {
 // processor identity the body was launched from.
 func (m *Machine) runFarmWorker(p arch.ProcID, body func(arch.ProcID)) {
 	m.pool.Go(func() { body(p) })
-}
-
-// send injects a packet at processor p; the routers take it from there.
-func (m *Machine) send(p arch.ProcID, pkt packet) {
-	m.messages.Add(1)
-	m.queues[p].put(pkt)
 }
 
 // procState is the per-processor, per-iteration execution context.
@@ -436,7 +254,7 @@ func (m *Machine) step(st *procState, op syndex.Op, mem map[graph.NodeID]value.V
 	g := m.sched.Graph
 	switch op.Kind {
 	case syndex.OpRecv:
-		v, ok := m.boxes[st.p].get(ekey(op.Edge))
+		v, ok := m.t.Recv(st.p, transport.EdgeKey(op.Edge))
 		if !ok {
 			return fmt.Errorf("exec: receive aborted")
 		}
@@ -449,7 +267,7 @@ func (m *Machine) step(st *procState, op syndex.Op, mem map[graph.NodeID]value.V
 		if !ok || e.FromPort >= len(outs) {
 			return fmt.Errorf("exec: send of unproduced edge %d", e.ID)
 		}
-		m.send(st.p, packet{dst: op.Peer, key: ekey(e.ID), payload: outs[e.FromPort]})
+		m.t.Send(st.p, op.Peer, transport.EdgeKey(e.ID), outs[e.FromPort])
 		return nil
 
 	case syndex.OpExec:
@@ -518,24 +336,25 @@ func (m *Machine) step(st *procState, op syndex.Op, mem map[graph.NodeID]value.V
 		m.wg.Add(1)
 		m.runFarmWorker(st.p, func(p arch.ProcID) {
 			defer m.wg.Done()
-			// Hoist the task slot: the loop always waits on the same key.
-			tasks := m.boxes[p].slot(tkey(masterID, w.Index))
+			// Hoist the task receiver: the loop always waits on one key.
+			tasks := m.t.Receiver(p, transport.TaskKey(masterID, w.Index))
+			replyKey := transport.ReplyKey(masterID)
 			for {
-				tv, ok := tasks.get()
+				tv, ok := tasks.Recv()
 				if !ok {
 					return
 				}
-				if _, done := tv.(sentinel); done {
+				if _, done := tv.(transport.Sentinel); done {
 					return
 				}
-				tk, ok := tv.(task)
+				tk, ok := tv.(transport.Task)
 				if !ok {
 					m.fail(fmt.Errorf("exec: worker received non-task payload"))
 					return
 				}
-				y := comp.Fn([]value.Value{tk.v})
-				m.send(p, packet{dst: masterProc, key: rkey(masterID),
-					payload: reply{widx: w.Index, task: tk.idx, v: y}})
+				y := comp.Fn([]value.Value{tk.V})
+				m.t.Send(p, masterProc, replyKey,
+					transport.Reply{Widx: w.Index, Task: tk.Idx, V: y})
 			}
 		})
 		return nil
@@ -592,16 +411,16 @@ func (m *Machine) runMaster(st *procState, id graph.NodeID) error {
 			workerProc[w.Index] = m.sched.Assign[w.ID]
 		}
 	}
-	sendTask := func(widx int, t task) {
-		m.send(st.p, packet{dst: workerProc[widx], key: tkey(id, widx), payload: t})
+	sendTask := func(widx int, t transport.Task) {
+		m.t.Send(st.p, workerProc[widx], transport.TaskKey(id, widx), t)
 	}
 	sendSentinel := func(widx int) {
-		m.send(st.p, packet{dst: workerProc[widx], key: tkey(id, widx), payload: sentinel{}})
+		m.t.Send(st.p, workerProc[widx], transport.TaskKey(id, widx), transport.Sentinel{})
 	}
 
-	pending := make([]task, 0, len(xs))
+	pending := make([]transport.Task, 0, len(xs))
 	for i, x := range xs {
-		pending = append(pending, task{idx: i, v: x})
+		pending = append(pending, transport.Task{Idx: i, V: x})
 	}
 	// In deterministic mode, buffer df results by task index and fold at
 	// the end in input order.
@@ -612,8 +431,8 @@ func (m *Machine) runMaster(st *procState, id graph.NodeID) error {
 	}
 	outstanding := 0
 	idle := make([]int, 0, n.Workers)
-	// Hoist the reply slot: every receive in this farm loop uses one key.
-	replies := m.boxes[st.p].slot(rkey(id))
+	// Hoist the reply receiver: every receive in this farm loop uses one key.
+	replies := m.t.Receiver(st.p, transport.ReplyKey(id))
 	// Initial dispatch: one task per worker while tasks remain.
 	for w := 0; w < n.Workers; w++ {
 		if len(pending) > 0 {
@@ -625,17 +444,17 @@ func (m *Machine) runMaster(st *procState, id graph.NodeID) error {
 		}
 	}
 	for outstanding > 0 {
-		rv, ok := replies.get()
+		rv, ok := replies.Recv()
 		if !ok {
 			return fmt.Errorf("exec: master receive aborted")
 		}
-		rep, ok := rv.(reply)
+		rep, ok := rv.(transport.Reply)
 		if !ok {
 			return fmt.Errorf("exec: master %s received non-reply", n.Name)
 		}
 		outstanding--
 		if n.TaskFarm {
-			pair, ok := rep.v.(value.Tuple)
+			pair, ok := rep.V.(value.Tuple)
 			if !ok || len(pair) != 2 {
 				return fmt.Errorf("exec: tf worker must return (results, new-tasks)")
 			}
@@ -648,19 +467,19 @@ func (m *Machine) runMaster(st *procState, id graph.NodeID) error {
 				acc = accFn.Fn([]value.Value{acc, y})
 			}
 			for _, x := range more {
-				pending = append(pending, task{idx: -1, v: x})
+				pending = append(pending, transport.Task{Idx: -1, V: x})
 			}
 		} else if deterministic {
-			buffered[rep.task] = rep.v
+			buffered[rep.Task] = rep.V
 		} else {
-			acc = accFn.Fn([]value.Value{acc, rep.v})
+			acc = accFn.Fn([]value.Value{acc, rep.V})
 		}
 		if len(pending) > 0 {
-			sendTask(rep.widx, pending[0])
+			sendTask(rep.Widx, pending[0])
 			pending = pending[1:]
 			outstanding++
 		} else {
-			idle = append(idle, rep.widx)
+			idle = append(idle, rep.Widx)
 		}
 		// Re-dispatch to idle workers when tf feedback refills the queue.
 		for len(pending) > 0 && len(idle) > 0 {

@@ -1,0 +1,201 @@
+// Package memtransport is the in-process communication backend of the
+// executive: goroutine "processors" connected through sharded mailboxes,
+// with one store-and-forward router goroutine per processor emulating the
+// architecture graph's links (packets between non-adjacent processors are
+// relayed hop by hop, exactly as the paper's executive does on a ring or
+// torus). This is the seed Machine's original substrate, factored out
+// behind the transport.Transport seam. Payloads are passed by reference —
+// zero copies, and the mailbox's head-index FIFOs keep steady-state
+// traffic allocation-free.
+package memtransport
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"skipper/internal/arch"
+	"skipper/internal/exec/transport"
+	"skipper/internal/value"
+)
+
+// packet travels between processors through the routers.
+type packet struct {
+	dst     arch.ProcID
+	key     transport.Key
+	payload value.Value
+}
+
+// queue is an unbounded MPSC queue with abort support; routers never block
+// on delivery, which (together with the topologically ordered static
+// schedule) rules out store-and-forward deadlock. Consumption advances a
+// head index over the backing array instead of reslicing items[1:], which
+// would keep every consumed packet reachable and force the append path to
+// reallocate; once the queue drains, the array is reset and reused.
+type queue struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	items  []packet
+	head   int
+	closed bool
+}
+
+func newQueue() *queue {
+	q := &queue{}
+	q.cond = sync.NewCond(&q.mu)
+	return q
+}
+
+func (q *queue) put(p packet) {
+	q.mu.Lock()
+	q.items = append(q.items, p)
+	q.mu.Unlock()
+	q.cond.Signal()
+}
+
+func (q *queue) get() (packet, bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for q.head == len(q.items) && !q.closed {
+		q.cond.Wait()
+	}
+	if q.head == len(q.items) {
+		return packet{}, false
+	}
+	p := q.items[q.head]
+	q.items[q.head] = packet{} // release payload for GC
+	q.head++
+	if q.head == len(q.items) {
+		q.items = q.items[:0]
+		q.head = 0
+	}
+	return p, true
+}
+
+func (q *queue) close() {
+	q.mu.Lock()
+	q.closed = true
+	q.mu.Unlock()
+	q.cond.Broadcast()
+}
+
+// Transport is the in-process backend. All processors of the architecture
+// are local to it.
+type Transport struct {
+	a      *arch.Arch
+	queues []*queue
+	boxes  []*transport.Mailbox
+
+	routerWG sync.WaitGroup
+
+	errMu sync.Mutex
+	err   error
+
+	closeOnce sync.Once
+
+	messages atomic.Int64
+	hops     atomic.Int64
+}
+
+var _ transport.Transport = (*Transport)(nil)
+
+// New builds a transport over the architecture graph and starts its
+// routers. Callers must Close it to reclaim the router goroutines.
+func New(a *arch.Arch) *Transport {
+	t := &Transport{
+		a:      a,
+		queues: make([]*queue, a.N),
+		boxes:  make([]*transport.Mailbox, a.N),
+	}
+	for i := 0; i < a.N; i++ {
+		t.queues[i] = newQueue()
+		t.boxes[i] = transport.NewMailbox()
+	}
+	for i := 0; i < a.N; i++ {
+		t.routerWG.Add(1)
+		go t.route(arch.ProcID(i))
+	}
+	return t
+}
+
+// route is processor p's store-and-forward loop: local packets go straight
+// to p's mailbox, remote ones are forwarded to the next hop on the
+// architecture graph.
+func (t *Transport) route(p arch.ProcID) {
+	defer t.routerWG.Done()
+	for {
+		pkt, ok := t.queues[p].get()
+		if !ok {
+			return
+		}
+		if pkt.dst == p {
+			t.boxes[p].Deliver(pkt.key, pkt.payload)
+			continue
+		}
+		next := t.a.NextHop(p, pkt.dst)
+		if next < 0 {
+			t.failf("memtransport: no route from %d to %d", p, pkt.dst)
+			return
+		}
+		t.hops.Add(1)
+		t.queues[next].put(pkt)
+	}
+}
+
+func (t *Transport) failf(format string, args ...any) {
+	t.errMu.Lock()
+	if t.err == nil {
+		t.err = fmt.Errorf(format, args...)
+	}
+	t.errMu.Unlock()
+	t.Abort()
+}
+
+// Send injects a packet at processor src; the routers take it from there.
+func (t *Transport) Send(src, dst arch.ProcID, key transport.Key, payload value.Value) {
+	t.messages.Add(1)
+	t.queues[src].put(packet{dst: dst, key: key, payload: payload})
+}
+
+// Recv blocks on processor p's mailbox slot for key.
+func (t *Transport) Recv(p arch.ProcID, key transport.Key) (value.Value, bool) {
+	return t.boxes[p].Recv(key)
+}
+
+// Receiver returns (p, key)'s mailbox slot directly: the hot loops in the
+// farm protocol hoist this once and then receive with no map lookups and
+// no allocations.
+func (t *Transport) Receiver(p arch.ProcID, key transport.Key) transport.Receiver {
+	return t.boxes[p].Slot(key)
+}
+
+// Abort unblocks every pending and future Recv; idempotent.
+func (t *Transport) Abort() {
+	t.closeOnce.Do(func() {
+		for _, q := range t.queues {
+			q.close()
+		}
+		for _, b := range t.boxes {
+			b.Close()
+		}
+	})
+}
+
+// Close aborts the transport and waits for the routers to exit.
+func (t *Transport) Close() error {
+	t.Abort()
+	t.routerWG.Wait()
+	return nil
+}
+
+// Err reports the first routing failure, or nil.
+func (t *Transport) Err() error {
+	t.errMu.Lock()
+	defer t.errMu.Unlock()
+	return t.err
+}
+
+// Stats reports injected messages and router link traversals.
+func (t *Transport) Stats() transport.Stats {
+	return transport.Stats{Messages: t.messages.Load(), Hops: t.hops.Load()}
+}

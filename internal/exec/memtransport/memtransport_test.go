@@ -1,0 +1,85 @@
+package memtransport
+
+import (
+	"sync"
+	"testing"
+
+	"skipper/internal/arch"
+	"skipper/internal/exec/transport"
+	"skipper/internal/graph"
+)
+
+func TestSendRecvAcrossRing(t *testing.T) {
+	a := arch.Ring(8)
+	tr := New(a)
+	defer tr.Close()
+	k := transport.EdgeKey(graph.EdgeID(1))
+	// 0 -> 4 is the longest route on a ring of 8 (4 hops).
+	tr.Send(0, 4, k, "hello")
+	v, ok := tr.Recv(4, k)
+	if !ok || v.(string) != "hello" {
+		t.Fatalf("recv gave %v %v", v, ok)
+	}
+	st := tr.Stats()
+	if st.Messages != 1 {
+		t.Fatalf("messages = %d, want 1", st.Messages)
+	}
+	if st.Hops != 4 {
+		t.Fatalf("hops = %d, want 4 (store-and-forward on ring(8))", st.Hops)
+	}
+}
+
+func TestLocalDeliveryCountsNoHops(t *testing.T) {
+	tr := New(arch.Ring(4))
+	defer tr.Close()
+	k := transport.EdgeKey(graph.EdgeID(9))
+	tr.Send(2, 2, k, 7)
+	if v, ok := tr.Recv(2, k); !ok || v.(int) != 7 {
+		t.Fatalf("recv gave %v %v", v, ok)
+	}
+	if st := tr.Stats(); st.Hops != 0 {
+		t.Fatalf("self-delivery took %d hops", st.Hops)
+	}
+}
+
+func TestFIFOPerSenderAcrossHops(t *testing.T) {
+	tr := New(arch.Ring(6))
+	defer tr.Close()
+	k := transport.ReplyKey(graph.NodeID(3))
+	const n = 5000
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < n; i++ {
+			tr.Send(0, 3, k, i)
+		}
+	}()
+	r := tr.Receiver(3, k)
+	for i := 0; i < n; i++ {
+		v, ok := r.Recv()
+		if !ok {
+			t.Fatalf("recv aborted at %d", i)
+		}
+		if v.(int) != i {
+			t.Fatalf("FIFO broken across hops: got %v want %d", v, i)
+		}
+	}
+	wg.Wait()
+}
+
+func TestAbortUnblocksRecv(t *testing.T) {
+	tr := New(arch.Ring(4))
+	done := make(chan bool)
+	go func() {
+		_, ok := tr.Recv(1, transport.EdgeKey(graph.EdgeID(5)))
+		done <- ok
+	}()
+	tr.Abort()
+	if ok := <-done; ok {
+		t.Fatal("recv returned ok after abort")
+	}
+	if err := tr.Close(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,188 @@
+package nettransport
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"skipper/internal/arch"
+	"skipper/internal/exec/transport"
+	"skipper/internal/value"
+)
+
+// Client is the node-process side of the TCP backend: it hosts a subset of
+// the architecture's processors and reaches every other processor through
+// the hub. Traffic between two processors hosted by the same client never
+// touches the wire.
+type Client struct {
+	localSet map[arch.ProcID]bool
+	boxes    map[arch.ProcID]*transport.Mailbox
+	w        *wconn
+
+	errMu sync.Mutex
+	err   error
+
+	closing   atomic.Bool
+	abortOnce sync.Once
+	readerWG  sync.WaitGroup
+
+	messages atomic.Int64
+}
+
+var _ transport.Transport = (*Client)(nil)
+
+// Dial connects to the hub at addr, retrying until d elapses (node
+// processes may be spawned before the coordinator finishes binding), then
+// performs the handshake claiming local and starts the reader loop.
+func Dial(addr string, fingerprint uint64, local []arch.ProcID, d time.Duration) (*Client, error) {
+	deadline := time.Now().Add(d)
+	var c net.Conn
+	var err error
+	for {
+		c, err = net.DialTimeout("tcp", addr, time.Second)
+		if err == nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			return nil, fmt.Errorf("nettransport: dialing hub %s: %w", addr, err)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	if tc, ok := c.(*net.TCPConn); ok {
+		tc.SetNoDelay(true)
+	}
+	if err := writeHello(c, hello{fingerprint: fingerprint, procs: local}); err != nil {
+		c.Close()
+		return nil, fmt.Errorf("nettransport: handshake: %w", err)
+	}
+	br := bufio.NewReaderSize(c, 64<<10)
+	if err := readHelloReply(br); err != nil {
+		c.Close()
+		return nil, err
+	}
+	cl := &Client{
+		localSet: map[arch.ProcID]bool{},
+		boxes:    map[arch.ProcID]*transport.Mailbox{},
+		w:        newWConn(c),
+	}
+	for _, p := range local {
+		cl.localSet[p] = true
+		cl.boxes[p] = transport.NewMailbox()
+	}
+	cl.readerWG.Add(1)
+	go cl.readLoop(br)
+	return cl, nil
+}
+
+// readLoop delivers hub frames to local mailboxes until EOF. EOF means the
+// coordinator tore the deployment down: incoming traffic is over, so the
+// mailboxes close (draining anything already delivered first).
+func (cl *Client) readLoop(br *bufio.Reader) {
+	defer cl.readerWG.Done()
+	for {
+		_, dst, key, payload, err := readFrame(br)
+		if err != nil {
+			if err != io.EOF && !cl.closing.Load() {
+				cl.failf("nettransport: reading from hub: %v", err)
+				return
+			}
+			cl.Abort()
+			return
+		}
+		if dst == abortDst {
+			cl.Abort()
+			return
+		}
+		p := arch.ProcID(dst)
+		box, ok := cl.boxes[p]
+		if !ok {
+			cl.failf("nettransport: hub sent frame for processor %d, not hosted here", p)
+			return
+		}
+		v, err := value.Decode(payload)
+		if err != nil {
+			cl.failf("nettransport: decoding frame for processor %d key %v: %v", p, key, err)
+			return
+		}
+		box.Deliver(key, v)
+	}
+}
+
+func (cl *Client) failf(format string, args ...any) {
+	cl.errMu.Lock()
+	if cl.err == nil {
+		cl.err = fmt.Errorf(format, args...)
+	}
+	cl.errMu.Unlock()
+	cl.Abort()
+}
+
+// Send injects a message from a client-local processor. Destinations on
+// this client skip the codec; everything else goes through the hub.
+func (cl *Client) Send(src, dst arch.ProcID, key transport.Key, payload value.Value) {
+	cl.messages.Add(1)
+	if cl.localSet[dst] {
+		cl.boxes[dst].Deliver(key, payload)
+		return
+	}
+	frame, err := encodeMessage(dst, key, payload)
+	if err != nil {
+		cl.failf("nettransport: encoding %v for processor %d: %v", key, dst, err)
+		return
+	}
+	if err := cl.w.writeFrame(frame); err != nil {
+		cl.failf("nettransport: sending to processor %d: %v", dst, err)
+	}
+}
+
+// Recv blocks on a client-local processor's mailbox.
+func (cl *Client) Recv(p arch.ProcID, key transport.Key) (value.Value, bool) {
+	return cl.boxes[p].Recv(key)
+}
+
+// Receiver returns the mailbox slot for (p, key).
+func (cl *Client) Receiver(p arch.ProcID, key transport.Key) transport.Receiver {
+	return cl.boxes[p].Slot(key)
+}
+
+// Abort notifies the hub (which re-broadcasts to every other node) and
+// unblocks all local mailboxes.
+func (cl *Client) Abort() {
+	cl.abortOnce.Do(func() {
+		cl.w.writeFrame(abortFrame()) // best effort
+		for _, b := range cl.boxes {
+			b.Close()
+		}
+	})
+}
+
+// Close detaches from the hub: the connection closes cleanly (the hub sees
+// EOF after draining our frames) and the reader exits.
+func (cl *Client) Close() error {
+	cl.closing.Store(true)
+	err := cl.w.c.Close()
+	cl.readerWG.Wait()
+	cl.abortOnce.Do(func() {
+		for _, b := range cl.boxes {
+			b.Close()
+		}
+	})
+	return err
+}
+
+// Err reports the first client-side failure, or nil.
+func (cl *Client) Err() error {
+	cl.errMu.Lock()
+	defer cl.errMu.Unlock()
+	return cl.err
+}
+
+// Stats reports messages injected by client-local processors. Relay hops
+// are counted at the hub.
+func (cl *Client) Stats() transport.Stats {
+	return transport.Stats{Messages: cl.messages.Load()}
+}

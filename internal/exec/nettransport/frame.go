@@ -1,0 +1,122 @@
+// Package nettransport is the multi-process communication backend of the
+// executive: each OS process hosts a subset of the architecture's
+// processors and exchanges length-prefixed binary frames over TCP. The
+// topology is a hub: the coordinator process listens and routes, node
+// processes dial in, identify their processors in a handshake, and every
+// inter-process frame takes at most two TCP legs (sender → hub → owner).
+// Frames addressed to processors that have not attached yet are buffered
+// at the hub, so no start-order barrier is needed; readers always drain
+// into unbounded mailboxes, so the network never backpressures into a
+// routing deadlock (the same argument that makes the paper's
+// store-and-forward executive deadlock-free).
+package nettransport
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+
+	"skipper/internal/arch"
+	"skipper/internal/exec/transport"
+	"skipper/internal/graph"
+	"skipper/internal/value"
+)
+
+const (
+	// magic opens every handshake: "SKiP".
+	magic = 0x534b6950
+	// wireVersion is bumped on any incompatible frame-format change.
+	wireVersion = 1
+	// abortDst is a control frame that propagates Abort across processes.
+	abortDst = 0xffffffff
+	// maxFrame bounds a declared frame length before allocation: a corrupt
+	// or hostile peer cannot make us allocate more than this per frame.
+	maxFrame = 256 << 20
+	// frameHeader is dst + key (kind, edge, farm, widx) in bytes.
+	frameHeader = 4 + 1 + 4 + 4 + 4
+)
+
+// appendFrame serializes one message frame: u32 length of the rest, u32
+// dst, the key (u8 kind + 3×u32), then the codec payload.
+func appendFrame(buf []byte, dst uint32, key transport.Key, payload []byte) []byte {
+	buf = binary.BigEndian.AppendUint32(buf, uint32(frameHeader+len(payload)))
+	buf = binary.BigEndian.AppendUint32(buf, dst)
+	buf = append(buf, key.Kind)
+	buf = binary.BigEndian.AppendUint32(buf, uint32(int32(key.Edge)))
+	buf = binary.BigEndian.AppendUint32(buf, uint32(int32(key.Farm)))
+	buf = binary.BigEndian.AppendUint32(buf, uint32(int32(key.Widx)))
+	return append(buf, payload...)
+}
+
+// encodeMessage builds a full frame for (dst, key, v), running v through
+// the value codec.
+func encodeMessage(dst arch.ProcID, key transport.Key, v value.Value) ([]byte, error) {
+	payload, err := value.Encode(nil, v)
+	if err != nil {
+		return nil, err
+	}
+	return appendFrame(make([]byte, 0, 4+frameHeader+len(payload)), uint32(dst), key, payload), nil
+}
+
+// abortFrame is the serialized cluster-wide abort control frame.
+func abortFrame() []byte {
+	return appendFrame(nil, abortDst, transport.Key{}, nil)
+}
+
+// readFrame reads one length-prefixed frame and splits it into the raw
+// frame bytes (length prefix included, for cheap re-forwarding), the
+// destination, the key and the payload slice. io.EOF is returned verbatim
+// on a clean close between frames.
+func readFrame(br *bufio.Reader) (raw []byte, dst uint32, key transport.Key, payload []byte, err error) {
+	var lenBuf [4]byte
+	if _, err = io.ReadFull(br, lenBuf[:]); err != nil {
+		if err == io.ErrUnexpectedEOF {
+			err = fmt.Errorf("nettransport: truncated frame length")
+		}
+		return
+	}
+	n := binary.BigEndian.Uint32(lenBuf[:])
+	if n < frameHeader || n > maxFrame {
+		err = fmt.Errorf("nettransport: frame length %d out of range", n)
+		return
+	}
+	raw = make([]byte, 4+n)
+	copy(raw, lenBuf[:])
+	if _, err = io.ReadFull(br, raw[4:]); err != nil {
+		err = fmt.Errorf("nettransport: truncated frame body: %w", err)
+		return
+	}
+	dst = binary.BigEndian.Uint32(raw[4:])
+	key = transport.Key{
+		Kind: raw[8],
+		Edge: graph.EdgeID(int32(binary.BigEndian.Uint32(raw[9:]))),
+		Farm: graph.NodeID(int32(binary.BigEndian.Uint32(raw[13:]))),
+		Widx: int(int32(binary.BigEndian.Uint32(raw[17:]))),
+	}
+	payload = raw[4+frameHeader:]
+	return
+}
+
+// wconn serializes frame writes on one connection: a mutex over a buffered
+// writer, flushed per frame so a frame is never half-visible to the peer.
+type wconn struct {
+	mu sync.Mutex
+	c  net.Conn
+	bw *bufio.Writer
+}
+
+func newWConn(c net.Conn) *wconn {
+	return &wconn{c: c, bw: bufio.NewWriterSize(c, 64<<10)}
+}
+
+func (w *wconn) writeFrame(frame []byte) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if _, err := w.bw.Write(frame); err != nil {
+		return err
+	}
+	return w.bw.Flush()
+}

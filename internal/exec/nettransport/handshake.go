@@ -1,0 +1,90 @@
+package nettransport
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"net"
+
+	"skipper/internal/arch"
+)
+
+// hello is the client side of the connection handshake: it identifies the
+// schedule the process was compiled against (fingerprint) and the
+// processors the process hosts. The hub rejects mismatched fingerprints —
+// two processes running different deployments of "the same" program would
+// otherwise exchange frames that decode into the wrong graph edges.
+type hello struct {
+	fingerprint uint64
+	procs       []arch.ProcID
+}
+
+func writeHello(c net.Conn, h hello) error {
+	buf := binary.BigEndian.AppendUint32(nil, magic)
+	buf = binary.BigEndian.AppendUint16(buf, wireVersion)
+	buf = binary.BigEndian.AppendUint64(buf, h.fingerprint)
+	buf = binary.BigEndian.AppendUint16(buf, uint16(len(h.procs)))
+	for _, p := range h.procs {
+		buf = binary.BigEndian.AppendUint32(buf, uint32(p))
+	}
+	_, err := c.Write(buf)
+	return err
+}
+
+func readHello(br *bufio.Reader) (hello, error) {
+	var h hello
+	var head [16]byte
+	if _, err := io.ReadFull(br, head[:]); err != nil {
+		return h, fmt.Errorf("nettransport: truncated handshake: %w", err)
+	}
+	if m := binary.BigEndian.Uint32(head[0:]); m != magic {
+		return h, fmt.Errorf("nettransport: bad handshake magic %#x", m)
+	}
+	if v := binary.BigEndian.Uint16(head[4:]); v != wireVersion {
+		return h, fmt.Errorf("nettransport: wire version %d, want %d", v, wireVersion)
+	}
+	h.fingerprint = binary.BigEndian.Uint64(head[6:])
+	count := binary.BigEndian.Uint16(head[14:])
+	h.procs = make([]arch.ProcID, count)
+	for i := range h.procs {
+		var pb [4]byte
+		if _, err := io.ReadFull(br, pb[:]); err != nil {
+			return h, fmt.Errorf("nettransport: truncated handshake procs: %w", err)
+		}
+		h.procs[i] = arch.ProcID(binary.BigEndian.Uint32(pb[:]))
+	}
+	return h, nil
+}
+
+// writeHelloReply acknowledges (msg == "") or rejects a handshake.
+func writeHelloReply(c net.Conn, msg string) error {
+	if msg == "" {
+		_, err := c.Write([]byte{0})
+		return err
+	}
+	buf := []byte{1}
+	buf = binary.BigEndian.AppendUint16(buf, uint16(len(msg)))
+	buf = append(buf, msg...)
+	_, err := c.Write(buf)
+	return err
+}
+
+func readHelloReply(br *bufio.Reader) error {
+	status, err := br.ReadByte()
+	if err != nil {
+		return fmt.Errorf("nettransport: no handshake reply: %w", err)
+	}
+	if status == 0 {
+		return nil
+	}
+	var lb [2]byte
+	if _, err := io.ReadFull(br, lb[:]); err != nil {
+		return fmt.Errorf("nettransport: handshake rejected (reason lost: %v)", err)
+	}
+	msg := make([]byte, binary.BigEndian.Uint16(lb[:]))
+	if _, err := io.ReadFull(br, msg); err != nil {
+		return fmt.Errorf("nettransport: handshake rejected (reason lost: %v)", err)
+	}
+	return fmt.Errorf("nettransport: handshake rejected: %s", msg)
+}

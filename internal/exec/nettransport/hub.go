@@ -1,0 +1,327 @@
+package nettransport
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"skipper/internal/arch"
+	"skipper/internal/exec/transport"
+	"skipper/internal/value"
+)
+
+// Hub is the coordinator side of the TCP backend: it listens for node
+// processes, validates their handshakes, routes frames between them and is
+// itself a transport.Transport for the processors hosted in the
+// coordinator process (typically processor 0, which usually holds the
+// input/output nodes). Frames for processors that have not attached yet
+// are buffered, so clients and the coordinator's machine may start in any
+// order.
+type Hub struct {
+	a  *arch.Arch
+	fp uint64
+	ln net.Listener
+
+	localSet map[arch.ProcID]bool
+	boxes    map[arch.ProcID]*transport.Mailbox
+
+	mu      sync.Mutex
+	remote  map[arch.ProcID]*wconn // attached remote processors
+	pending map[arch.ProcID][][]byte
+	conns   []*wconn
+	ready   chan struct{} // closed when every non-local processor is attached
+	closed  bool
+
+	errMu sync.Mutex
+	err   error
+
+	closing   atomic.Bool
+	abortOnce sync.Once
+	wg        sync.WaitGroup
+
+	messages atomic.Int64
+	hops     atomic.Int64
+}
+
+var _ transport.Transport = (*Hub)(nil)
+
+// NewHub listens on addr (e.g. "127.0.0.1:0"; see Addr for the bound
+// address) and serves the architecture's processors: local are hosted in
+// this process, all others must attach over TCP with a matching schedule
+// fingerprint.
+func NewHub(addr string, a *arch.Arch, fingerprint uint64, local []arch.ProcID) (*Hub, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	h := &Hub{
+		a:        a,
+		fp:       fingerprint,
+		ln:       ln,
+		localSet: map[arch.ProcID]bool{},
+		boxes:    map[arch.ProcID]*transport.Mailbox{},
+		remote:   map[arch.ProcID]*wconn{},
+		pending:  map[arch.ProcID][][]byte{},
+		ready:    make(chan struct{}),
+	}
+	for _, p := range local {
+		h.localSet[p] = true
+		h.boxes[p] = transport.NewMailbox()
+	}
+	if len(local) == a.N {
+		close(h.ready) // degenerate single-process deployment
+	}
+	h.wg.Add(1)
+	go h.acceptLoop()
+	return h, nil
+}
+
+// Addr is the address clients should dial.
+func (h *Hub) Addr() string { return h.ln.Addr().String() }
+
+// WaitReady blocks until every non-local processor has attached, the hub
+// fails, or d elapses.
+func (h *Hub) WaitReady(d time.Duration) error {
+	select {
+	case <-h.ready:
+		return nil
+	case <-time.After(d):
+		if err := h.Err(); err != nil {
+			return err
+		}
+		return fmt.Errorf("nettransport: not all processors attached within %v", d)
+	}
+}
+
+func (h *Hub) acceptLoop() {
+	defer h.wg.Done()
+	for {
+		c, err := h.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		h.wg.Add(1)
+		go h.serveConn(c)
+	}
+}
+
+// serveConn validates one client handshake, attaches its processors and
+// runs its reader loop.
+func (h *Hub) serveConn(c net.Conn) {
+	defer h.wg.Done()
+	if tc, ok := c.(*net.TCPConn); ok {
+		tc.SetNoDelay(true)
+	}
+	br := bufio.NewReaderSize(c, 64<<10)
+	hel, err := readHello(br)
+	if err != nil {
+		writeHelloReply(c, err.Error())
+		c.Close()
+		return
+	}
+	if reject := h.validateHello(hel); reject != "" {
+		writeHelloReply(c, reject)
+		c.Close()
+		return
+	}
+	w := newWConn(c)
+	h.mu.Lock()
+	if h.closed {
+		h.mu.Unlock()
+		c.Close()
+		return
+	}
+	var backlog [][]byte
+	for _, p := range hel.procs {
+		h.remote[p] = w
+		backlog = append(backlog, h.pending[p]...)
+		delete(h.pending, p)
+	}
+	h.conns = append(h.conns, w)
+	allAttached := len(h.remote)+len(h.localSet) == h.a.N
+	h.mu.Unlock()
+	if err := writeHelloReply(c, ""); err != nil {
+		h.failf("nettransport: handshake ack to %v: %v", hel.procs, err)
+		return
+	}
+	// Drain frames buffered while the processors were unattached.
+	for _, f := range backlog {
+		if err := w.writeFrame(f); err != nil {
+			h.failf("nettransport: backlog flush to %v: %v", hel.procs, err)
+			return
+		}
+	}
+	if allAttached {
+		close(h.ready)
+	}
+	h.readLoop(br, hel.procs)
+}
+
+// validateHello returns a rejection reason, or "" to accept.
+func (h *Hub) validateHello(hel hello) string {
+	if hel.fingerprint != h.fp {
+		return fmt.Sprintf("schedule fingerprint %#x does not match coordinator %#x (nodes compiled a different deployment)",
+			hel.fingerprint, h.fp)
+	}
+	if len(hel.procs) == 0 {
+		return "no processors claimed"
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	for _, p := range hel.procs {
+		if int(p) < 0 || int(p) >= h.a.N {
+			return fmt.Sprintf("processor %d outside architecture %s", p, h.a.Name)
+		}
+		if h.localSet[p] {
+			return fmt.Sprintf("processor %d is hosted by the coordinator", p)
+		}
+		if _, taken := h.remote[p]; taken {
+			return fmt.Sprintf("processor %d already attached", p)
+		}
+	}
+	return ""
+}
+
+// readLoop routes one client's incoming frames until EOF (clean detach) or
+// a frame error (abort).
+func (h *Hub) readLoop(br *bufio.Reader, procs []arch.ProcID) {
+	for {
+		raw, dst, key, payload, err := readFrame(br)
+		if err != nil {
+			if err == io.EOF || h.closing.Load() {
+				return // client process finished and closed, or hub teardown
+			}
+			h.failf("nettransport: reading from node %v: %v", procs, err)
+			return
+		}
+		if dst == abortDst {
+			h.Abort()
+			return
+		}
+		p := arch.ProcID(dst)
+		if h.localSet[p] {
+			h.deliverLocal(p, key, payload)
+			continue
+		}
+		h.hops.Add(1)
+		h.routeRemote(p, raw, procs)
+	}
+}
+
+// routeRemote forwards a raw frame to dst's connection, or buffers it if
+// dst has not attached yet.
+func (h *Hub) routeRemote(p arch.ProcID, raw []byte, from []arch.ProcID) {
+	if int(p) < 0 || int(p) >= h.a.N {
+		h.failf("nettransport: frame from node %v for unknown processor %d", from, p)
+		return
+	}
+	h.mu.Lock()
+	w, ok := h.remote[p]
+	if !ok {
+		h.pending[p] = append(h.pending[p], raw)
+		h.mu.Unlock()
+		return
+	}
+	h.mu.Unlock()
+	if err := w.writeFrame(raw); err != nil {
+		h.failf("nettransport: forwarding to processor %d: %v", p, err)
+	}
+}
+
+// deliverLocal decodes a frame payload and delivers it to a hub-hosted
+// processor's mailbox.
+func (h *Hub) deliverLocal(p arch.ProcID, key transport.Key, payload []byte) {
+	v, err := value.Decode(payload)
+	if err != nil {
+		h.failf("nettransport: decoding frame for processor %d key %v: %v", p, key, err)
+		return
+	}
+	h.boxes[p].Deliver(key, v)
+}
+
+func (h *Hub) failf(format string, args ...any) {
+	h.errMu.Lock()
+	if h.err == nil {
+		h.err = fmt.Errorf(format, args...)
+	}
+	h.errMu.Unlock()
+	h.Abort()
+}
+
+// Send injects a message from a hub-local processor. Local destinations
+// skip the codec entirely (the payload is passed by reference, exactly as
+// the mem backend does); remote ones are flattened and shipped.
+func (h *Hub) Send(src, dst arch.ProcID, key transport.Key, payload value.Value) {
+	h.messages.Add(1)
+	if h.localSet[dst] {
+		h.boxes[dst].Deliver(key, payload)
+		return
+	}
+	frame, err := encodeMessage(dst, key, payload)
+	if err != nil {
+		h.failf("nettransport: encoding %v for processor %d: %v", key, dst, err)
+		return
+	}
+	h.routeRemote(dst, frame, nil)
+}
+
+// Recv blocks on a hub-local processor's mailbox.
+func (h *Hub) Recv(p arch.ProcID, key transport.Key) (value.Value, bool) {
+	return h.boxes[p].Recv(key)
+}
+
+// Receiver returns the mailbox slot for (p, key).
+func (h *Hub) Receiver(p arch.ProcID, key transport.Key) transport.Receiver {
+	return h.boxes[p].Slot(key)
+}
+
+// Abort propagates a cluster-wide abort: every attached client gets an
+// abort control frame, and all local mailboxes unblock.
+func (h *Hub) Abort() {
+	h.abortOnce.Do(func() {
+		h.mu.Lock()
+		conns := append([]*wconn(nil), h.conns...)
+		h.mu.Unlock()
+		af := abortFrame()
+		for _, w := range conns {
+			w.writeFrame(af) // best effort: the conn may already be gone
+		}
+		for _, b := range h.boxes {
+			b.Close()
+		}
+	})
+}
+
+// Close aborts, tears down the listener and connections and waits for the
+// hub's goroutines.
+func (h *Hub) Close() error {
+	h.closing.Store(true)
+	h.mu.Lock()
+	h.closed = true
+	conns := append([]*wconn(nil), h.conns...)
+	h.mu.Unlock()
+	h.Abort()
+	h.ln.Close()
+	for _, w := range conns {
+		w.c.Close()
+	}
+	h.wg.Wait()
+	return nil
+}
+
+// Err reports the first hub-side failure, or nil.
+func (h *Hub) Err() error {
+	h.errMu.Lock()
+	defer h.errMu.Unlock()
+	return h.err
+}
+
+// Stats reports messages injected by hub-local processors and frames the
+// hub relayed between node processes.
+func (h *Hub) Stats() transport.Stats {
+	return transport.Stats{Messages: h.messages.Load(), Hops: h.hops.Load()}
+}

@@ -1,0 +1,94 @@
+package transport
+
+import (
+	"fmt"
+
+	"skipper/internal/value"
+)
+
+// Farm protocol frames. These travel through the transport like any other
+// payload: over the mem backend they are passed by reference, over the net
+// backend they are flattened by the codec extensions registered below, so a
+// master and its workers can sit in different OS processes.
+
+// Sentinel terminates a farm worker's task loop for one iteration.
+type Sentinel struct{}
+
+// Task couples a packet of work with its position in the input list
+// (Idx = -1 for tasks spawned dynamically by tf feedback).
+type Task struct {
+	Idx int
+	V   value.Value
+}
+
+// Reply is a worker's answer to its master.
+type Reply struct {
+	Widx int
+	Task int // index of the task within this iteration's input list
+	V    value.Value
+}
+
+func init() {
+	value.RegisterExt(value.Ext{
+		Name:   "exec.Sentinel",
+		Match:  func(v value.Value) bool { _, ok := v.(Sentinel); return ok },
+		Encode: func(buf []byte, v value.Value) ([]byte, error) { return buf, nil },
+		Decode: func(payload []byte) (value.Value, error) {
+			if len(payload) != 0 {
+				return nil, fmt.Errorf("sentinel frame carries %d payload bytes", len(payload))
+			}
+			return Sentinel{}, nil
+		},
+	})
+	value.RegisterExt(value.Ext{
+		Name:  "exec.Task",
+		Match: func(v value.Value) bool { _, ok := v.(Task); return ok },
+		Encode: func(buf []byte, v value.Value) ([]byte, error) {
+			t := v.(Task)
+			buf = value.AppendI64(buf, int64(t.Idx))
+			return value.Encode(buf, t.V)
+		},
+		Decode: func(payload []byte) (value.Value, error) {
+			idx, pos, err := value.ReadI64(payload, 0)
+			if err != nil {
+				return nil, err
+			}
+			v, rest, err := value.DecodePrefix(payload[pos:])
+			if err != nil {
+				return nil, err
+			}
+			if len(rest) != 0 {
+				return nil, fmt.Errorf("trailing bytes after task frame")
+			}
+			return Task{Idx: int(idx), V: v}, nil
+		},
+	})
+	value.RegisterExt(value.Ext{
+		Name:  "exec.Reply",
+		Match: func(v value.Value) bool { _, ok := v.(Reply); return ok },
+		Encode: func(buf []byte, v value.Value) ([]byte, error) {
+			r := v.(Reply)
+			buf = value.AppendI64(buf, int64(r.Widx))
+			buf = value.AppendI64(buf, int64(r.Task))
+			return value.Encode(buf, r.V)
+		},
+		Decode: func(payload []byte) (value.Value, error) {
+			widx, pos, err := value.ReadI64(payload, 0)
+			if err != nil {
+				return nil, err
+			}
+			task, pos, err := value.ReadI64(payload, pos)
+			if err != nil {
+				return nil, err
+			}
+			v, rest, err := value.DecodePrefix(payload[pos:])
+			if err != nil {
+				return nil, err
+			}
+			if len(rest) != 0 {
+				return nil, fmt.Errorf("trailing bytes after reply frame")
+			}
+			return Reply{Widx: int(widx), Task: int(task), V: v}, nil
+		},
+	})
+}

@@ -1,0 +1,120 @@
+package transport
+
+import (
+	"sync"
+
+	"skipper/internal/value"
+)
+
+// Slot is one mailbox key's FIFO buffer with its own lock and condition
+// variable. Sharding the mailbox per key removes a single global mutex and
+// its cond.Broadcast thundering herd: a delivery wakes only the consumer of
+// that key (Signal — each key has a single logical consumer in the
+// executive), and waiters on other keys are never scheduled spuriously.
+// Consumption advances a head index over the backing array instead of
+// reslicing buf[1:], which would keep every consumed payload reachable and
+// force the append path to reallocate; once the buffer drains, the array is
+// reset and reused, so steady-state traffic through a key is
+// allocation-free.
+type Slot struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	buf    []value.Value
+	head   int
+	closed bool
+}
+
+// Deliver appends v to the slot's FIFO and wakes its consumer.
+func (s *Slot) Deliver(v value.Value) {
+	s.mu.Lock()
+	s.buf = append(s.buf, v)
+	s.mu.Unlock()
+	s.cond.Signal()
+}
+
+// Recv blocks until a value is available or the slot is closed. Values
+// delivered before close are still drained in order; afterwards ok=false.
+func (s *Slot) Recv() (value.Value, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for s.head == len(s.buf) && !s.closed {
+		s.cond.Wait()
+	}
+	if s.head == len(s.buf) {
+		return nil, false
+	}
+	v := s.buf[s.head]
+	s.buf[s.head] = nil // release for GC
+	s.head++
+	if s.head == len(s.buf) {
+		s.buf = s.buf[:0]
+		s.head = 0
+	}
+	return v, true
+}
+
+// Cap exposes the backing buffer capacity for boundedness tests.
+func (s *Slot) Cap() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return cap(s.buf)
+}
+
+// Mailbox holds delivered payloads per key, FIFO per key, sharded into one
+// independently locked Slot per key. The map itself is guarded by a mutex
+// taken only for slot lookup/creation; hot paths hoist the *Slot once and
+// bypass the map entirely (see Slot).
+type Mailbox struct {
+	mu     sync.Mutex
+	slots  map[Key]*Slot
+	closed bool
+}
+
+// NewMailbox returns an empty open mailbox.
+func NewMailbox() *Mailbox {
+	return &Mailbox{slots: map[Key]*Slot{}}
+}
+
+// Slot returns (creating if needed) the slot for k. The returned pointer is
+// stable for the mailbox's lifetime, so callers looping on one key should
+// call Slot once and then Deliver/Recv on it directly.
+func (m *Mailbox) Slot(k Key) *Slot {
+	m.mu.Lock()
+	s, ok := m.slots[k]
+	if !ok {
+		s = &Slot{}
+		s.cond = sync.NewCond(&s.mu)
+		s.closed = m.closed // mailbox already shut down: new slots are born closed
+		m.slots[k] = s
+	}
+	m.mu.Unlock()
+	return s
+}
+
+// Deliver appends v to key k's FIFO.
+func (m *Mailbox) Deliver(k Key, v value.Value) {
+	m.Slot(k).Deliver(v)
+}
+
+// Recv blocks on key k; see Slot.Recv.
+func (m *Mailbox) Recv(k Key) (value.Value, bool) {
+	return m.Slot(k).Recv()
+}
+
+// Close shuts the mailbox down: every blocked Recv returns ok=false once
+// its slot drains, and slots first touched after Close are born closed.
+func (m *Mailbox) Close() {
+	m.mu.Lock()
+	m.closed = true
+	slots := make([]*Slot, 0, len(m.slots))
+	for _, s := range m.slots {
+		slots = append(slots, s)
+	}
+	m.mu.Unlock()
+	for _, s := range slots {
+		s.mu.Lock()
+		s.closed = true
+		s.mu.Unlock()
+		s.cond.Broadcast()
+	}
+}

@@ -1,10 +1,11 @@
-package exec
+package transport
 
 import (
 	"sync"
 	"testing"
 
 	"skipper/internal/graph"
+	"skipper/internal/value"
 )
 
 // TestMailboxSteadyStateAllocationFree is the regression test for the seed
@@ -12,27 +13,27 @@ import (
 // element reachable and forced append to grow a fresh backing array, so
 // pumping packets through one key allocated without bound. The sharded
 // slot consumes via a head index and resets the backing array on drain:
-// after warm-up, a deliver/get pair through one key must not allocate.
+// after warm-up, a Deliver/Recv pair through one key must not allocate.
 func TestMailboxSteadyStateAllocationFree(t *testing.T) {
-	m := newMailbox()
-	k := ekey(graph.EdgeID(1))
-	s := m.slot(k)
+	m := NewMailbox()
+	k := EdgeKey(graph.EdgeID(1))
+	s := m.Slot(k)
 	payload := struct{}{} // zero-size: boxing never allocates
 	// Warm up: let the slot buffer reach steady state.
 	for i := 0; i < 100; i++ {
-		s.deliver(payload)
-		if _, ok := s.get(); !ok {
-			t.Fatal("get failed during warm-up")
+		s.Deliver(payload)
+		if _, ok := s.Recv(); !ok {
+			t.Fatal("recv failed during warm-up")
 		}
 	}
 	allocs := testing.AllocsPerRun(10_000, func() {
-		s.deliver(payload)
-		if _, ok := s.get(); !ok {
-			t.Fatal("get failed")
+		s.Deliver(payload)
+		if _, ok := s.Recv(); !ok {
+			t.Fatal("recv failed")
 		}
 	})
 	if allocs > 0 {
-		t.Fatalf("deliver/get through one key allocates %.1f allocs/op, want 0", allocs)
+		t.Fatalf("deliver/recv through one key allocates %.1f allocs/op, want 0", allocs)
 	}
 }
 
@@ -40,25 +41,25 @@ func TestMailboxSteadyStateAllocationFree(t *testing.T) {
 // bursts and checks the slot's backing buffer stays bounded by the largest
 // burst rather than growing with total traffic.
 func TestMailboxBurstBoundedMemory(t *testing.T) {
-	m := newMailbox()
-	k := rkey(graph.NodeID(7))
-	s := m.slot(k)
+	m := NewMailbox()
+	k := ReplyKey(graph.NodeID(7))
+	s := m.Slot(k)
 	const burst = 64
 	for round := 0; round < 10_000/burst; round++ {
 		for i := 0; i < burst; i++ {
-			s.deliver(i)
+			s.Deliver(i)
 		}
 		for i := 0; i < burst; i++ {
-			v, ok := s.get()
+			v, ok := s.Recv()
 			if !ok {
-				t.Fatal("get failed")
+				t.Fatal("recv failed")
 			}
 			if v.(int) != i {
 				t.Fatalf("FIFO broken: got %v at position %d", v, i)
 			}
 		}
 	}
-	if got := cap(s.buf); got > 2*burst {
+	if got := s.Cap(); got > 2*burst {
 		t.Fatalf("slot buffer grew to cap %d after 10k packets; want bounded by burst size %d", got, burst)
 	}
 }
@@ -66,25 +67,25 @@ func TestMailboxBurstBoundedMemory(t *testing.T) {
 // TestMailboxFIFOPerKeyUnderConcurrency checks per-key FIFO order with many
 // keys delivered and consumed concurrently (run with -race).
 func TestMailboxFIFOPerKeyUnderConcurrency(t *testing.T) {
-	m := newMailbox()
+	m := NewMailbox()
 	const keys = 16
 	const perKey = 2000
 	var wg sync.WaitGroup
 	for ki := 0; ki < keys; ki++ {
-		k := ekey(graph.EdgeID(ki))
+		k := EdgeKey(graph.EdgeID(ki))
 		wg.Add(2)
 		go func() { // producer: one ordered stream per key
 			defer wg.Done()
 			for i := 0; i < perKey; i++ {
-				m.deliver(k, i)
+				m.Deliver(k, i)
 			}
 		}()
 		go func() { // consumer
 			defer wg.Done()
 			for i := 0; i < perKey; i++ {
-				v, ok := m.get(k)
+				v, ok := m.Recv(k)
 				if !ok {
-					t.Errorf("key %v: get failed at %d", k, i)
+					t.Errorf("key %v: recv failed at %d", k, i)
 					return
 				}
 				if v.(int) != i {
@@ -97,14 +98,14 @@ func TestMailboxFIFOPerKeyUnderConcurrency(t *testing.T) {
 	wg.Wait()
 }
 
-// TestMailboxCloseUnblocksWaiters checks clean shutdown: blocked getters on
-// any key return ok=false once the mailbox closes, and values delivered
+// TestMailboxCloseUnblocksWaiters checks clean shutdown: blocked receivers
+// on any key return ok=false once the mailbox closes, and values delivered
 // before close are still drained first.
 func TestMailboxCloseUnblocksWaiters(t *testing.T) {
-	m := newMailbox()
-	kEmpty := ekey(graph.EdgeID(1))
-	kFull := ekey(graph.EdgeID(2))
-	m.deliver(kFull, "leftover")
+	m := NewMailbox()
+	kEmpty := EdgeKey(graph.EdgeID(1))
+	kFull := EdgeKey(graph.EdgeID(2))
+	m.Deliver(kFull, "leftover")
 
 	var wg sync.WaitGroup
 	wg.Add(1)
@@ -112,23 +113,59 @@ func TestMailboxCloseUnblocksWaiters(t *testing.T) {
 	go func() {
 		defer wg.Done()
 		close(started)
-		if _, ok := m.get(kEmpty); ok {
-			t.Error("get on empty key returned ok after close")
+		if _, ok := m.Recv(kEmpty); ok {
+			t.Error("recv on empty key returned ok after close")
 		}
 	}()
 	<-started
-	m.close()
+	m.Close()
 	wg.Wait()
 
 	// Delivered-before-close values drain, then the key reports closed.
-	if v, ok := m.get(kFull); !ok || v.(string) != "leftover" {
+	if v, ok := m.Recv(kFull); !ok || v.(string) != "leftover" {
 		t.Fatalf("pre-close value lost: %v %v", v, ok)
 	}
-	if _, ok := m.get(kFull); ok {
+	if _, ok := m.Recv(kFull); ok {
 		t.Fatal("drained closed key still returns ok")
 	}
 	// Keys first touched after close are born closed.
-	if _, ok := m.get(ekey(graph.EdgeID(3))); ok {
+	if _, ok := m.Recv(EdgeKey(graph.EdgeID(3))); ok {
 		t.Fatal("new key on closed mailbox returned ok")
+	}
+}
+
+// TestFarmFrameCodecRoundTrip checks the farm protocol frames survive the
+// wire codec — the property the distributed backend depends on.
+func TestFarmFrameCodecRoundTrip(t *testing.T) {
+	cases := []struct {
+		in    interface{}
+		check func(got interface{}) bool
+	}{
+		{Sentinel{}, func(got interface{}) bool { _, ok := got.(Sentinel); return ok }},
+		{Task{Idx: 3, V: 42}, func(got interface{}) bool {
+			tk, ok := got.(Task)
+			return ok && tk.Idx == 3 && tk.V == 42
+		}},
+		{Task{Idx: -1, V: nil}, func(got interface{}) bool {
+			tk, ok := got.(Task)
+			return ok && tk.Idx == -1 && tk.V == nil
+		}},
+		{Reply{Widx: 2, Task: 7, V: "done"}, func(got interface{}) bool {
+			r, ok := got.(Reply)
+			return ok && r.Widx == 2 && r.Task == 7 && r.V == "done"
+		}},
+	}
+	for _, c := range cases {
+		data, err := value.Encode(nil, c.in)
+		if err != nil {
+			t.Fatalf("encode %#v: %v", c.in, err)
+		}
+		got, err := value.Decode(data)
+		if err != nil {
+			t.Fatalf("decode %#v: %v", c.in, err)
+		}
+		if !c.check(got) {
+			t.Fatalf("round trip of %#v gave %#v", c.in, got)
+		}
 	}
 }

@@ -172,6 +172,23 @@ func RunBenchReport(w io.Writer, iters int) (*BenchReport, error) {
 		}
 	})
 
+	// Transport backends: one farm task/reply round trip, in-process vs a
+	// real localhost TCP hub/client pair, shipping the 512×64 window band
+	// the tracking schedule sends per df window. The delta is the
+	// per-window price of running the executive as OS processes.
+	for _, tr := range Transports {
+		tr := tr
+		record("Transport_"+tr+"_FarmRoundTrip", func(b *testing.B) {
+			pair, err := NewTransportPair(tr)
+			if err != nil {
+				firstErr = err
+				b.Skip(err)
+			}
+			defer pair.Close()
+			BenchFarmRoundTrip(b, pair, BenchWindowPayload())
+		})
+	}
+
 	if firstErr != nil {
 		return nil, firstErr
 	}

@@ -12,7 +12,6 @@ import (
 	"skipper/internal/dsl/eval"
 	"skipper/internal/dsl/parser"
 	"skipper/internal/dsl/types"
-	"skipper/internal/exec"
 	"skipper/internal/expand"
 	"skipper/internal/sim"
 	"skipper/internal/skel"
@@ -237,87 +236,45 @@ type E4Result struct {
 	Identical  bool
 }
 
+// runE4Mode executes the E4 tracking deployment through the sequential
+// emulator or the timing simulator (the parallel-executive path lives in
+// runExecutiveOn, parameterized by transport).
+func runE4Mode(mode string, iters int) ([]track.Result, error) {
+	scene := video.NewScene(256, 256, 2, 21)
+	reg, rec := track.NewRegistry(scene, nil)
+	prog, err := parser.Parse(track.ProgramSource(8, 256, 256))
+	if err != nil {
+		return nil, err
+	}
+	info, err := types.Check(prog)
+	if err != nil {
+		return nil, err
+	}
+	switch mode {
+	case "emulate":
+		if _, err := eval.New(reg, eval.Options{MaxIters: iters}).Run(prog); err != nil {
+			return nil, err
+		}
+	case "simulate":
+		res, err := expand.Expand(prog, info, reg)
+		if err != nil {
+			return nil, err
+		}
+		s, err := syndex.Map(res.Graph, arch.Ring(8), reg, syndex.Structured)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := sim.Run(s, reg, sim.Options{Iters: iters}); err != nil {
+			return nil, err
+		}
+	}
+	return rec.Results, nil
+}
+
 // E4 verifies the debugging claim: the sequential emulation computes
 // exactly what the parallel executive computes, iteration by iteration.
 func E4(w io.Writer, iters int) (*E4Result, error) {
-	run := func(mode string) ([]track.Result, error) {
-		scene := video.NewScene(256, 256, 2, 21)
-		reg, rec := track.NewRegistry(scene, nil)
-		prog, err := parser.Parse(track.ProgramSource(8, 256, 256))
-		if err != nil {
-			return nil, err
-		}
-		info, err := types.Check(prog)
-		if err != nil {
-			return nil, err
-		}
-		switch mode {
-		case "emulate":
-			if _, err := types.Check(prog); err != nil {
-				return nil, err
-			}
-			if _, err := eval.New(reg, eval.Options{MaxIters: iters}).Run(prog); err != nil {
-				return nil, err
-			}
-		case "executive":
-			res, err := expand.Expand(prog, info, reg)
-			if err != nil {
-				return nil, err
-			}
-			s, err := syndex.Map(res.Graph, arch.Ring(8), reg, syndex.Structured)
-			if err != nil {
-				return nil, err
-			}
-			if _, err := exec.NewMachine(s, reg).Run(iters); err != nil {
-				return nil, err
-			}
-		case "simulate":
-			res, err := expand.Expand(prog, info, reg)
-			if err != nil {
-				return nil, err
-			}
-			s, err := syndex.Map(res.Graph, arch.Ring(8), reg, syndex.Structured)
-			if err != nil {
-				return nil, err
-			}
-			if _, err := sim.Run(s, reg, sim.Options{Iters: iters}); err != nil {
-				return nil, err
-			}
-		}
-		return rec.Results, nil
-	}
-	emu, err := run("emulate")
-	if err != nil {
-		return nil, err
-	}
-	par, err := run("executive")
-	if err != nil {
-		return nil, err
-	}
-	simr, err := run("simulate")
-	if err != nil {
-		return nil, err
-	}
-	same := len(emu) == len(par) && len(emu) == len(simr)
-	if same {
-		for i := range emu {
-			a, b, c := emu[i], par[i], simr[i]
-			if a.Tracking != b.Tracking || a.Vehicles != b.Vehicles || len(a.Marks) != len(b.Marks) ||
-				a.Tracking != c.Tracking || a.Vehicles != c.Vehicles || len(a.Marks) != len(c.Marks) {
-				same = false
-				break
-			}
-			for j := range a.Marks {
-				if a.Marks[j] != b.Marks[j] || a.Marks[j] != c.Marks[j] {
-					same = false
-				}
-			}
-		}
-	}
-	out := &E4Result{Iterations: iters, Identical: same}
-	fmt.Fprintf(w, "E4: emulation vs executive vs simulator over %d iterations: identical = %v\n",
-		iters, same)
-	return out, nil
+	return E4On(w, iters, "mem")
 }
 
 // ---------------------------------------------------------------------------

@@ -1,0 +1,106 @@
+package harness
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"skipper/internal/distrib"
+	"skipper/internal/track"
+)
+
+// Transports lists the executive communication backends the experiments
+// can run over: "mem" is the in-process goroutine executive, "tcp" runs
+// the same schedule split across a hub and one node per remaining
+// processor over localhost sockets.
+var Transports = []string{"mem", "tcp"}
+
+// e4Spec is the E4 deployment (ring(8), 256x256, 2 vehicles, seed 21).
+func e4Spec(iters int) distrib.Spec {
+	return distrib.Spec{
+		Topology: "ring", Procs: 8,
+		Width: 256, Height: 256,
+		Vehicles: 2, Seed: 21, Iters: iters,
+	}
+}
+
+// runExecutiveOn executes the E4 tracking deployment on the named
+// transport and returns the per-iteration results recorded at the
+// processor hosting the display node.
+func runExecutiveOn(transport string, iters int) ([]track.Result, error) {
+	sp := e4Spec(iters)
+	switch transport {
+	case "mem":
+		rec, _, err := distrib.RunInProcess(sp, 2*time.Minute)
+		if err != nil {
+			return nil, err
+		}
+		return rec.Results, nil
+	case "tcp":
+		// One hub (processor 0) plus one client per remaining processor,
+		// each with its own freshly built registry — the same isolation a
+		// per-processor OS process has, over real localhost sockets.
+		errCh := make(chan error, sp.Procs-1)
+		spawn := func(addr string) error {
+			for p := 1; p < sp.Procs; p++ {
+				go func(p int) {
+					errCh <- distrib.RunNode(sp, p, addr, 2*time.Minute)
+				}(p)
+			}
+			return nil
+		}
+		rec, _, err := distrib.RunCoordinator(sp, "127.0.0.1:0", spawn, 2*time.Minute)
+		if err != nil {
+			return nil, err
+		}
+		for i := 1; i < sp.Procs; i++ {
+			if nerr := <-errCh; nerr != nil {
+				return nil, nerr
+			}
+		}
+		return rec.Results, nil
+	}
+	return nil, fmt.Errorf("harness: unknown transport %q", transport)
+}
+
+// E4On is E4 with the parallel-executive leg running over the named
+// transport: the emulation/executive/simulator equivalence must hold
+// whether the executive's processors share an address space or talk TCP.
+func E4On(w io.Writer, iters int, transport string) (*E4Result, error) {
+	emu, err := runE4Mode("emulate", iters)
+	if err != nil {
+		return nil, err
+	}
+	par, err := runExecutiveOn(transport, iters)
+	if err != nil {
+		return nil, err
+	}
+	simr, err := runE4Mode("simulate", iters)
+	if err != nil {
+		return nil, err
+	}
+	same := resultsIdentical(emu, par) && resultsIdentical(emu, simr)
+	out := &E4Result{Iterations: iters, Identical: same}
+	fmt.Fprintf(w, "E4[%s]: emulation vs executive vs simulator over %d iterations: identical = %v\n",
+		transport, iters, same)
+	return out, nil
+}
+
+// resultsIdentical compares two tracking traces field by field.
+func resultsIdentical(a, b []track.Result) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		x, y := a[i], b[i]
+		if x.Tracking != y.Tracking || x.Vehicles != y.Vehicles || len(x.Marks) != len(y.Marks) {
+			return false
+		}
+		for j := range x.Marks {
+			if x.Marks[j] != y.Marks[j] {
+				return false
+			}
+		}
+	}
+	return true
+}

@@ -1,0 +1,49 @@
+package harness
+
+import (
+	"io"
+	"testing"
+)
+
+// TestE4IdenticalOverAllTransports is the transport acceptance gate: the
+// emulation/executive/simulator equivalence (E4) must hold with the
+// executive running in-process AND split across TCP node processes.
+func TestE4IdenticalOverAllTransports(t *testing.T) {
+	for _, tr := range Transports {
+		t.Run(tr, func(t *testing.T) {
+			res, err := E4On(io.Discard, 6, tr)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !res.Identical {
+				t.Fatalf("execution paths diverge over %s transport", tr)
+			}
+		})
+	}
+}
+
+// TestE1E5UnaffectedByTransport pins that the latency (E1) and load
+// balancing (E5) experiments still pass alongside the transport-split
+// executive: E1 models the network in virtual time and E5 in closed form,
+// so their numbers are transport-independent by construction — but they
+// must keep reproducing the paper's envelope while the tcp machinery is
+// linked in.
+func TestE1E5UnaffectedByTransport(t *testing.T) {
+	e1, err := E1(io.Discard, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e1.TrackingMS <= 0 || e1.TrackingMS >= 40 {
+		t.Fatalf("E1 tracking latency %.1f ms outside envelope", e1.TrackingMS)
+	}
+	if e1.ReinitMS < 80 || e1.ReinitMS > 120 {
+		t.Fatalf("E1 reinit latency %.1f ms outside envelope", e1.ReinitMS)
+	}
+	e5, err := E5(io.Discard, 64, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !e5.DFWinsOnSkewed {
+		t.Fatal("E5: dynamic farm no longer beats static split on skewed loads")
+	}
+}

@@ -1,0 +1,117 @@
+package harness
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"skipper/internal/arch"
+	"skipper/internal/exec/memtransport"
+	"skipper/internal/exec/nettransport"
+	"skipper/internal/exec/transport"
+	"skipper/internal/video"
+	"skipper/internal/vision"
+)
+
+// benchFingerprint is the schedule fingerprint both ends of the benchmark
+// pair agree on; the hub only requires that coordinator and client claim
+// the same deployment, not any particular value.
+const benchFingerprint uint64 = 0x534b6950_62656e63 // "SKiPbenc"
+
+// TransportPair is a two-processor transport set up for the farm
+// round-trip benchmark: a master side hosting processor 0 and a worker
+// side hosting processor 1. For "mem" both sides are the same in-process
+// transport; for "tcp" they are a hub and a client talking over a real
+// localhost socket, so every task and reply pays the codec + syscall cost
+// a multi-process deployment pays.
+type TransportPair struct {
+	Master transport.Transport
+	Worker transport.Transport
+	close  func()
+}
+
+// Close tears the pair down (client before hub for the tcp backend).
+func (p *TransportPair) Close() { p.close() }
+
+// NewTransportPair builds the benchmark pair for the named backend
+// ("mem" or "tcp") on a two-processor ring.
+func NewTransportPair(kind string) (*TransportPair, error) {
+	a := arch.Ring(2)
+	switch kind {
+	case "mem":
+		tr := memtransport.New(a)
+		return &TransportPair{Master: tr, Worker: tr, close: func() { tr.Close() }}, nil
+	case "tcp":
+		hub, err := nettransport.NewHub("127.0.0.1:0", a, benchFingerprint, []arch.ProcID{0})
+		if err != nil {
+			return nil, err
+		}
+		cl, err := nettransport.Dial(hub.Addr(), benchFingerprint, []arch.ProcID{1}, 5*time.Second)
+		if err != nil {
+			hub.Close()
+			return nil, err
+		}
+		return &TransportPair{
+			Master: hub,
+			Worker: cl,
+			close:  func() { cl.Close(); hub.Close() },
+		}, nil
+	}
+	return nil, fmt.Errorf("harness: unknown transport %q", kind)
+}
+
+// BenchFarmRoundTrip measures one df-farm task/reply round trip over the
+// pair: the master on processor 0 sends a task carrying payload to the
+// worker on processor 1, which echoes it back as a reply — exactly the
+// message pattern OpMaster/OpWorker exchange per window, so the mem-vs-tcp
+// delta is the per-window cost of going multi-process.
+func BenchFarmRoundTrip(b *testing.B, pair *TransportPair, payload func(i int) interface{}) {
+	const farm, widx = 0, 0
+	taskKey := transport.TaskKey(farm, widx)
+	replyKey := transport.ReplyKey(farm)
+
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		tasks := pair.Worker.Receiver(1, taskKey)
+		for {
+			v, ok := tasks.Recv()
+			if !ok {
+				return
+			}
+			if _, stop := v.(transport.Sentinel); stop {
+				return
+			}
+			tk := v.(transport.Task)
+			pair.Worker.Send(1, 0, replyKey, transport.Reply{Widx: widx, Task: tk.Idx, V: tk.V})
+		}
+	}()
+
+	replies := pair.Master.Receiver(0, replyKey)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pair.Master.Send(0, 1, taskKey, transport.Task{Idx: i, V: payload(i)})
+		if _, ok := replies.Recv(); !ok {
+			b.Fatal("reply channel aborted mid-benchmark")
+		}
+	}
+	b.StopTimer()
+	pair.Master.Send(0, 1, taskKey, transport.Sentinel{})
+	<-done
+}
+
+// BenchWindowPayload returns a payload generator producing the same 512×64
+// image band the ring(8) tracking schedule ships per df window, so the
+// round-trip figures reflect real frame traffic rather than scalar echo.
+func BenchWindowPayload() func(i int) interface{} {
+	frame := video.NewScene(512, 512, 3, 1).Next()
+	var win vision.Window
+	vision.ExtractInto(&win, frame, vision.Rect{X0: 0, Y0: 0, X1: 512, Y1: 64})
+	return func(int) interface{} { return win }
+}
+
+// BenchScalarPayload returns a payload generator shipping one int — the
+// floor cost of a round trip with negligible codec work.
+func BenchScalarPayload() func(i int) interface{} {
+	return func(i int) interface{} { return i }
+}

@@ -1,0 +1,93 @@
+package syndex
+
+import (
+	"encoding/json"
+	"testing"
+
+	"skipper/internal/arch"
+	"skipper/internal/graph"
+	"skipper/internal/value"
+)
+
+// chainGraph builds a tiny linear graph f -> g with an input and output.
+func chainGraph(t *testing.T) (*graph.Graph, *value.Registry) {
+	t.Helper()
+	g := graph.New()
+	reg := value.NewRegistry()
+	id := func(a []value.Value) value.Value { return a[0] }
+	reg.Register(&value.Func{Name: "f", Sig: "int -> int", Arity: 1, Fn: id})
+	reg.Register(&value.Func{Name: "g", Sig: "int -> int", Arity: 1, Fn: id})
+	in := g.AddNode(&graph.Node{Kind: graph.KindInput, Name: "in", Fn: "f", Out: 1})
+	f := g.AddNode(&graph.Node{Kind: graph.KindFunc, Name: "f", Fn: "f", In: 1, Out: 1})
+	gg := g.AddNode(&graph.Node{Kind: graph.KindFunc, Name: "g", Fn: "g", In: 1, Out: 1})
+	out := g.AddNode(&graph.Node{Kind: graph.KindOutput, Name: "out", In: 1})
+	g.Connect(in.ID, 0, f.ID, 0, "int")
+	g.Connect(f.ID, 0, gg.ID, 0, "int")
+	g.Connect(gg.ID, 0, out.ID, 0, "int")
+	return g, reg
+}
+
+func TestFingerprintStableAndDiscriminating(t *testing.T) {
+	g1, r1 := chainGraph(t)
+	s1, err := Map(g1, arch.Ring(2), r1, Structured)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g2, r2 := chainGraph(t)
+	s2, err := Map(g2, arch.Ring(2), r2, Structured)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s1.Fingerprint() != s2.Fingerprint() {
+		t.Fatal("identical deployments produced different fingerprints")
+	}
+	// A different architecture is a different deployment.
+	g3, r3 := chainGraph(t)
+	s3, err := Map(g3, arch.Ring(3), r3, Structured)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s3.Fingerprint() == s1.Fingerprint() {
+		t.Fatal("ring(2) and ring(3) deployments share a fingerprint")
+	}
+}
+
+func TestManifestDescribesEveryProcessor(t *testing.T) {
+	g, r := chainGraph(t)
+	s, err := Map(g, arch.Ring(3), r, Structured)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := s.Manifest()
+	if m.Processors != 3 || len(m.Procs) != 3 {
+		t.Fatalf("manifest covers %d/%d processors", len(m.Procs), m.Processors)
+	}
+	if len(m.Fingerprint) != 16 {
+		t.Fatalf("fingerprint %q is not 16 hex digits", m.Fingerprint)
+	}
+	totalNodes := 0
+	for p, pm := range m.Procs {
+		if pm.Proc != p {
+			t.Fatalf("proc entry %d claims processor %d", p, pm.Proc)
+		}
+		if pm.Program != macroFileName(p) {
+			t.Fatalf("proc %d program file %q", p, pm.Program)
+		}
+		totalNodes += pm.Nodes
+	}
+	if totalNodes != len(g.Nodes) {
+		t.Fatalf("manifest accounts for %d nodes, graph has %d", totalNodes, len(g.Nodes))
+	}
+
+	data, err := s.ManifestJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Manifest
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatalf("manifest.json does not parse: %v", err)
+	}
+	if back.Fingerprint != m.Fingerprint {
+		t.Fatal("fingerprint lost in JSON round trip")
+	}
+}

@@ -494,7 +494,7 @@ func (s *Schedule) MacroCodeFiles() map[string]string {
 			}
 		}
 		b.WriteString("end_\n")
-		files[fmt.Sprintf("proc%d.m4", p)] = b.String()
+		files[macroFileName(p)] = b.String()
 	}
 	return files
 }

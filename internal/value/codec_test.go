@@ -1,0 +1,167 @@
+package value_test
+
+// External test package: pulls in the vision and track codec registrations
+// (vision imports value, so the registration round-trips can only be
+// exercised from outside the value package).
+
+import (
+	"strings"
+	"testing"
+
+	"skipper/internal/track"
+	"skipper/internal/value"
+	"skipper/internal/video"
+	"skipper/internal/vision"
+)
+
+func roundTrip(t *testing.T, v value.Value) value.Value {
+	t.Helper()
+	data, err := value.Encode(nil, v)
+	if err != nil {
+		t.Fatalf("encode %s: %v", value.Show(v), err)
+	}
+	got, err := value.Decode(data)
+	if err != nil {
+		t.Fatalf("decode %s: %v", value.Show(v), err)
+	}
+	return got
+}
+
+func TestCodecBaseTypesRoundTrip(t *testing.T) {
+	cases := []value.Value{
+		nil,
+		0, 1, -1, 1 << 40, -(1 << 40),
+		0.0, 3.25, -1e300,
+		true, false,
+		"", "hello", strings.Repeat("x", 70000),
+		value.Unit{},
+		value.Tuple{}, value.Tuple{1, "a", value.Unit{}},
+		value.List{}, value.List{value.Tuple{1, 2}, value.List{3.5, nil}},
+	}
+	for _, v := range cases {
+		if got := roundTrip(t, v); !value.Equal(got, v) {
+			t.Fatalf("round trip of %s gave %s", value.Show(v), value.Show(got))
+		}
+	}
+}
+
+func TestCodecImageAndWindowRoundTrip(t *testing.T) {
+	scene := video.NewScene(64, 48, 2, 7)
+	frame := scene.Next()
+	got := roundTrip(t, frame).(*vision.Image)
+	if got.W != frame.W || got.H != frame.H {
+		t.Fatalf("image geometry %dx%d vs %dx%d", got.W, got.H, frame.W, frame.H)
+	}
+	for i := range frame.Pix {
+		if got.Pix[i] != frame.Pix[i] {
+			t.Fatalf("pixel %d differs", i)
+		}
+	}
+
+	win := vision.Extract(frame, vision.Rect{X0: 3, Y0: 5, X1: 40, Y1: 30})
+	gw := roundTrip(t, win).(vision.Window)
+	if gw.Origin != win.Origin || gw.Img.W != win.Img.W || gw.Img.H != win.Img.H {
+		t.Fatalf("window %v vs %v", gw.Origin, win.Origin)
+	}
+	// Nil-image windows survive too.
+	empty := vision.Window{Origin: vision.Rect{X0: 1, Y0: 2, X1: 3, Y1: 4}}
+	ge := roundTrip(t, empty).(vision.Window)
+	if ge.Origin != empty.Origin || ge.Img != nil {
+		t.Fatalf("empty window came back as %+v", ge)
+	}
+}
+
+func TestCodecTrackTypesRoundTrip(t *testing.T) {
+	d := track.Detections{
+		{CX: 10.5, CY: -3.25, BBox: vision.Rect{X0: 1, Y0: 2, X1: 9, Y1: 8}, Area: 17},
+		{CX: 0, CY: 0, BBox: vision.Rect{}, Area: 0},
+	}
+	got := roundTrip(t, d).(track.Detections)
+	if len(got) != len(d) || got[0] != d[0] || got[1] != d[1] {
+		t.Fatalf("detections %+v vs %+v", got, d)
+	}
+
+	s := track.InitState(512, 512, 2)
+	s.Tracking = true
+	s.Frame = 42
+	s.Vehicles = []track.VehicleEst{{
+		VX: [3]float64{1, 2, 3}, VY: [3]float64{-1, 0.5, 2}, Scale: 33.5, Age: 9,
+	}}
+	s.Vehicles[0].Marks[1] = d[0]
+	gs := roundTrip(t, s).(*track.State)
+	if gs.W != s.W || gs.H != s.H || gs.NVehicles != s.NVehicles ||
+		gs.Tracking != s.Tracking || gs.Frame != s.Frame ||
+		len(gs.Vehicles) != 1 || gs.Vehicles[0] != s.Vehicles[0] {
+		t.Fatalf("state %+v vs %+v", gs, s)
+	}
+}
+
+func TestCodecFarmValuesNested(t *testing.T) {
+	// The shape the farm protocol actually ships: lists of windows in,
+	// tuples of (detections, new tasks) out.
+	scene := video.NewScene(32, 32, 1, 3)
+	frame := scene.Next()
+	v := value.Tuple{
+		value.List{
+			track.Detections{{CX: 1, CY: 2, Area: 3}},
+		},
+		value.List{
+			vision.Extract(frame, vision.Rect{X0: 0, Y0: 0, X1: 16, Y1: 16}),
+			vision.Extract(frame, vision.Rect{X0: 16, Y0: 16, X1: 32, Y1: 32}),
+		},
+	}
+	got := roundTrip(t, v).(value.Tuple)
+	if len(got) != 2 {
+		t.Fatalf("tuple arity %d", len(got))
+	}
+	if _, ok := got[0].(value.List)[0].(track.Detections); !ok {
+		t.Fatalf("nested detections lost their type: %T", got[0].(value.List)[0])
+	}
+}
+
+func TestCodecRejectsUnknownOpaque(t *testing.T) {
+	type mystery struct{ x int }
+	if _, err := value.Encode(nil, mystery{1}); err == nil {
+		t.Fatal("encoding an unregistered opaque type should fail")
+	}
+}
+
+func TestCodecRejectsCorruptFramesWithoutPanic(t *testing.T) {
+	// Truncations of a valid frame must all fail cleanly.
+	data, err := value.Encode(nil, value.Tuple{1, "abc", value.List{2.5, true}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := value.Decode(data); err != nil {
+		t.Fatal(err)
+	}
+	for n := 0; n < len(data); n++ {
+		if _, err := value.Decode(data[:n]); err == nil {
+			t.Fatalf("truncation to %d bytes decoded successfully", n)
+		}
+	}
+	// Oversized sequence counts are rejected before allocation.
+	huge := []byte{0x07, 0xff, 0xff, 0xff, 0xff} // list of 4 billion elements
+	if _, err := value.Decode(huge); err == nil {
+		t.Fatal("oversized list count decoded successfully")
+	}
+	// Oversized image headers are rejected before allocation.
+	img, err := value.Encode(nil, vision.NewImage(4, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	img[len(img)-16-4] = 0x7f // corrupt the width field deep inside the ext payload
+	if _, err := value.Decode(img); err == nil {
+		t.Fatal("corrupt image header decoded successfully")
+	}
+}
+
+func TestCodecTrailingBytesRejected(t *testing.T) {
+	data, err := value.Encode(nil, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := value.Decode(append(data, 0)); err == nil {
+		t.Fatal("trailing byte accepted")
+	}
+}

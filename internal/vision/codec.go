@@ -1,0 +1,108 @@
+package vision
+
+import (
+	"fmt"
+	"math"
+
+	"skipper/internal/value"
+)
+
+// Codec extensions for the vision types that cross processor boundaries in
+// distributed runs: full image planes (static edges) and windows of
+// interest (farm task payloads). Registered at init so any process linking
+// the vision package can decode frames produced by any other.
+
+// maxImagePixels rejects absurd image headers before allocating: 64 MPix
+// (a 8192×8192 plane) is far beyond anything the tracking pipeline ships.
+const maxImagePixels = 64 << 20
+
+func init() {
+	value.RegisterExt(value.Ext{
+		Name:   "vision.Image",
+		Match:  func(v value.Value) bool { _, ok := v.(*Image); return ok },
+		Encode: encodeImage,
+		Decode: decodeImage,
+	})
+	value.RegisterExt(value.Ext{
+		Name:   "vision.Window",
+		Match:  func(v value.Value) bool { _, ok := v.(Window); return ok },
+		Encode: encodeWindow,
+		Decode: decodeWindow,
+	})
+}
+
+func encodeImage(buf []byte, v value.Value) ([]byte, error) {
+	im := v.(*Image)
+	buf = value.AppendU32(buf, uint32(im.W))
+	buf = value.AppendU32(buf, uint32(im.H))
+	return append(buf, im.Pix...), nil
+}
+
+func decodeImage(payload []byte) (value.Value, error) {
+	w, pos, err := value.ReadU32(payload, 0)
+	if err != nil {
+		return nil, err
+	}
+	h, pos, err := value.ReadU32(payload, pos)
+	if err != nil {
+		return nil, err
+	}
+	px := int64(w) * int64(h)
+	if px > maxImagePixels {
+		return nil, fmt.Errorf("image %dx%d exceeds pixel budget", w, h)
+	}
+	if px != int64(len(payload)-pos) {
+		return nil, fmt.Errorf("image %dx%d wants %d pixel bytes, frame has %d",
+			w, h, px, len(payload)-pos)
+	}
+	im := &Image{W: int(w), H: int(h), Pix: make([]uint8, px)}
+	copy(im.Pix, payload[pos:])
+	return im, nil
+}
+
+func encodeWindow(buf []byte, v value.Value) ([]byte, error) {
+	win := v.(Window)
+	for _, c := range [4]int{win.Origin.X0, win.Origin.Y0, win.Origin.X1, win.Origin.Y1} {
+		if c < math.MinInt32 || c > math.MaxInt32 {
+			return nil, fmt.Errorf("window origin coordinate %d out of range", c)
+		}
+		buf = value.AppendU32(buf, uint32(int32(c)))
+	}
+	if win.Img == nil {
+		return append(buf, 0), nil
+	}
+	return encodeImage(append(buf, 1), win.Img)
+}
+
+func decodeWindow(payload []byte) (value.Value, error) {
+	var coords [4]int
+	pos := 0
+	for i := range coords {
+		c, next, err := value.ReadU32(payload, pos)
+		if err != nil {
+			return nil, err
+		}
+		coords[i], pos = int(int32(c)), next
+	}
+	if pos >= len(payload) {
+		return nil, fmt.Errorf("truncated window image marker")
+	}
+	win := Window{Origin: Rect{X0: coords[0], Y0: coords[1], X1: coords[2], Y1: coords[3]}}
+	marker := payload[pos]
+	pos++
+	switch marker {
+	case 0:
+		if pos != len(payload) {
+			return nil, fmt.Errorf("trailing bytes after nil-image window")
+		}
+		return win, nil
+	case 1:
+		v, err := decodeImage(payload[pos:])
+		if err != nil {
+			return nil, err
+		}
+		win.Img = v.(*Image)
+		return win, nil
+	}
+	return nil, fmt.Errorf("invalid window image marker %#x", marker)
+}
