@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all tier1 build test vet race bench clean
+.PHONY: all tier1 build test vet race bench bench-smoke clean
 
 all: tier1
 
@@ -27,7 +27,11 @@ race:
 # envelope guard (bench_guard_test.go). See README § Performance.
 # BENCH_<pr>.json — bump the number when a PR changes the perf story.
 bench:
-	$(GO) run ./cmd/skipper-bench -json BENCH_2.json
+	$(GO) run ./cmd/skipper-bench -json BENCH_3.json
+
+# Quick transport-only snapshot (what CI's bench-smoke job runs).
+bench-smoke:
+	$(GO) run ./cmd/skipper-bench -json bench-smoke.json -filter Transport -iters 5
 
 clean:
 	$(GO) clean ./...

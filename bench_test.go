@@ -372,7 +372,7 @@ func BenchmarkE11_Topologies(b *testing.B) {
 func BenchmarkTransportFarmRoundTrip(b *testing.B) {
 	payloads := []struct {
 		name string
-		mk   func() func(i int) interface{}
+		mk   func() harness.Payload
 	}{
 		{"Scalar", harness.BenchScalarPayload},
 		{"Window512x64", harness.BenchWindowPayload},

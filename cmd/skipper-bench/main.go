@@ -14,6 +14,11 @@
 //
 //	skipper-bench [-exp all|e1|e2|...|e11] [-iters 30]
 //	skipper-bench -json BENCH_1.json [-iters 30]
+//	skipper-bench -json bench-smoke.json -filter Transport [-iters 5]
+//
+// -filter restricts a -json run to benchmarks whose name contains the
+// given substring (and skips the E1 latency table) — the quick snapshot
+// CI's bench-smoke job uploads on every push.
 package main
 
 import (
@@ -29,11 +34,12 @@ func main() {
 	exp := flag.String("exp", "all", "experiment to run: all or e1..e11 (comma-separated)")
 	iters := flag.Int("iters", 30, "stream iterations per measurement")
 	jsonPath := flag.String("json", "", "measure the benchmark suite and write machine-readable results to this file")
+	filter := flag.String("filter", "", "with -json: only run benchmarks whose name contains this substring (skips the E1 latency table)")
 	flag.Parse()
 
 	if *jsonPath != "" {
 		fmt.Printf("benchmark suite (iters=%d):\n", *iters)
-		rep, err := harness.RunBenchReport(os.Stdout, *iters)
+		rep, err := harness.RunBenchReport(os.Stdout, *iters, *filter)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "skipper-bench: %v\n", err)
 			os.Exit(1)
@@ -42,8 +48,10 @@ func main() {
 			fmt.Fprintf(os.Stderr, "skipper-bench: %v\n", err)
 			os.Exit(1)
 		}
-		fmt.Printf("E1 simulated latency: tracking %.1f ms, reinit %.1f ms\n",
-			rep.E1.TrackingMS, rep.E1.ReinitMS)
+		if rep.E1 != nil {
+			fmt.Printf("E1 simulated latency: tracking %.1f ms, reinit %.1f ms\n",
+				rep.E1.TrackingMS, rep.E1.ReinitMS)
+		}
 		fmt.Printf("wrote %s\n", *jsonPath)
 		return
 	}

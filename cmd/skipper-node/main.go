@@ -2,7 +2,11 @@
 // executive in its own OS process. It compiles the same tracking
 // deployment as the coordinator (the hub rejects the connection if the
 // schedule fingerprints differ), dials the hub, claims its processor and
-// interprets that processor's op program over the TCP transport.
+// interprets that processor's op program over the TCP transport. The hub
+// connection is control plane only (handshake, abort, detach, frames to
+// coordinator-hosted processors); once every processor has attached, the
+// hub broadcasts the cluster address map and node↔node frames travel one
+// TCP hop over the peer-to-peer data mesh (DESIGN.md §9).
 //
 // Node processes are normally spawned by `skipper-run -transport=tcp`,
 // which passes matching deployment flags; the command line mirrors the

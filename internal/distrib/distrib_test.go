@@ -134,6 +134,9 @@ func TestDistributedOSProcessesMatchInProcess(t *testing.T) {
 	if res.Messages == 0 {
 		t.Fatal("coordinator injected no messages — did the run really distribute?")
 	}
+	if res.Hops != 0 {
+		t.Fatalf("hub relayed %d frames — node↔node traffic must travel the peer mesh", res.Hops)
+	}
 }
 
 // TestNodeRejectsCoordinatorProcessor pins the processor-0 ownership rule.

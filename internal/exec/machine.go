@@ -32,6 +32,10 @@ type RunResult struct {
 	// behalf (store-and-forward router forwards on the mem backend, hub
 	// relays on the net backend; Messages <= Hops on multi-hop routes).
 	Hops int64
+	// Direct is the number of frames this machine's processors shipped
+	// point-to-point over the net backend's peer mesh (always zero on the
+	// mem backend and on the hub, whose control connections are one hop).
+	Direct int64
 }
 
 // Machine executes a static schedule: each hosted processor interprets its
@@ -159,6 +163,7 @@ func (m *Machine) RunWithTimeout(iters int, d time.Duration) (*RunResult, error)
 		Outputs:  make([]value.Value, iters),
 		Messages: stats.Messages - statsBefore.Messages,
 		Hops:     stats.Hops - statsBefore.Hops,
+		Direct:   stats.Direct - statsBefore.Direct,
 	}
 	for i := 0; i < iters; i++ {
 		res.Outputs[i] = m.outputs[i]

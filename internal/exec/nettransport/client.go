@@ -15,13 +15,32 @@ import (
 )
 
 // Client is the node-process side of the TCP backend: it hosts a subset of
-// the architecture's processors and reaches every other processor through
-// the hub. Traffic between two processors hosted by the same client never
-// touches the wire.
+// the architecture's processors, keeps a control connection to the hub
+// (handshake, abort, detach, frames to and from hub-hosted processors) and
+// exchanges data frames with other node processes directly over the peer
+// mesh once the hub has distributed the address map. Traffic between two
+// processors hosted by the same client never touches the wire.
 type Client struct {
+	fp       uint64
 	localSet map[arch.ProcID]bool
 	boxes    map[arch.ProcID]*transport.Mailbox
-	w        *wconn
+	w        *wconn       // control connection to the hub
+	ln       net.Listener // peer data listener
+
+	// peers is the cluster address map (processor → peer data listener),
+	// set exactly once when the hub's peers frame arrives. Until then
+	// remote Sends wait on meshCond: routing the first frames through the
+	// hub and later ones through the mesh would break FIFO per sender.
+	peers    atomic.Pointer[map[arch.ProcID]string]
+	meshMu   sync.Mutex
+	meshCond *sync.Cond
+	meshDown bool // aborted before/while waiting for the map
+
+	pcMu   sync.Mutex
+	pconns map[string]*wconn // dialed peer connections by address
+
+	inMu    sync.Mutex
+	inbound []net.Conn // accepted peer connections
 
 	errMu sync.Mutex
 	err   error
@@ -31,13 +50,15 @@ type Client struct {
 	readerWG  sync.WaitGroup
 
 	messages atomic.Int64
+	direct   atomic.Int64
 }
 
 var _ transport.Transport = (*Client)(nil)
 
 // Dial connects to the hub at addr, retrying until d elapses (node
-// processes may be spawned before the coordinator finishes binding), then
-// performs the handshake claiming local and starts the reader loop.
+// processes may be spawned before the coordinator finishes binding), binds
+// a peer data listener on the same interface, then performs the handshake
+// claiming local and starts the reader and acceptor loops.
 func Dial(addr string, fingerprint uint64, local []arch.ProcID, d time.Duration) (*Client, error) {
 	deadline := time.Now().Add(d)
 	var c net.Conn
@@ -55,36 +76,58 @@ func Dial(addr string, fingerprint uint64, local []arch.ProcID, d time.Duration)
 	if tc, ok := c.(*net.TCPConn); ok {
 		tc.SetNoDelay(true)
 	}
-	if err := writeHello(c, hello{fingerprint: fingerprint, procs: local}); err != nil {
+	host, _, err := net.SplitHostPort(c.LocalAddr().String())
+	if err != nil {
+		c.Close()
+		return nil, fmt.Errorf("nettransport: control address: %w", err)
+	}
+	ln, err := net.Listen("tcp", net.JoinHostPort(host, "0"))
+	if err != nil {
+		c.Close()
+		return nil, fmt.Errorf("nettransport: peer listener: %w", err)
+	}
+	if err := writeHello(c, hello{fingerprint: fingerprint, procs: local, dataAddr: ln.Addr().String()}); err != nil {
+		ln.Close()
 		c.Close()
 		return nil, fmt.Errorf("nettransport: handshake: %w", err)
 	}
-	br := bufio.NewReaderSize(c, 64<<10)
+	br := bufio.NewReaderSize(c, 8<<10)
 	if err := readHelloReply(br); err != nil {
+		ln.Close()
 		c.Close()
 		return nil, err
 	}
 	cl := &Client{
+		fp:       fingerprint,
 		localSet: map[arch.ProcID]bool{},
 		boxes:    map[arch.ProcID]*transport.Mailbox{},
-		w:        newWConn(c),
+		ln:       ln,
+		pconns:   map[string]*wconn{},
 	}
+	cl.meshCond = sync.NewCond(&cl.meshMu)
+	cl.w = newWConn(c, func(err error) {
+		if !cl.closing.Load() {
+			cl.failf("nettransport: hub connection: %v", err)
+		}
+	})
 	for _, p := range local {
 		cl.localSet[p] = true
 		cl.boxes[p] = transport.NewMailbox()
 	}
-	cl.readerWG.Add(1)
+	cl.readerWG.Add(2)
 	go cl.readLoop(br)
+	go cl.acceptLoop()
 	return cl, nil
 }
 
-// readLoop delivers hub frames to local mailboxes until EOF. EOF means the
+// readLoop handles control-plane frames from the hub: the peers map,
+// cluster aborts and payloads for processors hosted here. EOF means the
 // coordinator tore the deployment down: incoming traffic is over, so the
 // mailboxes close (draining anything already delivered first).
 func (cl *Client) readLoop(br *bufio.Reader) {
 	defer cl.readerWG.Done()
 	for {
-		_, dst, key, payload, err := readFrame(br)
+		fb, dst, key, payload, err := readFrame(br)
 		if err != nil {
 			if err != io.EOF && !cl.closing.Load() {
 				cl.failf("nettransport: reading from hub: %v", err)
@@ -93,23 +136,46 @@ func (cl *Client) readLoop(br *bufio.Reader) {
 			cl.Abort()
 			return
 		}
-		if dst == abortDst {
+		switch dst {
+		case abortDst:
+			putBuf(fb)
 			cl.Abort()
 			return
+		case peersDst:
+			m, perr := parsePeers(payload)
+			putBuf(fb)
+			if perr != nil {
+				cl.failf("nettransport: %v", perr)
+				return
+			}
+			cl.meshMu.Lock()
+			cl.peers.Store(&m)
+			cl.meshMu.Unlock()
+			cl.meshCond.Broadcast()
+			continue
 		}
-		p := arch.ProcID(dst)
-		box, ok := cl.boxes[p]
+		ok := cl.deliver(arch.ProcID(dst), key, payload)
+		putBuf(fb)
 		if !ok {
-			cl.failf("nettransport: hub sent frame for processor %d, not hosted here", p)
 			return
 		}
-		v, err := value.Decode(payload)
-		if err != nil {
-			cl.failf("nettransport: decoding frame for processor %d key %v: %v", p, key, err)
-			return
-		}
-		box.Deliver(key, v)
 	}
+}
+
+// deliver decodes a frame payload into a local processor's mailbox.
+func (cl *Client) deliver(p arch.ProcID, key transport.Key, payload []byte) bool {
+	box, ok := cl.boxes[p]
+	if !ok {
+		cl.failf("nettransport: received frame for processor %d, not hosted here", p)
+		return false
+	}
+	v, err := value.Decode(payload)
+	if err != nil {
+		cl.failf("nettransport: decoding frame for processor %d key %v: %v", p, key, err)
+		return false
+	}
+	box.Deliver(key, v)
+	return true
 }
 
 func (cl *Client) failf(format string, args ...any) {
@@ -121,20 +187,51 @@ func (cl *Client) failf(format string, args ...any) {
 	cl.Abort()
 }
 
+// peersMap returns the cluster address map, waiting for the hub to
+// broadcast it if necessary. nil means the transport aborted first.
+func (cl *Client) peersMap() map[arch.ProcID]string {
+	if m := cl.peers.Load(); m != nil {
+		return *m
+	}
+	cl.meshMu.Lock()
+	defer cl.meshMu.Unlock()
+	for cl.peers.Load() == nil && !cl.meshDown {
+		cl.meshCond.Wait()
+	}
+	if m := cl.peers.Load(); m != nil {
+		return *m
+	}
+	return nil
+}
+
 // Send injects a message from a client-local processor. Destinations on
-// this client skip the codec; everything else goes through the hub.
+// this client skip the codec; other node processes are reached directly
+// over the peer mesh; hub-hosted processors ride the control connection.
 func (cl *Client) Send(src, dst arch.ProcID, key transport.Key, payload value.Value) {
 	cl.messages.Add(1)
 	if cl.localSet[dst] {
 		cl.boxes[dst].Deliver(key, payload)
 		return
 	}
-	frame, err := encodeMessage(dst, key, payload)
+	peers := cl.peersMap()
+	if peers == nil {
+		return // aborted while waiting for the address map; mailboxes are closed
+	}
+	f, err := encodeMessage(dst, key, payload)
 	if err != nil {
 		cl.failf("nettransport: encoding %v for processor %d: %v", key, dst, err)
 		return
 	}
-	if err := cl.w.writeFrame(frame); err != nil {
+	w := cl.w
+	if addr, ok := peers[dst]; ok {
+		if w, err = cl.peerConn(addr); err != nil {
+			putBuf(f.head)
+			cl.failf("nettransport: dialing peer %s for processor %d: %v", addr, dst, err)
+			return
+		}
+		cl.direct.Add(1)
+	}
+	if err := w.send(f); err != nil && !cl.closing.Load() {
 		cl.failf("nettransport: sending to processor %d: %v", dst, err)
 	}
 }
@@ -149,29 +246,56 @@ func (cl *Client) Receiver(p arch.ProcID, key transport.Key) transport.Receiver 
 	return cl.boxes[p].Slot(key)
 }
 
-// Abort notifies the hub (which re-broadcasts to every other node) and
-// unblocks all local mailboxes.
+// Abort notifies the hub (which re-broadcasts to every other node), wakes
+// any Send waiting for the peers map and unblocks all local mailboxes.
 func (cl *Client) Abort() {
 	cl.abortOnce.Do(func() {
-		cl.w.writeFrame(abortFrame()) // best effort
+		cl.meshMu.Lock()
+		cl.meshDown = true
+		cl.meshMu.Unlock()
+		cl.meshCond.Broadcast()
+		cl.w.send(controlFrame(abortDst, nil)) // best effort
 		for _, b := range cl.boxes {
 			b.Close()
 		}
 	})
 }
 
-// Close detaches from the hub: the connection closes cleanly (the hub sees
-// EOF after draining our frames) and the reader exits.
+// Close detaches from the cluster: peer connections flush and close, a
+// detach frame tells the hub this is a clean shutdown (EOF without one is
+// treated as a died node), the control connection flushes and closes, and
+// the peer listener and its accepted connections are torn down.
 func (cl *Client) Close() error {
 	cl.closing.Store(true)
-	err := cl.w.c.Close()
+	cl.pcMu.Lock()
+	pcs := make([]*wconn, 0, len(cl.pconns))
+	for _, w := range cl.pconns {
+		pcs = append(pcs, w)
+	}
+	cl.pcMu.Unlock()
+	for _, w := range pcs {
+		w.flushClose()
+	}
+	cl.w.send(controlFrame(detachDst, nil))
+	cl.w.flushClose()
+	cl.ln.Close()
+	cl.inMu.Lock()
+	in := append([]net.Conn(nil), cl.inbound...)
+	cl.inMu.Unlock()
+	for _, c := range in {
+		c.Close()
+	}
 	cl.readerWG.Wait()
 	cl.abortOnce.Do(func() {
+		cl.meshMu.Lock()
+		cl.meshDown = true
+		cl.meshMu.Unlock()
+		cl.meshCond.Broadcast()
 		for _, b := range cl.boxes {
 			b.Close()
 		}
 	})
-	return err
+	return nil
 }
 
 // Err reports the first client-side failure, or nil.
@@ -181,8 +305,9 @@ func (cl *Client) Err() error {
 	return cl.err
 }
 
-// Stats reports messages injected by client-local processors. Relay hops
-// are counted at the hub.
+// Stats reports messages injected by client-local processors and how many
+// frames went point to point over the peer mesh. Relay hops are counted at
+// the hub.
 func (cl *Client) Stats() transport.Stats {
-	return transport.Stats{Messages: cl.messages.Load()}
+	return transport.Stats{Messages: cl.messages.Load(), Direct: cl.direct.Load()}
 }

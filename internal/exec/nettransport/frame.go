@@ -1,14 +1,25 @@
 // Package nettransport is the multi-process communication backend of the
 // executive: each OS process hosts a subset of the architecture's
 // processors and exchanges length-prefixed binary frames over TCP. The
-// topology is a hub: the coordinator process listens and routes, node
-// processes dial in, identify their processors in a handshake, and every
-// inter-process frame takes at most two TCP legs (sender → hub → owner).
-// Frames addressed to processors that have not attached yet are buffered
-// at the hub, so no start-order barrier is needed; readers always drain
-// into unbounded mailboxes, so the network never backpressures into a
-// routing deadlock (the same argument that makes the paper's
-// store-and-forward executive deadlock-free).
+// topology splits into two planes (DESIGN.md §9):
+//
+//   - control plane: the coordinator process runs a Hub that listens,
+//     validates handshakes (schedule fingerprint, processor claims),
+//     buffers frames for processors that have not attached yet, brokers
+//     the peer address map and broadcasts cluster-wide aborts;
+//   - data plane: once every processor is attached the hub distributes
+//     the address map of every node's peer listener and node↔node frames
+//     travel one TCP hop, point to point, never through the hub. Frames
+//     to and from hub-hosted processors ride the control connection,
+//     which is already a single hop.
+//
+// Readers always drain into unbounded mailboxes, so the network never
+// backpressures into a routing deadlock (the same argument that makes the
+// paper's store-and-forward executive deadlock-free). The hot path is
+// allocation-free: frame buffers come from a shared sync.Pool arena,
+// payload encoding is presized via value.EncodeSize, raw pixel slabs are
+// shipped by reference through vectored writes (value.EncodeTrailing), and
+// each connection coalesces queued frames into a single writev.
 package nettransport
 
 import (
@@ -18,6 +29,7 @@ import (
 	"io"
 	"net"
 	"sync"
+	"time"
 
 	"skipper/internal/arch"
 	"skipper/internal/exec/transport"
@@ -29,48 +41,134 @@ const (
 	// magic opens every handshake: "SKiP".
 	magic = 0x534b6950
 	// wireVersion is bumped on any incompatible frame-format change.
-	wireVersion = 1
+	// Version 2: peer-to-peer data plane (hello carries a data-listener
+	// address, peers/detach control frames).
+	wireVersion = 2
 	// abortDst is a control frame that propagates Abort across processes.
 	abortDst = 0xffffffff
+	// peersDst is a hub→node control frame carrying the address map of
+	// every node's peer data listener.
+	peersDst = 0xfffffffe
+	// detachDst is a node→hub control frame announcing a clean shutdown.
+	// A connection that hits EOF without a preceding detach is a node
+	// death, and the hub aborts the cluster.
+	detachDst = 0xfffffffd
 	// maxFrame bounds a declared frame length before allocation: a corrupt
 	// or hostile peer cannot make us allocate more than this per frame.
 	maxFrame = 256 << 20
 	// frameHeader is dst + key (kind, edge, farm, widx) in bytes.
 	frameHeader = 4 + 1 + 4 + 4 + 4
+	// maxPooled caps the buffers the frame arena retains: anything larger
+	// (a degenerate giant frame) is left for the GC rather than pinned.
+	maxPooled = 4 << 20
+	// flushTimeout bounds how long a teardown waits for a connection's
+	// queued frames to drain before closing it anyway.
+	flushTimeout = 5 * time.Second
 )
 
-// appendFrame serializes one message frame: u32 length of the rest, u32
-// dst, the key (u8 kind + 3×u32), then the codec payload.
-func appendFrame(buf []byte, dst uint32, key transport.Key, payload []byte) []byte {
-	buf = binary.BigEndian.AppendUint32(buf, uint32(frameHeader+len(payload)))
+// frameBuf is one arena buffer. The pool stores *frameBuf rather than
+// []byte so Put never heap-allocates a slice header.
+type frameBuf struct{ b []byte }
+
+var framePool = sync.Pool{New: func() any { return new(frameBuf) }}
+
+// getBuf returns an arena buffer with zero length and at least n capacity.
+func getBuf(n int) *frameBuf {
+	fb := framePool.Get().(*frameBuf)
+	if cap(fb.b) < n {
+		fb.b = make([]byte, 0, n)
+	}
+	fb.b = fb.b[:0]
+	return fb
+}
+
+// putBuf recycles an arena buffer. nil and oversized buffers are dropped.
+func putBuf(fb *frameBuf) {
+	if fb == nil || cap(fb.b) > maxPooled {
+		return
+	}
+	framePool.Put(fb)
+}
+
+// outFrame is one frame queued for writing: head holds the length prefix,
+// routing header and leading payload bytes (owned by the arena, returned
+// after the write); tail optionally references a trailing raw slab — a
+// pixel plane borrowed from the payload value — that is shipped by a
+// vectored write without ever being copied.
+type outFrame struct {
+	head *frameBuf
+	tail []byte
+}
+
+// capture folds the borrowed tail into the owned head buffer. Called
+// before a frame is parked in a queue or backlog, so the transport never
+// holds a reference into caller memory past Send: a sender may recycle a
+// payload's buffers as soon as Send returns. The head was presized for the
+// full frame (value.EncodeSize), so this append does not allocate.
+func (f *outFrame) capture() {
+	if len(f.tail) > 0 {
+		f.head.b = append(f.head.b, f.tail...)
+		f.tail = nil
+	}
+}
+
+var zeroKey [frameHeader - 4]byte
+
+// appendHeader appends the routing header (dst + key) to buf. The 4-byte
+// length prefix must already be reserved by the caller.
+func appendHeader(buf []byte, dst uint32, key transport.Key) []byte {
 	buf = binary.BigEndian.AppendUint32(buf, dst)
 	buf = append(buf, key.Kind)
 	buf = binary.BigEndian.AppendUint32(buf, uint32(int32(key.Edge)))
 	buf = binary.BigEndian.AppendUint32(buf, uint32(int32(key.Farm)))
-	buf = binary.BigEndian.AppendUint32(buf, uint32(int32(key.Widx)))
-	return append(buf, payload...)
+	return binary.BigEndian.AppendUint32(buf, uint32(int32(key.Widx)))
 }
 
-// encodeMessage builds a full frame for (dst, key, v), running v through
-// the value codec.
-func encodeMessage(dst arch.ProcID, key transport.Key, v value.Value) ([]byte, error) {
-	payload, err := value.Encode(nil, v)
-	if err != nil {
-		return nil, err
+// encodeMessage builds the frame for (dst, key, v): an arena head buffer
+// presized from value.EncodeSize plus, for payloads with a raw-slab fast
+// path, a borrowed tail. In the steady state (reused arena buffer, sized
+// codec) this performs zero heap allocations.
+func encodeMessage(dst arch.ProcID, key transport.Key, v value.Value) (outFrame, error) {
+	hint := 4 + frameHeader + 64
+	if n := value.EncodeSize(v); n >= 0 {
+		hint = 4 + frameHeader + n
 	}
-	return appendFrame(make([]byte, 0, 4+frameHeader+len(payload)), uint32(dst), key, payload), nil
+	fb := getBuf(hint)
+	buf := append(fb.b, 0, 0, 0, 0) // length prefix, backpatched below
+	buf = appendHeader(buf, uint32(dst), key)
+	head, tail, err := value.EncodeTrailing(buf, v)
+	if err != nil {
+		fb.b = buf
+		putBuf(fb)
+		return outFrame{}, err
+	}
+	n := len(head) - 4 + len(tail)
+	if n > maxFrame {
+		fb.b = head
+		putBuf(fb)
+		return outFrame{}, fmt.Errorf("nettransport: frame length %d exceeds limit", n)
+	}
+	binary.BigEndian.PutUint32(head, uint32(n))
+	fb.b = head
+	return outFrame{head: fb, tail: tail}, nil
 }
 
-// abortFrame is the serialized cluster-wide abort control frame.
-func abortFrame() []byte {
-	return appendFrame(nil, abortDst, transport.Key{}, nil)
+// controlFrame builds a zero-key control frame (abort, detach, peers map).
+func controlFrame(dst uint32, payload []byte) outFrame {
+	fb := getBuf(4 + frameHeader + len(payload))
+	buf := binary.BigEndian.AppendUint32(fb.b, uint32(frameHeader+len(payload)))
+	buf = binary.BigEndian.AppendUint32(buf, dst)
+	buf = append(buf, zeroKey[:]...)
+	fb.b = append(buf, payload...)
+	return outFrame{head: fb}
 }
 
-// readFrame reads one length-prefixed frame and splits it into the raw
-// frame bytes (length prefix included, for cheap re-forwarding), the
-// destination, the key and the payload slice. io.EOF is returned verbatim
-// on a clean close between frames.
-func readFrame(br *bufio.Reader) (raw []byte, dst uint32, key transport.Key, payload []byte, err error) {
+// readFrame reads one length-prefixed frame into an arena buffer and splits
+// it into the buffer (length prefix included, for cheap re-forwarding), the
+// destination, the key and the payload slice. Ownership of fb passes to the
+// caller: putBuf it once the payload is decoded, or hand it to a wconn for
+// relaying. io.EOF is returned verbatim on a clean close between frames.
+func readFrame(br *bufio.Reader) (fb *frameBuf, dst uint32, key transport.Key, payload []byte, err error) {
 	var lenBuf [4]byte
 	if _, err = io.ReadFull(br, lenBuf[:]); err != nil {
 		if err == io.ErrUnexpectedEOF {
@@ -83,12 +181,16 @@ func readFrame(br *bufio.Reader) (raw []byte, dst uint32, key transport.Key, pay
 		err = fmt.Errorf("nettransport: frame length %d out of range", n)
 		return
 	}
-	raw = make([]byte, 4+n)
+	fb = getBuf(4 + int(n))
+	raw := fb.b[:4+n]
 	copy(raw, lenBuf[:])
 	if _, err = io.ReadFull(br, raw[4:]); err != nil {
+		putBuf(fb)
+		fb = nil
 		err = fmt.Errorf("nettransport: truncated frame body: %w", err)
 		return
 	}
+	fb.b = raw
 	dst = binary.BigEndian.Uint32(raw[4:])
 	key = transport.Key{
 		Kind: raw[8],
@@ -100,23 +202,157 @@ func readFrame(br *bufio.Reader) (raw []byte, dst uint32, key transport.Key, pay
 	return
 }
 
-// wconn serializes frame writes on one connection: a mutex over a buffered
-// writer, flushed per frame so a frame is never half-visible to the peer.
+// wconn owns all writes on one connection. Senders enqueue frames and never
+// block on the socket; a dedicated writer drains the whole queue into a
+// single vectored write (net.Buffers → writev), so bursts of frames —
+// a master scattering tasks, a backlog flush — coalesce into one syscall
+// and raw payload tails are written straight from the payload value's
+// memory. Head buffers return to the arena after the write.
 type wconn struct {
-	mu sync.Mutex
-	c  net.Conn
-	bw *bufio.Writer
+	c     net.Conn
+	onErr func(error) // invoked once, from the writer, on a write failure
+
+	mu      sync.Mutex
+	cond    *sync.Cond
+	queue   []outFrame
+	writing bool  // a write (inline or batch) is on the wire
+	closed  bool  // flushClose called: drain queue, then exit
+	err     error // first write error; queued and future frames are dropped
+
+	done chan struct{} // writer exited
 }
 
-func newWConn(c net.Conn) *wconn {
-	return &wconn{c: c, bw: bufio.NewWriterSize(c, 64<<10)}
+func newWConn(c net.Conn, onErr func(error)) *wconn {
+	w := &wconn{c: c, onErr: onErr, done: make(chan struct{})}
+	w.cond = sync.NewCond(&w.mu)
+	go w.writeLoop()
+	return w
 }
 
-func (w *wconn) writeFrame(frame []byte) error {
+// send ships one frame. When the connection is idle (nothing queued, no
+// write in flight) the frame goes straight to the socket from the calling
+// goroutine — the latency fast path, saving a writer wakeup per frame.
+// Otherwise it is enqueued and the writer coalesces the backlog into one
+// vectored write once the wire frees up. After a write error or flushClose
+// the frame is dropped and its head returned to the arena (the connection
+// is dead or detaching; frame loss past that point is equivalent to loss
+// in flight).
+func (w *wconn) send(f outFrame) error {
 	w.mu.Lock()
-	defer w.mu.Unlock()
-	if _, err := w.bw.Write(frame); err != nil {
+	if w.err != nil || w.closed {
+		err := w.err
+		w.mu.Unlock()
+		putBuf(f.head)
+		if err == nil {
+			err = net.ErrClosed
+		}
 		return err
 	}
-	return w.bw.Flush()
+	if !w.writing && len(w.queue) == 0 {
+		w.writing = true
+		w.mu.Unlock()
+		var err error
+		if len(f.tail) > 0 {
+			bufs := net.Buffers{f.head.b, f.tail}
+			_, err = bufs.WriteTo(w.c)
+		} else {
+			_, err = w.c.Write(f.head.b)
+		}
+		putBuf(f.head)
+		w.mu.Lock()
+		w.writing = false
+		w.mu.Unlock()
+		w.cond.Signal() // backlog may have built up, or flushClose may be waiting
+		if err != nil {
+			w.fail(err)
+		}
+		return err
+	}
+	f.capture()
+	w.queue = append(w.queue, f)
+	w.mu.Unlock()
+	w.cond.Signal()
+	return nil
+}
+
+func (w *wconn) writeLoop() {
+	defer close(w.done)
+	var batch []outFrame
+	var bufs net.Buffers
+	for {
+		w.mu.Lock()
+		// Proceed when a batch is writable (frames queued, wire free) or it
+		// is time to exit (failed, or closed with everything drained).
+		for {
+			canWrite := len(w.queue) > 0 && !w.writing
+			exit := w.err != nil || (w.closed && len(w.queue) == 0 && !w.writing)
+			if canWrite || exit {
+				break
+			}
+			w.cond.Wait()
+		}
+		if w.err != nil || (w.closed && len(w.queue) == 0 && !w.writing) {
+			w.mu.Unlock()
+			return
+		}
+		batch, w.queue = w.queue, batch[:0]
+		w.writing = true
+		w.mu.Unlock()
+
+		bufs = bufs[:0]
+		for _, f := range batch {
+			bufs = append(bufs, f.head.b)
+			if len(f.tail) > 0 {
+				bufs = append(bufs, f.tail)
+			}
+		}
+		wb := bufs // WriteTo advances its receiver; keep bufs for reuse
+		_, err := wb.WriteTo(w.c)
+		for i, f := range batch {
+			putBuf(f.head)
+			batch[i] = outFrame{}
+		}
+		w.mu.Lock()
+		w.writing = false
+		w.mu.Unlock()
+		if err != nil {
+			w.fail(err)
+			return
+		}
+	}
+}
+
+// fail records the first write error, drops the queue and notifies onErr
+// (once: a concurrent inline and batch write can both error).
+func (w *wconn) fail(err error) {
+	w.mu.Lock()
+	first := w.err == nil
+	if first {
+		w.err = err
+	}
+	dropped := w.queue
+	w.queue = nil
+	w.mu.Unlock()
+	w.cond.Broadcast()
+	for _, f := range dropped {
+		putBuf(f.head)
+	}
+	if first && w.onErr != nil {
+		w.onErr(err)
+	}
+}
+
+// flushClose drains the queue (bounded by flushTimeout via a write
+// deadline), stops the writer and closes the connection. Idempotent.
+func (w *wconn) flushClose() {
+	w.mu.Lock()
+	w.closed = true
+	w.mu.Unlock()
+	w.cond.Broadcast()
+	w.c.SetWriteDeadline(time.Now().Add(flushTimeout))
+	select {
+	case <-w.done:
+	case <-time.After(flushTimeout):
+	}
+	w.c.Close()
 }

@@ -10,14 +10,17 @@ import (
 	"skipper/internal/arch"
 )
 
-// hello is the client side of the connection handshake: it identifies the
-// schedule the process was compiled against (fingerprint) and the
-// processors the process hosts. The hub rejects mismatched fingerprints —
+// hello is the client side of the control-connection handshake: it
+// identifies the schedule the process was compiled against (fingerprint),
+// the processors the process hosts, and the address of the process's peer
+// data listener, which the hub folds into the cluster address map once
+// every processor is attached. The hub rejects mismatched fingerprints —
 // two processes running different deployments of "the same" program would
 // otherwise exchange frames that decode into the wrong graph edges.
 type hello struct {
 	fingerprint uint64
 	procs       []arch.ProcID
+	dataAddr    string
 }
 
 func writeHello(c net.Conn, h hello) error {
@@ -28,6 +31,11 @@ func writeHello(c net.Conn, h hello) error {
 	for _, p := range h.procs {
 		buf = binary.BigEndian.AppendUint32(buf, uint32(p))
 	}
+	if len(h.dataAddr) > 0xffff {
+		return fmt.Errorf("nettransport: data address %q too long", h.dataAddr)
+	}
+	buf = binary.BigEndian.AppendUint16(buf, uint16(len(h.dataAddr)))
+	buf = append(buf, h.dataAddr...)
 	_, err := c.Write(buf)
 	return err
 }
@@ -54,6 +62,15 @@ func readHello(br *bufio.Reader) (hello, error) {
 		}
 		h.procs[i] = arch.ProcID(binary.BigEndian.Uint32(pb[:]))
 	}
+	var lb [2]byte
+	if _, err := io.ReadFull(br, lb[:]); err != nil {
+		return h, fmt.Errorf("nettransport: truncated handshake data address: %w", err)
+	}
+	addr := make([]byte, binary.BigEndian.Uint16(lb[:]))
+	if _, err := io.ReadFull(br, addr); err != nil {
+		return h, fmt.Errorf("nettransport: truncated handshake data address: %w", err)
+	}
+	h.dataAddr = string(addr)
 	return h, nil
 }
 
@@ -87,4 +104,73 @@ func readHelloReply(br *bufio.Reader) error {
 		return fmt.Errorf("nettransport: handshake rejected (reason lost: %v)", err)
 	}
 	return fmt.Errorf("nettransport: handshake rejected: %s", msg)
+}
+
+// writePeerHello opens a data-plane connection between two nodes. Peer
+// connections carry no reply: the fingerprint was already validated when
+// both ends attached to the hub, so the receiving node just drops
+// connections whose preamble does not match.
+func writePeerHello(c net.Conn, fingerprint uint64) error {
+	buf := binary.BigEndian.AppendUint32(nil, magic)
+	buf = binary.BigEndian.AppendUint16(buf, wireVersion)
+	buf = binary.BigEndian.AppendUint64(buf, fingerprint)
+	_, err := c.Write(buf)
+	return err
+}
+
+func readPeerHello(br *bufio.Reader, fingerprint uint64) error {
+	var head [14]byte
+	if _, err := io.ReadFull(br, head[:]); err != nil {
+		return fmt.Errorf("nettransport: truncated peer handshake: %w", err)
+	}
+	if m := binary.BigEndian.Uint32(head[0:]); m != magic {
+		return fmt.Errorf("nettransport: bad peer handshake magic %#x", m)
+	}
+	if v := binary.BigEndian.Uint16(head[4:]); v != wireVersion {
+		return fmt.Errorf("nettransport: peer wire version %d, want %d", v, wireVersion)
+	}
+	if fp := binary.BigEndian.Uint64(head[6:]); fp != fingerprint {
+		return fmt.Errorf("nettransport: peer fingerprint %#x, want %#x", fp, fingerprint)
+	}
+	return nil
+}
+
+// encodePeers serializes the cluster address map carried by a peersDst
+// control frame: {u32 processor, u16 len, addr} per attached processor.
+// Hub-hosted processors are absent — they are reached over the control
+// connection, which is already a single hop.
+func encodePeers(m map[arch.ProcID]string) []byte {
+	buf := binary.BigEndian.AppendUint16(nil, uint16(len(m)))
+	for p, addr := range m {
+		buf = binary.BigEndian.AppendUint32(buf, uint32(p))
+		buf = binary.BigEndian.AppendUint16(buf, uint16(len(addr)))
+		buf = append(buf, addr...)
+	}
+	return buf
+}
+
+func parsePeers(payload []byte) (map[arch.ProcID]string, error) {
+	if len(payload) < 2 {
+		return nil, fmt.Errorf("nettransport: truncated peers map")
+	}
+	count := int(binary.BigEndian.Uint16(payload))
+	pos := 2
+	m := make(map[arch.ProcID]string, count)
+	for i := 0; i < count; i++ {
+		if len(payload)-pos < 6 {
+			return nil, fmt.Errorf("nettransport: truncated peers map entry")
+		}
+		p := arch.ProcID(binary.BigEndian.Uint32(payload[pos:]))
+		n := int(binary.BigEndian.Uint16(payload[pos+4:]))
+		pos += 6
+		if len(payload)-pos < n {
+			return nil, fmt.Errorf("nettransport: truncated peers map address")
+		}
+		m[p] = string(payload[pos : pos+n])
+		pos += n
+	}
+	if pos != len(payload) {
+		return nil, fmt.Errorf("nettransport: %d trailing bytes in peers map", len(payload)-pos)
+	}
+	return m, nil
 }

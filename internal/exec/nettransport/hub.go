@@ -14,13 +14,22 @@ import (
 	"skipper/internal/value"
 )
 
-// Hub is the coordinator side of the TCP backend: it listens for node
-// processes, validates their handshakes, routes frames between them and is
-// itself a transport.Transport for the processors hosted in the
-// coordinator process (typically processor 0, which usually holds the
-// input/output nodes). Frames for processors that have not attached yet
-// are buffered, so clients and the coordinator's machine may start in any
-// order.
+// maxPending bounds the hub's per-processor backlog of frames buffered for
+// a processor that has not attached yet. A deployment where a node never
+// starts would otherwise accumulate frames without limit; hitting the cap
+// fails the cluster instead.
+const maxPending = 1024
+
+// Hub is the coordinator side of the TCP backend and the control plane of
+// the cluster: it listens for node processes, validates their handshakes,
+// buffers frames for processors that have not attached yet, and — once
+// every processor is attached — broadcasts the peer address map that turns
+// the data plane into a full point-to-point mesh. It is itself a
+// transport.Transport for the processors hosted in the coordinator process
+// (typically processor 0, which usually holds the input/output nodes);
+// traffic to and from those rides the control connections, which are
+// already a single hop. Client↔client frames only cross the hub before the
+// mesh is up (and are counted as relay hops).
 type Hub struct {
 	a  *arch.Arch
 	fp uint64
@@ -29,17 +38,19 @@ type Hub struct {
 	localSet map[arch.ProcID]bool
 	boxes    map[arch.ProcID]*transport.Mailbox
 
-	mu      sync.Mutex
-	remote  map[arch.ProcID]*wconn // attached remote processors
-	pending map[arch.ProcID][][]byte
-	conns   []*wconn
-	ready   chan struct{} // closed when every non-local processor is attached
-	closed  bool
+	mu       sync.Mutex
+	remote   map[arch.ProcID]*wconn // attached remote processors
+	dataAddr map[arch.ProcID]string // their peer data listeners
+	pending  map[arch.ProcID][]outFrame
+	conns    []*wconn
+	ready    chan struct{} // closed when every non-local processor is attached
+	closed   bool
 
 	errMu sync.Mutex
 	err   error
 
 	closing   atomic.Bool
+	aborted   atomic.Bool
 	abortOnce sync.Once
 	wg        sync.WaitGroup
 
@@ -65,7 +76,8 @@ func NewHub(addr string, a *arch.Arch, fingerprint uint64, local []arch.ProcID) 
 		localSet: map[arch.ProcID]bool{},
 		boxes:    map[arch.ProcID]*transport.Mailbox{},
 		remote:   map[arch.ProcID]*wconn{},
-		pending:  map[arch.ProcID][][]byte{},
+		dataAddr: map[arch.ProcID]string{},
+		pending:  map[arch.ProcID][]outFrame{},
 		ready:    make(chan struct{}),
 	}
 	for _, p := range local {
@@ -110,13 +122,16 @@ func (h *Hub) acceptLoop() {
 }
 
 // serveConn validates one client handshake, attaches its processors and
-// runs its reader loop.
+// runs its reader loop. The handshake ack is written before the connection
+// gets a writer, so no queued frame can ever precede it on the wire; the
+// backlog flush is queued while the registration lock is held, so a
+// concurrent Send cannot order ahead of frames buffered before attach.
 func (h *Hub) serveConn(c net.Conn) {
 	defer h.wg.Done()
 	if tc, ok := c.(*net.TCPConn); ok {
 		tc.SetNoDelay(true)
 	}
-	br := bufio.NewReaderSize(c, 64<<10)
+	br := bufio.NewReaderSize(c, 8<<10)
 	hel, err := readHello(br)
 	if err != nil {
 		writeHelloReply(c, err.Error())
@@ -128,34 +143,43 @@ func (h *Hub) serveConn(c net.Conn) {
 		c.Close()
 		return
 	}
-	w := newWConn(c)
+	if err := writeHelloReply(c, ""); err != nil {
+		c.Close()
+		h.failf("nettransport: handshake ack to %v: %v", hel.procs, err)
+		return
+	}
+	w := newWConn(c, func(err error) {
+		if !h.closing.Load() && !h.aborted.Load() {
+			h.failf("nettransport: writing to node %v: %v", hel.procs, err)
+		}
+	})
 	h.mu.Lock()
 	if h.closed {
 		h.mu.Unlock()
-		c.Close()
+		w.flushClose()
 		return
 	}
-	var backlog [][]byte
 	for _, p := range hel.procs {
 		h.remote[p] = w
-		backlog = append(backlog, h.pending[p]...)
+		h.dataAddr[p] = hel.dataAddr
+		for _, f := range h.pending[p] {
+			w.send(f)
+		}
 		delete(h.pending, p)
 	}
 	h.conns = append(h.conns, w)
 	allAttached := len(h.remote)+len(h.localSet) == h.a.N
-	h.mu.Unlock()
-	if err := writeHelloReply(c, ""); err != nil {
-		h.failf("nettransport: handshake ack to %v: %v", hel.procs, err)
-		return
-	}
-	// Drain frames buffered while the processors were unattached.
-	for _, f := range backlog {
-		if err := w.writeFrame(f); err != nil {
-			h.failf("nettransport: backlog flush to %v: %v", hel.procs, err)
-			return
-		}
-	}
+	var peersFrame []byte
+	var conns []*wconn
 	if allAttached {
+		peersFrame = encodePeers(h.dataAddr)
+		conns = append(conns, h.conns...)
+	}
+	h.mu.Unlock()
+	if allAttached {
+		for _, pw := range conns {
+			pw.send(controlFrame(peersDst, peersFrame))
+		}
 		close(h.ready)
 	}
 	h.readLoop(br, hel.procs)
@@ -169,6 +193,9 @@ func (h *Hub) validateHello(hel hello) string {
 	}
 	if len(hel.procs) == 0 {
 		return "no processors claimed"
+	}
+	if hel.dataAddr == "" {
+		return "no peer data listener address"
 	}
 	h.mu.Lock()
 	defer h.mu.Unlock()
@@ -186,48 +213,74 @@ func (h *Hub) validateHello(hel hello) string {
 	return ""
 }
 
-// readLoop routes one client's incoming frames until EOF (clean detach) or
-// a frame error (abort).
+// readLoop routes one client's incoming frames. A connection that reaches
+// EOF without announcing a detach is a died node process, and the whole
+// cluster aborts — over the peer mesh the hub no longer sees data frames
+// stop flowing, so process death must be detected on the control plane.
 func (h *Hub) readLoop(br *bufio.Reader, procs []arch.ProcID) {
+	detached := false
 	for {
-		raw, dst, key, payload, err := readFrame(br)
+		fb, dst, key, payload, err := readFrame(br)
 		if err != nil {
-			if err == io.EOF || h.closing.Load() {
-				return // client process finished and closed, or hub teardown
+			if h.closing.Load() || h.aborted.Load() || (err == io.EOF && detached) {
+				return
+			}
+			if err == io.EOF {
+				h.failf("nettransport: node %v closed its connection without detaching (process died?)", procs)
+				return
 			}
 			h.failf("nettransport: reading from node %v: %v", procs, err)
 			return
 		}
-		if dst == abortDst {
+		switch dst {
+		case abortDst:
+			putBuf(fb)
 			h.Abort()
+			return
+		case detachDst:
+			putBuf(fb)
+			detached = true
+			continue
+		case peersDst:
+			putBuf(fb)
+			h.failf("nettransport: node %v sent a peers frame", procs)
 			return
 		}
 		p := arch.ProcID(dst)
 		if h.localSet[p] {
 			h.deliverLocal(p, key, payload)
+			putBuf(fb)
 			continue
 		}
 		h.hops.Add(1)
-		h.routeRemote(p, raw, procs)
+		h.routeRemote(p, outFrame{head: fb}, procs)
 	}
 }
 
-// routeRemote forwards a raw frame to dst's connection, or buffers it if
-// dst has not attached yet.
-func (h *Hub) routeRemote(p arch.ProcID, raw []byte, from []arch.ProcID) {
+// routeRemote forwards a frame to dst's control connection, or buffers it
+// (up to maxPending frames) if dst has not attached yet.
+func (h *Hub) routeRemote(p arch.ProcID, f outFrame, from []arch.ProcID) {
 	if int(p) < 0 || int(p) >= h.a.N {
+		putBuf(f.head)
 		h.failf("nettransport: frame from node %v for unknown processor %d", from, p)
 		return
 	}
 	h.mu.Lock()
 	w, ok := h.remote[p]
 	if !ok {
-		h.pending[p] = append(h.pending[p], raw)
+		if len(h.pending[p]) >= maxPending {
+			h.mu.Unlock()
+			putBuf(f.head)
+			h.failf("nettransport: backlog for unattached processor %d exceeds %d frames", p, maxPending)
+			return
+		}
+		f.capture() // buffered frames must not borrow sender memory
+		h.pending[p] = append(h.pending[p], f)
 		h.mu.Unlock()
 		return
 	}
 	h.mu.Unlock()
-	if err := w.writeFrame(raw); err != nil {
+	if err := w.send(f); err != nil && !h.closing.Load() && !h.aborted.Load() {
 		h.failf("nettransport: forwarding to processor %d: %v", p, err)
 	}
 }
@@ -254,19 +307,20 @@ func (h *Hub) failf(format string, args ...any) {
 
 // Send injects a message from a hub-local processor. Local destinations
 // skip the codec entirely (the payload is passed by reference, exactly as
-// the mem backend does); remote ones are flattened and shipped.
+// the mem backend does); remote ones are flattened and shipped over the
+// destination's control connection.
 func (h *Hub) Send(src, dst arch.ProcID, key transport.Key, payload value.Value) {
 	h.messages.Add(1)
 	if h.localSet[dst] {
 		h.boxes[dst].Deliver(key, payload)
 		return
 	}
-	frame, err := encodeMessage(dst, key, payload)
+	f, err := encodeMessage(dst, key, payload)
 	if err != nil {
 		h.failf("nettransport: encoding %v for processor %d: %v", key, dst, err)
 		return
 	}
-	h.routeRemote(dst, frame, nil)
+	h.routeRemote(dst, f, nil)
 }
 
 // Recv blocks on a hub-local processor's mailbox.
@@ -283,12 +337,12 @@ func (h *Hub) Receiver(p arch.ProcID, key transport.Key) transport.Receiver {
 // abort control frame, and all local mailboxes unblock.
 func (h *Hub) Abort() {
 	h.abortOnce.Do(func() {
+		h.aborted.Store(true)
 		h.mu.Lock()
 		conns := append([]*wconn(nil), h.conns...)
 		h.mu.Unlock()
-		af := abortFrame()
 		for _, w := range conns {
-			w.writeFrame(af) // best effort: the conn may already be gone
+			w.send(controlFrame(abortDst, nil)) // best effort: the conn may already be gone
 		}
 		for _, b := range h.boxes {
 			b.Close()
@@ -296,18 +350,25 @@ func (h *Hub) Abort() {
 	})
 }
 
-// Close aborts, tears down the listener and connections and waits for the
-// hub's goroutines.
+// Close aborts, tears down the listener and connections (flushing queued
+// frames, bounded by flushTimeout) and waits for the hub's goroutines.
 func (h *Hub) Close() error {
 	h.closing.Store(true)
 	h.mu.Lock()
 	h.closed = true
 	conns := append([]*wconn(nil), h.conns...)
+	pending := h.pending
+	h.pending = map[arch.ProcID][]outFrame{}
 	h.mu.Unlock()
+	for _, fs := range pending {
+		for _, f := range fs {
+			putBuf(f.head)
+		}
+	}
 	h.Abort()
 	h.ln.Close()
 	for _, w := range conns {
-		w.c.Close()
+		w.flushClose()
 	}
 	h.wg.Wait()
 	return nil
@@ -321,7 +382,8 @@ func (h *Hub) Err() error {
 }
 
 // Stats reports messages injected by hub-local processors and frames the
-// hub relayed between node processes.
+// hub relayed between node processes (zero once the mesh is up: every
+// client↔client frame then travels point to point).
 func (h *Hub) Stats() transport.Stats {
 	return transport.Stats{Messages: h.messages.Load(), Hops: h.hops.Load()}
 }

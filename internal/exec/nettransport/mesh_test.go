@@ -1,0 +1,136 @@
+package nettransport
+
+import (
+	"bufio"
+	"bytes"
+	"net"
+	"strings"
+	"testing"
+	"time"
+
+	"skipper/internal/arch"
+	"skipper/internal/exec/transport"
+	"skipper/internal/graph"
+	"skipper/internal/value"
+	"skipper/internal/vision"
+)
+
+// TestPeerDeathAbortsCluster checks the control-plane death detector: over
+// the mesh the hub never sees data traffic stop, so a control connection
+// hitting EOF without a detach frame must abort the whole cluster.
+func TestPeerDeathAbortsCluster(t *testing.T) {
+	a := arch.Ring(3)
+	hub, err := NewHub("127.0.0.1:0", a, 7, []arch.ProcID{0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer hub.Close()
+	c1, err := Dial(hub.Addr(), 7, []arch.ProcID{1}, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c1.Close()
+
+	// A hand-rolled node claims processor 2: handshake only, then it "dies"
+	// (closes the control connection without detaching).
+	c, err := net.Dial("tcp", hub.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := writeHello(c, hello{fingerprint: 7, procs: []arch.ProcID{2}, dataAddr: "127.0.0.1:9"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := readHelloReply(bufio.NewReader(c)); err != nil {
+		t.Fatal(err)
+	}
+	if err := hub.WaitReady(2 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+
+	recvDone := make(chan bool, 1)
+	go func() {
+		_, ok := c1.Recv(1, transport.EdgeKey(graph.EdgeID(1)))
+		recvDone <- ok
+	}()
+	c.Close()
+	select {
+	case ok := <-recvDone:
+		if ok {
+			t.Fatal("recv delivered a value after node death")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("node death did not abort the cluster within 5s")
+	}
+	if err := hub.Err(); err == nil || !strings.Contains(err.Error(), "died") {
+		t.Fatalf("hub error = %v, want a node-death report", err)
+	}
+}
+
+// TestFrameRoundTripWithRawTail pins the vectored-write wire format: a frame
+// whose payload takes the raw-slab fast path (head + borrowed pixel tail)
+// must read back identical to one written contiguously.
+func TestFrameRoundTripWithRawTail(t *testing.T) {
+	im := vision.GetImage(64, 8)
+	for i := range im.Pix {
+		im.Pix[i] = byte(i)
+	}
+	key := transport.TaskKey(2, 5)
+	f, err := encodeMessage(3, key, transport.Task{Idx: 9, V: im})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f.tail) == 0 {
+		t.Fatal("image payload did not take the raw-slab fast path")
+	}
+	wire := append(append([]byte(nil), f.head.b...), f.tail...)
+	putBuf(f.head)
+
+	fb, dst, gotKey, payload, err := readFrame(bufio.NewReader(bytes.NewReader(wire)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer putBuf(fb)
+	if dst != 3 || gotKey != key {
+		t.Fatalf("routing header dst=%d key=%+v, want dst=3 key=%+v", dst, gotKey, key)
+	}
+	v, err := value.Decode(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tk, ok := v.(transport.Task)
+	if !ok {
+		t.Fatalf("decoded %T, want transport.Task", v)
+	}
+	got, ok := tk.V.(*vision.Image)
+	if !ok || tk.Idx != 9 {
+		t.Fatalf("decoded task %+v, want Idx=9 carrying *vision.Image", tk)
+	}
+	if got.W != im.W || got.H != im.H || !bytes.Equal(got.Pix, im.Pix) {
+		t.Fatalf("decoded image %dx%d differs from original %dx%d", got.W, got.H, im.W, im.H)
+	}
+}
+
+// TestEncodeMessageZeroAllocs guards the allocation-free hot path: with a
+// warm arena and the presized codec, flattening a task that carries a full
+// image must not touch the heap at all.
+func TestEncodeMessageZeroAllocs(t *testing.T) {
+	im := vision.GetImage(512, 64)
+	defer vision.PutImage(im)
+	var v value.Value = transport.Task{Idx: 3, V: im} // boxed once, outside the loop
+	key := transport.TaskKey(0, 0)
+	f, err := encodeMessage(2, key, v) // warm the arena
+	if err != nil {
+		t.Fatal(err)
+	}
+	putBuf(f.head)
+	allocs := testing.AllocsPerRun(200, func() {
+		f, err := encodeMessage(2, key, v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		putBuf(f.head)
+	})
+	if allocs != 0 {
+		t.Fatalf("encodeMessage allocates %.1f times per op, want 0", allocs)
+	}
+}

@@ -218,6 +218,66 @@ func TestBufferedFramesReachLateAttacher(t *testing.T) {
 	}
 }
 
+func TestPeerToPeerDirectDataPlane(t *testing.T) {
+	a := arch.Ring(3)
+	hub, err := nettransport.NewHub("127.0.0.1:0", a, 7, []arch.ProcID{0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer hub.Close()
+	c1, err := nettransport.Dial(hub.Addr(), 7, []arch.ProcID{1}, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c1.Close()
+	c2, err := nettransport.Dial(hub.Addr(), 7, []arch.ProcID{2}, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c2.Close()
+	if err := hub.WaitReady(2 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+
+	k := transport.EdgeKey(graph.EdgeID(9))
+	c1.Send(1, 2, k, "direct")
+	v, ok := c2.Recv(2, k)
+	if !ok || v.(string) != "direct" {
+		t.Fatalf("node-to-node frame lost: %v %v", v, ok)
+	}
+	if got := c1.Stats().Direct; got != 1 {
+		t.Fatalf("sender mesh frames = %d, want 1", got)
+	}
+	if got := hub.Stats().Hops; got != 0 {
+		t.Fatalf("hub relayed %d frames, want 0 — data plane must bypass the hub", got)
+	}
+}
+
+func TestHubPendingBacklogBounded(t *testing.T) {
+	a := arch.Ring(2)
+	hub, err := nettransport.NewHub("127.0.0.1:0", a, 7, []arch.ProcID{0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer hub.Close()
+	k := transport.EdgeKey(graph.EdgeID(1))
+	// Processor 1 never attaches: the per-processor buffer must hit its cap
+	// and fail the hub instead of growing without bound.
+	for i := 0; i < 2000; i++ {
+		hub.Send(0, 1, k, i)
+		if hub.Err() != nil {
+			break
+		}
+	}
+	err = hub.Err()
+	if err == nil {
+		t.Fatal("hub accepted 2000 frames for an unattached processor without failing")
+	}
+	if !strings.Contains(err.Error(), "backlog") {
+		t.Fatalf("unexpected overflow error: %v", err)
+	}
+}
+
 func TestAbortPropagatesAcrossProcesses(t *testing.T) {
 	a := arch.Ring(3)
 	hub, err := nettransport.NewHub("127.0.0.1:0", a, 7, []arch.ProcID{0})

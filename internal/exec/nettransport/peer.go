@@ -1,0 +1,96 @@
+package nettransport
+
+import (
+	"bufio"
+	"io"
+	"net"
+
+	"skipper/internal/arch"
+)
+
+// Peer mesh: the data plane between node processes. Every client binds a
+// data listener at Dial time and reports it in the handshake; once all
+// processors are attached the hub broadcasts the address map and each
+// client lazily dials the peers its schedule sends to. Peer connections
+// are unidirectional — the dialer writes, the acceptor reads — so two
+// nodes exchanging traffic in both directions hold two sockets. Liveness
+// is a control-plane concern: a node death is detected by the hub (EOF
+// without a detach frame on the control connection) and propagated as a
+// cluster abort, so an EOF on a peer connection is always treated as the
+// dialer having finished.
+
+// peerConn returns the write connection to addr, dialing it on first use.
+func (cl *Client) peerConn(addr string) (*wconn, error) {
+	cl.pcMu.Lock()
+	defer cl.pcMu.Unlock()
+	if w, ok := cl.pconns[addr]; ok {
+		return w, nil
+	}
+	c, err := net.DialTimeout("tcp", addr, flushTimeout)
+	if err != nil {
+		return nil, err
+	}
+	if tc, ok := c.(*net.TCPConn); ok {
+		tc.SetNoDelay(true)
+	}
+	if err := writePeerHello(c, cl.fp); err != nil {
+		c.Close()
+		return nil, err
+	}
+	w := newWConn(c, func(err error) {
+		if !cl.closing.Load() {
+			cl.failf("nettransport: peer %s: %v", addr, err)
+		}
+	})
+	cl.pconns[addr] = w
+	return w, nil
+}
+
+// acceptLoop admits inbound peer connections until the listener closes.
+func (cl *Client) acceptLoop() {
+	defer cl.readerWG.Done()
+	for {
+		c, err := cl.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		cl.inMu.Lock()
+		cl.inbound = append(cl.inbound, c)
+		cl.inMu.Unlock()
+		cl.readerWG.Add(1)
+		go cl.servePeer(c)
+	}
+}
+
+// servePeer validates one inbound peer preamble and delivers its frames to
+// local mailboxes until the dialer closes.
+func (cl *Client) servePeer(c net.Conn) {
+	defer cl.readerWG.Done()
+	if tc, ok := c.(*net.TCPConn); ok {
+		tc.SetNoDelay(true)
+	}
+	br := bufio.NewReaderSize(c, 8<<10)
+	if err := readPeerHello(br, cl.fp); err != nil {
+		c.Close()
+		return
+	}
+	for {
+		fb, dst, key, payload, err := readFrame(br)
+		if err != nil {
+			if err != io.EOF && !cl.closing.Load() {
+				cl.failf("nettransport: reading from peer: %v", err)
+			}
+			return
+		}
+		if dst == abortDst {
+			putBuf(fb)
+			cl.Abort()
+			return
+		}
+		ok := cl.deliver(arch.ProcID(dst), key, payload)
+		putBuf(fb)
+		if !ok {
+			return
+		}
+	}
+}

@@ -33,6 +33,7 @@ func init() {
 		Name:   "exec.Sentinel",
 		Match:  func(v value.Value) bool { _, ok := v.(Sentinel); return ok },
 		Encode: func(buf []byte, v value.Value) ([]byte, error) { return buf, nil },
+		Size:   func(value.Value) int { return 0 },
 		Decode: func(payload []byte) (value.Value, error) {
 			if len(payload) != 0 {
 				return nil, fmt.Errorf("sentinel frame carries %d payload bytes", len(payload))
@@ -47,6 +48,17 @@ func init() {
 			t := v.(Task)
 			buf = value.AppendI64(buf, int64(t.Idx))
 			return value.Encode(buf, t.V)
+		},
+		Size: func(v value.Value) int {
+			n := value.EncodeSize(v.(Task).V)
+			if n < 0 {
+				return -1
+			}
+			return 8 + n
+		},
+		EncodeTail: func(buf []byte, v value.Value) ([]byte, []byte, error) {
+			t := v.(Task)
+			return value.EncodeTrailing(value.AppendI64(buf, int64(t.Idx)), t.V)
 		},
 		Decode: func(payload []byte) (value.Value, error) {
 			idx, pos, err := value.ReadI64(payload, 0)
@@ -71,6 +83,19 @@ func init() {
 			buf = value.AppendI64(buf, int64(r.Widx))
 			buf = value.AppendI64(buf, int64(r.Task))
 			return value.Encode(buf, r.V)
+		},
+		Size: func(v value.Value) int {
+			n := value.EncodeSize(v.(Reply).V)
+			if n < 0 {
+				return -1
+			}
+			return 16 + n
+		},
+		EncodeTail: func(buf []byte, v value.Value) ([]byte, []byte, error) {
+			r := v.(Reply)
+			buf = value.AppendI64(buf, int64(r.Widx))
+			buf = value.AppendI64(buf, int64(r.Task))
+			return value.EncodeTrailing(buf, r.V)
 		},
 		Decode: func(payload []byte) (value.Value, error) {
 			widx, pos, err := value.ReadI64(payload, 0)

@@ -66,6 +66,10 @@ type Stats struct {
 	// Hops is the number of link traversals (mem backend: router forwards
 	// over the architecture graph; net backend: frames relayed by the hub).
 	Hops int64
+	// Direct is the number of frames shipped point-to-point over the net
+	// backend's peer mesh, bypassing the hub entirely. Always zero for the
+	// mem backend (every in-process delivery is already direct).
+	Direct int64
 }
 
 // Receiver is a single-key receive endpoint, hoisted out of hot loops so

@@ -6,6 +6,7 @@ import (
 	"io"
 	"os"
 	"runtime"
+	"strings"
 	"testing"
 
 	"skipper/internal/skel"
@@ -41,24 +42,33 @@ type BenchReport struct {
 
 // RunBenchReport measures the benchmark suite and returns the report.
 // Progress lines go to w (one per benchmark). iters is the stream length
-// used by the simulation-backed experiments.
-func RunBenchReport(w io.Writer, iters int) (*BenchReport, error) {
+// used by the simulation-backed experiments. A non-empty filter restricts
+// the run to benchmarks whose name contains it (substring match) and skips
+// the E1 latency table — the shape CI smoke jobs use to get a quick
+// transport snapshot without paying for the full suite; full (unfiltered)
+// runs are what BENCH_<pr>.json snapshots and the envelope guard need.
+func RunBenchReport(w io.Writer, iters int, filter string) (*BenchReport, error) {
 	rep := &BenchReport{
 		Schema:     BenchSchema,
 		GoVersion:  runtime.Version(),
 		GOMAXPROCS: runtime.GOMAXPROCS(0),
 	}
 
-	// E1 latency table (simulated time) for the envelope guard.
-	e1, err := E1(io.Discard, iters)
-	if err != nil {
-		return nil, err
+	if filter == "" {
+		// E1 latency table (simulated time) for the envelope guard.
+		e1, err := E1(io.Discard, iters)
+		if err != nil {
+			return nil, err
+		}
+		rep.E1 = e1
 	}
-	rep.E1 = e1
 
 	var firstErr error
 	record := func(name string, fn func(b *testing.B)) {
 		if firstErr != nil {
+			return
+		}
+		if filter != "" && !strings.Contains(name, filter) {
 			return
 		}
 		r := testing.Benchmark(func(b *testing.B) {

@@ -65,7 +65,7 @@ func NewTransportPair(kind string) (*TransportPair, error) {
 // worker on processor 1, which echoes it back as a reply — exactly the
 // message pattern OpMaster/OpWorker exchange per window, so the mem-vs-tcp
 // delta is the per-window cost of going multi-process.
-func BenchFarmRoundTrip(b *testing.B, pair *TransportPair, payload func(i int) interface{}) {
+func BenchFarmRoundTrip(b *testing.B, pair *TransportPair, payload Payload) {
 	const farm, widx = 0, 0
 	taskKey := transport.TaskKey(farm, widx)
 	replyKey := transport.ReplyKey(farm)
@@ -84,15 +84,26 @@ func BenchFarmRoundTrip(b *testing.B, pair *TransportPair, payload func(i int) i
 			}
 			tk := v.(transport.Task)
 			pair.Worker.Send(1, 0, replyKey, transport.Reply{Widx: widx, Task: tk.Idx, V: tk.V})
+			// Send has captured the payload (net backend) or handed the
+			// very value onward by reference (mem backend, where Recycle
+			// recognises and skips it) — the worker's decoded copy can go
+			// back to the frame arena, as any real consumer would do.
+			if payload.Recycle != nil {
+				payload.Recycle(tk.V)
+			}
 		}
 	}()
 
 	replies := pair.Master.Receiver(0, replyKey)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		pair.Master.Send(0, 1, taskKey, transport.Task{Idx: i, V: payload(i)})
-		if _, ok := replies.Recv(); !ok {
+		pair.Master.Send(0, 1, taskKey, transport.Task{Idx: i, V: payload.Gen(i)})
+		v, ok := replies.Recv()
+		if !ok {
 			b.Fatal("reply channel aborted mid-benchmark")
+		}
+		if payload.Recycle != nil {
+			payload.Recycle(v.(transport.Reply).V)
 		}
 	}
 	b.StopTimer()
@@ -100,18 +111,36 @@ func BenchFarmRoundTrip(b *testing.B, pair *TransportPair, payload func(i int) i
 	<-done
 }
 
-// BenchWindowPayload returns a payload generator producing the same 512×64
-// image band the ring(8) tracking schedule ships per df window, so the
-// round-trip figures reflect real frame traffic rather than scalar echo.
-func BenchWindowPayload() func(i int) interface{} {
+// Payload drives BenchFarmRoundTrip: Gen produces the value shipped per
+// task, Recycle (optional) disposes of a received copy the way a real
+// consumer would — returning pooled buffers to their arena.
+type Payload struct {
+	Gen     func(i int) interface{}
+	Recycle func(v interface{})
+}
+
+// BenchWindowPayload returns a payload shipping the same 512×64 image band
+// the ring(8) tracking schedule sends per df window, so the round-trip
+// figures reflect real frame traffic rather than scalar echo. Received
+// copies are recycled into the frame arena; the generator's own window is
+// recognised by pointer (the mem backend delivers it by reference, still
+// owned by the generator) and left alone.
+func BenchWindowPayload() Payload {
 	frame := video.NewScene(512, 512, 3, 1).Next()
 	var win vision.Window
 	vision.ExtractInto(&win, frame, vision.Rect{X0: 0, Y0: 0, X1: 512, Y1: 64})
-	return func(int) interface{} { return win }
+	return Payload{
+		Gen: func(int) interface{} { return win },
+		Recycle: func(v interface{}) {
+			if w, ok := v.(vision.Window); ok && w.Img != nil && w.Img != win.Img {
+				vision.PutImage(w.Img)
+			}
+		},
+	}
 }
 
-// BenchScalarPayload returns a payload generator shipping one int — the
-// floor cost of a round trip with negligible codec work.
-func BenchScalarPayload() func(i int) interface{} {
-	return func(i int) interface{} { return i }
+// BenchScalarPayload returns a payload shipping one int — the floor cost
+// of a round trip with negligible codec work.
+func BenchScalarPayload() Payload {
+	return Payload{Gen: func(i int) interface{} { return i }}
 }

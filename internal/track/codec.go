@@ -19,10 +19,12 @@ func init() {
 		Match:  func(v value.Value) bool { _, ok := v.(Detections); return ok },
 		Encode: encodeDetections,
 		Decode: decodeDetections,
+		Size:   func(v value.Value) int { return 4 + len(v.(Detections))*markBytes },
 	})
 	value.RegisterExt(value.Ext{
 		Name:   "track.Mark",
 		Match:  func(v value.Value) bool { _, ok := v.(Mark); return ok },
+		Size:   func(value.Value) int { return markBytes },
 		Encode: func(buf []byte, v value.Value) ([]byte, error) { return appendMark(buf, v.(Mark)), nil },
 		Decode: func(payload []byte) (value.Value, error) {
 			m, pos, err := readMark(payload, 0)
@@ -40,10 +42,18 @@ func init() {
 		Match:  func(v value.Value) bool { _, ok := v.(*State); return ok },
 		Encode: encodeState,
 		Decode: decodeState,
+		Size:   func(v value.Value) int { return stateBytes + len(v.(*State).Vehicles)*vehicleBytes },
 	})
 }
 
 const markBytes = 8 + 8 + 4*8 + 8 // CX, CY, BBox, Area
+
+// stateBytes is the fixed State header (W, H, NVehicles, Tracking, Frame,
+// vehicle count); vehicleBytes is one VehicleEst (marks, VX, VY, Scale, Age).
+const (
+	stateBytes   = 8 + 8 + 8 + 1 + 8 + 4
+	vehicleBytes = MarksPerVehicle*markBytes + 2*MarksPerVehicle*8 + 8 + 8
+)
 
 func appendMark(buf []byte, m Mark) []byte {
 	buf = value.AppendF64(buf, m.CX)
@@ -160,7 +170,6 @@ func decodeState(payload []byte) (value.Value, error) {
 	if err != nil {
 		return nil, err
 	}
-	const vehicleBytes = MarksPerVehicle*markBytes + 2*MarksPerVehicle*8 + 8 + 8
 	if int64(count)*vehicleBytes != int64(len(payload)-pos) {
 		return nil, fmt.Errorf("state vehicle count %d wants %d bytes, frame has %d",
 			count, int64(count)*vehicleBytes, len(payload)-pos)

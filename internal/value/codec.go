@@ -48,11 +48,23 @@ const maxDecodeDepth = 512
 // the payload bytes for v; Decode parses exactly the payload written by
 // Encode (it receives the length-delimited payload slice and must consume
 // all of it). Match reports whether the extension handles v.
+//
+// Size and EncodeTail are optional hot-path accelerators. Size returns the
+// exact payload byte count Encode will produce for v (or a negative value
+// when it cannot tell), letting callers presize buffers so the append path
+// never reallocates. EncodeTail is the zero-copy variant of Encode for
+// values whose encoding ends in one large raw byte slab (image pixels): it
+// appends everything up to the slab and returns the slab by reference, so
+// a transport can hand both pieces to a vectored write without ever
+// copying the slab. The concatenation head[start:]+tail must be byte
+// identical to what Encode appends.
 type Ext struct {
-	Name   string
-	Match  func(v Value) bool
-	Encode func(buf []byte, v Value) ([]byte, error)
-	Decode func(payload []byte) (Value, error)
+	Name       string
+	Match      func(v Value) bool
+	Encode     func(buf []byte, v Value) ([]byte, error)
+	Decode     func(payload []byte) (Value, error)
+	Size       func(v Value) int
+	EncodeTail func(buf []byte, v Value) (head, tail []byte, err error)
 }
 
 var (
@@ -156,6 +168,84 @@ func Encode(buf []byte, v Value) ([]byte, error) {
 	}
 	binary.BigEndian.PutUint32(buf[lenAt:], uint32(payload))
 	return buf, nil
+}
+
+// EncodeSize returns the exact number of bytes Encode will append for v, or
+// -1 when the size cannot be computed without encoding (an extension codec
+// without a Size model). Callers use it to presize buffers: with a reused
+// buffer of EncodeSize(v) capacity, Encode performs zero allocations.
+func EncodeSize(v Value) int {
+	switch v := v.(type) {
+	case nil:
+		return 1
+	case int:
+		return 9
+	case float64:
+		return 9
+	case bool:
+		return 2
+	case string:
+		return 5 + len(v)
+	case Unit:
+		return 1
+	case Tuple:
+		return seqSize(v)
+	case List:
+		return seqSize(v)
+	}
+	e := matchExt(v)
+	if e == nil || e.Size == nil {
+		return -1
+	}
+	n := e.Size(v)
+	if n < 0 {
+		return -1
+	}
+	return 1 + 2 + len(e.Name) + 4 + n
+}
+
+func seqSize(elems []Value) int {
+	n := 5
+	for _, el := range elems {
+		s := EncodeSize(el)
+		if s < 0 {
+			return -1
+		}
+		n += s
+	}
+	return n
+}
+
+// EncodeTrailing encodes v like Encode, but when v (or the value it wraps)
+// registers an EncodeTail fast path, the trailing raw slab of the encoding
+// is returned by reference in tail instead of being copied into the buffer.
+// head[len(buf):] followed by tail is byte identical to Encode's output; a
+// nil tail means the whole encoding is in head. The caller must treat tail
+// as borrowed from v: it stays valid only as long as v is not mutated.
+func EncodeTrailing(buf []byte, v Value) (head, tail []byte, err error) {
+	e := matchExt(v)
+	if e == nil || e.EncodeTail == nil {
+		head, err = Encode(buf, v)
+		return head, nil, err
+	}
+	if len(e.Name) > math.MaxUint16 {
+		return nil, nil, fmt.Errorf("value: extension name %q too long", e.Name)
+	}
+	buf = append(buf, tagExt)
+	buf = binary.BigEndian.AppendUint16(buf, uint16(len(e.Name)))
+	buf = append(buf, e.Name...)
+	lenAt := len(buf)
+	buf = AppendU32(buf, 0)
+	head, tail, err = e.EncodeTail(buf, v)
+	if err != nil {
+		return nil, nil, fmt.Errorf("value: ext %s: %w", e.Name, err)
+	}
+	payload := len(head) - lenAt - 4 + len(tail)
+	if payload < 0 || payload > math.MaxUint32 {
+		return nil, nil, fmt.Errorf("value: ext %s payload size %d out of range", e.Name, payload)
+	}
+	binary.BigEndian.PutUint32(head[lenAt:], uint32(payload))
+	return head, tail, nil
 }
 
 func encodeSeq(buf []byte, tag byte, elems []Value) ([]byte, error) {

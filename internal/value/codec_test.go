@@ -5,6 +5,7 @@ package value_test
 // exercised from outside the value package).
 
 import (
+	"bytes"
 	"strings"
 	"testing"
 
@@ -116,6 +117,85 @@ func TestCodecFarmValuesNested(t *testing.T) {
 	}
 	if _, ok := got[0].(value.List)[0].(track.Detections); !ok {
 		t.Fatalf("nested detections lost their type: %T", got[0].(value.List)[0])
+	}
+}
+
+// sizeCases covers every shape the presized encoder must get exactly right:
+// base types, nested sequences, and the registered exts that declare Size.
+func sizeCases() []value.Value {
+	scene := video.NewScene(64, 48, 2, 7)
+	frame := scene.Next()
+	st := track.InitState(512, 512, 2)
+	st.Vehicles = []track.VehicleEst{{Scale: 33.5, Age: 9}, {Scale: 1, Age: 2}}
+	sized := []value.Value{
+		nil, 0, -5, 1 << 40, 3.25, -1e300, true, false,
+		"", "hello", strings.Repeat("x", 300),
+		value.Unit{},
+		value.Tuple{}, value.Tuple{1, "a", 2.5},
+		value.List{value.Tuple{1, 2}, nil, value.List{}},
+		frame,
+		vision.Extract(frame, vision.Rect{X0: 3, Y0: 5, X1: 40, Y1: 30}),
+		vision.Window{Origin: vision.Rect{X0: 1, Y0: 2, X1: 3, Y1: 4}}, // nil-image window
+		st,
+		track.Detections{{CX: 10.5, CY: -3.25, Area: 17}},
+	}
+	return sized
+}
+
+func TestEncodeSizeMatchesEncodedLength(t *testing.T) {
+	for _, v := range sizeCases() {
+		data, err := value.Encode(nil, v)
+		if err != nil {
+			t.Fatalf("encode %s: %v", value.Show(v), err)
+		}
+		if n := value.EncodeSize(v); n != len(data) {
+			t.Fatalf("EncodeSize(%s) = %d, encoded length is %d", value.Show(v), n, len(data))
+		}
+	}
+	// Unknown values report -1 ("don't know"), never a wrong size.
+	type mystery struct{ x int }
+	if n := value.EncodeSize(mystery{1}); n != -1 {
+		t.Fatalf("EncodeSize(unregistered opaque) = %d, want -1", n)
+	}
+}
+
+func TestEncodeTrailingMatchesEncode(t *testing.T) {
+	for _, v := range sizeCases() {
+		flat, err := value.Encode(nil, v)
+		if err != nil {
+			t.Fatalf("encode %s: %v", value.Show(v), err)
+		}
+		head, tail, err := value.EncodeTrailing(nil, v)
+		if err != nil {
+			t.Fatalf("encode trailing %s: %v", value.Show(v), err)
+		}
+		got := append(append([]byte(nil), head...), tail...)
+		if !bytes.Equal(got, flat) {
+			t.Fatalf("EncodeTrailing(%s) produced %d bytes differing from Encode's %d",
+				value.Show(v), len(got), len(flat))
+		}
+	}
+}
+
+// TestEncodePresizedZeroAllocs guards the transport hot path's allocation
+// budget at the codec layer: with a buffer presized via EncodeSize, encoding
+// a full frame must not touch the heap.
+func TestEncodePresizedZeroAllocs(t *testing.T) {
+	im := vision.GetImage(256, 64)
+	defer vision.PutImage(im)
+	var v value.Value = im // boxed once, outside the measured loop
+	n := value.EncodeSize(v)
+	if n < 0 {
+		t.Fatalf("EncodeSize(image) = %d, want an exact size", n)
+	}
+	buf := make([]byte, 0, n)
+	allocs := testing.AllocsPerRun(100, func() {
+		if _, err := value.Encode(buf, v); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("presized Encode allocates %.1f times per op, want 0", allocs)
 	}
 }
 

@@ -18,16 +18,26 @@ const maxImagePixels = 64 << 20
 
 func init() {
 	value.RegisterExt(value.Ext{
-		Name:   "vision.Image",
-		Match:  func(v value.Value) bool { _, ok := v.(*Image); return ok },
-		Encode: encodeImage,
-		Decode: decodeImage,
+		Name:       "vision.Image",
+		Match:      func(v value.Value) bool { _, ok := v.(*Image); return ok },
+		Encode:     encodeImage,
+		Decode:     decodeImage,
+		Size:       func(v value.Value) int { return 8 + len(v.(*Image).Pix) },
+		EncodeTail: encodeImageTail,
 	})
 	value.RegisterExt(value.Ext{
 		Name:   "vision.Window",
 		Match:  func(v value.Value) bool { _, ok := v.(Window); return ok },
 		Encode: encodeWindow,
 		Decode: decodeWindow,
+		Size: func(v value.Value) int {
+			win := v.(Window)
+			if win.Img == nil {
+				return 17
+			}
+			return 17 + 8 + len(win.Img.Pix)
+		},
+		EncodeTail: encodeWindowTail,
 	})
 }
 
@@ -36,6 +46,16 @@ func encodeImage(buf []byte, v value.Value) ([]byte, error) {
 	buf = value.AppendU32(buf, uint32(im.W))
 	buf = value.AppendU32(buf, uint32(im.H))
 	return append(buf, im.Pix...), nil
+}
+
+// encodeImageTail is the zero-copy encode: the fixed header goes into buf,
+// the pixel slab is returned by reference so the transport can hand it to a
+// vectored write without copying ~W×H bytes per frame.
+func encodeImageTail(buf []byte, v value.Value) ([]byte, []byte, error) {
+	im := v.(*Image)
+	buf = value.AppendU32(buf, uint32(im.W))
+	buf = value.AppendU32(buf, uint32(im.H))
+	return buf, im.Pix, nil
 }
 
 func decodeImage(payload []byte) (value.Value, error) {
@@ -55,7 +75,10 @@ func decodeImage(payload []byte) (value.Value, error) {
 		return nil, fmt.Errorf("image %dx%d wants %d pixel bytes, frame has %d",
 			w, h, px, len(payload)-pos)
 	}
-	im := &Image{W: int(w), H: int(h), Pix: make([]uint8, px)}
+	// getImageDirty pulls a recycled pixel buffer from the frame arena when
+	// one is available and skips the make() zeroing either way — every pixel
+	// is overwritten by the copy below.
+	im := getImageDirty(int(w), int(h))
 	copy(im.Pix, payload[pos:])
 	return im, nil
 }
@@ -72,6 +95,22 @@ func encodeWindow(buf []byte, v value.Value) ([]byte, error) {
 		return append(buf, 0), nil
 	}
 	return encodeImage(append(buf, 1), win.Img)
+}
+
+// encodeWindowTail mirrors encodeWindow but returns the pixel slab by
+// reference (see encodeImageTail).
+func encodeWindowTail(buf []byte, v value.Value) ([]byte, []byte, error) {
+	win := v.(Window)
+	for _, c := range [4]int{win.Origin.X0, win.Origin.Y0, win.Origin.X1, win.Origin.Y1} {
+		if c < math.MinInt32 || c > math.MaxInt32 {
+			return nil, nil, fmt.Errorf("window origin coordinate %d out of range", c)
+		}
+		buf = value.AppendU32(buf, uint32(int32(c)))
+	}
+	if win.Img == nil {
+		return append(buf, 0), nil, nil
+	}
+	return encodeImageTail(append(buf, 1), win.Img)
 }
 
 func decodeWindow(payload []byte) (value.Value, error) {
