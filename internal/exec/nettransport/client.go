@@ -35,6 +35,7 @@ type Client struct {
 	meshMu   sync.Mutex
 	meshCond *sync.Cond
 	meshDown bool // aborted before/while waiting for the map
+	meshLate bool // meshWaitTimeout elapsed without a peers frame
 
 	pcMu   sync.Mutex
 	pconns map[string]*wconn // dialed peer connections by address
@@ -46,6 +47,7 @@ type Client struct {
 	err   error
 
 	closing   atomic.Bool
+	aborted   atomic.Bool
 	abortOnce sync.Once
 	readerWG  sync.WaitGroup
 
@@ -97,6 +99,12 @@ func Dial(addr string, fingerprint uint64, local []arch.ProcID, d time.Duration)
 		c.Close()
 		return nil, err
 	}
+	return newClient(fingerprint, local, c, br, ln), nil
+}
+
+// newClient wires up a Client on an already-handshaken control connection
+// and peer listener, and starts its reader and acceptor loops.
+func newClient(fingerprint uint64, local []arch.ProcID, c net.Conn, br *bufio.Reader, ln net.Listener) *Client {
 	cl := &Client{
 		fp:       fingerprint,
 		localSet: map[arch.ProcID]bool{},
@@ -106,7 +114,11 @@ func Dial(addr string, fingerprint uint64, local []arch.ProcID, d time.Duration)
 	}
 	cl.meshCond = sync.NewCond(&cl.meshMu)
 	cl.w = newWConn(c, func(err error) {
-		if !cl.closing.Load() {
+		// The aborted check breaks a re-entrant deadlock: Abort's best-effort
+		// abort-frame send can fail inline on this very goroutine (the hub is
+		// typically already gone when Abort runs), and failf -> Abort would
+		// re-enter abortOnce.Do.
+		if !cl.closing.Load() && !cl.aborted.Load() {
 			cl.failf("nettransport: hub connection: %v", err)
 		}
 	})
@@ -117,7 +129,7 @@ func Dial(addr string, fingerprint uint64, local []arch.ProcID, d time.Duration)
 	cl.readerWG.Add(2)
 	go cl.readLoop(br)
 	go cl.acceptLoop()
-	return cl, nil
+	return cl
 }
 
 // readLoop handles control-plane frames from the hub: the peers map,
@@ -129,7 +141,7 @@ func (cl *Client) readLoop(br *bufio.Reader) {
 	for {
 		fb, dst, key, payload, err := readFrame(br)
 		if err != nil {
-			if err != io.EOF && !cl.closing.Load() {
+			if err != io.EOF && !cl.closing.Load() && !cl.aborted.Load() {
 				cl.failf("nettransport: reading from hub: %v", err)
 				return
 			}
@@ -188,18 +200,32 @@ func (cl *Client) failf(format string, args ...any) {
 }
 
 // peersMap returns the cluster address map, waiting for the hub to
-// broadcast it if necessary. nil means the transport aborted first.
+// broadcast it if necessary. The wait is bounded by meshWaitTimeout: the
+// map only arrives once the whole cluster has attached, so an unbounded
+// wait would turn one missing node process into a silent cluster-wide
+// hang. nil means the transport aborted (or timed out and aborted) first.
 func (cl *Client) peersMap() map[arch.ProcID]string {
 	if m := cl.peers.Load(); m != nil {
 		return *m
 	}
+	timer := time.AfterFunc(meshWaitTimeout, func() {
+		cl.meshMu.Lock()
+		cl.meshLate = true
+		cl.meshMu.Unlock()
+		cl.meshCond.Broadcast()
+	})
+	defer timer.Stop()
 	cl.meshMu.Lock()
-	defer cl.meshMu.Unlock()
-	for cl.peers.Load() == nil && !cl.meshDown {
+	for cl.peers.Load() == nil && !cl.meshDown && !cl.meshLate {
 		cl.meshCond.Wait()
 	}
+	down := cl.meshDown
+	cl.meshMu.Unlock()
 	if m := cl.peers.Load(); m != nil {
 		return *m
+	}
+	if !down {
+		cl.failf("nettransport: no peers map from the hub within %v (did every node process start?)", meshWaitTimeout)
 	}
 	return nil
 }
@@ -231,7 +257,7 @@ func (cl *Client) Send(src, dst arch.ProcID, key transport.Key, payload value.Va
 		}
 		cl.direct.Add(1)
 	}
-	if err := w.send(f); err != nil && !cl.closing.Load() {
+	if err := w.send(f); err != nil && !cl.closing.Load() && !cl.aborted.Load() {
 		cl.failf("nettransport: sending to processor %d: %v", dst, err)
 	}
 }
@@ -250,6 +276,11 @@ func (cl *Client) Receiver(p arch.ProcID, key transport.Key) transport.Receiver 
 // any Send waiting for the peers map and unblocks all local mailboxes.
 func (cl *Client) Abort() {
 	cl.abortOnce.Do(func() {
+		// aborted must be set before the abort-frame send: if that inline
+		// write fails (the hub is often already gone here), the wconn's
+		// onErr fires on this goroutine and would otherwise failf -> Abort
+		// -> abortOnce.Do, self-deadlocking inside the Once.
+		cl.aborted.Store(true)
 		cl.meshMu.Lock()
 		cl.meshDown = true
 		cl.meshMu.Unlock()
@@ -287,6 +318,7 @@ func (cl *Client) Close() error {
 	}
 	cl.readerWG.Wait()
 	cl.abortOnce.Do(func() {
+		cl.aborted.Store(true)
 		cl.meshMu.Lock()
 		cl.meshDown = true
 		cl.meshMu.Unlock()

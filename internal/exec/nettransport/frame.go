@@ -66,6 +66,13 @@ const (
 	flushTimeout = 5 * time.Second
 )
 
+// meshWaitTimeout bounds how long a remote Send waits for the hub's peers
+// frame. The map only arrives once every processor has attached, so a node
+// process that never starts would otherwise hang every sender silently;
+// past the deadline the cluster fails with a diagnostic instead. A var, not
+// a const, so tests can shorten it.
+var meshWaitTimeout = 30 * time.Second
+
 // frameBuf is one arena buffer. The pool stores *frameBuf rather than
 // []byte so Put never heap-allocates a slice header.
 type frameBuf struct{ b []byte }
@@ -273,6 +280,26 @@ func (w *wconn) send(f outFrame) error {
 	w.mu.Unlock()
 	w.cond.Signal()
 	return nil
+}
+
+// enqueue parks one frame on the writer queue and never touches the socket
+// from the calling goroutine. send's inline fast path can block on the wire
+// and, on failure, invokes onErr synchronously — so enqueue is the only safe
+// way to ship a frame while holding a lock that onErr may take (the hub
+// flushes the attach backlog under its registration lock). Any write error
+// surfaces later, from the writer goroutine. Frames enqueued after a failure
+// or flushClose are dropped, exactly as in send.
+func (w *wconn) enqueue(f outFrame) {
+	w.mu.Lock()
+	if w.err != nil || w.closed {
+		w.mu.Unlock()
+		putBuf(f.head)
+		return
+	}
+	f.capture()
+	w.queue = append(w.queue, f)
+	w.mu.Unlock()
+	w.cond.Signal()
 }
 
 func (w *wconn) writeLoop() {

@@ -163,7 +163,11 @@ func (h *Hub) serveConn(c net.Conn) {
 		h.remote[p] = w
 		h.dataAddr[p] = hel.dataAddr
 		for _, f := range h.pending[p] {
-			w.send(f)
+			// enqueue, not send: send's inline fast path would perform a
+			// blocking socket write under h.mu (stalling all routing on one
+			// slow client) and on failure would invoke onErr -> failf ->
+			// Abort -> h.mu.Lock on this goroutine, a self-deadlock.
+			w.enqueue(f)
 		}
 		delete(h.pending, p)
 	}

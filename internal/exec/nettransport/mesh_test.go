@@ -66,6 +66,103 @@ func TestPeerDeathAbortsCluster(t *testing.T) {
 	}
 }
 
+// TestAbortSurvivesDeadControlConnection pins the abort re-entrancy guard:
+// Abort's best-effort abort frame is sent on the control connection, which
+// in real aborts is often already dead, so the inline write fails on the
+// aborting goroutine itself. The wconn's onErr must not re-enter Abort
+// (sync.Once.Do would self-deadlock and the mailboxes would never unblock).
+func TestAbortSurvivesDeadControlConnection(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c1, c2 := net.Pipe()
+	cl := newClient(7, []arch.ProcID{1}, c1, bufio.NewReader(c1), ln)
+	c2.Close() // control writes now fail synchronously on the caller's goroutine
+	done := make(chan struct{})
+	go func() {
+		cl.Abort()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Abort deadlocked when the abort-frame send failed inline")
+	}
+	if _, ok := cl.Recv(1, transport.EdgeKey(graph.EdgeID(1))); ok {
+		t.Fatal("mailbox delivered a value after abort")
+	}
+	cl.Close()
+}
+
+// TestEnqueueNeverBlocksOnSocket pins the enqueue-only wconn path the hub
+// uses to flush the attach backlog under its registration lock: unlike
+// send's inline fast path, enqueue must return without touching the socket
+// (net.Pipe writes block until the other end reads, so an inline write here
+// would hang).
+func TestEnqueueNeverBlocksOnSocket(t *testing.T) {
+	c1, c2 := net.Pipe()
+	defer c2.Close()
+	w := newWConn(c1, nil)
+	done := make(chan struct{})
+	go func() {
+		w.enqueue(controlFrame(abortDst, nil))
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("enqueue blocked on the socket")
+	}
+	fb, dst, _, _, err := readFrame(bufio.NewReader(c2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	putBuf(fb)
+	if dst != abortDst {
+		t.Fatalf("dst = %#x, want abortDst", dst)
+	}
+	w.flushClose()
+}
+
+// TestSendFailsWithoutPeersMap checks that a remote Send does not hang
+// forever when the peers map never arrives (a node process that never
+// starts): past meshWaitTimeout the client must abort with a diagnostic.
+func TestSendFailsWithoutPeersMap(t *testing.T) {
+	old := meshWaitTimeout
+	meshWaitTimeout = 200 * time.Millisecond
+	defer func() { meshWaitTimeout = old }()
+
+	a := arch.Ring(3)
+	hub, err := NewHub("127.0.0.1:0", a, 7, []arch.ProcID{0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer hub.Close()
+	c1, err := Dial(hub.Addr(), 7, []arch.ProcID{1}, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c1.Close()
+
+	// Processor 2 never attaches, so the hub never broadcasts the map; even
+	// a Send to the hub-hosted processor 0 waits on it (FIFO across the
+	// mesh cutover) and must time out rather than hang silently.
+	done := make(chan struct{})
+	go func() {
+		c1.Send(1, 0, transport.EdgeKey(graph.EdgeID(1)), "stuck")
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Send hung waiting for a peers map that never comes")
+	}
+	if err := c1.Err(); err == nil || !strings.Contains(err.Error(), "peers map") {
+		t.Fatalf("client error = %v, want a peers-map timeout diagnostic", err)
+	}
+}
+
 // TestFrameRoundTripWithRawTail pins the vectored-write wire format: a frame
 // whose payload takes the raw-slab fast path (head + borrowed pixel tail)
 // must read back identical to one written contiguously.

@@ -38,7 +38,7 @@ func (cl *Client) peerConn(addr string) (*wconn, error) {
 		return nil, err
 	}
 	w := newWConn(c, func(err error) {
-		if !cl.closing.Load() {
+		if !cl.closing.Load() && !cl.aborted.Load() {
 			cl.failf("nettransport: peer %s: %v", addr, err)
 		}
 	})
@@ -57,6 +57,14 @@ func (cl *Client) acceptLoop() {
 		cl.inMu.Lock()
 		cl.inbound = append(cl.inbound, c)
 		cl.inMu.Unlock()
+		// Close snapshots inbound before closing the conns in it: a conn
+		// appended after the snapshot would never be closed and its reader
+		// could block until the remote side exits. Re-checking closing after
+		// the append covers that window (Close sets closing first).
+		if cl.closing.Load() {
+			c.Close()
+			continue
+		}
 		cl.readerWG.Add(1)
 		go cl.servePeer(c)
 	}
@@ -66,18 +74,18 @@ func (cl *Client) acceptLoop() {
 // local mailboxes until the dialer closes.
 func (cl *Client) servePeer(c net.Conn) {
 	defer cl.readerWG.Done()
+	defer c.Close()
 	if tc, ok := c.(*net.TCPConn); ok {
 		tc.SetNoDelay(true)
 	}
 	br := bufio.NewReaderSize(c, 8<<10)
 	if err := readPeerHello(br, cl.fp); err != nil {
-		c.Close()
 		return
 	}
 	for {
 		fb, dst, key, payload, err := readFrame(br)
 		if err != nil {
-			if err != io.EOF && !cl.closing.Load() {
+			if err != io.EOF && !cl.closing.Load() && !cl.aborted.Load() {
 				cl.failf("nettransport: reading from peer: %v", err)
 			}
 			return
