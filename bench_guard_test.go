@@ -50,5 +50,32 @@ func TestBenchSnapshotWithinPaperEnvelope(t *testing.T) {
 		if len(rep.Results) == 0 {
 			t.Errorf("%s: snapshot has no benchmark results", path)
 		}
+		checkTraceCost(t, path, rep)
+	}
+}
+
+// checkTraceCost pins the price of the observability seam on snapshots that
+// carry the paired tracing round-trip benchmarks (BENCH_4 onward): with the
+// recorder disarmed the instrumented hot path must allocate no more than
+// the bare scalar round trip does (2 boxed values/op — the nil-recorder
+// checks are branches, not costs), and arming it must not add allocations
+// either, only the fixed per-event stores.
+func checkTraceCost(t *testing.T, path string, rep *harness.BenchReport) {
+	entries := map[string]harness.BenchEntry{}
+	for _, e := range rep.Results {
+		entries[e.Name] = e
+	}
+	off, okOff := entries["Trace_mem_FarmRoundTrip_off"]
+	on, okOn := entries["Trace_mem_FarmRoundTrip_on"]
+	if !okOff || !okOn {
+		return // pre-observability snapshot
+	}
+	if off.AllocsPerOp > 2 {
+		t.Errorf("%s: untraced round trip allocates %d/op, want <= 2 (disabled tracing must be free)",
+			path, off.AllocsPerOp)
+	}
+	if on.AllocsPerOp > off.AllocsPerOp {
+		t.Errorf("%s: tracing adds allocations (%d/op on vs %d/op off); events must be recorded in place",
+			path, on.AllocsPerOp, off.AllocsPerOp)
 	}
 }

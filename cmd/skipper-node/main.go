@@ -36,6 +36,8 @@ func main() {
 	topology := flag.String("topology", "ring", "ring, chain, star or full")
 	deterministic := flag.Bool("deterministic", false, "order-insensitive farm accumulation")
 	timeout := flag.Duration("timeout", 2*time.Minute, "dial + run watchdog")
+	trace := flag.String("trace", "", "write this node's event trace (trace-node<p>.json) into this directory")
+	debugAddr := flag.String("debug-addr", "", "serve /metrics, /healthz and /varz on this address during the run")
 	flag.Parse()
 
 	if *hub == "" || *proc < 0 {
@@ -48,6 +50,7 @@ func main() {
 		Width: *size, Height: *size,
 		Vehicles: *vehicles, Seed: *seed,
 		Iters: *iters, Deterministic: *deterministic,
+		TraceDir: *trace, DebugAddr: *debugAddr,
 	}
 	if err := distrib.RunNode(sp, *proc, *hub, *timeout); err != nil {
 		fmt.Fprintln(os.Stderr, "skipper-node:", err)

@@ -6,12 +6,26 @@
 //
 //	skipper-run [-backend exec|sim] [-transport mem|tcp] [-procs 8]
 //	            [-iters 50] [-size 512] [-vehicles 3] [-seed 3]
-//	            [-topology ring]
+//	            [-topology ring] [-trace dir] [-debug-addr host:port]
+//	            [topology(procs)]
+//
+// The optional positional argument names the architecture compactly:
+// "ring(8)" is shorthand for -topology ring -procs 8.
 //
 // With -transport=tcp the executive really runs as N OS processes: this
 // process hosts processor 0 and the routing hub, and one skipper-node
 // child process is spawned per remaining processor (the skipper-node
 // binary is looked up next to skipper-run, then on PATH).
+//
+// -trace=<dir> records an event trace of the run: each process writes its
+// trace-*.json file into dir, and afterwards the merged trace is exported
+// as chrome-trace.json (load it in chrome://tracing or Perfetto) and
+// chronogram-measured.svg — the measured counterpart of the simulator's
+// predicted chronogram (compare them with skipper-trace -compare). With
+// -backend=sim the predicted chronogram SVG is written there instead.
+//
+// -debug-addr serves /metrics (Prometheus text), /healthz and /varz for
+// the duration of the run.
 package main
 
 import (
@@ -21,10 +35,12 @@ import (
 	"os/exec"
 	"path/filepath"
 	"strconv"
+	"strings"
 	"time"
 
 	"skipper"
 	"skipper/internal/distrib"
+	"skipper/internal/obsv"
 	"skipper/internal/track"
 	"skipper/internal/video"
 )
@@ -38,16 +54,27 @@ func main() {
 	vehicles := flag.Int("vehicles", 3, "lead vehicles (1-3)")
 	seed := flag.Int64("seed", 3, "synthetic scene seed")
 	topology := flag.String("topology", "ring", "ring, chain, star or full")
-	trace := flag.Bool("trace", false, "with -backend sim: print the per-processor chronogram")
-	svgPath := flag.String("svg", "", "with -trace: also write an SVG chronogram to this file")
+	trace := flag.String("trace", "", "trace directory: record an event trace and export chrome-trace.json plus a measured chronogram SVG (sim: the predicted chronogram)")
+	debugAddr := flag.String("debug-addr", "", "serve /metrics, /healthz and /varz on this address during the run")
+	svgPath := flag.String("svg", "", "with -backend sim -trace: also write the predicted SVG chronogram to this file")
 	flag.Parse()
 
+	if flag.NArg() > 0 {
+		if err := parseTopologyArg(flag.Arg(0), topology, procs); err != nil {
+			fatal(err)
+		}
+	}
+
 	if *backend == "exec" && *transportFlag == "tcp" {
-		runTCP(*procs, *iters, *size, *vehicles, *seed, *topology)
+		runTCP(*procs, *iters, *size, *vehicles, *seed, *topology, *trace, *debugAddr)
 		return
 	}
 	if *transportFlag != "mem" && *transportFlag != "tcp" {
 		fatal(fmt.Errorf("unknown transport %q", *transportFlag))
+	}
+	if *backend == "exec" && (*trace != "" || *debugAddr != "") {
+		runMemObserved(*procs, *iters, *size, *vehicles, *seed, *topology, *trace, *debugAddr)
+		return
 	}
 
 	scene := video.NewScene(*size, *size, *vehicles, *seed)
@@ -80,8 +107,9 @@ func main() {
 			fatal(err)
 		}
 	case "sim":
+		doTrace := *trace != "" || *svgPath != ""
 		res, err := dep.Simulate(skipper.SimOptions{
-			Iters: *iters, FramePeriod: skipper.VideoPeriod, Trace: *trace,
+			Iters: *iters, FramePeriod: skipper.VideoPeriod, Trace: doTrace,
 		})
 		if err != nil {
 			fatal(err)
@@ -90,11 +118,22 @@ func main() {
 		fmt.Printf("  mean latency : %6.1f ms\n", res.MeanLatency(2)*1000)
 		fmt.Printf("  max latency  : %6.1f ms\n", res.MaxLatency(2)*1000)
 		fmt.Printf("  frames skipped: %d\n", res.FramesSkipped)
-		if *trace {
+		if doTrace {
 			fmt.Println()
 			fmt.Print(res.Chronogram(100))
+			svg := res.ChronogramSVG(900, 16)
+			if *trace != "" {
+				if err := os.MkdirAll(*trace, 0o755); err != nil {
+					fatal(err)
+				}
+				out := filepath.Join(*trace, "chronogram-predicted.svg")
+				if err := os.WriteFile(out, []byte(svg), 0o644); err != nil {
+					fatal(err)
+				}
+				fmt.Printf("predicted chronogram written to %s\n", out)
+			}
 			if *svgPath != "" {
-				if err := os.WriteFile(*svgPath, []byte(res.ChronogramSVG(900, 16)), 0o644); err != nil {
+				if err := os.WriteFile(*svgPath, []byte(svg), 0o644); err != nil {
 					fatal(err)
 				}
 				fmt.Printf("chronogram written to %s\n", *svgPath)
@@ -104,6 +143,33 @@ func main() {
 		fatal(fmt.Errorf("unknown backend %q", *backend))
 	}
 
+	printTrackingSummary(rec)
+}
+
+// parseTopologyArg accepts "ring(8)" or plain "ring" and overrides the
+// -topology/-procs flags accordingly.
+func parseTopologyArg(arg string, topology *string, procs *int) error {
+	name := arg
+	if i := strings.IndexByte(arg, '('); i >= 0 {
+		if !strings.HasSuffix(arg, ")") {
+			return fmt.Errorf("malformed topology %q (want e.g. ring(8))", arg)
+		}
+		n, err := strconv.Atoi(arg[i+1 : len(arg)-1])
+		if err != nil || n < 1 {
+			return fmt.Errorf("malformed processor count in %q", arg)
+		}
+		*procs = n
+		name = arg[:i]
+	}
+	switch name {
+	case "ring", "chain", "star", "full":
+		*topology = name
+		return nil
+	}
+	return fmt.Errorf("unknown topology %q", name)
+}
+
+func printTrackingSummary(rec *track.Recorder) {
 	locked := 0
 	for _, r := range rec.Results {
 		if r.Tracking {
@@ -114,10 +180,51 @@ func main() {
 		len(rec.Results), locked, 100*float64(locked)/float64(max(len(rec.Results), 1)))
 }
 
+// exportTrace merges the per-process trace files in dir into the Chrome
+// trace and measured-chronogram artifacts.
+func exportTrace(dir string) {
+	tr, err := obsv.LoadDir(dir)
+	if err != nil {
+		fatal(err)
+	}
+	data, err := tr.ChromeJSON()
+	if err != nil {
+		fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "chrome-trace.json"), data, 0o644); err != nil {
+		fatal(err)
+	}
+	svg := tr.ChronogramSVG(900, 16)
+	if err := os.WriteFile(filepath.Join(dir, "chronogram-measured.svg"), []byte(svg), 0o644); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("trace: %d events from %d processors in %s (chrome-trace.json, chronogram-measured.svg)\n",
+		len(tr.Events), len(tr.Procs), dir)
+}
+
+// runMemObserved executes the in-process deployment with tracing and/or the
+// debug endpoint armed, via the same distrib path the TCP deployment uses.
+func runMemObserved(procs, iters, size, vehicles int, seed int64, topology, traceDir, debugAddr string) {
+	sp := distrib.Spec{
+		Topology: topology, Procs: procs,
+		Width: size, Height: size,
+		Vehicles: vehicles, Seed: seed, Iters: iters,
+		TraceDir: traceDir, DebugAddr: debugAddr,
+	}
+	rec, _, err := distrib.RunInProcess(sp, 5*time.Minute)
+	if err != nil {
+		fatal(err)
+	}
+	if traceDir != "" {
+		exportTrace(traceDir)
+	}
+	printTrackingSummary(rec)
+}
+
 // runTCP executes the tracking deployment as N communicating OS processes
 // on localhost: processor 0 plus the hub here, one spawned skipper-node
 // per remaining processor.
-func runTCP(procs, iters, size int, vehicles int, seed int64, topology string) {
+func runTCP(procs, iters, size int, vehicles int, seed int64, topology, traceDir, debugAddr string) {
 	nodeBin, err := findNodeBinary()
 	if err != nil {
 		fatal(err)
@@ -126,11 +233,12 @@ func runTCP(procs, iters, size int, vehicles int, seed int64, topology string) {
 		Topology: topology, Procs: procs,
 		Width: size, Height: size,
 		Vehicles: vehicles, Seed: seed, Iters: iters,
+		TraceDir: traceDir, DebugAddr: debugAddr,
 	}
 	var children []*exec.Cmd
 	spawn := func(addr string) error {
 		for p := 1; p < procs; p++ {
-			cmd := exec.Command(nodeBin,
+			args := []string{
 				"-hub", addr,
 				"-proc", strconv.Itoa(p),
 				"-procs", strconv.Itoa(procs),
@@ -139,7 +247,11 @@ func runTCP(procs, iters, size int, vehicles int, seed int64, topology string) {
 				"-vehicles", strconv.Itoa(vehicles),
 				"-seed", strconv.FormatInt(seed, 10),
 				"-topology", topology,
-			)
+			}
+			if traceDir != "" {
+				args = append(args, "-trace", traceDir)
+			}
+			cmd := exec.Command(nodeBin, args...)
 			cmd.Stderr = os.Stderr
 			if err := cmd.Start(); err != nil {
 				return err
@@ -157,16 +269,12 @@ func runTCP(procs, iters, size int, vehicles int, seed int64, topology string) {
 	if err != nil {
 		fatal(err)
 	}
-	locked := 0
-	for _, r := range rec.Results {
-		if r.Tracking {
-			locked++
-		}
+	if traceDir != "" {
+		exportTrace(traceDir)
 	}
 	fmt.Printf("%d processors as OS processes over TCP, %d messages from coordinator\n",
 		procs, res.Messages)
-	fmt.Printf("\n%d iterations, %d in tracking phase (%.0f%%)\n",
-		len(rec.Results), locked, 100*float64(locked)/float64(max(len(rec.Results), 1)))
+	printTrackingSummary(rec)
 }
 
 // findNodeBinary locates skipper-node: next to this executable first, then

@@ -1,0 +1,238 @@
+// Command skipper-trace analyzes event traces recorded by the executive
+// (skipper-run/skipper-node -trace=<dir>). It merges the per-process
+// trace-*.json files onto the coordinator's clock and prints a per-op
+// latency table, per-processor utilization and the (approximate) critical
+// path of the run.
+//
+// With -compare the tool recompiles the deployment the trace's metadata
+// names, runs the SynDEx-style timing simulator over the same schedule and
+// diffs the measured per-op time shares against the predicted ones — the
+// numeric counterpart of putting the predicted and measured chronograms
+// side by side (paper Fig. 5). Because the simulator's virtual clock and
+// the host's wall clock use different units, the comparison normalizes
+// each side to its share of total op time and reports the skew per op.
+//
+// Usage:
+//
+//	skipper-trace [-compare] [-top 20] <trace-dir>
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+
+	"skipper/internal/distrib"
+	"skipper/internal/obsv"
+	"skipper/internal/sim"
+)
+
+func main() {
+	compare := flag.Bool("compare", false, "diff measured per-op time shares against the simulator's predicted schedule")
+	top := flag.Int("top", 20, "rows to print in the per-op latency table (0 = all)")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: skipper-trace [-compare] [-top N] <trace-dir>")
+		os.Exit(2)
+	}
+	dir := flag.Arg(0)
+
+	tr, err := obsv.LoadDir(dir)
+	if err != nil {
+		fatal(err)
+	}
+	spans := tr.OpSpans()
+	nprocs := tr.NProcs
+	for _, sp := range spans {
+		if int(sp.Proc)+1 > nprocs {
+			nprocs = int(sp.Proc) + 1
+		}
+	}
+
+	fmt.Printf("trace: %d events, %d op spans, %d processors", len(tr.Events), len(spans), len(tr.Procs))
+	if tr.Dropped > 0 {
+		fmt.Printf(" (%d events dropped to ring wrap)", tr.Dropped)
+	}
+	fmt.Println()
+
+	printOpTable(spans, *top)
+	printUtilization(spans, nprocs)
+	printCriticalPath(spans)
+
+	if *compare {
+		if err := compareWithPrediction(tr, spans); err != nil {
+			fatal(err)
+		}
+	}
+}
+
+// printOpTable renders the per-op latency table, heaviest ops first.
+func printOpTable(spans []obsv.OpSpan, top int) {
+	stats := obsv.AggregateOps(spans)
+	if len(stats) == 0 {
+		fmt.Println("\nno op spans recorded (trace carries only transport events?)")
+		return
+	}
+	var totalNS int64
+	for _, st := range stats {
+		totalNS += st.TotalNS
+	}
+	fmt.Printf("\n%-24s %8s %10s %10s %10s %10s %7s\n",
+		"op", "count", "total", "mean", "min", "max", "share")
+	rows := stats
+	if top > 0 && len(rows) > top {
+		rows = rows[:top]
+	}
+	for _, st := range rows {
+		fmt.Printf("%-24s %8d %10s %10s %10s %10s %6.1f%%\n",
+			clip(st.Label, 24), st.Count,
+			fmtNS(st.TotalNS), fmtNS(st.MeanNS()), fmtNS(st.MinNS), fmtNS(st.MaxNS),
+			100*float64(st.TotalNS)/float64(max64(totalNS, 1)))
+	}
+	if len(rows) < len(stats) {
+		fmt.Printf("… %d more ops (-top 0 shows all)\n", len(stats)-len(rows))
+	}
+}
+
+// printUtilization renders each processor's busy fraction as a bar.
+func printUtilization(spans []obsv.OpSpan, nprocs int) {
+	busy, total := obsv.Utilization(spans, nprocs)
+	if total == 0 {
+		return
+	}
+	fmt.Printf("\nutilization over %s:\n", fmtNS(total))
+	for p, b := range busy {
+		frac := float64(b) / float64(total)
+		bar := strings.Repeat("█", int(frac*40+0.5))
+		fmt.Printf("  P%-3d %5.1f%% %s\n", p, 100*frac, bar)
+	}
+}
+
+// printCriticalPath renders the approximate critical path, longest hops
+// first collapsed to at most a dozen entries.
+func printCriticalPath(spans []obsv.OpSpan) {
+	path := obsv.CriticalPath(spans)
+	if len(path) == 0 {
+		return
+	}
+	var pathNS int64
+	for _, sp := range path {
+		pathNS += sp.Dur()
+	}
+	fmt.Printf("\ncritical path: %d spans, %s busy\n", len(path), fmtNS(pathNS))
+	show := path
+	const maxShow = 12
+	if len(show) > maxShow {
+		show = show[len(show)-maxShow:]
+		fmt.Printf("  … %d earlier spans\n", len(path)-maxShow)
+	}
+	for _, sp := range show {
+		fmt.Printf("  P%-3d %-24s %10s  at %s\n", sp.Proc, clip(sp.Label, 24), fmtNS(sp.Dur()), fmtNS(sp.Start))
+	}
+}
+
+// compareWithPrediction recompiles the deployment named by the trace's
+// metadata, simulates it, and diffs the per-op time shares.
+func compareWithPrediction(tr *obsv.Trace, spans []obsv.OpSpan) error {
+	sp, err := distrib.SpecFromMeta(tr.Meta)
+	if err != nil {
+		return err
+	}
+	s, reg, _, err := sp.Compile()
+	if err != nil {
+		return fmt.Errorf("recompiling spec from trace meta: %w", err)
+	}
+	res, err := sim.Run(s, reg, sim.Options{Iters: sp.Iters, Trace: true})
+	if err != nil {
+		return fmt.Errorf("simulating predicted schedule: %w", err)
+	}
+
+	// Aggregate per-label totals on both sides. The simulator's virtual
+	// seconds and the trace's wall-clock nanoseconds are incommensurable,
+	// so each side is normalized to its share of total op time over the
+	// labels both sides know about.
+	predicted := map[string]float64{}
+	for _, span := range res.Spans {
+		predicted[span.Label] += span.End - span.Start
+	}
+	measured := map[string]float64{}
+	for _, span := range spans {
+		measured[span.Label] += float64(span.Dur())
+	}
+	var labels []string
+	var predTotal, measTotal float64
+	for l, p := range predicted {
+		if m, ok := measured[l]; ok {
+			labels = append(labels, l)
+			predTotal += p
+			measTotal += m
+		}
+	}
+	if len(labels) == 0 {
+		return fmt.Errorf("no op labels common to the trace and the predicted schedule (trace recorded with a different build?)")
+	}
+	sort.Slice(labels, func(a, b int) bool { return measured[labels[a]] > measured[labels[b]] })
+
+	fmt.Printf("\npredicted vs measured (%s, %d procs, %d iters), normalized time shares over %d common ops:\n",
+		sp.Topology, sp.Procs, sp.Iters, len(labels))
+	fmt.Printf("%-24s %11s %11s %8s\n", "op", "predicted", "measured", "skew")
+	for _, l := range labels {
+		ps := predicted[l] / predTotal
+		ms := measured[l] / measTotal
+		skew := (ms - ps) * 100
+		fmt.Printf("%-24s %10.2f%% %10.2f%% %+7.2f%%\n", clip(l, 24), 100*ps, 100*ms, skew)
+	}
+	var onlyPred, onlyMeas []string
+	for l := range predicted {
+		if _, ok := measured[l]; !ok {
+			onlyPred = append(onlyPred, l)
+		}
+	}
+	for l := range measured {
+		if _, ok := predicted[l]; !ok {
+			onlyMeas = append(onlyMeas, l)
+		}
+	}
+	sort.Strings(onlyPred)
+	sort.Strings(onlyMeas)
+	if len(onlyPred) > 0 {
+		fmt.Printf("predicted only: %s\n", strings.Join(onlyPred, ", "))
+	}
+	if len(onlyMeas) > 0 {
+		fmt.Printf("measured only : %s\n", strings.Join(onlyMeas, ", "))
+	}
+	return nil
+}
+
+func fmtNS(ns int64) string {
+	switch {
+	case ns >= 1e9:
+		return fmt.Sprintf("%.2fs", float64(ns)/1e9)
+	case ns >= 1e6:
+		return fmt.Sprintf("%.2fms", float64(ns)/1e6)
+	case ns >= 1e3:
+		return fmt.Sprintf("%.1fµs", float64(ns)/1e3)
+	}
+	return fmt.Sprintf("%dns", ns)
+}
+
+func clip(s string, n int) string {
+	if len(s) <= n {
+		return s
+	}
+	return s[:n-1] + "…"
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "skipper-trace:", err)
+	os.Exit(1)
+}

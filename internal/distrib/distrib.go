@@ -17,6 +17,7 @@ import (
 	"skipper/internal/dsl/parser"
 	"skipper/internal/dsl/types"
 	"skipper/internal/exec"
+	"skipper/internal/exec/memtransport"
 	"skipper/internal/exec/nettransport"
 	"skipper/internal/expand"
 	"skipper/internal/syndex"
@@ -37,6 +38,16 @@ type Spec struct {
 	Seed          int64
 	Iters         int
 	Deterministic bool // order-insensitive df accumulation buffering
+
+	// TraceDir and DebugAddr are per-process local configuration, not part
+	// of the deployment agreement: they do not enter the schedule
+	// fingerprint, and each process of one deployment may set them
+	// differently (or not at all). TraceDir, when non-empty, arms event
+	// tracing and writes this process's trace file there after the run;
+	// DebugAddr, when non-empty, serves /metrics, /healthz and /varz on
+	// that address for the run's duration.
+	TraceDir  string
+	DebugAddr string
 }
 
 // Arch builds the architecture graph the spec names.
@@ -102,8 +113,20 @@ func RunNode(sp Spec, proc int, hubAddr string, d time.Duration) error {
 	defer cl.Close()
 	m := exec.NewMachineOn(s, reg, cl, []arch.ProcID{arch.ProcID(proc)})
 	m.DeterministicFarm = sp.Deterministic
-	if _, err := m.RunWithTimeout(sp.Iters, d); err != nil {
-		return fmt.Errorf("distrib: node %d: %w", proc, err)
+	ob, err := sp.observe(cl, m, nil)
+	if err != nil {
+		return err
+	}
+	defer ob.close()
+	res, runErr := m.RunWithTimeout(sp.Iters, d)
+	// Best effort even after a failed run: a partial trace is exactly what a
+	// post-mortem needs.
+	if werr := ob.writeTrace(sp, fmt.Sprintf("trace-node%d.json", proc), res,
+		[]int{proc}, cl.ClockOffsetNS()); werr != nil && runErr == nil {
+		runErr = werr
+	}
+	if runErr != nil {
+		return fmt.Errorf("distrib: node %d: %w", proc, runErr)
 	}
 	return nil
 }
@@ -124,16 +147,27 @@ func RunCoordinator(sp Spec, listen string, spawn func(addr string) error, d tim
 		return nil, nil, err
 	}
 	defer hub.Close()
+	m := exec.NewMachineOn(s, reg, hub, []arch.ProcID{0})
+	m.DeterministicFarm = sp.Deterministic
+	// The debug server comes up before the nodes are spawned and before the
+	// run starts, so health and metrics are scrapeable while the cluster is
+	// attaching and mid-run.
+	ob, err := sp.observe(hub, m, hub)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer ob.close()
 	if spawn != nil {
 		if err := spawn(hub.Addr()); err != nil {
 			return nil, nil, fmt.Errorf("distrib: spawning nodes: %w", err)
 		}
 	}
-	m := exec.NewMachineOn(s, reg, hub, []arch.ProcID{0})
-	m.DeterministicFarm = sp.Deterministic
-	res, err := m.RunWithTimeout(sp.Iters, d)
-	if err != nil {
-		return nil, nil, err
+	res, runErr := m.RunWithTimeout(sp.Iters, d)
+	if werr := ob.writeTrace(sp, "trace-coord.json", res, []int{0}, 0); werr != nil && runErr == nil {
+		runErr = werr
+	}
+	if runErr != nil {
+		return nil, nil, runErr
 	}
 	return rec, res, nil
 }
@@ -145,11 +179,41 @@ func RunInProcess(sp Spec, d time.Duration) (*track.Recorder, *exec.RunResult, e
 	if err != nil {
 		return nil, nil, err
 	}
-	m := exec.NewMachine(s, reg)
+	if sp.TraceDir == "" && sp.DebugAddr == "" {
+		m := exec.NewMachine(s, reg)
+		m.DeterministicFarm = sp.Deterministic
+		res, err := m.RunWithTimeout(sp.Iters, d)
+		if err != nil {
+			return nil, nil, err
+		}
+		return rec, res, nil
+	}
+	// Observability needs the transport before the run (metrics bind to its
+	// Stats, the recorder must be armed first), so host every processor on
+	// an explicit mem transport instead of the machine's per-run one.
+	t := memtransport.New(s.Arch)
+	defer t.Close()
+	local := make([]arch.ProcID, s.Arch.N)
+	for i := range local {
+		local[i] = arch.ProcID(i)
+	}
+	m := exec.NewMachineOn(s, reg, t, local)
 	m.DeterministicFarm = sp.Deterministic
-	res, err := m.RunWithTimeout(sp.Iters, d)
+	ob, err := sp.observe(t, m, nil)
 	if err != nil {
 		return nil, nil, err
+	}
+	defer ob.close()
+	procs := make([]int, s.Arch.N)
+	for i := range procs {
+		procs[i] = i
+	}
+	res, runErr := m.RunWithTimeout(sp.Iters, d)
+	if werr := ob.writeTrace(sp, "trace-coord.json", res, procs, 0); werr != nil && runErr == nil {
+		runErr = werr
+	}
+	if runErr != nil {
+		return nil, nil, runErr
 	}
 	return rec, res, nil
 }

@@ -8,6 +8,7 @@ import (
 	"testing"
 	"time"
 
+	"skipper/internal/obsv"
 	"skipper/internal/track"
 )
 
@@ -94,6 +95,10 @@ func TestDistributedOSProcessesMatchInProcess(t *testing.T) {
 		t.Fatal(err)
 	}
 
+	// The acceptance run happens with tracing armed in every process: the
+	// distributed executive must stay bit-identical while recording, and the
+	// per-process trace files must merge into one deployment trace.
+	sp.TraceDir = t.TempDir()
 	var children []*exec.Cmd
 	spawn := func(addr string) error {
 		for p := 1; p < sp.Procs; p++ {
@@ -107,6 +112,7 @@ func TestDistributedOSProcessesMatchInProcess(t *testing.T) {
 				"-seed", fmt.Sprint(sp.Seed),
 				"-topology", sp.Topology,
 				"-timeout", "1m",
+				"-trace", sp.TraceDir,
 			)
 			cmd.Stderr = os.Stderr
 			if err := cmd.Start(); err != nil {
@@ -136,6 +142,16 @@ func TestDistributedOSProcessesMatchInProcess(t *testing.T) {
 	}
 	if res.Hops != 0 {
 		t.Fatalf("hub relayed %d frames — node↔node traffic must travel the peer mesh", res.Hops)
+	}
+	tr, err := obsv.LoadDir(sp.TraceDir)
+	if err != nil {
+		t.Fatalf("merging per-process traces: %v", err)
+	}
+	if len(tr.Procs) != sp.Procs {
+		t.Fatalf("merged trace covers processors %v, want all %d", tr.Procs, sp.Procs)
+	}
+	if len(tr.Events) == 0 || len(tr.OpSpans()) == 0 {
+		t.Fatalf("merged trace is empty (%d events)", len(tr.Events))
 	}
 }
 

@@ -1,0 +1,197 @@
+package distrib
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+
+	"skipper/internal/exec"
+	"skipper/internal/exec/nettransport"
+	"skipper/internal/exec/transport"
+	"skipper/internal/obsv"
+	"skipper/internal/vision"
+)
+
+// observer holds one process's observability state: the event recorder (when
+// the spec names a trace directory) and the debug HTTP server (when it names
+// a debug address). Both are optional and independent.
+type observer struct {
+	rec *obsv.Recorder
+	dbg *obsv.DebugServer
+}
+
+// queueDepther is implemented by both transport backends.
+type queueDepther interface{ QueueDepth() int }
+
+// observe wires tracing and the debug endpoint into machine m running over
+// transport t. hub is non-nil only on the coordinator, whose /varz then
+// carries the cluster-aggregate view. Must be called before m runs: the
+// debug server starts serving immediately (so a scrape can land mid-run)
+// and the recorder must be armed before traffic starts.
+func (sp Spec) observe(t transport.Transport, m *exec.Machine, hub *nettransport.Hub) (*observer, error) {
+	ob := &observer{}
+	if sp.TraceDir != "" {
+		if err := os.MkdirAll(sp.TraceDir, 0o755); err != nil {
+			return nil, fmt.Errorf("distrib: trace dir: %w", err)
+		}
+		n := sp.Procs
+		if n < 1 {
+			n = 1
+		}
+		ob.rec = obsv.NewRecorder(n, 0)
+		m.Trace = ob.rec
+	}
+	if sp.DebugAddr != "" {
+		mx := obsv.NewMetrics()
+		m.OpLatency = mx.Histogram("skipper_op_latency_seconds",
+			"Executive operation latency in seconds.", nil)
+		stats := func(f func(transport.Stats) int64) func() int64 {
+			return func() int64 { return f(t.Stats()) }
+		}
+		mx.CounterFunc("skipper_transport_messages_total",
+			"Payloads injected via transport Send.",
+			stats(func(s transport.Stats) int64 { return s.Messages }))
+		mx.CounterFunc("skipper_transport_hops_total",
+			"Link traversals by intermediate forwarders (router forwards, hub relays).",
+			stats(func(s transport.Stats) int64 { return s.Hops }))
+		mx.CounterFunc("skipper_transport_direct_total",
+			"Frames shipped point-to-point over the peer mesh, bypassing the hub.",
+			stats(func(s transport.Stats) int64 { return s.Direct }))
+		mx.CounterFunc("skipper_transport_bytes_sent_total",
+			"Payload bytes injected via transport Send.",
+			stats(func(s transport.Stats) int64 { return s.BytesSent }))
+		mx.CounterFunc("skipper_transport_bytes_recv_total",
+			"Payload bytes delivered to local consumers.",
+			stats(func(s transport.Stats) int64 { return s.BytesRecv }))
+		if qd, ok := t.(queueDepther); ok {
+			mx.GaugeFunc("skipper_mailbox_queue_depth",
+				"Delivered-but-unconsumed values across local mailboxes.",
+				func() float64 { return float64(qd.QueueDepth()) })
+		}
+		mx.CounterFunc("skipper_frame_arena_hits_total",
+			"Image requests satisfied by pooled pixel memory.",
+			func() int64 { h, _ := vision.ArenaStats(); return h })
+		mx.CounterFunc("skipper_frame_arena_misses_total",
+			"Image requests that allocated a fresh pixel buffer.",
+			func() int64 { _, m := vision.ArenaStats(); return m })
+		mx.GaugeFunc("skipper_frame_arena_hit_ratio",
+			"Fraction of image requests served from the arena.",
+			func() float64 {
+				h, m := vision.ArenaStats()
+				if h+m == 0 {
+					return 0
+				}
+				return float64(h) / float64(h+m)
+			})
+		if ob.rec != nil {
+			rec := ob.rec
+			mx.CounterFunc("skipper_trace_dropped_events_total",
+				"Trace events lost to ring wrap-around.",
+				func() int64 { return rec.Dropped() })
+		}
+		varz := func() map[string]any {
+			v := map[string]any{
+				"spec":  sp,
+				"stats": t.Stats(),
+			}
+			h, ms := vision.ArenaStats()
+			v["arena"] = map[string]int64{"hits": h, "misses": ms}
+			if hub != nil {
+				v["cluster"] = hub.ClusterInfo()
+			}
+			return v
+		}
+		dbg, err := obsv.ServeDebug(sp.DebugAddr, mx, t.Err, varz)
+		if err != nil {
+			return nil, fmt.Errorf("distrib: debug listener: %w", err)
+		}
+		ob.dbg = dbg
+	}
+	return ob, nil
+}
+
+// writeTrace exports this process's events as TraceDir/name. It prefers the
+// run result's snapshot (which carries the hosted-processor list) but falls
+// back to a direct recorder snapshot, so a failed run still leaves a trace
+// behind for post-mortem. clockOff is the process's estimated offset onto
+// the coordinator's wall clock (0 on the coordinator itself).
+func (ob *observer) writeTrace(sp Spec, name string, res *exec.RunResult, procs []int, clockOff int64) error {
+	if ob.rec == nil {
+		return nil
+	}
+	var tr *obsv.Trace
+	if res != nil && res.Trace != nil {
+		tr = res.Trace
+	} else {
+		tr = ob.rec.Snapshot()
+	}
+	if len(tr.Procs) == 0 {
+		tr.Procs = procs
+	}
+	tr.ClockOffsetNS = clockOff
+	tr.Meta = sp.traceMeta()
+	return tr.WriteFile(filepath.Join(sp.TraceDir, name))
+}
+
+// close stops the debug server, if one was started.
+func (ob *observer) close() {
+	if ob.dbg != nil {
+		ob.dbg.Close()
+	}
+}
+
+// traceMeta embeds the deployment parameters in every trace file, so the
+// trace tooling can recompile the exact spec (SpecFromMeta) and diff
+// measured timings against the predicted schedule.
+func (sp Spec) traceMeta() map[string]string {
+	return map[string]string{
+		"app":           "tracking",
+		"topology":      sp.Topology,
+		"procs":         strconv.Itoa(sp.Procs),
+		"width":         strconv.Itoa(sp.Width),
+		"height":        strconv.Itoa(sp.Height),
+		"vehicles":      strconv.Itoa(sp.Vehicles),
+		"seed":          strconv.FormatInt(sp.Seed, 10),
+		"iters":         strconv.Itoa(sp.Iters),
+		"deterministic": strconv.FormatBool(sp.Deterministic),
+	}
+}
+
+// SpecFromMeta reconstructs the deployment spec a trace was recorded under.
+func SpecFromMeta(meta map[string]string) (Spec, error) {
+	var sp Spec
+	if len(meta) == 0 {
+		return sp, fmt.Errorf("distrib: trace carries no deployment meta")
+	}
+	if app := meta["app"]; app != "tracking" {
+		return sp, fmt.Errorf("distrib: trace meta names unknown app %q", app)
+	}
+	sp.Topology = meta["topology"]
+	atoi := func(key string, dst *int) error {
+		n, err := strconv.Atoi(meta[key])
+		if err != nil {
+			return fmt.Errorf("distrib: trace meta %s=%q: %w", key, meta[key], err)
+		}
+		*dst = n
+		return nil
+	}
+	for _, f := range []struct {
+		key string
+		dst *int
+	}{
+		{"procs", &sp.Procs}, {"width", &sp.Width}, {"height", &sp.Height},
+		{"vehicles", &sp.Vehicles}, {"iters", &sp.Iters},
+	} {
+		if err := atoi(f.key, f.dst); err != nil {
+			return sp, err
+		}
+	}
+	seed, err := strconv.ParseInt(meta["seed"], 10, 64)
+	if err != nil {
+		return sp, fmt.Errorf("distrib: trace meta seed=%q: %w", meta["seed"], err)
+	}
+	sp.Seed = seed
+	sp.Deterministic = meta["deterministic"] == "true"
+	return sp, nil
+}

@@ -9,6 +9,7 @@ import (
 	"skipper/internal/exec/memtransport"
 	"skipper/internal/exec/transport"
 	"skipper/internal/graph"
+	"skipper/internal/obsv"
 	"skipper/internal/skel"
 	"skipper/internal/syndex"
 	"skipper/internal/value"
@@ -28,14 +29,26 @@ type RunResult struct {
 	// injected into the network (tasks, replies, sentinels and static
 	// communications).
 	Messages int64
-	// Hops is the number of link traversals performed on those messages'
-	// behalf (store-and-forward router forwards on the mem backend, hub
-	// relays on the net backend; Messages <= Hops on multi-hop routes).
+	// Hops counts link traversals performed on those messages' behalf by
+	// intermediate forwarders: store-and-forward router forwards over the
+	// architecture graph on the mem backend (a message between adjacent
+	// processors costs one hop, non-adjacent ones more), frames relayed by
+	// the hub on the net backend. It is zero on the net backend once the
+	// peer mesh is up — nothing is relayed any more — and nonzero on the
+	// mem backend whenever any message crossed processors.
 	Hops int64
-	// Direct is the number of frames this machine's processors shipped
-	// point-to-point over the net backend's peer mesh (always zero on the
-	// mem backend and on the hub, whose control connections are one hop).
+	// Direct counts frames this machine's processors shipped point-to-point
+	// over the net backend's peer mesh, bypassing the hub. It is the
+	// complement of Hops: a cross-process frame on the net backend is
+	// either relayed (Hops, at the hub) or direct (Direct, at the sender).
+	// Always zero on the mem backend (every in-process delivery is already
+	// direct) and on the hub itself, whose control connections are one hop.
 	Direct int64
+	// Trace is the run's event-trace snapshot when the machine was given a
+	// recorder (Machine.Trace), nil otherwise. It covers the processors
+	// this machine hosts; distributed runs merge one trace per process via
+	// obsv.Merge.
+	Trace *obsv.Trace
 }
 
 // Machine executes a static schedule: each hosted processor interprets its
@@ -58,6 +71,16 @@ type Machine struct {
 	// are unaffected (their task order is itself dynamic).
 	DeterministicFarm bool
 
+	// Trace, when set before Run, records op start/end events (and, via
+	// the transport's TraceSink, send/recv/mailbox events) into the given
+	// recorder; the run's snapshot lands in RunResult.Trace. Nil — the
+	// default — keeps the executive on its untraced path, which costs one
+	// branch per op and nothing else.
+	Trace *obsv.Recorder
+	// OpLatency, when set, receives every op's duration in seconds. It is
+	// independent of Trace (metrics without tracing and vice versa).
+	OpLatency *obsv.Histogram
+
 	t     transport.Transport
 	ownT  bool          // machine creates/destroys the transport per run
 	local []arch.ProcID // processors this machine hosts
@@ -66,6 +89,10 @@ type Machine struct {
 	// a fresh goroutine per worker node per iteration; persistent pool
 	// workers make steady-state frame iterations goroutine-setup-free.
 	pool *skel.Pool
+
+	// opLabels[p][i] is the interned trace label of Programs[p][i],
+	// precomputed at run start so the op loop never formats a label.
+	opLabels [][]uint32
 
 	outMu   sync.Mutex
 	outputs map[int]value.Value // iteration -> output, reset every run
@@ -120,6 +147,12 @@ func (m *Machine) RunWithTimeout(iters int, d time.Duration) (*RunResult, error)
 	if m.ownT {
 		m.t = memtransport.New(m.sched.Arch)
 	}
+	if m.Trace != nil {
+		if ts, ok := m.t.(transport.TraceSink); ok {
+			ts.SetTrace(m.Trace)
+		}
+		m.buildOpLabels()
+	}
 	statsBefore := m.t.Stats()
 
 	m.pool = skel.NewPool(len(m.local))
@@ -168,7 +201,28 @@ func (m *Machine) RunWithTimeout(iters int, d time.Duration) (*RunResult, error)
 	for i := 0; i < iters; i++ {
 		res.Outputs[i] = m.outputs[i]
 	}
+	if m.Trace != nil {
+		res.Trace = m.Trace.Snapshot()
+		res.Trace.Procs = make([]int, len(m.local))
+		for i, p := range m.local {
+			res.Trace.Procs[i] = int(p)
+		}
+	}
 	return res, nil
+}
+
+// buildOpLabels interns every scheduled op's label up front, so recording
+// an op boundary on the hot path is an array index, not a format call.
+func (m *Machine) buildOpLabels() {
+	m.opLabels = make([][]uint32, m.sched.Arch.N)
+	for _, p := range m.local {
+		prog := m.sched.Programs[p]
+		labels := make([]uint32, len(prog))
+		for i, op := range prog {
+			labels[i] = m.Trace.Intern(m.sched.OpLabel(op))
+		}
+		m.opLabels[p] = labels
+	}
 }
 
 // fail records the first error and unblocks everything.
@@ -209,17 +263,52 @@ type procState struct {
 func (m *Machine) runProcessor(p arch.ProcID, iters int) {
 	prog := m.sched.Programs[p]
 	mem := map[graph.NodeID]value.Value{} // Mem node state, persists
+	trace, hist := m.Trace, m.OpLatency
+	var labels []uint32
+	if trace != nil {
+		labels = m.opLabels[p]
+	}
 	for iter := 0; iter < iters; iter++ {
 		st := &procState{
 			p:    p,
 			outs: map[graph.NodeID][]value.Value{},
 			recv: map[graph.EdgeID]value.Value{},
 		}
-		for _, op := range prog {
+		if trace == nil && hist == nil {
+			for _, op := range prog {
+				if m.firstErr() != nil {
+					return
+				}
+				if err := m.step(st, op, mem, iter); err != nil {
+					m.fail(err)
+					return
+				}
+			}
+			continue
+		}
+		for i, op := range prog {
 			if m.firstErr() != nil {
 				return
 			}
-			if err := m.step(st, op, mem, iter); err != nil {
+			// Bracket the op with start/end events; the end is recorded even
+			// for a failing op, so traces of aborted runs stay pairable.
+			var t0, durNS int64
+			var w0 time.Time
+			if trace != nil {
+				t0 = trace.Record(int32(p), obsv.EvOpStart, labels[i], -1, int64(iter))
+			} else {
+				w0 = time.Now()
+			}
+			err := m.step(st, op, mem, iter)
+			if trace != nil {
+				durNS = trace.Record(int32(p), obsv.EvOpEnd, labels[i], -1, int64(iter)) - t0
+			} else {
+				durNS = int64(time.Since(w0))
+			}
+			if hist != nil {
+				hist.Observe(float64(durNS) / 1e9)
+			}
+			if err != nil {
 				m.fail(err)
 				return
 			}
@@ -338,6 +427,14 @@ func (m *Machine) step(st *procState, op syndex.Op, mem map[graph.NodeID]value.V
 			return err
 		}
 		masterProc := m.sched.Assign[masterID]
+		trace := m.Trace
+		var wlabel uint32
+		if trace != nil {
+			// Label worker compute spans by function name — the same label
+			// the simulator gives its predicted worker spans, so measured
+			// and predicted chronograms line up block for block.
+			wlabel = trace.Intern(comp.Name)
+		}
 		m.wg.Add(1)
 		m.runFarmWorker(st.p, func(p arch.ProcID) {
 			defer m.wg.Done()
@@ -357,7 +454,13 @@ func (m *Machine) step(st *procState, op syndex.Op, mem map[graph.NodeID]value.V
 					m.fail(fmt.Errorf("exec: worker received non-task payload"))
 					return
 				}
+				if trace != nil {
+					trace.Record(int32(p), obsv.EvOpStart, wlabel, -1, int64(tk.Idx))
+				}
 				y := comp.Fn([]value.Value{tk.V})
+				if trace != nil {
+					trace.Record(int32(p), obsv.EvOpEnd, wlabel, -1, int64(tk.Idx))
+				}
 				m.t.Send(p, masterProc, replyKey,
 					transport.Reply{Widx: w.Index, Task: tk.Idx, V: y})
 			}

@@ -1,0 +1,58 @@
+package memtransport
+
+import (
+	"testing"
+
+	"skipper/internal/arch"
+	"skipper/internal/exec/transport"
+	"skipper/internal/graph"
+	"skipper/internal/obsv"
+	"skipper/internal/value"
+)
+
+// roundTripper builds a transport with a one-hop send/recv round trip, the
+// executive's steady-state hot path.
+func roundTripper(t *testing.T, tr *Transport) func() {
+	t.Helper()
+	k := transport.EdgeKey(graph.EdgeID(2))
+	r := tr.Receiver(1, k)
+	var payload value.Value = "frame"
+	return func() {
+		tr.Send(0, 1, k, payload)
+		if _, ok := r.Recv(); !ok {
+			t.Fatal("recv aborted")
+		}
+	}
+}
+
+// TestSendRecvNoAllocsUntraced pins the hot-path allocation budget with
+// tracing disabled: a steady-state send/hop/deliver/recv round trip must
+// not allocate at all — the nil-recorder checks must compile down to
+// branches, not interface conversions or closures.
+func TestSendRecvNoAllocsUntraced(t *testing.T) {
+	tr := New(arch.Ring(4))
+	defer tr.Close()
+	rt := roundTripper(t, tr)
+	for i := 0; i < 100; i++ {
+		rt() // warm up: grow the queue and mailbox backing arrays
+	}
+	if allocs := testing.AllocsPerRun(200, rt); allocs != 0 {
+		t.Errorf("untraced round trip allocates %.1f times/op, want 0", allocs)
+	}
+}
+
+// TestSendRecvAllocBudgetTraced pins the cost of event recording on the
+// same path: with a recorder armed (send, recv, enqueue, park and wake
+// events per round trip) the budget is at most 2 allocations/op.
+func TestSendRecvAllocBudgetTraced(t *testing.T) {
+	tr := New(arch.Ring(4))
+	defer tr.Close()
+	tr.SetTrace(obsv.NewRecorder(4, 1<<14))
+	rt := roundTripper(t, tr)
+	for i := 0; i < 100; i++ {
+		rt() // warm up: also interns the key label
+	}
+	if allocs := testing.AllocsPerRun(200, rt); allocs > 2 {
+		t.Errorf("traced round trip allocates %.1f times/op, want <= 2", allocs)
+	}
+}

@@ -16,14 +16,18 @@ import (
 
 	"skipper/internal/arch"
 	"skipper/internal/exec/transport"
+	"skipper/internal/obsv"
 	"skipper/internal/value"
 )
 
-// packet travels between processors through the routers.
+// packet travels between processors through the routers. bytes carries the
+// payload size computed once at Send, so delivery accounting doesn't walk
+// the value a second time.
 type packet struct {
 	dst     arch.ProcID
 	key     transport.Key
 	payload value.Value
+	bytes   int
 }
 
 // queue is an unbounded MPSC queue with abort support; routers never block
@@ -93,8 +97,15 @@ type Transport struct {
 
 	closeOnce sync.Once
 
-	messages atomic.Int64
-	hops     atomic.Int64
+	messages  atomic.Int64
+	hops      atomic.Int64
+	bytesSent atomic.Int64
+	bytesRecv atomic.Int64
+
+	// rec, when set via SetTrace before traffic starts, receives
+	// send/recv/abort events; mailbox events are wired through the boxes.
+	rec *obsv.Recorder
+	kl  transport.KeyLabels
 }
 
 var _ transport.Transport = (*Transport)(nil)
@@ -129,6 +140,10 @@ func (t *Transport) route(p arch.ProcID) {
 			return
 		}
 		if pkt.dst == p {
+			t.bytesRecv.Add(int64(pkt.bytes))
+			if t.rec != nil {
+				t.rec.Record(int32(p), obsv.EvRecv, t.kl.Of(pkt.key), -1, int64(pkt.bytes))
+			}
 			t.boxes[p].Deliver(pkt.key, pkt.payload)
 			continue
 		}
@@ -148,13 +163,41 @@ func (t *Transport) failf(format string, args ...any) {
 		t.err = fmt.Errorf(format, args...)
 	}
 	t.errMu.Unlock()
+	if t.rec != nil {
+		t.rec.Record(-1, obsv.EvAbort, 0, -1, 0)
+	}
 	t.Abort()
+}
+
+// SetTrace arms event recording on r: send/recv with byte sizes here,
+// enqueue/park/wake through the mailboxes. Call before traffic starts.
+func (t *Transport) SetTrace(r *obsv.Recorder) {
+	t.kl.Reset(r)
+	t.rec = r
+	for i, b := range t.boxes {
+		b.SetTrace(r, int32(i), &t.kl)
+	}
+}
+
+// QueueDepth reports the total delivered-but-unconsumed values across all
+// processors' mailboxes (a point-in-time gauge for metrics).
+func (t *Transport) QueueDepth() int {
+	n := 0
+	for _, b := range t.boxes {
+		n += b.Depth()
+	}
+	return n
 }
 
 // Send injects a packet at processor src; the routers take it from there.
 func (t *Transport) Send(src, dst arch.ProcID, key transport.Key, payload value.Value) {
 	t.messages.Add(1)
-	t.queues[src].put(packet{dst: dst, key: key, payload: payload})
+	n := value.SizeOf(payload)
+	t.bytesSent.Add(int64(n))
+	if t.rec != nil {
+		t.rec.Record(int32(src), obsv.EvSend, t.kl.Of(key), int32(dst), int64(n))
+	}
+	t.queues[src].put(packet{dst: dst, key: key, payload: payload, bytes: n})
 }
 
 // Recv blocks on processor p's mailbox slot for key.
@@ -195,7 +238,13 @@ func (t *Transport) Err() error {
 	return t.err
 }
 
-// Stats reports injected messages and router link traversals.
+// Stats reports injected messages, router link traversals and payload
+// volume; safe to call concurrently with traffic.
 func (t *Transport) Stats() transport.Stats {
-	return transport.Stats{Messages: t.messages.Load(), Hops: t.hops.Load()}
+	return transport.Stats{
+		Messages:  t.messages.Load(),
+		Hops:      t.hops.Load(),
+		BytesSent: t.bytesSent.Load(),
+		BytesRecv: t.bytesRecv.Load(),
+	}
 }

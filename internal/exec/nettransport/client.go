@@ -11,6 +11,7 @@ import (
 
 	"skipper/internal/arch"
 	"skipper/internal/exec/transport"
+	"skipper/internal/obsv"
 	"skipper/internal/value"
 )
 
@@ -51,8 +52,21 @@ type Client struct {
 	abortOnce sync.Once
 	readerWG  sync.WaitGroup
 
-	messages atomic.Int64
-	direct   atomic.Int64
+	messages  atomic.Int64
+	direct    atomic.Int64
+	bytesSent atomic.Int64
+	bytesRecv atomic.Int64
+
+	// clockOff is the NTP-style offset estimated from the hub handshake:
+	// add it to this process's wall clock to get the hub's wall clock.
+	clockOff int64
+
+	// rec, when set via SetTrace before the run's traffic starts, receives
+	// send/recv/abort events; mailbox events are wired through the boxes.
+	// Atomic because the control-plane read loop is alive from Dial on,
+	// before the machine gets the chance to arm tracing.
+	rec atomic.Pointer[obsv.Recorder]
+	kl  transport.KeyLabels
 }
 
 var _ transport.Transport = (*Client)(nil)
@@ -88,29 +102,37 @@ func Dial(addr string, fingerprint uint64, local []arch.ProcID, d time.Duration)
 		c.Close()
 		return nil, fmt.Errorf("nettransport: peer listener: %w", err)
 	}
+	t0 := time.Now().UnixNano()
 	if err := writeHello(c, hello{fingerprint: fingerprint, procs: local, dataAddr: ln.Addr().String()}); err != nil {
 		ln.Close()
 		c.Close()
 		return nil, fmt.Errorf("nettransport: handshake: %w", err)
 	}
 	br := bufio.NewReaderSize(c, 8<<10)
-	if err := readHelloReply(br); err != nil {
+	hubNano, err := readHelloReply(br)
+	if err != nil {
 		ln.Close()
 		c.Close()
 		return nil, err
 	}
-	return newClient(fingerprint, local, c, br, ln), nil
+	t1 := time.Now().UnixNano()
+	// NTP-style offset: the hub stamped its clock mid-handshake, so it maps
+	// to the midpoint of our request/reply bracket. Adding the offset to a
+	// local wall-clock instant yields the hub's wall clock (± half the RTT).
+	clockOff := hubNano - (t0+t1)/2
+	return newClient(fingerprint, local, c, br, ln, clockOff), nil
 }
 
 // newClient wires up a Client on an already-handshaken control connection
 // and peer listener, and starts its reader and acceptor loops.
-func newClient(fingerprint uint64, local []arch.ProcID, c net.Conn, br *bufio.Reader, ln net.Listener) *Client {
+func newClient(fingerprint uint64, local []arch.ProcID, c net.Conn, br *bufio.Reader, ln net.Listener, clockOff int64) *Client {
 	cl := &Client{
 		fp:       fingerprint,
 		localSet: map[arch.ProcID]bool{},
 		boxes:    map[arch.ProcID]*transport.Mailbox{},
 		ln:       ln,
 		pconns:   map[string]*wconn{},
+		clockOff: clockOff,
 	}
 	cl.meshCond = sync.NewCond(&cl.meshMu)
 	cl.w = newWConn(c, func(err error) {
@@ -186,6 +208,10 @@ func (cl *Client) deliver(p arch.ProcID, key transport.Key, payload []byte) bool
 		cl.failf("nettransport: decoding frame for processor %d key %v: %v", p, key, err)
 		return false
 	}
+	cl.bytesRecv.Add(int64(len(payload)))
+	if rec := cl.rec.Load(); rec != nil {
+		rec.Record(int32(p), obsv.EvRecv, cl.kl.Of(key), -1, int64(len(payload)))
+	}
 	box.Deliver(key, v)
 	return true
 }
@@ -196,7 +222,34 @@ func (cl *Client) failf(format string, args ...any) {
 		cl.err = fmt.Errorf(format, args...)
 	}
 	cl.errMu.Unlock()
+	if rec := cl.rec.Load(); rec != nil {
+		rec.Record(-1, obsv.EvAbort, 0, -1, 0)
+	}
 	cl.Abort()
+}
+
+// SetTrace arms event recording on r: send/recv with byte sizes here,
+// enqueue/park/wake through the mailboxes. Call before traffic starts.
+func (cl *Client) SetTrace(r *obsv.Recorder) {
+	cl.kl.Reset(r)
+	cl.rec.Store(r)
+	for p, b := range cl.boxes {
+		b.SetTrace(r, int32(p), &cl.kl)
+	}
+}
+
+// ClockOffsetNS reports the handshake-estimated offset onto the hub's wall
+// clock (0 if this process never estimated one).
+func (cl *Client) ClockOffsetNS() int64 { return cl.clockOff }
+
+// QueueDepth reports the total delivered-but-unconsumed values across the
+// client-local mailboxes (a point-in-time gauge for metrics).
+func (cl *Client) QueueDepth() int {
+	n := 0
+	for _, b := range cl.boxes {
+		n += b.Depth()
+	}
+	return n
 }
 
 // peersMap returns the cluster address map, waiting for the hub to
@@ -236,6 +289,14 @@ func (cl *Client) peersMap() map[arch.ProcID]string {
 func (cl *Client) Send(src, dst arch.ProcID, key transport.Key, payload value.Value) {
 	cl.messages.Add(1)
 	if cl.localSet[dst] {
+		n := int64(value.SizeOf(payload))
+		cl.bytesSent.Add(n)
+		cl.bytesRecv.Add(n)
+		if rec := cl.rec.Load(); rec != nil {
+			id := cl.kl.Of(key)
+			rec.Record(int32(src), obsv.EvSend, id, int32(dst), n)
+			rec.Record(int32(dst), obsv.EvRecv, id, -1, n)
+		}
 		cl.boxes[dst].Deliver(key, payload)
 		return
 	}
@@ -247,6 +308,11 @@ func (cl *Client) Send(src, dst arch.ProcID, key transport.Key, payload value.Va
 	if err != nil {
 		cl.failf("nettransport: encoding %v for processor %d: %v", key, dst, err)
 		return
+	}
+	wireBytes := int64(len(f.head.b) - 4 - frameHeader + len(f.tail))
+	cl.bytesSent.Add(wireBytes)
+	if rec := cl.rec.Load(); rec != nil {
+		rec.Record(int32(src), obsv.EvSend, cl.kl.Of(key), int32(dst), wireBytes)
 	}
 	w := cl.w
 	if addr, ok := peers[dst]; ok {
@@ -337,9 +403,14 @@ func (cl *Client) Err() error {
 	return cl.err
 }
 
-// Stats reports messages injected by client-local processors and how many
-// frames went point to point over the peer mesh. Relay hops are counted at
-// the hub.
+// Stats reports messages injected by client-local processors, how many
+// frames went point to point over the peer mesh, and payload volume; safe
+// to call concurrently with traffic. Relay hops are counted at the hub.
 func (cl *Client) Stats() transport.Stats {
-	return transport.Stats{Messages: cl.messages.Load(), Direct: cl.direct.Load()}
+	return transport.Stats{
+		Messages:  cl.messages.Load(),
+		Direct:    cl.direct.Load(),
+		BytesSent: cl.bytesSent.Load(),
+		BytesRecv: cl.bytesRecv.Load(),
+	}
 }

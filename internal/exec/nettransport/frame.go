@@ -43,7 +43,9 @@ const (
 	// wireVersion is bumped on any incompatible frame-format change.
 	// Version 2: peer-to-peer data plane (hello carries a data-listener
 	// address, peers/detach control frames).
-	wireVersion = 2
+	// Version 3: the hello reply's accept branch carries the hub's wall
+	// clock, so each node can estimate its clock offset for trace alignment.
+	wireVersion = 3
 	// abortDst is a control frame that propagates Abort across processes.
 	abortDst = 0xffffffff
 	// peersDst is a hub→node control frame carrying the address map of

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"io"
 	"net"
+	"time"
 
 	"skipper/internal/arch"
 )
@@ -74,10 +75,16 @@ func readHello(br *bufio.Reader) (hello, error) {
 	return h, nil
 }
 
-// writeHelloReply acknowledges (msg == "") or rejects a handshake.
+// writeHelloReply acknowledges (msg == "") or rejects a handshake. The
+// accept branch carries the hub's wall clock (UnixNano at reply time): the
+// client brackets the handshake with its own wall-clock reads and derives
+// an NTP-style offset onto the hub's clock, which trace merging uses to
+// place every process's events on one timeline.
 func writeHelloReply(c net.Conn, msg string) error {
 	if msg == "" {
-		_, err := c.Write([]byte{0})
+		buf := append([]byte{0}, make([]byte, 8)...)
+		binary.BigEndian.PutUint64(buf[1:], uint64(time.Now().UnixNano()))
+		_, err := c.Write(buf)
 		return err
 	}
 	buf := []byte{1}
@@ -87,23 +94,28 @@ func writeHelloReply(c net.Conn, msg string) error {
 	return err
 }
 
-func readHelloReply(br *bufio.Reader) error {
+// readHelloReply returns the hub's wall clock (UnixNano) on accept.
+func readHelloReply(br *bufio.Reader) (int64, error) {
 	status, err := br.ReadByte()
 	if err != nil {
-		return fmt.Errorf("nettransport: no handshake reply: %w", err)
+		return 0, fmt.Errorf("nettransport: no handshake reply: %w", err)
 	}
 	if status == 0 {
-		return nil
+		var tb [8]byte
+		if _, err := io.ReadFull(br, tb[:]); err != nil {
+			return 0, fmt.Errorf("nettransport: truncated handshake reply: %w", err)
+		}
+		return int64(binary.BigEndian.Uint64(tb[:])), nil
 	}
 	var lb [2]byte
 	if _, err := io.ReadFull(br, lb[:]); err != nil {
-		return fmt.Errorf("nettransport: handshake rejected (reason lost: %v)", err)
+		return 0, fmt.Errorf("nettransport: handshake rejected (reason lost: %v)", err)
 	}
 	msg := make([]byte, binary.BigEndian.Uint16(lb[:]))
 	if _, err := io.ReadFull(br, msg); err != nil {
-		return fmt.Errorf("nettransport: handshake rejected (reason lost: %v)", err)
+		return 0, fmt.Errorf("nettransport: handshake rejected (reason lost: %v)", err)
 	}
-	return fmt.Errorf("nettransport: handshake rejected: %s", msg)
+	return 0, fmt.Errorf("nettransport: handshake rejected: %s", msg)
 }
 
 // writePeerHello opens a data-plane connection between two nodes. Peer

@@ -5,12 +5,14 @@ import (
 	"fmt"
 	"io"
 	"net"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"skipper/internal/arch"
 	"skipper/internal/exec/transport"
+	"skipper/internal/obsv"
 	"skipper/internal/value"
 )
 
@@ -54,8 +56,18 @@ type Hub struct {
 	abortOnce sync.Once
 	wg        sync.WaitGroup
 
-	messages atomic.Int64
-	hops     atomic.Int64
+	messages  atomic.Int64
+	hops      atomic.Int64
+	bytesSent atomic.Int64
+	bytesRecv atomic.Int64
+
+	// rec, when set via SetTrace before the run's traffic starts, receives
+	// send/recv/abort events for hub-local processors; relayed frames are
+	// counted as hops only (the endpoints record their own send/recv).
+	// Atomic because accept and per-connection read loops are alive from
+	// NewHub on, before the machine gets the chance to arm tracing.
+	rec atomic.Pointer[obsv.Recorder]
+	kl  transport.KeyLabels
 }
 
 var _ transport.Transport = (*Hub)(nil)
@@ -297,6 +309,10 @@ func (h *Hub) deliverLocal(p arch.ProcID, key transport.Key, payload []byte) {
 		h.failf("nettransport: decoding frame for processor %d key %v: %v", p, key, err)
 		return
 	}
+	h.bytesRecv.Add(int64(len(payload)))
+	if rec := h.rec.Load(); rec != nil {
+		rec.Record(int32(p), obsv.EvRecv, h.kl.Of(key), -1, int64(len(payload)))
+	}
 	h.boxes[p].Deliver(key, v)
 }
 
@@ -306,7 +322,69 @@ func (h *Hub) failf(format string, args ...any) {
 		h.err = fmt.Errorf(format, args...)
 	}
 	h.errMu.Unlock()
+	if rec := h.rec.Load(); rec != nil {
+		rec.Record(-1, obsv.EvAbort, 0, -1, 0)
+	}
 	h.Abort()
+}
+
+// SetTrace arms event recording on r: send/recv with byte sizes for
+// hub-local processors, enqueue/park/wake through the mailboxes. Call
+// before traffic starts.
+func (h *Hub) SetTrace(r *obsv.Recorder) {
+	h.kl.Reset(r)
+	h.rec.Store(r)
+	for p, b := range h.boxes {
+		b.SetTrace(r, int32(p), &h.kl)
+	}
+}
+
+// QueueDepth reports the total delivered-but-unconsumed values across the
+// hub-local mailboxes (a point-in-time gauge for metrics).
+func (h *Hub) QueueDepth() int {
+	n := 0
+	for _, b := range h.boxes {
+		n += b.Depth()
+	}
+	return n
+}
+
+// ClusterInfo is the hub's point-in-time view of the deployment, exposed on
+// the coordinator's /varz endpoint.
+type ClusterInfo struct {
+	// Ready is true once every non-local processor has attached and the
+	// peer address map has been broadcast.
+	Ready bool `json:"ready"`
+	// Local lists the coordinator-hosted processors, Attached the remotely
+	// attached ones.
+	Local    []int `json:"local"`
+	Attached []int `json:"attached"`
+	// Pending counts frames buffered for processors not yet attached.
+	Pending int `json:"pending"`
+}
+
+// ClusterInfo snapshots the attachment state of the cluster.
+func (h *Hub) ClusterInfo() ClusterInfo {
+	var ci ClusterInfo
+	for p := range h.localSet {
+		ci.Local = append(ci.Local, int(p))
+	}
+	sort.Ints(ci.Local)
+	select {
+	case <-h.ready:
+		ci.Ready = true
+	default:
+	}
+	h.mu.Lock()
+	for p := range h.remote {
+		ci.Attached = append(ci.Attached, int(p))
+	}
+	for _, fs := range h.pending {
+		ci.Pending += len(fs)
+	}
+	h.mu.Unlock()
+	sort.Ints(ci.Attached)
+	return ci
 }
 
 // Send injects a message from a hub-local processor. Local destinations
@@ -316,6 +394,14 @@ func (h *Hub) failf(format string, args ...any) {
 func (h *Hub) Send(src, dst arch.ProcID, key transport.Key, payload value.Value) {
 	h.messages.Add(1)
 	if h.localSet[dst] {
+		n := int64(value.SizeOf(payload))
+		h.bytesSent.Add(n)
+		h.bytesRecv.Add(n)
+		if rec := h.rec.Load(); rec != nil {
+			id := h.kl.Of(key)
+			rec.Record(int32(src), obsv.EvSend, id, int32(dst), n)
+			rec.Record(int32(dst), obsv.EvRecv, id, -1, n)
+		}
 		h.boxes[dst].Deliver(key, payload)
 		return
 	}
@@ -323,6 +409,11 @@ func (h *Hub) Send(src, dst arch.ProcID, key transport.Key, payload value.Value)
 	if err != nil {
 		h.failf("nettransport: encoding %v for processor %d: %v", key, dst, err)
 		return
+	}
+	wireBytes := int64(len(f.head.b) - 4 - frameHeader + len(f.tail))
+	h.bytesSent.Add(wireBytes)
+	if rec := h.rec.Load(); rec != nil {
+		rec.Record(int32(src), obsv.EvSend, h.kl.Of(key), int32(dst), wireBytes)
 	}
 	h.routeRemote(dst, f, nil)
 }
@@ -385,9 +476,15 @@ func (h *Hub) Err() error {
 	return h.err
 }
 
-// Stats reports messages injected by hub-local processors and frames the
-// hub relayed between node processes (zero once the mesh is up: every
-// client↔client frame then travels point to point).
+// Stats reports messages injected by hub-local processors, frames the hub
+// relayed between node processes (zero once the mesh is up: every
+// client↔client frame then travels point to point) and payload volume;
+// safe to call concurrently with traffic.
 func (h *Hub) Stats() transport.Stats {
-	return transport.Stats{Messages: h.messages.Load(), Hops: h.hops.Load()}
+	return transport.Stats{
+		Messages:  h.messages.Load(),
+		Hops:      h.hops.Load(),
+		BytesSent: h.bytesSent.Load(),
+		BytesRecv: h.bytesRecv.Load(),
+	}
 }

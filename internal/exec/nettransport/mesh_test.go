@@ -40,7 +40,7 @@ func TestPeerDeathAbortsCluster(t *testing.T) {
 	if err := writeHello(c, hello{fingerprint: 7, procs: []arch.ProcID{2}, dataAddr: "127.0.0.1:9"}); err != nil {
 		t.Fatal(err)
 	}
-	if err := readHelloReply(bufio.NewReader(c)); err != nil {
+	if _, err := readHelloReply(bufio.NewReader(c)); err != nil {
 		t.Fatal(err)
 	}
 	if err := hub.WaitReady(2 * time.Second); err != nil {
@@ -77,7 +77,7 @@ func TestAbortSurvivesDeadControlConnection(t *testing.T) {
 		t.Fatal(err)
 	}
 	c1, c2 := net.Pipe()
-	cl := newClient(7, []arch.ProcID{1}, c1, bufio.NewReader(c1), ln)
+	cl := newClient(7, []arch.ProcID{1}, c1, bufio.NewReader(c1), ln, 0)
 	c2.Close() // control writes now fail synchronously on the caller's goroutine
 	done := make(chan struct{})
 	go func() {

@@ -3,6 +3,7 @@ package transport
 import (
 	"sync"
 
+	"skipper/internal/obsv"
 	"skipper/internal/value"
 )
 
@@ -22,12 +23,21 @@ type Slot struct {
 	buf    []value.Value
 	head   int
 	closed bool
+
+	// Tracing (set once via Mailbox.SetTrace before traffic; read under mu).
+	// rec == nil is the common case and costs one branch per operation.
+	rec   *obsv.Recorder
+	proc  int32
+	label uint32
 }
 
 // Deliver appends v to the slot's FIFO and wakes its consumer.
 func (s *Slot) Deliver(v value.Value) {
 	s.mu.Lock()
 	s.buf = append(s.buf, v)
+	if s.rec != nil {
+		s.rec.Record(s.proc, obsv.EvEnqueue, s.label, -1, int64(len(s.buf)-s.head))
+	}
 	s.mu.Unlock()
 	s.cond.Signal()
 }
@@ -37,8 +47,18 @@ func (s *Slot) Deliver(v value.Value) {
 func (s *Slot) Recv() (value.Value, bool) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	for s.head == len(s.buf) && !s.closed {
-		s.cond.Wait()
+	if s.head == len(s.buf) && !s.closed {
+		// Only an actual park is evented; an immediate hit stays silent so
+		// steady-state traffic doesn't flood the ring with park/wake pairs.
+		if s.rec != nil {
+			s.rec.Record(s.proc, obsv.EvPark, s.label, -1, 0)
+		}
+		for s.head == len(s.buf) && !s.closed {
+			s.cond.Wait()
+		}
+		if s.rec != nil {
+			s.rec.Record(s.proc, obsv.EvWake, s.label, -1, int64(len(s.buf)-s.head))
+		}
 	}
 	if s.head == len(s.buf) {
 		return nil, false
@@ -60,6 +80,13 @@ func (s *Slot) Cap() int {
 	return cap(s.buf)
 }
 
+// Depth reports the number of delivered-but-unconsumed values.
+func (s *Slot) Depth() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.buf) - s.head
+}
+
 // Mailbox holds delivered payloads per key, FIFO per key, sharded into one
 // independently locked Slot per key. The map itself is guarded by a mutex
 // taken only for slot lookup/creation; hot paths hoist the *Slot once and
@@ -68,6 +95,12 @@ type Mailbox struct {
 	mu     sync.Mutex
 	slots  map[Key]*Slot
 	closed bool
+
+	// Tracing wiring applied to every slot (existing and future); see
+	// SetTrace.
+	rec  *obsv.Recorder
+	proc int32
+	kl   *KeyLabels
 }
 
 // NewMailbox returns an empty open mailbox.
@@ -85,10 +118,44 @@ func (m *Mailbox) Slot(k Key) *Slot {
 		s = &Slot{}
 		s.cond = sync.NewCond(&s.mu)
 		s.closed = m.closed // mailbox already shut down: new slots are born closed
+		if m.rec != nil {
+			s.rec, s.proc, s.label = m.rec, m.proc, m.kl.Of(k)
+		}
 		m.slots[k] = s
 	}
 	m.mu.Unlock()
 	return s
+}
+
+// SetTrace arms mailbox-event recording (enqueue depth, consumer park/wake)
+// for processor proc on recorder r, labelling events through kl. It applies
+// to existing slots and to slots created afterwards, and must be called
+// before traffic starts.
+func (m *Mailbox) SetTrace(r *obsv.Recorder, proc int32, kl *KeyLabels) {
+	m.mu.Lock()
+	m.rec, m.proc, m.kl = r, proc, kl
+	for k, s := range m.slots {
+		s.mu.Lock()
+		s.rec, s.proc, s.label = r, proc, kl.Of(k)
+		s.mu.Unlock()
+	}
+	m.mu.Unlock()
+}
+
+// Depth reports the total number of delivered-but-unconsumed values across
+// all slots (a point-in-time queue-depth gauge for metrics).
+func (m *Mailbox) Depth() int {
+	m.mu.Lock()
+	slots := make([]*Slot, 0, len(m.slots))
+	for _, s := range m.slots {
+		slots = append(slots, s)
+	}
+	m.mu.Unlock()
+	n := 0
+	for _, s := range slots {
+		n += s.Depth()
+	}
+	return n
 }
 
 // Deliver appends v to key k's FIFO.

@@ -1,0 +1,52 @@
+package transport
+
+import (
+	"sync"
+
+	"skipper/internal/obsv"
+)
+
+// TraceSink is implemented by transports that can record their traffic into
+// an event recorder. SetTrace must be called before the run's traffic
+// starts; a nil recorder (or never calling SetTrace) keeps the transport on
+// its untraced path, which costs one predictable branch per operation and
+// zero allocations.
+type TraceSink interface {
+	SetTrace(r *obsv.Recorder)
+}
+
+// KeyLabels caches the interned label id of each mailbox key so the send
+// and receive hot paths never format a Key (Key.String allocates). Lookup
+// is a shared-read map access; misses take the write lock once per distinct
+// key per run.
+type KeyLabels struct {
+	mu  sync.RWMutex
+	rec *obsv.Recorder
+	ids map[Key]uint32
+}
+
+// Reset binds the cache to recorder r and clears previously cached ids.
+func (kl *KeyLabels) Reset(r *obsv.Recorder) {
+	kl.mu.Lock()
+	kl.rec = r
+	kl.ids = map[Key]uint32{}
+	kl.mu.Unlock()
+}
+
+// Of returns the interned label id for k, interning k.String() on first use.
+func (kl *KeyLabels) Of(k Key) uint32 {
+	kl.mu.RLock()
+	id, ok := kl.ids[k]
+	kl.mu.RUnlock()
+	if ok {
+		return id
+	}
+	kl.mu.Lock()
+	defer kl.mu.Unlock()
+	if id, ok := kl.ids[k]; ok {
+		return id
+	}
+	id = kl.rec.Intern(k.String())
+	kl.ids[k] = id
+	return id
+}

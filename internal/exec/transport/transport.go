@@ -59,7 +59,10 @@ func (k Key) String() string {
 	return fmt.Sprintf("key(%q)", k.Kind)
 }
 
-// Stats reports the traffic a transport carried.
+// Stats reports the traffic a transport carried. Backends maintain every
+// field with atomics, so Stats may be called concurrently with traffic
+// (e.g. by a metrics scrape mid-run); each field is individually coherent,
+// though the snapshot as a whole is not taken atomically across fields.
 type Stats struct {
 	// Messages is the number of payloads injected via Send.
 	Messages int64
@@ -70,6 +73,13 @@ type Stats struct {
 	// backend's peer mesh, bypassing the hub entirely. Always zero for the
 	// mem backend (every in-process delivery is already direct).
 	Direct int64
+	// BytesSent is the payload volume injected via Send, and BytesRecv the
+	// volume delivered to local consumers. The mem backend sizes payloads
+	// with value.SizeOf; the net backend counts encoded wire bytes
+	// (excluding frame headers). In a steady single-process run the two
+	// converge; mid-run BytesRecv trails BytesSent by the in-flight volume.
+	BytesSent int64
+	BytesRecv int64
 }
 
 // Receiver is a single-key receive endpoint, hoisted out of hot loops so

@@ -9,6 +9,8 @@ import (
 	"strings"
 	"testing"
 
+	"skipper/internal/exec/transport"
+	"skipper/internal/obsv"
 	"skipper/internal/skel"
 	"skipper/internal/track"
 	"skipper/internal/video"
@@ -196,6 +198,27 @@ func RunBenchReport(w io.Writer, iters int, filter string) (*BenchReport, error)
 			}
 			defer pair.Close()
 			BenchFarmRoundTrip(b, pair, BenchWindowPayload())
+		})
+	}
+
+	// Tracing overhead: the identical scalar round trip with the event
+	// recorder disarmed vs armed. The "off" figure is the hot path with the
+	// nil-recorder branches compiled in (the price every untraced run pays —
+	// pinned at ~0 by the memtransport alloc guard) and the on/off delta is
+	// the cost of actually recording send/recv/enqueue/park/wake events.
+	for _, mode := range []string{"off", "on"} {
+		mode := mode
+		record("Trace_mem_FarmRoundTrip_"+mode, func(b *testing.B) {
+			pair, err := NewTransportPair("mem")
+			if err != nil {
+				firstErr = err
+				b.Skip(err)
+			}
+			defer pair.Close()
+			if mode == "on" {
+				pair.Master.(transport.TraceSink).SetTrace(obsv.NewRecorder(2, 1<<12))
+			}
+			BenchFarmRoundTrip(b, pair, BenchScalarPayload())
 		})
 	}
 

@@ -230,10 +230,16 @@ func E3(w io.Writer, iters int) (*E3Result, error) {
 // ---------------------------------------------------------------------------
 // E4 — sequential emulation ≡ parallel execution
 
-// E4Result reports equivalence of the three execution paths.
+// E4Result reports equivalence of the three execution paths, plus the
+// coordinator's transport statistics for the parallel-executive leg (see
+// exec.RunResult for the Hops/Direct semantics: hops are forwarder link
+// traversals, direct are peer-mesh point-to-point frames).
 type E4Result struct {
 	Iterations int
 	Identical  bool
+	Messages   int64
+	Hops       int64
+	Direct     int64
 }
 
 // runE4Mode executes the E4 tracking deployment through the sequential

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"skipper/internal/distrib"
+	"skipper/internal/exec"
 	"skipper/internal/track"
 )
 
@@ -26,16 +27,17 @@ func e4Spec(iters int) distrib.Spec {
 
 // runExecutiveOn executes the E4 tracking deployment on the named
 // transport and returns the per-iteration results recorded at the
-// processor hosting the display node.
-func runExecutiveOn(transport string, iters int) ([]track.Result, error) {
+// processor hosting the display node, alongside the coordinator's run
+// result (transport statistics, optional trace).
+func runExecutiveOn(transport string, iters int) ([]track.Result, *exec.RunResult, error) {
 	sp := e4Spec(iters)
 	switch transport {
 	case "mem":
-		rec, _, err := distrib.RunInProcess(sp, 2*time.Minute)
+		rec, res, err := distrib.RunInProcess(sp, 2*time.Minute)
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
-		return rec.Results, nil
+		return rec.Results, res, nil
 	case "tcp":
 		// One hub (processor 0) plus one client per remaining processor,
 		// each with its own freshly built registry — the same isolation a
@@ -49,18 +51,18 @@ func runExecutiveOn(transport string, iters int) ([]track.Result, error) {
 			}
 			return nil
 		}
-		rec, _, err := distrib.RunCoordinator(sp, "127.0.0.1:0", spawn, 2*time.Minute)
+		rec, res, err := distrib.RunCoordinator(sp, "127.0.0.1:0", spawn, 2*time.Minute)
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		for i := 1; i < sp.Procs; i++ {
 			if nerr := <-errCh; nerr != nil {
-				return nil, nerr
+				return nil, nil, nerr
 			}
 		}
-		return rec.Results, nil
+		return rec.Results, res, nil
 	}
-	return nil, fmt.Errorf("harness: unknown transport %q", transport)
+	return nil, nil, fmt.Errorf("harness: unknown transport %q", transport)
 }
 
 // E4On is E4 with the parallel-executive leg running over the named
@@ -71,7 +73,7 @@ func E4On(w io.Writer, iters int, transport string) (*E4Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	par, err := runExecutiveOn(transport, iters)
+	par, runRes, err := runExecutiveOn(transport, iters)
 	if err != nil {
 		return nil, err
 	}
@@ -81,8 +83,11 @@ func E4On(w io.Writer, iters int, transport string) (*E4Result, error) {
 	}
 	same := resultsIdentical(emu, par) && resultsIdentical(emu, simr)
 	out := &E4Result{Iterations: iters, Identical: same}
-	fmt.Fprintf(w, "E4[%s]: emulation vs executive vs simulator over %d iterations: identical = %v\n",
-		transport, iters, same)
+	if runRes != nil {
+		out.Messages, out.Hops, out.Direct = runRes.Messages, runRes.Hops, runRes.Direct
+	}
+	fmt.Fprintf(w, "E4[%s]: emulation vs executive vs simulator over %d iterations: identical = %v (%d msgs, %d hops, %d direct)\n",
+		transport, iters, same, out.Messages, out.Hops, out.Direct)
 	return out, nil
 }
 

@@ -18,6 +18,29 @@ func TestE4IdenticalOverAllTransports(t *testing.T) {
 			if !res.Identical {
 				t.Fatalf("execution paths diverge over %s transport", tr)
 			}
+			if res.Messages == 0 {
+				t.Fatalf("%s: coordinator reported zero messages", tr)
+			}
+			// Hops vs Direct semantics (exec.RunResult godoc): hops are
+			// forwarder link traversals — store-and-forward routing on mem,
+			// hub relays on net; direct counts peer-mesh frames and is always
+			// zero on mem and on the hub itself.
+			switch tr {
+			case "mem":
+				if res.Hops == 0 {
+					t.Error("mem: ring routing must store-and-forward (Hops == 0)")
+				}
+				if res.Direct != 0 {
+					t.Errorf("mem: Direct must be zero, got %d", res.Direct)
+				}
+			case "tcp":
+				if res.Hops != 0 {
+					t.Errorf("tcp: hub relayed %d frames; the peer mesh should carry all node traffic", res.Hops)
+				}
+				if res.Direct != 0 {
+					t.Errorf("tcp: coordinator (hub) counted %d direct frames; Direct is sender-side and the hub never uses the mesh", res.Direct)
+				}
+			}
 		})
 	}
 }

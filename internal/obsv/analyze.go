@@ -1,0 +1,117 @@
+package obsv
+
+import "sort"
+
+// OpStat aggregates the spans of one op label.
+type OpStat struct {
+	Label   string
+	Count   int
+	TotalNS int64
+	MinNS   int64
+	MaxNS   int64
+}
+
+// MeanNS returns the average span duration.
+func (s OpStat) MeanNS() int64 {
+	if s.Count == 0 {
+		return 0
+	}
+	return s.TotalNS / int64(s.Count)
+}
+
+// AggregateOps folds spans into per-label statistics, sorted by total time
+// descending.
+func AggregateOps(spans []OpSpan) []OpStat {
+	byLabel := map[string]*OpStat{}
+	var order []string
+	for _, sp := range spans {
+		st, ok := byLabel[sp.Label]
+		if !ok {
+			st = &OpStat{Label: sp.Label, MinNS: sp.Dur()}
+			byLabel[sp.Label] = st
+			order = append(order, sp.Label)
+		}
+		d := sp.Dur()
+		st.Count++
+		st.TotalNS += d
+		if d < st.MinNS {
+			st.MinNS = d
+		}
+		if d > st.MaxNS {
+			st.MaxNS = d
+		}
+	}
+	out := make([]OpStat, 0, len(order))
+	for _, l := range order {
+		out = append(out, *byLabel[l])
+	}
+	sort.SliceStable(out, func(a, b int) bool { return out[a].TotalNS > out[b].TotalNS })
+	return out
+}
+
+// Utilization returns each processor's busy time (union of its op spans,
+// overlaps merged — a farm worker span nested in its processor's op span
+// is not double-counted) and the overall timeline length.
+func Utilization(spans []OpSpan, nprocs int) (busy []int64, total int64) {
+	busy = make([]int64, nprocs)
+	perProc := make([][]OpSpan, nprocs)
+	for _, sp := range spans {
+		if int(sp.Proc) < 0 || int(sp.Proc) >= nprocs {
+			continue
+		}
+		perProc[sp.Proc] = append(perProc[sp.Proc], sp)
+		if sp.End > total {
+			total = sp.End
+		}
+	}
+	for p, ss := range perProc {
+		sort.SliceStable(ss, func(a, b int) bool { return ss[a].Start < ss[b].Start })
+		var end int64 = -1
+		var start int64
+		for _, sp := range ss {
+			if end < 0 || sp.Start > end {
+				if end >= 0 {
+					busy[p] += end - start
+				}
+				start, end = sp.Start, sp.End
+				continue
+			}
+			if sp.End > end {
+				end = sp.End
+			}
+		}
+		if end >= 0 {
+			busy[p] += end - start
+		}
+	}
+	return busy, total
+}
+
+// CriticalPath extracts an approximate critical path from the spans: walk
+// backwards from the span that finishes last, at each step jumping to the
+// latest-finishing span that ends at or before the current one starts
+// (on any processor — a cross-processor jump stands in for the message
+// that carried the dependency). The result is in execution order.
+func CriticalPath(spans []OpSpan) []OpSpan {
+	if len(spans) == 0 {
+		return nil
+	}
+	bySorted := append([]OpSpan(nil), spans...)
+	sort.SliceStable(bySorted, func(a, b int) bool { return bySorted[a].End < bySorted[b].End })
+	cur := bySorted[len(bySorted)-1]
+	path := []OpSpan{cur}
+	for {
+		// Latest-ending span that ends at or before cur starts.
+		i := sort.Search(len(bySorted), func(i int) bool { return bySorted[i].End > cur.Start })
+		if i == 0 {
+			break
+		}
+		cur = bySorted[i-1]
+		path = append(path, cur)
+	}
+	// Reverse into chronological order.
+	for i, j := 0, len(path)-1; i < j; i, j = i+1, j-1 {
+		path[i], path[j] = path[j], path[i]
+	}
+	return path
+}

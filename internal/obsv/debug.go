@@ -1,0 +1,65 @@
+package obsv
+
+import (
+	"encoding/json"
+	"net"
+	"net/http"
+	"time"
+)
+
+// DebugServer serves the observability endpoints of one executive process:
+//
+//	/metrics — Prometheus text exposition of the registered metrics
+//	/healthz — 200 "ok" while the health func returns nil, 503 otherwise
+//	/varz    — free-form JSON status (cluster view on the hub)
+//
+// It is deliberately tiny: std-lib net/http on a dedicated listener,
+// started by distrib when a process is given a debug address.
+type DebugServer struct {
+	ln  net.Listener
+	srv *http.Server
+}
+
+// ServeDebug binds addr (e.g. "127.0.0.1:9190", port 0 picks a free one)
+// and serves the debug endpoints in a background goroutine. health and
+// varz may be nil.
+func ServeDebug(addr string, m *Metrics, health func() error, varz func() map[string]any) (*DebugServer, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		m.WritePrometheus(w)
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		if health != nil {
+			if err := health(); err != nil {
+				http.Error(w, err.Error(), http.StatusServiceUnavailable)
+				return
+			}
+		}
+		w.Write([]byte("ok\n"))
+	})
+	mux.HandleFunc("/varz", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		var v map[string]any
+		if varz != nil {
+			v = varz()
+		}
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(v)
+	})
+	srv := &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
+	s := &DebugServer{ln: ln, srv: srv}
+	go srv.Serve(ln)
+	return s, nil
+}
+
+// Addr returns the bound listen address.
+func (s *DebugServer) Addr() string { return s.ln.Addr().String() }
+
+// Close stops the server and releases the listener.
+func (s *DebugServer) Close() error { return s.srv.Close() }

@@ -1,0 +1,189 @@
+package obsv
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing metric, safe for concurrent use.
+type Counter struct{ v atomic.Int64 }
+
+// Inc adds 1.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n.
+func (c *Counter) Add(n int64) { c.v.Add(n) }
+
+// Value reads the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is a settable float metric, safe for concurrent use.
+type Gauge struct{ bits atomic.Uint64 }
+
+// Set stores v.
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Value reads the current value.
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+// Histogram is a fixed-bucket cumulative histogram (Prometheus
+// conventions: le upper bounds plus +Inf, _sum and _count series).
+type Histogram struct {
+	mu     sync.Mutex
+	bounds []float64
+	counts []int64 // len(bounds)+1; last is the +Inf overflow bucket
+	sum    float64
+	count  int64
+}
+
+// LatencyBuckets is the default bucket layout for op latencies in seconds
+// (10µs .. 1s, roughly logarithmic).
+var LatencyBuckets = []float64{
+	10e-6, 25e-6, 50e-6, 100e-6, 250e-6, 500e-6,
+	1e-3, 2.5e-3, 5e-3, 10e-3, 25e-3, 50e-3, 100e-3, 250e-3, 500e-3, 1,
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(v float64) {
+	h.mu.Lock()
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.counts[i]++
+	h.sum += v
+	h.count++
+	h.mu.Unlock()
+}
+
+// Count returns the number of samples observed.
+func (h *Histogram) Count() int64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.count
+}
+
+// metric is one registered series.
+type metric struct {
+	name, help string
+
+	counter   *Counter
+	counterFn func() int64
+	gauge     *Gauge
+	gaugeFn   func() float64
+	histogram *Histogram
+}
+
+// Metrics is a minimal metric registry rendering the Prometheus text
+// exposition format. Registration is done once at wiring time; reads and
+// updates are lock-free on the individual metrics.
+type Metrics struct {
+	mu    sync.Mutex
+	items []*metric
+	byKey map[string]*metric
+}
+
+// NewMetrics returns an empty registry.
+func NewMetrics() *Metrics {
+	return &Metrics{byKey: map[string]*metric{}}
+}
+
+func (m *Metrics) register(it *metric) *metric {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if old, ok := m.byKey[it.name]; ok {
+		return old
+	}
+	m.items = append(m.items, it)
+	m.byKey[it.name] = it
+	return it
+}
+
+// Counter registers (or returns the existing) counter with name.
+func (m *Metrics) Counter(name, help string) *Counter {
+	it := m.register(&metric{name: name, help: help, counter: &Counter{}})
+	return it.counter
+}
+
+// Gauge registers (or returns the existing) gauge with name.
+func (m *Metrics) Gauge(name, help string) *Gauge {
+	it := m.register(&metric{name: name, help: help, gauge: &Gauge{}})
+	return it.gauge
+}
+
+// CounterFunc registers a counter whose value is read at scrape time (for
+// sources that already maintain their own atomic counters, like
+// transport.Stats).
+func (m *Metrics) CounterFunc(name, help string, fn func() int64) {
+	m.register(&metric{name: name, help: help, counterFn: fn})
+}
+
+// GaugeFunc registers a gauge computed at scrape time.
+func (m *Metrics) GaugeFunc(name, help string, fn func() float64) {
+	m.register(&metric{name: name, help: help, gaugeFn: fn})
+}
+
+// Histogram registers (or returns the existing) histogram with name.
+// bounds must be sorted ascending; nil uses LatencyBuckets.
+func (m *Metrics) Histogram(name, help string, bounds []float64) *Histogram {
+	if bounds == nil {
+		bounds = LatencyBuckets
+	}
+	h := &Histogram{bounds: bounds, counts: make([]int64, len(bounds)+1)}
+	it := m.register(&metric{name: name, help: help, histogram: h})
+	return it.histogram
+}
+
+// WritePrometheus renders every registered metric in the Prometheus text
+// exposition format (v0.0.4), in registration order.
+func (m *Metrics) WritePrometheus(w io.Writer) error {
+	m.mu.Lock()
+	items := append([]*metric(nil), m.items...)
+	m.mu.Unlock()
+	for _, it := range items {
+		typ := "gauge"
+		if it.counter != nil || it.counterFn != nil {
+			typ = "counter"
+		}
+		if it.histogram != nil {
+			typ = "histogram"
+		}
+		if it.help != "" {
+			if _, err := fmt.Fprintf(w, "# HELP %s %s\n", it.name, it.help); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", it.name, typ); err != nil {
+			return err
+		}
+		switch {
+		case it.counter != nil:
+			fmt.Fprintf(w, "%s %d\n", it.name, it.counter.Value())
+		case it.counterFn != nil:
+			fmt.Fprintf(w, "%s %d\n", it.name, it.counterFn())
+		case it.gauge != nil:
+			fmt.Fprintf(w, "%s %g\n", it.name, it.gauge.Value())
+		case it.gaugeFn != nil:
+			fmt.Fprintf(w, "%s %g\n", it.name, it.gaugeFn())
+		case it.histogram != nil:
+			h := it.histogram
+			h.mu.Lock()
+			cum := int64(0)
+			for i, b := range h.bounds {
+				cum += h.counts[i]
+				fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", it.name, formatBound(b), cum)
+			}
+			cum += h.counts[len(h.bounds)]
+			fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", it.name, cum)
+			fmt.Fprintf(w, "%s_sum %g\n", it.name, h.sum)
+			fmt.Fprintf(w, "%s_count %d\n", it.name, h.count)
+			h.mu.Unlock()
+		}
+	}
+	return nil
+}
+
+func formatBound(b float64) string {
+	return fmt.Sprintf("%g", b)
+}

@@ -1,0 +1,34 @@
+package obsv
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestColorForStable(t *testing.T) {
+	if colorFor("detect_mark") != colorFor("detect_mark") {
+		t.Fatal("color not stable")
+	}
+	if escapeXML("a<b>&c") != "a&lt;b&gt;&amp;c" {
+		t.Fatal("escape broken")
+	}
+}
+
+func TestChronogramSVGEmpty(t *testing.T) {
+	if !strings.Contains(ChronogramSVG(nil, 2, 0, 200, 10), "no trace") {
+		t.Fatal("placeholder missing")
+	}
+}
+
+func TestChronogramSVGSpans(t *testing.T) {
+	spans := []Span{
+		{Proc: 0, Start: 0, End: 0.010, Label: "square"},
+		{Proc: 1, Start: 0.002, End: 0.014, Label: "square"},
+	}
+	svg := ChronogramSVG(spans, 2, 0.014, 400, 14)
+	for _, want := range []string{"<svg", "</svg>", "P0", "P1", "<title>square", "ms</text>"} {
+		if !strings.Contains(svg, want) {
+			t.Fatalf("SVG missing %q", want)
+		}
+	}
+}

@@ -1,0 +1,203 @@
+package obsv
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// fixedTrace builds a hand-written trace with deterministic timestamps, so
+// exports can be compared against golden output.
+func fixedTrace() *Trace {
+	return &Trace{
+		Schema: TraceSchema, NProcs: 2, Procs: []int{0, 1},
+		EpochUnixNano: 1_000_000_000,
+		Labels:        []string{"", "detect", "e7"},
+		Events: []Event{
+			{TS: 1000, Kind: EvOpStart, Proc: 0, Peer: -1, Label: 1, Arg: 0},
+			{TS: 2000, Kind: EvSend, Proc: 0, Peer: 1, Label: 2, Arg: 64},
+			{TS: 2500, Kind: EvRecv, Proc: 1, Peer: -1, Label: 2, Arg: 64},
+			{TS: 2600, Kind: EvEnqueue, Proc: 1, Peer: -1, Label: 2, Arg: 1},
+			{TS: 5000, Kind: EvOpEnd, Proc: 0, Peer: -1, Label: 1, Arg: 0},
+		},
+	}
+}
+
+func TestRecorderRoundTrip(t *testing.T) {
+	r := NewRecorder(2, 8)
+	lbl := r.Intern("op")
+	r.Record(0, EvOpStart, lbl, -1, 3)
+	r.Record(1, EvRecv, 0, -1, 128)
+	r.Record(0, EvOpEnd, lbl, -1, 3)
+	tr := r.Snapshot()
+	if len(tr.Events) != 3 {
+		t.Fatalf("snapshot has %d events, want 3", len(tr.Events))
+	}
+	for i := 1; i < len(tr.Events); i++ {
+		if tr.Events[i].TS < tr.Events[i-1].TS {
+			t.Fatal("snapshot events not time-sorted")
+		}
+	}
+	if got := tr.Label(tr.Events[0].Label); got != "op" {
+		t.Fatalf("label round trip gave %q", got)
+	}
+	if tr.Dropped != 0 {
+		t.Fatalf("dropped = %d, want 0", tr.Dropped)
+	}
+}
+
+func TestRecorderWrapDropsOldest(t *testing.T) {
+	r := NewRecorder(1, 4)
+	for i := 0; i < 10; i++ {
+		r.Record(0, EvSend, 0, 1, int64(i))
+	}
+	tr := r.Snapshot()
+	if len(tr.Events) != 4 {
+		t.Fatalf("wrapped ring kept %d events, want 4", len(tr.Events))
+	}
+	if tr.Dropped != 6 {
+		t.Fatalf("dropped = %d, want 6", tr.Dropped)
+	}
+	// Survivors are the newest events, oldest-first.
+	for i, ev := range tr.Events {
+		if ev.Arg != int64(6+i) {
+			t.Fatalf("event %d has arg %d, want %d", i, ev.Arg, 6+i)
+		}
+	}
+}
+
+func TestNilRecorderIsInert(t *testing.T) {
+	var r *Recorder
+	if r.Intern("x") != 0 || r.Record(0, EvSend, 0, 0, 0) != 0 || r.Dropped() != 0 || r.Now() != 0 {
+		t.Fatal("nil recorder must no-op")
+	}
+	if r.Snapshot() != nil {
+		t.Fatal("nil recorder snapshot must be nil")
+	}
+}
+
+func TestTraceFileRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	in := fixedTrace()
+	in.Meta = map[string]string{"app": "tracking"}
+	path := filepath.Join(dir, "trace-coord.json")
+	if err := in.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	out, err := ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.NProcs != in.NProcs || len(out.Events) != len(in.Events) ||
+		out.Meta["app"] != "tracking" || out.Labels[1] != "detect" {
+		t.Fatalf("trace round trip mangled: %+v", out)
+	}
+	for i := range in.Events {
+		if in.Events[i] != out.Events[i] {
+			t.Fatalf("event %d round trip: %+v != %+v", i, in.Events[i], out.Events[i])
+		}
+	}
+	if _, err := LoadDir(dir); err != nil {
+		t.Fatalf("LoadDir: %v", err)
+	}
+}
+
+// TestMergeAlignsClocks pins the cross-process timeline reconstruction: a
+// node whose wall clock is skewed from the coordinator's is placed on the
+// coordinator's timeline via its handshake-estimated ClockOffsetNS.
+func TestMergeAlignsClocks(t *testing.T) {
+	coord := &Trace{
+		Schema: TraceSchema, NProcs: 2, Procs: []int{0},
+		EpochUnixNano: 1_000_000, // coordinator epoch, its own clock is the reference
+		Labels:        []string{"", "send(e1)"},
+		Events:        []Event{{TS: 500, Kind: EvSend, Proc: 0, Peer: 1, Label: 1, Arg: 8}},
+		Meta:          map[string]string{"app": "tracking"},
+	}
+	// The node's wall clock runs 300ns ahead of the coordinator's
+	// (offset -300 maps node wall time onto coordinator wall time) and its
+	// recorder started at node-wall 1_000_800 = coordinator-wall 1_000_500.
+	node := &Trace{
+		Schema: TraceSchema, NProcs: 2, Procs: []int{1},
+		EpochUnixNano: 1_000_800,
+		ClockOffsetNS: -300,
+		Labels:        []string{"", "recv(e1)"},
+		Events:        []Event{{TS: 100, Kind: EvRecv, Proc: 1, Peer: -1, Label: 1, Arg: 8}},
+	}
+	m := Merge([]*Trace{coord, node})
+	if len(m.Events) != 2 {
+		t.Fatalf("merged %d events, want 2", len(m.Events))
+	}
+	// Coordinator epoch (1_000_000) is the earliest aligned epoch = base.
+	// Coordinator event: 0 + 500. Node event: (1_000_500 - 1_000_000) + 100.
+	if m.Events[0].TS != 500 || m.Events[1].TS != 600 {
+		t.Fatalf("rebased timestamps = %d, %d; want 500, 600", m.Events[0].TS, m.Events[1].TS)
+	}
+	if m.Events[0].Kind != EvSend || m.Events[1].Kind != EvRecv {
+		t.Fatal("merge broke time ordering across processes")
+	}
+	if got := m.Label(m.Events[1].Label); got != "recv(e1)" {
+		t.Fatalf("node label re-interned as %q", got)
+	}
+	if len(m.Procs) != 2 || m.Procs[0] != 0 || m.Procs[1] != 1 {
+		t.Fatalf("merged procs = %v", m.Procs)
+	}
+	if m.Meta["app"] != "tracking" {
+		t.Fatal("merge dropped the deployment meta")
+	}
+}
+
+func TestOpSpansPairing(t *testing.T) {
+	tr := fixedTrace()
+	spans := tr.OpSpans()
+	if len(spans) != 1 {
+		t.Fatalf("got %d spans, want 1", len(spans))
+	}
+	sp := spans[0]
+	if sp.Label != "detect" || sp.Proc != 0 || sp.Start != 1000 || sp.End != 5000 || sp.Dur() != 4000 {
+		t.Fatalf("span = %+v", sp)
+	}
+}
+
+// TestChromeJSONGolden pins the trace_event export byte for byte on a
+// fixed trace, and proves it parses back losslessly.
+func TestChromeJSONGolden(t *testing.T) {
+	data, err := fixedTrace().ChromeJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	const golden = `{"traceEvents":[` +
+		`{"name":"detect","cat":"op","ph":"X","ts":1,"dur":4,"pid":0,"tid":0},` +
+		`{"name":"send e7","cat":"comm","ph":"i","ts":2,"pid":0,"tid":0,"s":"t","args":{"bytes":64,"dst":1}},` +
+		`{"name":"recv e7","cat":"comm","ph":"i","ts":2.5,"pid":0,"tid":1,"s":"t","args":{"bytes":64}},` +
+		`{"name":"enqueue e7","cat":"mailbox","ph":"i","ts":2.6,"pid":0,"tid":1,"s":"t","args":{"depth":1}}` +
+		`],"displayTimeUnit":"ms"}` + "\n"
+	if string(data) != golden {
+		t.Fatalf("chrome export drifted from golden:\n got: %s\nwant: %s", data, golden)
+	}
+	ct, err := ParseChromeJSON(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ct.TraceEvents) != 4 || ct.DisplayTimeUnit != "ms" {
+		t.Fatalf("round trip gave %d events", len(ct.TraceEvents))
+	}
+	if ev := ct.TraceEvents[0]; ev.Ph != "X" || ev.Dur != 4 || ev.Name != "detect" {
+		t.Fatalf("op span round trip: %+v", ev)
+	}
+	if ev := ct.TraceEvents[1]; ev.Args["bytes"] != 64 || ev.Args["dst"] != 1 {
+		t.Fatalf("send args round trip: %+v", ev)
+	}
+}
+
+func TestReadFileRejectsWrongSchema(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "trace-x.json")
+	tr := fixedTrace()
+	tr.Schema = "other/v9"
+	if err := tr.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadFile(path); err == nil || !strings.Contains(err.Error(), "schema") {
+		t.Fatalf("wrong schema accepted: %v", err)
+	}
+}

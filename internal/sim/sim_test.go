@@ -496,15 +496,6 @@ func TestChronogramSVG(t *testing.T) {
 	}
 }
 
-func TestColorForStable(t *testing.T) {
-	if colorFor("detect_mark") != colorFor("detect_mark") {
-		t.Fatal("color not stable")
-	}
-	if escapeXML("a<b>&c") != "a&lt;b&gt;&amp;c" {
-		t.Fatal("escape broken")
-	}
-}
-
 func TestSimulationDeterministic(t *testing.T) {
 	// Two runs of the same schedule produce bit-identical timing: the
 	// virtual-time model must not depend on map iteration order or any

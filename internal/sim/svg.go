@@ -1,102 +1,21 @@
 package sim
 
-import (
-	"fmt"
-	"strings"
-)
+import "skipper/internal/obsv"
 
 // ChronogramSVG renders the recorded activity spans as a standalone SVG
 // Gantt chart: one lane per processor, colored blocks per activity, a
 // millisecond axis along the bottom. Requires a run with Options.Trace.
+// The rendering is shared with the measured chronogram (obsv.Trace), so a
+// predicted and a measured diagram of the same run are directly comparable.
 func (r *Result) ChronogramSVG(width, laneHeight int) string {
-	if width < 100 {
-		width = 100
-	}
-	if laneHeight < 8 {
-		laneHeight = 8
-	}
-	const (
-		leftMargin = 46
-		topMargin  = 20
-		axisHeight = 28
-	)
-	lanes := len(r.Busy)
-	height := topMargin + lanes*laneHeight + axisHeight
-	var b strings.Builder
-	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" font-family="monospace" font-size="10">`,
-		width+leftMargin+10, height)
-	b.WriteString("\n")
-	fmt.Fprintf(&b, `<rect x="0" y="0" width="%d" height="%d" fill="white"/>`,
-		width+leftMargin+10, height)
-	b.WriteString("\n")
-	if r.Total <= 0 || len(r.Spans) == 0 {
-		b.WriteString(`<text x="10" y="20">(no trace recorded)</text></svg>`)
-		return b.String()
-	}
-	// Lane backgrounds and labels.
-	for p := 0; p < lanes; p++ {
-		y := topMargin + p*laneHeight
-		fill := "#f4f4f4"
-		if p%2 == 1 {
-			fill = "#eaeaea"
+	spans := make([]obsv.Span, len(r.Spans))
+	for i, sp := range r.Spans {
+		spans[i] = obsv.Span{
+			Proc:  int(sp.Proc),
+			Start: sp.Start,
+			End:   sp.End,
+			Label: sp.Label,
 		}
-		fmt.Fprintf(&b, `<rect x="%d" y="%d" width="%d" height="%d" fill="%s"/>`,
-			leftMargin, y, width, laneHeight, fill)
-		b.WriteString("\n")
-		fmt.Fprintf(&b, `<text x="4" y="%d">P%d</text>`, y+laneHeight-2, p)
-		b.WriteString("\n")
 	}
-	// Spans, colored deterministically by label.
-	for _, sp := range r.Spans {
-		x := leftMargin + int(sp.Start/r.Total*float64(width))
-		w := int((sp.End - sp.Start) / r.Total * float64(width))
-		if w < 1 {
-			w = 1
-		}
-		y := topMargin + int(sp.Proc)*laneHeight
-		fmt.Fprintf(&b,
-			`<rect x="%d" y="%d" width="%d" height="%d" fill="%s"><title>%s %.2f–%.2f ms</title></rect>`,
-			x, y+1, w, laneHeight-2, colorFor(sp.Label), escapeXML(sp.Label),
-			sp.Start*1000, sp.End*1000)
-		b.WriteString("\n")
-	}
-	// Axis: 5 ticks.
-	axisY := topMargin + lanes*laneHeight
-	fmt.Fprintf(&b, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="black"/>`,
-		leftMargin, axisY, leftMargin+width, axisY)
-	b.WriteString("\n")
-	for i := 0; i <= 5; i++ {
-		x := leftMargin + i*width/5
-		ms := r.Total * 1000 * float64(i) / 5
-		fmt.Fprintf(&b, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="black"/>`,
-			x, axisY, x, axisY+4)
-		b.WriteString("\n")
-		fmt.Fprintf(&b, `<text x="%d" y="%d">%.0fms</text>`, x-10, axisY+16, ms)
-		b.WriteString("\n")
-	}
-	b.WriteString("</svg>")
-	return b.String()
-}
-
-// colorFor assigns a stable pastel color per activity label.
-func colorFor(label string) string {
-	palette := []string{
-		"#7eb0d5", "#b2e061", "#bd7ebe", "#ffb55a", "#ffee65",
-		"#beb9db", "#fdcce5", "#8bd3c7", "#fd7f6f",
-	}
-	h := 0
-	for i := 0; i < len(label); i++ {
-		h = h*31 + int(label[i])
-	}
-	if h < 0 {
-		h = -h
-	}
-	return palette[h%len(palette)]
-}
-
-func escapeXML(s string) string {
-	s = strings.ReplaceAll(s, "&", "&amp;")
-	s = strings.ReplaceAll(s, "<", "&lt;")
-	s = strings.ReplaceAll(s, ">", "&gt;")
-	return s
+	return obsv.ChronogramSVG(spans, len(r.Busy), r.Total, width, laneHeight)
 }

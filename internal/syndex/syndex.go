@@ -106,6 +106,26 @@ type Schedule struct {
 	Strategy Strategy
 }
 
+// OpLabel is the canonical display label of a scheduled op, shared by the
+// runtime tracer and the trace tooling so measured spans can be keyed back
+// to the schedule. Communications are labelled by edge ("send(e3)"),
+// worker spawns by "spawn(name)", memory writes by "memwrite(name)", and
+// every other op by its node's name — the same label the timing simulator
+// gives its predicted spans.
+func (s *Schedule) OpLabel(op Op) string {
+	switch op.Kind {
+	case OpSend:
+		return fmt.Sprintf("send(e%d)", op.Edge)
+	case OpRecv:
+		return fmt.Sprintf("recv(e%d)", op.Edge)
+	case OpWorker:
+		return "spawn(" + s.Graph.Node(op.Node).Name + ")"
+	case OpMemWrite:
+		return "memwrite(" + s.Graph.Node(op.Node).Name + ")"
+	}
+	return s.Graph.Node(op.Node).Name
+}
+
 // Map distributes the process graph over the architecture and builds the
 // static schedule. It fails if the graph is invalid or the architecture is
 // disconnected.

@@ -1,6 +1,9 @@
 package vision
 
-import "sync"
+import (
+	"sync"
+	"sync/atomic"
+)
 
 // Frame-buffer arena. Per-frame vision pipelines allocate (and immediately
 // discard) full-frame images on every iteration; at 512×512 @ 25 Hz that is
@@ -11,6 +14,17 @@ import "sync"
 // GC, so the arena is safe to adopt incrementally.
 
 var imagePool = sync.Pool{New: func() any { return &Image{} }}
+
+// arenaHits counts Get calls satisfied by a pooled buffer of sufficient
+// capacity; arenaMisses counts those that had to allocate. The ratio is the
+// arena's effectiveness gauge on the debug /metrics endpoint.
+var arenaHits, arenaMisses atomic.Int64
+
+// ArenaStats reports how many image requests reused pooled pixel memory
+// (hits) versus allocated fresh buffers (misses) since process start.
+func ArenaStats() (hits, misses int64) {
+	return arenaHits.Load(), arenaMisses.Load()
+}
 
 // GetImage returns a zeroed W×H image, reusing pooled pixel memory when a
 // large-enough buffer is available. Semantics match NewImage exactly.
@@ -29,7 +43,10 @@ func getImageDirty(w, h int) *Image {
 	need := w * h
 	im := imagePool.Get().(*Image)
 	if cap(im.Pix) < need {
+		arenaMisses.Add(1)
 		im.Pix = make([]uint8, need)
+	} else {
+		arenaHits.Add(1)
 	}
 	im.W, im.H = w, h
 	im.Pix = im.Pix[:need]
