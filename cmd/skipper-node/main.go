@@ -17,6 +17,7 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -38,6 +39,10 @@ func main() {
 	timeout := flag.Duration("timeout", 2*time.Minute, "dial + run watchdog")
 	trace := flag.String("trace", "", "write this node's event trace (trace-node<p>.json) into this directory")
 	debugAddr := flag.String("debug-addr", "", "serve /metrics, /healthz and /varz on this address during the run")
+	maxRetries := flag.Int("max-retries", 0, "farm fault tolerance: re-dispatch a dead worker's tasks up to this many times (0 disables)")
+	taskDeadline := flag.Duration("task-deadline", 0, "declare a worker dead when a farm task sits unanswered this long (0 disables)")
+	heartbeat := flag.Duration("heartbeat", 0, "control-plane liveness heartbeat interval, must match the coordinator (0 disables)")
+	dieAfterSends := flag.Int("die-after-sends", 0, "chaos: sever this node's transport after it has sent this many frames (0 disables)")
 	flag.Parse()
 
 	if *hub == "" || *proc < 0 {
@@ -51,9 +56,16 @@ func main() {
 		Vehicles: *vehicles, Seed: *seed,
 		Iters: *iters, Deterministic: *deterministic,
 		TraceDir: *trace, DebugAddr: *debugAddr,
+		MaxRetries: *maxRetries, TaskDeadline: *taskDeadline,
+		Heartbeat: *heartbeat, DieAfterSends: *dieAfterSends,
 	}
 	if err := distrib.RunNode(sp, *proc, *hub, *timeout); err != nil {
 		fmt.Fprintln(os.Stderr, "skipper-node:", err)
+		// A fired chaos trigger is the drill working as scripted, not a
+		// fault of this node; exit distinctly so the spawner can tell.
+		if errors.Is(err, distrib.ErrChaosKilled) {
+			os.Exit(3)
+		}
 		os.Exit(1)
 	}
 }

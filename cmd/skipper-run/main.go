@@ -7,6 +7,8 @@
 //	skipper-run [-backend exec|sim] [-transport mem|tcp] [-procs 8]
 //	            [-iters 50] [-size 512] [-vehicles 3] [-seed 3]
 //	            [-topology ring] [-trace dir] [-debug-addr host:port]
+//	            [-max-retries n] [-task-deadline d] [-heartbeat d]
+//	            [-chaos-kill-proc p] [-chaos-kill-after n]
 //	            [topology(procs)]
 //
 // The optional positional argument names the architecture compactly:
@@ -26,6 +28,14 @@
 //
 // -debug-addr serves /metrics (Prometheus text), /healthz and /varz for
 // the duration of the run.
+//
+// -max-retries enables farm fault tolerance (DESIGN.md §11): when a node
+// hosting only farm workers dies mid-run, its in-flight tasks are
+// re-dispatched on the survivors and the run completes without it.
+// -task-deadline additionally catches workers that hang without dying;
+// -heartbeat arms control-plane liveness probes. -chaos-kill-proc runs a
+// fault-injection drill: the named node process severs itself mid-run
+// (after -chaos-kill-after sends) exactly like a crash.
 package main
 
 import (
@@ -57,6 +67,11 @@ func main() {
 	trace := flag.String("trace", "", "trace directory: record an event trace and export chrome-trace.json plus a measured chronogram SVG (sim: the predicted chronogram)")
 	debugAddr := flag.String("debug-addr", "", "serve /metrics, /healthz and /varz on this address during the run")
 	svgPath := flag.String("svg", "", "with -backend sim -trace: also write the predicted SVG chronogram to this file")
+	maxRetries := flag.Int("max-retries", 0, "farm fault tolerance: re-dispatch a dead worker's tasks up to this many times (0 disables)")
+	taskDeadline := flag.Duration("task-deadline", 0, "declare a worker dead when a farm task sits unanswered this long (0 disables)")
+	heartbeat := flag.Duration("heartbeat", 0, "with -transport tcp: control-plane liveness heartbeat interval (0 disables)")
+	chaosKillProc := flag.Int("chaos-kill-proc", 0, "chaos drill, with -transport tcp: sever this node processor mid-run (0 disables)")
+	chaosKillAfter := flag.Int("chaos-kill-after", 2, "chaos drill: how many frames the victim sends before it is severed")
 	flag.Parse()
 
 	if flag.NArg() > 0 {
@@ -65,15 +80,26 @@ func main() {
 		}
 	}
 
+	sp := distrib.Spec{
+		Topology: *topology, Procs: *procs,
+		Width: *size, Height: *size,
+		Vehicles: *vehicles, Seed: *seed, Iters: *iters,
+		TraceDir: *trace, DebugAddr: *debugAddr,
+		MaxRetries: *maxRetries, TaskDeadline: *taskDeadline,
+		Heartbeat: *heartbeat,
+	}
 	if *backend == "exec" && *transportFlag == "tcp" {
-		runTCP(*procs, *iters, *size, *vehicles, *seed, *topology, *trace, *debugAddr)
+		runTCP(sp, *chaosKillProc, *chaosKillAfter)
 		return
+	}
+	if *chaosKillProc != 0 {
+		fatal(fmt.Errorf("-chaos-kill-proc needs a real node process to kill (use -transport tcp)"))
 	}
 	if *transportFlag != "mem" && *transportFlag != "tcp" {
 		fatal(fmt.Errorf("unknown transport %q", *transportFlag))
 	}
 	if *backend == "exec" && (*trace != "" || *debugAddr != "") {
-		runMemObserved(*procs, *iters, *size, *vehicles, *seed, *topology, *trace, *debugAddr)
+		runMemObserved(sp)
 		return
 	}
 
@@ -204,52 +230,58 @@ func exportTrace(dir string) {
 
 // runMemObserved executes the in-process deployment with tracing and/or the
 // debug endpoint armed, via the same distrib path the TCP deployment uses.
-func runMemObserved(procs, iters, size, vehicles int, seed int64, topology, traceDir, debugAddr string) {
-	sp := distrib.Spec{
-		Topology: topology, Procs: procs,
-		Width: size, Height: size,
-		Vehicles: vehicles, Seed: seed, Iters: iters,
-		TraceDir: traceDir, DebugAddr: debugAddr,
-	}
+func runMemObserved(sp distrib.Spec) {
 	rec, _, err := distrib.RunInProcess(sp, 5*time.Minute)
 	if err != nil {
 		fatal(err)
 	}
-	if traceDir != "" {
-		exportTrace(traceDir)
+	if sp.TraceDir != "" {
+		exportTrace(sp.TraceDir)
 	}
 	printTrackingSummary(rec)
 }
 
 // runTCP executes the tracking deployment as N communicating OS processes
 // on localhost: processor 0 plus the hub here, one spawned skipper-node
-// per remaining processor.
-func runTCP(procs, iters, size int, vehicles int, seed int64, topology, traceDir, debugAddr string) {
+// per remaining processor. chaosKillProc, when non-zero, scripts a chaos
+// drill: that node process is spawned with -die-after-sends so it severs
+// itself mid-run, and the run must degrade (or, with -max-retries, finish)
+// without it.
+func runTCP(sp distrib.Spec, chaosKillProc, chaosKillAfter int) {
 	nodeBin, err := findNodeBinary()
 	if err != nil {
 		fatal(err)
 	}
-	sp := distrib.Spec{
-		Topology: topology, Procs: procs,
-		Width: size, Height: size,
-		Vehicles: vehicles, Seed: seed, Iters: iters,
-		TraceDir: traceDir, DebugAddr: debugAddr,
+	if chaosKillProc != 0 && (chaosKillProc < 1 || chaosKillProc >= sp.Procs) {
+		fatal(fmt.Errorf("-chaos-kill-proc %d outside node range 1..%d", chaosKillProc, sp.Procs-1))
 	}
 	var children []*exec.Cmd
 	spawn := func(addr string) error {
-		for p := 1; p < procs; p++ {
+		for p := 1; p < sp.Procs; p++ {
 			args := []string{
 				"-hub", addr,
 				"-proc", strconv.Itoa(p),
-				"-procs", strconv.Itoa(procs),
-				"-iters", strconv.Itoa(iters),
-				"-size", strconv.Itoa(size),
-				"-vehicles", strconv.Itoa(vehicles),
-				"-seed", strconv.FormatInt(seed, 10),
-				"-topology", topology,
+				"-procs", strconv.Itoa(sp.Procs),
+				"-iters", strconv.Itoa(sp.Iters),
+				"-size", strconv.Itoa(sp.Width),
+				"-vehicles", strconv.Itoa(sp.Vehicles),
+				"-seed", strconv.FormatInt(sp.Seed, 10),
+				"-topology", sp.Topology,
 			}
-			if traceDir != "" {
-				args = append(args, "-trace", traceDir)
+			if sp.TraceDir != "" {
+				args = append(args, "-trace", sp.TraceDir)
+			}
+			if sp.MaxRetries > 0 {
+				args = append(args, "-max-retries", strconv.Itoa(sp.MaxRetries))
+			}
+			if sp.TaskDeadline > 0 {
+				args = append(args, "-task-deadline", sp.TaskDeadline.String())
+			}
+			if sp.Heartbeat > 0 {
+				args = append(args, "-heartbeat", sp.Heartbeat.String())
+			}
+			if p == chaosKillProc {
+				args = append(args, "-die-after-sends", strconv.Itoa(chaosKillAfter))
 			}
 			cmd := exec.Command(nodeBin, args...)
 			cmd.Stderr = os.Stderr
@@ -261,19 +293,27 @@ func runTCP(procs, iters, size int, vehicles int, seed int64, topology, traceDir
 		return nil
 	}
 	rec, res, err := distrib.RunCoordinator(sp, "127.0.0.1:0", spawn, 5*time.Minute)
-	for _, c := range children {
-		if werr := c.Wait(); werr != nil && err == nil {
+	for i, c := range children {
+		werr := c.Wait()
+		if werr != nil && i+1 == chaosKillProc {
+			continue // the scripted victim is supposed to die
+		}
+		if werr != nil && err == nil {
 			err = fmt.Errorf("node process %v: %w", c.Args[2:4], werr)
 		}
 	}
 	if err != nil {
 		fatal(err)
 	}
-	if traceDir != "" {
-		exportTrace(traceDir)
+	if sp.TraceDir != "" {
+		exportTrace(sp.TraceDir)
 	}
 	fmt.Printf("%d processors as OS processes over TCP, %d messages from coordinator\n",
-		procs, res.Messages)
+		sp.Procs, res.Messages)
+	if sp.MaxRetries > 0 || chaosKillProc != 0 {
+		fmt.Printf("fault tolerance: %d peer failure(s), %d task re-dispatch(es)\n",
+			res.Failures, res.Redispatches)
+	}
 	printTrackingSummary(rec)
 }
 

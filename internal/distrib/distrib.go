@@ -10,15 +10,19 @@
 package distrib
 
 import (
+	"errors"
 	"fmt"
+	"sync/atomic"
 	"time"
 
 	"skipper/internal/arch"
 	"skipper/internal/dsl/parser"
 	"skipper/internal/dsl/types"
 	"skipper/internal/exec"
+	"skipper/internal/exec/faulttransport"
 	"skipper/internal/exec/memtransport"
 	"skipper/internal/exec/nettransport"
+	"skipper/internal/exec/transport"
 	"skipper/internal/expand"
 	"skipper/internal/syndex"
 	"skipper/internal/track"
@@ -48,7 +52,31 @@ type Spec struct {
 	// that address for the run's duration.
 	TraceDir  string
 	DebugAddr string
+
+	// Fault tolerance (DESIGN.md §11). MaxRetries > 0 enables farm task
+	// re-dispatch: a worker processor's death re-enqueues its in-flight
+	// tasks on survivors, each task surviving at most MaxRetries losses.
+	// TaskDeadline, when positive, additionally declares a worker dead when
+	// a task sits unanswered that long (catching hangs no transport error
+	// reveals). Heartbeat arms control-plane liveness probes at that
+	// interval — pass the same value to every process, like the topology.
+	// None of these enter the schedule fingerprint: they tune the
+	// executive, not the compiled deployment.
+	MaxRetries   int
+	TaskDeadline time.Duration
+	Heartbeat    time.Duration
+
+	// DieAfterSends is the chaos knob: when positive on a node process,
+	// its transport is severed — no detach, sockets torn mid-frame, the
+	// observable signature of kill -9 — once the node has sent that many
+	// frames. The node's run then fails with ErrChaosKilled while the rest
+	// of the cluster must carry on (or abort cleanly, without MaxRetries).
+	DieAfterSends int
 }
+
+// ErrChaosKilled marks a node run that ended because its own DieAfterSends
+// trigger fired — the expected casualty of a chaos drill, not a fault.
+var ErrChaosKilled = errors.New("distrib: node severed by chaos injection")
 
 // Arch builds the architecture graph the spec names.
 func (sp Spec) Arch() (*arch.Arch, error) {
@@ -95,6 +123,20 @@ func (sp Spec) Compile() (*syndex.Schedule, *value.Registry, *track.Recorder, er
 	return s, reg, rec, nil
 }
 
+// netOptions collects the transport options the spec implies.
+func (sp Spec) netOptions() []nettransport.Option {
+	var opts []nettransport.Option
+	if sp.Heartbeat > 0 {
+		opts = append(opts, nettransport.WithHeartbeat(sp.Heartbeat))
+	}
+	return opts
+}
+
+// ft is the executive fault-tolerance policy the spec implies.
+func (sp Spec) ft() exec.FaultTolerance {
+	return exec.FaultTolerance{MaxRetries: sp.MaxRetries, TaskDeadline: sp.TaskDeadline}
+}
+
 // RunNode is the whole lifecycle of one node process: compile the spec,
 // dial the hub claiming proc, run the processor's program and detach. Used
 // by cmd/skipper-node and, in-process, by tests.
@@ -106,19 +148,35 @@ func RunNode(sp Spec, proc int, hubAddr string, d time.Duration) error {
 	if proc <= 0 || proc >= s.Arch.N {
 		return fmt.Errorf("distrib: node processor %d outside 1..%d (0 is the coordinator)", proc, s.Arch.N-1)
 	}
-	cl, err := nettransport.Dial(hubAddr, s.Fingerprint(), []arch.ProcID{arch.ProcID(proc)}, d)
+	cl, err := nettransport.Dial(hubAddr, s.Fingerprint(), []arch.ProcID{arch.ProcID(proc)}, d, sp.netOptions()...)
 	if err != nil {
 		return err
 	}
 	defer cl.Close()
-	m := exec.NewMachineOn(s, reg, cl, []arch.ProcID{arch.ProcID(proc)})
+	var tr transport.Transport = cl
+	var killed atomic.Bool
+	if sp.DieAfterSends > 0 {
+		tr = faulttransport.New(cl, faulttransport.Config{
+			Faults: map[arch.ProcID]faulttransport.Fault{
+				arch.ProcID(proc): {KillAfterSends: sp.DieAfterSends},
+			},
+			// Sever, not Close: the cluster must see a death (EOF without
+			// detach, sockets torn mid-frame), not a clean shutdown.
+			OnKill: func(arch.ProcID) { killed.Store(true); cl.Sever() },
+		})
+	}
+	m := exec.NewMachineOn(s, reg, tr, []arch.ProcID{arch.ProcID(proc)})
 	m.DeterministicFarm = sp.Deterministic
-	ob, err := sp.observe(cl, m, nil)
+	m.FT = sp.ft()
+	ob, err := sp.observe(tr, m, nil)
 	if err != nil {
 		return err
 	}
 	defer ob.close()
 	res, runErr := m.RunWithTimeout(sp.Iters, d)
+	if killed.Load() {
+		runErr = ErrChaosKilled
+	}
 	// Best effort even after a failed run: a partial trace is exactly what a
 	// post-mortem needs.
 	if werr := ob.writeTrace(sp, fmt.Sprintf("trace-node%d.json", proc), res,
@@ -142,13 +200,14 @@ func RunCoordinator(sp Spec, listen string, spawn func(addr string) error, d tim
 	if err != nil {
 		return nil, nil, err
 	}
-	hub, err := nettransport.NewHub(listen, s.Arch, s.Fingerprint(), []arch.ProcID{0})
+	hub, err := nettransport.NewHub(listen, s.Arch, s.Fingerprint(), []arch.ProcID{0}, sp.netOptions()...)
 	if err != nil {
 		return nil, nil, err
 	}
 	defer hub.Close()
 	m := exec.NewMachineOn(s, reg, hub, []arch.ProcID{0})
 	m.DeterministicFarm = sp.Deterministic
+	m.FT = sp.ft()
 	// The debug server comes up before the nodes are spawned and before the
 	// run starts, so health and metrics are scrapeable while the cluster is
 	// attaching and mid-run.
@@ -182,6 +241,7 @@ func RunInProcess(sp Spec, d time.Duration) (*track.Recorder, *exec.RunResult, e
 	if sp.TraceDir == "" && sp.DebugAddr == "" {
 		m := exec.NewMachine(s, reg)
 		m.DeterministicFarm = sp.Deterministic
+		m.FT = sp.ft()
 		res, err := m.RunWithTimeout(sp.Iters, d)
 		if err != nil {
 			return nil, nil, err
@@ -199,6 +259,7 @@ func RunInProcess(sp Spec, d time.Duration) (*track.Recorder, *exec.RunResult, e
 	}
 	m := exec.NewMachineOn(s, reg, t, local)
 	m.DeterministicFarm = sp.Deterministic
+	m.FT = sp.ft()
 	ob, err := sp.observe(t, m, nil)
 	if err != nil {
 		return nil, nil, err

@@ -1,6 +1,7 @@
 package distrib
 
 import (
+	"errors"
 	"fmt"
 	"os"
 	"os/exec"
@@ -9,6 +10,7 @@ import (
 	"time"
 
 	"skipper/internal/obsv"
+	"skipper/internal/syndex"
 	"skipper/internal/track"
 )
 
@@ -152,6 +154,107 @@ func TestDistributedOSProcessesMatchInProcess(t *testing.T) {
 	}
 	if len(tr.Events) == 0 || len(tr.OpSpans()) == 0 {
 		t.Fatalf("merged trace is empty (%d events)", len(tr.Events))
+	}
+}
+
+// TestDistributedChaosWorkerKillMatchesInProcess is the fault-tolerance
+// acceptance run: one node of the ring(8) tracking deployment is severed
+// mid-run (DieAfterSends: sockets torn, no detach — the cluster-visible
+// signature of kill -9) and the surviving 7 processors must finish every
+// iteration bit-identical to a healthy in-process run, with the death and
+// the re-dispatches visible in the run result and the coordinator trace.
+func TestDistributedChaosWorkerKillMatchesInProcess(t *testing.T) {
+	sp := trackingSpec(8)
+	memRec, _, err := RunInProcess(sp, time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	s, _, _, err := sp.Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	victim := -1
+	for p := 1; p < sp.Procs; p++ {
+		prog := s.Programs[p]
+		if len(prog) == 0 {
+			continue
+		}
+		all := true
+		for _, op := range prog {
+			if op.Kind != syndex.OpWorker {
+				all = false
+				break
+			}
+		}
+		if all {
+			victim = p
+			break
+		}
+	}
+	if victim < 0 {
+		t.Fatal("tracking schedule maps no worker-only processor onto a node")
+	}
+
+	sp.MaxRetries = 2
+	sp.Heartbeat = 50 * time.Millisecond
+	sp.TraceDir = t.TempDir()
+	errCh := make(chan error, sp.Procs-1)
+	spawn := func(addr string) error {
+		for p := 1; p < sp.Procs; p++ {
+			nsp := sp
+			nsp.TraceDir = "" // the fault events live on the coordinator's lanes
+			if p == victim {
+				nsp.DieAfterSends = 2 // dies delivering its third task reply
+			}
+			go func(p int, nsp Spec) {
+				errCh <- RunNode(nsp, p, addr, time.Minute)
+			}(p, nsp)
+		}
+		return nil
+	}
+	tcpRec, res, err := RunCoordinator(sp, "127.0.0.1:0", spawn, time.Minute)
+	if err != nil {
+		t.Fatalf("coordinator did not survive the node kill: %v", err)
+	}
+	sawKill := false
+	for p := 1; p < sp.Procs; p++ {
+		nerr := <-errCh
+		switch {
+		case nerr == nil:
+		case errors.Is(nerr, ErrChaosKilled):
+			sawKill = true
+		default:
+			t.Fatalf("surviving node failed: %v", nerr)
+		}
+	}
+	if !sawKill {
+		t.Fatal("chaos trigger never fired — the victim outlived the run")
+	}
+	if ok, diff := resultsEqual(memRec.Results, tcpRec.Results); !ok {
+		t.Fatalf("degraded run diverged from the healthy in-process run: %s", diff)
+	}
+	if res.Failures < 1 {
+		t.Fatalf("Failures = %d, want >= 1", res.Failures)
+	}
+	if res.Redispatches < 1 {
+		t.Fatalf("Redispatches = %d, want >= 1", res.Redispatches)
+	}
+	tr, err := obsv.LoadDir(sp.TraceDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sawDown, sawRedispatch bool
+	for _, ev := range tr.Events {
+		switch ev.Kind {
+		case obsv.EvPeerDown:
+			sawDown = sawDown || int(ev.Proc) == victim
+		case obsv.EvRedispatch:
+			sawRedispatch = true
+		}
+	}
+	if !sawDown || !sawRedispatch {
+		t.Fatalf("trace lacks fault events: peer-down(victim)=%v redispatch=%v", sawDown, sawRedispatch)
 	}
 }
 

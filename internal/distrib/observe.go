@@ -64,6 +64,12 @@ func (sp Spec) observe(t transport.Transport, m *exec.Machine, hub *nettransport
 		mx.CounterFunc("skipper_transport_bytes_recv_total",
 			"Payload bytes delivered to local consumers.",
 			stats(func(s transport.Stats) int64 { return s.BytesRecv }))
+		mx.CounterFunc("skipper_peer_failures_total",
+			"Processors declared dead by failure detection (heartbeat, EOF or task deadline).",
+			m.FTFailures)
+		mx.CounterFunc("skipper_task_redispatches_total",
+			"Farm tasks re-dispatched onto surviving workers after their worker died.",
+			m.FTRedispatches)
 		if qd, ok := t.(queueDepther); ok {
 			mx.GaugeFunc("skipper_mailbox_queue_depth",
 				"Delivered-but-unconsumed values across local mailboxes.",

@@ -1,0 +1,180 @@
+package exec
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"skipper/internal/arch"
+	"skipper/internal/exec/faulttransport"
+	"skipper/internal/exec/memtransport"
+	"skipper/internal/syndex"
+)
+
+// workerOnlyProcs lists the processors whose program consists solely of
+// farm-worker ops — the ones whose death fault tolerance can survive.
+func workerOnlyProcs(s *syndex.Schedule) []arch.ProcID {
+	var out []arch.ProcID
+	for p, prog := range s.Programs {
+		if len(prog) == 0 {
+			continue
+		}
+		all := true
+		for _, op := range prog {
+			if op.Kind != syndex.OpWorker {
+				all = false
+				break
+			}
+		}
+		if all {
+			out = append(out, arch.ProcID(p))
+		}
+	}
+	return out
+}
+
+func allProcs(a *arch.Arch) []arch.ProcID {
+	ps := make([]arch.ProcID, a.N)
+	for i := range ps {
+		ps[i] = arch.ProcID(i)
+	}
+	return ps
+}
+
+// TestFarmSurvivesWorkerKill is the core fault-tolerance regression: one
+// farm worker's process dies mid-run (scripted kill after its first reply)
+// and the run must still complete, bit-identical to a healthy run, with
+// the loss visible in RunResult. Three iterations exercise the degraded
+// steady state after the death, plus the generation guard against the dead
+// worker's stragglers.
+func TestFarmSurvivesWorkerKill(t *testing.T) {
+	a := arch.Ring(8)
+	s := compile(t, farmSrc, baseRegistry(), a, syndex.Structured)
+	victims := workerOnlyProcs(s)
+	if len(victims) == 0 {
+		t.Fatal("schedule has no worker-only processor to kill")
+	}
+	// The victim answers one task, then dies delivering its second reply.
+	// With 10 tasks over 4 workers every worker is dispatched at least two
+	// tasks, so the kill always fires and always strands a task.
+	ft := faulttransport.New(memtransport.New(a), faulttransport.Config{
+		Faults: map[arch.ProcID]faulttransport.Fault{
+			victims[0]: {KillAfterSends: 1},
+		},
+	})
+	defer ft.Close()
+	m := NewMachineOn(s, baseRegistry(), ft, allProcs(a))
+	m.FT = FaultTolerance{MaxRetries: 2}
+	res, err := m.Run(3)
+	if err != nil {
+		t.Fatalf("run did not survive the worker kill: %v", err)
+	}
+	for i, out := range res.Outputs {
+		if out != farmWant {
+			t.Fatalf("iteration %d output = %v, want %d (must be bit-identical to a healthy run)", i, out, farmWant)
+		}
+	}
+	if res.Failures < 1 {
+		t.Fatalf("Failures = %d, want >= 1", res.Failures)
+	}
+	if res.Redispatches < 1 {
+		t.Fatalf("Redispatches = %d, want >= 1", res.Redispatches)
+	}
+	if m.FTFailures() != res.Failures || m.FTRedispatches() != res.Redispatches {
+		t.Fatalf("cumulative counters (%d, %d) disagree with run result (%d, %d)",
+			m.FTFailures(), m.FTRedispatches(), res.Failures, res.Redispatches)
+	}
+}
+
+// TestFarmDeadlineRedispatch covers the failure no transport can see: a
+// worker that hangs (here: every reply silently dropped) instead of
+// crashing. The task deadline must declare it dead and re-dispatch.
+func TestFarmDeadlineRedispatch(t *testing.T) {
+	a := arch.Ring(8)
+	s := compile(t, farmSrc, baseRegistry(), a, syndex.Structured)
+	victims := workerOnlyProcs(s)
+	if len(victims) == 0 {
+		t.Fatal("schedule has no worker-only processor")
+	}
+	ft := faulttransport.New(memtransport.New(a), faulttransport.Config{
+		Faults: map[arch.ProcID]faulttransport.Fault{
+			victims[0]: {DropEveryNth: 1}, // the worker "hangs": all replies vanish
+		},
+	})
+	defer ft.Close()
+	m := NewMachineOn(s, baseRegistry(), ft, allProcs(a))
+	m.FT = FaultTolerance{MaxRetries: 2, TaskDeadline: 150 * time.Millisecond}
+	res, err := m.Run(1)
+	if err != nil {
+		t.Fatalf("run did not survive the hung worker: %v", err)
+	}
+	if res.Outputs[0] != farmWant {
+		t.Fatalf("output = %v, want %d", res.Outputs[0], farmWant)
+	}
+	if res.Redispatches < 1 {
+		t.Fatalf("Redispatches = %d, want >= 1 (deadline should have re-dispatched)", res.Redispatches)
+	}
+}
+
+// TestFarmDegradesWhenRetriesExhausted: when workers die faster than the
+// retry budget allows, the run must fail with a diagnostic rather than
+// hang or return a wrong result.
+func TestFarmDegradesWhenRetriesExhausted(t *testing.T) {
+	a := arch.Ring(8)
+	s := compile(t, farmSrc, baseRegistry(), a, syndex.Structured)
+	faults := map[arch.ProcID]faulttransport.Fault{}
+	for _, p := range workerOnlyProcs(s) {
+		faults[p] = faulttransport.Fault{KillAfterSends: 1} // every worker dies on its 2nd reply
+	}
+	ft := faulttransport.New(memtransport.New(a), faulttransport.Config{Faults: faults})
+	defer ft.Close()
+	m := NewMachineOn(s, baseRegistry(), ft, allProcs(a))
+	m.FT = FaultTolerance{MaxRetries: 1}
+	if _, err := m.RunWithTimeout(1, 10*time.Second); err == nil {
+		t.Fatal("run succeeded although every worker died with tasks unfinished")
+	}
+}
+
+// TestNonWorkerDeathIsFatal pins the recovery boundary: only processors
+// hosting nothing but farm workers are expendable. The death of a
+// processor with any other op must abort the run even with FT enabled.
+func TestNonWorkerDeathIsFatal(t *testing.T) {
+	a := arch.Ring(8)
+	s := compile(t, farmSrc, baseRegistry(), a, syndex.Structured)
+	// Proc 0 hosts the source/master/output chain — never just workers.
+	ft := faulttransport.New(memtransport.New(a), faulttransport.Config{
+		Faults: map[arch.ProcID]faulttransport.Fault{
+			0: {KillAfterSends: 1},
+		},
+	})
+	defer ft.Close()
+	m := NewMachineOn(s, baseRegistry(), ft, allProcs(a))
+	m.FT = FaultTolerance{MaxRetries: 2}
+	_, err := m.RunWithTimeout(1, 10*time.Second)
+	if err == nil {
+		t.Fatal("run succeeded although a non-worker processor died")
+	}
+	if !strings.Contains(err.Error(), "cannot recover") {
+		t.Fatalf("error = %v, want the cannot-recover diagnostic", err)
+	}
+}
+
+// TestWorkerKillWithoutFTFails pins the default: with fault tolerance off
+// no peer-down handler is registered, so a worker death is not silently
+// recovered — the run fails (by watchdog here; by transport abort on the
+// TCP backend).
+func TestWorkerKillWithoutFTFails(t *testing.T) {
+	a := arch.Ring(8)
+	s := compile(t, farmSrc, baseRegistry(), a, syndex.Structured)
+	victims := workerOnlyProcs(s)
+	ft := faulttransport.New(memtransport.New(a), faulttransport.Config{
+		Faults: map[arch.ProcID]faulttransport.Fault{
+			victims[0]: {KillAfterSends: 1},
+		},
+	})
+	defer ft.Close()
+	m := NewMachineOn(s, baseRegistry(), ft, allProcs(a))
+	if _, err := m.RunWithTimeout(1, 1500*time.Millisecond); err == nil {
+		t.Fatal("run succeeded without FT although a worker died mid-farm")
+	}
+}

@@ -1,0 +1,132 @@
+package faulttransport
+
+import (
+	"testing"
+
+	"skipper/internal/arch"
+	"skipper/internal/exec/memtransport"
+	"skipper/internal/exec/transport"
+	"skipper/internal/graph"
+	"skipper/internal/value"
+)
+
+func key() transport.Key { return transport.EdgeKey(graph.EdgeID(1)) }
+
+// TestKillAfterSends: the Nth send is delivered, the N+1th triggers the
+// death — handler notified, everything from and to the processor dropped,
+// its blocked receives unwound.
+func TestKillAfterSends(t *testing.T) {
+	a := arch.Ring(3)
+	ft := New(memtransport.New(a), Config{
+		Faults: map[arch.ProcID]Fault{1: {KillAfterSends: 2}},
+	})
+	defer ft.Close()
+	var down []arch.ProcID
+	ft.OnPeerDown(func(ps []arch.ProcID) { down = append(down, ps...) })
+
+	ft.Send(1, 0, key(), "a")
+	ft.Send(1, 0, key(), "b")
+	ft.Send(1, 0, key(), "dropped-and-dies")
+	if len(down) != 1 || down[0] != 1 {
+		t.Fatalf("peer-down notifications = %v, want [1]", down)
+	}
+	for _, want := range []string{"a", "b"} {
+		v, ok := ft.Recv(0, key())
+		if !ok || v != want {
+			t.Fatalf("Recv = %v/%v, want %q", v, ok, want)
+		}
+	}
+	// Traffic to the dead processor vanishes; its receive stream is killed.
+	ft.Send(0, 1, key(), "into-the-void")
+	if v, ok := ft.Recv(1, key()); ok {
+		t.Fatalf("Recv on dead processor delivered %v", v)
+	}
+}
+
+// TestDropEveryNth drops exactly the scripted sends and declares nothing
+// dead.
+func TestDropEveryNth(t *testing.T) {
+	a := arch.Ring(2)
+	ft := New(memtransport.New(a), Config{
+		Faults: map[arch.ProcID]Fault{1: {DropEveryNth: 2}},
+	})
+	defer ft.Close()
+	notified := false
+	ft.OnPeerDown(func([]arch.ProcID) { notified = true })
+	for i := 0; i < 4; i++ {
+		ft.Send(1, 0, key(), i)
+	}
+	for _, want := range []int{0, 2} { // sends 1 and 3 (1-based 2nd, 4th) dropped
+		v, ok := ft.Recv(0, key())
+		if !ok || v != want {
+			t.Fatalf("Recv = %v/%v, want %d", v, ok, want)
+		}
+	}
+	if notified {
+		t.Fatal("drops must not announce deaths")
+	}
+	if got := ft.Stats().Messages; got != 2 {
+		t.Fatalf("Messages = %d, want 2 (drops are uncounted)", got)
+	}
+}
+
+// recorder is a null inner transport that just logs forwarded payloads.
+type recorder struct {
+	transport.Transport
+	got []int
+}
+
+func (r *recorder) Send(_, _ arch.ProcID, _ transport.Key, v value.Value) {
+	r.got = append(r.got, v.(int))
+}
+func (r *recorder) Close() error { return nil }
+
+// TestSeededDropsReproduce: equal seeds inject identical loss patterns.
+func TestSeededDropsReproduce(t *testing.T) {
+	run := func(seed int64) []int {
+		rec := &recorder{}
+		ft := New(rec, Config{
+			Seed:   seed,
+			Faults: map[arch.ProcID]Fault{1: {DropProb: 0.5}},
+		})
+		defer ft.Close()
+		for i := 0; i < 32; i++ {
+			ft.Send(1, 0, key(), i)
+		}
+		return rec.got
+	}
+	a, b := run(42), run(42)
+	if len(a) == 0 || len(a) == 32 {
+		t.Fatalf("seeded run delivered %d/32 — drop probability not applied", len(a))
+	}
+	if len(a) != len(b) {
+		t.Fatalf("same seed, different loss: %v vs %v", a, b)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed, different loss at %d: %v vs %v", i, a, b)
+		}
+	}
+}
+
+// TestOnKillOverride: a custom OnKill replaces the default mark-and-notify
+// (the distributed harness uses it to exit the whole process).
+func TestOnKillOverride(t *testing.T) {
+	a := arch.Ring(2)
+	var killed []arch.ProcID
+	var cfg Config
+	cfg.Faults = map[arch.ProcID]Fault{1: {KillAfterSends: 1}}
+	cfg.OnKill = func(p arch.ProcID) { killed = append(killed, p) }
+	ft := New(memtransport.New(a), cfg)
+	defer ft.Close()
+	notified := false
+	ft.OnPeerDown(func([]arch.ProcID) { notified = true })
+	ft.Send(1, 0, key(), "a")
+	ft.Send(1, 0, key(), "trigger")
+	if len(killed) != 1 || killed[0] != 1 {
+		t.Fatalf("OnKill calls = %v, want [1]", killed)
+	}
+	if notified {
+		t.Fatal("OnKill must replace the default notification, not add to it")
+	}
+}

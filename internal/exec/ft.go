@@ -1,0 +1,424 @@
+package exec
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"skipper/internal/arch"
+	"skipper/internal/exec/transport"
+	"skipper/internal/graph"
+	"skipper/internal/obsv"
+	"skipper/internal/syndex"
+	"skipper/internal/value"
+)
+
+// FaultTolerance configures farm-level failure recovery (DESIGN.md §11).
+// Data-farm skeletons are fault-tolerant by construction: a task is a pure
+// function of its input, so re-executing it on a surviving worker is
+// semantically free. The executive exploits that — when a worker processor
+// dies (transport-detected) or a task deadline fires (executive-detected),
+// the in-flight task is re-enqueued on the surviving pool and the run
+// completes bit-identically on the shrunken cluster. Processors hosting
+// anything other than farm-worker ops carry irreplaceable state, so their
+// death remains a cluster-wide fatal error.
+type FaultTolerance struct {
+	// MaxRetries bounds how many times one task may be re-dispatched after
+	// its worker died or its deadline fired. Zero disables fault tolerance
+	// entirely (the default): any peer death aborts the cluster, exactly
+	// the legacy behavior.
+	MaxRetries int
+	// TaskDeadline, when positive, bounds how long a dispatched task may
+	// stay outstanding before the executive suspects its worker dead and
+	// re-dispatches — catching workers that hang rather than crash, which
+	// no transport-level detector can see. Must comfortably exceed the
+	// slowest legitimate task, or healthy workers get declared dead.
+	TaskDeadline time.Duration
+}
+
+func (ft FaultTolerance) enabled() bool { return ft.MaxRetries > 0 }
+
+// masterReg is one active farm master's wake-up address: peer-down
+// notifications are delivered as transport.ProcsDown values self-sent to
+// the master's reply stream, so the master learns of deaths at the same
+// point it learns of everything else, with no extra synchronization in its
+// dispatch loop.
+type masterReg struct {
+	proc arch.ProcID
+	key  transport.Key
+}
+
+// ftState is the per-run fault-tolerance bookkeeping.
+type ftState struct {
+	mu      sync.Mutex
+	dead    map[arch.ProcID]bool
+	masters map[*masterReg]bool
+
+	failures     atomic.Int64 // processors declared dead this run
+	redispatches atomic.Int64 // tasks re-enqueued this run
+}
+
+func newFTState() *ftState {
+	return &ftState{
+		dead:    map[arch.ProcID]bool{},
+		masters: map[*masterReg]bool{},
+	}
+}
+
+// markDead records p as dead; reports whether this was fresh news.
+func (f *ftState) markDead(p arch.ProcID) bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.dead[p] {
+		return false
+	}
+	f.dead[p] = true
+	return true
+}
+
+func (f *ftState) isDead(p arch.ProcID) bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.dead[p]
+}
+
+func (f *ftState) register(r *masterReg) {
+	f.mu.Lock()
+	f.masters[r] = true
+	f.mu.Unlock()
+}
+
+func (f *ftState) unregister(r *masterReg) {
+	f.mu.Lock()
+	delete(f.masters, r)
+	f.mu.Unlock()
+}
+
+func (f *ftState) snapshotMasters() []*masterReg {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	rs := make([]*masterReg, 0, len(f.masters))
+	for r := range f.masters {
+		rs = append(rs, r)
+	}
+	return rs
+}
+
+// procTolerable reports whether p's death is survivable: its program must
+// consist solely of farm-worker ops, whose tasks are stateless and
+// re-executable elsewhere. Anything else on the processor — sends,
+// receives, memory nodes, masters — is irreplaceable.
+func (m *Machine) procTolerable(p arch.ProcID) bool {
+	if int(p) < 0 || int(p) >= len(m.sched.Programs) {
+		return false
+	}
+	for _, op := range m.sched.Programs[p] {
+		if op.Kind != syndex.OpWorker {
+			return false
+		}
+	}
+	return true
+}
+
+// handlePeerDown is the transport's failure callback: classify the deaths
+// (tolerable or fatal), record them, and wake every active farm master so
+// it can re-dispatch the dead workers' in-flight tasks.
+func (m *Machine) handlePeerDown(procs []arch.ProcID) {
+	ft := m.ft
+	if ft == nil {
+		return
+	}
+	var fresh []arch.ProcID
+	for _, p := range procs {
+		if ft.markDead(p) {
+			fresh = append(fresh, p)
+		}
+	}
+	if len(fresh) == 0 {
+		return
+	}
+	for _, p := range fresh {
+		if !m.procTolerable(p) {
+			m.fail(fmt.Errorf("exec: processor %d died hosting ops other than farm workers; the cluster cannot recover", p))
+			return
+		}
+	}
+	for _, p := range fresh {
+		ft.failures.Add(1)
+		if m.Trace != nil {
+			m.Trace.Record(int32(p), obsv.EvPeerDown, 0, -1, 0)
+		}
+	}
+	for _, r := range ft.snapshotMasters() {
+		m.t.Send(r.proc, r.proc, r.key, transport.ProcsDown{Procs: fresh})
+	}
+}
+
+// suspectDeadline declares a worker's processor dead after a task deadline
+// overrun, going through the same path a transport-detected death takes:
+// the transport stops routing to it (and, on the hub, tells every node),
+// and handlePeerDown classifies, records and wakes the masters. The
+// current master re-dispatches when its own ProcsDown arrives.
+func (m *Machine) suspectDeadline(p arch.ProcID) {
+	if pd, ok := m.t.(transport.PeerDowner); ok {
+		pd.MarkPeerDown(p)
+	}
+	m.handlePeerDown([]arch.ProcID{p})
+}
+
+// ftTask is one farm task's recovery state.
+type ftTask struct {
+	val   value.Value // retained until done, for re-dispatch
+	tries int         // dispatch count (1 = first attempt)
+	done  bool        // a valid reply was folded
+}
+
+// runMasterFT is the fault-tolerant variant of the farm-master protocol.
+// It differs from runMaster (the legacy path, kept byte-for-byte intact so
+// FT-disabled runs produce identical message sequences) in that it tracks
+// which task is in flight on which worker, reacts to ProcsDown and
+// DeadlineTick control values interleaved into its reply stream, and
+// re-enqueues the in-flight tasks of dead workers — bounded by
+// FaultTolerance.MaxRetries per task — onto the surviving pool.
+func (m *Machine) runMasterFT(st *procState, id graph.NodeID) error {
+	g := m.sched.Graph
+	n := g.Node(id)
+	inputs, err := m.inputsOf(st, id)
+	if err != nil {
+		return err
+	}
+	xs, ok := inputs[0].(value.List)
+	if !ok {
+		return fmt.Errorf("exec: farm input of %s is not a list", n.Name)
+	}
+	acc := inputs[1]
+	accFn, ok := m.reg.Lookup(n.AccFn)
+	if !ok {
+		return fmt.Errorf("exec: accumulate function %q not registered", n.AccFn)
+	}
+
+	workerProc := make([]arch.ProcID, n.Workers)
+	for _, e := range g.OutEdges(id) {
+		if w := g.Node(e.To); w.Kind == graph.KindWorker {
+			workerProc[w.Index] = m.sched.Assign[w.ID]
+		}
+	}
+
+	// gen tags this master invocation: reply keys are shared across
+	// iterations, and a deadline-suspected worker that was merely slow can
+	// deliver its reply arbitrarily late — without the generation check it
+	// would be folded into a later iteration's accumulator.
+	gen := m.farmGen.Add(1)
+	replyKey := transport.ReplyKey(id)
+
+	// Register for death notifications before reading the dead set: a death
+	// landing between the two is then delivered as ProcsDown rather than
+	// lost.
+	reg := &masterReg{proc: st.p, key: replyKey}
+	m.ft.register(reg)
+	defer m.ft.unregister(reg)
+
+	tasks := make([]ftTask, 0, len(xs))
+	queue := make([]int, 0, len(xs))
+	for i, x := range xs {
+		tasks = append(tasks, ftTask{val: x})
+		queue = append(queue, i)
+	}
+	remaining := len(tasks)
+
+	var buffered []value.Value
+	deterministic := m.DeterministicFarm && !n.TaskFarm
+	if deterministic {
+		buffered = make([]value.Value, len(xs))
+	}
+
+	alive := make([]bool, n.Workers)
+	inflight := make([]int, n.Workers)
+	deadlines := make([]time.Time, n.Workers)
+	aliveCount := 0
+	for w := 0; w < n.Workers; w++ {
+		alive[w] = !m.ft.isDead(workerProc[w])
+		if alive[w] {
+			aliveCount++
+		}
+		inflight[w] = -1
+	}
+
+	dispatch := func(w, idx int) {
+		tasks[idx].tries++
+		inflight[w] = idx
+		if m.FT.TaskDeadline > 0 {
+			deadlines[w] = time.Now().Add(m.FT.TaskDeadline)
+		}
+		m.t.Send(st.p, workerProc[w], transport.TaskKey(id, w),
+			transport.Task{Idx: idx, Gen: gen, V: tasks[idx].val})
+	}
+	// requeue returns a dead worker's in-flight task to the queue (retry
+	// budget permitting) and records the re-dispatch.
+	requeue := func(w int) error {
+		idx := inflight[w]
+		inflight[w] = -1
+		if idx < 0 || tasks[idx].done {
+			return nil
+		}
+		if tasks[idx].tries > m.FT.MaxRetries {
+			return fmt.Errorf("exec: farm %s task %d lost its worker %d times (max-retries %d exhausted)",
+				n.Name, idx, tasks[idx].tries, m.FT.MaxRetries)
+		}
+		m.ft.redispatches.Add(1)
+		if m.Trace != nil {
+			m.Trace.Record(int32(st.p), obsv.EvRedispatch, 0, -1, int64(idx))
+		}
+		queue = append(queue, idx)
+		return nil
+	}
+	// fill hands queued tasks to idle surviving workers.
+	fill := func() {
+		for w := 0; w < n.Workers && len(queue) > 0; w++ {
+			if alive[w] && inflight[w] < 0 {
+				idx := queue[0]
+				queue = queue[1:]
+				dispatch(w, idx)
+			}
+		}
+	}
+	// markWorkersDead contains a set of processor deaths inside the farm.
+	markWorkersDead := func(dead map[arch.ProcID]bool) error {
+		for w := 0; w < n.Workers; w++ {
+			if alive[w] && dead[workerProc[w]] {
+				alive[w] = false
+				aliveCount--
+				if err := requeue(w); err != nil {
+					return err
+				}
+			}
+		}
+		if aliveCount == 0 && remaining > 0 {
+			return fmt.Errorf("exec: every worker of farm %s is dead with %d tasks unfinished", n.Name, remaining)
+		}
+		return nil
+	}
+
+	if err := markWorkersDead(map[arch.ProcID]bool{}); err != nil {
+		return err // degenerate: started with zero live workers
+	}
+	fill()
+
+	// The deadline watchdog self-sends ticks into the reply stream so the
+	// master checks overruns without a second blocking point; ticking at a
+	// quarter of the deadline bounds detection latency to 1.25 deadlines.
+	if m.FT.TaskDeadline > 0 {
+		stop := make(chan struct{})
+		defer close(stop)
+		tick := m.FT.TaskDeadline / 4
+		if tick <= 0 {
+			tick = m.FT.TaskDeadline
+		}
+		go func() {
+			t := time.NewTicker(tick)
+			defer t.Stop()
+			for {
+				select {
+				case <-stop:
+					return
+				case <-t.C:
+					m.t.Send(st.p, st.p, replyKey, transport.DeadlineTick{})
+				}
+			}
+		}()
+	}
+
+	replies := m.t.Receiver(st.p, replyKey)
+	for remaining > 0 {
+		rv, ok := replies.Recv()
+		if !ok {
+			return fmt.Errorf("exec: master receive aborted")
+		}
+		switch rep := rv.(type) {
+		case transport.ProcsDown:
+			dead := make(map[arch.ProcID]bool, len(rep.Procs))
+			for _, p := range rep.Procs {
+				dead[p] = true
+			}
+			if err := markWorkersDead(dead); err != nil {
+				return err
+			}
+			fill()
+
+		case transport.DeadlineTick:
+			now := time.Now()
+			var overrun []arch.ProcID
+			for w := 0; w < n.Workers; w++ {
+				if alive[w] && inflight[w] >= 0 && now.After(deadlines[w]) {
+					overrun = append(overrun, workerProc[w])
+				}
+			}
+			for _, p := range overrun {
+				// Routes back to this master as a ProcsDown on the reply
+				// stream (and to every other master), where the re-dispatch
+				// happens.
+				m.suspectDeadline(p)
+			}
+
+		case transport.Reply:
+			if rep.Gen != gen {
+				continue // a previous invocation's straggler
+			}
+			if rep.Widx >= 0 && rep.Widx < n.Workers && inflight[rep.Widx] == rep.Task {
+				inflight[rep.Widx] = -1
+			}
+			if rep.Task < 0 || rep.Task >= len(tasks) {
+				return fmt.Errorf("exec: master %s received reply for unknown task %d", n.Name, rep.Task)
+			}
+			if !tasks[rep.Task].done {
+				tasks[rep.Task].done = true
+				tasks[rep.Task].val = nil
+				remaining--
+				if n.TaskFarm {
+					pair, ok := rep.V.(value.Tuple)
+					if !ok || len(pair) != 2 {
+						return fmt.Errorf("exec: tf worker must return (results, new-tasks)")
+					}
+					ys, ok1 := pair[0].(value.List)
+					more, ok2 := pair[1].(value.List)
+					if !ok1 || !ok2 {
+						return fmt.Errorf("exec: tf worker returned non-lists")
+					}
+					for _, y := range ys {
+						acc = accFn.Fn([]value.Value{acc, y})
+					}
+					for _, x := range more {
+						tasks = append(tasks, ftTask{val: x})
+						queue = append(queue, len(tasks)-1)
+						remaining++
+					}
+				} else if deterministic {
+					buffered[rep.Task] = rep.V
+				} else {
+					acc = accFn.Fn([]value.Value{acc, rep.V})
+				}
+			}
+			fill()
+			if aliveCount == 0 && remaining > 0 {
+				return fmt.Errorf("exec: every worker of farm %s is dead with %d tasks unfinished", n.Name, remaining)
+			}
+
+		default:
+			return fmt.Errorf("exec: master %s received non-reply", n.Name)
+		}
+	}
+	for w := 0; w < n.Workers; w++ {
+		// Sentinels go to every worker, dead ones included: the transport
+		// drops frames to the dead, and a falsely-suspected survivor's task
+		// stream was already killed with its mailbox.
+		m.t.Send(st.p, workerProc[w], transport.TaskKey(id, w), transport.Sentinel{})
+	}
+	if deterministic {
+		for _, y := range buffered {
+			acc = accFn.Fn([]value.Value{acc, y})
+		}
+	}
+	st.outs[id] = []value.Value{acc}
+	return nil
+}

@@ -3,6 +3,7 @@ package exec
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"skipper/internal/arch"
@@ -49,6 +50,15 @@ type RunResult struct {
 	// this machine hosts; distributed runs merge one trace per process via
 	// obsv.Merge.
 	Trace *obsv.Trace
+	// Failures counts processors this machine declared dead during the run
+	// (transport-detected deaths plus task-deadline suspicions). Zero
+	// unless Machine.FT enabled fault tolerance.
+	Failures int64
+	// Redispatches counts farm tasks re-enqueued onto surviving workers
+	// after their original worker died. A run that lost a worker but
+	// completed has Failures > 0, and Redispatches > 0 if that worker held
+	// a task at death.
+	Redispatches int64
 }
 
 // Machine executes a static schedule: each hosted processor interprets its
@@ -81,9 +91,22 @@ type Machine struct {
 	// independent of Trace (metrics without tracing and vice versa).
 	OpLatency *obsv.Histogram
 
+	// FT, when enabled (MaxRetries > 0) and the transport supports failure
+	// notification, makes farm-worker death survivable: in-flight tasks are
+	// re-dispatched to surviving workers and the run completes on the
+	// shrunken cluster. Disabled (the default), any peer death aborts the
+	// cluster.
+	FT FaultTolerance
+
 	t     transport.Transport
 	ownT  bool          // machine creates/destroys the transport per run
 	local []arch.ProcID // processors this machine hosts
+
+	ft      *ftState     // per-run fault-tolerance state; nil when FT is off
+	farmGen atomic.Int64 // master invocation generations, for stale-reply rejection
+
+	ftFailures     atomic.Int64 // cumulative across runs, for metrics
+	ftRedispatches atomic.Int64
 
 	// pool hosts the per-iteration farm-worker processes. The seed spawned
 	// a fresh goroutine per worker node per iteration; persistent pool
@@ -153,6 +176,16 @@ func (m *Machine) RunWithTimeout(iters int, d time.Duration) (*RunResult, error)
 		}
 		m.buildOpLabels()
 	}
+	// Arm fault tolerance: registering a peer-down handler is what switches
+	// the transport from abort-the-cluster to contain-and-notify, so with FT
+	// off the handler is never installed and legacy behavior is untouched.
+	m.ft = nil
+	if m.FT.enabled() {
+		if fn, ok := m.t.(transport.FailureNotifier); ok {
+			m.ft = newFTState()
+			fn.OnPeerDown(m.handlePeerDown)
+		}
+	}
 	statsBefore := m.t.Stats()
 
 	m.pool = skel.NewPool(len(m.local))
@@ -197,6 +230,12 @@ func (m *Machine) RunWithTimeout(iters int, d time.Duration) (*RunResult, error)
 		Messages: stats.Messages - statsBefore.Messages,
 		Hops:     stats.Hops - statsBefore.Hops,
 		Direct:   stats.Direct - statsBefore.Direct,
+	}
+	if m.ft != nil {
+		res.Failures = m.ft.failures.Load()
+		res.Redispatches = m.ft.redispatches.Load()
+		m.ftFailures.Add(res.Failures)
+		m.ftRedispatches.Add(res.Redispatches)
 	}
 	for i := 0; i < iters; i++ {
 		res.Outputs[i] = m.outputs[i]
@@ -245,6 +284,14 @@ func (m *Machine) firstErr() error {
 	defer m.errMu.Unlock()
 	return m.err
 }
+
+// FTFailures reports the processors declared dead across every run of this
+// machine; FTRedispatches the farm tasks re-enqueued after worker deaths.
+// Cumulative (unlike the per-run RunResult fields), for metrics endpoints.
+func (m *Machine) FTFailures() int64 { return m.ftFailures.Load() }
+
+// FTRedispatches reports tasks re-dispatched across every run; see FTFailures.
+func (m *Machine) FTRedispatches() int64 { return m.ftRedispatches.Load() }
 
 // runFarmWorker runs a farm worker body on the persistent pool, pinning the
 // processor identity the body was launched from.
@@ -462,12 +509,15 @@ func (m *Machine) step(st *procState, op syndex.Op, mem map[graph.NodeID]value.V
 					trace.Record(int32(p), obsv.EvOpEnd, wlabel, -1, int64(tk.Idx))
 				}
 				m.t.Send(p, masterProc, replyKey,
-					transport.Reply{Widx: w.Index, Task: tk.Idx, V: y})
+					transport.Reply{Widx: w.Index, Task: tk.Idx, Gen: tk.Gen, V: y})
 			}
 		})
 		return nil
 
 	case syndex.OpMaster:
+		if m.ft != nil {
+			return m.runMasterFT(st, op.Node)
+		}
 		return m.runMaster(st, op.Node)
 	}
 	return fmt.Errorf("exec: unknown op kind %v", op.Kind)

@@ -90,6 +90,13 @@ type Transport struct {
 	queues []*queue
 	boxes  []*transport.Mailbox
 
+	// dead[p] marks processor p as failed (MarkPeerDown): sends to or from
+	// it are dropped and its mailbox is killed. The routers stay alive — in
+	// this in-process emulation a "dead" processor loses its endpoints, not
+	// its relaying role on the architecture graph (real process death is the
+	// net backend's concern; here death is injected by a fault wrapper).
+	dead []atomic.Bool
+
 	routerWG sync.WaitGroup
 
 	errMu sync.Mutex
@@ -117,6 +124,7 @@ func New(a *arch.Arch) *Transport {
 		a:      a,
 		queues: make([]*queue, a.N),
 		boxes:  make([]*transport.Mailbox, a.N),
+		dead:   make([]atomic.Bool, a.N),
 	}
 	for i := 0; i < a.N; i++ {
 		t.queues[i] = newQueue()
@@ -189,8 +197,26 @@ func (t *Transport) QueueDepth() int {
 	return n
 }
 
+// MarkPeerDown declares processor p dead: its mailbox is killed (blocked
+// receivers unblock with ok=false, nothing further is delivered) and
+// packets to or from it are dropped at Send. Idempotent.
+func (t *Transport) MarkPeerDown(p arch.ProcID) {
+	if int(p) < 0 || int(p) >= t.a.N {
+		return
+	}
+	t.dead[p].Store(true)
+	t.boxes[p].Kill()
+}
+
+var _ transport.PeerDowner = (*Transport)(nil)
+
 // Send injects a packet at processor src; the routers take it from there.
+// Packets to or from a dead processor are dropped silently, uncounted —
+// exactly what a wire to a dead machine does.
 func (t *Transport) Send(src, dst arch.ProcID, key transport.Key, payload value.Value) {
+	if t.dead[src].Load() || t.dead[dst].Load() {
+		return
+	}
 	t.messages.Add(1)
 	n := value.SizeOf(payload)
 	t.bytesSent.Add(int64(n))

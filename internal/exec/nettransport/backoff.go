@@ -1,0 +1,41 @@
+package nettransport
+
+import (
+	"math/rand"
+	"time"
+)
+
+// backoff produces jittered exponentially growing sleep intervals for dial
+// retries: 8+ node processes all retrying a slow-binding coordinator on the
+// same fixed interval arrive as a synchronized thundering herd; jitter
+// spreads them out and the exponential growth keeps the steady-state retry
+// load constant no matter how late the listener binds.
+type backoff struct {
+	d   time.Duration // current base interval, doubles per attempt
+	cap time.Duration
+}
+
+const (
+	backoffBase = 10 * time.Millisecond
+	backoffCap  = time.Second
+)
+
+func newBackoff() *backoff {
+	return &backoff{d: backoffBase, cap: backoffCap}
+}
+
+// next returns the sleep before the following attempt: uniformly jittered
+// in [d/2, 3d/2) around the current base, which then doubles (capped).
+func (b *backoff) next() time.Duration {
+	d := b.d
+	if b.d < b.cap {
+		b.d *= 2
+		if b.d > b.cap {
+			b.d = b.cap
+		}
+	}
+	return d/2 + time.Duration(rand.Int63n(int64(d)))
+}
+
+// sleep blocks for the next interval.
+func (b *backoff) sleep() { time.Sleep(b.next()) }

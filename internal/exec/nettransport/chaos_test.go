@@ -1,0 +1,224 @@
+package nettransport_test
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"skipper/internal/arch"
+	"skipper/internal/exec"
+	"skipper/internal/exec/faulttransport"
+	"skipper/internal/exec/nettransport"
+	"skipper/internal/exec/transport"
+	"skipper/internal/graph"
+	"skipper/internal/syndex"
+)
+
+// workerOnly reports whether processor p's program is non-empty and all
+// farm-worker ops — the kind of processor fault tolerance can lose.
+func workerOnly(s *syndex.Schedule, p arch.ProcID) bool {
+	prog := s.Programs[p]
+	if len(prog) == 0 {
+		return false
+	}
+	for _, op := range prog {
+		if op.Kind != syndex.OpWorker {
+			return false
+		}
+	}
+	return true
+}
+
+// TestTCPFarmSurvivesWorkerKill is the TCP acceptance run for fault
+// tolerance: one node process of a ring(8) farm deployment dies mid-run
+// (its client severed after its first reply, the in-process equivalent of
+// kill -9) and the coordinator must finish every iteration bit-identical
+// to a healthy run, with the loss visible in the run result.
+func TestTCPFarmSurvivesWorkerKill(t *testing.T) {
+	a := arch.Ring(8)
+	s := compile(t, farmSrc, baseRegistry(), a)
+	victim := arch.ProcID(-1)
+	for p := 1; p < a.N; p++ {
+		if workerOnly(s, arch.ProcID(p)) {
+			victim = arch.ProcID(p)
+			break
+		}
+	}
+	if victim < 0 {
+		t.Fatal("schedule maps no worker-only processor onto a node")
+	}
+
+	const fp = 0xfa17
+	hub, err := nettransport.NewHub("127.0.0.1:0", a, fp, []arch.ProcID{0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer hub.Close()
+
+	var wg sync.WaitGroup
+	for p := 1; p < a.N; p++ {
+		wg.Add(1)
+		go func(p arch.ProcID) {
+			defer wg.Done()
+			reg := baseRegistry()
+			ns := compile(t, farmSrc, reg, a)
+			cl, err := nettransport.Dial(hub.Addr(), fp, []arch.ProcID{p}, 5*time.Second)
+			if err != nil {
+				hub.Abort()
+				return
+			}
+			m := exec.NewMachineOn(ns, reg, cl, []arch.ProcID{p})
+			if p == victim {
+				// The victim answers one task, then its whole client is severed
+				// delivering the second — socket torn, no detach — so the hub
+				// must detect the death on the control plane by itself.
+				ft := faulttransport.New(cl, faulttransport.Config{
+					Faults: map[arch.ProcID]faulttransport.Fault{p: {KillAfterSends: 1}},
+					OnKill: func(arch.ProcID) { cl.Sever() },
+				})
+				m = exec.NewMachineOn(ns, reg, ft, []arch.ProcID{p})
+			}
+			m.FT = exec.FaultTolerance{MaxRetries: 2}
+			// The victim's run errors when its mailboxes are killed; survivors
+			// must finish clean. Either way the coordinator is the arbiter.
+			if _, err := m.RunWithTimeout(3, 20*time.Second); err != nil && p != victim {
+				t.Errorf("surviving node %d: %v", p, err)
+			}
+			if p != victim {
+				cl.Close()
+			}
+		}(arch.ProcID(p))
+	}
+
+	m := exec.NewMachineOn(s, baseRegistry(), hub, []arch.ProcID{0})
+	m.FT = exec.FaultTolerance{MaxRetries: 2}
+	res, err := m.RunWithTimeout(3, 20*time.Second)
+	wg.Wait()
+	if err != nil {
+		t.Fatalf("coordinator did not survive the node kill: %v", err)
+	}
+	for i, out := range res.Outputs {
+		if out != farmWant {
+			t.Fatalf("iteration %d output = %v, want %d (must match a healthy run)", i, out, farmWant)
+		}
+	}
+	if res.Failures < 1 || res.Redispatches < 1 {
+		t.Fatalf("Failures = %d, Redispatches = %d, want both >= 1", res.Failures, res.Redispatches)
+	}
+}
+
+// TestHeartbeatDetectsSilentNode: a node that hangs without closing its
+// socket produces no EOF, so only the heartbeat monitor can declare it
+// dead. A non-heartbeating idle client stands in for the hang; the
+// heartbeating one must survive the same monitor.
+func TestHeartbeatDetectsSilentNode(t *testing.T) {
+	a := arch.Ring(3)
+	const hb = 25 * time.Millisecond
+	hub, err := nettransport.NewHub("127.0.0.1:0", a, 7, []arch.ProcID{0}, nettransport.WithHeartbeat(hb))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer hub.Close()
+	downCh := make(chan []arch.ProcID, 4)
+	hub.OnPeerDown(func(ps []arch.ProcID) { downCh <- ps })
+
+	alive, err := nettransport.Dial(hub.Addr(), 7, []arch.ProcID{1}, time.Second, nettransport.WithHeartbeat(hb))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer alive.Close()
+	silent, err := nettransport.Dial(hub.Addr(), 7, []arch.ProcID{2}, time.Second) // no heartbeat: plays dead
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer silent.Close()
+	if err := hub.WaitReady(2 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+
+	select {
+	case ps := <-downCh:
+		if len(ps) != 1 || ps[0] != 2 {
+			t.Fatalf("peer-down = %v, want [2]", ps)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("monitor never condemned the silent node")
+	}
+	// The heartbeating client must not be condemned alongside it.
+	select {
+	case ps := <-downCh:
+		t.Fatalf("monitor condemned a heartbeating node: %v", ps)
+	case <-time.After(6 * hb):
+	}
+	if err := hub.Err(); err != nil {
+		t.Fatalf("contained death still failed the hub: %v", err)
+	}
+}
+
+// TestWaitReadyFailsFast pins the satellite fix: a cluster failure during
+// attach must surface through WaitReady immediately, not after the caller
+// burns the whole attach timeout.
+func TestWaitReadyFailsFast(t *testing.T) {
+	a := arch.Ring(3)
+	hub, err := nettransport.NewHub("127.0.0.1:0", a, 7, []arch.ProcID{0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer hub.Close()
+	cl, err := nettransport.Dial(hub.Addr(), 7, []arch.ProcID{1}, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	// Processor 2 never attaches; node 1 dies. Without a peer-down handler
+	// that is a cluster failure, and WaitReady must report it well before
+	// its 30s budget.
+	go func() {
+		time.Sleep(50 * time.Millisecond)
+		cl.Sever()
+	}()
+	start := time.Now()
+	err = hub.WaitReady(30 * time.Second)
+	if err == nil {
+		t.Fatal("WaitReady succeeded with a processor missing")
+	}
+	if el := time.Since(start); el > 5*time.Second {
+		t.Fatalf("WaitReady took %v to report a failure recorded immediately", el)
+	}
+}
+
+// TestCoordinatorDeathAbortsClient: fault tolerance only spares worker
+// processors — the coordinator process itself is irreplaceable, and its
+// death must still unblock attached nodes promptly even when they have a
+// peer-down handler registered.
+func TestCoordinatorDeathAbortsClient(t *testing.T) {
+	a := arch.Ring(2)
+	hub, err := nettransport.NewHub("127.0.0.1:0", a, 7, []arch.ProcID{0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl, err := nettransport.Dial(hub.Addr(), 7, []arch.ProcID{1}, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	cl.OnPeerDown(func([]arch.ProcID) {})
+	if err := hub.WaitReady(2 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+
+	done := make(chan bool, 1)
+	go func() {
+		_, ok := cl.Recv(1, transport.EdgeKey(graph.EdgeID(1)))
+		done <- ok
+	}()
+	hub.Sever() // coordinator crash: abrupt socket close, no abort frame
+	select {
+	case ok := <-done:
+		if ok {
+			t.Fatal("recv returned a value after the coordinator died")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("client did not unblock within 5s of coordinator death")
+	}
+}

@@ -25,24 +25,39 @@ type Client struct {
 	fp       uint64
 	localSet map[arch.ProcID]bool
 	boxes    map[arch.ProcID]*transport.Mailbox
-	w        *wconn       // control connection to the hub
-	ln       net.Listener // peer data listener
+	w        *wconn        // control connection to the hub
+	ln       net.Listener  // peer data listener
+	meshWait time.Duration // bound on waiting for the hub's peers map
+	hb       time.Duration // heartbeat interval; 0 = none
 
 	// peers is the cluster address map (processor → peer data listener),
 	// set exactly once when the hub's peers frame arrives. Until then
 	// remote Sends wait on meshCond: routing the first frames through the
 	// hub and later ones through the mesh would break FIFO per sender.
-	peers    atomic.Pointer[map[arch.ProcID]string]
-	meshMu   sync.Mutex
-	meshCond *sync.Cond
-	meshDown bool // aborted before/while waiting for the map
-	meshLate bool // meshWaitTimeout elapsed without a peers frame
+	peers     atomic.Pointer[map[arch.ProcID]string]
+	meshMu    sync.Mutex
+	meshCond  *sync.Cond
+	meshDown  bool                     // aborted before/while waiting for the map
+	meshLate  bool                     // meshWait elapsed without a peers frame
+	addrProcs map[string][]arch.ProcID // reverse of peers: data address → processors
 
 	pcMu   sync.Mutex
 	pconns map[string]*wconn // dialed peer connections by address
 
 	inMu    sync.Mutex
 	inbound []net.Conn // accepted peer connections
+
+	// pdFn, when registered via OnPeerDown, switches peer-death handling
+	// from abort-the-cluster to contain-and-notify.
+	pdMu sync.Mutex
+	pdFn transport.PeerDown
+
+	deadMu  sync.Mutex
+	dead    map[arch.ProcID]bool
+	anyDead atomic.Bool // fast path: skip the dead-map lookup while nobody died
+
+	hbStop     chan struct{}
+	hbStopOnce sync.Once
 
 	errMu sync.Mutex
 	err   error
@@ -69,14 +84,22 @@ type Client struct {
 	kl  transport.KeyLabels
 }
 
-var _ transport.Transport = (*Client)(nil)
+var (
+	_ transport.Transport       = (*Client)(nil)
+	_ transport.FailureNotifier = (*Client)(nil)
+	_ transport.PeerDowner      = (*Client)(nil)
+)
 
-// Dial connects to the hub at addr, retrying until d elapses (node
-// processes may be spawned before the coordinator finishes binding), binds
-// a peer data listener on the same interface, then performs the handshake
-// claiming local and starts the reader and acceptor loops.
-func Dial(addr string, fingerprint uint64, local []arch.ProcID, d time.Duration) (*Client, error) {
+// Dial connects to the hub at addr, retrying with jittered exponential
+// backoff until d elapses (node processes may be spawned before the
+// coordinator finishes binding, and a whole fleet retrying in lockstep
+// would hammer it the moment it does), binds a peer data listener on the
+// same interface, then performs the handshake claiming local and starts
+// the reader and acceptor loops.
+func Dial(addr string, fingerprint uint64, local []arch.ProcID, d time.Duration, opts ...Option) (*Client, error) {
+	o := buildOptions(opts)
 	deadline := time.Now().Add(d)
+	bo := newBackoff()
 	var c net.Conn
 	var err error
 	for {
@@ -87,7 +110,7 @@ func Dial(addr string, fingerprint uint64, local []arch.ProcID, d time.Duration)
 		if time.Now().After(deadline) {
 			return nil, fmt.Errorf("nettransport: dialing hub %s: %w", addr, err)
 		}
-		time.Sleep(20 * time.Millisecond)
+		bo.sleep()
 	}
 	if tc, ok := c.(*net.TCPConn); ok {
 		tc.SetNoDelay(true)
@@ -120,18 +143,22 @@ func Dial(addr string, fingerprint uint64, local []arch.ProcID, d time.Duration)
 	// to the midpoint of our request/reply bracket. Adding the offset to a
 	// local wall-clock instant yields the hub's wall clock (± half the RTT).
 	clockOff := hubNano - (t0+t1)/2
-	return newClient(fingerprint, local, c, br, ln, clockOff), nil
+	return newClient(fingerprint, local, c, br, ln, clockOff, o), nil
 }
 
 // newClient wires up a Client on an already-handshaken control connection
-// and peer listener, and starts its reader and acceptor loops.
-func newClient(fingerprint uint64, local []arch.ProcID, c net.Conn, br *bufio.Reader, ln net.Listener, clockOff int64) *Client {
+// and peer listener, and starts its reader, acceptor and (when configured)
+// heartbeat loops.
+func newClient(fingerprint uint64, local []arch.ProcID, c net.Conn, br *bufio.Reader, ln net.Listener, clockOff int64, o options) *Client {
 	cl := &Client{
 		fp:       fingerprint,
 		localSet: map[arch.ProcID]bool{},
 		boxes:    map[arch.ProcID]*transport.Mailbox{},
 		ln:       ln,
+		meshWait: o.meshWait,
+		hb:       o.heartbeat,
 		pconns:   map[string]*wconn{},
+		dead:     map[arch.ProcID]bool{},
 		clockOff: clockOff,
 	}
 	cl.meshCond = sync.NewCond(&cl.meshMu)
@@ -151,7 +178,36 @@ func newClient(fingerprint uint64, local []arch.ProcID, c net.Conn, br *bufio.Re
 	cl.readerWG.Add(2)
 	go cl.readLoop(br)
 	go cl.acceptLoop()
+	if cl.hb > 0 {
+		cl.hbStop = make(chan struct{})
+		go cl.heartbeatLoop()
+	}
 	return cl
+}
+
+// heartbeatLoop proves this process's liveness to the hub's monitor: one
+// heartbeat control frame per interval, enqueued (never an inline socket
+// write) so a stalled hub connection cannot block it.
+func (cl *Client) heartbeatLoop() {
+	t := time.NewTicker(cl.hb)
+	defer t.Stop()
+	for {
+		select {
+		case <-cl.hbStop:
+			return
+		case <-t.C:
+		}
+		if cl.closing.Load() || cl.aborted.Load() {
+			return
+		}
+		cl.w.enqueue(controlFrame(heartbeatDst, nil))
+	}
+}
+
+func (cl *Client) stopHeartbeat() {
+	if cl.hbStop != nil {
+		cl.hbStopOnce.Do(func() { close(cl.hbStop) })
+	}
 }
 
 // readLoop handles control-plane frames from the hub: the peers map,
@@ -182,10 +238,24 @@ func (cl *Client) readLoop(br *bufio.Reader) {
 				cl.failf("nettransport: %v", perr)
 				return
 			}
+			ap := make(map[string][]arch.ProcID, len(m))
+			for p, a := range m {
+				ap[a] = append(ap[a], p)
+			}
 			cl.meshMu.Lock()
 			cl.peers.Store(&m)
+			cl.addrProcs = ap
 			cl.meshMu.Unlock()
 			cl.meshCond.Broadcast()
+			continue
+		case peerDownDst:
+			procs, perr := parseProcs(payload)
+			putBuf(fb)
+			if perr != nil {
+				cl.failf("nettransport: %v", perr)
+				return
+			}
+			cl.markPeersDown(procs, true)
 			continue
 		}
 		ok := cl.deliver(arch.ProcID(dst), key, payload)
@@ -213,6 +283,101 @@ func (cl *Client) deliver(p arch.ProcID, key transport.Key, payload []byte) bool
 		rec.Record(int32(p), obsv.EvRecv, cl.kl.Of(key), -1, int64(len(payload)))
 	}
 	box.Deliver(key, v)
+	return true
+}
+
+// OnPeerDown registers the executive's failure handler, switching peer
+// death from abort-the-cluster to contain-and-notify. Register before the
+// run's traffic starts.
+func (cl *Client) OnPeerDown(fn transport.PeerDown) {
+	cl.pdMu.Lock()
+	cl.pdFn = fn
+	cl.pdMu.Unlock()
+}
+
+// MarkPeerDown declares p dead without invoking the handler: the executive
+// calls this when it concludes a processor is gone so routing to and from
+// it stops. Local only — the hub's control plane is the authority that
+// propagates deaths cluster-wide (it detects them on the control
+// connection, or the coordinator-side executive marks them on the Hub,
+// which broadcasts).
+func (cl *Client) MarkPeerDown(p arch.ProcID) {
+	cl.markPeersDown([]arch.ProcID{p}, false)
+}
+
+// markPeersDown records procs as dead and, when notify is set, tells the
+// registered handler about the ones not already known dead. A dead
+// processor hosted *here* (the hub declared this process's own processor
+// dead — a deadline overrun the coordinator decided not to wait out) gets
+// its mailbox killed so its blocked op loops unwind immediately.
+func (cl *Client) markPeersDown(procs []arch.ProcID, notify bool) {
+	cl.deadMu.Lock()
+	var fresh []arch.ProcID
+	for _, p := range procs {
+		if cl.dead[p] {
+			continue
+		}
+		cl.dead[p] = true
+		fresh = append(fresh, p)
+	}
+	cl.deadMu.Unlock()
+	if len(fresh) == 0 {
+		return
+	}
+	cl.anyDead.Store(true)
+	for _, p := range fresh {
+		if box, ok := cl.boxes[p]; ok {
+			box.Kill()
+		}
+	}
+	if !notify {
+		return
+	}
+	cl.pdMu.Lock()
+	fn := cl.pdFn
+	cl.pdMu.Unlock()
+	if fn != nil {
+		fn(fresh)
+	}
+}
+
+// hasPeerDownHandler reports whether a failure handler is registered.
+func (cl *Client) hasPeerDownHandler() bool {
+	cl.pdMu.Lock()
+	defer cl.pdMu.Unlock()
+	return cl.pdFn != nil
+}
+
+// isDead reports whether p has been declared dead.
+func (cl *Client) isDead(p arch.ProcID) bool {
+	if !cl.anyDead.Load() {
+		return false
+	}
+	cl.deadMu.Lock()
+	defer cl.deadMu.Unlock()
+	return cl.dead[p]
+}
+
+// containsPeerFailure handles a peer-mesh dial or write error to addr:
+// with a handler registered, the processors at that address are marked
+// dead and the handler notified (the hub independently detects the death
+// on its control connection and broadcasts; this just keeps the local
+// Send from aborting the cluster in the race window). Reports whether the
+// failure was contained.
+func (cl *Client) containsPeerFailure(addr string) bool {
+	cl.pdMu.Lock()
+	fn := cl.pdFn
+	cl.pdMu.Unlock()
+	if fn == nil {
+		return false
+	}
+	cl.meshMu.Lock()
+	procs := cl.addrProcs[addr]
+	cl.meshMu.Unlock()
+	if len(procs) == 0 {
+		return false
+	}
+	cl.markPeersDown(procs, true)
 	return true
 }
 
@@ -253,15 +418,16 @@ func (cl *Client) QueueDepth() int {
 }
 
 // peersMap returns the cluster address map, waiting for the hub to
-// broadcast it if necessary. The wait is bounded by meshWaitTimeout: the
-// map only arrives once the whole cluster has attached, so an unbounded
-// wait would turn one missing node process into a silent cluster-wide
-// hang. nil means the transport aborted (or timed out and aborted) first.
+// broadcast it if necessary. The wait is bounded by the client's mesh-wait
+// timeout (WithMeshWaitTimeout): the map only arrives once the whole
+// cluster has attached, so an unbounded wait would turn one missing node
+// process into a silent cluster-wide hang. nil means the transport aborted
+// (or timed out and aborted) first.
 func (cl *Client) peersMap() map[arch.ProcID]string {
 	if m := cl.peers.Load(); m != nil {
 		return *m
 	}
-	timer := time.AfterFunc(meshWaitTimeout, func() {
+	timer := time.AfterFunc(cl.meshWait, func() {
 		cl.meshMu.Lock()
 		cl.meshLate = true
 		cl.meshMu.Unlock()
@@ -278,7 +444,7 @@ func (cl *Client) peersMap() map[arch.ProcID]string {
 		return *m
 	}
 	if !down {
-		cl.failf("nettransport: no peers map from the hub within %v (did every node process start?)", meshWaitTimeout)
+		cl.failf("nettransport: no peers map from the hub within %v (did every node process start?)", cl.meshWait)
 	}
 	return nil
 }
@@ -287,6 +453,9 @@ func (cl *Client) peersMap() map[arch.ProcID]string {
 // this client skip the codec; other node processes are reached directly
 // over the peer mesh; hub-hosted processors ride the control connection.
 func (cl *Client) Send(src, dst arch.ProcID, key transport.Key, payload value.Value) {
+	if cl.anyDead.Load() && (cl.isDead(src) || cl.isDead(dst)) {
+		return // uncounted, like loss in flight
+	}
 	cl.messages.Add(1)
 	if cl.localSet[dst] {
 		n := int64(value.SizeOf(payload))
@@ -315,15 +484,23 @@ func (cl *Client) Send(src, dst arch.ProcID, key transport.Key, payload value.Va
 		rec.Record(int32(src), obsv.EvSend, cl.kl.Of(key), int32(dst), wireBytes)
 	}
 	w := cl.w
+	peerAddr := ""
 	if addr, ok := peers[dst]; ok {
 		if w, err = cl.peerConn(addr); err != nil {
 			putBuf(f.head)
+			if cl.containsPeerFailure(addr) {
+				return // dst's process is dead; the frame is loss in flight
+			}
 			cl.failf("nettransport: dialing peer %s for processor %d: %v", addr, dst, err)
 			return
 		}
+		peerAddr = addr
 		cl.direct.Add(1)
 	}
 	if err := w.send(f); err != nil && !cl.closing.Load() && !cl.aborted.Load() {
+		if peerAddr != "" && cl.containsPeerFailure(peerAddr) {
+			return
+		}
 		cl.failf("nettransport: sending to processor %d: %v", dst, err)
 	}
 }
@@ -341,6 +518,7 @@ func (cl *Client) Receiver(p arch.ProcID, key transport.Key) transport.Receiver 
 // Abort notifies the hub (which re-broadcasts to every other node), wakes
 // any Send waiting for the peers map and unblocks all local mailboxes.
 func (cl *Client) Abort() {
+	cl.stopHeartbeat()
 	cl.abortOnce.Do(func() {
 		// aborted must be set before the abort-frame send: if that inline
 		// write fails (the hub is often already gone here), the wconn's
@@ -358,12 +536,52 @@ func (cl *Client) Abort() {
 	})
 }
 
+// Sever tears the client down the way a crash would: no detach frame, no
+// queue flush — every socket (control, peer listener, peer connections)
+// is closed abruptly and local mailboxes are killed, dropping anything
+// buffered. The hub observes exactly what a died node process produces
+// (EOF without detach), which makes Sever the in-process stand-in for
+// kill -9 in chaos tests.
+func (cl *Client) Sever() {
+	cl.closing.Store(true)
+	cl.stopHeartbeat()
+	cl.abortOnce.Do(func() {
+		cl.aborted.Store(true)
+		cl.meshMu.Lock()
+		cl.meshDown = true
+		cl.meshMu.Unlock()
+		cl.meshCond.Broadcast()
+		for _, b := range cl.boxes {
+			b.Kill()
+		}
+	})
+	cl.w.c.Close()
+	cl.ln.Close()
+	cl.pcMu.Lock()
+	pcs := make([]*wconn, 0, len(cl.pconns))
+	for _, w := range cl.pconns {
+		pcs = append(pcs, w)
+	}
+	cl.pcMu.Unlock()
+	for _, w := range pcs {
+		w.c.Close()
+	}
+	cl.inMu.Lock()
+	in := append([]net.Conn(nil), cl.inbound...)
+	cl.inMu.Unlock()
+	for _, c := range in {
+		c.Close()
+	}
+	cl.readerWG.Wait()
+}
+
 // Close detaches from the cluster: peer connections flush and close, a
 // detach frame tells the hub this is a clean shutdown (EOF without one is
 // treated as a died node), the control connection flushes and closes, and
 // the peer listener and its accepted connections are torn down.
 func (cl *Client) Close() error {
 	cl.closing.Store(true)
+	cl.stopHeartbeat()
 	cl.pcMu.Lock()
 	pcs := make([]*wconn, 0, len(cl.pconns))
 	for _, w := range cl.pconns {

@@ -45,7 +45,9 @@ const (
 	// address, peers/detach control frames).
 	// Version 3: the hello reply's accept branch carries the hub's wall
 	// clock, so each node can estimate its clock offset for trace alignment.
-	wireVersion = 3
+	// Version 4: fault tolerance — heartbeat and peer-down control frames,
+	// and farm Task/Reply payloads carry a dispatch generation.
+	wireVersion = 4
 	// abortDst is a control frame that propagates Abort across processes.
 	abortDst = 0xffffffff
 	// peersDst is a hub→node control frame carrying the address map of
@@ -53,8 +55,17 @@ const (
 	peersDst = 0xfffffffe
 	// detachDst is a node→hub control frame announcing a clean shutdown.
 	// A connection that hits EOF without a preceding detach is a node
-	// death, and the hub aborts the cluster.
+	// death: the hub aborts the cluster, or — when a peer-down handler is
+	// registered — contains the failure and notifies the executive.
 	detachDst = 0xfffffffd
+	// heartbeatDst is a node→hub control frame proving liveness. A hub
+	// running with a heartbeat interval declares a connection dead when no
+	// frame (heartbeat or data) has arrived for several intervals, catching
+	// silent deaths TCP would take minutes to surface.
+	heartbeatDst = 0xfffffffc
+	// peerDownDst is a hub→node control frame listing processors whose
+	// process died; surviving nodes mark them dead and notify the executive.
+	peerDownDst = 0xfffffffb
 	// maxFrame bounds a declared frame length before allocation: a corrupt
 	// or hostile peer cannot make us allocate more than this per frame.
 	maxFrame = 256 << 20
@@ -68,12 +79,13 @@ const (
 	flushTimeout = 5 * time.Second
 )
 
-// meshWaitTimeout bounds how long a remote Send waits for the hub's peers
-// frame. The map only arrives once every processor has attached, so a node
-// process that never starts would otherwise hang every sender silently;
-// past the deadline the cluster fails with a diagnostic instead. A var, not
-// a const, so tests can shorten it.
-var meshWaitTimeout = 30 * time.Second
+// defaultMeshWaitTimeout bounds how long a remote Send waits for the hub's
+// peers frame. The map only arrives once every processor has attached, so a
+// node process that never starts would otherwise hang every sender
+// silently; past the deadline the cluster fails with a diagnostic instead.
+// Per-client (WithMeshWaitTimeout), not a package var: tests tuning it
+// must not race other clients.
+const defaultMeshWaitTimeout = 30 * time.Second
 
 // frameBuf is one arena buffer. The pool stores *frameBuf rather than
 // []byte so Put never heap-allocates a slice header.

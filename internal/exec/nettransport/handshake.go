@@ -147,6 +147,31 @@ func readPeerHello(br *bufio.Reader, fingerprint uint64) error {
 	return nil
 }
 
+// encodeProcs serializes the processor list carried by a peerDownDst
+// control frame: {u16 count, u32 processor...}.
+func encodeProcs(procs []arch.ProcID) []byte {
+	buf := binary.BigEndian.AppendUint16(nil, uint16(len(procs)))
+	for _, p := range procs {
+		buf = binary.BigEndian.AppendUint32(buf, uint32(p))
+	}
+	return buf
+}
+
+func parseProcs(payload []byte) ([]arch.ProcID, error) {
+	if len(payload) < 2 {
+		return nil, fmt.Errorf("nettransport: truncated processor list")
+	}
+	count := int(binary.BigEndian.Uint16(payload))
+	if len(payload) != 2+4*count {
+		return nil, fmt.Errorf("nettransport: processor list length %d, want %d entries", len(payload), count)
+	}
+	procs := make([]arch.ProcID, count)
+	for i := range procs {
+		procs[i] = arch.ProcID(binary.BigEndian.Uint32(payload[2+4*i:]))
+	}
+	return procs, nil
+}
+
 // encodePeers serializes the cluster address map carried by a peersDst
 // control frame: {u32 processor, u16 len, addr} per attached processor.
 // Hub-hosted processors are absent — they are reached over the control

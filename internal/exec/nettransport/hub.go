@@ -36,6 +36,7 @@ type Hub struct {
 	a  *arch.Arch
 	fp uint64
 	ln net.Listener
+	hb time.Duration // heartbeat interval; 0 = no liveness monitor
 
 	localSet map[arch.ProcID]bool
 	boxes    map[arch.ProcID]*transport.Mailbox
@@ -45,14 +46,26 @@ type Hub struct {
 	dataAddr map[arch.ProcID]string // their peer data listeners
 	pending  map[arch.ProcID][]outFrame
 	conns    []*wconn
+	states   []*connState // per-connection liveness bookkeeping
+	dead     map[arch.ProcID]bool
 	ready    chan struct{} // closed when every non-local processor is attached
 	closed   bool
 
-	errMu sync.Mutex
-	err   error
+	// pdFn, when registered via OnPeerDown, switches peer-death handling
+	// from abort-the-cluster to contain-and-notify.
+	pdMu sync.Mutex
+	pdFn transport.PeerDown
+
+	monStop chan struct{} // stops the heartbeat monitor
+	monOnce sync.Once
+
+	errMu  sync.Mutex
+	err    error
+	failed chan struct{} // closed on the first failf, so WaitReady fails fast
 
 	closing   atomic.Bool
 	aborted   atomic.Bool
+	anyDead   atomic.Bool // fast path: skip the dead-map lookup while nobody died
 	abortOnce sync.Once
 	wg        sync.WaitGroup
 
@@ -70,13 +83,30 @@ type Hub struct {
 	kl  transport.KeyLabels
 }
 
-var _ transport.Transport = (*Hub)(nil)
+var (
+	_ transport.Transport       = (*Hub)(nil)
+	_ transport.FailureNotifier = (*Hub)(nil)
+	_ transport.PeerDowner      = (*Hub)(nil)
+)
+
+// connState is the hub's per-connection liveness bookkeeping: lastHeard is
+// bumped on every frame the read loop sees (heartbeats included), and the
+// monitor condemns a connection whose node has gone silent for several
+// heartbeat intervals.
+type connState struct {
+	w         *wconn
+	procs     []arch.ProcID
+	lastHeard atomic.Int64 // UnixNano of the most recent frame
+	condemned atomic.Bool  // the monitor declared it dead; readLoop exits silently
+	gone      atomic.Bool  // readLoop exited (detach, death, or teardown)
+}
 
 // NewHub listens on addr (e.g. "127.0.0.1:0"; see Addr for the bound
 // address) and serves the architecture's processors: local are hosted in
 // this process, all others must attach over TCP with a matching schedule
 // fingerprint.
-func NewHub(addr string, a *arch.Arch, fingerprint uint64, local []arch.ProcID) (*Hub, error) {
+func NewHub(addr string, a *arch.Arch, fingerprint uint64, local []arch.ProcID, opts ...Option) (*Hub, error) {
+	o := buildOptions(opts)
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, err
@@ -85,12 +115,15 @@ func NewHub(addr string, a *arch.Arch, fingerprint uint64, local []arch.ProcID) 
 		a:        a,
 		fp:       fingerprint,
 		ln:       ln,
+		hb:       o.heartbeat,
 		localSet: map[arch.ProcID]bool{},
 		boxes:    map[arch.ProcID]*transport.Mailbox{},
 		remote:   map[arch.ProcID]*wconn{},
 		dataAddr: map[arch.ProcID]string{},
 		pending:  map[arch.ProcID][]outFrame{},
+		dead:     map[arch.ProcID]bool{},
 		ready:    make(chan struct{}),
+		failed:   make(chan struct{}),
 	}
 	for _, p := range local {
 		h.localSet[p] = true
@@ -101,6 +134,11 @@ func NewHub(addr string, a *arch.Arch, fingerprint uint64, local []arch.ProcID) 
 	}
 	h.wg.Add(1)
 	go h.acceptLoop()
+	if h.hb > 0 {
+		h.monStop = make(chan struct{})
+		h.wg.Add(1)
+		go h.monitor()
+	}
 	return h, nil
 }
 
@@ -108,11 +146,16 @@ func NewHub(addr string, a *arch.Arch, fingerprint uint64, local []arch.ProcID) 
 func (h *Hub) Addr() string { return h.ln.Addr().String() }
 
 // WaitReady blocks until every non-local processor has attached, the hub
-// fails, or d elapses.
+// fails, or d elapses. A failure (bad handshake, node death during attach)
+// returns immediately rather than burning the rest of the timeout: callers
+// otherwise sit out the full attach window to learn about an error that
+// was recorded milliseconds in.
 func (h *Hub) WaitReady(d time.Duration) error {
 	select {
 	case <-h.ready:
 		return nil
+	case <-h.failed:
+		return h.Err()
 	case <-time.After(d):
 		if err := h.Err(); err != nil {
 			return err
@@ -161,10 +204,15 @@ func (h *Hub) serveConn(c net.Conn) {
 		return
 	}
 	w := newWConn(c, func(err error) {
-		if !h.closing.Load() && !h.aborted.Load() {
+		// A write failure to a node already declared dead is expected noise
+		// (the peer-down broadcast races its socket teardown), not a cluster
+		// fault.
+		if !h.closing.Load() && !h.aborted.Load() && !h.allDead(hel.procs) {
 			h.failf("nettransport: writing to node %v: %v", hel.procs, err)
 		}
 	})
+	cs := &connState{w: w, procs: hel.procs}
+	cs.lastHeard.Store(time.Now().UnixNano())
 	h.mu.Lock()
 	if h.closed {
 		h.mu.Unlock()
@@ -184,6 +232,7 @@ func (h *Hub) serveConn(c net.Conn) {
 		delete(h.pending, p)
 	}
 	h.conns = append(h.conns, w)
+	h.states = append(h.states, cs)
 	allAttached := len(h.remote)+len(h.localSet) == h.a.N
 	var peersFrame []byte
 	var conns []*wconn
@@ -198,7 +247,8 @@ func (h *Hub) serveConn(c net.Conn) {
 		}
 		close(h.ready)
 	}
-	h.readLoop(br, hel.procs)
+	h.readLoop(br, cs)
+	cs.gone.Store(true)
 }
 
 // validateHello returns a rejection reason, or "" to accept.
@@ -230,10 +280,13 @@ func (h *Hub) validateHello(hel hello) string {
 }
 
 // readLoop routes one client's incoming frames. A connection that reaches
-// EOF without announcing a detach is a died node process, and the whole
-// cluster aborts — over the peer mesh the hub no longer sees data frames
-// stop flowing, so process death must be detected on the control plane.
-func (h *Hub) readLoop(br *bufio.Reader, procs []arch.ProcID) {
+// EOF without announcing a detach is a died node process — over the peer
+// mesh the hub no longer sees data frames stop flowing, so process death
+// must be detected on the control plane. Without a peer-down handler the
+// whole cluster aborts (the legacy behavior, and the only safe default);
+// with one, the death is contained and the executive notified.
+func (h *Hub) readLoop(br *bufio.Reader, cs *connState) {
+	procs := cs.procs
 	detached := false
 	for {
 		fb, dst, key, payload, err := readFrame(br)
@@ -241,13 +294,17 @@ func (h *Hub) readLoop(br *bufio.Reader, procs []arch.ProcID) {
 			if h.closing.Load() || h.aborted.Load() || (err == io.EOF && detached) {
 				return
 			}
+			if cs.condemned.Load() {
+				return // the monitor already declared this node dead
+			}
 			if err == io.EOF {
-				h.failf("nettransport: node %v closed its connection without detaching (process died?)", procs)
+				h.connDeath(procs, fmt.Sprintf("nettransport: node %v closed its connection without detaching (process died?)", procs))
 				return
 			}
-			h.failf("nettransport: reading from node %v: %v", procs, err)
+			h.connDeath(procs, fmt.Sprintf("nettransport: reading from node %v: %v", procs, err))
 			return
 		}
+		cs.lastHeard.Store(time.Now().UnixNano())
 		switch dst {
 		case abortDst:
 			putBuf(fb)
@@ -257,10 +314,19 @@ func (h *Hub) readLoop(br *bufio.Reader, procs []arch.ProcID) {
 			putBuf(fb)
 			detached = true
 			continue
+		case heartbeatDst:
+			putBuf(fb)
+			continue
 		case peersDst:
 			putBuf(fb)
 			h.failf("nettransport: node %v sent a peers frame", procs)
 			return
+		}
+		if h.anyDead.Load() && h.allDead(procs) {
+			// A deadline-suspected node may still be running; anything it
+			// sends after being declared dead is stale and dropped.
+			putBuf(fb)
+			continue
 		}
 		p := arch.ProcID(dst)
 		if h.localSet[p] {
@@ -273,12 +339,157 @@ func (h *Hub) readLoop(br *bufio.Reader, procs []arch.ProcID) {
 	}
 }
 
+// connDeath handles a connection whose node died (EOF without detach, read
+// error, or heartbeat timeout). With no peer-down handler registered the
+// legacy behavior stands: the death is a cluster-wide fatal error. With a
+// handler, the failure is contained — the node's processors are marked
+// dead, surviving nodes are told, and the executive decides what survives.
+func (h *Hub) connDeath(procs []arch.ProcID, legacy string) {
+	h.pdMu.Lock()
+	fn := h.pdFn
+	h.pdMu.Unlock()
+	if fn == nil {
+		h.failf("%s", legacy)
+		return
+	}
+	h.peerDown(procs)
+}
+
+// OnPeerDown registers the executive's failure handler, switching peer
+// death from abort-the-cluster to contain-and-notify. Register before the
+// run's traffic starts.
+func (h *Hub) OnPeerDown(fn transport.PeerDown) {
+	h.pdMu.Lock()
+	h.pdFn = fn
+	h.pdMu.Unlock()
+}
+
+// MarkPeerDown declares p dead without invoking the handler: the executive
+// calls this when it concludes a processor is gone (task deadline overrun)
+// so the transport stops routing to it and tells the other nodes. The
+// hub-side observation path (connDeath) notifies; this one does not, as
+// the caller already knows.
+func (h *Hub) MarkPeerDown(p arch.ProcID) {
+	h.markDown([]arch.ProcID{p})
+}
+
+// peerDown marks procs dead and notifies the registered handler of the
+// ones not already known dead.
+func (h *Hub) peerDown(procs []arch.ProcID) {
+	fresh := h.markDown(procs)
+	if len(fresh) == 0 {
+		return
+	}
+	h.pdMu.Lock()
+	fn := h.pdFn
+	h.pdMu.Unlock()
+	if fn != nil {
+		fn(fresh)
+	}
+}
+
+// markDown records procs as dead, drops their buffered frames, and
+// broadcasts a peer-down control frame so every node contains the same
+// failure. Returns the procs that were not already dead.
+func (h *Hub) markDown(procs []arch.ProcID) []arch.ProcID {
+	h.mu.Lock()
+	var fresh []arch.ProcID
+	for _, p := range procs {
+		if int(p) < 0 || int(p) >= h.a.N || h.dead[p] || h.localSet[p] {
+			continue
+		}
+		h.dead[p] = true
+		fresh = append(fresh, p)
+		for _, f := range h.pending[p] {
+			putBuf(f.head)
+		}
+		delete(h.pending, p)
+	}
+	conns := append([]*wconn(nil), h.conns...)
+	h.mu.Unlock()
+	if len(fresh) == 0 {
+		return nil
+	}
+	h.anyDead.Store(true)
+	payload := encodeProcs(fresh)
+	for _, w := range conns {
+		// enqueue: the dead node's own conn is among these and its socket may
+		// be mid-teardown; a blocking inline write here could stall or error
+		// from the caller's goroutine.
+		w.enqueue(controlFrame(peerDownDst, payload))
+	}
+	return fresh
+}
+
+// allDead reports whether every processor in procs has been declared dead
+// (vacuously false for an empty list).
+func (h *Hub) allDead(procs []arch.ProcID) bool {
+	if !h.anyDead.Load() || len(procs) == 0 {
+		return false
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	for _, p := range procs {
+		if !h.dead[p] {
+			return false
+		}
+	}
+	return true
+}
+
+// isDead reports whether p has been declared dead.
+func (h *Hub) isDead(p arch.ProcID) bool {
+	if !h.anyDead.Load() {
+		return false
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.dead[p]
+}
+
+// monitor is the hub's liveness watchdog, armed by WithHeartbeat: a
+// connection with no frames at all for 3 heartbeat intervals is condemned
+// — its processors are declared dead and its socket severed, catching
+// nodes that hang or vanish without closing their connection (which plain
+// TCP can take minutes to surface).
+func (h *Hub) monitor() {
+	defer h.wg.Done()
+	t := time.NewTicker(h.hb)
+	defer t.Stop()
+	for {
+		select {
+		case <-h.monStop:
+			return
+		case <-t.C:
+		}
+		if h.closing.Load() || h.aborted.Load() {
+			return
+		}
+		limit := time.Now().Add(-3 * h.hb).UnixNano()
+		h.mu.Lock()
+		states := append([]*connState(nil), h.states...)
+		h.mu.Unlock()
+		for _, cs := range states {
+			if cs.gone.Load() || cs.condemned.Load() || cs.lastHeard.Load() >= limit {
+				continue
+			}
+			cs.condemned.Store(true)
+			h.connDeath(cs.procs, fmt.Sprintf("nettransport: node %v sent no frames for %v (process hung?)", cs.procs, 3*h.hb))
+			cs.w.c.Close() // unblock its readLoop; condemned makes that exit silent
+		}
+	}
+}
+
 // routeRemote forwards a frame to dst's control connection, or buffers it
 // (up to maxPending frames) if dst has not attached yet.
 func (h *Hub) routeRemote(p arch.ProcID, f outFrame, from []arch.ProcID) {
 	if int(p) < 0 || int(p) >= h.a.N {
 		putBuf(f.head)
 		h.failf("nettransport: frame from node %v for unknown processor %d", from, p)
+		return
+	}
+	if h.isDead(p) {
+		putBuf(f.head) // frames to the dead are dropped, like loss in flight
 		return
 	}
 	h.mu.Lock()
@@ -318,10 +529,14 @@ func (h *Hub) deliverLocal(p arch.ProcID, key transport.Key, payload []byte) {
 
 func (h *Hub) failf(format string, args ...any) {
 	h.errMu.Lock()
-	if h.err == nil {
+	first := h.err == nil
+	if first {
 		h.err = fmt.Errorf(format, args...)
 	}
 	h.errMu.Unlock()
+	if first {
+		close(h.failed)
+	}
 	if rec := h.rec.Load(); rec != nil {
 		rec.Record(-1, obsv.EvAbort, 0, -1, 0)
 	}
@@ -361,6 +576,8 @@ type ClusterInfo struct {
 	Attached []int `json:"attached"`
 	// Pending counts frames buffered for processors not yet attached.
 	Pending int `json:"pending"`
+	// Dead lists processors declared dead by failure detection.
+	Dead []int `json:"dead,omitempty"`
 }
 
 // ClusterInfo snapshots the attachment state of the cluster.
@@ -382,8 +599,12 @@ func (h *Hub) ClusterInfo() ClusterInfo {
 	for _, fs := range h.pending {
 		ci.Pending += len(fs)
 	}
+	for p := range h.dead {
+		ci.Dead = append(ci.Dead, int(p))
+	}
 	h.mu.Unlock()
 	sort.Ints(ci.Attached)
+	sort.Ints(ci.Dead)
 	return ci
 }
 
@@ -392,6 +613,9 @@ func (h *Hub) ClusterInfo() ClusterInfo {
 // the mem backend does); remote ones are flattened and shipped over the
 // destination's control connection.
 func (h *Hub) Send(src, dst arch.ProcID, key transport.Key, payload value.Value) {
+	if h.isDead(dst) {
+		return // uncounted, like loss in flight
+	}
 	h.messages.Add(1)
 	if h.localSet[dst] {
 		n := int64(value.SizeOf(payload))
@@ -445,6 +669,35 @@ func (h *Hub) Abort() {
 	})
 }
 
+func (h *Hub) stopMonitor() {
+	if h.monStop != nil {
+		h.monOnce.Do(func() { close(h.monStop) })
+	}
+}
+
+// Sever tears the hub down the way a coordinator crash would: no abort
+// broadcast, no queue flush — the listener and every control connection
+// close abruptly and local mailboxes are killed. Attached clients observe
+// exactly what a died coordinator produces (EOF on the control
+// connection), which makes Sever the in-process stand-in for kill -9 in
+// chaos tests.
+func (h *Hub) Sever() {
+	h.closing.Store(true)
+	h.mu.Lock()
+	h.closed = true
+	conns := append([]*wconn(nil), h.conns...)
+	h.mu.Unlock()
+	h.stopMonitor()
+	h.ln.Close()
+	for _, w := range conns {
+		w.c.Close()
+	}
+	for _, b := range h.boxes {
+		b.Kill()
+	}
+	h.wg.Wait()
+}
+
 // Close aborts, tears down the listener and connections (flushing queued
 // frames, bounded by flushTimeout) and waits for the hub's goroutines.
 func (h *Hub) Close() error {
@@ -455,6 +708,7 @@ func (h *Hub) Close() error {
 	pending := h.pending
 	h.pending = map[arch.ProcID][]outFrame{}
 	h.mu.Unlock()
+	h.stopMonitor()
 	for _, fs := range pending {
 		for _, f := range fs {
 			putBuf(f.head)

@@ -77,7 +77,7 @@ func TestAbortSurvivesDeadControlConnection(t *testing.T) {
 		t.Fatal(err)
 	}
 	c1, c2 := net.Pipe()
-	cl := newClient(7, []arch.ProcID{1}, c1, bufio.NewReader(c1), ln, 0)
+	cl := newClient(7, []arch.ProcID{1}, c1, bufio.NewReader(c1), ln, 0, buildOptions(nil))
 	c2.Close() // control writes now fail synchronously on the caller's goroutine
 	done := make(chan struct{})
 	go func() {
@@ -127,19 +127,17 @@ func TestEnqueueNeverBlocksOnSocket(t *testing.T) {
 
 // TestSendFailsWithoutPeersMap checks that a remote Send does not hang
 // forever when the peers map never arrives (a node process that never
-// starts): past meshWaitTimeout the client must abort with a diagnostic.
+// starts): past the mesh-wait timeout the client must abort with a
+// diagnostic.
 func TestSendFailsWithoutPeersMap(t *testing.T) {
-	old := meshWaitTimeout
-	meshWaitTimeout = 200 * time.Millisecond
-	defer func() { meshWaitTimeout = old }()
-
 	a := arch.Ring(3)
 	hub, err := NewHub("127.0.0.1:0", a, 7, []arch.ProcID{0})
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer hub.Close()
-	c1, err := Dial(hub.Addr(), 7, []arch.ProcID{1}, time.Second)
+	c1, err := Dial(hub.Addr(), 7, []arch.ProcID{1}, time.Second,
+		WithMeshWaitTimeout(200*time.Millisecond))
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,41 @@
+package nettransport
+
+import "time"
+
+// options collects the tunables shared by Dial and NewHub. Both accept the
+// same Option type; an option irrelevant to one side is simply ignored
+// there (WithMeshWaitTimeout has no meaning on the hub).
+type options struct {
+	heartbeat time.Duration
+	meshWait  time.Duration
+}
+
+// Option configures a Client (Dial) or Hub (NewHub).
+type Option func(*options)
+
+// WithHeartbeat arms liveness heartbeats at interval d. On a client, a
+// heartbeat control frame is sent to the hub every d; on the hub, a
+// monitor declares a connection dead when no frame at all (heartbeat or
+// data) has arrived for 3d — catching processes that hang or vanish
+// without closing their socket, which plain TCP can take minutes to
+// notice. Both sides of a deployment must agree on the interval (pass the
+// same option everywhere, like the schedule fingerprint): a monitoring hub
+// over non-heartbeating idle clients would declare false deaths. Zero
+// disables (the default) — death detection then relies on connection EOF.
+func WithHeartbeat(d time.Duration) Option {
+	return func(o *options) { o.heartbeat = d }
+}
+
+// WithMeshWaitTimeout bounds how long a client's remote Send waits for the
+// hub's peers map (default 30s). Client-side only.
+func WithMeshWaitTimeout(d time.Duration) Option {
+	return func(o *options) { o.meshWait = d }
+}
+
+func buildOptions(opts []Option) options {
+	o := options{meshWait: defaultMeshWaitTimeout}
+	for _, fn := range opts {
+		fn(&o)
+	}
+	return o
+}

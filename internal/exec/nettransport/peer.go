@@ -4,6 +4,7 @@ import (
 	"bufio"
 	"io"
 	"net"
+	"time"
 
 	"skipper/internal/arch"
 )
@@ -20,15 +21,29 @@ import (
 // dialer having finished.
 
 // peerConn returns the write connection to addr, dialing it on first use.
+// The dial retries with jittered backoff inside the flushTimeout budget: a
+// peer that attached to the hub has already bound its listener, so a
+// refused connection here is a transient (SYN backlog pressure when the
+// whole mesh comes up at once) far more often than a death.
 func (cl *Client) peerConn(addr string) (*wconn, error) {
 	cl.pcMu.Lock()
 	defer cl.pcMu.Unlock()
 	if w, ok := cl.pconns[addr]; ok {
 		return w, nil
 	}
-	c, err := net.DialTimeout("tcp", addr, flushTimeout)
-	if err != nil {
-		return nil, err
+	deadline := time.Now().Add(flushTimeout)
+	bo := newBackoff()
+	var c net.Conn
+	var err error
+	for {
+		c, err = net.DialTimeout("tcp", addr, time.Second)
+		if err == nil {
+			break
+		}
+		if time.Now().After(deadline) || cl.closing.Load() || cl.aborted.Load() {
+			return nil, err
+		}
+		bo.sleep()
 	}
 	if tc, ok := c.(*net.TCPConn); ok {
 		tc.SetNoDelay(true)
@@ -38,9 +53,10 @@ func (cl *Client) peerConn(addr string) (*wconn, error) {
 		return nil, err
 	}
 	w := newWConn(c, func(err error) {
-		if !cl.closing.Load() && !cl.aborted.Load() {
-			cl.failf("nettransport: peer %s: %v", addr, err)
+		if cl.closing.Load() || cl.aborted.Load() || cl.containsPeerFailure(addr) {
+			return
 		}
+		cl.failf("nettransport: peer %s: %v", addr, err)
 	})
 	cl.pconns[addr] = w
 	return w, nil
@@ -85,7 +101,10 @@ func (cl *Client) servePeer(c net.Conn) {
 	for {
 		fb, dst, key, payload, err := readFrame(br)
 		if err != nil {
-			if err != io.EOF && !cl.closing.Load() && !cl.aborted.Load() {
+			if err != io.EOF && !cl.closing.Load() && !cl.aborted.Load() && !cl.hasPeerDownHandler() {
+				// A peer dying mid-write leaves a truncated frame here; with a
+				// failure handler registered that is containable noise (the
+				// control plane reports the death), without one it is fatal.
 				cl.failf("nettransport: reading from peer: %v", err)
 			}
 			return

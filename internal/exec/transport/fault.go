@@ -1,0 +1,55 @@
+package transport
+
+import "skipper/internal/arch"
+
+// Fault-tolerance seam. The data-farm skeletons are stateless per task, so
+// a task lost to a died worker can be re-executed on a surviving one — the
+// property that makes farms fault-tolerant by construction (DESIGN.md §11).
+// A transport that can localize a failure to one process surfaces it
+// through PeerDown instead of (only) a cluster-wide abort; the executive
+// then contains the damage via MarkPeerDown and re-dispatches the dead
+// workers' in-flight tasks.
+
+// PeerDown notifies the executive that the process hosting the given
+// processors died (connection loss without a clean detach, heartbeat
+// staleness, or an injected fault). The callback runs on a transport
+// goroutine: it must not block indefinitely, and it may call back into the
+// transport (Send, MarkPeerDown, Abort).
+type PeerDown func(procs []arch.ProcID)
+
+// FailureNotifier is implemented by transports that can attribute a failure
+// to a single process. Registering a handler switches the transport from
+// abort-the-cluster to notify-and-contain for peer deaths; with no handler
+// registered, a peer death still aborts the whole cluster (the pre-FT
+// behavior, and the only safe default — without re-dispatch the remaining
+// processors would deadlock waiting on the dead one).
+type FailureNotifier interface {
+	// OnPeerDown registers fn, replacing any previous handler. Must be
+	// called before the failure occurs (in practice: before the run starts).
+	OnPeerDown(fn PeerDown)
+}
+
+// PeerDowner is implemented by transports that can contain a known-dead
+// processor: sends to or from it are silently dropped, its local mailboxes
+// (if hosted here) are killed so blocked receivers unblock with ok=false,
+// and connection errors attributable to it no longer abort the cluster.
+type PeerDowner interface {
+	// MarkPeerDown declares p dead. Idempotent and safe to call
+	// concurrently with traffic.
+	MarkPeerDown(p arch.ProcID)
+}
+
+// ProcsDown is a local-only control value: the executive's peer-down
+// handler self-sends it to each active farm master's reply stream so a
+// master blocked in Recv wakes up and re-dispatches the dead workers'
+// in-flight tasks. It never crosses the wire (the handler runs in every
+// process, and each wakes only its own masters), so it has no codec.
+type ProcsDown struct {
+	Procs []arch.ProcID
+}
+
+// DeadlineTick is a local-only control value: the per-master deadline
+// watchdog self-sends it to the master's reply stream so the master scans
+// its in-flight tasks for deadline overruns even when no reply arrives.
+// Never crosses the wire; no codec.
+type DeadlineTick struct{}

@@ -15,16 +15,23 @@ import (
 type Sentinel struct{}
 
 // Task couples a packet of work with its position in the input list
-// (Idx = -1 for tasks spawned dynamically by tf feedback).
+// (Idx = -1 for tasks spawned dynamically by tf feedback). Gen tags the
+// master invocation that dispatched it: workers echo it back in the Reply,
+// and a fault-tolerant master ignores replies from other generations — a
+// deadline-suspected worker may deliver its answer late, after the task was
+// re-dispatched or even after the next iteration's farm started, and task
+// indices repeat across iterations.
 type Task struct {
 	Idx int
+	Gen int64
 	V   value.Value
 }
 
 // Reply is a worker's answer to its master.
 type Reply struct {
 	Widx int
-	Task int // index of the task within this iteration's input list
+	Task int   // index of the task within this iteration's input list
+	Gen  int64 // echoed from the Task, see Task.Gen
 	V    value.Value
 }
 
@@ -47,6 +54,7 @@ func init() {
 		Encode: func(buf []byte, v value.Value) ([]byte, error) {
 			t := v.(Task)
 			buf = value.AppendI64(buf, int64(t.Idx))
+			buf = value.AppendI64(buf, t.Gen)
 			return value.Encode(buf, t.V)
 		},
 		Size: func(v value.Value) int {
@@ -54,14 +62,20 @@ func init() {
 			if n < 0 {
 				return -1
 			}
-			return 8 + n
+			return 16 + n
 		},
 		EncodeTail: func(buf []byte, v value.Value) ([]byte, []byte, error) {
 			t := v.(Task)
-			return value.EncodeTrailing(value.AppendI64(buf, int64(t.Idx)), t.V)
+			buf = value.AppendI64(buf, int64(t.Idx))
+			buf = value.AppendI64(buf, t.Gen)
+			return value.EncodeTrailing(buf, t.V)
 		},
 		Decode: func(payload []byte) (value.Value, error) {
 			idx, pos, err := value.ReadI64(payload, 0)
+			if err != nil {
+				return nil, err
+			}
+			gen, pos, err := value.ReadI64(payload, pos)
 			if err != nil {
 				return nil, err
 			}
@@ -72,7 +86,7 @@ func init() {
 			if len(rest) != 0 {
 				return nil, fmt.Errorf("trailing bytes after task frame")
 			}
-			return Task{Idx: int(idx), V: v}, nil
+			return Task{Idx: int(idx), Gen: gen, V: v}, nil
 		},
 	})
 	value.RegisterExt(value.Ext{
@@ -82,6 +96,7 @@ func init() {
 			r := v.(Reply)
 			buf = value.AppendI64(buf, int64(r.Widx))
 			buf = value.AppendI64(buf, int64(r.Task))
+			buf = value.AppendI64(buf, r.Gen)
 			return value.Encode(buf, r.V)
 		},
 		Size: func(v value.Value) int {
@@ -89,12 +104,13 @@ func init() {
 			if n < 0 {
 				return -1
 			}
-			return 16 + n
+			return 24 + n
 		},
 		EncodeTail: func(buf []byte, v value.Value) ([]byte, []byte, error) {
 			r := v.(Reply)
 			buf = value.AppendI64(buf, int64(r.Widx))
 			buf = value.AppendI64(buf, int64(r.Task))
+			buf = value.AppendI64(buf, r.Gen)
 			return value.EncodeTrailing(buf, r.V)
 		},
 		Decode: func(payload []byte) (value.Value, error) {
@@ -106,6 +122,10 @@ func init() {
 			if err != nil {
 				return nil, err
 			}
+			gen, pos, err := value.ReadI64(payload, pos)
+			if err != nil {
+				return nil, err
+			}
 			v, rest, err := value.DecodePrefix(payload[pos:])
 			if err != nil {
 				return nil, err
@@ -113,7 +133,7 @@ func init() {
 			if len(rest) != 0 {
 				return nil, fmt.Errorf("trailing bytes after reply frame")
 			}
-			return Reply{Widx: int(widx), Task: int(task), V: v}, nil
+			return Reply{Widx: int(widx), Task: int(task), Gen: gen, V: v}, nil
 		},
 	})
 }

@@ -23,6 +23,7 @@ type Slot struct {
 	buf    []value.Value
 	head   int
 	closed bool
+	killed bool // processor declared dead: drop buffered and future values
 
 	// Tracing (set once via Mailbox.SetTrace before traffic; read under mu).
 	// rec == nil is the common case and costs one branch per operation.
@@ -31,9 +32,14 @@ type Slot struct {
 	label uint32
 }
 
-// Deliver appends v to the slot's FIFO and wakes its consumer.
+// Deliver appends v to the slot's FIFO and wakes its consumer. Deliveries
+// to a killed slot are dropped — a dead processor consumes nothing.
 func (s *Slot) Deliver(v value.Value) {
 	s.mu.Lock()
+	if s.killed {
+		s.mu.Unlock()
+		return
+	}
 	s.buf = append(s.buf, v)
 	if s.rec != nil {
 		s.rec.Record(s.proc, obsv.EvEnqueue, s.label, -1, int64(len(s.buf)-s.head))
@@ -73,6 +79,22 @@ func (s *Slot) Recv() (value.Value, bool) {
 	return v, true
 }
 
+// kill drops everything: buffered values are discarded, future deliveries
+// are ignored, and every blocked or future Recv returns ok=false at once.
+// This is death semantics, distinct from Close's drain-then-false shutdown.
+func (s *Slot) kill() {
+	s.mu.Lock()
+	s.killed = true
+	s.closed = true
+	for i := range s.buf {
+		s.buf[i] = nil
+	}
+	s.buf = s.buf[:0]
+	s.head = 0
+	s.mu.Unlock()
+	s.cond.Broadcast()
+}
+
 // Cap exposes the backing buffer capacity for boundedness tests.
 func (s *Slot) Cap() int {
 	s.mu.Lock()
@@ -95,6 +117,7 @@ type Mailbox struct {
 	mu     sync.Mutex
 	slots  map[Key]*Slot
 	closed bool
+	killed bool // processor declared dead; new slots are born killed
 
 	// Tracing wiring applied to every slot (existing and future); see
 	// SetTrace.
@@ -118,6 +141,7 @@ func (m *Mailbox) Slot(k Key) *Slot {
 		s = &Slot{}
 		s.cond = sync.NewCond(&s.mu)
 		s.closed = m.closed // mailbox already shut down: new slots are born closed
+		s.killed = m.killed
 		if m.rec != nil {
 			s.rec, s.proc, s.label = m.rec, m.proc, m.kl.Of(k)
 		}
@@ -166,6 +190,24 @@ func (m *Mailbox) Deliver(k Key, v value.Value) {
 // Recv blocks on key k; see Slot.Recv.
 func (m *Mailbox) Recv(k Key) (value.Value, bool) {
 	return m.Slot(k).Recv()
+}
+
+// Kill declares the mailbox's processor dead: buffered values are dropped,
+// future deliveries are ignored, and every blocked or future Recv returns
+// ok=false immediately. Unlike Close, nothing is drained — a dead processor
+// does not get to finish consuming its backlog.
+func (m *Mailbox) Kill() {
+	m.mu.Lock()
+	m.closed = true
+	m.killed = true
+	slots := make([]*Slot, 0, len(m.slots))
+	for _, s := range m.slots {
+		slots = append(slots, s)
+	}
+	m.mu.Unlock()
+	for _, s := range slots {
+		s.kill()
+	}
 }
 
 // Close shuts the mailbox down: every blocked Recv returns ok=false once

@@ -42,13 +42,22 @@ const (
 	EvWake
 	// EvAbort marks a transport failure-driven abort.
 	EvAbort
+	// EvPeerDown marks the detected death of a remote process: Proc is the
+	// processor declared dead, recorded by each surviving process when its
+	// transport surfaces the failure.
+	EvPeerDown
+	// EvRedispatch marks a farm master re-enqueueing a task whose worker
+	// died or whose deadline fired; Proc is the master's processor, Arg the
+	// task index.
+	EvRedispatch
 )
 
 var kindNames = [...]string{
 	EvOpStart: "op-start", EvOpEnd: "op-end",
 	EvSend: "send", EvRecv: "recv",
 	EvEnqueue: "enqueue", EvPark: "park", EvWake: "wake",
-	EvAbort: "abort",
+	EvAbort:    "abort",
+	EvPeerDown: "peer-down", EvRedispatch: "redispatch",
 }
 
 func (k EventKind) String() string {

@@ -15,11 +15,28 @@ type Span struct {
 	Label      string
 }
 
+// Mark is a point event drawn on a chronogram lane as a colored vertical
+// tick: a peer death, a task re-dispatch, an abort. T is in seconds on the
+// same timeline as the spans.
+type Mark struct {
+	Proc  int
+	T     float64
+	Label string
+	Color string
+}
+
 // ChronogramSVG renders activity spans as a standalone SVG Gantt chart:
 // one lane per processor, colored blocks per activity, a millisecond axis
 // along the bottom. total is the timeline length in seconds; lanes the
 // number of processor rows.
 func ChronogramSVG(spans []Span, lanes int, total float64, width, laneHeight int) string {
+	return ChronogramSVGMarked(spans, nil, lanes, total, width, laneHeight)
+}
+
+// ChronogramSVGMarked is ChronogramSVG plus point-event markers overlaid on
+// the lanes (drawn after the spans, so a fault tick stays visible on top of
+// the activity block it interrupted).
+func ChronogramSVGMarked(spans []Span, marks []Mark, lanes int, total float64, width, laneHeight int) string {
 	if width < 100 {
 		width = 100
 	}
@@ -70,6 +87,22 @@ func ChronogramSVG(spans []Span, lanes int, total float64, width, laneHeight int
 			sp.Start*1000, sp.End*1000)
 		b.WriteString("\n")
 	}
+	// Point-event markers: full-lane vertical ticks over the spans.
+	for _, mk := range marks {
+		if mk.Proc < 0 || mk.Proc >= lanes {
+			continue
+		}
+		x := leftMargin + int(mk.T/total*float64(width))
+		y := topMargin + mk.Proc*laneHeight
+		color := mk.Color
+		if color == "" {
+			color = "#d62728"
+		}
+		fmt.Fprintf(&b,
+			`<rect x="%d" y="%d" width="2" height="%d" fill="%s"><title>%s %.2f ms</title></rect>`,
+			x, y, laneHeight, color, escapeXML(mk.Label), mk.T*1000)
+		b.WriteString("\n")
+	}
 	// Axis: 5 ticks.
 	axisY := topMargin + lanes*laneHeight
 	fmt.Fprintf(&b, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="black"/>`,
@@ -90,7 +123,8 @@ func ChronogramSVG(spans []Span, lanes int, total float64, width, laneHeight int
 
 // ChronogramSVG renders the trace's measured op spans through the shared
 // chronogram renderer, so predicted (sim) and measured diagrams are
-// directly comparable.
+// directly comparable. Fault events (peer deaths, task re-dispatches) are
+// overlaid as vertical ticks on the affected lanes.
 func (t *Trace) ChronogramSVG(width, laneHeight int) string {
 	ops := t.OpSpans()
 	spans := make([]Span, 0, len(ops))
@@ -107,6 +141,28 @@ func (t *Trace) ChronogramSVG(width, laneHeight int) string {
 			total = s.End
 		}
 	}
+	var marks []Mark
+	for _, ev := range t.Events {
+		var color string
+		switch ev.Kind {
+		case EvPeerDown:
+			color = "#d62728" // red: a processor died here
+		case EvRedispatch:
+			color = "#ff7f0e" // orange: its work re-enqueued here
+		default:
+			continue
+		}
+		mk := Mark{
+			Proc:  int(ev.Proc),
+			T:     float64(ev.TS) / 1e9,
+			Label: ev.Kind.String(),
+			Color: color,
+		}
+		marks = append(marks, mk)
+		if mk.T > total {
+			total = mk.T
+		}
+	}
 	lanes := t.NProcs
 	if lanes == 0 {
 		for _, s := range spans {
@@ -115,7 +171,7 @@ func (t *Trace) ChronogramSVG(width, laneHeight int) string {
 			}
 		}
 	}
-	return ChronogramSVG(spans, lanes, total, width, laneHeight)
+	return ChronogramSVGMarked(spans, marks, lanes, total, width, laneHeight)
 }
 
 // colorFor assigns a stable pastel color per activity label.

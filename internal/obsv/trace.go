@@ -253,6 +253,11 @@ func (t *Trace) chrome() *ChromeTrace {
 			args["depth"] = ev.Arg
 		case EvAbort:
 			cat = "abort"
+		case EvPeerDown:
+			cat = "fault"
+		case EvRedispatch:
+			cat = "fault"
+			args["task"] = ev.Arg
 		default:
 			continue
 		}
