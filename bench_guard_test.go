@@ -51,6 +51,7 @@ func TestBenchSnapshotWithinPaperEnvelope(t *testing.T) {
 			t.Errorf("%s: snapshot has no benchmark results", path)
 		}
 		checkTraceCost(t, path, rep)
+		checkDataPlane2(t, path, rep)
 	}
 }
 
@@ -60,6 +61,63 @@ func TestBenchSnapshotWithinPaperEnvelope(t *testing.T) {
 // the bare scalar round trip does (2 boxed values/op — the nil-recorder
 // checks are branches, not costs), and arming it must not add allocations
 // either, only the fixed per-event stores.
+// checkDataPlane2 guards the data-plane round-2 work on snapshots that carry
+// the pipelined-itermem benchmarks (BENCH_5 onward, DESIGN.md §12):
+//
+//   - E5's per-op allocation budget drops from 111 to ≤ 60 after the
+//     makespan-model rewrite (scratch reuse, no throwaway topology).
+//   - The software-pipelined itermem loop must sustain ≥ 1.3× the
+//     sequential frame rate on the blocking-grab benchmark (measured ~5×:
+//     the farm runs inside the next frame's grab wait).
+//   - The unix-domain transport must beat tcp on the farm round trip, and
+//     both must sit under generous absolute ceilings. The issue's ≤ ½×-tcp
+//     aspiration is not reachable on this class of host: a raw 32KB
+//     ping-pong over a unix socketpair floors at ~8.4µs vs ~9.9µs for
+//     loopback TCP (internal/exec/nettransport/floor_bench_test.go), so the
+//     transports differ by the per-syscall delta, not a 2× factor — the
+//     honest guard is the ordering plus ceilings with headroom for CI
+//     noise.
+func checkDataPlane2(t *testing.T, path string, rep *harness.BenchReport) {
+	entries := map[string]harness.BenchEntry{}
+	for _, e := range rep.Results {
+		entries[e.Name] = e
+	}
+	pipOn, ok := entries["ItermemPipelined_on"]
+	if !ok {
+		return // pre-round-2 snapshot
+	}
+	pipOff, ok := entries["ItermemPipelined_off"]
+	if !ok {
+		t.Errorf("%s: ItermemPipelined_on present without the _off baseline", path)
+		return
+	}
+	if pipOn.NsPerOp > pipOff.NsPerOp/1.3 {
+		t.Errorf("%s: pipelined itermem frame period %.0f ns vs sequential %.0f ns; want >= 1.3x speedup",
+			path, pipOn.NsPerOp, pipOff.NsPerOp)
+	}
+	if e5, ok := entries["E5_LoadBalancing"]; ok && e5.AllocsPerOp > 60 {
+		t.Errorf("%s: E5 allocates %d/op, budget is 60 (was 111 before the makespan rewrite)",
+			path, e5.AllocsPerOp)
+	}
+	tcp, okTCP := entries["Transport_tcp_FarmRoundTrip"]
+	unix, okUnix := entries["Transport_unix_FarmRoundTrip"]
+	if !okTCP || !okUnix {
+		t.Errorf("%s: round-2 snapshot missing transport round trips (tcp %v, unix %v)",
+			path, okTCP, okUnix)
+		return
+	}
+	if unix.NsPerOp > tcp.NsPerOp {
+		t.Errorf("%s: unix round trip %.0f ns slower than tcp %.0f ns; same-host mode must win",
+			path, unix.NsPerOp, tcp.NsPerOp)
+	}
+	if tcp.NsPerOp > 30_000 {
+		t.Errorf("%s: tcp farm round trip %.0f ns, ceiling 30µs", path, tcp.NsPerOp)
+	}
+	if unix.NsPerOp > 25_000 {
+		t.Errorf("%s: unix farm round trip %.0f ns, ceiling 25µs", path, unix.NsPerOp)
+	}
+}
+
 func checkTraceCost(t *testing.T, path string, rep *harness.BenchReport) {
 	entries := map[string]harness.BenchEntry{}
 	for _, e := range rep.Results {

@@ -36,6 +36,7 @@ func main() {
 	seed := flag.Int64("seed", 3, "synthetic scene seed")
 	topology := flag.String("topology", "ring", "ring, chain, star or full")
 	deterministic := flag.Bool("deterministic", false, "order-insensitive farm accumulation")
+	pipeline := flag.Bool("pipeline", false, "software-pipeline the itermem loop, must match the coordinator")
 	timeout := flag.Duration("timeout", 2*time.Minute, "dial + run watchdog")
 	trace := flag.String("trace", "", "write this node's event trace (trace-node<p>.json) into this directory")
 	debugAddr := flag.String("debug-addr", "", "serve /metrics, /healthz and /varz on this address during the run")
@@ -54,7 +55,7 @@ func main() {
 		Topology: *topology, Procs: *procs,
 		Width: *size, Height: *size,
 		Vehicles: *vehicles, Seed: *seed,
-		Iters: *iters, Deterministic: *deterministic,
+		Iters: *iters, Deterministic: *deterministic, Pipeline: *pipeline,
 		TraceDir: *trace, DebugAddr: *debugAddr,
 		MaxRetries: *maxRetries, TaskDeadline: *taskDeadline,
 		Heartbeat: *heartbeat, DieAfterSends: *dieAfterSends,

@@ -4,9 +4,10 @@
 //
 // Usage:
 //
-//	skipper-run [-backend exec|sim] [-transport mem|tcp] [-procs 8]
+//	skipper-run [-backend exec|sim] [-transport mem|tcp|unix] [-procs 8]
 //	            [-iters 50] [-size 512] [-vehicles 3] [-seed 3]
-//	            [-topology ring] [-trace dir] [-debug-addr host:port]
+//	            [-topology ring] [-pipeline] [-trace dir]
+//	            [-debug-addr host:port]
 //	            [-max-retries n] [-task-deadline d] [-heartbeat d]
 //	            [-chaos-kill-proc p] [-chaos-kill-after n]
 //	            [topology(procs)]
@@ -14,10 +15,16 @@
 // The optional positional argument names the architecture compactly:
 // "ring(8)" is shorthand for -topology ring -procs 8.
 //
-// With -transport=tcp the executive really runs as N OS processes: this
-// process hosts processor 0 and the routing hub, and one skipper-node
-// child process is spawned per remaining processor (the skipper-node
-// binary is looked up next to skipper-run, then on PATH).
+// With -transport=tcp or -transport=unix the executive really runs as N
+// OS processes: this process hosts processor 0 and the routing hub, and
+// one skipper-node child process is spawned per remaining processor (the
+// skipper-node binary is looked up next to skipper-run, then on PATH).
+// tcp talks over localhost sockets; unix uses unix-domain sockets for hub
+// and peer mesh — the same-host fast path (DESIGN.md §12).
+//
+// -pipeline software-pipelines the itermem loop: frame k+1's grab and
+// preprocessing overlap frame k's farm and merge, with bit-identical
+// outputs (DESIGN.md §12).
 //
 // -trace=<dir> records an event trace of the run: each process writes its
 // trace-*.json file into dir, and afterwards the merged trace is exported
@@ -57,13 +64,14 @@ import (
 
 func main() {
 	backend := flag.String("backend", "exec", "execution backend: exec (goroutines) or sim (timing model)")
-	transportFlag := flag.String("transport", "mem", "with -backend exec: mem (in-process) or tcp (one OS process per processor)")
+	transportFlag := flag.String("transport", "mem", "with -backend exec: mem (in-process), tcp or unix (one OS process per processor)")
 	procs := flag.Int("procs", 8, "number of processors (and df workers)")
 	iters := flag.Int("iters", 50, "stream iterations")
 	size := flag.Int("size", 512, "frame width and height")
 	vehicles := flag.Int("vehicles", 3, "lead vehicles (1-3)")
 	seed := flag.Int64("seed", 3, "synthetic scene seed")
 	topology := flag.String("topology", "ring", "ring, chain, star or full")
+	pipeline := flag.Bool("pipeline", false, "software-pipeline the itermem loop (overlap frame k+1's grab with frame k's farm)")
 	trace := flag.String("trace", "", "trace directory: record an event trace and export chrome-trace.json plus a measured chronogram SVG (sim: the predicted chronogram)")
 	debugAddr := flag.String("debug-addr", "", "serve /metrics, /healthz and /varz on this address during the run")
 	svgPath := flag.String("svg", "", "with -backend sim -trace: also write the predicted SVG chronogram to this file")
@@ -85,20 +93,23 @@ func main() {
 		Width: *size, Height: *size,
 		Vehicles: *vehicles, Seed: *seed, Iters: *iters,
 		TraceDir: *trace, DebugAddr: *debugAddr,
+		Pipeline:   *pipeline,
 		MaxRetries: *maxRetries, TaskDeadline: *taskDeadline,
 		Heartbeat: *heartbeat,
 	}
-	if *backend == "exec" && *transportFlag == "tcp" {
-		runTCP(sp, *chaosKillProc, *chaosKillAfter)
+	if *backend == "exec" && (*transportFlag == "tcp" || *transportFlag == "unix") {
+		runMulti(sp, *transportFlag, *chaosKillProc, *chaosKillAfter)
 		return
 	}
 	if *chaosKillProc != 0 {
-		fatal(fmt.Errorf("-chaos-kill-proc needs a real node process to kill (use -transport tcp)"))
+		fatal(fmt.Errorf("-chaos-kill-proc needs a real node process to kill (use -transport tcp or unix)"))
 	}
-	if *transportFlag != "mem" && *transportFlag != "tcp" {
+	if *transportFlag != "mem" {
 		fatal(fmt.Errorf("unknown transport %q", *transportFlag))
 	}
-	if *backend == "exec" && (*trace != "" || *debugAddr != "") {
+	// Tracing, metrics and the pipelined executive all run through the
+	// distrib in-process path, which knows how to arm them.
+	if *backend == "exec" && (*trace != "" || *debugAddr != "" || *pipeline) {
 		runMemObserved(sp)
 		return
 	}
@@ -241,17 +252,23 @@ func runMemObserved(sp distrib.Spec) {
 	printTrackingSummary(rec)
 }
 
-// runTCP executes the tracking deployment as N communicating OS processes
-// on localhost: processor 0 plus the hub here, one spawned skipper-node
-// per remaining processor. chaosKillProc, when non-zero, scripts a chaos
-// drill: that node process is spawned with -die-after-sends so it severs
-// itself mid-run, and the run must degrade (or, with -max-retries, finish)
-// without it.
-func runTCP(sp distrib.Spec, chaosKillProc, chaosKillAfter int) {
+// runMulti executes the tracking deployment as N communicating OS
+// processes on this host — over localhost TCP or unix-domain sockets per
+// transport — with processor 0 plus the hub here and one spawned
+// skipper-node per remaining processor. chaosKillProc, when non-zero,
+// scripts a chaos drill: that node process is spawned with
+// -die-after-sends so it severs itself mid-run, and the run must degrade
+// (or, with -max-retries, finish) without it.
+func runMulti(sp distrib.Spec, transport string, chaosKillProc, chaosKillAfter int) {
 	nodeBin, err := findNodeBinary()
 	if err != nil {
 		fatal(err)
 	}
+	listen, cleanup, err := distrib.HubListenAddr(transport)
+	if err != nil {
+		fatal(err)
+	}
+	defer cleanup()
 	if chaosKillProc != 0 && (chaosKillProc < 1 || chaosKillProc >= sp.Procs) {
 		fatal(fmt.Errorf("-chaos-kill-proc %d outside node range 1..%d", chaosKillProc, sp.Procs-1))
 	}
@@ -270,6 +287,9 @@ func runTCP(sp distrib.Spec, chaosKillProc, chaosKillAfter int) {
 			}
 			if sp.TraceDir != "" {
 				args = append(args, "-trace", sp.TraceDir)
+			}
+			if sp.Pipeline {
+				args = append(args, "-pipeline")
 			}
 			if sp.MaxRetries > 0 {
 				args = append(args, "-max-retries", strconv.Itoa(sp.MaxRetries))
@@ -292,7 +312,7 @@ func runTCP(sp distrib.Spec, chaosKillProc, chaosKillAfter int) {
 		}
 		return nil
 	}
-	rec, res, err := distrib.RunCoordinator(sp, "127.0.0.1:0", spawn, 5*time.Minute)
+	rec, res, err := distrib.RunCoordinator(sp, listen, spawn, 5*time.Minute)
 	for i, c := range children {
 		werr := c.Wait()
 		if werr != nil && i+1 == chaosKillProc {
@@ -308,8 +328,8 @@ func runTCP(sp distrib.Spec, chaosKillProc, chaosKillAfter int) {
 	if sp.TraceDir != "" {
 		exportTrace(sp.TraceDir)
 	}
-	fmt.Printf("%d processors as OS processes over TCP, %d messages from coordinator\n",
-		sp.Procs, res.Messages)
+	fmt.Printf("%d processors as OS processes over %s, %d messages from coordinator\n",
+		sp.Procs, transport, res.Messages)
 	if sp.MaxRetries > 0 || chaosKillProc != 0 {
 		fmt.Printf("fault tolerance: %d peer failure(s), %d task re-dispatch(es)\n",
 			res.Failures, res.Redispatches)

@@ -12,6 +12,8 @@ package distrib
 import (
 	"errors"
 	"fmt"
+	"os"
+	"path/filepath"
 	"sync/atomic"
 	"time"
 
@@ -42,6 +44,13 @@ type Spec struct {
 	Seed          int64
 	Iters         int
 	Deterministic bool // order-insensitive df accumulation buffering
+	// Pipeline software-pipelines the itermem loop (DESIGN.md §12): frame
+	// k+1's grab/preprocessing overlaps frame k's farm and merge on
+	// processors whose program splits cleanly. Outputs stay bit-identical,
+	// so it is executive tuning like Deterministic: not part of the
+	// schedule fingerprint, but pass the same value to every process so
+	// the chronograms line up.
+	Pipeline bool
 
 	// TraceDir and DebugAddr are per-process local configuration, not part
 	// of the deployment agreement: they do not enter the schedule
@@ -77,6 +86,24 @@ type Spec struct {
 // ErrChaosKilled marks a node run that ended because its own DieAfterSends
 // trigger fired — the expected casualty of a chaos drill, not a fault.
 var ErrChaosKilled = errors.New("distrib: node severed by chaos injection")
+
+// HubListenAddr returns a hub bind address for the named multi-process
+// transport kind: "tcp" picks a free localhost port, "unix" a fresh
+// unix-domain socket path. The cleanup func removes anything the address
+// reserved on disk; call it after the hub has closed.
+func HubListenAddr(transport string) (listen string, cleanup func(), err error) {
+	switch transport {
+	case "tcp":
+		return "127.0.0.1:0", func() {}, nil
+	case "unix":
+		dir, err := os.MkdirTemp("", "skipper-hub")
+		if err != nil {
+			return "", nil, err
+		}
+		return "unix:" + filepath.Join(dir, "hub.sock"), func() { os.RemoveAll(dir) }, nil
+	}
+	return "", nil, fmt.Errorf("distrib: unknown transport %q", transport)
+}
 
 // Arch builds the architecture graph the spec names.
 func (sp Spec) Arch() (*arch.Arch, error) {
@@ -168,6 +195,7 @@ func RunNode(sp Spec, proc int, hubAddr string, d time.Duration) error {
 	m := exec.NewMachineOn(s, reg, tr, []arch.ProcID{arch.ProcID(proc)})
 	m.DeterministicFarm = sp.Deterministic
 	m.FT = sp.ft()
+	m.Pipeline = sp.Pipeline
 	ob, err := sp.observe(tr, m, nil)
 	if err != nil {
 		return err
@@ -208,6 +236,7 @@ func RunCoordinator(sp Spec, listen string, spawn func(addr string) error, d tim
 	m := exec.NewMachineOn(s, reg, hub, []arch.ProcID{0})
 	m.DeterministicFarm = sp.Deterministic
 	m.FT = sp.ft()
+	m.Pipeline = sp.Pipeline
 	// The debug server comes up before the nodes are spawned and before the
 	// run starts, so health and metrics are scrapeable while the cluster is
 	// attaching and mid-run.
@@ -242,6 +271,7 @@ func RunInProcess(sp Spec, d time.Duration) (*track.Recorder, *exec.RunResult, e
 		m := exec.NewMachine(s, reg)
 		m.DeterministicFarm = sp.Deterministic
 		m.FT = sp.ft()
+		m.Pipeline = sp.Pipeline
 		res, err := m.RunWithTimeout(sp.Iters, d)
 		if err != nil {
 			return nil, nil, err
@@ -260,6 +290,7 @@ func RunInProcess(sp Spec, d time.Duration) (*track.Recorder, *exec.RunResult, e
 	m := exec.NewMachineOn(s, reg, t, local)
 	m.DeterministicFarm = sp.Deterministic
 	m.FT = sp.ft()
+	m.Pipeline = sp.Pipeline
 	ob, err := sp.observe(t, m, nil)
 	if err != nil {
 		return nil, nil, err

@@ -98,6 +98,18 @@ type Machine struct {
 	// cluster.
 	FT FaultTolerance
 
+	// Pipeline software-pipelines the itermem outer loop (DESIGN.md §12):
+	// on processors whose program splits into a state-independent front end
+	// (frame grab, preprocessing) and a farm back end, frame k+1's front
+	// end runs concurrently with frame k's farm and merge. The loop-carried
+	// MEM state stays single-buffered — a capacity-1 token serializes frame
+	// k+1's MEM read after frame k's MEM write — so outputs are
+	// bit-identical to the sequential executive. Processors whose program
+	// does not satisfy the pipelineCut conditions fall back to the
+	// sequential interpreter, as does everything when the flag is off (the
+	// default).
+	Pipeline bool
+
 	t     transport.Transport
 	ownT  bool          // machine creates/destroys the transport per run
 	local []arch.ProcID // processors this machine hosts
@@ -197,6 +209,12 @@ func (m *Machine) RunWithTimeout(iters int, d time.Duration) (*RunResult, error)
 		procWG.Add(1)
 		go func(p arch.ProcID) {
 			defer procWG.Done()
+			if m.Pipeline {
+				if cut := m.pipelineCut(p); cut > 0 {
+					m.runProcessorPipelined(p, iters, cut)
+					return
+				}
+			}
 			m.runProcessor(p, iters)
 		}(p)
 	}
@@ -361,6 +379,229 @@ func (m *Machine) runProcessor(p arch.ProcID, iters int) {
 			}
 		}
 	}
+}
+
+// pipelineCut returns the index splitting processor p's program into a
+// front end prog[:cut] and a back end prog[cut:] safe to software-pipeline,
+// or 0 when the program does not pipeline. The cut falls just before the
+// first farm (its worker spawns ride with their master, so task streams of
+// consecutive frames never interleave); the front end must be non-empty —
+// otherwise there is nothing to overlap — and must contain no MEM write
+// (state updates belong to the frame that computed them) and no stray
+// worker spawn or master of another farm.
+func (m *Machine) pipelineCut(p arch.ProcID) int {
+	prog := m.sched.Programs[p]
+	cut := -1
+	for i, op := range prog {
+		if op.Kind == syndex.OpMaster {
+			cut = i
+			break
+		}
+	}
+	if cut < 0 {
+		return 0
+	}
+	for cut > 0 && prog[cut-1].Kind == syndex.OpWorker {
+		cut--
+	}
+	for _, op := range prog[:cut] {
+		switch op.Kind {
+		case syndex.OpMemWrite, syndex.OpWorker, syndex.OpMaster:
+			return 0
+		}
+	}
+	return cut
+}
+
+// pipeFrame is one in-flight iteration handed from the front-end goroutine
+// to the back end. Ownership of st transfers with the send.
+type pipeFrame struct {
+	st   *procState
+	iter int
+}
+
+// runProcessorPipelined interprets processor p's program as a two-stage
+// software pipeline: a front-end goroutine (this one) runs prog[:cut] —
+// grab, preprocessing, splits — for frame k+1 while the back-end goroutine
+// runs prog[cut:] — the farm, merge, display, MEM writes — for frame k.
+//
+// The loop-carried dependency is the itermem delay state: frame k+1's MEM
+// read must observe frame k's MEM write. A capacity-1 token channel,
+// seeded with one token, enforces exactly that — the front end takes the
+// token before its first MEM read, the back end returns it after finishing
+// a frame (its MEM writes are the program's final ops). Everything in the
+// front end before the MEM read overlaps the previous frame's whole back
+// end; ops between MEM read and farm overlap nothing but cost little. All
+// mem-map accesses are ordered through the token and hand channels, so the
+// interleaving is deterministic and outputs are bit-identical to
+// runProcessor's.
+func (m *Machine) runProcessorPipelined(p arch.ProcID, iters, cut int) {
+	prog := m.sched.Programs[p]
+	g := m.sched.Graph
+	mem := map[graph.NodeID]value.Value{} // owned alternately via memTok/hand
+	var labels []uint32
+	if m.Trace != nil {
+		labels = m.opLabels[p]
+	}
+	// Index of the front end's first MEM read, -1 when it has none (the
+	// state lives on another processor or is read inside the back end).
+	memRead := -1
+	for i, op := range prog[:cut] {
+		if op.Kind == syndex.OpExec && g.Node(op.Node).Kind == graph.KindMem {
+			memRead = i
+			break
+		}
+	}
+	// hoist[i] marks front-end ops safe to run before the MEM baton is
+	// taken: pure local computation whose inputs all come from other
+	// hoisted local ops — transitively independent of the delay state. The
+	// linear schedule often places the MEM read before the frame grab
+	// (both are topological sources), which would serialize the grab
+	// behind the previous frame's state write for no data reason; hoisting
+	// is what lets grab k+1 overlap farm k. Transport ops (sends,
+	// receives) are never hoisted, so their relative order — the basis of
+	// the schedule's deadlock-freedom — is preserved exactly.
+	hoist := make([]bool, cut)
+	hoisted := map[graph.NodeID]bool{}
+	for i, op := range prog[:cut] {
+		if op.Kind != syndex.OpExec {
+			continue
+		}
+		n := g.Node(op.Node)
+		if n.Kind == graph.KindMem {
+			continue
+		}
+		ok := true
+		for _, e := range g.InEdges(n.ID) {
+			if e.Back || e.Intra {
+				continue
+			}
+			if m.sched.Assign[e.From] != p || !hoisted[e.From] {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			hoist[i] = true
+			hoisted[n.ID] = true
+		}
+	}
+
+	hand := make(chan pipeFrame, 1)  // front → back, one frame in flight
+	memTok := make(chan struct{}, 1) // MEM ownership baton
+	bdone := make(chan struct{})     // closed when the back end exits
+	memTok <- struct{}{}             // frame 0 reads the initial state
+
+	var bwg sync.WaitGroup
+	bwg.Add(1)
+	go func() {
+		defer bwg.Done()
+		defer close(bdone)
+		for f := range hand {
+			for i := cut; i < len(prog); i++ {
+				if m.firstErr() != nil {
+					return
+				}
+				if err := m.stepBracketed(f.st, i, prog[i], mem, f.iter, labels); err != nil {
+					m.fail(err)
+					return
+				}
+			}
+			// Frame done (MEM writes included): hand the state baton to the
+			// waiting front end. Non-blocking because with no front-end MEM
+			// read the token is never taken and the buffer is still full.
+			select {
+			case memTok <- struct{}{}:
+			default:
+			}
+		}
+	}()
+
+	for iter := 0; iter < iters; iter++ {
+		st := &procState{
+			p:    p,
+			outs: map[graph.NodeID][]value.Value{},
+			recv: map[graph.EdgeID]value.Value{},
+		}
+		fail := false
+		// Pass 1: the hoisted state-independent ops — this is the work
+		// that overlaps the previous frame's back end.
+		for i := 0; i < cut && !fail; i++ {
+			if !hoist[i] {
+				continue
+			}
+			if m.firstErr() != nil {
+				fail = true
+				break
+			}
+			if err := m.stepBracketed(st, i, prog[i], mem, iter, labels); err != nil {
+				m.fail(err)
+				fail = true
+			}
+		}
+		// Pass 2: everything else in program order, taking the MEM baton
+		// just before the state read.
+		for i := 0; i < cut && !fail; i++ {
+			if hoist[i] {
+				continue
+			}
+			if m.firstErr() != nil {
+				fail = true
+				break
+			}
+			if i == memRead {
+				select {
+				case <-memTok:
+				case <-bdone: // back end died; error already recorded
+					fail = true
+				}
+				if fail {
+					break
+				}
+			}
+			if err := m.stepBracketed(st, i, prog[i], mem, iter, labels); err != nil {
+				m.fail(err)
+				fail = true
+				break
+			}
+		}
+		if fail {
+			break
+		}
+		select {
+		case hand <- pipeFrame{st: st, iter: iter}:
+		case <-bdone:
+			iter = iters // back end died; stop producing
+		}
+	}
+	close(hand)
+	bwg.Wait()
+}
+
+// stepBracketed is step with the runProcessor trace/latency bracketing, for
+// the pipelined interpreter's two op loops.
+func (m *Machine) stepBracketed(st *procState, i int, op syndex.Op, mem map[graph.NodeID]value.Value, iter int, labels []uint32) error {
+	trace, hist := m.Trace, m.OpLatency
+	if trace == nil && hist == nil {
+		return m.step(st, op, mem, iter)
+	}
+	var t0, durNS int64
+	var w0 time.Time
+	if trace != nil {
+		t0 = trace.Record(int32(st.p), obsv.EvOpStart, labels[i], -1, int64(iter))
+	} else {
+		w0 = time.Now()
+	}
+	err := m.step(st, op, mem, iter)
+	if trace != nil {
+		durNS = trace.Record(int32(st.p), obsv.EvOpEnd, labels[i], -1, int64(iter)) - t0
+	} else {
+		durNS = int64(time.Since(w0))
+	}
+	if hist != nil {
+		hist.Observe(float64(durNS) / 1e9)
+	}
+	return err
 }
 
 // inputsOf gathers a node's input values, in port order, from local outputs

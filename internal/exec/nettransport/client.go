@@ -2,6 +2,7 @@ package nettransport
 
 import (
 	"bufio"
+	"errors"
 	"fmt"
 	"io"
 	"net"
@@ -98,12 +99,13 @@ var (
 // the reader and acceptor loops.
 func Dial(addr string, fingerprint uint64, local []arch.ProcID, d time.Duration, opts ...Option) (*Client, error) {
 	o := buildOptions(opts)
+	network, address := splitNetAddr(addr)
 	deadline := time.Now().Add(d)
 	bo := newBackoff()
 	var c net.Conn
 	var err error
 	for {
-		c, err = net.DialTimeout("tcp", addr, time.Second)
+		c, err = net.DialTimeout(network, address, time.Second)
 		if err == nil {
 			break
 		}
@@ -112,26 +114,19 @@ func Dial(addr string, fingerprint uint64, local []arch.ProcID, d time.Duration,
 		}
 		bo.sleep()
 	}
-	if tc, ok := c.(*net.TCPConn); ok {
-		tc.SetNoDelay(true)
-	}
-	host, _, err := net.SplitHostPort(c.LocalAddr().String())
-	if err != nil {
-		c.Close()
-		return nil, fmt.Errorf("nettransport: control address: %w", err)
-	}
-	ln, err := net.Listen("tcp", net.JoinHostPort(host, "0"))
+	setNoDelay(c)
+	ln, err := listenPeer(c, o.dataPlane)
 	if err != nil {
 		c.Close()
 		return nil, fmt.Errorf("nettransport: peer listener: %w", err)
 	}
 	t0 := time.Now().UnixNano()
-	if err := writeHello(c, hello{fingerprint: fingerprint, procs: local, dataAddr: ln.Addr().String()}); err != nil {
+	if err := writeHello(c, hello{fingerprint: fingerprint, procs: local, dataAddr: joinNetAddr(ln)}); err != nil {
 		ln.Close()
 		c.Close()
 		return nil, fmt.Errorf("nettransport: handshake: %w", err)
 	}
-	br := bufio.NewReaderSize(c, 8<<10)
+	br := bufio.NewReaderSize(c, readBufSize)
 	hubNano, err := readHelloReply(br)
 	if err != nil {
 		ln.Close()
@@ -210,6 +205,11 @@ func (cl *Client) stopHeartbeat() {
 	}
 }
 
+// errStopRead tells a read loop to exit: the frame it just dispatched was
+// an abort, or dispatching it failed the client. Sentinel, not an error to
+// report — whoever returns it has already recorded the cause.
+var errStopRead = errors.New("nettransport: stop reading")
+
 // readLoop handles control-plane frames from the hub: the peers map,
 // cluster aborts and payloads for processors hosted here. EOF means the
 // coordinator tore the deployment down: incoming traffic is over, so the
@@ -217,7 +217,7 @@ func (cl *Client) stopHeartbeat() {
 func (cl *Client) readLoop(br *bufio.Reader) {
 	defer cl.readerWG.Done()
 	for {
-		fb, dst, key, payload, err := readFrame(br)
+		n, dst, key, err := readFrameHeader(br)
 		if err != nil {
 			if err != io.EOF && !cl.closing.Load() && !cl.aborted.Load() {
 				cl.failf("nettransport: reading from hub: %v", err)
@@ -226,44 +226,82 @@ func (cl *Client) readLoop(br *bufio.Reader) {
 			cl.Abort()
 			return
 		}
-		switch dst {
-		case abortDst:
-			putBuf(fb)
-			cl.Abort()
-			return
-		case peersDst:
-			m, perr := parsePeers(payload)
-			putBuf(fb)
-			if perr != nil {
-				cl.failf("nettransport: %v", perr)
+		// Data frames for a locally hosted processor stream-decode straight
+		// off the connection (the payload never lands in a frame buffer);
+		// control frames and batches are slurped and dispatched in memory.
+		if cl.localSet[arch.ProcID(dst)] {
+			if err := cl.deliverStream(br, arch.ProcID(dst), key, n-frameHeader); err != nil {
+				if !cl.closing.Load() && !cl.aborted.Load() {
+					cl.failf("nettransport: reading from hub: %v", err)
+				} else {
+					cl.Abort()
+				}
 				return
 			}
-			ap := make(map[string][]arch.ProcID, len(m))
-			for p, a := range m {
-				ap[a] = append(ap[a], p)
-			}
-			cl.meshMu.Lock()
-			cl.peers.Store(&m)
-			cl.addrProcs = ap
-			cl.meshMu.Unlock()
-			cl.meshCond.Broadcast()
-			continue
-		case peerDownDst:
-			procs, perr := parseProcs(payload)
-			putBuf(fb)
-			if perr != nil {
-				cl.failf("nettransport: %v", perr)
-				return
-			}
-			cl.markPeersDown(procs, true)
 			continue
 		}
-		ok := cl.deliver(arch.ProcID(dst), key, payload)
+		fb, payload, err := readFrameRest(br, n, dst, key)
+		if err != nil {
+			if !cl.closing.Load() && !cl.aborted.Load() {
+				cl.failf("nettransport: reading from hub: %v", err)
+			} else {
+				cl.Abort()
+			}
+			return
+		}
+		if dst == batchDst {
+			err = forEachBatched(payload, cl.hubFrame)
+		} else {
+			err = cl.hubFrame(dst, key, payload)
+		}
 		putBuf(fb)
-		if !ok {
+		if err == errStopRead {
+			return
+		}
+		if err != nil {
+			cl.failf("%v", err)
 			return
 		}
 	}
+}
+
+// hubFrame dispatches one control-connection frame — read directly off the
+// wire or unpacked from a batch. errStopRead means the read loop must exit
+// (abort received, or dispatch failed the client).
+func (cl *Client) hubFrame(dst uint32, key transport.Key, payload []byte) error {
+	switch dst {
+	case abortDst:
+		cl.Abort()
+		return errStopRead
+	case peersDst:
+		m, perr := parsePeers(payload)
+		if perr != nil {
+			cl.failf("nettransport: %v", perr)
+			return errStopRead
+		}
+		ap := make(map[string][]arch.ProcID, len(m))
+		for p, a := range m {
+			ap[a] = append(ap[a], p)
+		}
+		cl.meshMu.Lock()
+		cl.peers.Store(&m)
+		cl.addrProcs = ap
+		cl.meshMu.Unlock()
+		cl.meshCond.Broadcast()
+		return nil
+	case peerDownDst:
+		procs, perr := parseProcs(payload)
+		if perr != nil {
+			cl.failf("nettransport: %v", perr)
+			return errStopRead
+		}
+		cl.markPeersDown(procs, true)
+		return nil
+	}
+	if !cl.deliver(arch.ProcID(dst), key, payload) {
+		return errStopRead
+	}
+	return nil
 }
 
 // deliver decodes a frame payload into a local processor's mailbox.
@@ -284,6 +322,28 @@ func (cl *Client) deliver(p arch.ProcID, key transport.Key, payload []byte) bool
 	}
 	box.Deliver(key, v)
 	return true
+}
+
+// deliverStream decodes a frame payload straight off the connection into a
+// local processor's mailbox: large trailing slabs (pixel planes) land in
+// their final arena buffer without an intermediate frame buffer or its
+// per-hop copy. Any error — I/O or format — leaves br mid-frame, so the
+// caller must stop reading the connection.
+func (cl *Client) deliverStream(br *bufio.Reader, p arch.ProcID, key transport.Key, n int) error {
+	box, ok := cl.boxes[p]
+	if !ok {
+		return fmt.Errorf("received frame for processor %d, not hosted here", p)
+	}
+	v, err := value.DecodeStream(br, n)
+	if err != nil {
+		return fmt.Errorf("decoding frame for processor %d key %v: %v", p, key, err)
+	}
+	cl.bytesRecv.Add(int64(n))
+	if rec := cl.rec.Load(); rec != nil {
+		rec.Record(int32(p), obsv.EvRecv, cl.kl.Of(key), -1, int64(n))
+	}
+	box.Deliver(key, v)
+	return nil
 }
 
 // OnPeerDown registers the executive's failure handler, switching peer

@@ -1,0 +1,80 @@
+package nettransport
+
+import (
+	"io"
+	"net"
+	"path/filepath"
+	"testing"
+)
+
+// Platform floor benchmarks: a bare two-goroutine ping-pong over a raw
+// socket, no framing, no codec, no mailboxes. These put the transport's
+// farm round-trip figures in context — on a single-CPU runner the 32KiB
+// floor alone can exceed an idealized multi-core budget, because every
+// write/read pays its kernel copy serially on the one core. The delta
+// between Transport_*_FarmRoundTrip and the matching floor is the price of
+// the executive's framing, codec and mailbox indirection.
+
+func benchSocketFloor(b *testing.B, network string, size int) {
+	addr := "127.0.0.1:0"
+	if network == "unix" {
+		addr = filepath.Join(b.TempDir(), "floor.sock")
+	}
+	ln, err := net.Listen(network, addr)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer ln.Close()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		c, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		defer c.Close()
+		setNoDelay(c)
+		buf := make([]byte, size)
+		for {
+			if _, err := io.ReadFull(c, buf); err != nil {
+				return
+			}
+			if _, err := c.Write(buf); err != nil {
+				return
+			}
+		}
+	}()
+	c, err := net.Dial(network, ln.Addr().String())
+	if err != nil {
+		b.Fatal(err)
+	}
+	setNoDelay(c)
+	buf := make([]byte, size)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.Write(buf); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := io.ReadFull(c, buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	c.Close()
+	<-done
+}
+
+func BenchmarkSocketFloor(b *testing.B) {
+	for _, bc := range []struct {
+		name    string
+		network string
+		size    int
+	}{
+		{"unix/64B", "unix", 64},
+		{"unix/32KiB", "unix", 32 << 10},
+		{"tcp/64B", "tcp", 64},
+		{"tcp/32KiB", "tcp", 32 << 10},
+	} {
+		b.Run(bc.name, func(b *testing.B) { benchSocketFloor(b, bc.network, bc.size) })
+	}
+}

@@ -47,7 +47,9 @@ const (
 	// clock, so each node can estimate its clock offset for trace alignment.
 	// Version 4: fault tolerance — heartbeat and peer-down control frames,
 	// and farm Task/Reply payloads carry a dispatch generation.
-	wireVersion = 4
+	// Version 5: frame batching (batchDst frames whose payload is a run of
+	// complete frames) and unix-scheme data-plane addresses in the hello.
+	wireVersion = 5
 	// abortDst is a control frame that propagates Abort across processes.
 	abortDst = 0xffffffff
 	// peersDst is a hub→node control frame carrying the address map of
@@ -66,14 +68,32 @@ const (
 	// peerDownDst is a hub→node control frame listing processors whose
 	// process died; surviving nodes mark them dead and notify the executive.
 	peerDownDst = 0xfffffffb
+	// batchDst marks a batch frame: its payload is a concatenation of
+	// complete frames (each with its own length prefix and routing header),
+	// coalesced by the writer so a burst of small frames costs the receiver
+	// one length-prefixed read instead of one per frame. Batches never nest.
+	batchDst = 0xfffffffa
 	// maxFrame bounds a declared frame length before allocation: a corrupt
 	// or hostile peer cannot make us allocate more than this per frame.
 	maxFrame = 256 << 20
+	// batchFragMax is the largest individual frame the writer will fold into
+	// a batch: big frames (pixel slabs) already amortize their syscall and
+	// would only delay the batch's first byte.
+	batchFragMax = 16 << 10
+	// batchMaxBytes caps a batch frame's total payload, bounding the
+	// receive-side arena buffer a burst can demand.
+	batchMaxBytes = 1 << 20
 	// frameHeader is dst + key (kind, edge, farm, widx) in bytes.
 	frameHeader = 4 + 1 + 4 + 4 + 4
 	// maxPooled caps the buffers the frame arena retains: anything larger
 	// (a degenerate giant frame) is left for the GC rather than pinned.
 	maxPooled = 4 << 20
+	// readBufSize is each connection reader's bufio buffer. Frame headers
+	// and scalar frames are absorbed in one fill; pixel slabs — larger than
+	// the buffer — bypass it once it drains and are read straight into their
+	// destination (value.DecodeStream), so only a slab's first buffered
+	// bytes are ever copied twice on the read side.
+	readBufSize = 8 << 10
 	// flushTimeout bounds how long a teardown waits for a connection's
 	// queued frames to drain before closing it anyway.
 	flushTimeout = 5 * time.Second
@@ -184,43 +204,68 @@ func controlFrame(dst uint32, payload []byte) outFrame {
 	return outFrame{head: fb}
 }
 
-// readFrame reads one length-prefixed frame into an arena buffer and splits
-// it into the buffer (length prefix included, for cheap re-forwarding), the
-// destination, the key and the payload slice. Ownership of fb passes to the
-// caller: putBuf it once the payload is decoded, or hand it to a wconn for
-// relaying. io.EOF is returned verbatim on a clean close between frames.
-func readFrame(br *bufio.Reader) (fb *frameBuf, dst uint32, key transport.Key, payload []byte, err error) {
-	var lenBuf [4]byte
-	if _, err = io.ReadFull(br, lenBuf[:]); err != nil {
+// readFrameHeader reads one frame's length prefix and routing header,
+// leaving the payload (n - frameHeader bytes) unread on br. The split lets
+// a read loop choose per frame between slurping the payload into an arena
+// buffer (readFrameRest — control frames, batches, hub relays) and
+// stream-decoding it straight into its final value (value.DecodeStream, the
+// zero-copy path for pixel slabs bound for a local mailbox). io.EOF is
+// returned verbatim on a clean close between frames.
+func readFrameHeader(br *bufio.Reader) (n int, dst uint32, key transport.Key, err error) {
+	var hdr [4 + frameHeader]byte
+	if _, err = io.ReadFull(br, hdr[:4]); err != nil {
 		if err == io.ErrUnexpectedEOF {
 			err = fmt.Errorf("nettransport: truncated frame length")
 		}
 		return
 	}
-	n := binary.BigEndian.Uint32(lenBuf[:])
-	if n < frameHeader || n > maxFrame {
-		err = fmt.Errorf("nettransport: frame length %d out of range", n)
+	ln := binary.BigEndian.Uint32(hdr[:4])
+	if ln < frameHeader || ln > maxFrame {
+		err = fmt.Errorf("nettransport: frame length %d out of range", ln)
 		return
 	}
-	fb = getBuf(4 + int(n))
-	raw := fb.b[:4+n]
-	copy(raw, lenBuf[:])
-	if _, err = io.ReadFull(br, raw[4:]); err != nil {
-		putBuf(fb)
-		fb = nil
+	if _, err = io.ReadFull(br, hdr[4:]); err != nil {
 		err = fmt.Errorf("nettransport: truncated frame body: %w", err)
 		return
 	}
-	fb.b = raw
-	dst = binary.BigEndian.Uint32(raw[4:])
+	n = int(ln)
+	dst = binary.BigEndian.Uint32(hdr[4:])
 	key = transport.Key{
-		Kind: raw[8],
-		Edge: graph.EdgeID(int32(binary.BigEndian.Uint32(raw[9:]))),
-		Farm: graph.NodeID(int32(binary.BigEndian.Uint32(raw[13:]))),
-		Widx: int(int32(binary.BigEndian.Uint32(raw[17:]))),
+		Kind: hdr[8],
+		Edge: graph.EdgeID(int32(binary.BigEndian.Uint32(hdr[9:]))),
+		Farm: graph.NodeID(int32(binary.BigEndian.Uint32(hdr[13:]))),
+		Widx: int(int32(binary.BigEndian.Uint32(hdr[17:]))),
 	}
-	payload = raw[4+frameHeader:]
 	return
+}
+
+// readFrameRest materializes the remainder of a frame whose header
+// readFrameHeader consumed, rebuilding the full wire image (length prefix +
+// header + payload) in an arena buffer so the hub can relay it without
+// re-framing. Ownership of fb passes to the caller: putBuf it once the
+// payload is consumed, or hand it to a wconn.
+func readFrameRest(br *bufio.Reader, n int, dst uint32, key transport.Key) (fb *frameBuf, payload []byte, err error) {
+	fb = getBuf(4 + n)
+	buf := binary.BigEndian.AppendUint32(fb.b, uint32(n))
+	buf = appendHeader(buf, dst, key)
+	raw := buf[:4+n]
+	if _, err = io.ReadFull(br, raw[4+frameHeader:]); err != nil {
+		putBuf(fb)
+		return nil, nil, fmt.Errorf("nettransport: truncated frame body: %w", err)
+	}
+	fb.b = raw
+	return fb, raw[4+frameHeader:], nil
+}
+
+// readFrame reads one whole length-prefixed frame into an arena buffer —
+// readFrameHeader + readFrameRest for callers with no streaming fast path.
+func readFrame(br *bufio.Reader) (fb *frameBuf, dst uint32, key transport.Key, payload []byte, err error) {
+	n, dst, key, err := readFrameHeader(br)
+	if err != nil {
+		return nil, dst, key, nil, err
+	}
+	fb, payload, err = readFrameRest(br, n, dst, key)
+	return fb, dst, key, payload, err
 }
 
 // wconn owns all writes on one connection. Senders enqueue frames and never
@@ -340,7 +385,19 @@ func (w *wconn) writeLoop() {
 		w.writing = true
 		w.mu.Unlock()
 
+		// A run of small frames is wrapped into one length-delimited batch
+		// frame: the receiver then pays one prefixed read for the whole
+		// burst instead of one per frame. Lone and oversized frames go out
+		// bare (the inline fast path in send never sees a batch either).
 		bufs = bufs[:0]
+		var hdr *frameBuf
+		if n := batchableBytes(batch); n > 0 {
+			hdr = getBuf(4 + frameHeader)
+			b := binary.BigEndian.AppendUint32(hdr.b, uint32(frameHeader+n))
+			b = binary.BigEndian.AppendUint32(b, batchDst)
+			hdr.b = append(b, zeroKey[:]...)
+			bufs = append(bufs, hdr.b)
+		}
 		for _, f := range batch {
 			bufs = append(bufs, f.head.b)
 			if len(f.tail) > 0 {
@@ -349,6 +406,7 @@ func (w *wconn) writeLoop() {
 		}
 		wb := bufs // WriteTo advances its receiver; keep bufs for reuse
 		_, err := wb.WriteTo(w.c)
+		putBuf(hdr)
 		for i, f := range batch {
 			putBuf(f.head)
 			batch[i] = outFrame{}
@@ -361,6 +419,60 @@ func (w *wconn) writeLoop() {
 			return
 		}
 	}
+}
+
+// batchableBytes reports the total wire bytes of batch if it should be
+// wrapped in a batch frame — at least two frames, none above batchFragMax,
+// batchMaxBytes in total — and 0 otherwise.
+func batchableBytes(batch []outFrame) int {
+	if len(batch) < 2 {
+		return 0
+	}
+	total := 0
+	for _, f := range batch {
+		n := len(f.head.b) + len(f.tail)
+		if n > batchFragMax {
+			return 0
+		}
+		total += n
+	}
+	if total > batchMaxBytes {
+		return 0
+	}
+	return total
+}
+
+// forEachBatched walks the complete frames packed into a batch frame's
+// payload, invoking fn with each sub-frame's destination, key and payload.
+// Sub-frame payloads alias the batch buffer: consumers must decode or copy
+// before returning, never retain. Nested batches and truncated sub-frames
+// are framing errors.
+func forEachBatched(payload []byte, fn func(dst uint32, key transport.Key, payload []byte) error) error {
+	for len(payload) > 0 {
+		if len(payload) < 4 {
+			return fmt.Errorf("nettransport: truncated batch sub-frame length")
+		}
+		n := binary.BigEndian.Uint32(payload)
+		if n < frameHeader || uint64(n) > uint64(len(payload)-4) {
+			return fmt.Errorf("nettransport: batch sub-frame length %d out of range", n)
+		}
+		raw := payload[4 : 4+n]
+		dst := binary.BigEndian.Uint32(raw)
+		if dst == batchDst {
+			return fmt.Errorf("nettransport: nested batch frame")
+		}
+		key := transport.Key{
+			Kind: raw[4],
+			Edge: graph.EdgeID(int32(binary.BigEndian.Uint32(raw[5:]))),
+			Farm: graph.NodeID(int32(binary.BigEndian.Uint32(raw[9:]))),
+			Widx: int(int32(binary.BigEndian.Uint32(raw[13:]))),
+		}
+		if err := fn(dst, key, raw[frameHeader:]); err != nil {
+			return err
+		}
+		payload = payload[4+n:]
+	}
+	return nil
 }
 
 // fail records the first write error, drops the queue and notifies onErr

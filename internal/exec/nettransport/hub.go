@@ -2,6 +2,7 @@ package nettransport
 
 import (
 	"bufio"
+	"encoding/binary"
 	"fmt"
 	"io"
 	"net"
@@ -107,7 +108,8 @@ type connState struct {
 // fingerprint.
 func NewHub(addr string, a *arch.Arch, fingerprint uint64, local []arch.ProcID, opts ...Option) (*Hub, error) {
 	o := buildOptions(opts)
-	ln, err := net.Listen("tcp", addr)
+	network, address := splitNetAddr(addr)
+	ln, err := net.Listen(network, address)
 	if err != nil {
 		return nil, err
 	}
@@ -142,8 +144,9 @@ func NewHub(addr string, a *arch.Arch, fingerprint uint64, local []arch.ProcID, 
 	return h, nil
 }
 
-// Addr is the address clients should dial.
-func (h *Hub) Addr() string { return h.ln.Addr().String() }
+// Addr is the address clients should dial ("unix:"-prefixed when the hub
+// listens on a unix-domain socket).
+func (h *Hub) Addr() string { return joinNetAddr(h.ln) }
 
 // WaitReady blocks until every non-local processor has attached, the hub
 // fails, or d elapses. A failure (bad handshake, node death during attach)
@@ -183,10 +186,8 @@ func (h *Hub) acceptLoop() {
 // concurrent Send cannot order ahead of frames buffered before attach.
 func (h *Hub) serveConn(c net.Conn) {
 	defer h.wg.Done()
-	if tc, ok := c.(*net.TCPConn); ok {
-		tc.SetNoDelay(true)
-	}
-	br := bufio.NewReaderSize(c, 8<<10)
+	setNoDelay(c)
+	br := bufio.NewReaderSize(c, readBufSize)
 	hel, err := readHello(br)
 	if err != nil {
 		writeHelloReply(c, err.Error())
@@ -289,7 +290,7 @@ func (h *Hub) readLoop(br *bufio.Reader, cs *connState) {
 	procs := cs.procs
 	detached := false
 	for {
-		fb, dst, key, payload, err := readFrame(br)
+		n, dst, key, err := readFrameHeader(br)
 		if err != nil {
 			if h.closing.Load() || h.aborted.Load() || (err == io.EOF && detached) {
 				return
@@ -305,6 +306,27 @@ func (h *Hub) readLoop(br *bufio.Reader, cs *connState) {
 			return
 		}
 		cs.lastHeard.Store(time.Now().UnixNano())
+		// Frames for hub-hosted processors stream-decode straight off the
+		// connection — unless the sender was declared dead, in which case the
+		// payload must be slurped anyway to keep the stream in sync.
+		if h.localSet[arch.ProcID(dst)] && !(h.anyDead.Load() && h.allDead(procs)) {
+			if serr := h.deliverLocalStream(br, arch.ProcID(dst), key, n-frameHeader); serr != nil {
+				if h.closing.Load() || h.aborted.Load() || cs.condemned.Load() {
+					return
+				}
+				h.connDeath(procs, fmt.Sprintf("nettransport: reading from node %v: %v", procs, serr))
+				return
+			}
+			continue
+		}
+		fb, payload, err := readFrameRest(br, n, dst, key)
+		if err != nil {
+			if h.closing.Load() || h.aborted.Load() || cs.condemned.Load() {
+				return
+			}
+			h.connDeath(procs, fmt.Sprintf("nettransport: reading from node %v: %v", procs, err))
+			return
+		}
 		switch dst {
 		case abortDst:
 			putBuf(fb)
@@ -321,6 +343,19 @@ func (h *Hub) readLoop(br *bufio.Reader, cs *connState) {
 			putBuf(fb)
 			h.failf("nettransport: node %v sent a peers frame", procs)
 			return
+		case batchDst:
+			berr := forEachBatched(payload, func(d uint32, k transport.Key, body []byte) error {
+				return h.nodeFrame(d, k, body, procs, &detached)
+			})
+			putBuf(fb)
+			if berr == errStopRead {
+				return
+			}
+			if berr != nil {
+				h.failf("nettransport: batch from node %v: %v", procs, berr)
+				return
+			}
+			continue
 		}
 		if h.anyDead.Load() && h.allDead(procs) {
 			// A deadline-suspected node may still be running; anything it
@@ -337,6 +372,41 @@ func (h *Hub) readLoop(br *bufio.Reader, cs *connState) {
 		h.hops.Add(1)
 		h.routeRemote(p, outFrame{head: fb}, procs)
 	}
+}
+
+// nodeFrame dispatches one frame unpacked from a node's batch. Unlike the
+// top-level loop — which relays a remote-bound frame by handing its arena
+// buffer straight to the destination's connection — a batched sub-frame
+// aliases the batch buffer, so relaying re-frames it into its own buffer.
+func (h *Hub) nodeFrame(dst uint32, key transport.Key, payload []byte, procs []arch.ProcID, detached *bool) error {
+	switch dst {
+	case abortDst:
+		h.Abort()
+		return errStopRead
+	case detachDst:
+		*detached = true
+		return nil
+	case heartbeatDst:
+		return nil
+	case peersDst:
+		h.failf("nettransport: node %v sent a peers frame", procs)
+		return errStopRead
+	}
+	if h.anyDead.Load() && h.allDead(procs) {
+		return nil // stale traffic from a declared-dead node, dropped
+	}
+	p := arch.ProcID(dst)
+	if h.localSet[p] {
+		h.deliverLocal(p, key, payload)
+		return nil
+	}
+	fb := getBuf(4 + frameHeader + len(payload))
+	buf := binary.BigEndian.AppendUint32(fb.b, uint32(frameHeader+len(payload)))
+	buf = appendHeader(buf, dst, key)
+	fb.b = append(buf, payload...)
+	h.hops.Add(1)
+	h.routeRemote(p, outFrame{head: fb}, procs)
+	return nil
 }
 
 // connDeath handles a connection whose node died (EOF without detach, read
@@ -525,6 +595,23 @@ func (h *Hub) deliverLocal(p arch.ProcID, key transport.Key, payload []byte) {
 		rec.Record(int32(p), obsv.EvRecv, h.kl.Of(key), -1, int64(len(payload)))
 	}
 	h.boxes[p].Deliver(key, v)
+}
+
+// deliverLocalStream is deliverLocal reading the payload straight off the
+// connection (see Client.deliverStream): pixel slabs land in their arena
+// image without an intermediate frame buffer. An error leaves br mid-frame;
+// the caller must stop reading the connection.
+func (h *Hub) deliverLocalStream(br *bufio.Reader, p arch.ProcID, key transport.Key, n int) error {
+	v, err := value.DecodeStream(br, n)
+	if err != nil {
+		return fmt.Errorf("decoding frame for processor %d key %v: %v", p, key, err)
+	}
+	h.bytesRecv.Add(int64(n))
+	if rec := h.rec.Load(); rec != nil {
+		rec.Record(int32(p), obsv.EvRecv, h.kl.Of(key), -1, int64(n))
+	}
+	h.boxes[p].Deliver(key, v)
+	return nil
 }
 
 func (h *Hub) failf(format string, args ...any) {

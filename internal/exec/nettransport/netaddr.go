@@ -1,0 +1,85 @@
+package nettransport
+
+import (
+	"fmt"
+	"net"
+	"os"
+	"path/filepath"
+	"sync/atomic"
+)
+
+// Address scheme: every listener and dial address in the backend is a plain
+// "host:port" TCP address unless prefixed with "unix:", in which case the
+// rest is a unix-domain socket path. The prefix travels everywhere an
+// address does — the hub bind address, Hub.Addr, the hello's data-listener
+// address, the peers map — so each endpoint independently dials the right
+// network and a cluster can mix transports (a unix mesh under a TCP hub).
+
+const unixScheme = "unix:"
+
+// splitNetAddr resolves an address string to the (network, address) pair
+// net.Dial and net.Listen expect.
+func splitNetAddr(addr string) (network, address string) {
+	if len(addr) > len(unixScheme) && addr[:len(unixScheme)] == unixScheme {
+		return "unix", addr[len(unixScheme):]
+	}
+	return "tcp", addr
+}
+
+// joinNetAddr renders a listener's bound address back into scheme-prefixed
+// string form, the inverse of splitNetAddr.
+func joinNetAddr(ln net.Listener) string {
+	if ln.Addr().Network() == "unix" {
+		return unixScheme + ln.Addr().String()
+	}
+	return ln.Addr().String()
+}
+
+// setNoDelay disables Nagle on TCP connections; unix-domain sockets have no
+// coalescing delay to disable.
+func setNoDelay(c net.Conn) {
+	if tc, ok := c.(*net.TCPConn); ok {
+		tc.SetNoDelay(true)
+	}
+}
+
+// isLoopback reports whether a TCP address is on a loopback interface —
+// the signal that the remote end lives on this host.
+func isLoopback(a net.Addr) bool {
+	ta, ok := a.(*net.TCPAddr)
+	return ok && ta.IP.IsLoopback()
+}
+
+// peerSockSeq disambiguates the unix peer-listener socket paths of clients
+// sharing one process.
+var peerSockSeq atomic.Int64
+
+// listenPeer binds the client's peer data listener next to an established
+// control connection c. The data plane follows the control plane's locality
+// ("auto"): a unix or loopback control connection means the hub — and,
+// because a hub on a loopback address is unreachable from anywhere else,
+// every peer of this deployment — is on this host, so the listener upgrades
+// to a unix-domain socket and the farm round trip sheds the TCP stack.
+// Explicit "tcp"/"unix" (WithDataPlane) override the inference for mixed
+// deployments.
+func listenPeer(c net.Conn, dataPlane string) (net.Listener, error) {
+	useUnix := false
+	switch dataPlane {
+	case "unix":
+		useUnix = true
+	case "tcp":
+	default: // auto
+		useUnix = c.RemoteAddr().Network() == "unix" ||
+			(isLoopback(c.RemoteAddr()) && isLoopback(c.LocalAddr()))
+	}
+	if useUnix {
+		path := filepath.Join(os.TempDir(),
+			fmt.Sprintf("skipper-peer-%d-%d.sock", os.Getpid(), peerSockSeq.Add(1)))
+		return net.Listen("unix", path)
+	}
+	host, _, err := net.SplitHostPort(c.LocalAddr().String())
+	if err != nil {
+		return nil, fmt.Errorf("nettransport: control address: %w", err)
+	}
+	return net.Listen("tcp", net.JoinHostPort(host, "0"))
+}

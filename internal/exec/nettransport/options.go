@@ -8,6 +8,7 @@ import "time"
 type options struct {
 	heartbeat time.Duration
 	meshWait  time.Duration
+	dataPlane string // peer-listener network: "auto" (default), "tcp", "unix"
 }
 
 // Option configures a Client (Dial) or Hub (NewHub).
@@ -32,8 +33,17 @@ func WithMeshWaitTimeout(d time.Duration) Option {
 	return func(o *options) { o.meshWait = d }
 }
 
+// WithDataPlane pins the network a client's peer data listener binds:
+// "tcp", "unix", or "auto" (the default — unix when the control connection
+// shows the hub is on this host, tcp otherwise). A node of a multi-host
+// deployment that happens to share the coordinator's machine should pass
+// "tcp": peers on other hosts cannot dial a unix path. Client-side only.
+func WithDataPlane(network string) Option {
+	return func(o *options) { o.dataPlane = network }
+}
+
 func buildOptions(opts []Option) options {
-	o := options{meshWait: defaultMeshWaitTimeout}
+	o := options{meshWait: defaultMeshWaitTimeout, dataPlane: "auto"}
 	for _, fn := range opts {
 		fn(&o)
 	}

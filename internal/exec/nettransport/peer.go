@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"skipper/internal/arch"
+	"skipper/internal/exec/transport"
 )
 
 // Peer mesh: the data plane between node processes. Every client binds a
@@ -31,12 +32,13 @@ func (cl *Client) peerConn(addr string) (*wconn, error) {
 	if w, ok := cl.pconns[addr]; ok {
 		return w, nil
 	}
+	network, address := splitNetAddr(addr)
 	deadline := time.Now().Add(flushTimeout)
 	bo := newBackoff()
 	var c net.Conn
 	var err error
 	for {
-		c, err = net.DialTimeout("tcp", addr, time.Second)
+		c, err = net.DialTimeout(network, address, time.Second)
 		if err == nil {
 			break
 		}
@@ -45,9 +47,7 @@ func (cl *Client) peerConn(addr string) (*wconn, error) {
 		}
 		bo.sleep()
 	}
-	if tc, ok := c.(*net.TCPConn); ok {
-		tc.SetNoDelay(true)
-	}
+	setNoDelay(c)
 	if err := writePeerHello(c, cl.fp); err != nil {
 		c.Close()
 		return nil, err
@@ -91,15 +91,13 @@ func (cl *Client) acceptLoop() {
 func (cl *Client) servePeer(c net.Conn) {
 	defer cl.readerWG.Done()
 	defer c.Close()
-	if tc, ok := c.(*net.TCPConn); ok {
-		tc.SetNoDelay(true)
-	}
-	br := bufio.NewReaderSize(c, 8<<10)
+	setNoDelay(c)
+	br := bufio.NewReaderSize(c, readBufSize)
 	if err := readPeerHello(br, cl.fp); err != nil {
 		return
 	}
 	for {
-		fb, dst, key, payload, err := readFrame(br)
+		n, dst, key, err := readFrameHeader(br)
 		if err != nil {
 			if err != io.EOF && !cl.closing.Load() && !cl.aborted.Load() && !cl.hasPeerDownHandler() {
 				// A peer dying mid-write leaves a truncated frame here; with a
@@ -109,15 +107,52 @@ func (cl *Client) servePeer(c net.Conn) {
 			}
 			return
 		}
-		if dst == abortDst {
-			putBuf(fb)
-			cl.Abort()
+		// Data frames stream-decode straight off the socket; aborts and
+		// batches are slurped and dispatched in memory.
+		if cl.localSet[arch.ProcID(dst)] {
+			if err := cl.deliverStream(br, arch.ProcID(dst), key, n-frameHeader); err != nil {
+				if !cl.closing.Load() && !cl.aborted.Load() && !cl.hasPeerDownHandler() {
+					cl.failf("nettransport: reading from peer: %v", err)
+				}
+				return
+			}
+			continue
+		}
+		fb, payload, err := readFrameRest(br, n, dst, key)
+		if err != nil {
+			if !cl.closing.Load() && !cl.aborted.Load() && !cl.hasPeerDownHandler() {
+				cl.failf("nettransport: reading from peer: %v", err)
+			}
 			return
 		}
-		ok := cl.deliver(arch.ProcID(dst), key, payload)
+		if dst == batchDst {
+			err = forEachBatched(payload, cl.peerFrame)
+		} else {
+			err = cl.peerFrame(dst, key, payload)
+		}
 		putBuf(fb)
-		if !ok {
+		if err == errStopRead {
+			return
+		}
+		if err != nil {
+			// Corrupt batch framing: same treatment as a truncated frame.
+			if !cl.closing.Load() && !cl.aborted.Load() && !cl.hasPeerDownHandler() {
+				cl.failf("nettransport: reading from peer: %v", err)
+			}
 			return
 		}
 	}
+}
+
+// peerFrame dispatches one data-plane frame — read directly off the wire or
+// unpacked from a batch.
+func (cl *Client) peerFrame(dst uint32, key transport.Key, payload []byte) error {
+	if dst == abortDst {
+		cl.Abort()
+		return errStopRead
+	}
+	if !cl.deliver(arch.ProcID(dst), key, payload) {
+		return errStopRead
+	}
+	return nil
 }

@@ -1,0 +1,211 @@
+package exec
+
+import (
+	"sync/atomic"
+	"testing"
+
+	"skipper/internal/arch"
+	"skipper/internal/exec/faulttransport"
+	"skipper/internal/exec/memtransport"
+	"skipper/internal/syndex"
+	"skipper/internal/value"
+)
+
+// pipeSrc is the pipelined-itermem test program: the tracking application's
+// shape in miniature. grab is state-independent (the front end), the farm
+// and the state update are the back end, and the accumulator is
+// deliberately non-commutative so any fold-order deviation between the
+// sequential and pipelined executives shows up in the outputs.
+const pipeSrc = `
+extern grab : unit -> int;;
+extern mkwins : int -> int -> int list;;
+extern work : int -> int;;
+extern fold : int -> int -> int;;
+extern post : int -> int * int;;
+extern show : int -> unit;;
+let loop (s, x) = post (fold s (df 4 work fold 0 (mkwins s x)));;
+let main = itermem grab loop show 1 ();;
+`
+
+// pipeRegistry builds pipeSrc's registry around a stateful frame counter.
+func pipeRegistry(frames *int64, shown *[]value.Value) *value.Registry {
+	r := value.NewRegistry()
+	r.Register(&value.Func{Name: "grab", Sig: "unit -> int", Arity: 1,
+		Fn: func([]value.Value) value.Value {
+			return int(atomic.AddInt64(frames, 1))
+		}})
+	r.Register(&value.Func{Name: "mkwins", Sig: "int -> int -> int list", Arity: 2,
+		Fn: func(a []value.Value) value.Value {
+			s, x := a[0].(int), a[1].(int)
+			out := make(value.List, 6)
+			for i := range out {
+				out[i] = s + x*(i+1)
+			}
+			return out
+		}})
+	r.Register(&value.Func{Name: "work", Sig: "int -> int", Arity: 1,
+		Fn: func(a []value.Value) value.Value { x := a[0].(int); return x*x + 1 }})
+	r.Register(&value.Func{Name: "fold", Sig: "int -> int -> int", Arity: 2,
+		Fn: func(a []value.Value) value.Value {
+			// Non-commutative on purpose: order mistakes change the result.
+			return a[0].(int)*31 + a[1].(int)
+		}})
+	r.Register(&value.Func{Name: "post", Sig: "int -> int * int", Arity: 1,
+		Fn: func(a []value.Value) value.Value {
+			m := a[0].(int)
+			return value.Tuple{m % 1_000_003, m}
+		}})
+	r.Register(&value.Func{Name: "show", Sig: "int -> unit", Arity: 1,
+		Fn: func(a []value.Value) value.Value {
+			if shown != nil {
+				*shown = append(*shown, a[0])
+			}
+			return value.Unit{}
+		}})
+	return r
+}
+
+// runPipeSrc executes pipeSrc for iters frames with the pipeline on or off
+// and returns the stream of outputs.
+func runPipeSrc(t *testing.T, a *arch.Arch, iters int, pipeline bool) []value.Value {
+	t.Helper()
+	var frames int64
+	r := pipeRegistry(&frames, nil)
+	s := compile(t, pipeSrc, r, a, syndex.Structured)
+	m := NewMachine(s, r)
+	m.DeterministicFarm = true
+	m.Pipeline = pipeline
+	res, err := m.Run(iters)
+	if err != nil {
+		t.Fatalf("pipeline=%v: %v", pipeline, err)
+	}
+	return res.Outputs
+}
+
+// TestPipelinedItermemMatchesSequential is the tentpole equivalence: the
+// software-pipelined executive must produce bit-identical output streams
+// to the sequential interpreter — same values, same iteration slots — on
+// single- and multi-processor mappings, across enough frames to reach the
+// pipelined steady state.
+func TestPipelinedItermemMatchesSequential(t *testing.T) {
+	for _, a := range []*arch.Arch{arch.Ring(1), arch.Ring(2), arch.Ring(4), arch.Star(5)} {
+		const iters = 12
+		seq := runPipeSrc(t, a, iters, false)
+		pip := runPipeSrc(t, a, iters, true)
+		if len(seq) != len(pip) {
+			t.Fatalf("%s: %d sequential outputs vs %d pipelined", a.Name, len(seq), len(pip))
+		}
+		for i := range seq {
+			if !value.Equal(seq[i], pip[i]) {
+				t.Fatalf("%s: iteration %d: sequential %v vs pipelined %v",
+					a.Name, i, seq[i], pip[i])
+			}
+		}
+	}
+}
+
+// TestPipelineCutStructure pins the split-point rules: the program hosting
+// the farm splits with a non-empty state-independent front end and the
+// worker spawns riding in the back end; a farm-free itermem program (no
+// master op) must not split at all.
+func TestPipelineCutStructure(t *testing.T) {
+	var frames int64
+	r := pipeRegistry(&frames, nil)
+	s := compile(t, pipeSrc, r, arch.Ring(4), syndex.Structured)
+	m := NewMachine(s, r)
+	sawCut := false
+	for p := range s.Programs {
+		cut := m.pipelineCut(arch.ProcID(p))
+		if cut == 0 {
+			continue
+		}
+		sawCut = true
+		prog := s.Programs[p]
+		for _, op := range prog[:cut] {
+			switch op.Kind {
+			case syndex.OpWorker, syndex.OpMaster, syndex.OpMemWrite:
+				t.Fatalf("proc %d: op kind %v leaked into the front end", p, op.Kind)
+			}
+		}
+		if k := prog[cut].Kind; k != syndex.OpWorker && k != syndex.OpMaster {
+			t.Fatalf("proc %d: back end starts with %v, want the farm", p, k)
+		}
+	}
+	if !sawCut {
+		t.Fatal("no processor split: the equivalence tests would be vacuous")
+	}
+
+	// streamSrc has no farm, so no processor may pipeline.
+	var f2 int64
+	r2 := streamRegistry(&f2, nil)
+	s2 := compile(t, streamSrc, r2, arch.Ring(2), syndex.Structured)
+	m2 := NewMachine(s2, r2)
+	for p := range s2.Programs {
+		if cut := m2.pipelineCut(arch.ProcID(p)); cut != 0 {
+			t.Fatalf("farm-free program split at proc %d cut %d", p, cut)
+		}
+	}
+}
+
+// TestPipelinedShowOrderPreserved: the display function runs in the back
+// end, strictly one frame at a time, so the shown stream must stay in
+// frame order even though front ends run ahead.
+func TestPipelinedShowOrderPreserved(t *testing.T) {
+	var frames int64
+	var shown []value.Value
+	r := pipeRegistry(&frames, &shown)
+	s := compile(t, pipeSrc, r, arch.Ring(2), syndex.Structured)
+	m := NewMachine(s, r)
+	m.DeterministicFarm = true
+	m.Pipeline = true
+	res, err := m.Run(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(shown) != 8 {
+		t.Fatalf("display called %d times, want 8", len(shown))
+	}
+	for i, v := range shown {
+		if !value.Equal(v, res.Outputs[i]) {
+			t.Fatalf("display order diverged at %d: shown %v vs output %v", i, v, res.Outputs[i])
+		}
+	}
+}
+
+// TestPipelinedFarmSurvivesWorkerKill: the pipelined back end runs the
+// fault-tolerant master protocol unchanged, so a worker death mid-stream
+// must still be contained and re-dispatched with bit-identical outputs.
+func TestPipelinedFarmSurvivesWorkerKill(t *testing.T) {
+	a := arch.Ring(8)
+	var frames int64
+	r := pipeRegistry(&frames, nil)
+	s := compile(t, pipeSrc, r, a, syndex.Structured)
+	victims := workerOnlyProcs(s)
+	if len(victims) == 0 {
+		t.Fatal("schedule has no worker-only processor to kill")
+	}
+	ft := faulttransport.New(memtransport.New(a), faulttransport.Config{
+		Faults: map[arch.ProcID]faulttransport.Fault{
+			victims[0]: {KillAfterSends: 1},
+		},
+	})
+	defer ft.Close()
+	m := NewMachineOn(s, r, ft, allProcs(a))
+	m.DeterministicFarm = true
+	m.Pipeline = true
+	m.FT = FaultTolerance{MaxRetries: 3}
+	const iters = 6
+	res, err := m.Run(iters)
+	if err != nil {
+		t.Fatalf("pipelined run did not survive the worker kill: %v", err)
+	}
+	want := runPipeSrc(t, a, iters, false)
+	for i := range want {
+		if !value.Equal(res.Outputs[i], want[i]) {
+			t.Fatalf("iteration %d: degraded pipelined output %v, want %v", i, res.Outputs[i], want[i])
+		}
+	}
+	if res.Failures < 1 {
+		t.Fatalf("Failures = %d, want >= 1", res.Failures)
+	}
+}

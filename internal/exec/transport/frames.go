@@ -1,7 +1,9 @@
 package transport
 
 import (
+	"encoding/binary"
 	"fmt"
+	"io"
 
 	"skipper/internal/value"
 )
@@ -88,6 +90,24 @@ func init() {
 			}
 			return Task{Idx: int(idx), Gen: gen, V: v}, nil
 		},
+		DecodeFrom: func(r io.Reader, n int) (value.Value, error) {
+			var hdr [16]byte
+			if n < len(hdr) {
+				return nil, fmt.Errorf("truncated task header (%d bytes)", n)
+			}
+			if _, err := io.ReadFull(r, hdr[:]); err != nil {
+				return nil, err
+			}
+			v, err := value.DecodeStream(r, n-len(hdr))
+			if err != nil {
+				return nil, err
+			}
+			return Task{
+				Idx: int(int64(binary.BigEndian.Uint64(hdr[0:]))),
+				Gen: int64(binary.BigEndian.Uint64(hdr[8:])),
+				V:   v,
+			}, nil
+		},
 	})
 	value.RegisterExt(value.Ext{
 		Name:  "exec.Reply",
@@ -134,6 +154,25 @@ func init() {
 				return nil, fmt.Errorf("trailing bytes after reply frame")
 			}
 			return Reply{Widx: int(widx), Task: int(task), Gen: gen, V: v}, nil
+		},
+		DecodeFrom: func(r io.Reader, n int) (value.Value, error) {
+			var hdr [24]byte
+			if n < len(hdr) {
+				return nil, fmt.Errorf("truncated reply header (%d bytes)", n)
+			}
+			if _, err := io.ReadFull(r, hdr[:]); err != nil {
+				return nil, err
+			}
+			v, err := value.DecodeStream(r, n-len(hdr))
+			if err != nil {
+				return nil, err
+			}
+			return Reply{
+				Widx: int(int64(binary.BigEndian.Uint64(hdr[0:]))),
+				Task: int(int64(binary.BigEndian.Uint64(hdr[8:]))),
+				Gen:  int64(binary.BigEndian.Uint64(hdr[16:])),
+				V:    v,
+			}, nil
 		},
 	})
 }

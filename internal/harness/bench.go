@@ -45,10 +45,11 @@ type BenchReport struct {
 // RunBenchReport measures the benchmark suite and returns the report.
 // Progress lines go to w (one per benchmark). iters is the stream length
 // used by the simulation-backed experiments. A non-empty filter restricts
-// the run to benchmarks whose name contains it (substring match) and skips
-// the E1 latency table — the shape CI smoke jobs use to get a quick
-// transport snapshot without paying for the full suite; full (unfiltered)
-// runs are what BENCH_<pr>.json snapshots and the envelope guard need.
+// the run to benchmarks whose name contains any of its comma-separated
+// substrings and skips the E1 latency table — the shape CI smoke jobs use
+// to get a quick transport snapshot without paying for the full suite;
+// full (unfiltered) runs are what BENCH_<pr>.json snapshots and the
+// envelope guard need.
 func RunBenchReport(w io.Writer, iters int, filter string) (*BenchReport, error) {
 	rep := &BenchReport{
 		Schema:     BenchSchema,
@@ -65,12 +66,28 @@ func RunBenchReport(w io.Writer, iters int, filter string) (*BenchReport, error)
 		rep.E1 = e1
 	}
 
+	var filters []string
+	if filter != "" {
+		filters = strings.Split(filter, ",")
+	}
+	matches := func(name string) bool {
+		if len(filters) == 0 {
+			return true
+		}
+		for _, f := range filters {
+			if strings.Contains(name, f) {
+				return true
+			}
+		}
+		return false
+	}
+
 	var firstErr error
 	record := func(name string, fn func(b *testing.B)) {
 		if firstErr != nil {
 			return
 		}
-		if filter != "" && !strings.Contains(name, filter) {
+		if !matches(name) {
 			return
 		}
 		r := testing.Benchmark(func(b *testing.B) {
@@ -219,6 +236,18 @@ func RunBenchReport(w io.Writer, iters int, filter string) (*BenchReport, error)
 				pair.Master.(transport.TraceSink).SetTrace(obsv.NewRecorder(2, 1<<12))
 			}
 			BenchFarmRoundTrip(b, pair, BenchScalarPayload())
+		})
+	}
+
+	// Software-pipelined itermem (DESIGN.md §12): the per-frame period of a
+	// blocking-grab itermem loop with the pipeline off vs on. Off is the
+	// sequential executive (grab + farm per frame); on overlaps frame k+1's
+	// grab wait with frame k's farm, so the on/off ratio is the measured
+	// pipeline speedup the tier-1 guard keeps honest.
+	for _, mode := range []string{"off", "on"} {
+		mode := mode
+		record("ItermemPipelined_"+mode, func(b *testing.B) {
+			BenchItermemPipelined(b, mode == "on")
 		})
 	}
 

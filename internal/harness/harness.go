@@ -299,11 +299,17 @@ type E5Result struct {
 // cost skew; the static baseline assigns tasks round-robin like an scm
 // split would.
 func E5(w io.Writer, tasks, workers int) (*E5Result, error) {
-	a := arch.Ring(workers)
+	// Workers tick at the Transvision clock rate; the makespan model needs
+	// only that scale, not a routed topology, so no arch graph is built
+	// (this function runs once per benchmark op and is alloc-guarded).
+	const secPerCycle = 1 / arch.TransputerHz
+	free := make([]float64, workers) // scratch, reset per makespan
 	makespan := func(costs []int64, dynamic bool) float64 {
+		for i := range free {
+			free[i] = 0
+		}
 		if dynamic {
 			// Greedy earliest-available worker = df master in virtual time.
-			free := make([]float64, workers)
 			for _, c := range costs {
 				best := 0
 				for i := 1; i < workers; i++ {
@@ -311,20 +317,13 @@ func E5(w io.Writer, tasks, workers int) (*E5Result, error) {
 						best = i
 					}
 				}
-				free[best] += a.CycleSeconds(c)
+				free[best] += float64(c) * secPerCycle
 			}
-			m := 0.0
-			for _, f := range free {
-				if f > m {
-					m = f
-				}
+		} else {
+			// Static round-robin.
+			for i, c := range costs {
+				free[i%workers] += float64(c) * secPerCycle
 			}
-			return m
-		}
-		// Static round-robin.
-		free := make([]float64, workers)
-		for i, c := range costs {
-			free[i%workers] += a.CycleSeconds(c)
 		}
 		m := 0.0
 		for _, f := range free {
@@ -335,11 +334,12 @@ func E5(w io.Writer, tasks, workers int) (*E5Result, error) {
 		return m
 	}
 	// Skewed: geometric decay — first window huge (near vehicle), rest tiny.
-	skewed := make([]int64, tasks)
+	// Uniform rides in the same slab.
+	costs := make([]int64, 2*tasks)
+	skewed, uniform := costs[:tasks], costs[tasks:]
 	for i := range skewed {
 		skewed[i] = int64(4_000_000 / (1 + 3*i))
 	}
-	uniform := make([]int64, tasks)
 	for i := range uniform {
 		uniform[i] = 500_000
 	}

@@ -1,0 +1,155 @@
+package harness
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"skipper/internal/arch"
+	"skipper/internal/dsl/parser"
+	"skipper/internal/dsl/types"
+	"skipper/internal/exec"
+	"skipper/internal/expand"
+	"skipper/internal/syndex"
+	"skipper/internal/value"
+)
+
+// Pipelined-itermem benchmark (DESIGN.md §12): an itermem loop whose grab
+// stage blocks — the shape of a real camera, where the frame period is
+// wait, not compute — feeding a small df farm. Sequentially each frame
+// costs grab + farm; software-pipelined, frame k's farm runs during frame
+// k+1's grab wait, so the steady-state frame period drops towards
+// max(grab, farm). Because the overlapped stage is a blocking wait, the
+// speedup is real even on a single-CPU runner.
+
+// pipeBenchGrabDelay is the simulated camera exposure/DMA wait per frame.
+const pipeBenchGrabDelay = 200 * time.Microsecond
+
+// pipeBenchSpin tunes the farm's per-window compute so the back end
+// roughly balances the grab wait (6 windows per frame).
+const pipeBenchSpin = 30_000
+
+const pipeBenchSrc = `
+extern grab : unit -> int;;
+extern mkwins : int -> int -> int list;;
+extern work : int -> int;;
+extern fold : int -> int -> int;;
+extern post : int -> int * int;;
+extern show : int -> unit;;
+let loop (s, x) = post (fold s (df 2 work fold 0 (mkwins s x)));;
+let main = itermem grab loop show 1 ();;
+`
+
+// pipeBenchRegistry binds pipeBenchSrc's externs: a blocking grab, a
+// spinning farm worker, and a non-commutative fold (so the benchmark keeps
+// exercising the same deterministic path the equivalence tests pin).
+func pipeBenchRegistry() *value.Registry {
+	frame := 0
+	r := value.NewRegistry()
+	r.Register(&value.Func{Name: "grab", Sig: "unit -> int", Arity: 1,
+		Fn: func([]value.Value) value.Value {
+			time.Sleep(pipeBenchGrabDelay)
+			frame++
+			return frame
+		}})
+	r.Register(&value.Func{Name: "mkwins", Sig: "int -> int -> int list", Arity: 2,
+		Fn: func(a []value.Value) value.Value {
+			s, x := a[0].(int), a[1].(int)
+			out := make(value.List, 6)
+			for i := range out {
+				out[i] = s + x*(i+1)
+			}
+			return out
+		}})
+	r.Register(&value.Func{Name: "work", Sig: "int -> int", Arity: 1,
+		Fn: func(a []value.Value) value.Value {
+			x := a[0].(int)
+			for i := 0; i < pipeBenchSpin; i++ {
+				x += (i*i ^ x>>3) & 0xff
+			}
+			return x
+		}})
+	r.Register(&value.Func{Name: "fold", Sig: "int -> int -> int", Arity: 2,
+		Fn: func(a []value.Value) value.Value { return a[0].(int)*31 + a[1].(int) }})
+	r.Register(&value.Func{Name: "post", Sig: "int -> int * int", Arity: 1,
+		Fn: func(a []value.Value) value.Value {
+			m := a[0].(int)
+			return value.Tuple{m % 1_000_003, m}
+		}})
+	r.Register(&value.Func{Name: "show", Sig: "int -> unit", Arity: 1,
+		Fn: func([]value.Value) value.Value { return value.Unit{} }})
+	return r
+}
+
+// compilePipeBench maps the benchmark program on a 2-processor ring with a
+// fresh registry (the grab counter is per-machine state).
+func compilePipeBench() (*syndex.Schedule, *value.Registry, error) {
+	r := pipeBenchRegistry()
+	prog, err := parser.Parse(pipeBenchSrc)
+	if err != nil {
+		return nil, nil, err
+	}
+	info, err := types.Check(prog)
+	if err != nil {
+		return nil, nil, err
+	}
+	eres, err := expand.Expand(prog, info, r)
+	if err != nil {
+		return nil, nil, err
+	}
+	s, err := syndex.Map(eres.Graph, arch.Ring(2), r, syndex.Structured)
+	if err != nil {
+		return nil, nil, err
+	}
+	return s, r, nil
+}
+
+// BenchItermemPipelined measures the steady-state frame period of the
+// blocking-grab itermem loop with the software pipeline off or on: one
+// Run of b.N frames, so ns/op is the per-frame period including fill and
+// drain.
+func BenchItermemPipelined(b *testing.B, pipeline bool) {
+	s, r, err := compilePipeBench()
+	if err != nil {
+		b.Fatal(err)
+	}
+	m := exec.NewMachine(s, r)
+	m.DeterministicFarm = true
+	m.Pipeline = pipeline
+	b.ResetTimer()
+	res, err := m.Run(b.N)
+	b.StopTimer()
+	if err != nil {
+		b.Fatal(err)
+	}
+	if len(res.Outputs) != b.N || res.Outputs[b.N-1] == nil {
+		b.Fatal("benchmark run lost outputs")
+	}
+}
+
+// VerifyItermemPipelineSpeedup runs both modes over a fixed frame count
+// and returns (sequential, pipelined) per-frame periods — the tier-1
+// guard's handle on the pipeline actually overlapping.
+func VerifyItermemPipelineSpeedup(frames int) (seq, pip time.Duration, err error) {
+	runOne := func(pipeline bool) (time.Duration, error) {
+		s, r, cerr := compilePipeBench()
+		if cerr != nil {
+			return 0, cerr
+		}
+		m := exec.NewMachine(s, r)
+		m.DeterministicFarm = true
+		m.Pipeline = pipeline
+		t0 := time.Now()
+		if _, rerr := m.Run(frames); rerr != nil {
+			return 0, rerr
+		}
+		return time.Since(t0) / time.Duration(frames), nil
+	}
+	if seq, err = runOne(false); err != nil {
+		return 0, 0, fmt.Errorf("harness: sequential itermem run: %w", err)
+	}
+	if pip, err = runOne(true); err != nil {
+		return 0, 0, fmt.Errorf("harness: pipelined itermem run: %w", err)
+	}
+	return seq, pip, nil
+}

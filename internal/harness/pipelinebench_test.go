@@ -1,0 +1,21 @@
+package harness
+
+import "testing"
+
+// TestPipelinedItermemSpeedup is the live counterpart of the BENCH_5 guard:
+// on the blocking-grab benchmark the software-pipelined executive must
+// sustain at least 1.3× the sequential frame rate (measured ~5× on a
+// single-CPU runner — the farm computes inside the next frame's grab wait,
+// see DESIGN.md §12). The margin is wide enough to hold under -race.
+func TestPipelinedItermemSpeedup(t *testing.T) {
+	const frames = 40
+	seq, pip, err := VerifyItermemPipelineSpeedup(frames)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("per-frame period: sequential %v, pipelined %v (%.2fx)",
+		seq, pip, float64(seq)/float64(pip))
+	if float64(pip) > float64(seq)/1.3 {
+		t.Fatalf("pipelined itermem period %v vs sequential %v; want >= 1.3x speedup", pip, seq)
+	}
+}

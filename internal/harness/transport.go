@@ -13,8 +13,9 @@ import (
 // Transports lists the executive communication backends the experiments
 // can run over: "mem" is the in-process goroutine executive, "tcp" runs
 // the same schedule split across a hub and one node per remaining
-// processor over localhost sockets.
-var Transports = []string{"mem", "tcp"}
+// processor over localhost sockets, and "unix" is the same multi-process
+// split over unix-domain sockets — the same-host fast path.
+var Transports = []string{"mem", "tcp", "unix"}
 
 // e4Spec is the E4 deployment (ring(8), 256x256, 2 vehicles, seed 21).
 func e4Spec(iters int) distrib.Spec {
@@ -30,7 +31,12 @@ func e4Spec(iters int) distrib.Spec {
 // processor hosting the display node, alongside the coordinator's run
 // result (transport statistics, optional trace).
 func runExecutiveOn(transport string, iters int) ([]track.Result, *exec.RunResult, error) {
-	sp := e4Spec(iters)
+	return runExecutiveSpec(transport, e4Spec(iters))
+}
+
+// runExecutiveSpec is runExecutiveOn with the caller controlling the full
+// deployment spec (pipeline mode, determinism, fault-tolerance knobs).
+func runExecutiveSpec(transport string, sp distrib.Spec) ([]track.Result, *exec.RunResult, error) {
 	switch transport {
 	case "mem":
 		rec, res, err := distrib.RunInProcess(sp, 2*time.Minute)
@@ -38,10 +44,16 @@ func runExecutiveOn(transport string, iters int) ([]track.Result, *exec.RunResul
 			return nil, nil, err
 		}
 		return rec.Results, res, nil
-	case "tcp":
+	case "tcp", "unix":
 		// One hub (processor 0) plus one client per remaining processor,
 		// each with its own freshly built registry — the same isolation a
-		// per-processor OS process has, over real localhost sockets.
+		// per-processor OS process has, over real sockets (localhost TCP or
+		// a unix-domain socket per the named transport).
+		listen, cleanup, err := distrib.HubListenAddr(transport)
+		if err != nil {
+			return nil, nil, err
+		}
+		defer cleanup()
 		errCh := make(chan error, sp.Procs-1)
 		spawn := func(addr string) error {
 			for p := 1; p < sp.Procs; p++ {
@@ -51,7 +63,7 @@ func runExecutiveOn(transport string, iters int) ([]track.Result, *exec.RunResul
 			}
 			return nil
 		}
-		rec, res, err := distrib.RunCoordinator(sp, "127.0.0.1:0", spawn, 2*time.Minute)
+		rec, res, err := distrib.RunCoordinator(sp, listen, spawn, 2*time.Minute)
 		if err != nil {
 			return nil, nil, err
 		}

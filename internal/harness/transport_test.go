@@ -45,6 +45,31 @@ func TestE4IdenticalOverAllTransports(t *testing.T) {
 	}
 }
 
+// TestPipelinedIdenticalOverAllTransports: the software-pipelined itermem
+// executive (DESIGN.md §12) must reproduce the sequential executive's
+// tracking results bit for bit on every transport — in-process goroutines,
+// localhost TCP node processes, and unix-domain-socket node processes.
+func TestPipelinedIdenticalOverAllTransports(t *testing.T) {
+	const iters = 6
+	ref, _, err := runExecutiveOn("mem", iters)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp := e4Spec(iters)
+	sp.Pipeline = true
+	for _, tr := range Transports {
+		t.Run(tr, func(t *testing.T) {
+			got, _, err := runExecutiveSpec(tr, sp)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !resultsIdentical(ref, got) {
+				t.Fatalf("pipelined executive over %s diverges from the sequential reference", tr)
+			}
+		})
+	}
+}
+
 // TestE1E5UnaffectedByTransport pins that the latency (E1) and load
 // balancing (E5) experiments still pass alongside the transport-split
 // executive: E1 models the network in virtual time and E5 in closed form,

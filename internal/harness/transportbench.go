@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"skipper/internal/arch"
+	"skipper/internal/distrib"
 	"skipper/internal/exec/memtransport"
 	"skipper/internal/exec/nettransport"
 	"skipper/internal/exec/transport"
@@ -34,27 +35,33 @@ type TransportPair struct {
 func (p *TransportPair) Close() { p.close() }
 
 // NewTransportPair builds the benchmark pair for the named backend
-// ("mem" or "tcp") on a two-processor ring.
+// ("mem", "tcp" or "unix") on a two-processor ring.
 func NewTransportPair(kind string) (*TransportPair, error) {
 	a := arch.Ring(2)
 	switch kind {
 	case "mem":
 		tr := memtransport.New(a)
 		return &TransportPair{Master: tr, Worker: tr, close: func() { tr.Close() }}, nil
-	case "tcp":
-		hub, err := nettransport.NewHub("127.0.0.1:0", a, benchFingerprint, []arch.ProcID{0})
+	case "tcp", "unix":
+		listen, cleanup, err := distrib.HubListenAddr(kind)
 		if err != nil {
+			return nil, err
+		}
+		hub, err := nettransport.NewHub(listen, a, benchFingerprint, []arch.ProcID{0})
+		if err != nil {
+			cleanup()
 			return nil, err
 		}
 		cl, err := nettransport.Dial(hub.Addr(), benchFingerprint, []arch.ProcID{1}, 5*time.Second)
 		if err != nil {
 			hub.Close()
+			cleanup()
 			return nil, err
 		}
 		return &TransportPair{
 			Master: hub,
 			Worker: cl,
-			close:  func() { cl.Close(); hub.Close() },
+			close:  func() { cl.Close(); hub.Close(); cleanup() },
 		}, nil
 	}
 	return nil, fmt.Errorf("harness: unknown transport %q", kind)
@@ -66,10 +73,37 @@ func NewTransportPair(kind string) (*TransportPair, error) {
 // message pattern OpMaster/OpWorker exchange per window, so the mem-vs-tcp
 // delta is the per-window cost of going multi-process.
 func BenchFarmRoundTrip(b *testing.B, pair *TransportPair, payload Payload) {
-	const farm, widx = 0, 0
-	taskKey := transport.TaskKey(farm, widx)
-	replyKey := transport.ReplyKey(farm)
+	stop := startEchoWorker(pair, payload)
+	replies := pair.Master.Receiver(0, transport.ReplyKey(benchFarm))
+	b.ResetTimer()
+	err := masterRoundTrips(pair, payload, replies, b.N)
+	b.StopTimer()
+	if err != nil {
+		b.Fatal(err)
+	}
+	stop()
+}
 
+// FarmRoundTrips drives n task/reply round trips over the pair outside any
+// benchmark timer — the shape the arena-recycling test uses to measure
+// ArenaStats deltas around a known number of window decodes.
+func FarmRoundTrips(pair *TransportPair, payload Payload, n int) error {
+	stop := startEchoWorker(pair, payload)
+	replies := pair.Master.Receiver(0, transport.ReplyKey(benchFarm))
+	err := masterRoundTrips(pair, payload, replies, n)
+	stop()
+	return err
+}
+
+// benchFarm and benchWidx name the single farm/worker slot the round-trip
+// loop exercises.
+const benchFarm, benchWidx = 0, 0
+
+// startEchoWorker spawns the worker-side echo loop on processor 1 and
+// returns a stop function that sends the sentinel and waits for exit.
+func startEchoWorker(pair *TransportPair, payload Payload) (stop func()) {
+	taskKey := transport.TaskKey(benchFarm, benchWidx)
+	replyKey := transport.ReplyKey(benchFarm)
 	done := make(chan struct{})
 	go func() {
 		defer close(done)
@@ -83,7 +117,7 @@ func BenchFarmRoundTrip(b *testing.B, pair *TransportPair, payload Payload) {
 				return
 			}
 			tk := v.(transport.Task)
-			pair.Worker.Send(1, 0, replyKey, transport.Reply{Widx: widx, Task: tk.Idx, V: tk.V})
+			pair.Worker.Send(1, 0, replyKey, transport.Reply{Widx: benchWidx, Task: tk.Idx, V: tk.V})
 			// Send has captured the payload (net backend) or handed the
 			// very value onward by reference (mem backend, where Recycle
 			// recognises and skips it) — the worker's decoded copy can go
@@ -93,22 +127,29 @@ func BenchFarmRoundTrip(b *testing.B, pair *TransportPair, payload Payload) {
 			}
 		}
 	}()
+	return func() {
+		pair.Master.Send(0, 1, taskKey, transport.Sentinel{})
+		<-done
+	}
+}
 
-	replies := pair.Master.Receiver(0, replyKey)
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
+// masterRoundTrips runs the master-side send/recv loop: n tasks to the
+// worker, each reply recycled the way the coordinator's merge consumes and
+// releases its window — the master-side Recycle is what keeps decoded reply
+// images cycling through the vision arena instead of leaking to the GC.
+func masterRoundTrips(pair *TransportPair, payload Payload, replies transport.Receiver, n int) error {
+	taskKey := transport.TaskKey(benchFarm, benchWidx)
+	for i := 0; i < n; i++ {
 		pair.Master.Send(0, 1, taskKey, transport.Task{Idx: i, V: payload.Gen(i)})
 		v, ok := replies.Recv()
 		if !ok {
-			b.Fatal("reply channel aborted mid-benchmark")
+			return fmt.Errorf("harness: reply channel aborted mid-round-trip")
 		}
 		if payload.Recycle != nil {
 			payload.Recycle(v.(transport.Reply).V)
 		}
 	}
-	b.StopTimer()
-	pair.Master.Send(0, 1, taskKey, transport.Sentinel{})
-	<-done
+	return nil
 }
 
 // Payload drives BenchFarmRoundTrip: Gen produces the value shipped per

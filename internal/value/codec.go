@@ -3,6 +3,7 @@ package value
 import (
 	"encoding/binary"
 	"fmt"
+	"io"
 	"math"
 	"sort"
 	"sync"
@@ -58,6 +59,15 @@ const maxDecodeDepth = 512
 // a transport can hand both pieces to a vectored write without ever
 // copying the slab. The concatenation head[start:]+tail must be byte
 // identical to what Encode appends.
+//
+// DecodeFrom is the read-side mirror of EncodeTail: it parses the same
+// payload Decode would, but straight from a reader positioned at the
+// payload's first byte, consuming exactly n bytes. A codec whose payload
+// ends in a raw slab reads the slab into its final buffer (an arena image)
+// instead of an intermediate frame buffer — the transport's zero-copy read
+// path. Wrapper codecs (farm tasks) read their fixed fields and recurse via
+// DecodeStream. On error the reader's position is unspecified; stream
+// decoders must treat any error as fatal for the connection.
 type Ext struct {
 	Name       string
 	Match      func(v Value) bool
@@ -65,6 +75,7 @@ type Ext struct {
 	Decode     func(payload []byte) (Value, error)
 	Size       func(v Value) int
 	EncodeTail func(buf []byte, v Value) (head, tail []byte, err error)
+	DecodeFrom func(r io.Reader, n int) (Value, error)
 }
 
 var (

@@ -1,7 +1,9 @@
 package vision
 
 import (
+	"encoding/binary"
 	"fmt"
+	"io"
 	"math"
 
 	"skipper/internal/value"
@@ -24,6 +26,7 @@ func init() {
 		Decode:     decodeImage,
 		Size:       func(v value.Value) int { return 8 + len(v.(*Image).Pix) },
 		EncodeTail: encodeImageTail,
+		DecodeFrom: decodeImageFrom,
 	})
 	value.RegisterExt(value.Ext{
 		Name:   "vision.Window",
@@ -38,6 +41,7 @@ func init() {
 			return 17 + 8 + len(win.Img.Pix)
 		},
 		EncodeTail: encodeWindowTail,
+		DecodeFrom: decodeWindowFrom,
 	})
 }
 
@@ -80,6 +84,35 @@ func decodeImage(payload []byte) (value.Value, error) {
 	// is overwritten by the copy below.
 	im := getImageDirty(int(w), int(h))
 	copy(im.Pix, payload[pos:])
+	return im, nil
+}
+
+// decodeImageFrom is the streaming mirror of decodeImage: the pixel slab is
+// read from the wire straight into the arena image, skipping the
+// intermediate frame buffer (and its W×H-byte copy) entirely.
+func decodeImageFrom(r io.Reader, n int) (value.Value, error) {
+	var hdr [8]byte
+	if n < 8 {
+		return nil, fmt.Errorf("truncated image header (%d bytes)", n)
+	}
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	w := binary.BigEndian.Uint32(hdr[0:])
+	h := binary.BigEndian.Uint32(hdr[4:])
+	px := int64(w) * int64(h)
+	if px > maxImagePixels {
+		return nil, fmt.Errorf("image %dx%d exceeds pixel budget", w, h)
+	}
+	if px != int64(n-8) {
+		return nil, fmt.Errorf("image %dx%d wants %d pixel bytes, frame has %d",
+			w, h, px, n-8)
+	}
+	im := getImageDirty(int(w), int(h))
+	if _, err := io.ReadFull(r, im.Pix); err != nil {
+		PutImage(im)
+		return nil, err
+	}
 	return im, nil
 }
 
@@ -144,4 +177,37 @@ func decodeWindow(payload []byte) (value.Value, error) {
 		return win, nil
 	}
 	return nil, fmt.Errorf("invalid window image marker %#x", marker)
+}
+
+// decodeWindowFrom is the streaming mirror of decodeWindow (see
+// decodeImageFrom).
+func decodeWindowFrom(r io.Reader, n int) (value.Value, error) {
+	var hdr [17]byte
+	if n < 17 {
+		return nil, fmt.Errorf("truncated window header (%d bytes)", n)
+	}
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	win := Window{Origin: Rect{
+		X0: int(int32(binary.BigEndian.Uint32(hdr[0:]))),
+		Y0: int(int32(binary.BigEndian.Uint32(hdr[4:]))),
+		X1: int(int32(binary.BigEndian.Uint32(hdr[8:]))),
+		Y1: int(int32(binary.BigEndian.Uint32(hdr[12:]))),
+	}}
+	switch hdr[16] {
+	case 0:
+		if n != 17 {
+			return nil, fmt.Errorf("trailing bytes after nil-image window")
+		}
+		return win, nil
+	case 1:
+		v, err := decodeImageFrom(r, n-17)
+		if err != nil {
+			return nil, err
+		}
+		win.Img = v.(*Image)
+		return win, nil
+	}
+	return nil, fmt.Errorf("invalid window image marker %#x", hdr[16])
 }
