@@ -19,18 +19,18 @@ vet:
 	$(GO) vet ./...
 
 # Race-detector pass over the concurrency-heavy packages (executive
-# mailboxes and the skeleton worker pool).
+# mailboxes, the skeleton worker pool, and the serve control plane).
 race:
-	$(GO) test -race ./internal/exec/... ./internal/skel/...
+	$(GO) test -race ./internal/exec/... ./internal/skel/... ./internal/serve/...
 
 # Regenerate the machine-readable perf snapshot consumed by the tier-1
 # envelope guard (bench_guard_test.go). See README § Performance.
 # BENCH_<pr>.json — bump the number when a PR changes the perf story.
 bench:
-	$(GO) run ./cmd/skipper-bench -json BENCH_5.json
+	$(GO) run ./cmd/skipper-bench -json BENCH_6.json
 
 # Quick data-plane snapshot (what CI's bench-smoke job runs and uploads
-# as its BENCH_5.json artifact): the farm round trip on every transport
+# as its BENCH_6.json artifact): the farm round trip on every transport
 # (mem/tcp/unix) plus the pipelined itermem pair, skipping the rest of the
 # suite. Written to a scratch name locally so it never clobbers the
 # committed full snapshot the envelope guard checks.

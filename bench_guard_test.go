@@ -52,6 +52,25 @@ func TestBenchSnapshotWithinPaperEnvelope(t *testing.T) {
 		}
 		checkTraceCost(t, path, rep)
 		checkDataPlane2(t, path, rep)
+		checkServe(t, path, rep)
+	}
+}
+
+// checkServe guards the control-plane scheduler on snapshots that carry the
+// skipper-as-a-service benchmark (BENCH_6 onward, DESIGN.md §13). One op is
+// one tiny in-process job through the whole Submit→queue→dispatch→run→Wait
+// path; the executive work itself is ~40µs, so the ceiling — deliberately
+// generous to absorb CI noise — bounds what the scheduler adds around a job
+// (lock convoys, lost dispatch kicks, goroutine churn).
+func checkServe(t *testing.T, path string, rep *harness.BenchReport) {
+	for _, e := range rep.Results {
+		if e.Name != "ServeJobThroughput" {
+			continue
+		}
+		if e.NsPerOp > 250e6 {
+			t.Errorf("%s: serve job throughput %.0f ns/job, ceiling 250 ms", path, e.NsPerOp)
+		}
+		return
 	}
 }
 

@@ -1,19 +1,29 @@
-// Command skipper-node runs ONE processor of a distributed SKiPPER
-// executive in its own OS process. It compiles the same tracking
-// deployment as the coordinator (the hub rejects the connection if the
-// schedule fingerprints differ), dials the hub, claims its processor and
-// interprets that processor's op program over the TCP transport. The hub
-// connection is control plane only (handshake, abort, detach, frames to
-// coordinator-hosted processors); once every processor has attached, the
-// hub broadcasts the cluster address map and node↔node frames travel one
-// TCP hop over the peer-to-peer data mesh (DESIGN.md §9).
+// Command skipper-node runs processors of a distributed SKiPPER executive
+// in its own OS process, in one of two modes.
 //
+// Classic one-shot mode hosts ONE processor of ONE deployment: it compiles
+// the same tracking deployment as the coordinator (the hub rejects the
+// connection if the schedule fingerprints differ), dials the hub, claims
+// its processor and interprets that processor's op program over the TCP
+// transport. The hub connection is control plane only (handshake, abort,
+// detach, frames to coordinator-hosted processors); once every processor
+// has attached, the hub broadcasts the cluster address map and node↔node
+// frames travel one TCP hop over the peer-to-peer data mesh (DESIGN.md §9).
 // Node processes are normally spawned by `skipper-run -transport=tcp`,
 // which passes matching deployment flags; the command line mirrors the
 // manifest.json `launch` entry written by skipperc -outdir:
 //
 //	skipper-node -hub 127.0.0.1:7000 -proc 3 \
 //	             -procs 8 -size 512 -vehicles 3 -seed 3 -iters 50
+//
+// Fleet mode (-fleet) turns the process into a long-lived worker of a
+// skipper-serve control plane: it joins the fleet, then executes any
+// number of job assignments — hosting whatever processors of whatever
+// deployments the scheduler hands it, several jobs concurrently — until
+// the control plane stops or disappears. Deployment flags are ignored in
+// this mode; each assignment ships its own spec (DESIGN.md §13):
+//
+//	skipper-node -fleet 127.0.0.1:7070 -name w1
 package main
 
 import (
@@ -27,39 +37,30 @@ import (
 )
 
 func main() {
-	hub := flag.String("hub", "", "coordinator hub address (host:port), required")
-	proc := flag.Int("proc", -1, "processor id this node hosts (1..N-1), required")
-	procs := flag.Int("procs", 8, "number of processors in the deployment")
-	iters := flag.Int("iters", 50, "stream iterations")
-	size := flag.Int("size", 512, "frame width and height")
-	vehicles := flag.Int("vehicles", 3, "lead vehicles (1-3)")
-	seed := flag.Int64("seed", 3, "synthetic scene seed")
-	topology := flag.String("topology", "ring", "ring, chain, star or full")
-	deterministic := flag.Bool("deterministic", false, "order-insensitive farm accumulation")
-	pipeline := flag.Bool("pipeline", false, "software-pipeline the itermem loop, must match the coordinator")
-	timeout := flag.Duration("timeout", 2*time.Minute, "dial + run watchdog")
-	trace := flag.String("trace", "", "write this node's event trace (trace-node<p>.json) into this directory")
-	debugAddr := flag.String("debug-addr", "", "serve /metrics, /healthz and /varz on this address during the run")
-	maxRetries := flag.Int("max-retries", 0, "farm fault tolerance: re-dispatch a dead worker's tasks up to this many times (0 disables)")
-	taskDeadline := flag.Duration("task-deadline", 0, "declare a worker dead when a farm task sits unanswered this long (0 disables)")
-	heartbeat := flag.Duration("heartbeat", 0, "control-plane liveness heartbeat interval, must match the coordinator (0 disables)")
+	shared := distrib.FlagSet(flag.CommandLine)
+	hub := flag.String("hub", "", "coordinator hub address (host:port), required unless -fleet")
+	proc := flag.Int("proc", -1, "processor id this node hosts (1..N-1), required unless -fleet")
+	fleet := flag.String("fleet", "", "skipper-serve fleet address: join as a long-lived worker instead of running one processor")
+	name := flag.String("name", "", "with -fleet: worker name (default host-pid)")
+	timeout := flag.Duration("timeout", 2*time.Minute, "dial + run watchdog (with -fleet: how long to keep retrying the join)")
 	dieAfterSends := flag.Int("die-after-sends", 0, "chaos: sever this node's transport after it has sent this many frames (0 disables)")
 	flag.Parse()
 
+	if *fleet != "" {
+		if err := distrib.RunWorker(*fleet, *name, *timeout); err != nil {
+			fmt.Fprintln(os.Stderr, "skipper-node:", err)
+			os.Exit(1)
+		}
+		return
+	}
+
 	if *hub == "" || *proc < 0 {
-		fmt.Fprintln(os.Stderr, "skipper-node: -hub and -proc are required")
+		fmt.Fprintln(os.Stderr, "skipper-node: -hub and -proc are required (or -fleet for worker mode)")
 		flag.Usage()
 		os.Exit(2)
 	}
-	sp := distrib.Spec{
-		Topology: *topology, Procs: *procs,
-		Width: *size, Height: *size,
-		Vehicles: *vehicles, Seed: *seed,
-		Iters: *iters, Deterministic: *deterministic, Pipeline: *pipeline,
-		TraceDir: *trace, DebugAddr: *debugAddr,
-		MaxRetries: *maxRetries, TaskDeadline: *taskDeadline,
-		Heartbeat: *heartbeat, DieAfterSends: *dieAfterSends,
-	}
+	sp := shared.Spec()
+	sp.DieAfterSends = *dieAfterSends
 	if err := distrib.RunNode(sp, *proc, *hub, *timeout); err != nil {
 		fmt.Fprintln(os.Stderr, "skipper-node:", err)
 		// A fired chaos trigger is the drill working as scripted, not a

@@ -63,40 +63,23 @@ import (
 )
 
 func main() {
+	// Deployment and executive flags come from the shared distrib set, so
+	// skipper-run, skipper-node and skipper-serve cannot drift apart again.
+	shared := distrib.FlagSet(flag.CommandLine)
 	backend := flag.String("backend", "exec", "execution backend: exec (goroutines) or sim (timing model)")
 	transportFlag := flag.String("transport", "mem", "with -backend exec: mem (in-process), tcp or unix (one OS process per processor)")
-	procs := flag.Int("procs", 8, "number of processors (and df workers)")
-	iters := flag.Int("iters", 50, "stream iterations")
-	size := flag.Int("size", 512, "frame width and height")
-	vehicles := flag.Int("vehicles", 3, "lead vehicles (1-3)")
-	seed := flag.Int64("seed", 3, "synthetic scene seed")
-	topology := flag.String("topology", "ring", "ring, chain, star or full")
-	pipeline := flag.Bool("pipeline", false, "software-pipeline the itermem loop (overlap frame k+1's grab with frame k's farm)")
-	trace := flag.String("trace", "", "trace directory: record an event trace and export chrome-trace.json plus a measured chronogram SVG (sim: the predicted chronogram)")
-	debugAddr := flag.String("debug-addr", "", "serve /metrics, /healthz and /varz on this address during the run")
 	svgPath := flag.String("svg", "", "with -backend sim -trace: also write the predicted SVG chronogram to this file")
-	maxRetries := flag.Int("max-retries", 0, "farm fault tolerance: re-dispatch a dead worker's tasks up to this many times (0 disables)")
-	taskDeadline := flag.Duration("task-deadline", 0, "declare a worker dead when a farm task sits unanswered this long (0 disables)")
-	heartbeat := flag.Duration("heartbeat", 0, "with -transport tcp: control-plane liveness heartbeat interval (0 disables)")
 	chaosKillProc := flag.Int("chaos-kill-proc", 0, "chaos drill, with -transport tcp: sever this node processor mid-run (0 disables)")
 	chaosKillAfter := flag.Int("chaos-kill-after", 2, "chaos drill: how many frames the victim sends before it is severed")
 	flag.Parse()
 
 	if flag.NArg() > 0 {
-		if err := parseTopologyArg(flag.Arg(0), topology, procs); err != nil {
+		if err := parseTopologyArg(flag.Arg(0), shared.Topology, shared.Procs); err != nil {
 			fatal(err)
 		}
 	}
 
-	sp := distrib.Spec{
-		Topology: *topology, Procs: *procs,
-		Width: *size, Height: *size,
-		Vehicles: *vehicles, Seed: *seed, Iters: *iters,
-		TraceDir: *trace, DebugAddr: *debugAddr,
-		Pipeline:   *pipeline,
-		MaxRetries: *maxRetries, TaskDeadline: *taskDeadline,
-		Heartbeat: *heartbeat,
-	}
+	sp := shared.Spec()
 	if *backend == "exec" && (*transportFlag == "tcp" || *transportFlag == "unix") {
 		runMulti(sp, *transportFlag, *chaosKillProc, *chaosKillAfter)
 		return
@@ -107,31 +90,32 @@ func main() {
 	if *transportFlag != "mem" {
 		fatal(fmt.Errorf("unknown transport %q", *transportFlag))
 	}
-	// Tracing, metrics and the pipelined executive all run through the
-	// distrib in-process path, which knows how to arm them.
-	if *backend == "exec" && (*trace != "" || *debugAddr != "" || *pipeline) {
+	// Tracing, metrics, deterministic accumulation and the pipelined
+	// executive all run through the distrib in-process path, which knows
+	// how to arm them.
+	if *backend == "exec" && (sp.TraceDir != "" || sp.DebugAddr != "" || sp.Pipeline || sp.Deterministic) {
 		runMemObserved(sp)
 		return
 	}
 
-	scene := video.NewScene(*size, *size, *vehicles, *seed)
+	scene := video.NewScene(sp.Width, sp.Height, sp.Vehicles, sp.Seed)
 	reg, rec := track.NewRegistry(scene, os.Stdout)
-	prog, err := skipper.Compile(track.ProgramSource(*procs, *size, *size), reg)
+	prog, err := skipper.Compile(track.ProgramSource(sp.Procs, sp.Width, sp.Height), reg)
 	if err != nil {
 		fatal(err)
 	}
 	var a *skipper.Arch
-	switch *topology {
+	switch sp.Topology {
 	case "ring":
-		a = skipper.Ring(*procs)
+		a = skipper.Ring(sp.Procs)
 	case "chain":
-		a = skipper.Chain(*procs)
+		a = skipper.Chain(sp.Procs)
 	case "star":
-		a = skipper.Star(*procs)
+		a = skipper.Star(sp.Procs)
 	case "full":
-		a = skipper.Full(*procs)
+		a = skipper.Full(sp.Procs)
 	default:
-		fatal(fmt.Errorf("unknown topology %q", *topology))
+		fatal(fmt.Errorf("unknown topology %q", sp.Topology))
 	}
 	dep, err := prog.MapOnto(a, skipper.Structured)
 	if err != nil {
@@ -140,18 +124,18 @@ func main() {
 
 	switch *backend {
 	case "exec":
-		if _, err := dep.Run(*iters); err != nil {
+		if _, err := dep.Run(sp.Iters); err != nil {
 			fatal(err)
 		}
 	case "sim":
-		doTrace := *trace != "" || *svgPath != ""
+		doTrace := sp.TraceDir != "" || *svgPath != ""
 		res, err := dep.Simulate(skipper.SimOptions{
-			Iters: *iters, FramePeriod: skipper.VideoPeriod, Trace: doTrace,
+			Iters: sp.Iters, FramePeriod: skipper.VideoPeriod, Trace: doTrace,
 		})
 		if err != nil {
 			fatal(err)
 		}
-		fmt.Printf("\n%s, %d iterations at 25 Hz:\n", a.Name, *iters)
+		fmt.Printf("\n%s, %d iterations at 25 Hz:\n", a.Name, sp.Iters)
 		fmt.Printf("  mean latency : %6.1f ms\n", res.MeanLatency(2)*1000)
 		fmt.Printf("  max latency  : %6.1f ms\n", res.MaxLatency(2)*1000)
 		fmt.Printf("  frames skipped: %d\n", res.FramesSkipped)
@@ -159,11 +143,11 @@ func main() {
 			fmt.Println()
 			fmt.Print(res.Chronogram(100))
 			svg := res.ChronogramSVG(900, 16)
-			if *trace != "" {
-				if err := os.MkdirAll(*trace, 0o755); err != nil {
+			if sp.TraceDir != "" {
+				if err := os.MkdirAll(sp.TraceDir, 0o755); err != nil {
 					fatal(err)
 				}
-				out := filepath.Join(*trace, "chronogram-predicted.svg")
+				out := filepath.Join(sp.TraceDir, "chronogram-predicted.svg")
 				if err := os.WriteFile(out, []byte(svg), 0o644); err != nil {
 					fatal(err)
 				}
@@ -290,6 +274,12 @@ func runMulti(sp distrib.Spec, transport string, chaosKillProc, chaosKillAfter i
 			}
 			if sp.Pipeline {
 				args = append(args, "-pipeline")
+			}
+			if sp.Deterministic {
+				// The flag must reach every process: deterministic farm
+				// accumulation only reproduces when the whole deployment
+				// agrees on it.
+				args = append(args, "-deterministic")
 			}
 			if sp.MaxRetries > 0 {
 				args = append(args, "-max-retries", strconv.Itoa(sp.MaxRetries))

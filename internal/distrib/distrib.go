@@ -32,25 +32,40 @@ import (
 	"skipper/internal/video"
 )
 
-// Spec fixes everything the deployment's processes must agree on. The
-// schedule fingerprint covers the compiled program and architecture; the
-// scene parameters are carried alongside so every process synthesizes the
-// same video stream.
-type Spec struct {
-	Topology      string // ring, chain, star or full
-	Procs         int
-	Width, Height int
-	Vehicles      int
-	Seed          int64
-	Iters         int
-	Deterministic bool // order-insensitive df accumulation buffering
+// Job is the deployment agreement: everything every process of one
+// deployment must hold identically, and nothing else. The schedule
+// fingerprint covers the compiled program and architecture; the scene
+// parameters are carried alongside so every process synthesizes the same
+// video stream. Job is also the wire currency of the service control plane
+// — a `POST /jobs` body on skipper-serve is exactly this struct, and the
+// scheduler ships it verbatim to the workers it places the job on — hence
+// the JSON tags.
+type Job struct {
+	Topology string `json:"topology"` // ring, chain, star or full
+	Procs    int    `json:"procs"`
+	Width    int    `json:"width"`
+	Height   int    `json:"height"`
+	Vehicles int    `json:"vehicles"`
+	Seed     int64  `json:"seed"`
+	Iters    int    `json:"iters"`
+	// Deterministic selects order-insensitive df accumulation buffering.
+	Deterministic bool `json:"deterministic,omitempty"`
 	// Pipeline software-pipelines the itermem loop (DESIGN.md §12): frame
 	// k+1's grab/preprocessing overlaps frame k's farm and merge on
 	// processors whose program splits cleanly. Outputs stay bit-identical,
 	// so it is executive tuning like Deterministic: not part of the
-	// schedule fingerprint, but pass the same value to every process so
-	// the chronograms line up.
-	Pipeline bool
+	// schedule fingerprint, but every process of a deployment must run the
+	// same value so the chronograms line up — which is what makes it job
+	// description rather than per-process config.
+	Pipeline bool `json:"pipeline,omitempty"`
+}
+
+// Spec is one process's full view of a deployment: the shared Job plus the
+// fleet/runtime configuration that is free to differ per process (tracing,
+// debug endpoints) or that tunes the executive fleet-wide (fault tolerance,
+// heartbeats) without entering the job description.
+type Spec struct {
+	Job
 
 	// TraceDir and DebugAddr are per-process local configuration, not part
 	// of the deployment agreement: they do not enter the schedule
@@ -105,33 +120,53 @@ func HubListenAddr(transport string) (listen string, cleanup func(), err error) 
 	return "", nil, fmt.Errorf("distrib: unknown transport %q", transport)
 }
 
-// Arch builds the architecture graph the spec names.
-func (sp Spec) Arch() (*arch.Arch, error) {
-	switch sp.Topology {
-	case "ring":
-		return arch.Ring(sp.Procs), nil
-	case "chain":
-		return arch.Chain(sp.Procs), nil
-	case "star":
-		return arch.Star(sp.Procs), nil
-	case "full":
-		return arch.Full(sp.Procs), nil
+// Validate rejects job descriptions no deployment could run — the
+// admission check the service control plane applies before queueing.
+func (j Job) Validate() error {
+	switch j.Topology {
+	case "ring", "chain", "star", "full":
+	default:
+		return fmt.Errorf("distrib: unknown topology %q", j.Topology)
 	}
-	return nil, fmt.Errorf("distrib: unknown topology %q", sp.Topology)
+	if j.Procs < 1 {
+		return fmt.Errorf("distrib: procs %d, want >= 1", j.Procs)
+	}
+	if j.Width < 8 || j.Height < 8 {
+		return fmt.Errorf("distrib: frame %dx%d too small (want >= 8x8)", j.Width, j.Height)
+	}
+	if j.Iters < 1 {
+		return fmt.Errorf("distrib: iters %d, want >= 1", j.Iters)
+	}
+	return nil
+}
+
+// Arch builds the architecture graph the job names.
+func (j Job) Arch() (*arch.Arch, error) {
+	switch j.Topology {
+	case "ring":
+		return arch.Ring(j.Procs), nil
+	case "chain":
+		return arch.Chain(j.Procs), nil
+	case "star":
+		return arch.Star(j.Procs), nil
+	case "full":
+		return arch.Full(j.Procs), nil
+	}
+	return nil, fmt.Errorf("distrib: unknown topology %q", j.Topology)
 }
 
 // Compile builds this process's instance of the deployment: a fresh scene
 // and registry plus the mapped schedule. Every process of a deployment
-// calls this with the same Spec and obtains a schedule with the same
+// calls this with the same Job and obtains a schedule with the same
 // fingerprint.
-func (sp Spec) Compile() (*syndex.Schedule, *value.Registry, *track.Recorder, error) {
-	a, err := sp.Arch()
+func (j Job) Compile() (*syndex.Schedule, *value.Registry, *track.Recorder, error) {
+	a, err := j.Arch()
 	if err != nil {
 		return nil, nil, nil, err
 	}
-	scene := video.NewScene(sp.Width, sp.Height, sp.Vehicles, sp.Seed)
+	scene := video.NewScene(j.Width, j.Height, j.Vehicles, j.Seed)
 	reg, rec := track.NewRegistry(scene, nil)
-	prog, err := parser.Parse(track.ProgramSource(sp.Procs, sp.Width, sp.Height))
+	prog, err := parser.Parse(track.ProgramSource(j.Procs, j.Width, j.Height))
 	if err != nil {
 		return nil, nil, nil, err
 	}
@@ -168,14 +203,32 @@ func (sp Spec) ft() exec.FaultTolerance {
 // dial the hub claiming proc, run the processor's program and detach. Used
 // by cmd/skipper-node and, in-process, by tests.
 func RunNode(sp Spec, proc int, hubAddr string, d time.Duration) error {
+	return RunProcs(sp, []int{proc}, hubAddr, 0, d)
+}
+
+// RunProcs is RunNode generalized for an elastic fleet: one worker process
+// hosting any subset of a deployment's processors (a 4-worker fleet can run
+// an 8-processor schedule at 2 processors per worker), attaching under the
+// schedule fingerprint XOR salt. The salt is the scheduler's session
+// namespace — it lets two concurrent submissions of an identical job hold
+// distinct sessions on one fleet hub — and must be 0 for classic one-job
+// deployments, where the fingerprint alone is the agreement.
+func RunProcs(sp Spec, procs []int, hubAddr string, salt uint64, d time.Duration) error {
 	s, reg, _, err := sp.Compile()
 	if err != nil {
 		return err
 	}
-	if proc <= 0 || proc >= s.Arch.N {
-		return fmt.Errorf("distrib: node processor %d outside 1..%d (0 is the coordinator)", proc, s.Arch.N-1)
+	if len(procs) == 0 {
+		return fmt.Errorf("distrib: no processors to host")
 	}
-	cl, err := nettransport.Dial(hubAddr, s.Fingerprint(), []arch.ProcID{arch.ProcID(proc)}, d, sp.netOptions()...)
+	local := make([]arch.ProcID, len(procs))
+	for i, p := range procs {
+		if p <= 0 || p >= s.Arch.N {
+			return fmt.Errorf("distrib: node processor %d outside 1..%d (0 is the coordinator)", p, s.Arch.N-1)
+		}
+		local[i] = arch.ProcID(p)
+	}
+	cl, err := nettransport.Dial(hubAddr, s.Fingerprint()^salt, local, d, sp.netOptions()...)
 	if err != nil {
 		return err
 	}
@@ -185,14 +238,14 @@ func RunNode(sp Spec, proc int, hubAddr string, d time.Duration) error {
 	if sp.DieAfterSends > 0 {
 		tr = faulttransport.New(cl, faulttransport.Config{
 			Faults: map[arch.ProcID]faulttransport.Fault{
-				arch.ProcID(proc): {KillAfterSends: sp.DieAfterSends},
+				local[0]: {KillAfterSends: sp.DieAfterSends},
 			},
 			// Sever, not Close: the cluster must see a death (EOF without
 			// detach, sockets torn mid-frame), not a clean shutdown.
 			OnKill: func(arch.ProcID) { killed.Store(true); cl.Sever() },
 		})
 	}
-	m := exec.NewMachineOn(s, reg, tr, []arch.ProcID{arch.ProcID(proc)})
+	m := exec.NewMachineOn(s, reg, tr, local)
 	m.DeterministicFarm = sp.Deterministic
 	m.FT = sp.ft()
 	m.Pipeline = sp.Pipeline
@@ -207,12 +260,12 @@ func RunNode(sp Spec, proc int, hubAddr string, d time.Duration) error {
 	}
 	// Best effort even after a failed run: a partial trace is exactly what a
 	// post-mortem needs.
-	if werr := ob.writeTrace(sp, fmt.Sprintf("trace-node%d.json", proc), res,
-		[]int{proc}, cl.ClockOffsetNS()); werr != nil && runErr == nil {
+	if werr := ob.writeTrace(sp, fmt.Sprintf("trace-node%d.json", procs[0]), res,
+		procs, cl.ClockOffsetNS()); werr != nil && runErr == nil {
 		runErr = werr
 	}
 	if runErr != nil {
-		return fmt.Errorf("distrib: node %d: %w", proc, runErr)
+		return fmt.Errorf("distrib: node %v: %w", procs, runErr)
 	}
 	return nil
 }

@@ -35,11 +35,11 @@ func resultsEqual(a, b []track.Result) (bool, string) {
 }
 
 func trackingSpec(iters int) Spec {
-	return Spec{
+	return Spec{Job: Job{
 		Topology: "ring", Procs: 8,
 		Width: 128, Height: 128,
 		Vehicles: 2, Seed: 21, Iters: iters,
-	}
+	}}
 }
 
 // TestDistributedGoroutineNodesMatchInProcess splits ring(8) across a hub

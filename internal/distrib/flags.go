@@ -1,0 +1,76 @@
+package distrib
+
+import (
+	"flag"
+	"time"
+)
+
+// Flags is the one declaration of the deployment and runtime flags every
+// skipper command shares. skipper-run, skipper-node and skipper-serve used
+// to (or would) declare these independently, and the copies drifted —
+// skipper-run lost -deterministic while skipper-node kept it. Each command
+// calls FlagSet on its own flag.FlagSet, adds its command-specific flags
+// (-transport, -hub, -proc, -fleet, ...) and assembles the Spec with Spec().
+type Flags struct {
+	Topology      *string
+	Procs         *int
+	Iters         *int
+	Size          *int
+	Vehicles      *int
+	Seed          *int64
+	Deterministic *bool
+	Pipeline      *bool
+	Trace         *string
+	DebugAddr     *string
+	*ExecFlags
+}
+
+// ExecFlags is the executive-tuning subset every command shares, including
+// skipper-serve (which takes no deployment flags — jobs arrive over HTTP —
+// but still configures fault tolerance and heartbeats fleet-wide).
+type ExecFlags struct {
+	MaxRetries   *int
+	TaskDeadline *time.Duration
+	Heartbeat    *time.Duration
+}
+
+// ExecFlagSet declares the executive-tuning flags on fs.
+func ExecFlagSet(fs *flag.FlagSet) *ExecFlags {
+	f := &ExecFlags{}
+	f.MaxRetries = fs.Int("max-retries", 0, "farm fault tolerance: re-dispatch a dead worker's tasks up to this many times (0 disables)")
+	f.TaskDeadline = fs.Duration("task-deadline", 0, "declare a worker dead when a farm task sits unanswered this long (0 disables)")
+	f.Heartbeat = fs.Duration("heartbeat", 0, "control-plane liveness heartbeat interval, same value on every process (0 disables)")
+	return f
+}
+
+// FlagSet declares the shared flags on fs and returns their destinations.
+func FlagSet(fs *flag.FlagSet) *Flags {
+	f := &Flags{}
+	f.Topology = fs.String("topology", "ring", "ring, chain, star or full")
+	f.Procs = fs.Int("procs", 8, "number of processors (and df workers)")
+	f.Iters = fs.Int("iters", 50, "stream iterations")
+	f.Size = fs.Int("size", 512, "frame width and height")
+	f.Vehicles = fs.Int("vehicles", 3, "lead vehicles (1-3)")
+	f.Seed = fs.Int64("seed", 3, "synthetic scene seed")
+	f.Deterministic = fs.Bool("deterministic", false, "order-insensitive farm accumulation, same value on every process")
+	f.Pipeline = fs.Bool("pipeline", false, "software-pipeline the itermem loop (overlap frame k+1's grab with frame k's farm), same value on every process")
+	f.Trace = fs.String("trace", "", "trace directory: record an event trace and export its artifacts there")
+	f.DebugAddr = fs.String("debug-addr", "", "serve /metrics, /healthz and /varz on this address")
+	f.ExecFlags = ExecFlagSet(fs)
+	return f
+}
+
+// Spec assembles the parsed flag values into a deployment spec.
+func (f *Flags) Spec() Spec {
+	return Spec{
+		Job: Job{
+			Topology: *f.Topology, Procs: *f.Procs,
+			Width: *f.Size, Height: *f.Size,
+			Vehicles: *f.Vehicles, Seed: *f.Seed, Iters: *f.Iters,
+			Deterministic: *f.Deterministic, Pipeline: *f.Pipeline,
+		},
+		TraceDir: *f.Trace, DebugAddr: *f.DebugAddr,
+		MaxRetries: *f.MaxRetries, TaskDeadline: *f.TaskDeadline,
+		Heartbeat: *f.Heartbeat,
+	}
+}

@@ -1,0 +1,332 @@
+// Fleet protocol: the control channel between skipper-serve's scheduler and
+// its workers. It is deliberately not the frame wire — newline-delimited
+// JSON over one TCP (or unix-domain) connection per worker, a few messages
+// per job — because fleet membership changes at human timescales while
+// frames move at microsecond ones. A worker joins once and then serves any
+// number of job assignments; each assignment makes the worker dial the
+// fleet hub's *data* listener under the job's salted fingerprint, so job
+// traffic rides the existing nettransport sessions and never touches this
+// channel.
+//
+//	worker → serve: {"type":"join","name":"w1"}
+//	serve  → worker: {"type":"welcome"}
+//	serve  → worker: {"type":"run","job":"j3","salt":...,"procs":[2,5],
+//	                  "hub":"127.0.0.1:9000","spec":{...Job...},...}
+//	worker → serve: {"type":"done","job":"j3","error":""}
+//	worker → serve: {"type":"ping"}        (liveness, every second)
+//	worker → serve: {"type":"leave"}       (clean departure)
+//	serve  → worker: {"type":"stop"}       (control plane shutting down)
+package distrib
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"os"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"skipper/internal/arch"
+	"skipper/internal/exec"
+	"skipper/internal/exec/nettransport"
+)
+
+// Fleet message types.
+const (
+	MsgJoin    = "join"
+	MsgWelcome = "welcome"
+	MsgRun     = "run"
+	MsgDone    = "done"
+	MsgPing    = "ping"
+	MsgLeave   = "leave"
+	MsgStop    = "stop"
+)
+
+// FleetPingInterval is how often an idle worker proves liveness.
+const FleetPingInterval = time.Second
+
+// FleetMsg is one line of the fleet protocol. Durations travel as
+// milliseconds so the JSON stays tool-friendly.
+type FleetMsg struct {
+	Type string `json:"type"`
+	// Name identifies the worker (join/leave).
+	Name string `json:"name,omitempty"`
+	// JobID names the job an assignment or completion belongs to.
+	JobID string `json:"job,omitempty"`
+	// Salt XORs into the schedule fingerprint to namespace the job's
+	// session on the shared fleet hub.
+	Salt uint64 `json:"salt,omitempty"`
+	// Procs are the deployment processors this worker must host for the job.
+	Procs []int `json:"procs,omitempty"`
+	// HubAddr is the fleet hub's data/control listener the worker dials.
+	HubAddr string `json:"hub,omitempty"`
+	// Job is the deployment agreement, shipped verbatim from the submitter.
+	Job *Job `json:"spec,omitempty"`
+	// Executive tuning the whole deployment must agree on.
+	MaxRetries     int   `json:"maxRetries,omitempty"`
+	TaskDeadlineMS int64 `json:"taskDeadlineMs,omitempty"`
+	HeartbeatMS    int64 `json:"heartbeatMs,omitempty"`
+	TimeoutMS      int64 `json:"timeoutMs,omitempty"`
+	// Error reports a failed assignment (done messages).
+	Error string `json:"error,omitempty"`
+}
+
+// splitFleetAddr mirrors the nettransport address scheme: "unix:"-prefixed
+// means a unix-domain socket path, anything else TCP.
+func splitFleetAddr(addr string) (network, address string) {
+	if strings.HasPrefix(addr, "unix:") {
+		return "unix", strings.TrimPrefix(addr, "unix:")
+	}
+	return "tcp", addr
+}
+
+// Worker is one fleet member: a process (or goroutine, in tests) that has
+// joined a skipper-serve control plane and executes job assignments in a
+// loop — the long-lived counterpart of the one-shot RunNode. Assignments
+// run concurrently: a worker hosts processors of several jobs at once, each
+// over its own fingerprint-salted session.
+type Worker struct {
+	name string
+	conn net.Conn
+	dec  *json.Decoder
+
+	encMu sync.Mutex
+	enc   *json.Encoder
+
+	mu     sync.Mutex
+	active map[string]*nettransport.Client // job id → its session transport
+	killed bool
+
+	closing  atomic.Bool
+	jobWG    sync.WaitGroup
+	pingStop chan struct{}
+	pingOnce sync.Once
+}
+
+// JoinFleet dials the control plane at addr, retrying until d elapses
+// (workers may start before skipper-serve binds), and registers under name
+// (defaulting to host-pid). The returned worker serves assignments once
+// Serve is called.
+func JoinFleet(addr, name string, d time.Duration) (*Worker, error) {
+	if name == "" {
+		host, _ := os.Hostname()
+		name = fmt.Sprintf("%s-%d", host, os.Getpid())
+	}
+	network, address := splitFleetAddr(addr)
+	deadline := time.Now().Add(d)
+	var c net.Conn
+	var err error
+	for {
+		c, err = net.DialTimeout(network, address, time.Second)
+		if err == nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			return nil, fmt.Errorf("distrib: joining fleet %s: %w", addr, err)
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+	w := &Worker{
+		name:     name,
+		conn:     c,
+		dec:      json.NewDecoder(c),
+		enc:      json.NewEncoder(c),
+		active:   map[string]*nettransport.Client{},
+		pingStop: make(chan struct{}),
+	}
+	if err := w.send(FleetMsg{Type: MsgJoin, Name: name}); err != nil {
+		c.Close()
+		return nil, fmt.Errorf("distrib: fleet join: %w", err)
+	}
+	var welcome FleetMsg
+	if err := w.dec.Decode(&welcome); err != nil {
+		c.Close()
+		return nil, fmt.Errorf("distrib: fleet join: %w", err)
+	}
+	if welcome.Type != MsgWelcome {
+		c.Close()
+		if welcome.Error != "" {
+			return nil, fmt.Errorf("distrib: fleet join rejected: %s", welcome.Error)
+		}
+		return nil, fmt.Errorf("distrib: fleet join: unexpected %q reply", welcome.Type)
+	}
+	return w, nil
+}
+
+// Name is the worker's fleet registration name.
+func (w *Worker) Name() string { return w.name }
+
+func (w *Worker) send(msg FleetMsg) error {
+	w.encMu.Lock()
+	defer w.encMu.Unlock()
+	return w.enc.Encode(msg)
+}
+
+func (w *Worker) stopPing() {
+	w.pingOnce.Do(func() { close(w.pingStop) })
+}
+
+func (w *Worker) pingLoop() {
+	t := time.NewTicker(FleetPingInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-w.pingStop:
+			return
+		case <-t.C:
+		}
+		if w.closing.Load() {
+			return
+		}
+		w.send(FleetMsg{Type: MsgPing, Name: w.name})
+	}
+}
+
+// Serve executes job assignments until the control plane sends stop, Leave
+// or Kill is called, or the connection drops (a dead control plane). Each
+// run message starts a goroutine: assignments for different jobs overlap.
+func (w *Worker) Serve() error {
+	go w.pingLoop()
+	for {
+		var msg FleetMsg
+		if err := w.dec.Decode(&msg); err != nil {
+			w.stopPing()
+			w.jobWG.Wait()
+			if w.closing.Load() {
+				return nil
+			}
+			return fmt.Errorf("distrib: fleet connection lost: %w", err)
+		}
+		switch msg.Type {
+		case MsgRun:
+			w.jobWG.Add(1)
+			go func(m FleetMsg) {
+				defer w.jobWG.Done()
+				w.runAssignment(m)
+			}(msg)
+		case MsgStop:
+			w.closing.Store(true)
+			w.stopPing()
+			w.jobWG.Wait()
+			return nil
+		}
+	}
+}
+
+// Leave departs cleanly: the control plane unregisters the worker instead
+// of declaring it dead.
+func (w *Worker) Leave() error {
+	w.closing.Store(true)
+	w.stopPing()
+	w.send(FleetMsg{Type: MsgLeave, Name: w.name})
+	return w.conn.Close()
+}
+
+// Kill tears the worker down the way kill -9 would: the fleet connection
+// and every active job session are severed abruptly, no detach, no done
+// messages — the in-process stand-in for killing a worker process in
+// chaos and equivalence tests.
+func (w *Worker) Kill() {
+	w.closing.Store(true)
+	w.stopPing()
+	w.mu.Lock()
+	w.killed = true
+	cls := make([]*nettransport.Client, 0, len(w.active))
+	for _, cl := range w.active {
+		cls = append(cls, cl)
+	}
+	w.mu.Unlock()
+	w.conn.Close()
+	for _, cl := range cls {
+		cl.Sever()
+	}
+}
+
+// runAssignment executes one job assignment and reports the outcome.
+func (w *Worker) runAssignment(m FleetMsg) {
+	err := w.execute(m)
+	done := FleetMsg{Type: MsgDone, JobID: m.JobID, Name: w.name}
+	if err != nil {
+		done.Error = err.Error()
+	}
+	w.send(done) // best effort: the control plane may be gone
+}
+
+// execute is the worker-side job lifecycle: compile the shipped Job, dial
+// the fleet hub under the salted fingerprint claiming the assigned
+// processors, run their op programs, detach. It is RunProcs with the
+// session transport registered on the worker so Kill can sever mid-run.
+func (w *Worker) execute(m FleetMsg) error {
+	if m.Job == nil {
+		return errors.New("distrib: run message without job spec")
+	}
+	if m.HubAddr == "" {
+		return errors.New("distrib: run message without hub address")
+	}
+	sp := Spec{
+		Job:          *m.Job,
+		MaxRetries:   m.MaxRetries,
+		TaskDeadline: time.Duration(m.TaskDeadlineMS) * time.Millisecond,
+		Heartbeat:    time.Duration(m.HeartbeatMS) * time.Millisecond,
+	}
+	timeout := time.Duration(m.TimeoutMS) * time.Millisecond
+	if timeout <= 0 {
+		timeout = 2 * time.Minute
+	}
+	s, reg, _, err := sp.Compile()
+	if err != nil {
+		return err
+	}
+	if len(m.Procs) == 0 {
+		return errors.New("distrib: run message assigns no processors")
+	}
+	local := make([]arch.ProcID, len(m.Procs))
+	for i, p := range m.Procs {
+		if p <= 0 || p >= s.Arch.N {
+			return fmt.Errorf("distrib: assigned processor %d outside 1..%d", p, s.Arch.N-1)
+		}
+		local[i] = arch.ProcID(p)
+	}
+	cl, err := nettransport.Dial(m.HubAddr, s.Fingerprint()^m.Salt, local, 30*time.Second, sp.netOptions()...)
+	if err != nil {
+		return err
+	}
+	w.mu.Lock()
+	if w.killed {
+		w.mu.Unlock()
+		cl.Sever()
+		return errors.New("distrib: worker killed")
+	}
+	w.active[m.JobID] = cl
+	w.mu.Unlock()
+	defer func() {
+		w.mu.Lock()
+		delete(w.active, m.JobID)
+		killed := w.killed
+		w.mu.Unlock()
+		if !killed {
+			cl.Close()
+		}
+	}()
+	mach := exec.NewMachineOn(s, reg, cl, local)
+	mach.DeterministicFarm = sp.Deterministic
+	mach.FT = sp.ft()
+	mach.Pipeline = sp.Pipeline
+	_, runErr := mach.RunWithTimeout(sp.Iters, timeout)
+	return runErr
+}
+
+// RunWorker is the whole lifecycle of one fleet worker process: join the
+// control plane at addr and serve job assignments until it stops or
+// disappears. The long-lived sibling of RunNode, used by
+// `skipper-node -fleet`.
+func RunWorker(addr, name string, d time.Duration) error {
+	w, err := JoinFleet(addr, name, d)
+	if err != nil {
+		return err
+	}
+	return w.Serve()
+}

@@ -1,6 +1,7 @@
 package exec
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -280,6 +281,32 @@ func (m *Machine) buildOpLabels() {
 		}
 		m.opLabels[p] = labels
 	}
+}
+
+// ErrCancelled is the error a run returns after Cancel. Callers that kill
+// jobs on purpose (a scheduler honoring DELETE /jobs) match on it with
+// errors.Is to tell deliberate cancellation from genuine failure — only the
+// latter warrants a re-queue.
+var ErrCancelled = errors.New("exec: run cancelled")
+
+// Cancel aborts the in-flight run: every blocked communication unblocks and
+// the run returns ErrCancelled. Like the watchdog, it cannot interrupt a
+// user sequential function that never returns. Cancel is for machines built
+// with NewMachineOn, whose transport is fixed at construction; on an
+// own-transport machine a Cancel racing run start may find no transport yet
+// and only record the error.
+func (m *Machine) Cancel() {
+	m.errMu.Lock()
+	already := m.err != nil
+	if !already {
+		m.err = ErrCancelled
+	}
+	t := m.t
+	m.errMu.Unlock()
+	if already || t == nil {
+		return
+	}
+	t.Abort()
 }
 
 // fail records the first error and unblocks everything.

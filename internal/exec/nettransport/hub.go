@@ -1,87 +1,22 @@
 package nettransport
 
 import (
-	"bufio"
-	"encoding/binary"
-	"fmt"
-	"io"
-	"net"
-	"sort"
-	"sync"
-	"sync/atomic"
 	"time"
 
 	"skipper/internal/arch"
 	"skipper/internal/exec/transport"
-	"skipper/internal/obsv"
-	"skipper/internal/value"
 )
 
-// maxPending bounds the hub's per-processor backlog of frames buffered for
-// a processor that has not attached yet. A deployment where a node never
-// starts would otherwise accumulate frames without limit; hitting the cap
-// fails the cluster instead.
-const maxPending = 1024
-
-// Hub is the coordinator side of the TCP backend and the control plane of
-// the cluster: it listens for node processes, validates their handshakes,
-// buffers frames for processors that have not attached yet, and — once
-// every processor is attached — broadcasts the peer address map that turns
-// the data plane into a full point-to-point mesh. It is itself a
-// transport.Transport for the processors hosted in the coordinator process
-// (typically processor 0, which usually holds the input/output nodes);
-// traffic to and from those rides the control connections, which are
-// already a single hop. Client↔client frames only cross the hub before the
-// mesh is up (and are counted as relay hops).
+// Hub is the classic one-deployment coordinator: a FleetHub carrying exactly
+// one Session, with both lifecycles fused. It survives as the convenient
+// shape for `skipper-run`-style runs — compile, attach a cluster sized for
+// the schedule, run once, exit — while the service control plane
+// (internal/serve) uses FleetHub and per-job Sessions directly. All
+// transport behavior (attachment, pre-attach buffering, the peers-map
+// broadcast, failure containment) lives on the embedded Session.
 type Hub struct {
-	a  *arch.Arch
-	fp uint64
-	ln net.Listener
-	hb time.Duration // heartbeat interval; 0 = no liveness monitor
-
-	localSet map[arch.ProcID]bool
-	boxes    map[arch.ProcID]*transport.Mailbox
-
-	mu       sync.Mutex
-	remote   map[arch.ProcID]*wconn // attached remote processors
-	dataAddr map[arch.ProcID]string // their peer data listeners
-	pending  map[arch.ProcID][]outFrame
-	conns    []*wconn
-	states   []*connState // per-connection liveness bookkeeping
-	dead     map[arch.ProcID]bool
-	ready    chan struct{} // closed when every non-local processor is attached
-	closed   bool
-
-	// pdFn, when registered via OnPeerDown, switches peer-death handling
-	// from abort-the-cluster to contain-and-notify.
-	pdMu sync.Mutex
-	pdFn transport.PeerDown
-
-	monStop chan struct{} // stops the heartbeat monitor
-	monOnce sync.Once
-
-	errMu  sync.Mutex
-	err    error
-	failed chan struct{} // closed on the first failf, so WaitReady fails fast
-
-	closing   atomic.Bool
-	aborted   atomic.Bool
-	anyDead   atomic.Bool // fast path: skip the dead-map lookup while nobody died
-	abortOnce sync.Once
-	wg        sync.WaitGroup
-
-	messages  atomic.Int64
-	hops      atomic.Int64
-	bytesSent atomic.Int64
-	bytesRecv atomic.Int64
-
-	// rec, when set via SetTrace before the run's traffic starts, receives
-	// send/recv/abort events for hub-local processors; relayed frames are
-	// counted as hops only (the endpoints record their own send/recv).
-	// Atomic because accept and per-connection read loops are alive from
-	// NewHub on, before the machine gets the chance to arm tracing.
-	rec atomic.Pointer[obsv.Recorder]
-	kl  transport.KeyLabels
+	*Session
+	f *FleetHub
 }
 
 var (
@@ -90,742 +25,48 @@ var (
 	_ transport.PeerDowner      = (*Hub)(nil)
 )
 
-// connState is the hub's per-connection liveness bookkeeping: lastHeard is
-// bumped on every frame the read loop sees (heartbeats included), and the
-// monitor condemns a connection whose node has gone silent for several
-// heartbeat intervals.
-type connState struct {
-	w         *wconn
-	procs     []arch.ProcID
-	lastHeard atomic.Int64 // UnixNano of the most recent frame
-	condemned atomic.Bool  // the monitor declared it dead; readLoop exits silently
-	gone      atomic.Bool  // readLoop exited (detach, death, or teardown)
-}
-
 // NewHub listens on addr (e.g. "127.0.0.1:0"; see Addr for the bound
 // address) and serves the architecture's processors: local are hosted in
-// this process, all others must attach over TCP with a matching schedule
-// fingerprint.
+// this process, all others must attach over the network with a matching
+// schedule fingerprint.
 func NewHub(addr string, a *arch.Arch, fingerprint uint64, local []arch.ProcID, opts ...Option) (*Hub, error) {
-	o := buildOptions(opts)
-	network, address := splitNetAddr(addr)
-	ln, err := net.Listen(network, address)
+	f, err := NewFleetHub(addr, opts...)
 	if err != nil {
 		return nil, err
 	}
-	h := &Hub{
-		a:        a,
-		fp:       fingerprint,
-		ln:       ln,
-		hb:       o.heartbeat,
-		localSet: map[arch.ProcID]bool{},
-		boxes:    map[arch.ProcID]*transport.Mailbox{},
-		remote:   map[arch.ProcID]*wconn{},
-		dataAddr: map[arch.ProcID]string{},
-		pending:  map[arch.ProcID][]outFrame{},
-		dead:     map[arch.ProcID]bool{},
-		ready:    make(chan struct{}),
-		failed:   make(chan struct{}),
+	s, err := f.OpenSession(a, fingerprint, local)
+	if err != nil {
+		f.Close()
+		return nil, err
 	}
-	for _, p := range local {
-		h.localSet[p] = true
-		h.boxes[p] = transport.NewMailbox()
-	}
-	if len(local) == a.N {
-		close(h.ready) // degenerate single-process deployment
-	}
-	h.wg.Add(1)
-	go h.acceptLoop()
-	if h.hb > 0 {
-		h.monStop = make(chan struct{})
-		h.wg.Add(1)
-		go h.monitor()
-	}
-	return h, nil
+	return &Hub{Session: s, f: f}, nil
 }
+
+// Fleet exposes the underlying fleet hub (one session deep for a plain Hub;
+// tests and the serve scheduler open more).
+func (h *Hub) Fleet() *FleetHub { return h.f }
 
 // Addr is the address clients should dial ("unix:"-prefixed when the hub
 // listens on a unix-domain socket).
-func (h *Hub) Addr() string { return joinNetAddr(h.ln) }
+func (h *Hub) Addr() string { return h.f.Addr() }
 
 // WaitReady blocks until every non-local processor has attached, the hub
-// fails, or d elapses. A failure (bad handshake, node death during attach)
-// returns immediately rather than burning the rest of the timeout: callers
-// otherwise sit out the full attach window to learn about an error that
-// was recorded milliseconds in.
-func (h *Hub) WaitReady(d time.Duration) error {
-	select {
-	case <-h.ready:
-		return nil
-	case <-h.failed:
-		return h.Err()
-	case <-time.After(d):
-		if err := h.Err(); err != nil {
-			return err
-		}
-		return fmt.Errorf("nettransport: not all processors attached within %v", d)
-	}
-}
-
-func (h *Hub) acceptLoop() {
-	defer h.wg.Done()
-	for {
-		c, err := h.ln.Accept()
-		if err != nil {
-			return // listener closed
-		}
-		h.wg.Add(1)
-		go h.serveConn(c)
-	}
-}
-
-// serveConn validates one client handshake, attaches its processors and
-// runs its reader loop. The handshake ack is written before the connection
-// gets a writer, so no queued frame can ever precede it on the wire; the
-// backlog flush is queued while the registration lock is held, so a
-// concurrent Send cannot order ahead of frames buffered before attach.
-func (h *Hub) serveConn(c net.Conn) {
-	defer h.wg.Done()
-	setNoDelay(c)
-	br := bufio.NewReaderSize(c, readBufSize)
-	hel, err := readHello(br)
-	if err != nil {
-		writeHelloReply(c, err.Error())
-		c.Close()
-		return
-	}
-	if reject := h.validateHello(hel); reject != "" {
-		writeHelloReply(c, reject)
-		c.Close()
-		return
-	}
-	if err := writeHelloReply(c, ""); err != nil {
-		c.Close()
-		h.failf("nettransport: handshake ack to %v: %v", hel.procs, err)
-		return
-	}
-	w := newWConn(c, func(err error) {
-		// A write failure to a node already declared dead is expected noise
-		// (the peer-down broadcast races its socket teardown), not a cluster
-		// fault.
-		if !h.closing.Load() && !h.aborted.Load() && !h.allDead(hel.procs) {
-			h.failf("nettransport: writing to node %v: %v", hel.procs, err)
-		}
-	})
-	cs := &connState{w: w, procs: hel.procs}
-	cs.lastHeard.Store(time.Now().UnixNano())
-	h.mu.Lock()
-	if h.closed {
-		h.mu.Unlock()
-		w.flushClose()
-		return
-	}
-	for _, p := range hel.procs {
-		h.remote[p] = w
-		h.dataAddr[p] = hel.dataAddr
-		for _, f := range h.pending[p] {
-			// enqueue, not send: send's inline fast path would perform a
-			// blocking socket write under h.mu (stalling all routing on one
-			// slow client) and on failure would invoke onErr -> failf ->
-			// Abort -> h.mu.Lock on this goroutine, a self-deadlock.
-			w.enqueue(f)
-		}
-		delete(h.pending, p)
-	}
-	h.conns = append(h.conns, w)
-	h.states = append(h.states, cs)
-	allAttached := len(h.remote)+len(h.localSet) == h.a.N
-	var peersFrame []byte
-	var conns []*wconn
-	if allAttached {
-		peersFrame = encodePeers(h.dataAddr)
-		conns = append(conns, h.conns...)
-	}
-	h.mu.Unlock()
-	if allAttached {
-		for _, pw := range conns {
-			pw.send(controlFrame(peersDst, peersFrame))
-		}
-		close(h.ready)
-	}
-	h.readLoop(br, cs)
-	cs.gone.Store(true)
-}
-
-// validateHello returns a rejection reason, or "" to accept.
-func (h *Hub) validateHello(hel hello) string {
-	if hel.fingerprint != h.fp {
-		return fmt.Sprintf("schedule fingerprint %#x does not match coordinator %#x (nodes compiled a different deployment)",
-			hel.fingerprint, h.fp)
-	}
-	if len(hel.procs) == 0 {
-		return "no processors claimed"
-	}
-	if hel.dataAddr == "" {
-		return "no peer data listener address"
-	}
-	h.mu.Lock()
-	defer h.mu.Unlock()
-	for _, p := range hel.procs {
-		if int(p) < 0 || int(p) >= h.a.N {
-			return fmt.Sprintf("processor %d outside architecture %s", p, h.a.Name)
-		}
-		if h.localSet[p] {
-			return fmt.Sprintf("processor %d is hosted by the coordinator", p)
-		}
-		if _, taken := h.remote[p]; taken {
-			return fmt.Sprintf("processor %d already attached", p)
-		}
-	}
-	return ""
-}
-
-// readLoop routes one client's incoming frames. A connection that reaches
-// EOF without announcing a detach is a died node process — over the peer
-// mesh the hub no longer sees data frames stop flowing, so process death
-// must be detected on the control plane. Without a peer-down handler the
-// whole cluster aborts (the legacy behavior, and the only safe default);
-// with one, the death is contained and the executive notified.
-func (h *Hub) readLoop(br *bufio.Reader, cs *connState) {
-	procs := cs.procs
-	detached := false
-	for {
-		n, dst, key, err := readFrameHeader(br)
-		if err != nil {
-			if h.closing.Load() || h.aborted.Load() || (err == io.EOF && detached) {
-				return
-			}
-			if cs.condemned.Load() {
-				return // the monitor already declared this node dead
-			}
-			if err == io.EOF {
-				h.connDeath(procs, fmt.Sprintf("nettransport: node %v closed its connection without detaching (process died?)", procs))
-				return
-			}
-			h.connDeath(procs, fmt.Sprintf("nettransport: reading from node %v: %v", procs, err))
-			return
-		}
-		cs.lastHeard.Store(time.Now().UnixNano())
-		// Frames for hub-hosted processors stream-decode straight off the
-		// connection — unless the sender was declared dead, in which case the
-		// payload must be slurped anyway to keep the stream in sync.
-		if h.localSet[arch.ProcID(dst)] && !(h.anyDead.Load() && h.allDead(procs)) {
-			if serr := h.deliverLocalStream(br, arch.ProcID(dst), key, n-frameHeader); serr != nil {
-				if h.closing.Load() || h.aborted.Load() || cs.condemned.Load() {
-					return
-				}
-				h.connDeath(procs, fmt.Sprintf("nettransport: reading from node %v: %v", procs, serr))
-				return
-			}
-			continue
-		}
-		fb, payload, err := readFrameRest(br, n, dst, key)
-		if err != nil {
-			if h.closing.Load() || h.aborted.Load() || cs.condemned.Load() {
-				return
-			}
-			h.connDeath(procs, fmt.Sprintf("nettransport: reading from node %v: %v", procs, err))
-			return
-		}
-		switch dst {
-		case abortDst:
-			putBuf(fb)
-			h.Abort()
-			return
-		case detachDst:
-			putBuf(fb)
-			detached = true
-			continue
-		case heartbeatDst:
-			putBuf(fb)
-			continue
-		case peersDst:
-			putBuf(fb)
-			h.failf("nettransport: node %v sent a peers frame", procs)
-			return
-		case batchDst:
-			berr := forEachBatched(payload, func(d uint32, k transport.Key, body []byte) error {
-				return h.nodeFrame(d, k, body, procs, &detached)
-			})
-			putBuf(fb)
-			if berr == errStopRead {
-				return
-			}
-			if berr != nil {
-				h.failf("nettransport: batch from node %v: %v", procs, berr)
-				return
-			}
-			continue
-		}
-		if h.anyDead.Load() && h.allDead(procs) {
-			// A deadline-suspected node may still be running; anything it
-			// sends after being declared dead is stale and dropped.
-			putBuf(fb)
-			continue
-		}
-		p := arch.ProcID(dst)
-		if h.localSet[p] {
-			h.deliverLocal(p, key, payload)
-			putBuf(fb)
-			continue
-		}
-		h.hops.Add(1)
-		h.routeRemote(p, outFrame{head: fb}, procs)
-	}
-}
-
-// nodeFrame dispatches one frame unpacked from a node's batch. Unlike the
-// top-level loop — which relays a remote-bound frame by handing its arena
-// buffer straight to the destination's connection — a batched sub-frame
-// aliases the batch buffer, so relaying re-frames it into its own buffer.
-func (h *Hub) nodeFrame(dst uint32, key transport.Key, payload []byte, procs []arch.ProcID, detached *bool) error {
-	switch dst {
-	case abortDst:
-		h.Abort()
-		return errStopRead
-	case detachDst:
-		*detached = true
-		return nil
-	case heartbeatDst:
-		return nil
-	case peersDst:
-		h.failf("nettransport: node %v sent a peers frame", procs)
-		return errStopRead
-	}
-	if h.anyDead.Load() && h.allDead(procs) {
-		return nil // stale traffic from a declared-dead node, dropped
-	}
-	p := arch.ProcID(dst)
-	if h.localSet[p] {
-		h.deliverLocal(p, key, payload)
-		return nil
-	}
-	fb := getBuf(4 + frameHeader + len(payload))
-	buf := binary.BigEndian.AppendUint32(fb.b, uint32(frameHeader+len(payload)))
-	buf = appendHeader(buf, dst, key)
-	fb.b = append(buf, payload...)
-	h.hops.Add(1)
-	h.routeRemote(p, outFrame{head: fb}, procs)
-	return nil
-}
-
-// connDeath handles a connection whose node died (EOF without detach, read
-// error, or heartbeat timeout). With no peer-down handler registered the
-// legacy behavior stands: the death is a cluster-wide fatal error. With a
-// handler, the failure is contained — the node's processors are marked
-// dead, surviving nodes are told, and the executive decides what survives.
-func (h *Hub) connDeath(procs []arch.ProcID, legacy string) {
-	h.pdMu.Lock()
-	fn := h.pdFn
-	h.pdMu.Unlock()
-	if fn == nil {
-		h.failf("%s", legacy)
-		return
-	}
-	h.peerDown(procs)
-}
-
-// OnPeerDown registers the executive's failure handler, switching peer
-// death from abort-the-cluster to contain-and-notify. Register before the
-// run's traffic starts.
-func (h *Hub) OnPeerDown(fn transport.PeerDown) {
-	h.pdMu.Lock()
-	h.pdFn = fn
-	h.pdMu.Unlock()
-}
-
-// MarkPeerDown declares p dead without invoking the handler: the executive
-// calls this when it concludes a processor is gone (task deadline overrun)
-// so the transport stops routing to it and tells the other nodes. The
-// hub-side observation path (connDeath) notifies; this one does not, as
-// the caller already knows.
-func (h *Hub) MarkPeerDown(p arch.ProcID) {
-	h.markDown([]arch.ProcID{p})
-}
-
-// peerDown marks procs dead and notifies the registered handler of the
-// ones not already known dead.
-func (h *Hub) peerDown(procs []arch.ProcID) {
-	fresh := h.markDown(procs)
-	if len(fresh) == 0 {
-		return
-	}
-	h.pdMu.Lock()
-	fn := h.pdFn
-	h.pdMu.Unlock()
-	if fn != nil {
-		fn(fresh)
-	}
-}
-
-// markDown records procs as dead, drops their buffered frames, and
-// broadcasts a peer-down control frame so every node contains the same
-// failure. Returns the procs that were not already dead.
-func (h *Hub) markDown(procs []arch.ProcID) []arch.ProcID {
-	h.mu.Lock()
-	var fresh []arch.ProcID
-	for _, p := range procs {
-		if int(p) < 0 || int(p) >= h.a.N || h.dead[p] || h.localSet[p] {
-			continue
-		}
-		h.dead[p] = true
-		fresh = append(fresh, p)
-		for _, f := range h.pending[p] {
-			putBuf(f.head)
-		}
-		delete(h.pending, p)
-	}
-	conns := append([]*wconn(nil), h.conns...)
-	h.mu.Unlock()
-	if len(fresh) == 0 {
-		return nil
-	}
-	h.anyDead.Store(true)
-	payload := encodeProcs(fresh)
-	for _, w := range conns {
-		// enqueue: the dead node's own conn is among these and its socket may
-		// be mid-teardown; a blocking inline write here could stall or error
-		// from the caller's goroutine.
-		w.enqueue(controlFrame(peerDownDst, payload))
-	}
-	return fresh
-}
-
-// allDead reports whether every processor in procs has been declared dead
-// (vacuously false for an empty list).
-func (h *Hub) allDead(procs []arch.ProcID) bool {
-	if !h.anyDead.Load() || len(procs) == 0 {
-		return false
-	}
-	h.mu.Lock()
-	defer h.mu.Unlock()
-	for _, p := range procs {
-		if !h.dead[p] {
-			return false
-		}
-	}
-	return true
-}
-
-// isDead reports whether p has been declared dead.
-func (h *Hub) isDead(p arch.ProcID) bool {
-	if !h.anyDead.Load() {
-		return false
-	}
-	h.mu.Lock()
-	defer h.mu.Unlock()
-	return h.dead[p]
-}
-
-// monitor is the hub's liveness watchdog, armed by WithHeartbeat: a
-// connection with no frames at all for 3 heartbeat intervals is condemned
-// — its processors are declared dead and its socket severed, catching
-// nodes that hang or vanish without closing their connection (which plain
-// TCP can take minutes to surface).
-func (h *Hub) monitor() {
-	defer h.wg.Done()
-	t := time.NewTicker(h.hb)
-	defer t.Stop()
-	for {
-		select {
-		case <-h.monStop:
-			return
-		case <-t.C:
-		}
-		if h.closing.Load() || h.aborted.Load() {
-			return
-		}
-		limit := time.Now().Add(-3 * h.hb).UnixNano()
-		h.mu.Lock()
-		states := append([]*connState(nil), h.states...)
-		h.mu.Unlock()
-		for _, cs := range states {
-			if cs.gone.Load() || cs.condemned.Load() || cs.lastHeard.Load() >= limit {
-				continue
-			}
-			cs.condemned.Store(true)
-			h.connDeath(cs.procs, fmt.Sprintf("nettransport: node %v sent no frames for %v (process hung?)", cs.procs, 3*h.hb))
-			cs.w.c.Close() // unblock its readLoop; condemned makes that exit silent
-		}
-	}
-}
-
-// routeRemote forwards a frame to dst's control connection, or buffers it
-// (up to maxPending frames) if dst has not attached yet.
-func (h *Hub) routeRemote(p arch.ProcID, f outFrame, from []arch.ProcID) {
-	if int(p) < 0 || int(p) >= h.a.N {
-		putBuf(f.head)
-		h.failf("nettransport: frame from node %v for unknown processor %d", from, p)
-		return
-	}
-	if h.isDead(p) {
-		putBuf(f.head) // frames to the dead are dropped, like loss in flight
-		return
-	}
-	h.mu.Lock()
-	w, ok := h.remote[p]
-	if !ok {
-		if len(h.pending[p]) >= maxPending {
-			h.mu.Unlock()
-			putBuf(f.head)
-			h.failf("nettransport: backlog for unattached processor %d exceeds %d frames", p, maxPending)
-			return
-		}
-		f.capture() // buffered frames must not borrow sender memory
-		h.pending[p] = append(h.pending[p], f)
-		h.mu.Unlock()
-		return
-	}
-	h.mu.Unlock()
-	if err := w.send(f); err != nil && !h.closing.Load() && !h.aborted.Load() {
-		h.failf("nettransport: forwarding to processor %d: %v", p, err)
-	}
-}
-
-// deliverLocal decodes a frame payload and delivers it to a hub-hosted
-// processor's mailbox.
-func (h *Hub) deliverLocal(p arch.ProcID, key transport.Key, payload []byte) {
-	v, err := value.Decode(payload)
-	if err != nil {
-		h.failf("nettransport: decoding frame for processor %d key %v: %v", p, key, err)
-		return
-	}
-	h.bytesRecv.Add(int64(len(payload)))
-	if rec := h.rec.Load(); rec != nil {
-		rec.Record(int32(p), obsv.EvRecv, h.kl.Of(key), -1, int64(len(payload)))
-	}
-	h.boxes[p].Deliver(key, v)
-}
-
-// deliverLocalStream is deliverLocal reading the payload straight off the
-// connection (see Client.deliverStream): pixel slabs land in their arena
-// image without an intermediate frame buffer. An error leaves br mid-frame;
-// the caller must stop reading the connection.
-func (h *Hub) deliverLocalStream(br *bufio.Reader, p arch.ProcID, key transport.Key, n int) error {
-	v, err := value.DecodeStream(br, n)
-	if err != nil {
-		return fmt.Errorf("decoding frame for processor %d key %v: %v", p, key, err)
-	}
-	h.bytesRecv.Add(int64(n))
-	if rec := h.rec.Load(); rec != nil {
-		rec.Record(int32(p), obsv.EvRecv, h.kl.Of(key), -1, int64(n))
-	}
-	h.boxes[p].Deliver(key, v)
-	return nil
-}
-
-func (h *Hub) failf(format string, args ...any) {
-	h.errMu.Lock()
-	first := h.err == nil
-	if first {
-		h.err = fmt.Errorf(format, args...)
-	}
-	h.errMu.Unlock()
-	if first {
-		close(h.failed)
-	}
-	if rec := h.rec.Load(); rec != nil {
-		rec.Record(-1, obsv.EvAbort, 0, -1, 0)
-	}
-	h.Abort()
-}
-
-// SetTrace arms event recording on r: send/recv with byte sizes for
-// hub-local processors, enqueue/park/wake through the mailboxes. Call
-// before traffic starts.
-func (h *Hub) SetTrace(r *obsv.Recorder) {
-	h.kl.Reset(r)
-	h.rec.Store(r)
-	for p, b := range h.boxes {
-		b.SetTrace(r, int32(p), &h.kl)
-	}
-}
-
-// QueueDepth reports the total delivered-but-unconsumed values across the
-// hub-local mailboxes (a point-in-time gauge for metrics).
-func (h *Hub) QueueDepth() int {
-	n := 0
-	for _, b := range h.boxes {
-		n += b.Depth()
-	}
-	return n
-}
-
-// ClusterInfo is the hub's point-in-time view of the deployment, exposed on
-// the coordinator's /varz endpoint.
-type ClusterInfo struct {
-	// Ready is true once every non-local processor has attached and the
-	// peer address map has been broadcast.
-	Ready bool `json:"ready"`
-	// Local lists the coordinator-hosted processors, Attached the remotely
-	// attached ones.
-	Local    []int `json:"local"`
-	Attached []int `json:"attached"`
-	// Pending counts frames buffered for processors not yet attached.
-	Pending int `json:"pending"`
-	// Dead lists processors declared dead by failure detection.
-	Dead []int `json:"dead,omitempty"`
-}
-
-// ClusterInfo snapshots the attachment state of the cluster.
-func (h *Hub) ClusterInfo() ClusterInfo {
-	var ci ClusterInfo
-	for p := range h.localSet {
-		ci.Local = append(ci.Local, int(p))
-	}
-	sort.Ints(ci.Local)
-	select {
-	case <-h.ready:
-		ci.Ready = true
-	default:
-	}
-	h.mu.Lock()
-	for p := range h.remote {
-		ci.Attached = append(ci.Attached, int(p))
-	}
-	for _, fs := range h.pending {
-		ci.Pending += len(fs)
-	}
-	for p := range h.dead {
-		ci.Dead = append(ci.Dead, int(p))
-	}
-	h.mu.Unlock()
-	sort.Ints(ci.Attached)
-	sort.Ints(ci.Dead)
-	return ci
-}
-
-// Send injects a message from a hub-local processor. Local destinations
-// skip the codec entirely (the payload is passed by reference, exactly as
-// the mem backend does); remote ones are flattened and shipped over the
-// destination's control connection.
-func (h *Hub) Send(src, dst arch.ProcID, key transport.Key, payload value.Value) {
-	if h.isDead(dst) {
-		return // uncounted, like loss in flight
-	}
-	h.messages.Add(1)
-	if h.localSet[dst] {
-		n := int64(value.SizeOf(payload))
-		h.bytesSent.Add(n)
-		h.bytesRecv.Add(n)
-		if rec := h.rec.Load(); rec != nil {
-			id := h.kl.Of(key)
-			rec.Record(int32(src), obsv.EvSend, id, int32(dst), n)
-			rec.Record(int32(dst), obsv.EvRecv, id, -1, n)
-		}
-		h.boxes[dst].Deliver(key, payload)
-		return
-	}
-	f, err := encodeMessage(dst, key, payload)
-	if err != nil {
-		h.failf("nettransport: encoding %v for processor %d: %v", key, dst, err)
-		return
-	}
-	wireBytes := int64(len(f.head.b) - 4 - frameHeader + len(f.tail))
-	h.bytesSent.Add(wireBytes)
-	if rec := h.rec.Load(); rec != nil {
-		rec.Record(int32(src), obsv.EvSend, h.kl.Of(key), int32(dst), wireBytes)
-	}
-	h.routeRemote(dst, f, nil)
-}
-
-// Recv blocks on a hub-local processor's mailbox.
-func (h *Hub) Recv(p arch.ProcID, key transport.Key) (value.Value, bool) {
-	return h.boxes[p].Recv(key)
-}
-
-// Receiver returns the mailbox slot for (p, key).
-func (h *Hub) Receiver(p arch.ProcID, key transport.Key) transport.Receiver {
-	return h.boxes[p].Slot(key)
-}
-
-// Abort propagates a cluster-wide abort: every attached client gets an
-// abort control frame, and all local mailboxes unblock.
-func (h *Hub) Abort() {
-	h.abortOnce.Do(func() {
-		h.aborted.Store(true)
-		h.mu.Lock()
-		conns := append([]*wconn(nil), h.conns...)
-		h.mu.Unlock()
-		for _, w := range conns {
-			w.send(controlFrame(abortDst, nil)) // best effort: the conn may already be gone
-		}
-		for _, b := range h.boxes {
-			b.Close()
-		}
-	})
-}
-
-func (h *Hub) stopMonitor() {
-	if h.monStop != nil {
-		h.monOnce.Do(func() { close(h.monStop) })
-	}
-}
+// fails, or d elapses.
+func (h *Hub) WaitReady(d time.Duration) error { return h.Session.WaitReady(d) }
 
 // Sever tears the hub down the way a coordinator crash would: no abort
 // broadcast, no queue flush — the listener and every control connection
 // close abruptly and local mailboxes are killed. Attached clients observe
-// exactly what a died coordinator produces (EOF on the control
-// connection), which makes Sever the in-process stand-in for kill -9 in
-// chaos tests.
+// exactly what a died coordinator produces (EOF on the control connection),
+// which makes Sever the in-process stand-in for kill -9 in chaos tests.
 func (h *Hub) Sever() {
-	h.closing.Store(true)
-	h.mu.Lock()
-	h.closed = true
-	conns := append([]*wconn(nil), h.conns...)
-	h.mu.Unlock()
-	h.stopMonitor()
-	h.ln.Close()
-	for _, w := range conns {
-		w.c.Close()
-	}
-	for _, b := range h.boxes {
-		b.Kill()
-	}
-	h.wg.Wait()
+	h.Session.sever()
+	h.f.Sever()
 }
 
 // Close aborts, tears down the listener and connections (flushing queued
 // frames, bounded by flushTimeout) and waits for the hub's goroutines.
 func (h *Hub) Close() error {
-	h.closing.Store(true)
-	h.mu.Lock()
-	h.closed = true
-	conns := append([]*wconn(nil), h.conns...)
-	pending := h.pending
-	h.pending = map[arch.ProcID][]outFrame{}
-	h.mu.Unlock()
-	h.stopMonitor()
-	for _, fs := range pending {
-		for _, f := range fs {
-			putBuf(f.head)
-		}
-	}
-	h.Abort()
-	h.ln.Close()
-	for _, w := range conns {
-		w.flushClose()
-	}
-	h.wg.Wait()
-	return nil
-}
-
-// Err reports the first hub-side failure, or nil.
-func (h *Hub) Err() error {
-	h.errMu.Lock()
-	defer h.errMu.Unlock()
-	return h.err
-}
-
-// Stats reports messages injected by hub-local processors, frames the hub
-// relayed between node processes (zero once the mesh is up: every
-// client↔client frame then travels point to point) and payload volume;
-// safe to call concurrently with traffic.
-func (h *Hub) Stats() transport.Stats {
-	return transport.Stats{
-		Messages:  h.messages.Load(),
-		Hops:      h.hops.Load(),
-		BytesSent: h.bytesSent.Load(),
-		BytesRecv: h.bytesRecv.Load(),
-	}
+	h.Session.Close()
+	return h.f.Close()
 }

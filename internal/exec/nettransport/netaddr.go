@@ -1,11 +1,14 @@
 package nettransport
 
 import (
+	"errors"
 	"fmt"
 	"net"
 	"os"
 	"path/filepath"
 	"sync/atomic"
+	"syscall"
+	"time"
 )
 
 // Address scheme: every listener and dial address in the backend is a plain
@@ -33,6 +36,33 @@ func joinNetAddr(ln net.Listener) string {
 		return unixScheme + ln.Addr().String()
 	}
 	return ln.Addr().String()
+}
+
+// listenNet binds a scheme-prefixed address, with unix-domain socket
+// hygiene: a process killed with SIGKILL leaves its socket file behind, and
+// the next bind on that path fails with EADDRINUSE even though nobody is
+// listening. When that happens, a probe connect distinguishes the two
+// cases — a live listener accepts (the address really is in use, surface
+// the original error), a dead one refuses the connection — and a refused
+// probe unlinks the stale file and retries the bind once.
+func listenNet(addr string) (net.Listener, error) {
+	network, address := splitNetAddr(addr)
+	ln, err := net.Listen(network, address)
+	if err == nil || network != "unix" || !errors.Is(err, syscall.EADDRINUSE) {
+		return ln, err
+	}
+	probe, perr := net.DialTimeout("unix", address, 250*time.Millisecond)
+	if perr == nil {
+		probe.Close()
+		return nil, err // a live process is accepting on this path
+	}
+	if !errors.Is(perr, syscall.ECONNREFUSED) {
+		return nil, err
+	}
+	if rmErr := os.Remove(address); rmErr != nil && !os.IsNotExist(rmErr) {
+		return nil, err
+	}
+	return net.Listen(network, address)
 }
 
 // setNoDelay disables Nagle on TCP connections; unix-domain sockets have no

@@ -251,6 +251,20 @@ func RunBenchReport(w io.Writer, iters int, filter string) (*BenchReport, error)
 		})
 	}
 
+	// Skipper-as-a-service scheduler overhead (DESIGN.md §13): one tiny job
+	// through the whole control-plane path — Submit, FIFO queue, dispatch,
+	// in-process run, terminal status. Guarded by a generous ceiling in
+	// bench_guard_test.go so scheduler regressions fail tier-1.
+	record("ServeJobThroughput", func(b *testing.B) {
+		srv, err := NewBenchServer()
+		if err != nil {
+			firstErr = err
+			b.Skip(err)
+		}
+		defer srv.Close()
+		BenchServeJobThroughput(b, srv)
+	})
+
 	if firstErr != nil {
 		return nil, firstErr
 	}

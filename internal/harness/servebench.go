@@ -1,0 +1,56 @@
+package harness
+
+import (
+	"testing"
+	"time"
+
+	"skipper/internal/distrib"
+	"skipper/internal/serve"
+)
+
+// BenchServeJobThroughput measures the control plane's per-job overhead:
+// one op is one tiny tracking job travelling the full scheduler path —
+// Submit, FIFO queue, dispatch, in-process executive run, terminal status,
+// Wait. The deployment itself is deliberately small (3 processors, 48×48
+// frames, 2 iterations, ~40µs of executive work) so the figure is
+// dominated by what skipper-serve adds around a job, not by the job. The
+// envelope guard (bench_guard_test.go) keeps the figure under a generous
+// ceiling so scheduler regressions — lock convoys on the server mu,
+// lost kicks, per-job goroutine leaks — show up in tier-1.
+func BenchServeJobThroughput(b *testing.B, srv *serve.Server) {
+	job := distrib.Job{
+		Topology: "ring", Procs: 3,
+		Width: 48, Height: 48,
+		Vehicles: 1, Seed: 1, Iters: 2,
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		id, err := srv.Submit(job)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := srv.Wait(id, 30*time.Second); err != nil {
+			b.Fatal(err)
+		}
+		view, ok := srv.Job(id)
+		if !ok {
+			b.Fatalf("job %s vanished", id)
+		}
+		if view.Status != serve.StatusDone {
+			b.Fatalf("job %s finished %s (%s)", id, view.Status, view.Error)
+		}
+	}
+}
+
+// NewBenchServer builds the in-process control plane BenchServeJobThroughput
+// drives: no fleet listener, no workers, jobs run on the in-process
+// executive so the benchmark isolates scheduler overhead from transport
+// cost (Transport_* round trips already price the latter).
+func NewBenchServer() (*serve.Server, error) {
+	return serve.New(serve.Config{
+		InProcess:  true,
+		MaxRunning: 1,
+		QueueLimit: 4,
+		JobTimeout: 30 * time.Second,
+	})
+}

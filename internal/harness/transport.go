@@ -19,11 +19,11 @@ var Transports = []string{"mem", "tcp", "unix"}
 
 // e4Spec is the E4 deployment (ring(8), 256x256, 2 vehicles, seed 21).
 func e4Spec(iters int) distrib.Spec {
-	return distrib.Spec{
+	return distrib.Spec{Job: distrib.Job{
 		Topology: "ring", Procs: 8,
 		Width: 256, Height: 256,
 		Vehicles: 2, Seed: 21, Iters: iters,
-	}
+	}}
 }
 
 // runExecutiveOn executes the E4 tracking deployment on the named

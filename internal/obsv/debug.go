@@ -28,6 +28,16 @@ func ServeDebug(addr string, m *Metrics, health func() error, varz func() map[st
 	if err != nil {
 		return nil, err
 	}
+	srv := &http.Server{Handler: DebugMux(m, health, varz), ReadHeaderTimeout: 5 * time.Second}
+	s := &DebugServer{ln: ln, srv: srv}
+	go srv.Serve(ln)
+	return s, nil
+}
+
+// DebugMux builds the debug endpoints on a fresh mux without binding a
+// listener, for servers (skipper-serve) that mount them next to their own
+// API routes instead of on a dedicated debug port.
+func DebugMux(m *Metrics, health func() error, varz func() map[string]any) *http.ServeMux {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
@@ -52,10 +62,7 @@ func ServeDebug(addr string, m *Metrics, health func() error, varz func() map[st
 		enc.SetIndent("", "  ")
 		enc.Encode(v)
 	})
-	srv := &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
-	s := &DebugServer{ln: ln, srv: srv}
-	go srv.Serve(ln)
-	return s, nil
+	return mux
 }
 
 // Addr returns the bound listen address.

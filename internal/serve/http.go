@@ -1,0 +1,242 @@
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"sort"
+	"strings"
+	"time"
+
+	"skipper/internal/distrib"
+	"skipper/internal/obsv"
+)
+
+// JobView is the API representation of one job.
+//
+//	POST   /jobs      — body distrib.Job, reply 202 {"id":...} (429 queue full)
+//	GET    /jobs      — every job, submission order
+//	GET    /jobs/{id} — one job
+//	DELETE /jobs/{id} — cancel (queued: immediate; running: executive abort)
+//
+// /metrics, /healthz and /varz ride the same listener.
+type JobView struct {
+	ID     string      `json:"id"`
+	Status string      `json:"status"`
+	Spec   distrib.Job `json:"spec"`
+	// Workers are the fleet members hosting the job's remote processors.
+	Workers []string `json:"workers,omitempty"`
+	// Requeues counts re-runs forced by worker deaths.
+	Requeues int    `json:"requeues,omitempty"`
+	Error    string `json:"error,omitempty"`
+	// Frames and Digest summarize a done job's results: iteration count and
+	// the FNV-1a fold of every tracked mark — equal digests mean
+	// bit-identical tracking output.
+	Frames int    `json:"frames,omitempty"`
+	Digest string `json:"digest,omitempty"`
+	// Vehicles is the number of locked vehicles in the final frame.
+	Vehicles  int    `json:"vehicles,omitempty"`
+	ElapsedMS int64  `json:"elapsedMs,omitempty"`
+	Submitted string `json:"submitted,omitempty"`
+	// Started is the last dispatch time (re-dispatches overwrite it); its
+	// ordering across jobs is the FIFO evidence the scheduler tests pin.
+	Started string `json:"started,omitempty"`
+}
+
+// snapshotJob renders a job under the server lock.
+func (s *Server) snapshotJob(st *jobState) JobView {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.snapshotJobLocked(st)
+}
+
+func (s *Server) snapshotJobLocked(st *jobState) JobView {
+	v := JobView{
+		ID:        st.id,
+		Status:    st.status,
+		Spec:      st.job,
+		Requeues:  st.requeues,
+		Error:     st.err,
+		Submitted: st.submitted.Format(time.RFC3339Nano),
+	}
+	v.Workers = append(v.Workers, st.workers...)
+	sort.Strings(v.Workers)
+	if st.status == StatusDone {
+		v.Frames = len(st.results)
+		v.Digest = fmt.Sprintf("%016x", st.digest)
+		if n := len(st.results); n > 0 {
+			v.Vehicles = st.results[n-1].Vehicles
+		}
+	}
+	if !st.started.IsZero() {
+		v.Started = st.started.Format(time.RFC3339Nano)
+	}
+	if !st.finished.IsZero() && !st.started.IsZero() {
+		v.ElapsedMS = st.finished.Sub(st.started).Milliseconds()
+	}
+	return v
+}
+
+// Job returns the API view of one job.
+func (s *Server) Job(id string) (JobView, bool) {
+	s.mu.Lock()
+	st, ok := s.jobs[id]
+	s.mu.Unlock()
+	if !ok {
+		return JobView{}, false
+	}
+	return s.snapshotJob(st), true
+}
+
+// Jobs returns every job in submission order.
+func (s *Server) Jobs() []JobView {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]JobView, 0, len(s.order))
+	for _, id := range s.order {
+		out = append(out, s.snapshotJobLocked(s.jobs[id]))
+	}
+	return out
+}
+
+func (s *Server) startHTTP() error {
+	mux := obsv.DebugMux(s.metrics, s.health, s.varz)
+	mux.HandleFunc("/jobs", s.handleJobs)
+	mux.HandleFunc("/jobs/", s.handleJob)
+	ln, err := net.Listen("tcp", s.cfg.HTTPAddr)
+	if err != nil {
+		return fmt.Errorf("serve: http listener: %w", err)
+	}
+	s.httpLn = ln
+	s.httpSrv = &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		s.httpSrv.Serve(ln)
+	}()
+	return nil
+}
+
+func (s *Server) health() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closing {
+		return ErrClosed
+	}
+	return nil
+}
+
+// varz is the free-form status page: the fleet roster and every job.
+func (s *Server) varz() map[string]any {
+	s.mu.Lock()
+	workers := make([]map[string]any, 0, len(s.workers))
+	names := make([]string, 0, len(s.workers))
+	for name := range s.workers {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		w := s.workers[name]
+		jobs := make([]string, 0, len(w.jobs))
+		for id := range w.jobs {
+			jobs = append(jobs, id)
+		}
+		sort.Strings(jobs)
+		workers = append(workers, map[string]any{
+			"name":          name,
+			"jobs":          jobs,
+			"lastSeenMsAgo": time.Since(w.lastSeen).Milliseconds(),
+		})
+	}
+	queued := len(s.queue)
+	running := s.running
+	s.mu.Unlock()
+	return map[string]any{
+		"fleet": map[string]any{
+			"workers":  workers,
+			"hubAddr":  s.hub.Addr(),
+			"sessions": s.hub.SessionCount(),
+		},
+		"jobs":    s.Jobs(),
+		"queued":  queued,
+		"running": running,
+	}
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+func writeErr(w http.ResponseWriter, code int, err error) {
+	writeJSON(w, code, map[string]string{"error": err.Error()})
+}
+
+// handleJobs serves the collection: POST submits, GET lists.
+func (s *Server) handleJobs(w http.ResponseWriter, r *http.Request) {
+	switch r.Method {
+	case http.MethodPost:
+		var job distrib.Job
+		dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
+		dec.DisallowUnknownFields()
+		if err := dec.Decode(&job); err != nil {
+			writeErr(w, http.StatusBadRequest, fmt.Errorf("decoding job spec: %w", err))
+			return
+		}
+		id, err := s.Submit(job)
+		switch {
+		case errors.Is(err, ErrQueueFull):
+			writeErr(w, http.StatusTooManyRequests, err)
+		case errors.Is(err, ErrClosed):
+			writeErr(w, http.StatusServiceUnavailable, err)
+		case err != nil:
+			writeErr(w, http.StatusBadRequest, err)
+		default:
+			writeJSON(w, http.StatusAccepted, map[string]string{"id": id, "status": StatusQueued})
+		}
+	case http.MethodGet:
+		writeJSON(w, http.StatusOK, s.Jobs())
+	default:
+		w.Header().Set("Allow", "GET, POST")
+		writeErr(w, http.StatusMethodNotAllowed, errors.New("method not allowed"))
+	}
+}
+
+// handleJob serves one job: GET inspects, DELETE cancels.
+func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
+	id := strings.TrimPrefix(r.URL.Path, "/jobs/")
+	if id == "" || strings.Contains(id, "/") {
+		writeErr(w, http.StatusNotFound, fmt.Errorf("no job %q", id))
+		return
+	}
+	switch r.Method {
+	case http.MethodGet:
+		v, ok := s.Job(id)
+		if !ok {
+			writeErr(w, http.StatusNotFound, fmt.Errorf("no job %q", id))
+			return
+		}
+		writeJSON(w, http.StatusOK, v)
+	case http.MethodDelete:
+		changed, err := s.Cancel(id)
+		if err != nil {
+			writeErr(w, http.StatusNotFound, err)
+			return
+		}
+		v, _ := s.Job(id)
+		if !changed {
+			// Already terminal: idempotent no-op, report the state as is.
+			writeJSON(w, http.StatusConflict, v)
+			return
+		}
+		writeJSON(w, http.StatusOK, v)
+	default:
+		w.Header().Set("Allow", "GET, DELETE")
+		writeErr(w, http.StatusMethodNotAllowed, errors.New("method not allowed"))
+	}
+}
