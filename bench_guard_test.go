@@ -52,6 +52,7 @@ func TestBenchSnapshotWithinPaperEnvelope(t *testing.T) {
 		}
 		checkTraceCost(t, path, rep)
 		checkDataPlane2(t, path, rep)
+		checkDataPlane3(t, path, rep)
 		checkServe(t, path, rep)
 	}
 }
@@ -134,6 +135,63 @@ func checkDataPlane2(t *testing.T, path string, rep *harness.BenchReport) {
 	}
 	if unix.NsPerOp > 25_000 {
 		t.Errorf("%s: unix farm round trip %.0f ns, ceiling 25µs", path, unix.NsPerOp)
+	}
+}
+
+// checkDataPlane3 guards the data-plane round-3 work on snapshots that carry
+// the shared-memory transport benchmark (BENCH_7 onward, DESIGN.md §14):
+//
+//   - The shm slab-ring farm round trip must beat the unix-socket one it
+//     replaces on same-host deployments — the copy through the mmap'd ring
+//     skips the kernel socket buffer, leaving one doorbell syscall at most —
+//     and sit under a generous absolute ceiling (measured ~8.4µs vs ~14.1µs
+//     unix on the CI host; the raw futex-free floor is ~7.6µs).
+//   - The cache-tiled separable 3×3 dilate must hold >= 1.3x over the naive
+//     9-tap loop even on one CPU (measured ~2.7x on 512²), where only
+//     separability and flat row addressing help — band parallelism is extra.
+//   - Cutting the itermem pipeline at every farm boundary (with the MEM read
+//     sunk to its first consumer's stage) must beat the historical two-stage
+//     split by >= 1.3x on the deep-chain benchmark (measured ~2.7x: the
+//     frame period drops from the sum of the farm latencies to the slowest
+//     stage).
+func checkDataPlane3(t *testing.T, path string, rep *harness.BenchReport) {
+	entries := map[string]harness.BenchEntry{}
+	for _, e := range rep.Results {
+		entries[e.Name] = e
+	}
+	shm, ok := entries["Transport_shm_FarmRoundTrip"]
+	if !ok {
+		return // pre-round-3 snapshot
+	}
+	unix, okUnix := entries["Transport_unix_FarmRoundTrip"]
+	if !okUnix {
+		t.Errorf("%s: Transport_shm_FarmRoundTrip present without the unix baseline", path)
+		return
+	}
+	if shm.NsPerOp > unix.NsPerOp {
+		t.Errorf("%s: shm round trip %.0f ns slower than unix %.0f ns; the ring must beat the socket",
+			path, shm.NsPerOp, unix.NsPerOp)
+	}
+	if shm.NsPerOp > 20_000 {
+		t.Errorf("%s: shm farm round trip %.0f ns, ceiling 20µs", path, shm.NsPerOp)
+	}
+	naive, okNaive := entries["Dilate512_naive"]
+	tiled, okTiled := entries["Dilate512_tiled"]
+	if !okNaive || !okTiled {
+		t.Errorf("%s: round-3 snapshot missing morphology pair (naive %v, tiled %v)",
+			path, okNaive, okTiled)
+	} else if tiled.NsPerOp > naive.NsPerOp/1.3 {
+		t.Errorf("%s: tiled dilate %.0f ns vs naive %.0f ns; want >= 1.3x speedup",
+			path, tiled.NsPerOp, naive.NsPerOp)
+	}
+	d2, okD2 := entries["ItermemDepth2"]
+	full, okFull := entries["ItermemDepthFull"]
+	if !okD2 || !okFull {
+		t.Errorf("%s: round-3 snapshot missing pipeline-depth pair (depth2 %v, full %v)",
+			path, okD2, okFull)
+	} else if full.NsPerOp > d2.NsPerOp/1.3 {
+		t.Errorf("%s: full-depth itermem frame period %.0f ns vs two-stage %.0f ns; want >= 1.3x speedup",
+			path, full.NsPerOp, d2.NsPerOp)
 	}
 }
 

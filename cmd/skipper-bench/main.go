@@ -15,15 +15,22 @@
 //	skipper-bench [-exp all|e1|e2|...|e11] [-iters 30]
 //	skipper-bench -json BENCH_1.json [-iters 30]
 //	skipper-bench -json bench-smoke.json -filter Transport [-iters 5]
+//	skipper-bench -json BENCH_7.json -baseline BENCH_6.json
 //
 // -filter restricts a -json run to benchmarks whose name contains the
 // given substring (and skips the E1 latency table) — the quick snapshot
 // CI's bench-smoke job uploads on every push.
+//
+// -baseline compares the fresh measurements against a prior BENCH_N.json
+// snapshot and prints a per-benchmark delta table (ns/op and allocs/op,
+// with the relative change), so a PR's perf claim is read straight off
+// the run instead of eyeballing two JSON files.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 
@@ -35,6 +42,7 @@ func main() {
 	iters := flag.Int("iters", 30, "stream iterations per measurement")
 	jsonPath := flag.String("json", "", "measure the benchmark suite and write machine-readable results to this file")
 	filter := flag.String("filter", "", "with -json: only run benchmarks whose name contains this substring (skips the E1 latency table)")
+	baseline := flag.String("baseline", "", "with -json: compare against this prior BENCH_N.json snapshot and print a delta table")
 	flag.Parse()
 
 	if *jsonPath != "" {
@@ -53,6 +61,14 @@ func main() {
 				rep.E1.TrackingMS, rep.E1.ReinitMS)
 		}
 		fmt.Printf("wrote %s\n", *jsonPath)
+		if *baseline != "" {
+			base, err := harness.ReadBenchJSON(*baseline)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "skipper-bench: baseline: %v\n", err)
+				os.Exit(1)
+			}
+			printDeltaTable(os.Stdout, *baseline, base, rep)
+		}
 		return
 	}
 
@@ -84,4 +100,42 @@ func main() {
 	run("e9", func() error { _, err := harness.E9(w); return err })
 	run("e10", func() error { _, err := harness.E10(w, *iters); return err })
 	run("e11", func() error { _, err := harness.E11(w, *iters); return err })
+}
+
+// printDeltaTable prints one row per benchmark present in the fresh run,
+// with the baseline figure and the relative change where the baseline
+// carries the same benchmark. New benchmarks (absent from the baseline)
+// print "new"; benchmarks the baseline had but the fresh run lacks are
+// listed at the end so a silently dropped measurement is visible.
+func printDeltaTable(w io.Writer, basePath string, base, cur *harness.BenchReport) {
+	old := map[string]harness.BenchEntry{}
+	for _, e := range base.Results {
+		old[e.Name] = e
+	}
+	fmt.Fprintf(w, "\ndelta vs %s:\n", basePath)
+	fmt.Fprintf(w, "  %-32s %14s %14s %9s %9s\n",
+		"benchmark", "base ns/op", "ns/op", "Δns/op", "Δallocs")
+	seen := map[string]bool{}
+	for _, e := range cur.Results {
+		seen[e.Name] = true
+		b, ok := old[e.Name]
+		if !ok {
+			fmt.Fprintf(w, "  %-32s %14s %14.0f %9s %9s\n", e.Name, "—", e.NsPerOp, "new", "")
+			continue
+		}
+		ns := "~"
+		if b.NsPerOp > 0 {
+			ns = fmt.Sprintf("%+.1f%%", 100*(e.NsPerOp-b.NsPerOp)/b.NsPerOp)
+		}
+		al := ""
+		if d := e.AllocsPerOp - b.AllocsPerOp; d != 0 {
+			al = fmt.Sprintf("%+d", d)
+		}
+		fmt.Fprintf(w, "  %-32s %14.0f %14.0f %9s %9s\n", e.Name, b.NsPerOp, e.NsPerOp, ns, al)
+	}
+	for _, e := range base.Results {
+		if !seen[e.Name] {
+			fmt.Fprintf(w, "  %-32s %14.0f %14s %9s %9s\n", e.Name, e.NsPerOp, "—", "gone", "")
+		}
+	}
 }

@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	skipper-run [-backend exec|sim] [-transport mem|tcp|unix] [-procs 8]
+//	skipper-run [-backend exec|sim] [-transport mem|tcp|unix|shm] [-procs 8]
 //	            [-iters 50] [-size 512] [-vehicles 3] [-seed 3]
 //	            [-topology ring] [-pipeline] [-trace dir]
 //	            [-debug-addr host:port]
@@ -15,12 +15,14 @@
 // The optional positional argument names the architecture compactly:
 // "ring(8)" is shorthand for -topology ring -procs 8.
 //
-// With -transport=tcp or -transport=unix the executive really runs as N
+// With -transport=tcp, unix or shm the executive really runs as N
 // OS processes: this process hosts processor 0 and the routing hub, and
 // one skipper-node child process is spawned per remaining processor (the
 // skipper-node binary is looked up next to skipper-run, then on PATH).
 // tcp talks over localhost sockets; unix uses unix-domain sockets for hub
-// and peer mesh — the same-host fast path (DESIGN.md §12).
+// and peer mesh — the same-host fast path (DESIGN.md §12); shm upgrades
+// every peer connection to an mmap'd slab ring and keeps the sockets as
+// doorbells (DESIGN.md §14).
 //
 // -pipeline software-pipelines the itermem loop: frame k+1's grab and
 // preprocessing overlap frame k's farm and merge, with bit-identical
@@ -67,7 +69,7 @@ func main() {
 	// skipper-run, skipper-node and skipper-serve cannot drift apart again.
 	shared := distrib.FlagSet(flag.CommandLine)
 	backend := flag.String("backend", "exec", "execution backend: exec (goroutines) or sim (timing model)")
-	transportFlag := flag.String("transport", "mem", "with -backend exec: mem (in-process), tcp or unix (one OS process per processor)")
+	transportFlag := flag.String("transport", "mem", "with -backend exec: mem (in-process), tcp, unix or shm (one OS process per processor)")
 	svgPath := flag.String("svg", "", "with -backend sim -trace: also write the predicted SVG chronogram to this file")
 	chaosKillProc := flag.Int("chaos-kill-proc", 0, "chaos drill, with -transport tcp: sever this node processor mid-run (0 disables)")
 	chaosKillAfter := flag.Int("chaos-kill-after", 2, "chaos drill: how many frames the victim sends before it is severed")
@@ -80,12 +82,15 @@ func main() {
 	}
 
 	sp := shared.Spec()
-	if *backend == "exec" && (*transportFlag == "tcp" || *transportFlag == "unix") {
+	if *backend == "exec" && (*transportFlag == "tcp" || *transportFlag == "unix" || *transportFlag == "shm") {
+		if *transportFlag == "shm" && sp.DataPlane == "" {
+			sp.DataPlane = "shm"
+		}
 		runMulti(sp, *transportFlag, *chaosKillProc, *chaosKillAfter)
 		return
 	}
 	if *chaosKillProc != 0 {
-		fatal(fmt.Errorf("-chaos-kill-proc needs a real node process to kill (use -transport tcp or unix)"))
+		fatal(fmt.Errorf("-chaos-kill-proc needs a real node process to kill (use -transport tcp, unix or shm)"))
 	}
 	if *transportFlag != "mem" {
 		fatal(fmt.Errorf("unknown transport %q", *transportFlag))
@@ -274,6 +279,14 @@ func runMulti(sp distrib.Spec, transport string, chaosKillProc, chaosKillAfter i
 			}
 			if sp.Pipeline {
 				args = append(args, "-pipeline")
+			}
+			if sp.PipelineDepth != 0 {
+				args = append(args, "-pipeline-depth", strconv.Itoa(sp.PipelineDepth))
+			}
+			if sp.DataPlane != "" {
+				// The plane must reach every process: a node left on "auto"
+				// would negotiate plain unix while its peers offer rings.
+				args = append(args, "-data-plane", sp.DataPlane)
 			}
 			if sp.Deterministic {
 				// The flag must reach every process: deterministic farm

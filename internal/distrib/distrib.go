@@ -13,7 +13,6 @@ import (
 	"errors"
 	"fmt"
 	"os"
-	"path/filepath"
 	"sync/atomic"
 	"time"
 
@@ -58,6 +57,10 @@ type Job struct {
 	// same value so the chronograms line up — which is what makes it job
 	// description rather than per-process config.
 	Pipeline bool `json:"pipeline,omitempty"`
+	// PipelineDepth caps the pipeline's stage count (DESIGN.md §14):
+	// 0 or 1 cuts at every farm boundary, 2 restores the historical
+	// front/back split. Job description for the same reason Pipeline is.
+	PipelineDepth int `json:"pipelineDepth,omitempty"`
 }
 
 // Spec is one process's full view of a deployment: the shared Job plus the
@@ -96,6 +99,14 @@ type Spec struct {
 	// frames. The node's run then fails with ErrChaosKilled while the rest
 	// of the cluster must carry on (or abort cleanly, without MaxRetries).
 	DieAfterSends int
+
+	// DataPlane pins the node-side data plane ("tcp", "unix", "shm";
+	// empty = the transport's "auto" inference). "shm" is the same-host
+	// shared-memory slab ring (DESIGN.md §14): frames move through mmap'd
+	// per-connection rings and the sockets degrade to doorbells. Not part
+	// of the schedule fingerprint — it tunes how frames travel, never what
+	// they say.
+	DataPlane string
 }
 
 // ErrChaosKilled marks a node run that ended because its own DieAfterSends
@@ -103,19 +114,22 @@ type Spec struct {
 var ErrChaosKilled = errors.New("distrib: node severed by chaos injection")
 
 // HubListenAddr returns a hub bind address for the named multi-process
-// transport kind: "tcp" picks a free localhost port, "unix" a fresh
-// unix-domain socket path. The cleanup func removes anything the address
-// reserved on disk; call it after the hub has closed.
+// transport kind: "tcp" picks a free localhost port, "unix" and "shm" a
+// fresh unix-domain socket path (on the shm plane the socket remains the
+// handshake/doorbell channel; the rings are minted per connection). The
+// path comes from nettransport.ShortSockPath, never a MkdirTemp tree: a
+// deep $TMPDIR used to push the path past the kernel's 104/108-byte
+// sun_path limit and the bind failed (or silently truncated) — hashed
+// short basenames keep it in bounds regardless of environment. The
+// cleanup func removes anything the address reserved on disk; call it
+// after the hub has closed.
 func HubListenAddr(transport string) (listen string, cleanup func(), err error) {
 	switch transport {
 	case "tcp":
 		return "127.0.0.1:0", func() {}, nil
-	case "unix":
-		dir, err := os.MkdirTemp("", "skipper-hub")
-		if err != nil {
-			return "", nil, err
-		}
-		return "unix:" + filepath.Join(dir, "hub.sock"), func() { os.RemoveAll(dir) }, nil
+	case "unix", "shm":
+		path := nettransport.ShortSockPath("skipper-hub")
+		return "unix:" + path, func() { os.Remove(path) }, nil
 	}
 	return "", nil, fmt.Errorf("distrib: unknown transport %q", transport)
 }
@@ -191,6 +205,9 @@ func (sp Spec) netOptions() []nettransport.Option {
 	if sp.Heartbeat > 0 {
 		opts = append(opts, nettransport.WithHeartbeat(sp.Heartbeat))
 	}
+	if sp.DataPlane != "" {
+		opts = append(opts, nettransport.WithDataPlane(sp.DataPlane))
+	}
 	return opts
 }
 
@@ -249,6 +266,7 @@ func RunProcs(sp Spec, procs []int, hubAddr string, salt uint64, d time.Duration
 	m.DeterministicFarm = sp.Deterministic
 	m.FT = sp.ft()
 	m.Pipeline = sp.Pipeline
+	m.PipelineDepth = sp.PipelineDepth
 	ob, err := sp.observe(tr, m, nil)
 	if err != nil {
 		return err
@@ -290,6 +308,7 @@ func RunCoordinator(sp Spec, listen string, spawn func(addr string) error, d tim
 	m.DeterministicFarm = sp.Deterministic
 	m.FT = sp.ft()
 	m.Pipeline = sp.Pipeline
+	m.PipelineDepth = sp.PipelineDepth
 	// The debug server comes up before the nodes are spawned and before the
 	// run starts, so health and metrics are scrapeable while the cluster is
 	// attaching and mid-run.
@@ -325,6 +344,7 @@ func RunInProcess(sp Spec, d time.Duration) (*track.Recorder, *exec.RunResult, e
 		m.DeterministicFarm = sp.Deterministic
 		m.FT = sp.ft()
 		m.Pipeline = sp.Pipeline
+		m.PipelineDepth = sp.PipelineDepth
 		res, err := m.RunWithTimeout(sp.Iters, d)
 		if err != nil {
 			return nil, nil, err

@@ -164,6 +164,19 @@ func TestDistributedOSProcessesMatchInProcess(t *testing.T) {
 // iteration bit-identical to a healthy in-process run, with the death and
 // the re-dispatches visible in the run result and the coordinator trace.
 func TestDistributedChaosWorkerKillMatchesInProcess(t *testing.T) {
+	runChaosWorkerKill(t, "tcp")
+}
+
+// TestChaosWorkerKillMatchesInProcessOverShm reruns the kill over the
+// shared-memory data plane: a victim dying mid-ring (its doorbell socket
+// torn while its rings may hold half-written records) must be contained
+// and re-dispatched exactly like a socket death, with bit-identical output.
+func TestChaosWorkerKillMatchesInProcessOverShm(t *testing.T) {
+	runChaosWorkerKill(t, "shm")
+}
+
+func runChaosWorkerKill(t *testing.T, transport string) {
+	t.Helper()
 	sp := trackingSpec(8)
 	memRec, _, err := RunInProcess(sp, time.Minute)
 	if err != nil {
@@ -199,6 +212,17 @@ func TestDistributedChaosWorkerKillMatchesInProcess(t *testing.T) {
 	sp.MaxRetries = 2
 	sp.Heartbeat = 50 * time.Millisecond
 	sp.TraceDir = t.TempDir()
+	listen := "127.0.0.1:0"
+	if transport != "tcp" {
+		var cleanup func()
+		var lerr error
+		listen, cleanup, lerr = HubListenAddr(transport)
+		if lerr != nil {
+			t.Fatal(lerr)
+		}
+		defer cleanup()
+		sp.DataPlane = transport
+	}
 	errCh := make(chan error, sp.Procs-1)
 	spawn := func(addr string) error {
 		for p := 1; p < sp.Procs; p++ {
@@ -213,7 +237,7 @@ func TestDistributedChaosWorkerKillMatchesInProcess(t *testing.T) {
 		}
 		return nil
 	}
-	tcpRec, res, err := RunCoordinator(sp, "127.0.0.1:0", spawn, time.Minute)
+	tcpRec, res, err := RunCoordinator(sp, listen, spawn, time.Minute)
 	if err != nil {
 		t.Fatalf("coordinator did not survive the node kill: %v", err)
 	}

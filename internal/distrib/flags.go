@@ -20,6 +20,8 @@ type Flags struct {
 	Seed          *int64
 	Deterministic *bool
 	Pipeline      *bool
+	PipelineDepth *int
+	DataPlane     *string
 	Trace         *string
 	DebugAddr     *string
 	*ExecFlags
@@ -54,6 +56,8 @@ func FlagSet(fs *flag.FlagSet) *Flags {
 	f.Seed = fs.Int64("seed", 3, "synthetic scene seed")
 	f.Deterministic = fs.Bool("deterministic", false, "order-insensitive farm accumulation, same value on every process")
 	f.Pipeline = fs.Bool("pipeline", false, "software-pipeline the itermem loop (overlap frame k+1's grab with frame k's farm), same value on every process")
+	f.PipelineDepth = fs.Int("pipeline-depth", 0, "with -pipeline: cap the pipeline at this many stages (0 = cut at every farm boundary, 2 = the historical two-stage split)")
+	f.DataPlane = fs.String("data-plane", "", "node data plane: tcp, unix or shm (default: inferred from the control connection's locality)")
 	f.Trace = fs.String("trace", "", "trace directory: record an event trace and export its artifacts there")
 	f.DebugAddr = fs.String("debug-addr", "", "serve /metrics, /healthz and /varz on this address")
 	f.ExecFlags = ExecFlagSet(fs)
@@ -68,8 +72,10 @@ func (f *Flags) Spec() Spec {
 			Width: *f.Size, Height: *f.Size,
 			Vehicles: *f.Vehicles, Seed: *f.Seed, Iters: *f.Iters,
 			Deterministic: *f.Deterministic, Pipeline: *f.Pipeline,
+			PipelineDepth: *f.PipelineDepth,
 		},
-		TraceDir: *f.Trace, DebugAddr: *f.DebugAddr,
+		DataPlane: *f.DataPlane,
+		TraceDir:  *f.Trace, DebugAddr: *f.DebugAddr,
 		MaxRetries: *f.MaxRetries, TaskDeadline: *f.TaskDeadline,
 		Heartbeat: *f.Heartbeat,
 	}

@@ -100,16 +100,26 @@ type Machine struct {
 	FT FaultTolerance
 
 	// Pipeline software-pipelines the itermem outer loop (DESIGN.md §12):
-	// on processors whose program splits into a state-independent front end
-	// (frame grab, preprocessing) and a farm back end, frame k+1's front
-	// end runs concurrently with frame k's farm and merge. The loop-carried
-	// MEM state stays single-buffered — a capacity-1 token serializes frame
-	// k+1's MEM read after frame k's MEM write — so outputs are
-	// bit-identical to the sequential executive. Processors whose program
-	// does not satisfy the pipelineCut conditions fall back to the
-	// sequential interpreter, as does everything when the flag is off (the
-	// default).
+	// a processor's program is cut at every farm-master boundary into a
+	// chain of stages — front end (frame grab, preprocessing), one stage
+	// per farm, trailing merge/display — and consecutive frames occupy
+	// consecutive stages concurrently: frame k+1's grab overlaps frame k's
+	// first farm, which overlaps frame k-1's second farm, and so on. The
+	// loop-carried MEM state stays single-buffered — a capacity-1 token
+	// serializes frame k+1's MEM read after frame k's MEM write — so
+	// outputs are bit-identical to the sequential executive. Processors
+	// whose program does not satisfy the pipelineCuts conditions fall back
+	// to the sequential interpreter, as does everything when the flag is
+	// off (the default).
 	Pipeline bool
+
+	// PipelineDepth caps the number of pipeline stages. Values below 2
+	// (the zero value included) leave the depth unbounded — one stage per
+	// master boundary; 2 restores the historical front-end/back-end split.
+	// It exists for measurement (depth sweeps in the benchmark suite), not
+	// tuning: deeper is never slower, because an unused stage is just an
+	// empty goroutine handoff.
+	PipelineDepth int
 
 	t     transport.Transport
 	ownT  bool          // machine creates/destroys the transport per run
@@ -211,8 +221,8 @@ func (m *Machine) RunWithTimeout(iters int, d time.Duration) (*RunResult, error)
 		go func(p arch.ProcID) {
 			defer procWG.Done()
 			if m.Pipeline {
-				if cut := m.pipelineCut(p); cut > 0 {
-					m.runProcessorPipelined(p, iters, cut)
+				if cuts := m.pipelineCuts(p); len(cuts) > 0 {
+					m.runProcessorPipelined(p, iters, cuts)
 					return
 				}
 			}
@@ -408,61 +418,102 @@ func (m *Machine) runProcessor(p arch.ProcID, iters int) {
 	}
 }
 
-// pipelineCut returns the index splitting processor p's program into a
-// front end prog[:cut] and a back end prog[cut:] safe to software-pipeline,
-// or 0 when the program does not pipeline. The cut falls just before the
-// first farm (its worker spawns ride with their master, so task streams of
-// consecutive frames never interleave); the front end must be non-empty —
-// otherwise there is nothing to overlap — and must contain no MEM write
-// (state updates belong to the frame that computed them) and no stray
-// worker spawn or master of another farm.
-func (m *Machine) pipelineCut(p arch.ProcID) int {
+// pipelineCuts returns the ascending cut indices splitting processor p's
+// program into pipeline stages prog[:c1), prog[c1:c2), ..., prog[ck:], or
+// nil when the program does not pipeline. A cut falls just before each farm
+// master (its worker spawns ride with their master, so task streams of
+// consecutive frames never interleave), giving one stage per farm plus the
+// front end — the deepest cut the op program admits.
+//
+// Validity conditions: the front end must be non-empty — otherwise there is
+// nothing to overlap — and must contain no MEM write (state updates belong
+// to the frame that computed them) and no stray worker spawn or master of
+// another farm. MEM accesses at or beyond the first cut must all land in
+// the final stage: the MEM ownership baton is taken by the front end and
+// returned by the final stage, so a MEM touch in a middle stage would race
+// a neighbouring frame. Cuts that would strand one there are dropped
+// (merging those farms into the final stage) rather than giving up on
+// pipelining entirely.
+func (m *Machine) pipelineCuts(p arch.ProcID) []int {
 	prog := m.sched.Programs[p]
-	cut := -1
+	g := m.sched.Graph
+	var cuts []int
 	for i, op := range prog {
-		if op.Kind == syndex.OpMaster {
-			cut = i
+		if op.Kind != syndex.OpMaster {
+			continue
+		}
+		c := i
+		for c > 0 && prog[c-1].Kind == syndex.OpWorker {
+			c--
+		}
+		cuts = append(cuts, c)
+	}
+	if len(cuts) == 0 || cuts[0] == 0 {
+		return nil
+	}
+	for _, op := range prog[:cuts[0]] {
+		switch op.Kind {
+		case syndex.OpMemWrite, syndex.OpWorker, syndex.OpMaster:
+			return nil
+		}
+	}
+	// First MEM access at or beyond the first cut bounds every later cut.
+	memBound := len(prog)
+	for i := cuts[0]; i < len(prog); i++ {
+		op := prog[i]
+		if op.Kind == syndex.OpMemWrite ||
+			(op.Kind == syndex.OpExec && g.Node(op.Node).Kind == graph.KindMem) {
+			memBound = i
 			break
 		}
 	}
-	if cut < 0 {
-		return 0
-	}
-	for cut > 0 && prog[cut-1].Kind == syndex.OpWorker {
-		cut--
-	}
-	for _, op := range prog[:cut] {
-		switch op.Kind {
-		case syndex.OpMemWrite, syndex.OpWorker, syndex.OpMaster:
-			return 0
+	kept := cuts[:1]
+	for _, c := range cuts[1:] {
+		if c <= memBound {
+			kept = append(kept, c)
 		}
 	}
-	return cut
+	cuts = kept
+	if d := m.PipelineDepth; d >= 2 && len(cuts) > d-1 {
+		cuts = cuts[:d-1]
+	}
+	return cuts
 }
 
-// pipeFrame is one in-flight iteration handed from the front-end goroutine
-// to the back end. Ownership of st transfers with the send.
+// pipeFrame is one in-flight iteration handed from stage to stage down the
+// pipeline. Ownership of st transfers with each send.
 type pipeFrame struct {
 	st   *procState
 	iter int
 }
 
-// runProcessorPipelined interprets processor p's program as a two-stage
-// software pipeline: a front-end goroutine (this one) runs prog[:cut] —
-// grab, preprocessing, splits — for frame k+1 while the back-end goroutine
-// runs prog[cut:] — the farm, merge, display, MEM writes — for frame k.
+// runProcessorPipelined interprets processor p's program as an N-stage
+// software pipeline over the stage boundaries from pipelineCuts: the
+// front-end stage (this goroutine) runs prog[:cuts[0]] — grab,
+// preprocessing, splits — for frame k+N-1 while each successive stage
+// goroutine runs its slice for an earlier frame, down to the final stage —
+// last farm, merge, display, MEM writes — on frame k. Frames ride a baton
+// chain of capacity-1 hand channels, so each stage holds exactly one frame
+// and frames leave every stage in order.
 //
 // The loop-carried dependency is the itermem delay state: frame k+1's MEM
 // read must observe frame k's MEM write. A capacity-1 token channel,
-// seeded with one token, enforces exactly that — the front end takes the
-// token before its first MEM read, the back end returns it after finishing
-// a frame (its MEM writes are the program's final ops). Everything in the
-// front end before the MEM read overlaps the previous frame's whole back
-// end; ops between MEM read and farm overlap nothing but cost little. All
-// mem-map accesses are ordered through the token and hand channels, so the
-// interleaving is deterministic and outputs are bit-identical to
-// runProcessor's.
-func (m *Machine) runProcessorPipelined(p arch.ProcID, iters, cut int) {
+// seeded with one token, enforces exactly that — the token is taken just
+// before the frame's first MEM-touching op and returned by the final stage
+// after the frame completes (pipelineCuts guarantees all MEM writes are
+// the final stage's own ops). The linear schedule places the MEM read at
+// the top of the program (it is a topological source), which would pin the
+// take — and therefore the serialization point — to the front end even
+// when the state's first consumer is the final merge; the read is
+// therefore sunk to the stage of its earliest consumer, so every stage
+// before that one pipelines freely across frames. Front-end ops that are
+// transitively state-independent are additionally hoisted before the take
+// (grab k+1 overlaps farm k). Transport ops are never reordered, so their
+// relative order — the basis of the schedule's deadlock-freedom — is
+// preserved exactly. All mem-map accesses are ordered through the token
+// and hand channels, so the interleaving is deterministic and outputs are
+// bit-identical to runProcessor's.
+func (m *Machine) runProcessorPipelined(p arch.ProcID, iters int, cuts []int) {
 	prog := m.sched.Programs[p]
 	g := m.sched.Graph
 	mem := map[graph.NodeID]value.Value{} // owned alternately via memTok/hand
@@ -470,27 +521,100 @@ func (m *Machine) runProcessorPipelined(p arch.ProcID, iters, cut int) {
 	if m.Trace != nil {
 		labels = m.opLabels[p]
 	}
-	// Index of the front end's first MEM read, -1 when it has none (the
-	// state lives on another processor or is read inside the back end).
-	memRead := -1
-	for i, op := range prog[:cut] {
-		if op.Kind == syndex.OpExec && g.Node(op.Node).Kind == graph.KindMem {
-			memRead = i
-			break
+
+	// Stage j starts out as prog[bounds[j]:bounds[j+1]); stage 0 is this
+	// goroutine. stageOps materializes the op order per stage so MEM reads
+	// can migrate between stages below.
+	stages := len(cuts) + 1
+	bounds := make([]int, 0, stages+1)
+	bounds = append(append(bounds, 0), cuts...)
+	bounds = append(bounds, len(prog))
+	stageOps := make([][]int, stages)
+	for j := 0; j < stages; j++ {
+		for i := bounds[j]; i < bounds[j+1]; i++ {
+			stageOps[j] = append(stageOps[j], i)
 		}
 	}
-	// hoist[i] marks front-end ops safe to run before the MEM baton is
-	// taken: pure local computation whose inputs all come from other
-	// hoisted local ops — transitively independent of the delay state. The
-	// linear schedule often places the MEM read before the frame grab
-	// (both are topological sources), which would serialize the grab
-	// behind the previous frame's state write for no data reason; hoisting
-	// is what lets grab k+1 overlap farm k. Transport ops (sends,
-	// receives) are never hoisted, so their relative order — the basis of
-	// the schedule's deadlock-freedom — is preserved exactly.
-	hoist := make([]bool, cut)
+	stageOf := func(i int) int {
+		for j := stages - 1; j >= 0; j-- {
+			if i >= bounds[j] {
+				return j
+			}
+		}
+		return 0
+	}
+	// minConsumerStage returns the earliest stage holding an op that reads
+	// node nid's output — an exec or master input, or a send of it.
+	minConsumerStage := func(nid graph.NodeID) int {
+		min := stages - 1 // an unconsumed state serializes nothing: sink all the way
+		for i, op := range prog {
+			consumes := false
+			switch op.Kind {
+			case syndex.OpExec, syndex.OpMaster:
+				for _, e := range g.InEdges(op.Node) {
+					if !e.Back && !e.Intra && e.From == nid {
+						consumes = true
+						break
+					}
+				}
+			case syndex.OpSend:
+				consumes = g.Edges[op.Edge].From == nid
+			}
+			if consumes {
+				if s := stageOf(i); s < min {
+					min = s
+				}
+			}
+		}
+		return min
+	}
+	// Sink each front-end MEM read to the stage of its earliest consumer:
+	// the read is a pure copy of the delay state into the frame context, so
+	// delaying it past stages that never look at the state is safe — and it
+	// moves the cross-frame serialization point (the baton take below) as
+	// late as the dataflow allows.
+	var sunk []int
+	sinkTo := map[int]int{}
+	keep := stageOps[0][:0]
+	for _, i := range stageOps[0] {
+		op := prog[i]
+		if op.Kind == syndex.OpExec && g.Node(op.Node).Kind == graph.KindMem {
+			if s := minConsumerStage(op.Node); s > 0 {
+				sinkTo[i] = s
+				sunk = append(sunk, i)
+				continue
+			}
+		}
+		keep = append(keep, i)
+	}
+	stageOps[0] = keep
+	for k := len(sunk) - 1; k >= 0; k-- { // reverse prepend keeps read order
+		i := sunk[k]
+		stageOps[sinkTo[i]] = append([]int{i}, stageOps[sinkTo[i]]...)
+	}
+
+	// Baton geometry: the take sits immediately before the first
+	// MEM-touching op of the earliest MEM-touching stage; the return is the
+	// end of the final stage. takeStage < 0 means no local MEM at all.
+	takeStage, takeIdx := -1, -1
+	for j := 0; j < stages && takeStage < 0; j++ {
+		for _, i := range stageOps[j] {
+			op := prog[i]
+			if op.Kind == syndex.OpMemWrite ||
+				(op.Kind == syndex.OpExec && g.Node(op.Node).Kind == graph.KindMem) {
+				takeStage, takeIdx = j, i
+				break
+			}
+		}
+	}
+
+	// hoist[i] marks front-end ops safe to run before the baton-ordered
+	// pass: pure local computation whose inputs all come from other hoisted
+	// local ops — transitively independent of the delay state.
+	hoist := make([]bool, len(prog))
 	hoisted := map[graph.NodeID]bool{}
-	for i, op := range prog[:cut] {
+	for _, i := range stageOps[0] {
+		op := prog[i]
 		if op.Kind != syndex.OpExec {
 			continue
 		}
@@ -514,35 +638,69 @@ func (m *Machine) runProcessorPipelined(p arch.ProcID, iters, cut int) {
 		}
 	}
 
-	hand := make(chan pipeFrame, 1)  // front → back, one frame in flight
+	hands := make([]chan pipeFrame, stages) // hands[j]: stage j-1 → stage j
+	done := make([]chan struct{}, stages)   // done[j] closed when stage j exits
+	for j := 1; j < stages; j++ {
+		hands[j] = make(chan pipeFrame, 1)
+		done[j] = make(chan struct{})
+	}
 	memTok := make(chan struct{}, 1) // MEM ownership baton
-	bdone := make(chan struct{})     // closed when the back end exits
 	memTok <- struct{}{}             // frame 0 reads the initial state
 
 	var bwg sync.WaitGroup
-	bwg.Add(1)
-	go func() {
-		defer bwg.Done()
-		defer close(bdone)
-		for f := range hand {
-			for i := cut; i < len(prog); i++ {
-				if m.firstErr() != nil {
-					return
+	for j := 1; j < stages; j++ {
+		bwg.Add(1)
+		go func(j int) {
+			defer bwg.Done()
+			defer close(done[j])
+			last := j == stages-1
+			if !last {
+				defer close(hands[j+1])
+			}
+			for f := range hands[j] {
+				for _, i := range stageOps[j] {
+					if m.firstErr() != nil {
+						return
+					}
+					if j == takeStage && i == takeIdx {
+						if last {
+							// The final stage returned the token itself at
+							// the end of the previous frame, so this never
+							// blocks — but it still orders the mem map.
+							<-memTok
+						} else {
+							select {
+							case <-memTok:
+							case <-done[stages-1]: // final stage died
+								return
+							}
+						}
+					}
+					if err := m.stepBracketed(f.st, i, prog[i], mem, f.iter, labels); err != nil {
+						m.fail(err)
+						return
+					}
 				}
-				if err := m.stepBracketed(f.st, i, prog[i], mem, f.iter, labels); err != nil {
-					m.fail(err)
+				if last {
+					// Frame done (MEM writes included): hand the state baton
+					// to the next frame's take. Non-blocking because with no
+					// local MEM the token is never taken and the buffer is
+					// still full.
+					select {
+					case memTok <- struct{}{}:
+					default:
+					}
+					continue
+				}
+				select {
+				case hands[j+1] <- f:
+				case <-done[j+1]: // downstream died; error already recorded
 					return
 				}
 			}
-			// Frame done (MEM writes included): hand the state baton to the
-			// waiting front end. Non-blocking because with no front-end MEM
-			// read the token is never taken and the buffer is still full.
-			select {
-			case memTok <- struct{}{}:
-			default:
-			}
-		}
-	}()
+		}(j)
+	}
+	lastDone := done[stages-1]
 
 	for iter := 0; iter < iters; iter++ {
 		st := &procState{
@@ -552,8 +710,8 @@ func (m *Machine) runProcessorPipelined(p arch.ProcID, iters, cut int) {
 		}
 		fail := false
 		// Pass 1: the hoisted state-independent ops — this is the work
-		// that overlaps the previous frame's back end.
-		for i := 0; i < cut && !fail; i++ {
+		// that overlaps the previous frame's downstream stages.
+		for _, i := range stageOps[0] {
 			if !hoist[i] {
 				continue
 			}
@@ -564,44 +722,47 @@ func (m *Machine) runProcessorPipelined(p arch.ProcID, iters, cut int) {
 			if err := m.stepBracketed(st, i, prog[i], mem, iter, labels); err != nil {
 				m.fail(err)
 				fail = true
+				break
 			}
 		}
 		// Pass 2: everything else in program order, taking the MEM baton
-		// just before the state read.
-		for i := 0; i < cut && !fail; i++ {
-			if hoist[i] {
-				continue
-			}
-			if m.firstErr() != nil {
-				fail = true
-				break
-			}
-			if i == memRead {
-				select {
-				case <-memTok:
-				case <-bdone: // back end died; error already recorded
-					fail = true
+		// just before the state read when it stayed in the front end.
+		if !fail {
+			for _, i := range stageOps[0] {
+				if hoist[i] {
+					continue
 				}
-				if fail {
+				if m.firstErr() != nil {
+					fail = true
 					break
 				}
-			}
-			if err := m.stepBracketed(st, i, prog[i], mem, iter, labels); err != nil {
-				m.fail(err)
-				fail = true
-				break
+				if takeStage == 0 && i == takeIdx {
+					select {
+					case <-memTok:
+					case <-lastDone: // final stage died; error already recorded
+						fail = true
+					}
+					if fail {
+						break
+					}
+				}
+				if err := m.stepBracketed(st, i, prog[i], mem, iter, labels); err != nil {
+					m.fail(err)
+					fail = true
+					break
+				}
 			}
 		}
 		if fail {
 			break
 		}
 		select {
-		case hand <- pipeFrame{st: st, iter: iter}:
-		case <-bdone:
-			iter = iters // back end died; stop producing
+		case hands[1] <- pipeFrame{st: st, iter: iter}:
+		case <-done[1]:
+			iter = iters // next stage died; stop producing
 		}
 	}
-	close(hand)
+	close(hands[1])
 	bwg.Wait()
 }
 

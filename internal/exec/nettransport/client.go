@@ -30,6 +30,7 @@ type Client struct {
 	ln       net.Listener  // peer data listener
 	meshWait time.Duration // bound on waiting for the hub's peers map
 	hb       time.Duration // heartbeat interval; 0 = none
+	shmPlane bool          // request the shm ring upgrade on peer dials
 
 	// peers is the cluster address map (processor → peer data listener),
 	// set exactly once when the hub's peers frame arrives. Until then
@@ -120,15 +121,43 @@ func Dial(addr string, fingerprint uint64, local []arch.ProcID, d time.Duration,
 		c.Close()
 		return nil, fmt.Errorf("nettransport: peer listener: %w", err)
 	}
+	// The shm control-plane upgrade (DESIGN.md §14): create both ring
+	// segments before saying hello — the hello carries their paths, the
+	// hub's reply says whether it mapped them. Creation failure (no tmpfs,
+	// quota) silently degrades to the plain socket.
+	h := hello{fingerprint: fingerprint, procs: local, dataAddr: joinNetAddr(ln)}
+	var shmOut, shmIn *shmRing
+	if o.dataPlane == "shm" && sameHost(c) {
+		if shmOut, err = createShmRing(fingerprint, shmDefaultSlots); err == nil {
+			if shmIn, err = createShmRing(fingerprint, shmDefaultSlots); err != nil {
+				shmOut.remove()
+				shmOut.unmap()
+				shmOut = nil
+			}
+		}
+		if shmOut != nil {
+			h.shmToHub, h.shmFromHub = shmOut.path, shmIn.path
+		}
+	}
+	dropRings := func() {
+		if shmOut != nil {
+			shmOut.remove()
+			shmOut.unmap()
+			shmIn.remove()
+			shmIn.unmap()
+		}
+	}
 	t0 := time.Now().UnixNano()
-	if err := writeHello(c, hello{fingerprint: fingerprint, procs: local, dataAddr: joinNetAddr(ln)}); err != nil {
+	if err := writeHello(c, h); err != nil {
+		dropRings()
 		ln.Close()
 		c.Close()
 		return nil, fmt.Errorf("nettransport: handshake: %w", err)
 	}
 	br := bufio.NewReaderSize(c, readBufSize)
-	hubNano, err := readHelloReply(br)
+	hubNano, shmOK, err := readHelloReply(br)
 	if err != nil {
+		dropRings()
 		ln.Close()
 		c.Close()
 		return nil, err
@@ -138,13 +167,28 @@ func Dial(addr string, fingerprint uint64, local []arch.ProcID, d time.Duration,
 	// to the midpoint of our request/reply bracket. Adding the offset to a
 	// local wall-clock instant yields the hub's wall clock (± half the RTT).
 	clockOff := hubNano - (t0+t1)/2
-	return newClient(fingerprint, local, c, br, ln, clockOff, o), nil
+	var cw wire = c
+	if shmOut != nil {
+		// Both ends hold mappings now (or the hub declined); the segment
+		// names can leave the filesystem either way.
+		shmOut.remove()
+		shmIn.remove()
+		if shmOK {
+			sc := newShmConn(c, shmIn, shmOut)
+			cw = sc
+			br = bufio.NewReaderSize(sc, shmReadBufSize)
+		} else {
+			shmOut.unmap()
+			shmIn.unmap()
+		}
+	}
+	return newClient(fingerprint, local, cw, br, ln, clockOff, o), nil
 }
 
 // newClient wires up a Client on an already-handshaken control connection
 // and peer listener, and starts its reader, acceptor and (when configured)
 // heartbeat loops.
-func newClient(fingerprint uint64, local []arch.ProcID, c net.Conn, br *bufio.Reader, ln net.Listener, clockOff int64, o options) *Client {
+func newClient(fingerprint uint64, local []arch.ProcID, c wire, br *bufio.Reader, ln net.Listener, clockOff int64, o options) *Client {
 	cl := &Client{
 		fp:       fingerprint,
 		localSet: map[arch.ProcID]bool{},
@@ -152,6 +196,7 @@ func newClient(fingerprint uint64, local []arch.ProcID, c net.Conn, br *bufio.Re
 		ln:       ln,
 		meshWait: o.meshWait,
 		hb:       o.heartbeat,
+		shmPlane: o.dataPlane == "shm",
 		pconns:   map[string]*wconn{},
 		dead:     map[arch.ProcID]bool{},
 		clockOff: clockOff,

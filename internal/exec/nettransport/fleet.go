@@ -156,13 +156,13 @@ func (f *FleetHub) serveConn(c net.Conn) {
 	br := bufio.NewReaderSize(c, readBufSize)
 	hel, err := readHello(br)
 	if err != nil {
-		writeHelloReply(c, err.Error())
+		writeHelloReply(c, err.Error(), false)
 		c.Close()
 		return
 	}
 	s := f.session(hel.fingerprint)
 	if s == nil {
-		writeHelloReply(c, fmt.Sprintf("no active deployment with schedule fingerprint %#x on this hub (nodes compiled a different deployment?)", hel.fingerprint))
+		writeHelloReply(c, fmt.Sprintf("no active deployment with schedule fingerprint %#x on this hub (nodes compiled a different deployment?)", hel.fingerprint), false)
 		c.Close()
 		return
 	}

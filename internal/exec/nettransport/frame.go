@@ -49,7 +49,11 @@ const (
 	// and farm Task/Reply payloads carry a dispatch generation.
 	// Version 5: frame batching (batchDst frames whose payload is a run of
 	// complete frames) and unix-scheme data-plane addresses in the hello.
-	wireVersion = 5
+	// Version 6: shared-memory upgrade — the hello and peer hello carry an
+	// optional shm ring-segment request, the hello reply acknowledges it,
+	// and an upgraded connection moves its frame stream into the mmap'd
+	// slab ring while the socket degrades to a doorbell (DESIGN.md §14).
+	wireVersion = 6
 	// abortDst is a control frame that propagates Abort across processes.
 	abortDst = 0xffffffff
 	// peersDst is a hub→node control frame carrying the address map of
@@ -268,6 +272,31 @@ func readFrame(br *bufio.Reader) (fb *frameBuf, dst uint32, key transport.Key, p
 	return fb, dst, key, payload, err
 }
 
+// wire is what a wconn writes to: a net.Conn, or an shm-upgraded
+// connection whose Write lands frames in the mapped slab ring instead of
+// the kernel. Everything the write side of the backend needs — streaming
+// writes, a bounded teardown flush, a close that unblocks a stuck writer —
+// is in this surface; net.Buffers.WriteTo discovers writev on real
+// sockets through its own dynamic check, so the narrowing costs nothing.
+type wire interface {
+	io.Writer
+	Close() error
+	SetWriteDeadline(t time.Time) error
+}
+
+// writeBuffers is the wconn's vectored write: on an shm connection the
+// gathered buffers land in the slab with one consumer wakeup at the end
+// (an interim wake per buffer would cost a scheduler handoff per message);
+// on a socket, net.Buffers discovers writev through its own dynamic check.
+// Advances the elements of bufs either way — callers reset it after.
+func writeBuffers(c wire, bufs net.Buffers) error {
+	if sc, ok := c.(*shmConn); ok {
+		return sc.writev(bufs)
+	}
+	_, err := bufs.WriteTo(c)
+	return err
+}
+
 // wconn owns all writes on one connection. Senders enqueue frames and never
 // block on the socket; a dedicated writer drains the whole queue into a
 // single vectored write (net.Buffers → writev), so bursts of frames —
@@ -275,8 +304,15 @@ func readFrame(br *bufio.Reader) (fb *frameBuf, dst uint32, key transport.Key, p
 // and raw payload tails are written straight from the payload value's
 // memory. Head buffers return to the arena after the write.
 type wconn struct {
-	c     net.Conn
+	c     wire
 	onErr func(error) // invoked once, from the writer, on a write failure
+
+	// noBatch disables batch-frame wrapping: on a shared-memory ring there
+	// is no syscall for a batch to amortize — every frame is a memcpy into
+	// the slab either way — so the wrap would spend a header and a
+	// capture-copy per burst to save nothing. Queued frames still drain in
+	// one writer pass; they just go out back-to-back instead of nested.
+	noBatch bool
 
 	mu      sync.Mutex
 	cond    *sync.Cond
@@ -288,8 +324,9 @@ type wconn struct {
 	done chan struct{} // writer exited
 }
 
-func newWConn(c net.Conn, onErr func(error)) *wconn {
-	w := &wconn{c: c, onErr: onErr, done: make(chan struct{})}
+func newWConn(c wire, onErr func(error)) *wconn {
+	_, shm := c.(*shmConn)
+	w := &wconn{c: c, onErr: onErr, noBatch: shm, done: make(chan struct{})}
 	w.cond = sync.NewCond(&w.mu)
 	go w.writeLoop()
 	return w
@@ -319,8 +356,13 @@ func (w *wconn) send(f outFrame) error {
 		w.mu.Unlock()
 		var err error
 		if len(f.tail) > 0 {
-			bufs := net.Buffers{f.head.b, f.tail}
-			_, err = bufs.WriteTo(w.c)
+			if sc, ok := w.c.(*shmConn); ok {
+				// Two-buffer fast path: no net.Buffers slice to heap-box.
+				err = sc.writev2(f.head.b, f.tail)
+			} else {
+				bufs := net.Buffers{f.head.b, f.tail}
+				_, err = bufs.WriteTo(w.c)
+			}
 		} else {
 			_, err = w.c.Write(f.head.b)
 		}
@@ -391,7 +433,7 @@ func (w *wconn) writeLoop() {
 		// bare (the inline fast path in send never sees a batch either).
 		bufs = bufs[:0]
 		var hdr *frameBuf
-		if n := batchableBytes(batch); n > 0 {
+		if n := batchableBytes(batch); n > 0 && !w.noBatch {
 			hdr = getBuf(4 + frameHeader)
 			b := binary.BigEndian.AppendUint32(hdr.b, uint32(frameHeader+n))
 			b = binary.BigEndian.AppendUint32(b, batchDst)
@@ -404,8 +446,7 @@ func (w *wconn) writeLoop() {
 				bufs = append(bufs, f.tail)
 			}
 		}
-		wb := bufs // WriteTo advances its receiver; keep bufs for reuse
-		_, err := wb.WriteTo(w.c)
+		err := writeBuffers(w.c, bufs)
 		putBuf(hdr)
 		for i, f := range batch {
 			putBuf(f.head)

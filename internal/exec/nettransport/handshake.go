@@ -22,6 +22,32 @@ type hello struct {
 	fingerprint uint64
 	procs       []arch.ProcID
 	dataAddr    string
+	// shmToHub/shmFromHub request the shared-memory upgrade of this control
+	// connection (DESIGN.md §14): the client creates both ring segments
+	// before saying hello — shmToHub is the ring it will produce into,
+	// shmFromHub the one it will consume — and the hub's reply says whether
+	// it mapped them. Empty paths mean no upgrade requested.
+	shmToHub   string
+	shmFromHub string
+}
+
+// appendString appends a u16-length-prefixed string to buf.
+func appendString(buf []byte, s string) []byte {
+	buf = binary.BigEndian.AppendUint16(buf, uint16(len(s)))
+	return append(buf, s...)
+}
+
+// readString reads a u16-length-prefixed string.
+func readString(br *bufio.Reader) (string, error) {
+	var lb [2]byte
+	if _, err := io.ReadFull(br, lb[:]); err != nil {
+		return "", err
+	}
+	b := make([]byte, binary.BigEndian.Uint16(lb[:]))
+	if _, err := io.ReadFull(br, b); err != nil {
+		return "", err
+	}
+	return string(b), nil
 }
 
 func writeHello(c net.Conn, h hello) error {
@@ -35,8 +61,14 @@ func writeHello(c net.Conn, h hello) error {
 	if len(h.dataAddr) > 0xffff {
 		return fmt.Errorf("nettransport: data address %q too long", h.dataAddr)
 	}
-	buf = binary.BigEndian.AppendUint16(buf, uint16(len(h.dataAddr)))
-	buf = append(buf, h.dataAddr...)
+	buf = appendString(buf, h.dataAddr)
+	if h.shmToHub != "" {
+		buf = append(buf, 1)
+		buf = appendString(buf, h.shmToHub)
+		buf = appendString(buf, h.shmFromHub)
+	} else {
+		buf = append(buf, 0)
+	}
 	_, err := c.Write(buf)
 	return err
 }
@@ -63,27 +95,41 @@ func readHello(br *bufio.Reader) (hello, error) {
 		}
 		h.procs[i] = arch.ProcID(binary.BigEndian.Uint32(pb[:]))
 	}
-	var lb [2]byte
-	if _, err := io.ReadFull(br, lb[:]); err != nil {
+	addr, err := readString(br)
+	if err != nil {
 		return h, fmt.Errorf("nettransport: truncated handshake data address: %w", err)
 	}
-	addr := make([]byte, binary.BigEndian.Uint16(lb[:]))
-	if _, err := io.ReadFull(br, addr); err != nil {
-		return h, fmt.Errorf("nettransport: truncated handshake data address: %w", err)
+	h.dataAddr = addr
+	flag, err := br.ReadByte()
+	if err != nil {
+		return h, fmt.Errorf("nettransport: truncated handshake shm flag: %w", err)
 	}
-	h.dataAddr = string(addr)
+	if flag != 0 {
+		if h.shmToHub, err = readString(br); err != nil {
+			return h, fmt.Errorf("nettransport: truncated handshake shm path: %w", err)
+		}
+		if h.shmFromHub, err = readString(br); err != nil {
+			return h, fmt.Errorf("nettransport: truncated handshake shm path: %w", err)
+		}
+	}
 	return h, nil
 }
 
 // writeHelloReply acknowledges (msg == "") or rejects a handshake. The
-// accept branch carries the hub's wall clock (UnixNano at reply time): the
-// client brackets the handshake with its own wall-clock reads and derives
-// an NTP-style offset onto the hub's clock, which trace merging uses to
-// place every process's events on one timeline.
-func writeHelloReply(c net.Conn, msg string) error {
+// accept branch carries the hub's wall clock (UnixNano at reply time) —
+// the client brackets the handshake with its own wall-clock reads and
+// derives an NTP-style offset onto the hub's clock, which trace merging
+// uses to place every process's events on one timeline — plus a byte
+// saying whether the hub mapped the hello's shm rings: the client falls
+// back to the plain socket when it is 0, so a mapping failure on either
+// end degrades instead of wedging the attach.
+func writeHelloReply(c net.Conn, msg string, shmOK bool) error {
 	if msg == "" {
-		buf := append([]byte{0}, make([]byte, 8)...)
+		buf := append([]byte{0}, make([]byte, 9)...)
 		binary.BigEndian.PutUint64(buf[1:], uint64(time.Now().UnixNano()))
+		if shmOK {
+			buf[9] = 1
+		}
 		_, err := c.Write(buf)
 		return err
 	}
@@ -94,57 +140,78 @@ func writeHelloReply(c net.Conn, msg string) error {
 	return err
 }
 
-// readHelloReply returns the hub's wall clock (UnixNano) on accept.
-func readHelloReply(br *bufio.Reader) (int64, error) {
+// readHelloReply returns the hub's wall clock (UnixNano) and whether the
+// shm upgrade was accepted.
+func readHelloReply(br *bufio.Reader) (int64, bool, error) {
 	status, err := br.ReadByte()
 	if err != nil {
-		return 0, fmt.Errorf("nettransport: no handshake reply: %w", err)
+		return 0, false, fmt.Errorf("nettransport: no handshake reply: %w", err)
 	}
 	if status == 0 {
-		var tb [8]byte
+		var tb [9]byte
 		if _, err := io.ReadFull(br, tb[:]); err != nil {
-			return 0, fmt.Errorf("nettransport: truncated handshake reply: %w", err)
+			return 0, false, fmt.Errorf("nettransport: truncated handshake reply: %w", err)
 		}
-		return int64(binary.BigEndian.Uint64(tb[:])), nil
+		return int64(binary.BigEndian.Uint64(tb[:8])), tb[8] != 0, nil
 	}
 	var lb [2]byte
 	if _, err := io.ReadFull(br, lb[:]); err != nil {
-		return 0, fmt.Errorf("nettransport: handshake rejected (reason lost: %v)", err)
+		return 0, false, fmt.Errorf("nettransport: handshake rejected (reason lost: %v)", err)
 	}
 	msg := make([]byte, binary.BigEndian.Uint16(lb[:]))
 	if _, err := io.ReadFull(br, msg); err != nil {
-		return 0, fmt.Errorf("nettransport: handshake rejected (reason lost: %v)", err)
+		return 0, false, fmt.Errorf("nettransport: handshake rejected (reason lost: %v)", err)
 	}
-	return 0, fmt.Errorf("nettransport: handshake rejected: %s", msg)
+	return 0, false, fmt.Errorf("nettransport: handshake rejected: %s", msg)
 }
 
-// writePeerHello opens a data-plane connection between two nodes. Peer
-// connections carry no reply: the fingerprint was already validated when
-// both ends attached to the hub, so the receiving node just drops
-// connections whose preamble does not match.
-func writePeerHello(c net.Conn, fingerprint uint64) error {
+// writePeerHello opens a data-plane connection between two nodes. The
+// fingerprint was already validated when both ends attached to the hub, so
+// the receiving node just drops connections whose preamble does not match.
+// shmPath, when non-empty, names a ring segment the dialer created and
+// will produce into (peer connections are unidirectional) — the upgrade
+// request adds the only reply a peer handshake has: one ack byte saying
+// whether the acceptor mapped the ring (peerShmAck) or the connection
+// stays on the socket (peerShmNak). Plain hellos still get no reply.
+func writePeerHello(c net.Conn, fingerprint uint64, shmPath string) error {
 	buf := binary.BigEndian.AppendUint32(nil, magic)
 	buf = binary.BigEndian.AppendUint16(buf, wireVersion)
 	buf = binary.BigEndian.AppendUint64(buf, fingerprint)
+	if shmPath != "" {
+		buf = append(buf, 1)
+		buf = appendString(buf, shmPath)
+	} else {
+		buf = append(buf, 0)
+	}
 	_, err := c.Write(buf)
 	return err
 }
 
-func readPeerHello(br *bufio.Reader, fingerprint uint64) error {
-	var head [14]byte
+const (
+	peerShmAck = 0 // acceptor mapped the ring; frames move to shm
+	peerShmNak = 1 // mapping failed; both ends stay on the socket
+)
+
+func readPeerHello(br *bufio.Reader, fingerprint uint64) (shmPath string, err error) {
+	var head [15]byte
 	if _, err := io.ReadFull(br, head[:]); err != nil {
-		return fmt.Errorf("nettransport: truncated peer handshake: %w", err)
+		return "", fmt.Errorf("nettransport: truncated peer handshake: %w", err)
 	}
 	if m := binary.BigEndian.Uint32(head[0:]); m != magic {
-		return fmt.Errorf("nettransport: bad peer handshake magic %#x", m)
+		return "", fmt.Errorf("nettransport: bad peer handshake magic %#x", m)
 	}
 	if v := binary.BigEndian.Uint16(head[4:]); v != wireVersion {
-		return fmt.Errorf("nettransport: peer wire version %d, want %d", v, wireVersion)
+		return "", fmt.Errorf("nettransport: peer wire version %d, want %d", v, wireVersion)
 	}
 	if fp := binary.BigEndian.Uint64(head[6:]); fp != fingerprint {
-		return fmt.Errorf("nettransport: peer fingerprint %#x, want %#x", fp, fingerprint)
+		return "", fmt.Errorf("nettransport: peer fingerprint %#x, want %#x", fp, fingerprint)
 	}
-	return nil
+	if head[14] != 0 {
+		if shmPath, err = readString(br); err != nil {
+			return "", fmt.Errorf("nettransport: truncated peer shm path: %w", err)
+		}
+	}
+	return shmPath, nil
 }
 
 // encodeProcs serializes the processor list carried by a peerDownDst

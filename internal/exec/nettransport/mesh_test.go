@@ -40,7 +40,7 @@ func TestPeerDeathAbortsCluster(t *testing.T) {
 	if err := writeHello(c, hello{fingerprint: 7, procs: []arch.ProcID{2}, dataAddr: "127.0.0.1:9"}); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := readHelloReply(bufio.NewReader(c)); err != nil {
+	if _, _, err := readHelloReply(bufio.NewReader(c)); err != nil {
 		t.Fatal(err)
 	}
 	if err := hub.WaitReady(2 * time.Second); err != nil {

@@ -3,6 +3,8 @@ package nettransport
 import (
 	"errors"
 	"fmt"
+	"hash/fnv"
+	"io"
 	"net"
 	"os"
 	"path/filepath"
@@ -84,28 +86,68 @@ func isLoopback(a net.Addr) bool {
 // sharing one process.
 var peerSockSeq atomic.Int64
 
+// sunPathMax bounds the unix socket paths this package mints. The kernel
+// limit on sun_path is 108 bytes on Linux and 104 on the BSDs (including
+// the NUL); 100 leaves margin on both.
+const sunPathMax = 100
+
+// shortTempDir is the temp dir for sockets and shm segments, preferring a
+// short mount when $TMPDIR is deep enough to threaten sun_path.
+func shortTempDir() string {
+	d := os.TempDir()
+	if len(d) <= sunPathMax/2 {
+		return d
+	}
+	if st, err := os.Stat("/tmp"); err == nil && st.IsDir() {
+		return "/tmp"
+	}
+	return d
+}
+
+// ShortSockPath mints a unique unix socket path guaranteed to fit inside
+// sun_path. A deep $TMPDIR (nested CI workspaces, per-test MkdirTemp
+// trees) silently produced paths the kernel truncates or rejects at bind
+// time; the basename here embeds pid + sequence for uniqueness, and when
+// even the short temp dir pushes the path over the limit the whole name is
+// hashed down to a fixed-size basename under /tmp.
+func ShortSockPath(tag string) string {
+	name := fmt.Sprintf("%s-%d-%d.sock", tag, os.Getpid(), peerSockSeq.Add(1))
+	if p := filepath.Join(shortTempDir(), name); len(p) <= sunPathMax {
+		return p
+	}
+	h := fnv.New64a()
+	io.WriteString(h, filepath.Join(os.TempDir(), name))
+	return fmt.Sprintf("/tmp/sk-%016x.sock", h.Sum64())
+}
+
+// sameHost reports whether both ends of an established connection live on
+// this machine — the precondition for the shared-memory upgrade.
+func sameHost(c net.Conn) bool {
+	return c.RemoteAddr().Network() == "unix" ||
+		(isLoopback(c.RemoteAddr()) && isLoopback(c.LocalAddr()))
+}
+
 // listenPeer binds the client's peer data listener next to an established
 // control connection c. The data plane follows the control plane's locality
 // ("auto"): a unix or loopback control connection means the hub — and,
 // because a hub on a loopback address is unreachable from anywhere else,
 // every peer of this deployment — is on this host, so the listener upgrades
 // to a unix-domain socket and the farm round trip sheds the TCP stack.
-// Explicit "tcp"/"unix" (WithDataPlane) override the inference for mixed
-// deployments.
+// Explicit "tcp"/"unix"/"shm" (WithDataPlane) override the inference for
+// mixed deployments; "shm" listens on a unix socket like "unix" — the
+// socket remains the handshake and doorbell channel — and the ring upgrade
+// itself is negotiated per connection in the peer hello.
 func listenPeer(c net.Conn, dataPlane string) (net.Listener, error) {
 	useUnix := false
 	switch dataPlane {
-	case "unix":
+	case "unix", "shm":
 		useUnix = true
 	case "tcp":
 	default: // auto
-		useUnix = c.RemoteAddr().Network() == "unix" ||
-			(isLoopback(c.RemoteAddr()) && isLoopback(c.LocalAddr()))
+		useUnix = sameHost(c)
 	}
 	if useUnix {
-		path := filepath.Join(os.TempDir(),
-			fmt.Sprintf("skipper-peer-%d-%d.sock", os.Getpid(), peerSockSeq.Add(1)))
-		return net.Listen("unix", path)
+		return net.Listen("unix", ShortSockPath("skipper-peer"))
 	}
 	host, _, err := net.SplitHostPort(c.LocalAddr().String())
 	if err != nil {

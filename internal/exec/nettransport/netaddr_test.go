@@ -1,0 +1,63 @@
+package nettransport
+
+import (
+	"net"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// Regression for the sun_path overflow: a deep $TMPDIR (nested CI
+// workspaces, per-test MkdirTemp trees) used to produce socket paths longer
+// than the kernel's sun_path, which bind either rejects or — worse —
+// silently truncates. Every path the package mints must fit the budget and
+// actually bind, no matter how hostile the environment's temp dir is.
+func TestShortSockPathFitsSunPath(t *testing.T) {
+	deep := t.TempDir()
+	for len(deep) < 300 {
+		deep = filepath.Join(deep, "deeply-nested-ci-workspace-component")
+	}
+	t.Setenv("TMPDIR", deep)
+
+	seen := map[string]bool{}
+	for _, tag := range []string{
+		"skipper-peer",
+		// A tag long enough to overflow even the short temp dir forces the
+		// hashed-basename fallback.
+		"skipper-" + strings.Repeat("x", 2*sunPathMax),
+	} {
+		for i := 0; i < 3; i++ {
+			p := ShortSockPath(tag)
+			if len(p) > sunPathMax {
+				t.Fatalf("ShortSockPath(%.20q…) = %q: %d bytes, over the %d-byte sun_path budget",
+					tag, p, len(p), sunPathMax)
+			}
+			if seen[p] {
+				t.Fatalf("ShortSockPath(%.20q…) repeated %q", tag, p)
+			}
+			seen[p] = true
+			ln, err := net.Listen("unix", p)
+			if err != nil {
+				t.Fatalf("ShortSockPath(%.20q…) = %q does not bind: %v", tag, p, err)
+			}
+			ln.Close()
+		}
+	}
+}
+
+// The shm segment names travel through the same fixed-size handshake fields
+// as socket paths, so they share the sun_path budget — including when the
+// platform has no /dev/shm and the segment falls back to the temp dir.
+func TestShmRingPathFitsHandshake(t *testing.T) {
+	deep := t.TempDir()
+	for len(deep) < 300 {
+		deep = filepath.Join(deep, "deeply-nested-ci-workspace-component")
+	}
+	t.Setenv("TMPDIR", deep)
+	for i := 0; i < 3; i++ {
+		p := shmRingPath(0xdeadbeefcafef00d)
+		if len(p) > sunPathMax {
+			t.Fatalf("shmRingPath = %q: %d bytes, over the %d-byte budget", p, len(p), sunPathMax)
+		}
+	}
+}

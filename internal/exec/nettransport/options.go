@@ -8,7 +8,7 @@ import "time"
 type options struct {
 	heartbeat time.Duration
 	meshWait  time.Duration
-	dataPlane string // peer-listener network: "auto" (default), "tcp", "unix"
+	dataPlane string // peer-listener network: "auto" (default), "tcp", "unix", "shm"
 }
 
 // Option configures a Client (Dial) or Hub (NewHub).
@@ -34,10 +34,17 @@ func WithMeshWaitTimeout(d time.Duration) Option {
 }
 
 // WithDataPlane pins the network a client's peer data listener binds:
-// "tcp", "unix", or "auto" (the default — unix when the control connection
-// shows the hub is on this host, tcp otherwise). A node of a multi-host
-// deployment that happens to share the coordinator's machine should pass
-// "tcp": peers on other hosts cannot dial a unix path. Client-side only.
+// "tcp", "unix", "shm", or "auto" (the default — unix when the control
+// connection shows the hub is on this host, tcp otherwise). A node of a
+// multi-host deployment that happens to share the coordinator's machine
+// should pass "tcp": peers on other hosts cannot dial a unix path. "shm"
+// layers the shared-memory slab-ring upgrade (DESIGN.md §14) on unix
+// sockets: the control connection and every same-host peer connection
+// negotiate a per-connection mmap'd ring and move their frame streams off
+// the kernel, falling back to the plain socket when the remote end is not
+// on this host or a ring fails to map. Explicit rather than part of
+// "auto" because the rings cost ~8MiB of tmpfs per connection pair.
+// Client-side only.
 func WithDataPlane(network string) Option {
 	return func(o *options) { o.dataPlane = network }
 }

@@ -48,11 +48,43 @@ func (cl *Client) peerConn(addr string) (*wconn, error) {
 		bo.sleep()
 	}
 	setNoDelay(c)
-	if err := writePeerHello(c, cl.fp); err != nil {
+	// The shm peer upgrade: a unix-socket peer is by definition on this
+	// host, so a client on the shm plane creates a ring it will produce
+	// into and offers it in the hello. The ack byte is read straight off
+	// the conn — the dialing side of a peer connection never reads frames,
+	// so no buffered reader may over-read into the doorbell stream.
+	var cw wire = c
+	var ring *shmRing
+	shmPath := ""
+	if cl.shmPlane && network == "unix" {
+		if r, rerr := createShmRing(cl.fp, shmDefaultSlots); rerr == nil {
+			ring, shmPath = r, r.path
+		}
+	}
+	if err := writePeerHello(c, cl.fp, shmPath); err != nil {
+		if ring != nil {
+			ring.remove()
+			ring.unmap()
+		}
 		c.Close()
 		return nil, err
 	}
-	w := newWConn(c, func(err error) {
+	if ring != nil {
+		var ack [1]byte
+		if _, err := io.ReadFull(c, ack[:]); err != nil {
+			ring.remove()
+			ring.unmap()
+			c.Close()
+			return nil, err
+		}
+		ring.remove()
+		if ack[0] == peerShmAck {
+			cw = newShmConn(c, nil, ring)
+		} else {
+			ring.unmap()
+		}
+	}
+	w := newWConn(cw, func(err error) {
 		if cl.closing.Load() || cl.aborted.Load() || cl.containsPeerFailure(addr) {
 			return
 		}
@@ -90,12 +122,38 @@ func (cl *Client) acceptLoop() {
 // local mailboxes until the dialer closes.
 func (cl *Client) servePeer(c net.Conn) {
 	defer cl.readerWG.Done()
-	defer c.Close()
 	setNoDelay(c)
 	br := bufio.NewReaderSize(c, readBufSize)
-	if err := readPeerHello(br, cl.fp); err != nil {
+	shmPath, err := readPeerHello(br, cl.fp)
+	if err != nil {
+		c.Close()
 		return
 	}
+	closer := io.Closer(c)
+	if shmPath != "" {
+		// The dialer offered a ring; ack whether it mapped. The dialer sends
+		// no frames until the ack arrives, so the socket br cannot have
+		// buffered past the hello, and after a positive ack the frame stream
+		// continues from the ring instead.
+		ring, rerr := openShmRing(shmPath)
+		ack := byte(peerShmNak)
+		if rerr == nil {
+			ack = peerShmAck
+		}
+		if _, werr := c.Write([]byte{ack}); werr != nil {
+			if ring != nil {
+				ring.unmap()
+			}
+			c.Close()
+			return
+		}
+		if rerr == nil {
+			sc := newShmConn(c, ring, nil)
+			closer = sc
+			br = bufio.NewReaderSize(sc, shmReadBufSize)
+		}
+	}
+	defer closer.Close()
 	for {
 		n, dst, key, err := readFrameHeader(br)
 		if err != nil {

@@ -179,16 +179,45 @@ func (s *Session) Ready() bool {
 // attach.
 func (s *Session) serveConn(c net.Conn, br *bufio.Reader, hel hello) {
 	if reject := s.validateHello(hel); reject != "" {
-		writeHelloReply(c, reject)
+		writeHelloReply(c, reject, false)
 		c.Close()
 		return
 	}
-	if err := writeHelloReply(c, ""); err != nil {
-		c.Close()
+	// The shm upgrade (DESIGN.md §14): the client created both rings before
+	// its hello; map them before the ack so the reply's accept byte is
+	// truthful, and fall back to the plain socket if either mapping fails.
+	// The client sends nothing between hello and reply, so starting the
+	// shmConn's bell loop (which owns socket reads from here on) cannot
+	// steal frame bytes, and no doorbell can arrive at the client before it
+	// has read the reply — sleep flags are armed only by running ring
+	// consumers, which exist on neither end yet.
+	var cw wire = c
+	var sc *shmConn
+	if hel.shmToHub != "" {
+		in, ierr := openShmRing(hel.shmToHub)
+		if ierr == nil {
+			out, oerr := openShmRing(hel.shmFromHub)
+			if oerr == nil {
+				sc = newShmConn(c, in, out)
+				cw = sc
+			} else {
+				in.unmap()
+			}
+		}
+	}
+	if err := writeHelloReply(c, "", sc != nil); err != nil {
+		if sc != nil {
+			sc.Close()
+		} else {
+			c.Close()
+		}
 		s.failf("nettransport: handshake ack to %v: %v", hel.procs, err)
 		return
 	}
-	w := newWConn(c, func(err error) {
+	if sc != nil {
+		br = bufio.NewReaderSize(sc, shmReadBufSize)
+	}
+	w := newWConn(cw, func(err error) {
 		// A write failure to a node already declared dead is expected noise
 		// (the peer-down broadcast races its socket teardown), not a cluster
 		// fault.

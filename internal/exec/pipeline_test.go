@@ -115,20 +115,33 @@ func TestPipelineCutStructure(t *testing.T) {
 	m := NewMachine(s, r)
 	sawCut := false
 	for p := range s.Programs {
-		cut := m.pipelineCut(arch.ProcID(p))
-		if cut == 0 {
+		cuts := m.pipelineCuts(arch.ProcID(p))
+		if len(cuts) == 0 {
 			continue
 		}
 		sawCut = true
 		prog := s.Programs[p]
-		for _, op := range prog[:cut] {
+		for _, op := range prog[:cuts[0]] {
 			switch op.Kind {
 			case syndex.OpWorker, syndex.OpMaster, syndex.OpMemWrite:
 				t.Fatalf("proc %d: op kind %v leaked into the front end", p, op.Kind)
 			}
 		}
-		if k := prog[cut].Kind; k != syndex.OpWorker && k != syndex.OpMaster {
-			t.Fatalf("proc %d: back end starts with %v, want the farm", p, k)
+		for i, cut := range cuts {
+			if i > 0 && cut <= cuts[i-1] {
+				t.Fatalf("proc %d: cuts %v not strictly increasing", p, cuts)
+			}
+			if k := prog[cut].Kind; k != syndex.OpWorker && k != syndex.OpMaster {
+				t.Fatalf("proc %d: stage %d starts with %v, want a farm", p, i+1, k)
+			}
+		}
+		// MEM ops past the first cut must all sit in the final stage.
+		last := cuts[len(cuts)-1]
+		for i := cuts[0]; i < last; i++ {
+			op := prog[i]
+			if op.Kind == syndex.OpMemWrite {
+				t.Fatalf("proc %d: MEM write at op %d stranded in a middle stage (cuts %v)", p, i, cuts)
+			}
 		}
 	}
 	if !sawCut {
@@ -141,8 +154,140 @@ func TestPipelineCutStructure(t *testing.T) {
 	s2 := compile(t, streamSrc, r2, arch.Ring(2), syndex.Structured)
 	m2 := NewMachine(s2, r2)
 	for p := range s2.Programs {
-		if cut := m2.pipelineCut(arch.ProcID(p)); cut != 0 {
-			t.Fatalf("farm-free program split at proc %d cut %d", p, cut)
+		if cuts := m2.pipelineCuts(arch.ProcID(p)); len(cuts) != 0 {
+			t.Fatalf("farm-free program split at proc %d cuts %v", p, cuts)
+		}
+	}
+}
+
+// deepPipeSrc chains three farms inside the itermem loop — the shape that
+// makes pipeline depth > 2 matter: with one cut per master, frame k+2's
+// grab, frame k+1's first farm and frame k's later farms all overlap.
+const deepPipeSrc = `
+extern grab : unit -> int;;
+extern mkwins : int -> int -> int list;;
+extern work : int -> int;;
+extern fold : int -> int -> int;;
+extern post : int -> int * int;;
+extern show : int -> unit;;
+let loop (s, x) = post (fold s (df 2 work fold 0 (mkwins (df 2 work fold 0 (mkwins (df 2 work fold 0 (mkwins s x)) x)) x)));;
+let main = itermem grab loop show 1 ();;
+`
+
+// runDeepPipeSrc executes deepPipeSrc with the given pipeline depth
+// (0 = off, 1 = unbounded, otherwise the cap) and returns the outputs.
+func runDeepPipeSrc(t *testing.T, a *arch.Arch, iters, depth int) []value.Value {
+	t.Helper()
+	var frames int64
+	r := pipeRegistry(&frames, nil)
+	s := compile(t, deepPipeSrc, r, a, syndex.Structured)
+	m := NewMachine(s, r)
+	m.DeterministicFarm = true
+	if depth > 0 {
+		m.Pipeline = true
+		if depth > 1 {
+			m.PipelineDepth = depth
+		}
+	}
+	res, err := m.Run(iters)
+	if err != nil {
+		t.Fatalf("depth=%d: %v", depth, err)
+	}
+	return res.Outputs
+}
+
+// TestDeepPipelineMatchesSequential: on a three-master program the
+// executive must cut at every master boundary (at least one processor gets
+// three or more stages), the depth cap must truncate the chain, and the
+// output stream must be bit-identical to the sequential interpreter at
+// every depth.
+func TestDeepPipelineMatchesSequential(t *testing.T) {
+	var frames int64
+	r := pipeRegistry(&frames, nil)
+	s := compile(t, deepPipeSrc, r, arch.Ring(4), syndex.Structured)
+	m := NewMachine(s, r)
+	maxStages := 0
+	for p := range s.Programs {
+		if n := len(m.pipelineCuts(arch.ProcID(p))) + 1; n > maxStages {
+			maxStages = n
+		}
+	}
+	if maxStages < 3 {
+		t.Fatalf("deepest processor pipelines at %d stages, want >= 3", maxStages)
+	}
+	m.PipelineDepth = 2
+	for p := range s.Programs {
+		if n := len(m.pipelineCuts(arch.ProcID(p))); n > 1 {
+			t.Fatalf("proc %d: PipelineDepth=2 left %d cuts", p, n)
+		}
+	}
+
+	for _, a := range []*arch.Arch{arch.Ring(1), arch.Ring(2), arch.Ring(4)} {
+		const iters = 10
+		seq := runDeepPipeSrc(t, a, iters, 0)
+		for _, depth := range []int{1, 2, 3} {
+			got := runDeepPipeSrc(t, a, iters, depth)
+			for i := range seq {
+				if !value.Equal(seq[i], got[i]) {
+					t.Fatalf("%s depth=%d: iteration %d: %v, sequential %v",
+						a.Name, depth, i, got[i], seq[i])
+				}
+			}
+		}
+	}
+}
+
+// latePipeSrc consumes the delay state only in the final fold: the linear
+// schedule still places the MEM read at the top of the program, so the
+// pipelined executive sinks it to the last stage. The outputs must stay
+// bit-identical to the sequential interpreter — the sunk read has to see
+// exactly the previous frame's write, never an older or newer one.
+const latePipeSrc = `
+extern grab : unit -> int;;
+extern mkwins : int -> int -> int list;;
+extern work : int -> int;;
+extern fold : int -> int -> int;;
+extern post : int -> int * int;;
+extern show : int -> unit;;
+let loop (s, x) = post (fold s (df 2 work fold 0 (mkwins (df 2 work fold 0 (mkwins (df 2 work fold 0 (mkwins x x)) x)) x)));;
+let main = itermem grab loop show 1 ();;
+`
+
+// TestSunkMemReadMatchesSequential pins the read-sinking path: a program
+// whose state feeds only the final fold must still produce bit-identical
+// output streams at every pipeline depth, and the fold must be chaining
+// frame k-1's result into frame k (not a stale or initial value), which the
+// non-commutative fold makes visible immediately.
+func TestSunkMemReadMatchesSequential(t *testing.T) {
+	run := func(a *arch.Arch, iters, depth int) []value.Value {
+		var frames int64
+		r := pipeRegistry(&frames, nil)
+		s := compile(t, latePipeSrc, r, a, syndex.Structured)
+		m := NewMachine(s, r)
+		m.DeterministicFarm = true
+		if depth > 0 {
+			m.Pipeline = true
+			if depth > 1 {
+				m.PipelineDepth = depth
+			}
+		}
+		res, err := m.Run(iters)
+		if err != nil {
+			t.Fatalf("depth=%d: %v", depth, err)
+		}
+		return res.Outputs
+	}
+	for _, a := range []*arch.Arch{arch.Ring(1), arch.Ring(2), arch.Ring(4)} {
+		const iters = 10
+		seq := run(a, iters, 0)
+		for _, depth := range []int{1, 2, 3} {
+			got := run(a, iters, depth)
+			for i := range seq {
+				if !value.Equal(seq[i], got[i]) {
+					t.Fatalf("%s depth=%d: iteration %d: %v, sequential %v",
+						a.Name, depth, i, got[i], seq[i])
+				}
+			}
 		}
 	}
 }

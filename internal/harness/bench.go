@@ -180,6 +180,24 @@ func RunBenchReport(w io.Writer, iters int, filter string) (*BenchReport, error)
 		}
 	})
 
+	// Tiled vs naive morphology (DESIGN.md §14): the separable, cache-tiled
+	// 3×3 dilate against the straightforward 9-tap loop, same frame. The
+	// naive figure is the reference the BENCH_7 guard prices the tiling
+	// against — the ratio must hold even on a single CPU, where only the
+	// separability and the flat row addressing help.
+	record("Dilate512_naive", func(b *testing.B) {
+		dst := vision.NewImage(frame.W, frame.H)
+		for i := 0; i < b.N; i++ {
+			naiveDilate3(dst, frame)
+		}
+	})
+	record("Dilate512_tiled", func(b *testing.B) {
+		dst := vision.NewImage(frame.W, frame.H)
+		for i := 0; i < b.N; i++ {
+			vision.Dilate3Into(dst, frame)
+		}
+	})
+
 	// Skeleton pool vs per-call goroutine spawning, 8-window frame shape.
 	pool := skel.NewPool(8)
 	defer pool.Close()
@@ -251,6 +269,22 @@ func RunBenchReport(w io.Writer, iters int, filter string) (*BenchReport, error)
 		})
 	}
 
+	// Deep pipelining (DESIGN.md §14): the per-frame period of a three-farm
+	// itermem loop at the historical two-stage split vs cut at every farm
+	// boundary. The delta is what MEM-read sinking buys: at depth 2 the
+	// whole farm chain serializes inside one stage; at full depth
+	// consecutive frames occupy consecutive farms.
+	for _, depth := range []string{"2", "Full"} {
+		depth := depth
+		record("ItermemDepth"+depth, func(b *testing.B) {
+			d := 0
+			if depth == "2" {
+				d = 2
+			}
+			BenchItermemDepth(b, d)
+		})
+	}
+
 	// Skipper-as-a-service scheduler overhead (DESIGN.md §13): one tiny job
 	// through the whole control-plane path — Submit, FIFO queue, dispatch,
 	// in-process run, terminal status. Guarded by a generous ceiling in
@@ -295,4 +329,24 @@ func ReadBenchJSON(path string) (*BenchReport, error) {
 		return nil, fmt.Errorf("harness: unsupported bench schema %q (want %q)", rep.Schema, BenchSchema)
 	}
 	return &rep, nil
+}
+
+// naiveDilate3 is the textbook 3x3 dilation — a bounds-checked 9-tap max
+// per pixel — kept as the pricing reference for Dilate512_tiled. It must
+// stay deliberately artless: any cleverness here silently shrinks the
+// speedup the BENCH_7 guard asserts.
+func naiveDilate3(dst, im *vision.Image) {
+	for y := 0; y < im.H; y++ {
+		for x := 0; x < im.W; x++ {
+			var m uint8
+			for dy := -1; dy <= 1; dy++ {
+				for dx := -1; dx <= 1; dx++ {
+					if v := im.At(x+dx, y+dy); v > m {
+						m = v
+					}
+				}
+			}
+			dst.Pix[y*im.W+x] = m
+		}
+	}
 }

@@ -127,6 +127,148 @@ func BenchItermemPipelined(b *testing.B, pipeline bool) {
 	}
 }
 
+// Deep-pipeline benchmark: three farms chained inside the itermem loop,
+// every stage a blocking wait (sleeping workers — the shape of staged I/O
+// or accelerator offload, where the frame period is latency, not compute).
+// With the historical two-stage split the whole three-farm chain shares one
+// back-end stage, so the period floors at the chain's total latency; cut at
+// every master boundary, consecutive frames occupy consecutive farms and
+// the period drops towards the slowest single stage. Sleep-based stages
+// make that delta real even on a single-CPU runner.
+
+// deepPipeGrabDelay is the simulated camera wait; deepPipeWorkDelay the
+// per-window stage latency (4 windows over 2 workers = 2 serial batches,
+// so each farm stage costs ~2×deepPipeWorkDelay per frame).
+const (
+	deepPipeGrabDelay = 200 * time.Microsecond
+	deepPipeWorkDelay = 60 * time.Microsecond
+)
+
+// The state s is consumed only by the final fold — the shape of a tracking
+// loop whose per-frame chain is pure and whose history enters at the very
+// end. The executive sinks the MEM read to that last stage, so the
+// cross-frame serialization point covers only the final fold, not the farm
+// chain.
+const deepPipeBenchSrc = `
+extern grab : unit -> int;;
+extern mkwins : int -> int -> int list;;
+extern work : int -> int;;
+extern fold : int -> int -> int;;
+extern post : int -> int * int;;
+extern show : int -> unit;;
+let loop (s, x) = post (fold s (df 2 work fold 0 (mkwins (df 2 work fold 0 (mkwins (df 2 work fold 0 (mkwins x x)) x)) x)));;
+let main = itermem grab loop show 1 ();;
+`
+
+// deepPipeRegistry binds deepPipeBenchSrc's externs with latency-bound
+// stages: a blocking grab and sleeping farm workers.
+func deepPipeRegistry() *value.Registry {
+	frame := 0
+	r := value.NewRegistry()
+	r.Register(&value.Func{Name: "grab", Sig: "unit -> int", Arity: 1,
+		Fn: func([]value.Value) value.Value {
+			time.Sleep(deepPipeGrabDelay)
+			frame++
+			return frame
+		}})
+	r.Register(&value.Func{Name: "mkwins", Sig: "int -> int -> int list", Arity: 2,
+		Fn: func(a []value.Value) value.Value {
+			s, x := a[0].(int), a[1].(int)
+			out := make(value.List, 4)
+			for i := range out {
+				out[i] = s + x*(i+1)
+			}
+			return out
+		}})
+	r.Register(&value.Func{Name: "work", Sig: "int -> int", Arity: 1,
+		Fn: func(a []value.Value) value.Value {
+			time.Sleep(deepPipeWorkDelay)
+			return a[0].(int)*7 + 3
+		}})
+	r.Register(&value.Func{Name: "fold", Sig: "int -> int -> int", Arity: 2,
+		Fn: func(a []value.Value) value.Value { return a[0].(int)*31 + a[1].(int) }})
+	r.Register(&value.Func{Name: "post", Sig: "int -> int * int", Arity: 1,
+		Fn: func(a []value.Value) value.Value {
+			m := a[0].(int)
+			return value.Tuple{m % 1_000_003, m}
+		}})
+	r.Register(&value.Func{Name: "show", Sig: "int -> unit", Arity: 1,
+		Fn: func([]value.Value) value.Value { return value.Unit{} }})
+	return r
+}
+
+func compileDeepPipeBench() (*syndex.Schedule, *value.Registry, error) {
+	r := deepPipeRegistry()
+	prog, err := parser.Parse(deepPipeBenchSrc)
+	if err != nil {
+		return nil, nil, err
+	}
+	info, err := types.Check(prog)
+	if err != nil {
+		return nil, nil, err
+	}
+	eres, err := expand.Expand(prog, info, r)
+	if err != nil {
+		return nil, nil, err
+	}
+	s, err := syndex.Map(eres.Graph, arch.Ring(2), r, syndex.Structured)
+	if err != nil {
+		return nil, nil, err
+	}
+	return s, r, nil
+}
+
+// BenchItermemDepth measures the steady-state frame period of the
+// three-farm itermem loop at the given pipeline depth cap (0 = cut at
+// every master boundary).
+func BenchItermemDepth(b *testing.B, depth int) {
+	s, r, err := compileDeepPipeBench()
+	if err != nil {
+		b.Fatal(err)
+	}
+	m := exec.NewMachine(s, r)
+	m.DeterministicFarm = true
+	m.Pipeline = true
+	m.PipelineDepth = depth
+	b.ResetTimer()
+	res, err := m.Run(b.N)
+	b.StopTimer()
+	if err != nil {
+		b.Fatal(err)
+	}
+	if len(res.Outputs) != b.N || res.Outputs[b.N-1] == nil {
+		b.Fatal("benchmark run lost outputs")
+	}
+}
+
+// VerifyItermemDepthSpeedup runs the three-farm loop at depth 2 and at full
+// depth over a fixed frame count and returns the per-frame periods — the
+// tier-1 guard's handle on the deeper cut actually overlapping.
+func VerifyItermemDepthSpeedup(frames int) (depth2, full time.Duration, err error) {
+	runOne := func(depth int) (time.Duration, error) {
+		s, r, cerr := compileDeepPipeBench()
+		if cerr != nil {
+			return 0, cerr
+		}
+		m := exec.NewMachine(s, r)
+		m.DeterministicFarm = true
+		m.Pipeline = true
+		m.PipelineDepth = depth
+		t0 := time.Now()
+		if _, rerr := m.Run(frames); rerr != nil {
+			return 0, rerr
+		}
+		return time.Since(t0) / time.Duration(frames), nil
+	}
+	if depth2, err = runOne(2); err != nil {
+		return 0, 0, fmt.Errorf("harness: depth-2 itermem run: %w", err)
+	}
+	if full, err = runOne(0); err != nil {
+		return 0, 0, fmt.Errorf("harness: full-depth itermem run: %w", err)
+	}
+	return depth2, full, nil
+}
+
 // VerifyItermemPipelineSpeedup runs both modes over a fixed frame count
 // and returns (sequential, pipelined) per-frame periods — the tier-1
 // guard's handle on the pipeline actually overlapping.

@@ -13,9 +13,11 @@ import (
 // Transports lists the executive communication backends the experiments
 // can run over: "mem" is the in-process goroutine executive, "tcp" runs
 // the same schedule split across a hub and one node per remaining
-// processor over localhost sockets, and "unix" is the same multi-process
-// split over unix-domain sockets — the same-host fast path.
-var Transports = []string{"mem", "tcp", "unix"}
+// processor over localhost sockets, "unix" is the same multi-process
+// split over unix-domain sockets, and "shm" layers the shared-memory
+// slab-ring upgrade on the unix plane (DESIGN.md §14) — frames travel
+// through mmap'd per-connection rings, sockets carry only doorbells.
+var Transports = []string{"mem", "tcp", "unix", "shm"}
 
 // e4Spec is the E4 deployment (ring(8), 256x256, 2 vehicles, seed 21).
 func e4Spec(iters int) distrib.Spec {
@@ -44,16 +46,20 @@ func runExecutiveSpec(transport string, sp distrib.Spec) ([]track.Result, *exec.
 			return nil, nil, err
 		}
 		return rec.Results, res, nil
-	case "tcp", "unix":
+	case "tcp", "unix", "shm":
 		// One hub (processor 0) plus one client per remaining processor,
 		// each with its own freshly built registry — the same isolation a
 		// per-processor OS process has, over real sockets (localhost TCP or
-		// a unix-domain socket per the named transport).
+		// a unix-domain socket per the named transport; "shm" additionally
+		// upgrades every connection to a shared-memory ring).
 		listen, cleanup, err := distrib.HubListenAddr(transport)
 		if err != nil {
 			return nil, nil, err
 		}
 		defer cleanup()
+		if transport == "shm" {
+			sp.DataPlane = "shm"
+		}
 		errCh := make(chan error, sp.Procs-1)
 		spawn := func(addr string) error {
 			for p := 1; p < sp.Procs; p++ {

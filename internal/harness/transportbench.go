@@ -35,14 +35,17 @@ type TransportPair struct {
 func (p *TransportPair) Close() { p.close() }
 
 // NewTransportPair builds the benchmark pair for the named backend
-// ("mem", "tcp" or "unix") on a two-processor ring.
+// ("mem", "tcp", "unix" or "shm") on a two-processor ring. The pair's
+// round trips ride the control connection (processor 0 lives on the hub),
+// which on "shm" is exactly the connection the ring upgrade covers — so
+// the bench measures the mmap'd slab path, not a socket.
 func NewTransportPair(kind string) (*TransportPair, error) {
 	a := arch.Ring(2)
 	switch kind {
 	case "mem":
 		tr := memtransport.New(a)
 		return &TransportPair{Master: tr, Worker: tr, close: func() { tr.Close() }}, nil
-	case "tcp", "unix":
+	case "tcp", "unix", "shm":
 		listen, cleanup, err := distrib.HubListenAddr(kind)
 		if err != nil {
 			return nil, err
@@ -52,7 +55,11 @@ func NewTransportPair(kind string) (*TransportPair, error) {
 			cleanup()
 			return nil, err
 		}
-		cl, err := nettransport.Dial(hub.Addr(), benchFingerprint, []arch.ProcID{1}, 5*time.Second)
+		var opts []nettransport.Option
+		if kind == "shm" {
+			opts = append(opts, nettransport.WithDataPlane("shm"))
+		}
+		cl, err := nettransport.Dial(hub.Addr(), benchFingerprint, []arch.ProcID{1}, 5*time.Second, opts...)
 		if err != nil {
 			hub.Close()
 			cleanup()

@@ -100,6 +100,12 @@ func shared() *Pool {
 	return sharedPool
 }
 
+// Shared returns the process-wide pool (sized to GOMAXPROCS, never closed).
+// It is the dispatch target for library-internal data parallelism that
+// should share workers with the skeletons instead of spawning its own —
+// the vision layer's row-band kernel tiles ride on it.
+func Shared() *Pool { return shared() }
+
 // ---------------------------------------------------------------------------
 // Skeletons over a pool. These carry the operational semantics of the paper
 // (degree of parallelism n, demand-driven dispatch, arrival-order

@@ -174,7 +174,9 @@ func Extract(im *Image, r Rect) Window {
 // ExtractInto copies the sub-image of im delimited by r (clipped to the
 // frame) into dst, reusing dst's pixel buffer when large enough. With a
 // reused Window this is allocation-free — the hot-path variant for
-// per-frame window extraction.
+// per-frame window extraction. Tall windows are copied as row bands across
+// the shared skeleton pool (tile.go); bands copy disjoint destination rows,
+// so the result is identical at any parallelism.
 func ExtractInto(dst *Window, im *Image, r Rect) {
 	r = r.Intersect(Rect{0, 0, im.W, im.H})
 	if dst.Img == nil {
@@ -182,11 +184,23 @@ func ExtractInto(dst *Window, im *Image, r Rect) {
 	}
 	dst.Img.reset(r.W(), r.H())
 	w := dst.Img
-	for y := 0; y < r.H(); y++ {
+	if w.W == im.W && r.X0 == 0 {
+		// Full-width window: source rows are contiguous, one flat copy.
+		copy(w.Pix, im.Pix[r.Y0*im.W:r.Y1*im.W])
+	} else if cuts := bandCuts(w.W, w.H); cuts != nil {
+		runBands(cuts, func(b, y0, y1 int) { extractRows(w, im, r, y0, y1) })
+	} else {
+		extractRows(w, im, r, 0, w.H)
+	}
+	dst.Origin = r
+}
+
+// extractRows copies window rows [y0,y1) (window coordinates) out of im.
+func extractRows(w, im *Image, r Rect, y0, y1 int) {
+	for y := y0; y < y1; y++ {
 		src := im.Pix[(r.Y0+y)*im.W+r.X0 : (r.Y0+y)*im.W+r.X1]
 		copy(w.Pix[y*w.W:(y+1)*w.W], src)
 	}
-	dst.Origin = r
 }
 
 // Bytes returns the transfer size of the window: pixels plus a small

@@ -10,17 +10,30 @@ func Threshold(im *Image, t uint8) *Image {
 // ThresholdInto writes the thresholded image into dst (reshaped to im's
 // geometry, reusing its pixel buffer when large enough) and returns dst.
 // With a reused dst this is allocation-free — the in-place variant for
-// per-frame hot loops.
+// per-frame hot loops. Large frames are processed as row bands across the
+// shared skeleton pool (see tile.go); bands write disjoint output rows, so
+// the result is identical at any parallelism.
 func ThresholdInto(dst *Image, im *Image, t uint8) *Image {
 	dst.reset(im.W, im.H)
-	for i, p := range im.Pix {
-		if p >= t {
-			dst.Pix[i] = 255
-		} else {
-			dst.Pix[i] = 0
-		}
+	if cuts := bandCuts(im.W, im.H); cuts != nil {
+		runBands(cuts, func(b, y0, y1 int) { thresholdRows(dst, im, t, y0, y1) })
+	} else {
+		thresholdRows(dst, im, t, 0, im.H)
 	}
 	return dst
+}
+
+func thresholdRows(dst, im *Image, t uint8, y0, y1 int) {
+	w := im.W
+	src := im.Pix[y0*w : y1*w]
+	out := dst.Pix[y0*w : y1*w]
+	for i, p := range src {
+		var v uint8
+		if p >= t {
+			v = 255
+		}
+		out[i] = v
+	}
 }
 
 // CountAbove returns the number of pixels with value >= t.
@@ -107,18 +120,62 @@ type LabelResult struct {
 // methods alias its buffers and are valid until the next call on the same
 // scratch.
 type LabelScratch struct {
-	uf    labelUF
-	remap []int32
-	res   LabelResult
-	comps []Component
-	sx    []int64
-	sy    []int64
+	uf     labelUF
+	bandUF []labelUF // per-band pass-1 union-finds (tiled path)
+	off    []int32   // per-band provisional-label offsets
+	remap  []int32
+	res    LabelResult
+	comps  []Component
+	sx     []int64
+	sy     []int64
+}
+
+// labelBand runs the provisional-labelling raster scan over rows [y0,y1),
+// merging with the left neighbour and with the up neighbour only when it
+// lies inside the band. Provisional label k is stored as k+1 so zero remains
+// "background". Labels and union-find entries are band-local: the band reads
+// and writes only its own rows, so bands are data-race free.
+func labelBand(im *Image, t uint8, labels []int32, uf *labelUF, y0, y1 int) {
+	w := im.W
+	for y := y0; y < y1; y++ {
+		row := y * w
+		for x := 0; x < w; x++ {
+			if im.Pix[row+x] < t {
+				continue
+			}
+			var left, up int32
+			if x > 0 {
+				left = labels[row+x-1]
+			}
+			if y > y0 {
+				up = labels[row-w+x]
+			}
+			switch {
+			case left == 0 && up == 0:
+				labels[row+x] = uf.fresh() + 1
+			case left != 0 && up == 0:
+				labels[row+x] = left
+			case left == 0 && up != 0:
+				labels[row+x] = up
+			default:
+				labels[row+x] = uf.union(left-1, up-1) + 1
+			}
+		}
+	}
 }
 
 // Label performs two-pass 4-connected component labelling with union-find
 // on the binary image produced by thresholding im at t. The returned labels
 // are dense (1..N) in raster order of first appearance. The result aliases
 // the scratch and is valid until the next call on s.
+//
+// Pass 1 runs as row bands on the shared skeleton pool (tile.go): each band
+// labels its rows with a private union-find, then the band structures are
+// translated into one global union-find by prefix-sum offsets and the bands
+// are stitched with one union per connected pixel pair straddling a cut row.
+// Pass 2 resolves every pixel through the global union-find in raster order,
+// so the dense output depends only on the connectivity partition — it is
+// bit-identical to the sequential labelling at any parallelism.
 func (s *LabelScratch) Label(im *Image, t uint8) *LabelResult {
 	w, h := im.W, im.H
 	res := &s.res
@@ -131,30 +188,52 @@ func (s *LabelScratch) Label(im *Image, t uint8) *LabelResult {
 	}
 	s.uf.reset()
 	uf := &s.uf
-	// Pass 1: provisional labels. Provisional label k is stored as k+1 so
-	// zero remains "background".
-	for y := 0; y < h; y++ {
-		row := y * w
-		for x := 0; x < w; x++ {
-			if im.Pix[row+x] < t {
-				continue
+	cuts := bandCuts(w, h)
+	bands := 1
+	if cuts != nil {
+		bands = len(cuts) - 1
+	}
+	if cap(s.off) < bands {
+		s.off = make([]int32, bands)
+	} else {
+		s.off = s.off[:bands]
+	}
+	if cuts == nil {
+		// Single band: label straight into the global union-find.
+		s.off[0] = 0
+		labelBand(im, t, res.Labels, uf, 0, h)
+	} else {
+		if cap(s.bandUF) < bands {
+			bu := make([]labelUF, bands)
+			copy(bu, s.bandUF)
+			s.bandUF = bu
+		} else {
+			s.bandUF = s.bandUF[:bands]
+		}
+		runBands(cuts, func(b, y0, y1 int) {
+			bu := &s.bandUF[b]
+			bu.reset()
+			labelBand(im, t, res.Labels, bu, y0, y1)
+		})
+		// Translate the band union-finds into the global one: band b's local
+		// label l becomes global label off[b]+l, and its parent pointers
+		// (band-internal by construction) shift by the same offset.
+		for b := 0; b < bands; b++ {
+			s.off[b] = int32(len(uf.parent))
+			for _, p := range s.bandUF[b].parent {
+				uf.parent = append(uf.parent, s.off[b]+p)
 			}
-			var left, up int32
-			if x > 0 {
-				left = res.Labels[row+x-1]
-			}
-			if y > 0 {
-				up = res.Labels[row-w+x]
-			}
-			switch {
-			case left == 0 && up == 0:
-				res.Labels[row+x] = uf.fresh() + 1
-			case left != 0 && up == 0:
-				res.Labels[row+x] = left
-			case left == 0 && up != 0:
-				res.Labels[row+x] = up
-			default:
-				res.Labels[row+x] = uf.union(left-1, up-1) + 1
+		}
+		// Stitch the seams: union across every vertically adjacent foreground
+		// pair straddling a cut row.
+		for b := 1; b < bands; b++ {
+			up := (cuts[b] - 1) * w
+			down := cuts[b] * w
+			for x := 0; x < w; x++ {
+				lu, ld := res.Labels[up+x], res.Labels[down+x]
+				if lu != 0 && ld != 0 {
+					uf.union(s.off[b-1]+lu-1, s.off[b]+ld-1)
+				}
 			}
 		}
 	}
@@ -169,18 +248,26 @@ func (s *LabelScratch) Label(im *Image, t uint8) *LabelResult {
 		clear(s.remap)
 	}
 	next := int32(1)
-	for i, l := range res.Labels {
-		if l == 0 {
-			continue
+	for b := 0; b < bands; b++ {
+		y0, y1 := 0, h
+		if cuts != nil {
+			y0, y1 = cuts[b], cuts[b+1]
 		}
-		root := uf.find(l - 1)
-		d := s.remap[root]
-		if d == 0 {
-			d = next
-			next++
-			s.remap[root] = d
+		base := s.off[b]
+		for i := y0 * w; i < y1*w; i++ {
+			l := res.Labels[i]
+			if l == 0 {
+				continue
+			}
+			root := uf.find(base + l - 1)
+			d := s.remap[root]
+			if d == 0 {
+				d = next
+				next++
+				s.remap[root] = d
+			}
+			res.Labels[i] = d
 		}
-		res.Labels[i] = d
 	}
 	res.N = int(next - 1)
 	return res
