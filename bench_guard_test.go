@@ -54,6 +54,7 @@ func TestBenchSnapshotWithinPaperEnvelope(t *testing.T) {
 		checkDataPlane2(t, path, rep)
 		checkDataPlane3(t, path, rep)
 		checkServe(t, path, rep)
+		checkFlightCost(t, path, rep)
 	}
 }
 
@@ -192,6 +193,37 @@ func checkDataPlane3(t *testing.T, path string, rep *harness.BenchReport) {
 	} else if full.NsPerOp > d2.NsPerOp/1.3 {
 		t.Errorf("%s: full-depth itermem frame period %.0f ns vs two-stage %.0f ns; want >= 1.3x speedup",
 			path, full.NsPerOp, d2.NsPerOp)
+	}
+}
+
+// checkFlightCost guards the observability round-2 work on snapshots that
+// carry the paired shm tracing round trips (BENCH_8 onward, DESIGN.md §15):
+// the always-on flight recorder every fleet worker arms must cost at most a
+// couple of allocations and a thin latency margin over the untraced shm
+// round trip — 10% plus a 2µs noise floor so the guard bounds the recorder,
+// not the CI host's scheduling jitter.
+func checkFlightCost(t *testing.T, path string, rep *harness.BenchReport) {
+	entries := map[string]harness.BenchEntry{}
+	for _, e := range rep.Results {
+		entries[e.Name] = e
+	}
+	on, okOn := entries["Trace_shm_FarmRoundTrip_on"]
+	if !okOn {
+		return // pre-round-2 observability snapshot
+	}
+	off, okOff := entries["Trace_shm_FarmRoundTrip_off"]
+	if !okOff {
+		t.Errorf("%s: Trace_shm_FarmRoundTrip_on present without the _off baseline", path)
+		return
+	}
+	if on.AllocsPerOp > off.AllocsPerOp+2 {
+		t.Errorf("%s: armed shm round trip allocates %d/op vs %d/op disarmed; the recorder's budget is 2",
+			path, on.AllocsPerOp, off.AllocsPerOp)
+	}
+	ceiling := 1.10*off.NsPerOp + 2_000
+	if on.NsPerOp > ceiling {
+		t.Errorf("%s: armed shm round trip %.0f ns vs %.0f ns disarmed; want <= 10%% + 2µs overhead",
+			path, on.NsPerOp, off.NsPerOp)
 	}
 }
 

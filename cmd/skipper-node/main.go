@@ -43,11 +43,12 @@ func main() {
 	fleet := flag.String("fleet", "", "skipper-serve fleet address: join as a long-lived worker instead of running one processor")
 	name := flag.String("name", "", "with -fleet: worker name (default host-pid)")
 	timeout := flag.Duration("timeout", 2*time.Minute, "dial + run watchdog (with -fleet: how long to keep retrying the join)")
+	flight := flag.String("flight", "skipper-flight", "with -fleet: directory for the always-on flight recorder's fault artifacts (empty disables)")
 	dieAfterSends := flag.Int("die-after-sends", 0, "chaos: sever this node's transport after it has sent this many frames (0 disables)")
 	flag.Parse()
 
 	if *fleet != "" {
-		if err := distrib.RunWorker(*fleet, *name, *timeout); err != nil {
+		if err := distrib.RunWorker(*fleet, *name, *timeout, *flight); err != nil {
 			fmt.Fprintln(os.Stderr, "skipper-node:", err)
 			os.Exit(1)
 		}

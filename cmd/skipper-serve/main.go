@@ -43,6 +43,7 @@ func main() {
 	jobTimeout := flag.Duration("job-timeout", 2*time.Minute, "per-attempt executive watchdog")
 	jobRequeues := flag.Int("job-requeues", 2, "re-runs granted per job after worker deaths")
 	inProcess := flag.Bool("in-process", false, "run jobs on the in-process executive (no fleet; scheduler benchmarking)")
+	flightDir := flag.String("flight", "skipper-flight", "directory for the always-on flight recorder's fault artifacts (empty disables)")
 	execFlags := distrib.ExecFlagSet(flag.CommandLine)
 	flag.Parse()
 
@@ -55,6 +56,7 @@ func main() {
 		JobTimeout:   *jobTimeout,
 		JobRequeues:  *jobRequeues,
 		InProcess:    *inProcess,
+		FlightDir:    *flightDir,
 		MaxRetries:   *execFlags.MaxRetries,
 		TaskDeadline: *execFlags.TaskDeadline,
 		Heartbeat:    *execFlags.Heartbeat,

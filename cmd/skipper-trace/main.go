@@ -12,12 +12,18 @@
 // the host's wall clock use different units, the comparison normalizes
 // each side to its share of total op time and reports the skew per op.
 //
+// With -skew the same comparison is computed as a report; -skew -json emits
+// it machine-readable (for CI gates and dashboards). -strict exits nonzero
+// when the loaded trace dropped events to ring wrap-around, so automation
+// cannot silently trust a trace with holes in it.
+//
 // Usage:
 //
-//	skipper-trace [-compare] [-top 20] <trace-dir>
+//	skipper-trace [-compare] [-skew [-json]] [-strict] [-top 20] <trace-dir>
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -31,10 +37,13 @@ import (
 
 func main() {
 	compare := flag.Bool("compare", false, "diff measured per-op time shares against the simulator's predicted schedule")
+	skew := flag.Bool("skew", false, "compute the measured-vs-predicted skew report (same math as -compare)")
+	jsonOut := flag.Bool("json", false, "with -skew: emit the report as JSON instead of the human tables")
+	strict := flag.Bool("strict", false, "exit nonzero when the trace dropped events to ring wrap-around")
 	top := flag.Int("top", 20, "rows to print in the per-op latency table (0 = all)")
 	flag.Parse()
 	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: skipper-trace [-compare] [-top N] <trace-dir>")
+		fmt.Fprintln(os.Stderr, "usage: skipper-trace [-compare] [-skew [-json]] [-strict] [-top N] <trace-dir>")
 		os.Exit(2)
 	}
 	dir := flag.Arg(0)
@@ -51,6 +60,25 @@ func main() {
 		}
 	}
 
+	if tr.Dropped > 0 {
+		fmt.Fprintf(os.Stderr,
+			"skipper-trace: WARNING: trace dropped %d events to ring wrap-around — tables and skew shares below have holes; record with a larger ring or a shorter window\n",
+			tr.Dropped)
+	}
+
+	if *skew && *jsonOut {
+		// Machine-readable mode: the skew report is the only stdout output.
+		rep, err := buildSkewReport(tr, spans)
+		if err != nil {
+			fatal(err)
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		enc.Encode(rep)
+		exitStrict(*strict, tr.Dropped)
+		return
+	}
+
 	fmt.Printf("trace: %d events, %d op spans, %d processors", len(tr.Events), len(spans), len(tr.Procs))
 	if tr.Dropped > 0 {
 		fmt.Printf(" (%d events dropped to ring wrap)", tr.Dropped)
@@ -61,10 +89,21 @@ func main() {
 	printUtilization(spans, nprocs)
 	printCriticalPath(spans)
 
-	if *compare {
-		if err := compareWithPrediction(tr, spans); err != nil {
+	if *compare || *skew {
+		rep, err := buildSkewReport(tr, spans)
+		if err != nil {
 			fatal(err)
 		}
+		printSkewReport(rep)
+	}
+	exitStrict(*strict, tr.Dropped)
+}
+
+// exitStrict enforces -strict: a trace with holes fails the invocation.
+func exitStrict(strict bool, dropped int64) {
+	if strict && dropped > 0 {
+		fmt.Fprintf(os.Stderr, "skipper-trace: strict mode: failing on %d dropped events\n", dropped)
+		os.Exit(1)
 	}
 }
 
@@ -133,26 +172,51 @@ func printCriticalPath(spans []obsv.OpSpan) {
 	}
 }
 
-// compareWithPrediction recompiles the deployment named by the trace's
-// metadata, simulates it, and diffs the per-op time shares.
-func compareWithPrediction(tr *obsv.Trace, spans []obsv.OpSpan) error {
+// skewReport is the measured-vs-predicted comparison in machine-readable
+// form — what `-skew -json` emits and the human table renders.
+type skewReport struct {
+	Topology string `json:"topology"`
+	Procs    int    `json:"procs"`
+	Iters    int    `json:"iters"`
+	// DroppedEvents flags an incomplete trace: shares below have holes.
+	DroppedEvents int64       `json:"droppedEvents,omitempty"`
+	Ops           []skewEntry `json:"ops"`
+	// PredictedOnly/MeasuredOnly are labels one side knows and the other
+	// does not (a trace from a different build, or ops the simulator folds).
+	PredictedOnly []string `json:"predictedOnly,omitempty"`
+	MeasuredOnly  []string `json:"measuredOnly,omitempty"`
+}
+
+// skewEntry is one op's normalized time shares. Shares are fractions of
+// each side's total op time over the common labels; SkewPct is the
+// measured share minus the predicted share, in percentage points.
+type skewEntry struct {
+	Op             string  `json:"op"`
+	PredictedShare float64 `json:"predictedShare"`
+	MeasuredShare  float64 `json:"measuredShare"`
+	SkewPct        float64 `json:"skewPct"`
+	MeasuredNS     int64   `json:"measuredNs"`
+}
+
+// buildSkewReport recompiles the deployment named by the trace's metadata,
+// simulates it, and diffs the per-op time shares. The simulator's virtual
+// seconds and the trace's wall-clock nanoseconds are incommensurable, so
+// each side is normalized to its share of total op time over the labels
+// both sides know about.
+func buildSkewReport(tr *obsv.Trace, spans []obsv.OpSpan) (*skewReport, error) {
 	sp, err := distrib.SpecFromMeta(tr.Meta)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	s, reg, _, err := sp.Compile()
 	if err != nil {
-		return fmt.Errorf("recompiling spec from trace meta: %w", err)
+		return nil, fmt.Errorf("recompiling spec from trace meta: %w", err)
 	}
 	res, err := sim.Run(s, reg, sim.Options{Iters: sp.Iters, Trace: true})
 	if err != nil {
-		return fmt.Errorf("simulating predicted schedule: %w", err)
+		return nil, fmt.Errorf("simulating predicted schedule: %w", err)
 	}
 
-	// Aggregate per-label totals on both sides. The simulator's virtual
-	// seconds and the trace's wall-clock nanoseconds are incommensurable,
-	// so each side is normalized to its share of total op time over the
-	// labels both sides know about.
 	predicted := map[string]float64{}
 	for _, span := range res.Spans {
 		predicted[span.Label] += span.End - span.Start
@@ -171,39 +235,57 @@ func compareWithPrediction(tr *obsv.Trace, spans []obsv.OpSpan) error {
 		}
 	}
 	if len(labels) == 0 {
-		return fmt.Errorf("no op labels common to the trace and the predicted schedule (trace recorded with a different build?)")
+		return nil, fmt.Errorf("no op labels common to the trace and the predicted schedule (trace recorded with a different build?)")
 	}
 	sort.Slice(labels, func(a, b int) bool { return measured[labels[a]] > measured[labels[b]] })
 
-	fmt.Printf("\npredicted vs measured (%s, %d procs, %d iters), normalized time shares over %d common ops:\n",
-		sp.Topology, sp.Procs, sp.Iters, len(labels))
-	fmt.Printf("%-24s %11s %11s %8s\n", "op", "predicted", "measured", "skew")
+	rep := &skewReport{
+		Topology:      sp.Topology,
+		Procs:         sp.Procs,
+		Iters:         sp.Iters,
+		DroppedEvents: tr.Dropped,
+	}
 	for _, l := range labels {
 		ps := predicted[l] / predTotal
 		ms := measured[l] / measTotal
-		skew := (ms - ps) * 100
-		fmt.Printf("%-24s %10.2f%% %10.2f%% %+7.2f%%\n", clip(l, 24), 100*ps, 100*ms, skew)
+		rep.Ops = append(rep.Ops, skewEntry{
+			Op:             l,
+			PredictedShare: ps,
+			MeasuredShare:  ms,
+			SkewPct:        (ms - ps) * 100,
+			MeasuredNS:     int64(measured[l]),
+		})
 	}
-	var onlyPred, onlyMeas []string
 	for l := range predicted {
 		if _, ok := measured[l]; !ok {
-			onlyPred = append(onlyPred, l)
+			rep.PredictedOnly = append(rep.PredictedOnly, l)
 		}
 	}
 	for l := range measured {
 		if _, ok := predicted[l]; !ok {
-			onlyMeas = append(onlyMeas, l)
+			rep.MeasuredOnly = append(rep.MeasuredOnly, l)
 		}
 	}
-	sort.Strings(onlyPred)
-	sort.Strings(onlyMeas)
-	if len(onlyPred) > 0 {
-		fmt.Printf("predicted only: %s\n", strings.Join(onlyPred, ", "))
+	sort.Strings(rep.PredictedOnly)
+	sort.Strings(rep.MeasuredOnly)
+	return rep, nil
+}
+
+// printSkewReport renders the report as the human-facing table.
+func printSkewReport(rep *skewReport) {
+	fmt.Printf("\npredicted vs measured (%s, %d procs, %d iters), normalized time shares over %d common ops:\n",
+		rep.Topology, rep.Procs, rep.Iters, len(rep.Ops))
+	fmt.Printf("%-24s %11s %11s %8s\n", "op", "predicted", "measured", "skew")
+	for _, e := range rep.Ops {
+		fmt.Printf("%-24s %10.2f%% %10.2f%% %+7.2f%%\n",
+			clip(e.Op, 24), 100*e.PredictedShare, 100*e.MeasuredShare, e.SkewPct)
 	}
-	if len(onlyMeas) > 0 {
-		fmt.Printf("measured only : %s\n", strings.Join(onlyMeas, ", "))
+	if len(rep.PredictedOnly) > 0 {
+		fmt.Printf("predicted only: %s\n", strings.Join(rep.PredictedOnly, ", "))
 	}
-	return nil
+	if len(rep.MeasuredOnly) > 0 {
+		fmt.Printf("measured only : %s\n", strings.Join(rep.MeasuredOnly, ", "))
+	}
 }
 
 func fmtNS(ns int64) string {

@@ -61,6 +61,14 @@ type Job struct {
 	// 0 or 1 cuts at every farm boundary, 2 restores the historical
 	// front/back split. Job description for the same reason Pipeline is.
 	PipelineDepth int `json:"pipelineDepth,omitempty"`
+	// Trace arms job-scoped event tracing on every process of the
+	// deployment: workers record their assignment's executive and
+	// transport events into a dedicated full-size ring and ship the
+	// snapshot back with the done message, and the serve hub keeps its own
+	// per-attempt recorder, so `GET /jobs/{id}/trace` serves the merged
+	// clock-aligned timeline. Executive tuning like Pipeline: not part of
+	// the schedule fingerprint.
+	Trace bool `json:"trace,omitempty"`
 }
 
 // Spec is one process's full view of a deployment: the shared Job plus the
@@ -245,7 +253,9 @@ func RunProcs(sp Spec, procs []int, hubAddr string, salt uint64, d time.Duration
 		}
 		local[i] = arch.ProcID(p)
 	}
-	cl, err := nettransport.Dial(hubAddr, s.Fingerprint()^salt, local, d, sp.netOptions()...)
+	trec := sp.newRecorder()
+	cl, err := nettransport.Dial(hubAddr, s.Fingerprint()^salt, local, d,
+		append(sp.netOptions(), nettransport.WithTrace(trec))...)
 	if err != nil {
 		return err
 	}
@@ -267,7 +277,7 @@ func RunProcs(sp Spec, procs []int, hubAddr string, salt uint64, d time.Duration
 	m.FT = sp.ft()
 	m.Pipeline = sp.Pipeline
 	m.PipelineDepth = sp.PipelineDepth
-	ob, err := sp.observe(tr, m, nil)
+	ob, err := sp.observe(tr, m, nil, trec)
 	if err != nil {
 		return err
 	}
@@ -299,7 +309,9 @@ func RunCoordinator(sp Spec, listen string, spawn func(addr string) error, d tim
 	if err != nil {
 		return nil, nil, err
 	}
-	hub, err := nettransport.NewHub(listen, s.Arch, s.Fingerprint(), []arch.ProcID{0}, sp.netOptions()...)
+	trec := sp.newRecorder()
+	hub, err := nettransport.NewHub(listen, s.Arch, s.Fingerprint(), []arch.ProcID{0},
+		append(sp.netOptions(), nettransport.WithTrace(trec))...)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -312,7 +324,7 @@ func RunCoordinator(sp Spec, listen string, spawn func(addr string) error, d tim
 	// The debug server comes up before the nodes are spawned and before the
 	// run starts, so health and metrics are scrapeable while the cluster is
 	// attaching and mid-run.
-	ob, err := sp.observe(hub, m, hub)
+	ob, err := sp.observe(hub, m, hub, trec)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -364,7 +376,8 @@ func RunInProcess(sp Spec, d time.Duration) (*track.Recorder, *exec.RunResult, e
 	m.DeterministicFarm = sp.Deterministic
 	m.FT = sp.ft()
 	m.Pipeline = sp.Pipeline
-	ob, err := sp.observe(t, m, nil)
+	m.PipelineDepth = sp.PipelineDepth
+	ob, err := sp.observe(t, m, nil, sp.newRecorder())
 	if err != nil {
 		return nil, nil, err
 	}

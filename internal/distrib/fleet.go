@@ -32,6 +32,7 @@ import (
 	"skipper/internal/arch"
 	"skipper/internal/exec"
 	"skipper/internal/exec/nettransport"
+	"skipper/internal/obsv"
 )
 
 // Fleet message types.
@@ -72,6 +73,12 @@ type FleetMsg struct {
 	TimeoutMS      int64 `json:"timeoutMs,omitempty"`
 	// Error reports a failed assignment (done messages).
 	Error string `json:"error,omitempty"`
+	// Trace is a traced assignment's event snapshot, shipped back with the
+	// done message (Job.Trace set) so the control plane can merge every
+	// worker's timeline into the job's clock-aligned trace. Done messages
+	// echo Salt so the control plane can attribute the snapshot to the
+	// right attempt of a requeued job.
+	Trace *obsv.Trace `json:"trace,omitempty"`
 }
 
 // splitFleetAddr mirrors the nettransport address scheme: "unix:"-prefixed
@@ -96,9 +103,15 @@ type Worker struct {
 	encMu sync.Mutex
 	enc   *json.Encoder
 
-	mu     sync.Mutex
-	active map[string]*nettransport.Client // job id → its session transport
-	killed bool
+	mu      sync.Mutex
+	active  map[string]*nettransport.Client // job id → its session transport
+	jobRecs map[string]*obsv.Recorder       // job id → traced assignment's recorder
+	killed  bool
+
+	// flight, when armed (EnableFlight), is the worker's always-on flight
+	// recorder: untraced assignments record into its bounded ring, and any
+	// fault auto-dumps a trace artifact.
+	flight *obsv.Flight
 
 	closing  atomic.Bool
 	jobWG    sync.WaitGroup
@@ -135,6 +148,7 @@ func JoinFleet(addr, name string, d time.Duration) (*Worker, error) {
 		dec:      json.NewDecoder(c),
 		enc:      json.NewEncoder(c),
 		active:   map[string]*nettransport.Client{},
+		jobRecs:  map[string]*obsv.Recorder{},
 		pingStop: make(chan struct{}),
 	}
 	if err := w.send(FleetMsg{Type: MsgJoin, Name: name}); err != nil {
@@ -158,6 +172,55 @@ func JoinFleet(addr, name string, d time.Duration) (*Worker, error) {
 
 // Name is the worker's fleet registration name.
 func (w *Worker) Name() string { return w.name }
+
+// EnableFlight arms the worker's always-on flight recorder: every
+// assignment's executive and transport events land in a bounded ring at all
+// times, and any fault — peer-down, redispatch, degrade, cancel, abort —
+// auto-dumps the last few seconds as a trace artifact under dir. Idempotent;
+// an empty dir leaves the flight unarmed.
+func (w *Worker) EnableFlight(dir string) {
+	if dir == "" || w.flight != nil {
+		return
+	}
+	w.flight = obsv.NewFlight(dir, w.name, obsv.FlightOptions{
+		Procs: 16, // spread arbitrary assignments' proc IDs across rings
+		Extra: w.activeTraces,
+	})
+}
+
+// Flight exposes the worker's flight recorder (nil unless EnableFlight ran).
+func (w *Worker) Flight() *obsv.Flight { return w.flight }
+
+// flightRecorder is the ring untraced assignments record into.
+func (w *Worker) flightRecorder() *obsv.Recorder {
+	if w.flight == nil {
+		return nil
+	}
+	return w.flight.Recorder()
+}
+
+// flightTrigger routes a traced assignment's fault hook into the flight's
+// rate-limited dump path, so faults auto-dump even when the assignment
+// records into its own dedicated ring instead of the flight ring.
+func (w *Worker) flightTrigger(k obsv.EventKind) {
+	if w.flight != nil {
+		w.flight.Trigger(k)
+	}
+}
+
+// activeTraces snapshots the traced assignments' recorders at dump time so a
+// fault artifact carries their timelines alongside the flight ring. These
+// are best-effort mid-run snapshots: an event being stored concurrently may
+// be missed, which is fine for a post-mortem artifact.
+func (w *Worker) activeTraces() []*obsv.Trace {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	var out []*obsv.Trace
+	for _, r := range w.jobRecs {
+		out = append(out, r.Snapshot())
+	}
+	return out
+}
 
 func (w *Worker) send(msg FleetMsg) error {
 	w.encMu.Lock()
@@ -245,10 +308,12 @@ func (w *Worker) Kill() {
 	}
 }
 
-// runAssignment executes one job assignment and reports the outcome.
+// runAssignment executes one job assignment and reports the outcome. The
+// done message echoes the assignment's salt (attempt identity) and, for a
+// traced job, carries the worker's event snapshot home.
 func (w *Worker) runAssignment(m FleetMsg) {
-	err := w.execute(m)
-	done := FleetMsg{Type: MsgDone, JobID: m.JobID, Name: w.name}
+	tr, err := w.execute(m)
+	done := FleetMsg{Type: MsgDone, JobID: m.JobID, Name: w.name, Salt: m.Salt, Trace: tr}
 	if err != nil {
 		done.Error = err.Error()
 	}
@@ -259,12 +324,13 @@ func (w *Worker) runAssignment(m FleetMsg) {
 // the fleet hub under the salted fingerprint claiming the assigned
 // processors, run their op programs, detach. It is RunProcs with the
 // session transport registered on the worker so Kill can sever mid-run.
-func (w *Worker) execute(m FleetMsg) error {
+// For a traced job it returns the assignment's event snapshot.
+func (w *Worker) execute(m FleetMsg) (*obsv.Trace, error) {
 	if m.Job == nil {
-		return errors.New("distrib: run message without job spec")
+		return nil, errors.New("distrib: run message without job spec")
 	}
 	if m.HubAddr == "" {
-		return errors.New("distrib: run message without hub address")
+		return nil, errors.New("distrib: run message without hub address")
 	}
 	sp := Spec{
 		Job:          *m.Job,
@@ -278,27 +344,49 @@ func (w *Worker) execute(m FleetMsg) error {
 	}
 	s, reg, _, err := sp.Compile()
 	if err != nil {
-		return err
+		return nil, err
 	}
 	if len(m.Procs) == 0 {
-		return errors.New("distrib: run message assigns no processors")
+		return nil, errors.New("distrib: run message assigns no processors")
 	}
 	local := make([]arch.ProcID, len(m.Procs))
 	for i, p := range m.Procs {
 		if p <= 0 || p >= s.Arch.N {
-			return fmt.Errorf("distrib: assigned processor %d outside 1..%d", p, s.Arch.N-1)
+			return nil, fmt.Errorf("distrib: assigned processor %d outside 1..%d", p, s.Arch.N-1)
 		}
 		local[i] = arch.ProcID(p)
 	}
-	cl, err := nettransport.Dial(m.HubAddr, s.Fingerprint()^m.Salt, local, 30*time.Second, sp.netOptions()...)
+	// A traced job records into its own full-size ring whose snapshot ships
+	// home; an untraced one records into the bounded always-on flight ring.
+	// Either way the fault hook routes through the flight's dump path, and
+	// the recorder rides the dial (WithTrace) so it is armed before the
+	// session's first inbound frame — a post-Dial SetTrace can lose the
+	// initial task dispatch to the arming race.
+	var jrec *obsv.Recorder
+	rec := w.flightRecorder()
+	if sp.Trace {
+		jrec = obsv.NewRecorder(s.Arch.N, 0)
+		jrec.SetFaultHook(w.flightTrigger)
+		w.mu.Lock()
+		w.jobRecs[m.JobID] = jrec
+		w.mu.Unlock()
+		defer func() {
+			w.mu.Lock()
+			delete(w.jobRecs, m.JobID)
+			w.mu.Unlock()
+		}()
+		rec = jrec
+	}
+	cl, err := nettransport.Dial(m.HubAddr, s.Fingerprint()^m.Salt, local, 30*time.Second,
+		append(sp.netOptions(), nettransport.WithTrace(rec))...)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	w.mu.Lock()
 	if w.killed {
 		w.mu.Unlock()
 		cl.Sever()
-		return errors.New("distrib: worker killed")
+		return nil, errors.New("distrib: worker killed")
 	}
 	w.active[m.JobID] = cl
 	w.mu.Unlock()
@@ -315,18 +403,40 @@ func (w *Worker) execute(m FleetMsg) error {
 	mach.DeterministicFarm = sp.Deterministic
 	mach.FT = sp.ft()
 	mach.Pipeline = sp.Pipeline
-	_, runErr := mach.RunWithTimeout(sp.Iters, timeout)
-	return runErr
+	mach.PipelineDepth = sp.PipelineDepth
+	mach.Trace = rec
+	res, runErr := mach.RunWithTimeout(sp.Iters, timeout)
+	if jrec == nil {
+		return nil, runErr
+	}
+	var tr *obsv.Trace
+	if res != nil && res.Trace != nil {
+		tr = res.Trace
+	} else {
+		tr = jrec.Snapshot()
+	}
+	if len(tr.Procs) == 0 {
+		tr.Procs = m.Procs
+	}
+	tr.ClockOffsetNS = cl.ClockOffsetNS()
+	tr.Meta = sp.traceMeta()
+	tr.Meta["worker"] = w.name
+	return tr, runErr
 }
 
 // RunWorker is the whole lifecycle of one fleet worker process: join the
 // control plane at addr and serve job assignments until it stops or
 // disappears. The long-lived sibling of RunNode, used by
-// `skipper-node -fleet`.
-func RunWorker(addr, name string, d time.Duration) error {
+// `skipper-node -fleet`. flightDir arms the always-on flight recorder
+// (empty disables it); fault artifacts land there.
+func RunWorker(addr, name string, d time.Duration, flightDir string) error {
 	w, err := JoinFleet(addr, name, d)
 	if err != nil {
 		return err
+	}
+	w.EnableFlight(flightDir)
+	if w.flight != nil {
+		defer w.flight.Close()
 	}
 	return w.Serve()
 }

@@ -24,22 +24,38 @@ type observer struct {
 // queueDepther is implemented by both transport backends.
 type queueDepther interface{ QueueDepth() int }
 
+// newRecorder mints this process's event recorder when the spec asks for
+// tracing, nil otherwise. Minted before the transport comes up so it can
+// ride the dial/bind (nettransport.WithTrace) — a recorder armed after the
+// fact can miss the first inbound frames, which the completeness suite
+// rejects as unpaired sends.
+func (sp Spec) newRecorder() *obsv.Recorder {
+	if sp.TraceDir == "" {
+		return nil
+	}
+	n := sp.Procs
+	if n < 1 {
+		n = 1
+	}
+	return obsv.NewRecorder(n, 0)
+}
+
 // observe wires tracing and the debug endpoint into machine m running over
 // transport t. hub is non-nil only on the coordinator, whose /varz then
-// carries the cluster-aggregate view. Must be called before m runs: the
-// debug server starts serving immediately (so a scrape can land mid-run)
-// and the recorder must be armed before traffic starts.
-func (sp Spec) observe(t transport.Transport, m *exec.Machine, hub *nettransport.Hub) (*observer, error) {
+// carries the cluster-aggregate view. rec is the process recorder from
+// newRecorder, already handed to the transport at dial/bind time. Must be
+// called before m runs: the debug server starts serving immediately (so a
+// scrape can land mid-run).
+func (sp Spec) observe(t transport.Transport, m *exec.Machine, hub *nettransport.Hub, rec *obsv.Recorder) (*observer, error) {
 	ob := &observer{}
 	if sp.TraceDir != "" {
 		if err := os.MkdirAll(sp.TraceDir, 0o755); err != nil {
 			return nil, fmt.Errorf("distrib: trace dir: %w", err)
 		}
-		n := sp.Procs
-		if n < 1 {
-			n = 1
+		if rec == nil {
+			rec = sp.newRecorder()
 		}
-		ob.rec = obsv.NewRecorder(n, 0)
+		ob.rec = rec
 		m.Trace = ob.rec
 	}
 	if sp.DebugAddr != "" {
@@ -70,6 +86,20 @@ func (sp Spec) observe(t transport.Transport, m *exec.Machine, hub *nettransport
 		mx.CounterFunc("skipper_task_redispatches_total",
 			"Farm tasks re-dispatched onto surviving workers after their worker died.",
 			m.FTRedispatches)
+		m.StageLatency = mx.StageObserver("skipper_pipeline_stage",
+			"Pipelined itermem stage busy time per frame in seconds.")
+		mx.CounterFunc("skipper_net_batch_flushes_total",
+			"Writer drains that coalesced two or more frames into one syscall.",
+			func() int64 { f, _ := nettransport.BatchStats(); return f })
+		mx.CounterFunc("skipper_net_batch_subframes_total",
+			"Frames shipped inside coalesced writer drains.",
+			func() int64 { _, s := nettransport.BatchStats(); return s })
+		mx.CounterFunc("skipper_shm_doorbell_arms_total",
+			"Armed-sleep transitions on shm rings (a spin window expired).",
+			func() int64 { a, _ := nettransport.ShmStats(); return a })
+		mx.CounterFunc("skipper_shm_doorbell_rings_total",
+			"Doorbell wakeups delivered to a sleeping shm peer.",
+			func() int64 { _, r := nettransport.ShmStats(); return r })
 		if qd, ok := t.(queueDepther); ok {
 			mx.GaugeFunc("skipper_mailbox_queue_depth",
 				"Delivered-but-unconsumed values across local mailboxes.",
@@ -93,6 +123,11 @@ func (sp Spec) observe(t transport.Transport, m *exec.Machine, hub *nettransport
 		if ob.rec != nil {
 			rec := ob.rec
 			mx.CounterFunc("skipper_trace_dropped_events_total",
+				"Trace events lost to ring wrap-around.",
+				func() int64 { return rec.Dropped() })
+			// Canonical short name; kept alongside the historical series so
+			// existing dashboards survive.
+			mx.CounterFunc("skipper_trace_dropped_total",
 				"Trace events lost to ring wrap-around.",
 				func() int64 { return rec.Dropped() })
 		}
@@ -163,6 +198,10 @@ func (sp Spec) traceMeta() map[string]string {
 		"deterministic": strconv.FormatBool(sp.Deterministic),
 	}
 }
+
+// TraceMeta exposes the deployment meta embedded in trace files, for
+// control planes (serve) that assemble job traces outside this package.
+func (sp Spec) TraceMeta() map[string]string { return sp.traceMeta() }
 
 // SpecFromMeta reconstructs the deployment spec a trace was recorded under.
 func SpecFromMeta(meta map[string]string) (Spec, error) {

@@ -8,19 +8,35 @@ import (
 )
 
 // runTraced executes the tracking spec with tracing armed on the named
-// transport (mem = one in-process machine; tcp = hub plus in-process
-// goroutine node clients over real localhost sockets, each process-alike
-// writing its own trace file) and returns the merged deployment trace.
-func runTraced(t *testing.T, transport string, iters int) *obsv.Trace {
+// transport (mem = one in-process machine; tcp/unix/shm = hub plus
+// in-process goroutine node clients over real sockets on the named data
+// plane, each process-alike writing its own trace file), optionally with
+// the itermem loop software-pipelined at full depth, and returns the
+// merged deployment trace.
+func runTraced(t *testing.T, transport string, iters int, pipeline bool) *obsv.Trace {
 	t.Helper()
 	sp := trackingSpec(iters)
 	sp.TraceDir = t.TempDir()
+	// Full depth: PipelineDepth 0 cuts at every farm boundary, the maximum
+	// stage count the schedule admits (DESIGN.md §14).
+	sp.Pipeline = pipeline
 	switch transport {
 	case "mem":
 		if _, _, err := RunInProcess(sp, time.Minute); err != nil {
 			t.Fatal(err)
 		}
-	case "tcp":
+	case "tcp", "unix", "shm":
+		listen := "127.0.0.1:0"
+		if transport != "tcp" {
+			var cleanup func()
+			var lerr error
+			listen, cleanup, lerr = HubListenAddr(transport)
+			if lerr != nil {
+				t.Fatal(lerr)
+			}
+			defer cleanup()
+			sp.DataPlane = transport
+		}
 		errCh := make(chan error, sp.Procs-1)
 		spawn := func(addr string) error {
 			for p := 1; p < sp.Procs; p++ {
@@ -30,7 +46,7 @@ func runTraced(t *testing.T, transport string, iters int) *obsv.Trace {
 			}
 			return nil
 		}
-		if _, _, err := RunCoordinator(sp, "127.0.0.1:0", spawn, time.Minute); err != nil {
+		if _, _, err := RunCoordinator(sp, listen, spawn, time.Minute); err != nil {
 			t.Fatal(err)
 		}
 		for i := 1; i < sp.Procs; i++ {
@@ -48,14 +64,27 @@ func runTraced(t *testing.T, transport string, iters int) *obsv.Trace {
 	return tr
 }
 
-// TestTraceCompleteness is the event-pairing gate on both transports: in a
-// clean run every recorded send must have a matching receive (same message
-// key, transport-wide) and every op-start a matching op-end — nothing the
-// executive injected may vanish from the trace.
+// TestTraceCompleteness is the event-pairing gate across every data plane
+// and under full-depth pipelining: in a clean run every recorded send must
+// have a matching receive (same message key, transport-wide) and every
+// op-start a matching op-end — nothing the executive injected may vanish
+// from the trace.
 func TestTraceCompleteness(t *testing.T) {
-	for _, transport := range []string{"mem", "tcp"} {
-		t.Run(transport, func(t *testing.T) {
-			tr := runTraced(t, transport, 6)
+	cases := []struct {
+		name      string
+		transport string
+		pipeline  bool
+	}{
+		{"mem", "mem", false},
+		{"tcp", "tcp", false},
+		{"unix", "unix", false},
+		{"shm", "shm", false},
+		{"mem-pipeline", "mem", true},
+		{"shm-pipeline", "shm", true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			tr := runTraced(t, tc.transport, 6, tc.pipeline)
 			if len(tr.Events) == 0 {
 				t.Fatal("trace is empty")
 			}
@@ -111,6 +140,17 @@ func TestTraceCompleteness(t *testing.T) {
 			}
 			if len(spans) != nStarts {
 				t.Errorf("paired %d op spans from %d starts", len(spans), nStarts)
+			}
+			if tc.pipeline {
+				var nHand int
+				for _, ev := range tr.Events {
+					if ev.Kind == obsv.EvStageHand {
+						nHand++
+					}
+				}
+				if nHand == 0 {
+					t.Error("pipelined run recorded no stage hand-off events")
+				}
 			}
 		})
 	}

@@ -263,6 +263,9 @@ func (m *Machine) runMasterFT(st *procState, id graph.NodeID) error {
 			return nil
 		}
 		if tasks[idx].tries > m.FT.MaxRetries {
+			if m.Trace != nil {
+				m.Trace.Record(int32(st.p), obsv.EvDegrade, 0, -1, int64(idx))
+			}
 			return fmt.Errorf("exec: farm %s task %d lost its worker %d times (max-retries %d exhausted)",
 				n.Name, idx, tasks[idx].tries, m.FT.MaxRetries)
 		}

@@ -91,6 +91,12 @@ type Machine struct {
 	// OpLatency, when set, receives every op's duration in seconds. It is
 	// independent of Trace (metrics without tracing and vice versa).
 	OpLatency *obsv.Histogram
+	// StageLatency, when set and the pipelined interpreter is active,
+	// receives each pipeline stage's busy time per frame in seconds — the
+	// measured per-stage period a latency/throughput re-mapper consumes.
+	// Like OpLatency it is independent of Trace (which records the same
+	// hand-offs as EvStageHand events).
+	StageLatency func(stage int, seconds float64)
 
 	// FT, when enabled (MaxRetries > 0) and the transport supports failure
 	// notification, makes farm-worker death survivable: in-flight tasks are
@@ -315,6 +321,9 @@ func (m *Machine) Cancel() {
 	m.errMu.Unlock()
 	if already || t == nil {
 		return
+	}
+	if m.Trace != nil {
+		m.Trace.Record(-1, obsv.EvCancel, 0, -1, 0)
 	}
 	t.Abort()
 }
@@ -647,6 +656,7 @@ func (m *Machine) runProcessorPipelined(p arch.ProcID, iters int, cuts []int) {
 	memTok := make(chan struct{}, 1) // MEM ownership baton
 	memTok <- struct{}{}             // frame 0 reads the initial state
 
+	trace, stageLat := m.Trace, m.StageLatency
 	var bwg sync.WaitGroup
 	for j := 1; j < stages; j++ {
 		bwg.Add(1)
@@ -658,6 +668,10 @@ func (m *Machine) runProcessorPipelined(p arch.ProcID, iters int, cuts []int) {
 				defer close(hands[j+1])
 			}
 			for f := range hands[j] {
+				var s0 time.Time
+				if stageLat != nil {
+					s0 = time.Now()
+				}
 				for _, i := range stageOps[j] {
 					if m.firstErr() != nil {
 						return
@@ -680,6 +694,14 @@ func (m *Machine) runProcessorPipelined(p arch.ProcID, iters int, cuts []int) {
 						m.fail(err)
 						return
 					}
+				}
+				// The frame leaves this stage: record the baton hand-off and
+				// the stage's busy time — the measured per-stage period.
+				if trace != nil {
+					trace.Record(int32(p), obsv.EvStageHand, 0, int32(j), int64(f.iter))
+				}
+				if stageLat != nil {
+					stageLat(j, time.Since(s0).Seconds())
 				}
 				if last {
 					// Frame done (MEM writes included): hand the state baton
@@ -707,6 +729,10 @@ func (m *Machine) runProcessorPipelined(p arch.ProcID, iters int, cuts []int) {
 			p:    p,
 			outs: map[graph.NodeID][]value.Value{},
 			recv: map[graph.EdgeID]value.Value{},
+		}
+		var s0 time.Time
+		if stageLat != nil {
+			s0 = time.Now()
 		}
 		fail := false
 		// Pass 1: the hoisted state-independent ops — this is the work
@@ -755,6 +781,12 @@ func (m *Machine) runProcessorPipelined(p arch.ProcID, iters int, cuts []int) {
 		}
 		if fail {
 			break
+		}
+		if trace != nil {
+			trace.Record(int32(p), obsv.EvStageHand, 0, 0, int64(iter))
+		}
+		if stageLat != nil {
+			stageLat(0, time.Since(s0).Seconds())
 		}
 		select {
 		case hands[1] <- pipeFrame{st: st, iter: iter}:

@@ -190,7 +190,7 @@ func TestPartialBatchAtConnectionClose(t *testing.T) {
 // fast path and the coalesced path.
 func TestWriterCoalescingPreservesFrameStream(t *testing.T) {
 	c1, c2 := net.Pipe()
-	w := newWConn(c1, nil)
+	w := newWConn(c1, nil, nil)
 
 	const frames = 24
 	key := transport.EdgeKey(graph.EdgeID(3))

@@ -202,6 +202,11 @@ func newClient(fingerprint uint64, local []arch.ProcID, c wire, br *bufio.Reader
 		clockOff: clockOff,
 	}
 	cl.meshCond = sync.NewCond(&cl.meshMu)
+	if o.trace != nil {
+		// Armed before the loops below start: the first inbound frame can
+		// beat any post-Dial SetTrace call.
+		cl.rec.Store(o.trace)
+	}
 	cl.w = newWConn(c, func(err error) {
 		// The aborted check breaks a re-entrant deadlock: Abort's best-effort
 		// abort-frame send can fail inline on this very goroutine (the hub is
@@ -210,7 +215,7 @@ func newClient(fingerprint uint64, local []arch.ProcID, c wire, br *bufio.Reader
 		if !cl.closing.Load() && !cl.aborted.Load() {
 			cl.failf("nettransport: hub connection: %v", err)
 		}
-	})
+	}, &cl.rec)
 	for _, p := range local {
 		cl.localSet[p] = true
 		cl.boxes[p] = transport.NewMailbox()

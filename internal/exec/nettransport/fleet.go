@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"skipper/internal/arch"
+	"skipper/internal/obsv"
 )
 
 // FleetHub is the long-lived listener side of the net backend: one bound
@@ -26,6 +27,10 @@ import (
 type FleetHub struct {
 	ln net.Listener
 	hb time.Duration // heartbeat interval; 0 = no liveness monitor
+	// trace (WithTrace) pre-arms every session opened on this hub — set for
+	// single-session Hub deployments so the recorder is live before any
+	// node attaches; schedulers multiplexing sessions arm each one instead.
+	trace *obsv.Recorder
 
 	mu       sync.Mutex
 	sessions map[uint64]*Session
@@ -51,6 +56,7 @@ func NewFleetHub(addr string, opts ...Option) (*FleetHub, error) {
 	f := &FleetHub{
 		ln:       ln,
 		hb:       o.heartbeat,
+		trace:    o.trace,
 		sessions: map[uint64]*Session{},
 	}
 	f.wg.Add(1)
@@ -82,6 +88,11 @@ func (f *FleetHub) OpenSession(a *arch.Arch, fingerprint uint64, local []arch.Pr
 		return nil, fmt.Errorf("nettransport: a session with fingerprint %#x is already open", fingerprint)
 	}
 	s := newSession(f, a, fingerprint, local)
+	if f.trace != nil {
+		// Before the registry insert: once registered, a dialing node's
+		// frames route to this session immediately.
+		s.rec.Store(f.trace)
+	}
 	f.sessions[fingerprint] = s
 	return s, nil
 }

@@ -29,13 +29,31 @@ import (
 	"io"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"skipper/internal/arch"
 	"skipper/internal/exec/transport"
 	"skipper/internal/graph"
+	"skipper/internal/obsv"
 	"skipper/internal/value"
 )
+
+// Process-wide batching telemetry, exported to /metrics via BatchStats: how
+// often the writer coalesced a multi-frame backlog into one drain, and how
+// many sub-frames those drains carried. Unconditional (two atomic adds per
+// coalesced drain, nothing per lone frame), so the series exists whether or
+// not a recorder is armed.
+var (
+	batchFlushes   atomic.Int64
+	batchSubFrames atomic.Int64
+)
+
+// BatchStats reports the cumulative coalesced-drain count and the total
+// sub-frames those drains carried, across every connection of the process.
+func BatchStats() (flushes, subFrames int64) {
+	return batchFlushes.Load(), batchSubFrames.Load()
+}
 
 const (
 	// magic opens every handshake: "SKiP".
@@ -314,6 +332,15 @@ type wconn struct {
 	// one writer pass; they just go out back-to-back instead of nested.
 	noBatch bool
 
+	// rec, when non-nil, points at the owning Client/Session's recorder
+	// slot: the writer loop loads it per drain to record batch-flush and
+	// shm-ring telemetry events. A pointer to the atomic slot (not a copy)
+	// so connections built before SetTrace see the arming.
+	rec *atomic.Pointer[obsv.Recorder]
+	// lastRings is the doorbell-ring count already reported as EvDoorbell
+	// events, so each drain records only the delta. Writer-loop only.
+	lastRings int64
+
 	mu      sync.Mutex
 	cond    *sync.Cond
 	queue   []outFrame
@@ -324,12 +351,21 @@ type wconn struct {
 	done chan struct{} // writer exited
 }
 
-func newWConn(c wire, onErr func(error)) *wconn {
+func newWConn(c wire, onErr func(error), rec *atomic.Pointer[obsv.Recorder]) *wconn {
 	_, shm := c.(*shmConn)
-	w := &wconn{c: c, onErr: onErr, noBatch: shm, done: make(chan struct{})}
+	w := &wconn{c: c, onErr: onErr, noBatch: shm, rec: rec, done: make(chan struct{})}
 	w.cond = sync.NewCond(&w.mu)
 	go w.writeLoop()
 	return w
+}
+
+// recorder resolves the armed recorder, if any. Never called on the inline
+// send fast path — only from the writer loop's batch drains.
+func (w *wconn) recorder() *obsv.Recorder {
+	if w.rec == nil {
+		return nil
+	}
+	return w.rec.Load()
 }
 
 // send ships one frame. When the connection is idle (nothing queued, no
@@ -446,11 +482,32 @@ func (w *wconn) writeLoop() {
 				bufs = append(bufs, f.tail)
 			}
 		}
+		nsub := len(batch)
 		err := writeBuffers(w.c, bufs)
 		putBuf(hdr)
 		for i, f := range batch {
 			putBuf(f.head)
 			batch[i] = outFrame{}
+		}
+		if err == nil && nsub >= 2 {
+			// A coalesced drain — wrapped in a batch frame on sockets, written
+			// back-to-back on shm — is the event the batching telemetry counts.
+			batchFlushes.Add(1)
+			batchSubFrames.Add(int64(nsub))
+			if r := w.recorder(); r != nil {
+				r.Record(-1, obsv.EvBatchFlush, 0, -1, int64(nsub))
+			}
+		}
+		if err == nil {
+			if sc, ok := w.c.(*shmConn); ok {
+				if r := w.recorder(); r != nil {
+					r.Record(-1, obsv.EvRingOcc, 0, -1, sc.outOccupancy())
+					if rings := sc.bellRings.Load(); rings > w.lastRings {
+						r.Record(-1, obsv.EvDoorbell, 0, -1, rings)
+						w.lastRings = rings
+					}
+				}
+			}
 		}
 		w.mu.Lock()
 		w.writing = false

@@ -103,7 +103,7 @@ func TestAbortSurvivesDeadControlConnection(t *testing.T) {
 func TestEnqueueNeverBlocksOnSocket(t *testing.T) {
 	c1, c2 := net.Pipe()
 	defer c2.Close()
-	w := newWConn(c1, nil)
+	w := newWConn(c1, nil, nil)
 	done := make(chan struct{})
 	go func() {
 		w.enqueue(controlFrame(abortDst, nil))

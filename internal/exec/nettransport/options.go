@@ -1,6 +1,10 @@
 package nettransport
 
-import "time"
+import (
+	"time"
+
+	"skipper/internal/obsv"
+)
 
 // options collects the tunables shared by Dial and NewHub. Both accept the
 // same Option type; an option irrelevant to one side is simply ignored
@@ -9,6 +13,7 @@ type options struct {
 	heartbeat time.Duration
 	meshWait  time.Duration
 	dataPlane string // peer-listener network: "auto" (default), "tcp", "unix", "shm"
+	trace     *obsv.Recorder
 }
 
 // Option configures a Client (Dial) or Hub (NewHub).
@@ -47,6 +52,17 @@ func WithMeshWaitTimeout(d time.Duration) Option {
 // Client-side only.
 func WithDataPlane(network string) Option {
 	return func(o *options) { o.dataPlane = network }
+}
+
+// WithTrace arms the event recorder before any traffic can flow. SetTrace
+// exists for arming mid-lifecycle, but a client's read and accept loops
+// start inside Dial — a peer's first frame can land before the caller gets
+// the *Client back, and an event recorded by nobody is a completeness hole
+// (TestTraceCompleteness found exactly that race on the fastest planes).
+// On NewHub the recorder is installed on the hub's single session the same
+// way, before any node can attach to it. Nil is the untraced default.
+func WithTrace(r *obsv.Recorder) Option {
+	return func(o *options) { o.trace = r }
 }
 
 func buildOptions(opts []Option) options {

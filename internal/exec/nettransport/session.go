@@ -224,7 +224,7 @@ func (s *Session) serveConn(c net.Conn, br *bufio.Reader, hel hello) {
 		if !s.closing.Load() && !s.aborted.Load() && !s.allDead(hel.procs) {
 			s.failf("nettransport: writing to node %v: %v", hel.procs, err)
 		}
-	})
+	}, &s.rec)
 	cs := &connState{w: w, procs: hel.procs}
 	cs.lastHeard.Store(time.Now().UnixNano())
 	s.mu.Lock()

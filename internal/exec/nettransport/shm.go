@@ -101,6 +101,23 @@ var shmSpin = runtime.NumCPU() > 1
 // shmSeq disambiguates ring segment names minted by one process.
 var shmSeq atomic.Int64
 
+// Process-wide doorbell telemetry, exported to /metrics via ShmStats: how
+// often a waiter armed its sleep flag before blocking (arms — each one is a
+// spin window that expired), and how often a producer/consumer actually
+// rang the socket doorbell to wake an armed peer (rings — each one is a
+// syscall round trip the busy-exchange fast path avoided). Unconditional
+// atomic adds on paths that are about to block or syscall anyway.
+var (
+	shmDoorbellArms  atomic.Int64
+	shmDoorbellRings atomic.Int64
+)
+
+// ShmStats reports the cumulative armed-sleep and doorbell-ring counts
+// across every shm connection of the process.
+func ShmStats() (arms, rings int64) {
+	return shmDoorbellArms.Load(), shmDoorbellRings.Load()
+}
+
 // ringBells is the in-process fast path for a ring's wakeups. The creator
 // registers a pair of cap-1 channels under the segment path; an opener in
 // the same process (the in-process deployments every test harness and the
@@ -345,6 +362,10 @@ type shmConn struct {
 	wdl      atomic.Int64 // write deadline, UnixNano; 0 = none
 	bellDone chan struct{}
 
+	// bellRings counts doorbell bytes this connection actually wrote to
+	// wake an armed peer; the wconn reads it to record EvDoorbell deltas.
+	bellRings atomic.Int64
+
 	// inTimer/outTimer are the cached poll-fallback timers for waitData and
 	// waitSpace. Reads are serialized (one bufio.Reader loop) and writes are
 	// serialized (the wconn), so each timer has a single user and the cache
@@ -412,9 +433,24 @@ func (c *shmConn) ring(bell chan struct{}) {
 func (c *shmConn) doorbell(r *shmRing, flagOff int) {
 	if atomic.LoadUint32(r.u32(flagOff)) != 0 &&
 		atomic.CompareAndSwapUint32(r.u32(flagOff), 1, 0) {
+		c.bellRings.Add(1)
+		shmDoorbellRings.Add(1)
 		var b [1]byte
 		c.sock.Write(b[:]) // best effort: a dead socket is handled by bellLoop
 	}
+}
+
+// outOccupancy reports the bytes currently published-but-unconsumed in the
+// out ring — the occupancy sample the wconn records as EvRingOcc after a
+// coalesced drain. Zero on a consume-only connection.
+func (c *shmConn) outOccupancy() int64 {
+	r := c.out
+	if r == nil {
+		return 0
+	}
+	tail := atomic.LoadUint64(r.u64(shmOffTail))
+	head := atomic.LoadUint64(r.u64(shmOffHead))
+	return int64(tail-head) * shmSlotSize
 }
 
 // wakeConsumer signals the ring's consumer after a publish: a nonblocking
@@ -570,6 +606,7 @@ func (c *shmConn) waitSpace() error {
 	defer stop()
 	for {
 		atomic.StoreUint32(c.out.u32(shmOffProdSleep), 1)
+		shmDoorbellArms.Add(1)
 		// Re-check after arming: the consumer drains, then checks the flag —
 		// both orders of the race end with either free slots visible here or
 		// the flag visible there (the sequentially consistent atomics forbid
@@ -662,6 +699,7 @@ func (c *shmConn) waitData() {
 	defer stop()
 	for {
 		atomic.StoreUint32(c.in.u32(shmOffConsSleep), 1)
+		shmDoorbellArms.Add(1)
 		if c.in.readable() || c.dead(c.in) {
 			atomic.StoreUint32(c.in.u32(shmOffConsSleep), 0)
 			return

@@ -257,6 +257,28 @@ func RunBenchReport(w io.Writer, iters int, filter string) (*BenchReport, error)
 		})
 	}
 
+	// Always-on recorder overhead on the real data plane: the same window-band
+	// farm round trip over the shm transport with the flight-sized ring
+	// disarmed vs armed on both ends. This is exactly what every fleet worker
+	// pays for the flight recorder, so bench_guard_test.go holds the on/off
+	// delta to a couple of allocs and a thin latency margin.
+	for _, mode := range []string{"off", "on"} {
+		mode := mode
+		record("Trace_shm_FarmRoundTrip_"+mode, func(b *testing.B) {
+			pair, err := NewTransportPair("shm")
+			if err != nil {
+				firstErr = err
+				b.Skip(err)
+			}
+			defer pair.Close()
+			if mode == "on" {
+				pair.Master.(transport.TraceSink).SetTrace(obsv.NewRecorder(2, obsv.FlightRingSize))
+				pair.Worker.(transport.TraceSink).SetTrace(obsv.NewRecorder(2, obsv.FlightRingSize))
+			}
+			BenchFarmRoundTrip(b, pair, BenchWindowPayload())
+		})
+	}
+
 	// Software-pipelined itermem (DESIGN.md §12): the per-frame period of a
 	// blocking-grab itermem loop with the pipeline off vs on. Off is the
 	// sequential executive (grab + farm per frame); on overlaps frame k+1's

@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"time"
 )
 
@@ -62,6 +63,14 @@ func DebugMux(m *Metrics, health func() error, varz func() map[string]any) *http
 		enc.SetIndent("", "  ")
 		enc.Encode(v)
 	})
+	// Profiling hooks: the full net/http/pprof surface, registered
+	// explicitly (the package's init only touches http.DefaultServeMux,
+	// which this mux deliberately is not).
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	return mux
 }
 

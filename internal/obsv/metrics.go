@@ -135,6 +135,31 @@ func (m *Metrics) Histogram(name, help string, bounds []float64) *Histogram {
 	return it.histogram
 }
 
+// StageObserver returns a per-pipeline-stage latency observer: calling the
+// returned func registers (on first use) and feeds the histogram
+// "<prefix><stage>_latency_seconds". Registration is idempotent, so lazy
+// per-stage creation from the pipeline's stage goroutines is safe; the map
+// lookup on the hot path is guarded by an RWMutex taken for read only.
+func (m *Metrics) StageObserver(prefix, help string) func(stage int, seconds float64) {
+	var mu sync.RWMutex
+	hists := map[int]*Histogram{}
+	return func(stage int, seconds float64) {
+		mu.RLock()
+		h := hists[stage]
+		mu.RUnlock()
+		if h == nil {
+			mu.Lock()
+			if h = hists[stage]; h == nil {
+				h = m.Histogram(fmt.Sprintf("%s%d_latency_seconds", prefix, stage),
+					fmt.Sprintf("%s (stage %d)", help, stage), nil)
+				hists[stage] = h
+			}
+			mu.Unlock()
+		}
+		h.Observe(seconds)
+	}
+}
+
 // WritePrometheus renders every registered metric in the Prometheus text
 // exposition format (v0.0.4), in registration order.
 func (m *Metrics) WritePrometheus(w io.Writer) error {

@@ -50,6 +50,30 @@ const (
 	// died or whose deadline fired; Proc is the master's processor, Arg the
 	// task index.
 	EvRedispatch
+	// EvDegrade marks a farm task exhausting its retry budget: the run is
+	// about to fail rather than re-dispatch again. Arg is the task index.
+	EvDegrade
+	// EvCancel marks a caller-initiated abort of the executive (DELETE on a
+	// serve job, Machine.Cancel).
+	EvCancel
+	// EvRequeue marks the serve scheduler re-running a job from scratch
+	// after a worker death; Arg is the attempt number being retired.
+	EvRequeue
+	// EvBatchFlush marks the writer goroutine coalescing queued frames into
+	// one batch write; Arg is the number of sub-frames in the batch.
+	EvBatchFlush
+	// EvRingOcc samples a shm slab-ring's occupancy after a write; Arg is
+	// the number of occupied bytes in the ring.
+	EvRingOcc
+	// EvDoorbell marks a shm doorbell actually ringing (the armed-sleep flag
+	// was set and a wake byte was written); Arg counts rings since the
+	// connection opened.
+	EvDoorbell
+	// EvStageHand marks a pipelined itermem stage finishing its op block for
+	// one frame and handing the baton on; Peer is the stage index, Arg the
+	// iteration, and the event's TS minus the previous stage's hand-off
+	// yields the per-stage frame latency.
+	EvStageHand
 )
 
 var kindNames = [...]string{
@@ -58,7 +82,15 @@ var kindNames = [...]string{
 	EvEnqueue: "enqueue", EvPark: "park", EvWake: "wake",
 	EvAbort:    "abort",
 	EvPeerDown: "peer-down", EvRedispatch: "redispatch",
+	EvDegrade: "degrade", EvCancel: "cancel", EvRequeue: "requeue",
+	EvBatchFlush: "batch-flush", EvRingOcc: "ring-occ",
+	EvDoorbell: "doorbell", EvStageHand: "stage-hand",
 }
+
+// IsFault reports whether k is one of the failure-signal kinds that the
+// flight recorder treats as a dump trigger. The fault kinds occupy a
+// contiguous range so the recorder's hot path pays two compares.
+func (k EventKind) IsFault() bool { return k >= EvAbort && k <= EvRequeue }
 
 func (k EventKind) String() string {
 	if int(k) < len(kindNames) && kindNames[k] != "" {
@@ -84,8 +116,8 @@ type Event struct {
 // procRing is one processor's event ring. The write index is reserved with
 // a single atomic add, so several goroutines running on behalf of the same
 // processor (its op loop, its farm workers, a router delivering into its
-// mailbox) can record concurrently without a lock; when the ring wraps the
-// oldest events are overwritten and counted as dropped.
+// mailbox) can record concurrently without excluding each other; when the
+// ring wraps the oldest events are overwritten and counted as dropped.
 type procRing struct {
 	n    atomic.Uint64
 	mask uint64
@@ -100,6 +132,14 @@ type Recorder struct {
 	epoch     time.Time
 	epochUnix int64
 	rings     []procRing
+	faultHook atomic.Pointer[func(EventKind)]
+
+	// ringMu is a turnstile between live recording and ring copies:
+	// Record holds the read side (shared, an uncontended atomic in the
+	// common case), Snapshot the write side. Without it a flight dump or
+	// live job-trace snapshot racing the hot path could copy a
+	// half-stored event.
+	ringMu sync.RWMutex
 
 	mu       sync.Mutex
 	labels   []string
@@ -155,8 +195,9 @@ func (r *Recorder) Intern(label string) uint32 {
 
 // Record appends one event to proc's ring and returns its timestamp
 // (nanoseconds since the recorder epoch). The hot path: one monotonic
-// clock read, one atomic add, one struct store — no locks, no allocation.
-// A nil recorder records nothing and returns 0.
+// clock read, the shared side of the snapshot turnstile, one atomic add,
+// one struct store — no allocation, and the only blocking is against an
+// in-flight Snapshot. A nil recorder records nothing and returns 0.
 func (r *Recorder) Record(proc int32, kind EventKind, label uint32, peer int32, arg int64) int64 {
 	if r == nil {
 		return 0
@@ -166,9 +207,31 @@ func (r *Recorder) Record(proc int32, kind EventKind, label uint32, peer int32, 
 	if proc >= 0 && int(proc) < len(r.rings) {
 		ring = &r.rings[proc]
 	}
+	r.ringMu.RLock()
 	i := ring.n.Add(1) - 1
 	ring.ev[i&ring.mask] = Event{TS: ts, Kind: kind, Proc: proc, Peer: peer, Label: label, Arg: arg}
+	r.ringMu.RUnlock()
+	if kind.IsFault() {
+		if hook := r.faultHook.Load(); hook != nil {
+			(*hook)(kind)
+		}
+	}
 	return ts
+}
+
+// SetFaultHook installs fn to be called (on the recording goroutine)
+// whenever a fault-kind event lands in the ring. The flight recorder uses
+// it to trigger an asynchronous auto-dump; fn must therefore be cheap and
+// non-blocking. A nil recorder ignores the call; fn == nil clears the hook.
+func (r *Recorder) SetFaultHook(fn func(EventKind)) {
+	if r == nil {
+		return
+	}
+	if fn == nil {
+		r.faultHook.Store(nil)
+		return
+	}
+	r.faultHook.Store(&fn)
 }
 
 // Now returns nanoseconds since the recorder epoch (0 for a nil recorder),
@@ -196,9 +259,9 @@ func (r *Recorder) Dropped() int64 {
 }
 
 // Snapshot copies the recorded events into a Trace, globally sorted by
-// timestamp. It must be called after the traffic it is interested in has
-// quiesced (post-run): a write racing the snapshot may surface a partially
-// stored event.
+// timestamp. Safe on a live recorder — the flight recorder and serve's
+// mid-run job traces depend on that — though events recorded while the
+// copy holds the turnstile land after it and are simply not included.
 func (r *Recorder) Snapshot() *Trace {
 	if r == nil {
 		return nil
@@ -212,6 +275,7 @@ func (r *Recorder) Snapshot() *Trace {
 	r.mu.Lock()
 	tr.Labels = append([]string(nil), r.labels...)
 	r.mu.Unlock()
+	r.ringMu.Lock()
 	for i := range r.rings {
 		ring := &r.rings[i]
 		n := ring.n.Load()
@@ -225,6 +289,7 @@ func (r *Recorder) Snapshot() *Trace {
 		tr.Events = append(tr.Events, ring.ev[start:]...)
 		tr.Events = append(tr.Events, ring.ev[:start]...)
 	}
+	r.ringMu.Unlock()
 	sort.SliceStable(tr.Events, func(a, b int) bool { return tr.Events[a].TS < tr.Events[b].TS })
 	return tr
 }

@@ -228,13 +228,40 @@ func (t *Trace) ChromeJSON() ([]byte, error) {
 	return append(data, '\n'), nil
 }
 
+// ChromeJSONAttempts renders several traces — the per-attempt timelines of
+// one serve job — into a single Chrome trace file, one process row (pid)
+// per attempt, so a requeued job shows both its timelines side by side.
+// Nil entries (attempts that produced no trace) are skipped but keep their
+// pid slot, so pid always equals the attempt index.
+func ChromeJSONAttempts(attempts []*Trace) ([]byte, error) {
+	ct := &ChromeTrace{DisplayTimeUnit: "ms", TraceEvents: []ChromeEvent{}}
+	for i, t := range attempts {
+		if t == nil {
+			continue
+		}
+		t.chromeInto(ct, i)
+	}
+	data, err := json.Marshal(ct)
+	if err != nil {
+		return nil, err
+	}
+	return append(data, '\n'), nil
+}
+
 func (t *Trace) chrome() *ChromeTrace {
 	ct := &ChromeTrace{DisplayTimeUnit: "ms", TraceEvents: []ChromeEvent{}}
+	t.chromeInto(ct, 0)
+	return ct
+}
+
+// chromeInto appends this trace's events to ct under the given chrome
+// process id (one pid per job attempt in the multi-attempt export).
+func (t *Trace) chromeInto(ct *ChromeTrace, pid int) {
 	for _, sp := range t.OpSpans() {
 		ct.TraceEvents = append(ct.TraceEvents, ChromeEvent{
 			Name: sp.Label, Cat: "op", Ph: "X",
 			TS: float64(sp.Start) / 1e3, Dur: float64(sp.End-sp.Start) / 1e3,
-			PID: 0, TID: int(sp.Proc),
+			PID: pid, TID: int(sp.Proc),
 		})
 	}
 	for _, ev := range t.Events {
@@ -258,16 +285,36 @@ func (t *Trace) chrome() *ChromeTrace {
 		case EvRedispatch:
 			cat = "fault"
 			args["task"] = ev.Arg
+		case EvDegrade:
+			cat = "fault"
+			args["task"] = ev.Arg
+		case EvCancel:
+			cat = "fault"
+		case EvRequeue:
+			cat = "fault"
+			args["attempt"] = ev.Arg
+		case EvBatchFlush:
+			cat = "telemetry"
+			args["frames"] = ev.Arg
+		case EvRingOcc:
+			cat = "telemetry"
+			args["occupied"] = ev.Arg
+		case EvDoorbell:
+			cat = "telemetry"
+			args["rings"] = ev.Arg
+		case EvStageHand:
+			cat = "pipeline"
+			args["stage"] = int64(ev.Peer)
+			args["iter"] = ev.Arg
 		default:
 			continue
 		}
 		ct.TraceEvents = append(ct.TraceEvents, ChromeEvent{
 			Name: ev.Kind.String() + " " + t.Label(ev.Label), Cat: cat, Ph: "i",
-			TS: float64(ev.TS) / 1e3, PID: 0, TID: int(ev.Proc), Scope: "t",
+			TS: float64(ev.TS) / 1e3, PID: pid, TID: int(ev.Proc), Scope: "t",
 			Args: args,
 		})
 	}
-	return ct
 }
 
 // ParseChromeJSON loads a Chrome trace_event JSON file back into its

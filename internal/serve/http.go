@@ -90,6 +90,56 @@ func (s *Server) Job(id string) (JobView, bool) {
 	return s.snapshotJob(st), true
 }
 
+// JobTrace assembles a traced job's per-attempt timelines, oldest attempt
+// first: each entry merges the hub-side snapshot (or a live mid-run
+// snapshot) with every worker snapshot that came home for that attempt,
+// clock-aligned onto the hub's wall clock. ok reports whether the job
+// exists; a job submitted without "trace":true yields an empty slice.
+func (s *Server) JobTrace(id string) ([]*obsv.Trace, bool) {
+	s.mu.Lock()
+	st, ok := s.jobs[id]
+	if !ok {
+		s.mu.Unlock()
+		return nil, false
+	}
+	type attSnap struct {
+		salt   uint64
+		traces []*obsv.Trace
+		sealed bool
+	}
+	snaps := make([]attSnap, 0, len(st.attempts))
+	for _, att := range st.attempts {
+		sn := attSnap{salt: att.salt, sealed: att.hub != nil}
+		if att.hub != nil {
+			sn.traces = append(sn.traces, att.hub)
+		} else if att.rec != nil {
+			sn.traces = append(sn.traces, att.rec.Snapshot())
+		}
+		sn.traces = append(sn.traces, att.workers...)
+		snaps = append(snaps, sn)
+	}
+	s.mu.Unlock()
+
+	out := make([]*obsv.Trace, 0, len(snaps))
+	for i, sn := range snaps {
+		m := obsv.Merge(sn.traces)
+		if m == nil {
+			continue
+		}
+		if m.Meta == nil {
+			m.Meta = map[string]string{}
+		}
+		m.Meta["job"] = id
+		m.Meta["attempt"] = fmt.Sprintf("%d", i+1)
+		m.Meta["salt"] = fmt.Sprintf("%d", sn.salt)
+		if !sn.sealed {
+			m.Meta["partial"] = "true" // attempt still running at snapshot time
+		}
+		out = append(out, m)
+	}
+	return out, true
+}
+
 // Jobs returns every job in submission order.
 func (s *Server) Jobs() []JobView {
 	s.mu.Lock()
@@ -150,6 +200,29 @@ func (s *Server) varz() map[string]any {
 			"lastSeenMsAgo": time.Since(w.lastSeen).Milliseconds(),
 		})
 	}
+	// Per-session rows: one per running job attempt, so /varz shows what
+	// each hub session is (job, attempt, salt, placement, tracing), not just
+	// the roster aggregate.
+	sessions := make([]map[string]any, 0, s.running)
+	for _, id := range s.order {
+		st := s.jobs[id]
+		if st.status != StatusRunning {
+			continue
+		}
+		ws := append([]string(nil), st.workers...)
+		sort.Strings(ws)
+		row := map[string]any{
+			"job":     st.id,
+			"attempt": st.requeues + 1,
+			"salt":    st.salt,
+			"workers": ws,
+			"traced":  st.job.Trace,
+		}
+		if !st.started.IsZero() {
+			row["runningMs"] = time.Since(st.started).Milliseconds()
+		}
+		sessions = append(sessions, row)
+	}
 	queued := len(s.queue)
 	running := s.running
 	s.mu.Unlock()
@@ -159,9 +232,10 @@ func (s *Server) varz() map[string]any {
 			"hubAddr":  s.hub.Addr(),
 			"sessions": s.hub.SessionCount(),
 		},
-		"jobs":    s.Jobs(),
-		"queued":  queued,
-		"running": running,
+		"sessions": sessions,
+		"jobs":     s.Jobs(),
+		"queued":   queued,
+		"running":  running,
 	}
 }
 
@@ -207,10 +281,24 @@ func (s *Server) handleJobs(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
-// handleJob serves one job: GET inspects, DELETE cancels.
+// handleJob serves one job: GET inspects, DELETE cancels, and the
+// /jobs/{id}/trace and /jobs/{id}/trace.svg sub-resources serve a traced
+// job's merged timeline (Chrome trace JSON with one pid per attempt, and
+// the measured chronogram).
 func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
 	id := strings.TrimPrefix(r.URL.Path, "/jobs/")
-	if id == "" || strings.Contains(id, "/") {
+	if sub := ""; strings.Contains(id, "/") {
+		if i := strings.IndexByte(id, '/'); i >= 0 {
+			id, sub = id[:i], id[i+1:]
+		}
+		if id == "" || (sub != "trace" && sub != "trace.svg") {
+			writeErr(w, http.StatusNotFound, fmt.Errorf("no job %q", id))
+			return
+		}
+		s.handleJobTrace(w, r, id, sub == "trace.svg")
+		return
+	}
+	if id == "" {
 		writeErr(w, http.StatusNotFound, fmt.Errorf("no job %q", id))
 		return
 	}
@@ -239,4 +327,44 @@ func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Allow", "GET, DELETE")
 		writeErr(w, http.StatusMethodNotAllowed, errors.New("method not allowed"))
 	}
+}
+
+// handleJobTrace serves a traced job's merged timeline: Chrome trace JSON
+// with one pid per attempt (svg=false) or the chronogram of every attempt
+// on one clock (svg=true). 404 for unknown jobs, 409 for jobs submitted
+// without tracing.
+func (s *Server) handleJobTrace(w http.ResponseWriter, r *http.Request, id string, svg bool) {
+	if r.Method != http.MethodGet {
+		w.Header().Set("Allow", "GET")
+		writeErr(w, http.StatusMethodNotAllowed, errors.New("method not allowed"))
+		return
+	}
+	attempts, ok := s.JobTrace(id)
+	if !ok {
+		writeErr(w, http.StatusNotFound, fmt.Errorf("no job %q", id))
+		return
+	}
+	if len(attempts) == 0 {
+		writeErr(w, http.StatusConflict, fmt.Errorf("job %q was not submitted with \"trace\":true (or has not started)", id))
+		return
+	}
+	if svg {
+		merged := obsv.Merge(attempts)
+		if merged == nil {
+			writeErr(w, http.StatusConflict, fmt.Errorf("job %q has no trace events yet", id))
+			return
+		}
+		w.Header().Set("Content-Type", "image/svg+xml")
+		w.WriteHeader(http.StatusOK)
+		fmt.Fprint(w, merged.ChronogramSVG(1200, 22))
+		return
+	}
+	data, err := obsv.ChromeJSONAttempts(attempts)
+	if err != nil {
+		writeErr(w, http.StatusInternalServerError, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	w.Write(data)
 }

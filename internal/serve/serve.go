@@ -81,6 +81,13 @@ type Config struct {
 	// scheduler (queue, limits, cancellation, statuses) is exercised
 	// unchanged — the mode skipper-bench measures scheduler overhead with.
 	InProcess bool
+	// FlightDir arms the control plane's always-on flight recorder: hub-side
+	// executive and transport events land in a bounded ring at all times, and
+	// any fault — worker death, job re-queue, cancel, abort — auto-dumps the
+	// last few seconds as a trace artifact (raw JSON, Chrome JSON, SVG) under
+	// this directory. Empty disables it (library/test default); skipper-serve
+	// defaults it on.
+	FlightDir string
 }
 
 func (c *Config) fillDefaults() {
@@ -133,8 +140,23 @@ type jobState struct {
 	freeRequeues    int
 	done            chan struct{} // closed when the job reaches a terminal status
 	submitted       time.Time
+	enqueued        time.Time // last time the job (re-)entered the queue
 	started         time.Time
 	finished        time.Time
+	// attempts collects a traced job's per-attempt timelines (nil for
+	// untraced jobs); a re-queued job grows one record per dispatch.
+	attempts []*jobAttempt
+}
+
+// jobAttempt is one traced attempt of a job: the hub-side recorder (live
+// while the attempt runs, sealed into hub when it settles) plus whatever
+// worker snapshots came home on done messages carrying the attempt's salt.
+// Guarded by the server mu.
+type jobAttempt struct {
+	salt    uint64
+	rec     *obsv.Recorder // live hub-side recorder, nil once sealed
+	hub     *obsv.Trace    // sealed hub-side snapshot
+	workers []*obsv.Trace  // per-worker snapshots, arrival order
 }
 
 // workerState is one fleet member as the control plane sees it.
@@ -189,6 +211,11 @@ type Server struct {
 	mWorkersDead  *obsv.Counter
 	mWorkerErrors *obsv.Counter
 	hJobSeconds   *obsv.Histogram
+	hQueueWait    *obsv.Histogram
+	stageLat      func(stage int, seconds float64)
+
+	// flight is the always-on flight recorder (nil unless Config.FlightDir).
+	flight *obsv.Flight
 }
 
 // New builds and starts a control plane: listeners bound, scheduler
@@ -203,6 +230,12 @@ func New(cfg Config) (*Server, error) {
 		stop:    make(chan struct{}),
 	}
 	s.initMetrics()
+	if cfg.FlightDir != "" {
+		s.flight = obsv.NewFlight(cfg.FlightDir, "serve", obsv.FlightOptions{
+			Procs: 16,
+			Extra: s.liveAttemptTraces,
+		})
+	}
 
 	var hubOpts []nettransport.Option
 	if cfg.Heartbeat > 0 {
@@ -257,6 +290,11 @@ func (s *Server) initMetrics() {
 	s.mWorkerErrors = m.Counter("skipper_serve_assignment_errors_total", "failed assignment completions reported by workers")
 	s.hJobSeconds = m.Histogram("skipper_serve_job_seconds", "wall-clock duration of successful jobs",
 		[]float64{0.01, 0.05, 0.25, 1, 5, 30, 120})
+	s.hQueueWait = m.Histogram("skipper_serve_queue_wait_seconds",
+		"time jobs spent queued before each dispatch",
+		[]float64{0.001, 0.01, 0.05, 0.25, 1, 5, 30})
+	s.stageLat = m.StageObserver("skipper_pipeline_stage",
+		"Pipelined itermem stage busy time per frame in seconds.")
 	m.GaugeFunc("skipper_serve_jobs_queued", "jobs waiting in the FIFO queue", func() float64 {
 		s.mu.Lock()
 		defer s.mu.Unlock()
@@ -302,6 +340,36 @@ func (s *Server) kickScheduler() {
 	}
 }
 
+// Flight exposes the control plane's flight recorder (nil unless armed).
+func (s *Server) Flight() *obsv.Flight { return s.flight }
+
+// flightRecord lands a scheduler-level event in the flight ring; fault
+// kinds trigger an auto-dump through the recorder's hook.
+func (s *Server) flightRecord(kind obsv.EventKind, peer int32, arg int64) {
+	if s.flight != nil {
+		s.flight.Recorder().Record(-1, kind, 0, peer, arg)
+	}
+}
+
+// liveAttemptTraces snapshots the running traced attempts' hub-side
+// recorders at flight-dump time, so a fault artifact carries the in-flight
+// job timelines alongside the scheduler's own ring. Best-effort mid-run
+// snapshots — fine for a post-mortem artifact.
+func (s *Server) liveAttemptTraces() []*obsv.Trace {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var out []*obsv.Trace
+	for _, st := range s.jobs {
+		if st.status != StatusRunning || len(st.attempts) == 0 {
+			continue
+		}
+		if att := st.attempts[len(st.attempts)-1]; att.rec != nil {
+			out = append(out, att.rec.Snapshot())
+		}
+	}
+	return out
+}
+
 // Submit validates and enqueues a job, returning its id. ErrQueueFull when
 // the FIFO is at QueueLimit, ErrClosed during shutdown.
 func (s *Server) Submit(job distrib.Job) (string, error) {
@@ -319,12 +387,14 @@ func (s *Server) Submit(job distrib.Job) (string, error) {
 		return "", ErrQueueFull
 	}
 	s.seq++
+	now := time.Now()
 	st := &jobState{
 		id:        fmt.Sprintf("j%d", s.seq),
 		job:       job,
 		status:    StatusQueued,
 		done:      make(chan struct{}),
-		submitted: time.Now(),
+		submitted: now,
+		enqueued:  now,
 	}
 	s.jobs[st.id] = st
 	s.order = append(s.order, st.id)
@@ -366,6 +436,7 @@ func (s *Server) Cancel(id string) (bool, error) {
 		st.cancelled = true
 		mach := st.mach
 		s.mu.Unlock()
+		s.flightRecord(obsv.EvCancel, -1, 0)
 		if mach != nil {
 			mach.Cancel()
 		}
@@ -460,12 +531,14 @@ func (s *Server) dispatchOne() bool {
 	s.queue = s.queue[1:]
 	st.status = StatusRunning
 	st.started = time.Now()
+	wait := st.started.Sub(st.enqueued)
 	st.workerDied = false
 	st.placementFailed = false
 	s.saltSeq++
 	st.salt = s.saltSeq
 	s.running++
 	s.mu.Unlock()
+	s.hQueueWait.Observe(wait.Seconds())
 
 	s.wg.Add(1)
 	go func() {
@@ -505,20 +578,26 @@ func (s *Server) runJob(st *jobState, placement map[*workerState][]int) {
 		// placement re-queues for free — the run never started.
 		s.mu.Lock()
 		requeue := !s.closing && (placementFailed || st.requeues < s.cfg.JobRequeues)
+		var attempt int
 		if requeue {
 			if !placementFailed {
 				st.requeues++
 			}
+			attempt = st.requeues
 			st.status = StatusQueued
 			st.err = err.Error()
 			st.workers = nil
 			st.mach = nil
+			st.enqueued = time.Now()
 			s.queue = append(s.queue, st)
 			s.running--
 		}
 		s.mu.Unlock()
 		if requeue {
 			s.mRequeues.Inc()
+			// A fault kind: the flight recorder auto-dumps the scheduler's
+			// last few seconds (plus in-flight attempt timelines) on re-queue.
+			s.flightRecord(obsv.EvRequeue, -1, int64(attempt))
 			s.kickScheduler()
 			return
 		}
@@ -545,11 +624,13 @@ func (s *Server) executeJob(st *jobState, placement map[*workerState][]int) ([]t
 	var mach *exec.Machine
 	var sess *nettransport.Session
 	var cleanup func()
+	var hubProcs []int
 	if s.cfg.InProcess || st.job.Procs == 1 {
 		t := memtransport.New(sched.Arch)
 		local := make([]arch.ProcID, sched.Arch.N)
 		for i := range local {
 			local[i] = arch.ProcID(i)
+			hubProcs = append(hubProcs, i)
 		}
 		mach = exec.NewMachineOn(sched, reg, t, local)
 		cleanup = func() { t.Close() }
@@ -560,11 +641,47 @@ func (s *Server) executeJob(st *jobState, placement map[*workerState][]int) ([]t
 		}
 		mach = exec.NewMachineOn(sched, reg, sess, []arch.ProcID{0})
 		cleanup = func() { sess.Close() }
+		hubProcs = []int{0}
 	}
 	mach.DeterministicFarm = sp.Deterministic
 	mach.FT = exec.FaultTolerance{MaxRetries: sp.MaxRetries, TaskDeadline: sp.TaskDeadline}
 	mach.Pipeline = sp.Pipeline
+	mach.PipelineDepth = sp.PipelineDepth
+	mach.StageLatency = s.stageLat
 	defer cleanup()
+
+	// A traced job records the hub-side attempt into its own full-size ring;
+	// the snapshot seals into the attempt record when this attempt settles
+	// (before cleanup closes the session), and worker snapshots merge in as
+	// their done messages arrive. Faults route through the flight recorder's
+	// dump path either way.
+	if st.job.Trace {
+		rec := obsv.NewRecorder(sched.Arch.N, 0)
+		if s.flight != nil {
+			rec.SetFaultHook(s.flight.Trigger)
+		}
+		if sess != nil {
+			sess.SetTrace(rec)
+		}
+		mach.Trace = rec
+		att := &jobAttempt{salt: st.salt, rec: rec}
+		s.mu.Lock()
+		st.attempts = append(st.attempts, att)
+		s.mu.Unlock()
+		defer func() {
+			tr := rec.Snapshot()
+			if len(tr.Procs) == 0 {
+				tr.Procs = hubProcs
+			}
+			tr.Meta = sp.TraceMeta()
+			tr.Meta["job"] = st.id
+			tr.Meta["role"] = "hub"
+			s.mu.Lock()
+			att.hub = tr
+			att.rec = nil
+			s.mu.Unlock()
+		}()
+	}
 
 	s.mu.Lock()
 	if st.cancelled {
@@ -713,6 +830,18 @@ func (s *Server) serveWorker(c net.Conn) {
 			}
 			s.mu.Lock()
 			delete(w.jobs, msg.JobID)
+			// A traced assignment ships its event snapshot home; attach it to
+			// the attempt whose salt it echoes (a requeued job has several).
+			if msg.Trace != nil {
+				if st, ok := s.jobs[msg.JobID]; ok {
+					for _, att := range st.attempts {
+						if att.salt == msg.Salt {
+							att.workers = append(att.workers, msg.Trace)
+							break
+						}
+					}
+				}
+			}
 			s.mu.Unlock()
 		case distrib.MsgLeave:
 			w.left = true
@@ -748,6 +877,8 @@ func (s *Server) removeWorker(w *workerState, clean bool) {
 	s.mu.Unlock()
 	if !clean {
 		s.mWorkersDead.Inc()
+		// A fault kind: auto-dumps the flight ring with the death on record.
+		s.flightRecord(obsv.EvPeerDown, -1, int64(len(aborts)))
 		for _, m := range aborts {
 			m.Cancel()
 		}
@@ -815,6 +946,9 @@ func (s *Server) Close() error {
 		s.mu.Unlock()
 	})
 	s.wg.Wait()
+	if s.flight != nil {
+		s.flight.Close()
+	}
 	return nil
 }
 
