@@ -27,10 +27,10 @@ race:
 # envelope guard (bench_guard_test.go). See README § Performance.
 # BENCH_<pr>.json — bump the number when a PR changes the perf story.
 bench:
-	$(GO) run ./cmd/skipper-bench -json BENCH_8.json
+	$(GO) run ./cmd/skipper-bench -json BENCH_9.json
 
 # Quick data-plane snapshot (what CI's bench-smoke job runs and uploads
-# as its BENCH_8.json artifact): the farm round trip on every transport
+# as its BENCH_9.json artifact): the farm round trip on every transport
 # (mem/tcp/unix/shm) plus the pipelined itermem and pipeline-depth pairs,
 # skipping the rest of the suite. Written to a scratch name locally so it
 # never clobbers the committed full snapshot the envelope guard checks.

@@ -45,6 +45,8 @@ func main() {
 	timeout := flag.Duration("timeout", 2*time.Minute, "dial + run watchdog (with -fleet: how long to keep retrying the join)")
 	flight := flag.String("flight", "skipper-flight", "with -fleet: directory for the always-on flight recorder's fault artifacts (empty disables)")
 	dieAfterSends := flag.Int("die-after-sends", 0, "chaos: sever this node's transport after it has sent this many frames (0 disables)")
+	slowEveryNth := flag.Int("slow-every-nth", 0, "chaos: delay every Nth frame this node sends by -slow-for (0 disables)")
+	slowFor := flag.Duration("slow-for", 0, "chaos: how long -slow-every-nth delays a send")
 	flag.Parse()
 
 	if *fleet != "" {
@@ -62,6 +64,8 @@ func main() {
 	}
 	sp := shared.Spec()
 	sp.DieAfterSends = *dieAfterSends
+	sp.SlowEveryNth = *slowEveryNth
+	sp.SlowFor = *slowFor
 	if err := distrib.RunNode(sp, *proc, *hub, *timeout); err != nil {
 		fmt.Fprintln(os.Stderr, "skipper-node:", err)
 		// A fired chaos trigger is the drill working as scripted, not a

@@ -9,7 +9,9 @@
 //	            [-topology ring] [-pipeline] [-trace dir]
 //	            [-debug-addr host:port]
 //	            [-max-retries n] [-task-deadline d] [-heartbeat d]
+//	            [-speculate-after d]
 //	            [-chaos-kill-proc p] [-chaos-kill-after n]
+//	            [-chaos-slow-proc p] [-chaos-slow-every n] [-chaos-slow-for d]
 //	            [topology(procs)]
 //
 // The optional positional argument names the architecture compactly:
@@ -42,9 +44,14 @@
 // hosting only farm workers dies mid-run, its in-flight tasks are
 // re-dispatched on the survivors and the run completes without it.
 // -task-deadline additionally catches workers that hang without dying;
-// -heartbeat arms control-plane liveness probes. -chaos-kill-proc runs a
-// fault-injection drill: the named node process severs itself mid-run
-// (after -chaos-kill-after sends) exactly like a crash.
+// -heartbeat arms control-plane liveness probes. -speculate-after arms
+// straggler speculation (DESIGN.md §16): a task unanswered that long is
+// duplicated onto an idle worker and the first reply wins, without
+// declaring the slow worker dead. -chaos-kill-proc runs a fault-injection
+// drill: the named node process severs itself mid-run (after
+// -chaos-kill-after sends) exactly like a crash. -chaos-slow-proc runs the
+// straggler drill instead: the named node stays alive but delays every
+// -chaos-slow-every'th send by -chaos-slow-for.
 package main
 
 import (
@@ -73,6 +80,9 @@ func main() {
 	svgPath := flag.String("svg", "", "with -backend sim -trace: also write the predicted SVG chronogram to this file")
 	chaosKillProc := flag.Int("chaos-kill-proc", 0, "chaos drill, with -transport tcp: sever this node processor mid-run (0 disables)")
 	chaosKillAfter := flag.Int("chaos-kill-after", 2, "chaos drill: how many frames the victim sends before it is severed")
+	chaosSlowProc := flag.Int("chaos-slow-proc", 0, "chaos drill, with -transport tcp/unix/shm: make this node processor a straggler (0 disables)")
+	chaosSlowEvery := flag.Int("chaos-slow-every", 1, "chaos drill: delay every Nth frame the straggler sends")
+	chaosSlowFor := flag.Duration("chaos-slow-for", 200*time.Millisecond, "chaos drill: how long the straggler delays each scripted send")
 	flag.Parse()
 
 	if flag.NArg() > 0 {
@@ -86,11 +96,15 @@ func main() {
 		if *transportFlag == "shm" && sp.DataPlane == "" {
 			sp.DataPlane = "shm"
 		}
-		runMulti(sp, *transportFlag, *chaosKillProc, *chaosKillAfter)
+		runMulti(sp, *transportFlag, *chaosKillProc, *chaosKillAfter,
+			*chaosSlowProc, *chaosSlowEvery, *chaosSlowFor)
 		return
 	}
 	if *chaosKillProc != 0 {
 		fatal(fmt.Errorf("-chaos-kill-proc needs a real node process to kill (use -transport tcp, unix or shm)"))
+	}
+	if *chaosSlowProc != 0 {
+		fatal(fmt.Errorf("-chaos-slow-proc needs a real node process to slow (use -transport tcp, unix or shm)"))
 	}
 	if *transportFlag != "mem" {
 		fatal(fmt.Errorf("unknown transport %q", *transportFlag))
@@ -247,8 +261,11 @@ func runMemObserved(sp distrib.Spec) {
 // skipper-node per remaining processor. chaosKillProc, when non-zero,
 // scripts a chaos drill: that node process is spawned with
 // -die-after-sends so it severs itself mid-run, and the run must degrade
-// (or, with -max-retries, finish) without it.
-func runMulti(sp distrib.Spec, transport string, chaosKillProc, chaosKillAfter int) {
+// (or, with -max-retries, finish) without it. chaosSlowProc scripts the
+// straggler drill instead: the node stays alive but delays its sends, the
+// scenario -speculate-after exists for.
+func runMulti(sp distrib.Spec, transport string, chaosKillProc, chaosKillAfter,
+	chaosSlowProc, chaosSlowEvery int, chaosSlowFor time.Duration) {
 	nodeBin, err := findNodeBinary()
 	if err != nil {
 		fatal(err)
@@ -260,6 +277,9 @@ func runMulti(sp distrib.Spec, transport string, chaosKillProc, chaosKillAfter i
 	defer cleanup()
 	if chaosKillProc != 0 && (chaosKillProc < 1 || chaosKillProc >= sp.Procs) {
 		fatal(fmt.Errorf("-chaos-kill-proc %d outside node range 1..%d", chaosKillProc, sp.Procs-1))
+	}
+	if chaosSlowProc != 0 && (chaosSlowProc < 1 || chaosSlowProc >= sp.Procs) {
+		fatal(fmt.Errorf("-chaos-slow-proc %d outside node range 1..%d", chaosSlowProc, sp.Procs-1))
 	}
 	var children []*exec.Cmd
 	spawn := func(addr string) error {
@@ -303,8 +323,18 @@ func runMulti(sp distrib.Spec, transport string, chaosKillProc, chaosKillAfter i
 			if sp.Heartbeat > 0 {
 				args = append(args, "-heartbeat", sp.Heartbeat.String())
 			}
+			if sp.SpeculateAfter != 0 {
+				// Reaches every node for completeness; only the master's
+				// process (the coordinator, here) acts on it.
+				args = append(args, "-speculate-after", sp.SpeculateAfter.String())
+			}
 			if p == chaosKillProc {
 				args = append(args, "-die-after-sends", strconv.Itoa(chaosKillAfter))
+			}
+			if p == chaosSlowProc && chaosSlowEvery > 0 && chaosSlowFor > 0 {
+				args = append(args,
+					"-slow-every-nth", strconv.Itoa(chaosSlowEvery),
+					"-slow-for", chaosSlowFor.String())
 			}
 			cmd := exec.Command(nodeBin, args...)
 			cmd.Stderr = os.Stderr
@@ -336,6 +366,10 @@ func runMulti(sp distrib.Spec, transport string, chaosKillProc, chaosKillAfter i
 	if sp.MaxRetries > 0 || chaosKillProc != 0 {
 		fmt.Printf("fault tolerance: %d peer failure(s), %d task re-dispatch(es)\n",
 			res.Failures, res.Redispatches)
+	}
+	if res.Speculations > 0 || chaosSlowProc != 0 {
+		fmt.Printf("speculation: %d duplicate(s), %d win(s), %d false suspicion(s)\n",
+			res.Speculations, res.SpeculationWins, res.FalseSuspicions)
 	}
 	printTrackingSummary(rec)
 }

@@ -48,18 +48,19 @@ func main() {
 	flag.Parse()
 
 	s, err := serve.New(serve.Config{
-		HTTPAddr:     *httpAddr,
-		FleetAddr:    *fleetAddr,
-		HubAddr:      *hubAddr,
-		QueueLimit:   *queueLimit,
-		MaxRunning:   *maxRunning,
-		JobTimeout:   *jobTimeout,
-		JobRequeues:  *jobRequeues,
-		InProcess:    *inProcess,
-		FlightDir:    *flightDir,
-		MaxRetries:   *execFlags.MaxRetries,
-		TaskDeadline: *execFlags.TaskDeadline,
-		Heartbeat:    *execFlags.Heartbeat,
+		HTTPAddr:       *httpAddr,
+		FleetAddr:      *fleetAddr,
+		HubAddr:        *hubAddr,
+		QueueLimit:     *queueLimit,
+		MaxRunning:     *maxRunning,
+		JobTimeout:     *jobTimeout,
+		JobRequeues:    *jobRequeues,
+		InProcess:      *inProcess,
+		FlightDir:      *flightDir,
+		MaxRetries:     *execFlags.MaxRetries,
+		TaskDeadline:   *execFlags.TaskDeadline,
+		Heartbeat:      *execFlags.Heartbeat,
+		SpeculateAfter: *execFlags.SpeculateAfter,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "skipper-serve:", err)

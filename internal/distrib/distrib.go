@@ -69,6 +69,14 @@ type Job struct {
 	// clock-aligned timeline. Executive tuning like Pipeline: not part of
 	// the schedule fingerprint.
 	Trace bool `json:"trace,omitempty"`
+	// SpeculateAfterMS overrides the fleet's straggler-speculation threshold
+	// (DESIGN.md §16) for this job, in milliseconds: positive duplicates a
+	// task onto an idle worker once it has sat unanswered that long,
+	// negative disables speculation for the job, zero inherits the fleet
+	// default (the -speculate-after flag, or TaskDeadline/2). Executive
+	// tuning like Pipeline: not part of the schedule fingerprint, but the
+	// master's dispatch behavior, hence job description.
+	SpeculateAfterMS int64 `json:"speculateAfterMs,omitempty"`
 }
 
 // Spec is one process's full view of a deployment: the shared Job plus the
@@ -95,11 +103,17 @@ type Spec struct {
 	// a task sits unanswered that long (catching hangs no transport error
 	// reveals). Heartbeat arms control-plane liveness probes at that
 	// interval — pass the same value to every process, like the topology.
+	// SpeculateAfter is the fleet-wide straggler-speculation threshold
+	// (DESIGN.md §16): positive duplicates a task onto an idle worker once
+	// it has sat unanswered that long, zero defaults to TaskDeadline/2 when
+	// a deadline is armed, negative disables. Job.SpeculateAfterMS, when
+	// non-zero, overrides it per job.
 	// None of these enter the schedule fingerprint: they tune the
 	// executive, not the compiled deployment.
-	MaxRetries   int
-	TaskDeadline time.Duration
-	Heartbeat    time.Duration
+	MaxRetries     int
+	TaskDeadline   time.Duration
+	Heartbeat      time.Duration
+	SpeculateAfter time.Duration
 
 	// DieAfterSends is the chaos knob: when positive on a node process,
 	// its transport is severed — no detach, sockets torn mid-frame, the
@@ -107,6 +121,13 @@ type Spec struct {
 	// frames. The node's run then fails with ErrChaosKilled while the rest
 	// of the cluster must carry on (or abort cleanly, without MaxRetries).
 	DieAfterSends int
+
+	// SlowEveryNth/SlowFor are the straggler chaos knobs: every Nth frame
+	// this node process sends is delayed by SlowFor on the sending
+	// goroutine — scripted slow compute, the scenario speculation exists
+	// for. Unlike DieAfterSends the node stays alive and must finish clean.
+	SlowEveryNth int
+	SlowFor      time.Duration
 
 	// DataPlane pins the node-side data plane ("tcp", "unix", "shm";
 	// empty = the transport's "auto" inference). "shm" is the same-host
@@ -219,10 +240,23 @@ func (sp Spec) netOptions() []nettransport.Option {
 	return opts
 }
 
-// ft is the executive fault-tolerance policy the spec implies.
+// ft is the executive fault-tolerance policy the spec implies: the fleet's
+// flags, with the job's own speculation override winning when set.
 func (sp Spec) ft() exec.FaultTolerance {
-	return exec.FaultTolerance{MaxRetries: sp.MaxRetries, TaskDeadline: sp.TaskDeadline}
+	speculate := sp.SpeculateAfter
+	if ms := sp.Job.SpeculateAfterMS; ms != 0 {
+		speculate = time.Duration(ms) * time.Millisecond
+	}
+	return exec.FaultTolerance{
+		MaxRetries:     sp.MaxRetries,
+		TaskDeadline:   sp.TaskDeadline,
+		SpeculateAfter: speculate,
+	}
 }
+
+// FT exposes the resolved fault-tolerance policy for embedders (the serve
+// control plane builds its machines by hand but must agree with the nodes).
+func (sp Spec) FT() exec.FaultTolerance { return sp.ft() }
 
 // RunNode is the whole lifecycle of one node process: compile the spec,
 // dial the hub claiming proc, run the processor's program and detach. Used
@@ -262,15 +296,21 @@ func RunProcs(sp Spec, procs []int, hubAddr string, salt uint64, d time.Duration
 	defer cl.Close()
 	var tr transport.Transport = cl
 	var killed atomic.Bool
-	if sp.DieAfterSends > 0 {
-		tr = faulttransport.New(cl, faulttransport.Config{
-			Faults: map[arch.ProcID]faulttransport.Fault{
-				local[0]: {KillAfterSends: sp.DieAfterSends},
-			},
+	fault := faulttransport.Fault{KillAfterSends: sp.DieAfterSends}
+	if sp.SlowEveryNth > 0 && sp.SlowFor > 0 {
+		fault.SlowEveryNth = sp.SlowEveryNth
+		fault.SlowFor = sp.SlowFor
+	}
+	if fault != (faulttransport.Fault{}) {
+		cfg := faulttransport.Config{
+			Faults: map[arch.ProcID]faulttransport.Fault{local[0]: fault},
+		}
+		if sp.DieAfterSends > 0 {
 			// Sever, not Close: the cluster must see a death (EOF without
 			// detach, sockets torn mid-frame), not a clean shutdown.
-			OnKill: func(arch.ProcID) { killed.Store(true); cl.Sever() },
-		})
+			cfg.OnKill = func(arch.ProcID) { killed.Store(true); cl.Sever() }
+		}
+		tr = faulttransport.New(cl, cfg)
 	}
 	m := exec.NewMachineOn(s, reg, tr, local)
 	m.DeterministicFarm = sp.Deterministic

@@ -31,9 +31,10 @@ type Flags struct {
 // skipper-serve (which takes no deployment flags — jobs arrive over HTTP —
 // but still configures fault tolerance and heartbeats fleet-wide).
 type ExecFlags struct {
-	MaxRetries   *int
-	TaskDeadline *time.Duration
-	Heartbeat    *time.Duration
+	MaxRetries     *int
+	TaskDeadline   *time.Duration
+	Heartbeat      *time.Duration
+	SpeculateAfter *time.Duration
 }
 
 // ExecFlagSet declares the executive-tuning flags on fs.
@@ -42,6 +43,7 @@ func ExecFlagSet(fs *flag.FlagSet) *ExecFlags {
 	f.MaxRetries = fs.Int("max-retries", 0, "farm fault tolerance: re-dispatch a dead worker's tasks up to this many times (0 disables)")
 	f.TaskDeadline = fs.Duration("task-deadline", 0, "declare a worker dead when a farm task sits unanswered this long (0 disables)")
 	f.Heartbeat = fs.Duration("heartbeat", 0, "control-plane liveness heartbeat interval, same value on every process (0 disables)")
+	f.SpeculateAfter = fs.Duration("speculate-after", 0, "duplicate a farm task onto an idle worker when it sits unanswered this long (0 = task-deadline/2 when a deadline is set; negative disables; needs -max-retries > 0)")
 	return f
 }
 
@@ -77,6 +79,6 @@ func (f *Flags) Spec() Spec {
 		DataPlane: *f.DataPlane,
 		TraceDir:  *f.Trace, DebugAddr: *f.DebugAddr,
 		MaxRetries: *f.MaxRetries, TaskDeadline: *f.TaskDeadline,
-		Heartbeat: *f.Heartbeat,
+		Heartbeat: *f.Heartbeat, SpeculateAfter: *f.SpeculateAfter,
 	}
 }

@@ -67,10 +67,11 @@ type FleetMsg struct {
 	// Job is the deployment agreement, shipped verbatim from the submitter.
 	Job *Job `json:"spec,omitempty"`
 	// Executive tuning the whole deployment must agree on.
-	MaxRetries     int   `json:"maxRetries,omitempty"`
-	TaskDeadlineMS int64 `json:"taskDeadlineMs,omitempty"`
-	HeartbeatMS    int64 `json:"heartbeatMs,omitempty"`
-	TimeoutMS      int64 `json:"timeoutMs,omitempty"`
+	MaxRetries       int   `json:"maxRetries,omitempty"`
+	TaskDeadlineMS   int64 `json:"taskDeadlineMs,omitempty"`
+	HeartbeatMS      int64 `json:"heartbeatMs,omitempty"`
+	SpeculateAfterMS int64 `json:"speculateAfterMs,omitempty"`
+	TimeoutMS        int64 `json:"timeoutMs,omitempty"`
 	// Error reports a failed assignment (done messages).
 	Error string `json:"error,omitempty"`
 	// Trace is a traced assignment's event snapshot, shipped back with the
@@ -333,10 +334,11 @@ func (w *Worker) execute(m FleetMsg) (*obsv.Trace, error) {
 		return nil, errors.New("distrib: run message without hub address")
 	}
 	sp := Spec{
-		Job:          *m.Job,
-		MaxRetries:   m.MaxRetries,
-		TaskDeadline: time.Duration(m.TaskDeadlineMS) * time.Millisecond,
-		Heartbeat:    time.Duration(m.HeartbeatMS) * time.Millisecond,
+		Job:            *m.Job,
+		MaxRetries:     m.MaxRetries,
+		TaskDeadline:   time.Duration(m.TaskDeadlineMS) * time.Millisecond,
+		Heartbeat:      time.Duration(m.HeartbeatMS) * time.Millisecond,
+		SpeculateAfter: time.Duration(m.SpeculateAfterMS) * time.Millisecond,
 	}
 	timeout := time.Duration(m.TimeoutMS) * time.Millisecond
 	if timeout <= 0 {

@@ -86,6 +86,15 @@ func (sp Spec) observe(t transport.Transport, m *exec.Machine, hub *nettransport
 		mx.CounterFunc("skipper_task_redispatches_total",
 			"Farm tasks re-dispatched onto surviving workers after their worker died.",
 			m.FTRedispatches)
+		mx.CounterFunc("skipper_task_speculations_total",
+			"Straggler tasks speculatively duplicated onto idle workers.",
+			m.FTSpeculations)
+		mx.CounterFunc("skipper_speculation_wins_total",
+			"Speculative duplicates whose reply beat the original worker's.",
+			m.FTSpeculationWins)
+		mx.CounterFunc("skipper_false_suspicions_total",
+			"Deadline-suspected workers whose reply later arrived: the deadline is too tight.",
+			m.FTFalseSuspicions)
 		m.StageLatency = mx.StageObserver("skipper_pipeline_stage",
 			"Pipelined itermem stage busy time per frame in seconds.")
 		mx.CounterFunc("skipper_net_batch_flushes_total",

@@ -2,13 +2,17 @@ package exec
 
 import (
 	"strings"
+	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
 	"skipper/internal/arch"
 	"skipper/internal/exec/faulttransport"
 	"skipper/internal/exec/memtransport"
+	"skipper/internal/exec/transport"
 	"skipper/internal/syndex"
+	"skipper/internal/value"
 )
 
 // workerOnlyProcs lists the processors whose program consists solely of
@@ -103,7 +107,10 @@ func TestFarmDeadlineRedispatch(t *testing.T) {
 	})
 	defer ft.Close()
 	m := NewMachineOn(s, baseRegistry(), ft, allProcs(a))
-	m.FT = FaultTolerance{MaxRetries: 2, TaskDeadline: 150 * time.Millisecond}
+	// SpeculateAfter < 0 pins the pure deadline path: with the default
+	// (TaskDeadline/2) a speculative duplicate would rescue the task before
+	// the hard deadline ever fires and no redispatch would be recorded.
+	m.FT = FaultTolerance{MaxRetries: 2, TaskDeadline: 150 * time.Millisecond, SpeculateAfter: -1}
 	res, err := m.Run(1)
 	if err != nil {
 		t.Fatalf("run did not survive the hung worker: %v", err)
@@ -156,6 +163,342 @@ func TestNonWorkerDeathIsFatal(t *testing.T) {
 	}
 	if !strings.Contains(err.Error(), "cannot recover") {
 		t.Fatalf("error = %v, want the cannot-recover diagnostic", err)
+	}
+}
+
+// chaosWrap forwards the whole transport surface method by method. Test
+// wrappers embed it and override what they need. It deliberately does NOT
+// embed the transport.Transport interface: the executive arms fault
+// tolerance only when the transport type-asserts as a FailureNotifier, and
+// interface embedding would not promote OnPeerDown/MarkPeerDown — FT would
+// silently stay off and the tests would pass vacuously.
+type chaosWrap struct {
+	inner transport.Transport
+}
+
+func (c *chaosWrap) Send(src, dst arch.ProcID, key transport.Key, v value.Value) {
+	c.inner.Send(src, dst, key, v)
+}
+func (c *chaosWrap) Recv(p arch.ProcID, key transport.Key) (value.Value, bool) {
+	return c.inner.Recv(p, key)
+}
+func (c *chaosWrap) Receiver(p arch.ProcID, key transport.Key) transport.Receiver {
+	return c.inner.Receiver(p, key)
+}
+func (c *chaosWrap) Abort()                 { c.inner.Abort() }
+func (c *chaosWrap) Close() error           { return c.inner.Close() }
+func (c *chaosWrap) Err() error             { return c.inner.Err() }
+func (c *chaosWrap) Stats() transport.Stats { return c.inner.Stats() }
+func (c *chaosWrap) OnPeerDown(fn transport.PeerDown) {
+	if n, ok := c.inner.(transport.FailureNotifier); ok {
+		n.OnPeerDown(fn)
+	}
+}
+func (c *chaosWrap) MarkPeerDown(p arch.ProcID) {
+	if pd, ok := c.inner.(transport.PeerDowner); ok {
+		pd.MarkPeerDown(p)
+	}
+}
+
+// TestFarmSpeculationRescuesStraggler is the speculation acceptance run on
+// the mem backend: one worker is scripted 10x slower than the straggler
+// threshold, so its task must be duplicated onto an idle worker, the
+// duplicate's reply must win, and the slow worker must keep its good
+// standing — no death, no redispatch, no retry charged. The straggler's
+// late same-generation reply then races in and must be discarded by the
+// done check, leaving the fold bit-identical to a healthy run.
+func TestFarmSpeculationRescuesStraggler(t *testing.T) {
+	a := arch.Ring(8)
+	s := compile(t, farmSrc, baseRegistry(), a, syndex.Structured)
+	victims := workerOnlyProcs(s)
+	if len(victims) == 0 {
+		t.Fatal("schedule has no worker-only processor")
+	}
+	ft := faulttransport.New(memtransport.New(a), faulttransport.Config{
+		Faults: map[arch.ProcID]faulttransport.Fault{
+			victims[0]: {SlowEveryNth: 1, SlowFor: 400 * time.Millisecond},
+		},
+	})
+	defer ft.Close()
+	m := NewMachineOn(s, baseRegistry(), ft, allProcs(a))
+	m.FT = FaultTolerance{MaxRetries: 2, SpeculateAfter: 40 * time.Millisecond}
+	res, err := m.RunWithTimeout(1, 10*time.Second)
+	if err != nil {
+		t.Fatalf("run did not survive the straggler: %v", err)
+	}
+	if res.Outputs[0] != farmWant {
+		t.Fatalf("output = %v, want %d (must be bit-identical: no double-fold of the duplicated task)", res.Outputs[0], farmWant)
+	}
+	if res.Speculations != 1 || res.SpeculationWins != 1 {
+		t.Fatalf("Speculations = %d, SpeculationWins = %d, want exactly 1 and 1", res.Speculations, res.SpeculationWins)
+	}
+	if res.Failures != 0 || res.Redispatches != 0 {
+		t.Fatalf("Failures = %d, Redispatches = %d, want 0 and 0 (a straggler is slow, not dead)", res.Failures, res.Redispatches)
+	}
+	if res.FalseSuspicions != 0 {
+		t.Fatalf("FalseSuspicions = %d, want 0 (no deadline armed, no verdicts issued)", res.FalseSuspicions)
+	}
+	if m.FTSpeculations() != res.Speculations || m.FTSpeculationWins() != res.SpeculationWins {
+		t.Fatalf("cumulative counters (%d, %d) disagree with run result (%d, %d)",
+			m.FTSpeculations(), m.FTSpeculationWins(), res.Speculations, res.SpeculationWins)
+	}
+}
+
+// heldFrame is a send captured in flight by lateReplyTransport.
+type heldFrame struct {
+	src, dst arch.ProcID
+	key      transport.Key
+	v        value.Value
+}
+
+// lateReplyTransport holds the victim's first reply until the executive
+// condemns the victim, then delivers it immediately before the mark lands —
+// the deterministic realization of "the suspected worker was merely slow
+// and its reply arrived after the verdict".
+type lateReplyTransport struct {
+	*chaosWrap
+	victim arch.ProcID
+
+	mu    sync.Mutex
+	held  *heldFrame
+	fired bool
+}
+
+func (l *lateReplyTransport) Send(src, dst arch.ProcID, key transport.Key, v value.Value) {
+	if src == l.victim {
+		if _, isReply := v.(transport.Reply); isReply {
+			l.mu.Lock()
+			if !l.fired {
+				l.fired = true
+				l.held = &heldFrame{src: src, dst: dst, key: key, v: v}
+				l.mu.Unlock()
+				return
+			}
+			l.mu.Unlock()
+		}
+	}
+	l.chaosWrap.Send(src, dst, key, v)
+}
+
+func (l *lateReplyTransport) MarkPeerDown(p arch.ProcID) {
+	if p == l.victim {
+		l.mu.Lock()
+		h := l.held
+		l.held = nil
+		l.mu.Unlock()
+		if h != nil {
+			// The verdict races the reply and the reply squeaks in first.
+			// Injected as a master-local send (src = dst): re-injecting at the
+			// victim would race the verdict's own ProcsDown through the ring's
+			// store-and-forward hops, while this models the reply already
+			// sitting in the master's mailbox when the verdict lands.
+			l.chaosWrap.Send(h.dst, h.dst, h.key, h.v)
+		}
+	}
+	l.chaosWrap.MarkPeerDown(p)
+}
+
+// TestFalseSuspicionCounted pins the accounting for a wrong deadline
+// verdict: a worker whose same-generation reply arrives after it was
+// condemned must be counted as a false suspicion (the operator's signal
+// that TaskDeadline is too tight), its reply must still fold exactly once,
+// and no redispatch may be charged for a task that in fact completed.
+func TestFalseSuspicionCounted(t *testing.T) {
+	a := arch.Ring(8)
+	s := compile(t, farmSrc, baseRegistry(), a, syndex.Structured)
+	victims := workerOnlyProcs(s)
+	if len(victims) == 0 {
+		t.Fatal("schedule has no worker-only processor")
+	}
+	inner := memtransport.New(a)
+	defer inner.Close()
+	lt := &lateReplyTransport{chaosWrap: &chaosWrap{inner: inner}, victim: victims[0]}
+	m := NewMachineOn(s, baseRegistry(), lt, allProcs(a))
+	// SpeculateAfter < 0 isolates the deadline path under test.
+	m.FT = FaultTolerance{MaxRetries: 2, TaskDeadline: 80 * time.Millisecond, SpeculateAfter: -1}
+	res, err := m.RunWithTimeout(1, 10*time.Second)
+	if err != nil {
+		t.Fatalf("run did not survive the false suspicion: %v", err)
+	}
+	if res.Outputs[0] != farmWant {
+		t.Fatalf("output = %v, want %d (the late reply must fold exactly once)", res.Outputs[0], farmWant)
+	}
+	if res.FalseSuspicions != 1 {
+		t.Fatalf("FalseSuspicions = %d, want 1", res.FalseSuspicions)
+	}
+	if res.Failures != 1 {
+		t.Fatalf("Failures = %d, want 1 (the verdict itself still stands)", res.Failures)
+	}
+	if res.Redispatches != 0 {
+		t.Fatalf("Redispatches = %d, want 0 (the task completed; nothing to re-enqueue)", res.Redispatches)
+	}
+	if m.FTFalseSuspicions() != res.FalseSuspicions {
+		t.Fatalf("cumulative counter %d disagrees with run result %d", m.FTFalseSuspicions(), res.FalseSuspicions)
+	}
+}
+
+// tickCountTransport counts the watchdog's DeadlineTick self-sends.
+type tickCountTransport struct {
+	*chaosWrap
+	ticks atomic.Int64
+}
+
+func (c *tickCountTransport) Send(src, dst arch.ProcID, key transport.Key, v value.Value) {
+	if _, ok := v.(transport.DeadlineTick); ok {
+		c.ticks.Add(1)
+	}
+	c.chaosWrap.Send(src, dst, key, v)
+}
+
+// slowFoldRegistry is baseRegistry with the accumulate function slowed
+// down, stretching the master's post-loop deterministic fold — the window
+// in which the old watchdog kept ticking (and could even tick after the
+// master returned) although nothing was in flight.
+func slowFoldRegistry(d time.Duration) *value.Registry {
+	r := value.NewRegistry()
+	r.Register(&value.Func{Name: "source", Sig: "int -> int list", Arity: 1,
+		Fn: func(a []value.Value) value.Value {
+			n := a[0].(int)
+			out := make(value.List, n)
+			for i := range out {
+				out[i] = i + 1
+			}
+			return out
+		}})
+	r.Register(&value.Func{Name: "square", Sig: "int -> int", Arity: 1,
+		Fn: func(a []value.Value) value.Value { x := a[0].(int); return x * x }})
+	r.Register(&value.Func{Name: "add", Sig: "int -> int -> int", Arity: 2,
+		Fn: func(a []value.Value) value.Value {
+			time.Sleep(d)
+			return a[0].(int) + a[1].(int)
+		}})
+	return r
+}
+
+// TestWatchdogQuiescesWhenIdle is the watchdog regression test: with every
+// reply in and the master folding (deterministic mode folds after the
+// dispatch loop), the watchdog must stop self-sending DeadlineTicks — and
+// none may land after the master returns, where the next iteration's
+// master would consume them off the shared reply key. The old watchdog
+// ticked unconditionally until its goroutine noticed the stop channel.
+func TestWatchdogQuiescesWhenIdle(t *testing.T) {
+	a := arch.Ring(8)
+	reg := slowFoldRegistry(6 * time.Millisecond)
+	s := compile(t, farmSrc, reg, a, syndex.Structured)
+	inner := memtransport.New(a)
+	defer inner.Close()
+	ct := &tickCountTransport{chaosWrap: &chaosWrap{inner: inner}}
+	m := NewMachineOn(s, reg, ct, allProcs(a))
+	m.DeterministicFarm = true
+	m.FT = FaultTolerance{MaxRetries: 2, TaskDeadline: 40 * time.Millisecond, SpeculateAfter: -1}
+	res, err := m.RunWithTimeout(2, 10*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, out := range res.Outputs {
+		if out != farmWant {
+			t.Fatalf("iteration %d output = %v, want %d", i, out, farmWant)
+		}
+	}
+	if m.ft == nil {
+		t.Fatal("fault tolerance never armed; the watchdog was not under test")
+	}
+	// Each iteration's tasks complete in microseconds, then the master folds
+	// for ~60ms with a 10ms tick interval: the old code sent ~6 idle ticks
+	// per iteration, the fixed one sends none (a couple are tolerated for
+	// scheduler jitter between dispatch and the replies landing).
+	during := ct.ticks.Load()
+	if during > 2 {
+		t.Fatalf("watchdog sent %d DeadlineTicks while nothing was in flight, want <= 2", during)
+	}
+	// And strictly none after the run: the master has returned, so any late
+	// tick would sit under the shared reply key for a future master.
+	time.Sleep(150 * time.Millisecond)
+	if after := ct.ticks.Load(); after != during {
+		t.Fatalf("watchdog sent %d DeadlineTicks after the run returned", after-during)
+	}
+}
+
+// taskCountTransport counts farm Task dispatches per destination processor.
+type taskCountTransport struct {
+	*chaosWrap
+	mu    sync.Mutex
+	tasks map[arch.ProcID]int
+}
+
+func (c *taskCountTransport) Send(src, dst arch.ProcID, key transport.Key, v value.Value) {
+	if _, ok := v.(transport.Task); ok {
+		c.mu.Lock()
+		if c.tasks == nil {
+			c.tasks = map[arch.ProcID]int{}
+		}
+		c.tasks[dst]++
+		c.mu.Unlock()
+	}
+	c.chaosWrap.Send(src, dst, key, v)
+}
+
+// chainRegistry drives a tf farm whose frontier never exceeds one task:
+// each task spawns exactly one child until the chain bottoms out. With only
+// one task in the system at a time, every dispatch is a queue refill — the
+// pattern that exposed fill()'s scan-from-0 bias.
+func chainRegistry() *value.Registry {
+	r := baseRegistry()
+	r.Register(&value.Func{Name: "chainstep", Sig: "int -> int list * int list", Arity: 1,
+		Fn: func(a []value.Value) value.Value {
+			k := a[0].(int)
+			if k == 0 {
+				return value.Tuple{value.List{1}, value.List{}}
+			}
+			return value.Tuple{value.List{}, value.List{k - 1}}
+		}})
+	r.Register(&value.Func{Name: "rootof", Sig: "int -> int list", Arity: 1,
+		Fn: func(a []value.Value) value.Value { return value.List{a[0].(int)} }})
+	return r
+}
+
+const chainSrc = `
+extern chainstep : int -> int list * int list;;
+extern add : int -> int -> int;;
+extern rootof : int -> int list;;
+let main = tf 4 chainstep add 0 (rootof 16);;
+`
+
+// TestFillRotatesAcrossWorkers pins the fill() distribution fix: queue
+// refills must rotate round-robin over the live pool instead of always
+// rescanning from worker 0. A 17-task chain with exactly one task in the
+// system at a time lands every dispatch on the scan's first candidate — the
+// old code would put all 17 on one worker; the rotation spreads them.
+func TestFillRotatesAcrossWorkers(t *testing.T) {
+	a := arch.Ring(8)
+	reg := chainRegistry()
+	s := compile(t, chainSrc, reg, a, syndex.Structured)
+	workers := workerOnlyProcs(s)
+	if len(workers) < 2 {
+		t.Fatalf("schedule maps %d worker-only processors, need >= 2 to observe the distribution", len(workers))
+	}
+	inner := memtransport.New(a)
+	defer inner.Close()
+	ct := &taskCountTransport{chaosWrap: &chaosWrap{inner: inner}}
+	m := NewMachineOn(s, reg, ct, allProcs(a))
+	m.FT = FaultTolerance{MaxRetries: 1}
+	res, err := m.RunWithTimeout(1, 10*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Outputs[0] != 1 {
+		t.Fatalf("output = %v, want 1", res.Outputs[0])
+	}
+	if m.ft == nil {
+		t.Fatal("fault tolerance never armed; the legacy master was under test instead of fill()")
+	}
+	ct.mu.Lock()
+	defer ct.mu.Unlock()
+	for _, p := range workers {
+		if ct.tasks[p] < 2 {
+			t.Fatalf("worker processor %d received %d of 17 chained tasks (distribution %v): refills are not rotating",
+				p, ct.tasks[p], ct.tasks)
+		}
 	}
 }
 

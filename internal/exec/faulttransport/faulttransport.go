@@ -16,6 +16,7 @@ package faulttransport
 import (
 	"math/rand"
 	"sync"
+	"time"
 
 	"skipper/internal/arch"
 	"skipper/internal/exec/transport"
@@ -37,6 +38,16 @@ type Fault struct {
 	// config's seeded generator, so a given seed replays the same loss
 	// pattern every run.
 	DropProb float64
+	// SlowEveryNth, when positive (and SlowFor > 0), delays every Nth send
+	// from this processor by SlowFor before delivering it — a deterministic
+	// straggler script. The sleep happens on the sender's goroutine, so a
+	// scripted farm worker models slow compute: its reply (a worker-only
+	// processor's only send) arrives late but intact, exactly the signature
+	// speculation and false-suspicion accounting must tolerate. Counted per
+	// processor like DropEveryNth; 1 slows every send.
+	SlowEveryNth int
+	// SlowFor is the delay SlowEveryNth applies.
+	SlowFor time.Duration
 }
 
 // Config scripts a reproducible chaos scenario.
@@ -111,9 +122,17 @@ func (t *Transport) Send(src, dst arch.ProcID, key transport.Key, payload value.
 	}
 	drop := (f.DropEveryNth > 0 && n%f.DropEveryNth == 0) ||
 		(f.DropProb > 0 && t.rng.Float64() < f.DropProb)
+	slow := f.SlowEveryNth > 0 && f.SlowFor > 0 && n%f.SlowEveryNth == 0
 	t.mu.Unlock()
 	if drop {
 		return
+	}
+	if slow {
+		// Outside the lock: other processors' sends must not stall behind
+		// the straggler. If the processor is declared dead mid-sleep, the
+		// inner backend drops the late frame itself, as it would any send
+		// from the dead.
+		time.Sleep(f.SlowFor)
 	}
 	t.inner.Send(src, dst, key, payload)
 }

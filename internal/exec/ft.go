@@ -35,9 +35,34 @@ type FaultTolerance struct {
 	// no transport-level detector can see. Must comfortably exceed the
 	// slowest legitimate task, or healthy workers get declared dead.
 	TaskDeadline time.Duration
+	// SpeculateAfter is the straggler threshold (DESIGN.md §16): when a
+	// dispatched task sits unanswered this long and an idle live worker
+	// exists, the master duplicates the task onto it. The first valid
+	// same-generation reply wins, the loser's reply is discarded by the
+	// done check, and the slow worker keeps its good standing — no
+	// MarkPeerDown, no retry-budget charge — unless the hard TaskDeadline
+	// later fires. Zero defaults to TaskDeadline/2 when a deadline is set
+	// (speculation rides the same watchdog); a negative value disables
+	// speculation explicitly.
+	SpeculateAfter time.Duration
 }
 
 func (ft FaultTolerance) enabled() bool { return ft.MaxRetries > 0 }
+
+// speculateAfter resolves the effective speculation threshold: an explicit
+// positive value wins, zero inherits half the hard deadline, negative (or
+// no deadline to inherit from) disables.
+func (ft FaultTolerance) speculateAfter() time.Duration {
+	switch {
+	case ft.SpeculateAfter > 0:
+		return ft.SpeculateAfter
+	case ft.SpeculateAfter < 0:
+		return 0
+	case ft.TaskDeadline > 0:
+		return ft.TaskDeadline / 2
+	}
+	return 0
+}
 
 // masterReg is one active farm master's wake-up address: peer-down
 // notifications are delivered as transport.ProcsDown values self-sent to
@@ -55,8 +80,11 @@ type ftState struct {
 	dead    map[arch.ProcID]bool
 	masters map[*masterReg]bool
 
-	failures     atomic.Int64 // processors declared dead this run
-	redispatches atomic.Int64 // tasks re-enqueued this run
+	failures        atomic.Int64 // processors declared dead this run
+	redispatches    atomic.Int64 // tasks re-enqueued this run
+	speculations    atomic.Int64 // speculative duplicate dispatches this run
+	specWins        atomic.Int64 // duplicates whose reply beat the original
+	falseSuspicions atomic.Int64 // deadline-suspected workers that later replied
 }
 
 func newFTState() *ftState {
@@ -146,6 +174,7 @@ func (m *Machine) handlePeerDown(procs []arch.ProcID) {
 	}
 	for _, p := range fresh {
 		ft.failures.Add(1)
+		m.ftFailures.Add(1)
 		if m.Trace != nil {
 			m.Trace.Record(int32(p), obsv.EvPeerDown, 0, -1, 0)
 		}
@@ -170,8 +199,9 @@ func (m *Machine) suspectDeadline(p arch.ProcID) {
 // ftTask is one farm task's recovery state.
 type ftTask struct {
 	val   value.Value // retained until done, for re-dispatch
-	tries int         // dispatch count (1 = first attempt)
+	tries int         // dispatch count (1 = first attempt; speculation uncounted)
 	done  bool        // a valid reply was folded
+	specW int         // worker index of the active speculative duplicate, -1 none
 }
 
 // runMasterFT is the fault-tolerant variant of the farm-master protocol.
@@ -222,7 +252,7 @@ func (m *Machine) runMasterFT(st *procState, id graph.NodeID) error {
 	tasks := make([]ftTask, 0, len(xs))
 	queue := make([]int, 0, len(xs))
 	for i, x := range xs {
-		tasks = append(tasks, ftTask{val: x})
+		tasks = append(tasks, ftTask{val: x, specW: -1})
 		queue = append(queue, i)
 	}
 	remaining := len(tasks)
@@ -236,6 +266,8 @@ func (m *Machine) runMasterFT(st *procState, id graph.NodeID) error {
 	alive := make([]bool, n.Workers)
 	inflight := make([]int, n.Workers)
 	deadlines := make([]time.Time, n.Workers)
+	dispatched := make([]time.Time, n.Workers) // when inflight[w] was handed out
+	suspected := make([]bool, n.Workers)       // deadline verdicts issued, for false-suspicion accounting
 	aliveCount := 0
 	for w := 0; w < n.Workers; w++ {
 		alive[w] = !m.ft.isDead(workerProc[w])
@@ -244,23 +276,63 @@ func (m *Machine) runMasterFT(st *procState, id graph.NodeID) error {
 		}
 		inflight[w] = -1
 	}
+	// outstanding mirrors the number of in-flight dispatches for the
+	// watchdog goroutine, which must not tick while nothing is waiting.
+	var outstanding atomic.Int32
 
-	dispatch := func(w, idx int) {
-		tasks[idx].tries++
+	send := func(w, idx int) {
 		inflight[w] = idx
+		dispatched[w] = time.Now()
 		if m.FT.TaskDeadline > 0 {
-			deadlines[w] = time.Now().Add(m.FT.TaskDeadline)
+			deadlines[w] = dispatched[w].Add(m.FT.TaskDeadline)
 		}
+		outstanding.Add(1)
 		m.t.Send(st.p, workerProc[w], transport.TaskKey(id, w),
 			transport.Task{Idx: idx, Gen: gen, V: tasks[idx].val})
+	}
+	dispatch := func(w, idx int) {
+		tasks[idx].tries++
+		send(w, idx)
+	}
+	// speculate duplicates a slow task onto an idle worker. Unlike dispatch
+	// it charges no retry — the original worker is slow, not suspected — and
+	// the generation/done machinery discards whichever reply loses the race.
+	speculate := func(w, idx int) {
+		tasks[idx].specW = w
+		m.ft.speculations.Add(1)
+		m.ftSpeculations.Add(1)
+		if m.Trace != nil {
+			m.Trace.Record(int32(st.p), obsv.EvSpeculate, 0, int32(workerProc[w]), int64(idx))
+		}
+		send(w, idx)
+	}
+	// clearInflight retires w's dispatch (reply arrived or worker died) and
+	// returns the task index it held, -1 if it was idle.
+	clearInflight := func(w int) int {
+		idx := inflight[w]
+		if idx >= 0 {
+			inflight[w] = -1
+			outstanding.Add(-1)
+		}
+		return idx
 	}
 	// requeue returns a dead worker's in-flight task to the queue (retry
 	// budget permitting) and records the re-dispatch.
 	requeue := func(w int) error {
-		idx := inflight[w]
-		inflight[w] = -1
+		idx := clearInflight(w)
 		if idx < 0 || tasks[idx].done {
 			return nil
+		}
+		if tasks[idx].specW == w {
+			// The speculative copy died; the original still carries the task.
+			tasks[idx].specW = -1
+		}
+		for w2 := 0; w2 < n.Workers; w2++ {
+			// A live duplicate still runs the task: nothing to re-enqueue and
+			// no retry charged — speculation already covers this loss.
+			if w2 != w && inflight[w2] == idx {
+				return nil
+			}
 		}
 		if tasks[idx].tries > m.FT.MaxRetries {
 			if m.Trace != nil {
@@ -270,19 +342,37 @@ func (m *Machine) runMasterFT(st *procState, id graph.NodeID) error {
 				n.Name, idx, tasks[idx].tries, m.FT.MaxRetries)
 		}
 		m.ft.redispatches.Add(1)
+		m.ftRedispatches.Add(1)
 		if m.Trace != nil {
 			m.Trace.Record(int32(st.p), obsv.EvRedispatch, 0, -1, int64(idx))
 		}
 		queue = append(queue, idx)
 		return nil
 	}
-	// fill hands queued tasks to idle surviving workers.
+	// fill hands queued tasks to idle surviving workers. The scan start
+	// rotates (round-robin over the worker array) so queue refills spread
+	// across the pool instead of systematically favoring low indices — on a
+	// heterogeneous fleet the old scan-from-0 piled refills and speculative
+	// duplicates onto the same few workers.
+	fillNext := 0
+	idleWorker := func() int {
+		for k := 0; k < n.Workers; k++ {
+			w := (fillNext + k) % n.Workers
+			if alive[w] && inflight[w] < 0 {
+				return w
+			}
+		}
+		return -1
+	}
 	fill := func() {
-		for w := 0; w < n.Workers && len(queue) > 0; w++ {
+		start := fillNext
+		for k := 0; k < n.Workers && len(queue) > 0; k++ {
+			w := (start + k) % n.Workers
 			if alive[w] && inflight[w] < 0 {
 				idx := queue[0]
 				queue = queue[1:]
 				dispatch(w, idx)
+				fillNext = (w + 1) % n.Workers
 			}
 		}
 	}
@@ -308,15 +398,37 @@ func (m *Machine) runMasterFT(st *procState, id graph.NodeID) error {
 	}
 	fill()
 
-	// The deadline watchdog self-sends ticks into the reply stream so the
-	// master checks overruns without a second blocking point; ticking at a
-	// quarter of the deadline bounds detection latency to 1.25 deadlines.
-	if m.FT.TaskDeadline > 0 {
+	// The watchdog self-sends ticks into the reply stream so the master
+	// checks deadline overruns and speculation thresholds without a second
+	// blocking point; ticking at a quarter of the tightest armed threshold
+	// bounds detection latency to 1.25 thresholds. Two guards keep stale
+	// ticks out of the shared reply key: the goroutine skips the send while
+	// nothing is in flight, and stopTicks — called when the dispatch loop
+	// exits and again (idempotently) on any return path — excludes further
+	// sends under tickMu, so no DeadlineTick can land after the master
+	// returns for the next iteration's master to consume.
+	specAfter := m.FT.speculateAfter()
+	stopTicks := func() {}
+	watch := m.FT.TaskDeadline
+	if specAfter > 0 && (watch <= 0 || specAfter < watch) {
+		watch = specAfter
+	}
+	if watch > 0 {
 		stop := make(chan struct{})
-		defer close(stop)
-		tick := m.FT.TaskDeadline / 4
+		var tickMu sync.Mutex
+		ticksStopped := false
+		stopTicks = func() {
+			tickMu.Lock()
+			ticksStopped = true
+			tickMu.Unlock()
+		}
+		defer func() {
+			stopTicks()
+			close(stop)
+		}()
+		tick := watch / 4
 		if tick <= 0 {
-			tick = m.FT.TaskDeadline
+			tick = watch
 		}
 		go func() {
 			t := time.NewTicker(tick)
@@ -326,7 +438,11 @@ func (m *Machine) runMasterFT(st *procState, id graph.NodeID) error {
 				case <-stop:
 					return
 				case <-t.C:
-					m.t.Send(st.p, st.p, replyKey, transport.DeadlineTick{})
+					tickMu.Lock()
+					if !ticksStopped && outstanding.Load() > 0 {
+						m.t.Send(st.p, st.p, replyKey, transport.DeadlineTick{})
+					}
+					tickMu.Unlock()
 				}
 			}
 		}()
@@ -351,30 +467,83 @@ func (m *Machine) runMasterFT(st *procState, id graph.NodeID) error {
 
 		case transport.DeadlineTick:
 			now := time.Now()
-			var overrun []arch.ProcID
-			for w := 0; w < n.Workers; w++ {
-				if alive[w] && inflight[w] >= 0 && now.After(deadlines[w]) {
-					overrun = append(overrun, workerProc[w])
+			if m.FT.TaskDeadline > 0 {
+				var overrun []arch.ProcID
+				for w := 0; w < n.Workers; w++ {
+					if alive[w] && inflight[w] >= 0 && now.After(deadlines[w]) {
+						suspected[w] = true
+						overrun = append(overrun, workerProc[w])
+					}
+				}
+				for _, p := range overrun {
+					// Routes back to this master as a ProcsDown on the reply
+					// stream (and to every other master), where the
+					// re-dispatch happens.
+					m.suspectDeadline(p)
 				}
 			}
-			for _, p := range overrun {
-				// Routes back to this master as a ProcsDown on the reply
-				// stream (and to every other master), where the re-dispatch
-				// happens.
-				m.suspectDeadline(p)
+			if specAfter > 0 {
+				// Straggler speculation: a task outstanding past the
+				// threshold on a worker still considered live is duplicated
+				// onto an idle worker — at most one active copy beyond the
+				// original, placed with the same rotating scan fill uses.
+				for w := 0; w < n.Workers; w++ {
+					idx := inflight[w]
+					if !alive[w] || idx < 0 || tasks[idx].done ||
+						tasks[idx].specW >= 0 || now.Sub(dispatched[w]) < specAfter {
+						continue
+					}
+					duplicated := false
+					for w2 := 0; w2 < n.Workers; w2++ {
+						if w2 != w && inflight[w2] == idx {
+							duplicated = true
+							break
+						}
+					}
+					if duplicated {
+						continue
+					}
+					tgt := idleWorker()
+					if tgt < 0 {
+						break // the pool is saturated; nothing to speculate on
+					}
+					fillNext = (tgt + 1) % n.Workers
+					speculate(tgt, idx)
+				}
 			}
 
 		case transport.Reply:
 			if rep.Gen != gen {
 				continue // a previous invocation's straggler
 			}
-			if rep.Widx >= 0 && rep.Widx < n.Workers && inflight[rep.Widx] == rep.Task {
-				inflight[rep.Widx] = -1
+			if rep.Widx >= 0 && rep.Widx < n.Workers {
+				if inflight[rep.Widx] == rep.Task {
+					clearInflight(rep.Widx)
+				}
+				if suspected[rep.Widx] {
+					// The deadline verdict was wrong: the worker was slow,
+					// not dead. It stays marked down (the transport already
+					// tore its routes) but the operator learns the deadline
+					// is too tight.
+					suspected[rep.Widx] = false
+					m.ft.falseSuspicions.Add(1)
+					m.ftFalseSuspicions.Add(1)
+				}
 			}
 			if rep.Task < 0 || rep.Task >= len(tasks) {
 				return fmt.Errorf("exec: master %s received reply for unknown task %d", n.Name, rep.Task)
 			}
 			if !tasks[rep.Task].done {
+				if sw := tasks[rep.Task].specW; sw >= 0 {
+					if rep.Widx == sw {
+						m.ft.specWins.Add(1)
+						m.ftSpecWins.Add(1)
+						if m.Trace != nil {
+							m.Trace.Record(int32(st.p), obsv.EvSpecWin, 0, int32(workerProc[sw]), int64(rep.Task))
+						}
+					}
+					tasks[rep.Task].specW = -1 // the race is settled
+				}
 				tasks[rep.Task].done = true
 				tasks[rep.Task].val = nil
 				remaining--
@@ -392,7 +561,7 @@ func (m *Machine) runMasterFT(st *procState, id graph.NodeID) error {
 						acc = accFn.Fn([]value.Value{acc, y})
 					}
 					for _, x := range more {
-						tasks = append(tasks, ftTask{val: x})
+						tasks = append(tasks, ftTask{val: x, specW: -1})
 						queue = append(queue, len(tasks)-1)
 						remaining++
 					}
@@ -411,6 +580,10 @@ func (m *Machine) runMasterFT(st *procState, id graph.NodeID) error {
 			return fmt.Errorf("exec: master %s received non-reply", n.Name)
 		}
 	}
+	// Every task is folded: silence the watchdog before the post-loop work
+	// (sentinels, deterministic fold) so no tick lands under the shared
+	// reply key for the next iteration's master to consume.
+	stopTicks()
 	for w := 0; w < n.Workers; w++ {
 		// Sentinels go to every worker, dead ones included: the transport
 		// drops frames to the dead, and a falsely-suspected survivor's task

@@ -60,6 +60,21 @@ type RunResult struct {
 	// completed has Failures > 0, and Redispatches > 0 if that worker held
 	// a task at death.
 	Redispatches int64
+	// Speculations counts speculative duplicate dispatches: tasks that sat
+	// unanswered past FaultTolerance.SpeculateAfter and were duplicated
+	// onto an idle worker without suspecting the original dead.
+	Speculations int64
+	// SpeculationWins counts speculations whose duplicate's reply arrived
+	// before the original's — the duplication bought latency. A speculation
+	// the original still won costs one redundant task execution and nothing
+	// else.
+	SpeculationWins int64
+	// FalseSuspicions counts deadline-suspected workers whose same-
+	// generation reply arrived after the death verdict: the worker was slow,
+	// not dead. It stays marked down for the run, but a nonzero count tells
+	// the operator TaskDeadline is too tight (or SpeculateAfter should
+	// absorb the stragglers first).
+	FalseSuspicions int64
 }
 
 // Machine executes a static schedule: each hosted processor interprets its
@@ -134,8 +149,11 @@ type Machine struct {
 	ft      *ftState     // per-run fault-tolerance state; nil when FT is off
 	farmGen atomic.Int64 // master invocation generations, for stale-reply rejection
 
-	ftFailures     atomic.Int64 // cumulative across runs, for metrics
-	ftRedispatches atomic.Int64
+	ftFailures        atomic.Int64 // cumulative across runs, for metrics
+	ftRedispatches    atomic.Int64
+	ftSpeculations    atomic.Int64
+	ftSpecWins        atomic.Int64
+	ftFalseSuspicions atomic.Int64
 
 	// pool hosts the per-iteration farm-worker processes. The seed spawned
 	// a fresh goroutine per worker node per iteration; persistent pool
@@ -267,10 +285,14 @@ func (m *Machine) RunWithTimeout(iters int, d time.Duration) (*RunResult, error)
 		Direct:   stats.Direct - statsBefore.Direct,
 	}
 	if m.ft != nil {
+		// The per-run counters snapshot this run; the cumulative machine
+		// counters (the /metrics sources) are bumped at event time in ft.go,
+		// so a scrape that lands mid-run already sees them.
 		res.Failures = m.ft.failures.Load()
 		res.Redispatches = m.ft.redispatches.Load()
-		m.ftFailures.Add(res.Failures)
-		m.ftRedispatches.Add(res.Redispatches)
+		res.Speculations = m.ft.speculations.Load()
+		res.SpeculationWins = m.ft.specWins.Load()
+		res.FalseSuspicions = m.ft.falseSuspicions.Load()
 	}
 	for i := 0; i < iters; i++ {
 		res.Outputs[i] = m.outputs[i]
@@ -356,6 +378,18 @@ func (m *Machine) FTFailures() int64 { return m.ftFailures.Load() }
 
 // FTRedispatches reports tasks re-dispatched across every run; see FTFailures.
 func (m *Machine) FTRedispatches() int64 { return m.ftRedispatches.Load() }
+
+// FTSpeculations reports speculative duplicate dispatches across every run;
+// see FTFailures.
+func (m *Machine) FTSpeculations() int64 { return m.ftSpeculations.Load() }
+
+// FTSpeculationWins reports speculations whose duplicate beat the original
+// reply across every run; see FTFailures.
+func (m *Machine) FTSpeculationWins() int64 { return m.ftSpecWins.Load() }
+
+// FTFalseSuspicions reports deadline suspicions later contradicted by the
+// suspected worker's own reply, across every run; see FTFailures.
+func (m *Machine) FTFalseSuspicions() int64 { return m.ftFalseSuspicions.Load() }
 
 // runFarmWorker runs a farm worker body on the persistent pool, pinning the
 // processor identity the body was launched from.

@@ -107,6 +107,95 @@ func TestTCPFarmSurvivesWorkerKill(t *testing.T) {
 	}
 }
 
+// TestFarmSpeculationOverSockets is the speculation acceptance run over
+// real sockets, on both the unix and shm data planes: one node of a
+// ring(8) farm is scripted 10x slower than the straggler threshold, so
+// each iteration the coordinator must duplicate its task onto an idle
+// node and fold the duplicate's reply — while the straggler's late reply
+// (same generation in iteration 1, stale generation once iteration 2 has
+// begun) crosses the wire mid-race and must be discarded without a double
+// fold. The slow node is never declared dead: it finishes its run clean.
+func TestFarmSpeculationOverSockets(t *testing.T) {
+	for _, plane := range []string{"unix", "shm"} {
+		t.Run(plane, func(t *testing.T) {
+			a := arch.Ring(8)
+			s := compile(t, farmSrc, baseRegistry(), a)
+			victim := arch.ProcID(-1)
+			for p := 1; p < a.N; p++ {
+				if workerOnly(s, arch.ProcID(p)) {
+					victim = arch.ProcID(p)
+					break
+				}
+			}
+			if victim < 0 {
+				t.Fatal("schedule maps no worker-only processor onto a node")
+			}
+
+			const fp = 0x59ec
+			hub, err := nettransport.NewHub("unix:"+nettransport.ShortSockPath("skipper-spec"),
+				a, fp, []arch.ProcID{0})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer hub.Close()
+
+			var wg sync.WaitGroup
+			for p := 1; p < a.N; p++ {
+				wg.Add(1)
+				go func(p arch.ProcID) {
+					defer wg.Done()
+					reg := baseRegistry()
+					ns := compile(t, farmSrc, reg, a)
+					cl, err := nettransport.Dial(hub.Addr(), fp, []arch.ProcID{p},
+						5*time.Second, nettransport.WithDataPlane(plane))
+					if err != nil {
+						hub.Abort()
+						return
+					}
+					defer cl.Close()
+					var tr transport.Transport = cl
+					if p == victim {
+						// The straggler: every reply it sends is delayed 600ms on
+						// its own goroutine — slow compute as the cluster sees it.
+						tr = faulttransport.New(cl, faulttransport.Config{
+							Faults: map[arch.ProcID]faulttransport.Fault{
+								p: {SlowEveryNth: 1, SlowFor: 600 * time.Millisecond},
+							},
+						})
+					}
+					m := exec.NewMachineOn(ns, reg, tr, []arch.ProcID{p})
+					m.FT = exec.FaultTolerance{MaxRetries: 2, SpeculateAfter: 60 * time.Millisecond}
+					// Nobody dies in this scenario: every node, the straggler
+					// included, must finish its run clean.
+					if _, err := m.RunWithTimeout(2, 30*time.Second); err != nil {
+						t.Errorf("node %d: %v", p, err)
+					}
+				}(arch.ProcID(p))
+			}
+
+			m := exec.NewMachineOn(s, baseRegistry(), hub, []arch.ProcID{0})
+			m.FT = exec.FaultTolerance{MaxRetries: 2, SpeculateAfter: 60 * time.Millisecond}
+			res, err := m.RunWithTimeout(2, 30*time.Second)
+			wg.Wait()
+			if err != nil {
+				t.Fatalf("coordinator failed: %v", err)
+			}
+			for i, out := range res.Outputs {
+				if out != farmWant {
+					t.Fatalf("iteration %d output = %v, want %d (must be bit-identical to a healthy run)", i, out, farmWant)
+				}
+			}
+			if res.Speculations < 1 || res.SpeculationWins < 1 {
+				t.Fatalf("Speculations = %d, SpeculationWins = %d, want both >= 1", res.Speculations, res.SpeculationWins)
+			}
+			if res.Failures != 0 || res.Redispatches != 0 {
+				t.Fatalf("Failures = %d, Redispatches = %d, want 0 and 0 (the straggler must keep its good standing)",
+					res.Failures, res.Redispatches)
+			}
+		})
+	}
+}
+
 // TestHeartbeatDetectsSilentNode: a node that hangs without closing its
 // socket produces no EOF, so only the heartbeat monitor can declare it
 // dead. A non-heartbeating idle client stands in for the hang; the

@@ -307,6 +307,19 @@ func RunBenchReport(w io.Writer, iters int, filter string) (*BenchReport, error)
 		})
 	}
 
+	// Straggler-fleet farm (DESIGN.md §16): one ring(8) worker's replies are
+	// scripted 10x slower than the speculation threshold. Off, every
+	// iteration's fold gates on the straggler; on, the master duplicates the
+	// stalled task onto an idle worker and folds the duplicate's reply. The
+	// off/on period ratio is the measured speculation speedup, held >= 1.5x
+	// by checkSpeculation in bench_guard_test.go.
+	for _, mode := range []string{"off", "on"} {
+		mode := mode
+		record("StragglerFarm_"+mode, func(b *testing.B) {
+			BenchStragglerFarm(b, mode == "on")
+		})
+	}
+
 	// Skipper-as-a-service scheduler overhead (DESIGN.md §13): one tiny job
 	// through the whole control-plane path — Submit, FIFO queue, dispatch,
 	// in-process run, terminal status. Guarded by a generous ceiling in

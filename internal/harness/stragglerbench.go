@@ -1,0 +1,149 @@
+package harness
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"skipper/internal/arch"
+	"skipper/internal/dsl/parser"
+	"skipper/internal/dsl/types"
+	"skipper/internal/exec"
+	"skipper/internal/exec/faulttransport"
+	"skipper/internal/exec/memtransport"
+	"skipper/internal/expand"
+	"skipper/internal/syndex"
+	"skipper/internal/value"
+)
+
+// Straggler-fleet benchmark (DESIGN.md §16): a df farm on a ring(8) where
+// one worker's replies are scripted an order of magnitude slower than the
+// straggler threshold — slow compute as the cluster sees it, not a death.
+// With speculation off the farm's fold gates on the straggler every
+// iteration, so the frame period floors at its delay; with speculation on
+// the master duplicates the stalled task onto an idle worker after
+// stragglerSpecAfter and folds the duplicate's reply, so the period drops
+// towards the healthy farm's. The off/on ratio is the measured speculation
+// speedup the checkSpeculation guard in bench_guard_test.go keeps honest.
+
+// stragglerSlowFor is the scripted straggler's per-reply delay — 10x the
+// speculation threshold, so the duplicate always wins the race.
+const stragglerSlowFor = 10 * time.Millisecond
+
+// stragglerSpecAfter is the "on" arm's speculation threshold. The healthy
+// workers answer in microseconds, so an idle target always exists by the
+// time it fires.
+const stragglerSpecAfter = 1 * time.Millisecond
+
+const stragglerSrc = `
+extern source : int -> int list;;
+extern square : int -> int;;
+extern add : int -> int -> int;;
+let main = df 4 square add 0 (source 10);;
+`
+
+// sum of squares 1..10.
+const stragglerWant = 385
+
+func stragglerRegistry() *value.Registry {
+	r := value.NewRegistry()
+	r.Register(&value.Func{Name: "source", Sig: "int -> int list", Arity: 1,
+		Fn: func(a []value.Value) value.Value {
+			n := a[0].(int)
+			out := make(value.List, n)
+			for i := range out {
+				out[i] = i + 1
+			}
+			return out
+		}})
+	r.Register(&value.Func{Name: "square", Sig: "int -> int", Arity: 1,
+		Fn: func(a []value.Value) value.Value { x := a[0].(int); return x * x }})
+	r.Register(&value.Func{Name: "add", Sig: "int -> int -> int", Arity: 2,
+		Fn: func(a []value.Value) value.Value { return a[0].(int) + a[1].(int) }})
+	return r
+}
+
+// compileStragglerBench maps the farm on a ring(8) and picks the victim:
+// the first processor whose program is all farm-worker ops, so slowing it
+// stalls tasks without touching the master or the data path.
+func compileStragglerBench() (*syndex.Schedule, *value.Registry, arch.ProcID, error) {
+	r := stragglerRegistry()
+	prog, err := parser.Parse(stragglerSrc)
+	if err != nil {
+		return nil, nil, 0, err
+	}
+	info, err := types.Check(prog)
+	if err != nil {
+		return nil, nil, 0, err
+	}
+	eres, err := expand.Expand(prog, info, r)
+	if err != nil {
+		return nil, nil, 0, err
+	}
+	s, err := syndex.Map(eres.Graph, arch.Ring(8), r, syndex.Structured)
+	if err != nil {
+		return nil, nil, 0, err
+	}
+	for p, pr := range s.Programs {
+		if len(pr) == 0 {
+			continue
+		}
+		all := true
+		for _, op := range pr {
+			if op.Kind != syndex.OpWorker {
+				all = false
+				break
+			}
+		}
+		if all {
+			return s, r, arch.ProcID(p), nil
+		}
+	}
+	return nil, nil, 0, fmt.Errorf("harness: straggler schedule maps no worker-only processor")
+}
+
+// BenchStragglerFarm measures the per-iteration period of the straggler
+// farm with speculation off or on: one Run of b.N iterations, fault
+// tolerance armed identically in both arms (MaxRetries 1, no deadline) so
+// the delta is speculation alone, not the FT master's bookkeeping.
+func BenchStragglerFarm(b *testing.B, speculate bool) {
+	s, r, victim, err := compileStragglerBench()
+	if err != nil {
+		b.Fatal(err)
+	}
+	a := arch.Ring(8)
+	ft := faulttransport.New(memtransport.New(a), faulttransport.Config{
+		Faults: map[arch.ProcID]faulttransport.Fault{
+			victim: {SlowEveryNth: 1, SlowFor: stragglerSlowFor},
+		},
+	})
+	defer ft.Close()
+	procs := make([]arch.ProcID, a.N)
+	for i := range procs {
+		procs[i] = arch.ProcID(i)
+	}
+	m := exec.NewMachineOn(s, r, ft, procs)
+	spec := stragglerSpecAfter
+	if !speculate {
+		spec = -1
+	}
+	m.FT = exec.FaultTolerance{MaxRetries: 1, SpeculateAfter: spec}
+	b.ResetTimer()
+	res, err := m.Run(b.N)
+	b.StopTimer()
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i, out := range res.Outputs {
+		if out != stragglerWant {
+			b.Fatalf("iteration %d output = %v, want %d (must be bit-identical to a healthy run)",
+				i, out, stragglerWant)
+		}
+	}
+	if speculate && res.Speculations < int64(b.N) {
+		b.Fatalf("Speculations = %d over %d iterations, want one per iteration", res.Speculations, b.N)
+	}
+	if !speculate && res.Speculations != 0 {
+		b.Fatalf("Speculations = %d with speculation disabled, want 0", res.Speculations)
+	}
+}

@@ -74,6 +74,18 @@ const (
 	// iteration, and the event's TS minus the previous stage's hand-off
 	// yields the per-stage frame latency.
 	EvStageHand
+	// EvSpeculate marks a farm master duplicating a slow task onto an idle
+	// worker (DESIGN.md §16): the original worker is not suspected dead, the
+	// first valid same-generation reply will win. Proc is the master's
+	// processor, Peer the processor the duplicate was placed on, Arg the
+	// task index. Appended after the fault range EvAbort..EvRequeue —
+	// speculation is proactive straggler mitigation, not a failure signal,
+	// so it must not trigger flight-recorder dumps.
+	EvSpeculate
+	// EvSpecWin marks a speculative duplicate's reply arriving before the
+	// original's — the duplication paid off. Proc is the master's processor,
+	// Peer the winning worker's processor, Arg the task index.
+	EvSpecWin
 )
 
 var kindNames = [...]string{
@@ -85,6 +97,7 @@ var kindNames = [...]string{
 	EvDegrade: "degrade", EvCancel: "cancel", EvRequeue: "requeue",
 	EvBatchFlush: "batch-flush", EvRingOcc: "ring-occ",
 	EvDoorbell: "doorbell", EvStageHand: "stage-hand",
+	EvSpeculate: "speculate", EvSpecWin: "spec-win",
 }
 
 // IsFault reports whether k is one of the failure-signal kinds that the

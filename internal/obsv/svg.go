@@ -149,6 +149,10 @@ func (t *Trace) ChronogramSVG(width, laneHeight int) string {
 			color = "#d62728" // red: a processor died here
 		case EvRedispatch:
 			color = "#ff7f0e" // orange: its work re-enqueued here
+		case EvSpeculate:
+			color = "#9467bd" // purple: a slow task duplicated onto an idle worker
+		case EvSpecWin:
+			color = "#2ca02c" // green: the duplicate's reply won the race
 		default:
 			continue
 		}

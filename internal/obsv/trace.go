@@ -306,6 +306,14 @@ func (t *Trace) chromeInto(ct *ChromeTrace, pid int) {
 			cat = "pipeline"
 			args["stage"] = int64(ev.Peer)
 			args["iter"] = ev.Arg
+		case EvSpeculate:
+			cat = "speculation"
+			args["task"] = ev.Arg
+			args["dup_on"] = int64(ev.Peer)
+		case EvSpecWin:
+			cat = "speculation"
+			args["task"] = ev.Arg
+			args["winner"] = int64(ev.Peer)
 		default:
 			continue
 		}

@@ -71,11 +71,14 @@ type Config struct {
 	JobRequeues int
 	// JobTimeout is the per-attempt executive watchdog (default 2m).
 	JobTimeout time.Duration
-	// MaxRetries, TaskDeadline and Heartbeat are the deployment-wide
-	// executive tuning applied to every job (distrib.Spec fields).
-	MaxRetries   int
-	TaskDeadline time.Duration
-	Heartbeat    time.Duration
+	// MaxRetries, TaskDeadline, Heartbeat and SpeculateAfter are the
+	// deployment-wide executive tuning applied to every job (distrib.Spec
+	// fields). A job may override SpeculateAfter via its speculateAfterMs
+	// field.
+	MaxRetries     int
+	TaskDeadline   time.Duration
+	Heartbeat      time.Duration
+	SpeculateAfter time.Duration
 	// InProcess runs jobs on the in-process executive instead of the fleet:
 	// no workers, no network, every processor hosted by the server. The
 	// scheduler (queue, limits, cancellation, statuses) is exercised
@@ -210,6 +213,9 @@ type Server struct {
 	mJoined       *obsv.Counter
 	mWorkersDead  *obsv.Counter
 	mWorkerErrors *obsv.Counter
+	mSpeculations *obsv.Counter
+	mSpecWins     *obsv.Counter
+	mFalseSusp    *obsv.Counter
 	hJobSeconds   *obsv.Histogram
 	hQueueWait    *obsv.Histogram
 	stageLat      func(stage int, seconds float64)
@@ -288,6 +294,9 @@ func (s *Server) initMetrics() {
 	s.mJoined = m.Counter("skipper_serve_workers_joined_total", "workers that completed the fleet join handshake")
 	s.mWorkersDead = m.Counter("skipper_serve_workers_dead_total", "workers whose control channel dropped without a leave")
 	s.mWorkerErrors = m.Counter("skipper_serve_assignment_errors_total", "failed assignment completions reported by workers")
+	s.mSpeculations = m.Counter("skipper_task_speculations_total", "straggler tasks speculatively duplicated onto idle workers, summed over job attempts")
+	s.mSpecWins = m.Counter("skipper_speculation_wins_total", "speculative duplicates whose reply beat the original worker's, summed over job attempts")
+	s.mFalseSusp = m.Counter("skipper_false_suspicions_total", "deadline-suspected workers whose reply later arrived, summed over job attempts")
 	s.hJobSeconds = m.Histogram("skipper_serve_job_seconds", "wall-clock duration of successful jobs",
 		[]float64{0.01, 0.05, 0.25, 1, 5, 30, 120})
 	s.hQueueWait = m.Histogram("skipper_serve_queue_wait_seconds",
@@ -611,10 +620,11 @@ func (s *Server) runJob(st *jobState, placement map[*workerState][]int) {
 // the shared hub, assign remote processors to the fleet, host processor 0.
 func (s *Server) executeJob(st *jobState, placement map[*workerState][]int) ([]track.Result, error) {
 	sp := distrib.Spec{
-		Job:          st.job,
-		MaxRetries:   s.cfg.MaxRetries,
-		TaskDeadline: s.cfg.TaskDeadline,
-		Heartbeat:    s.cfg.Heartbeat,
+		Job:            st.job,
+		MaxRetries:     s.cfg.MaxRetries,
+		TaskDeadline:   s.cfg.TaskDeadline,
+		Heartbeat:      s.cfg.Heartbeat,
+		SpeculateAfter: s.cfg.SpeculateAfter,
 	}
 	sched, reg, rec, err := sp.Compile()
 	if err != nil {
@@ -644,7 +654,7 @@ func (s *Server) executeJob(st *jobState, placement map[*workerState][]int) ([]t
 		hubProcs = []int{0}
 	}
 	mach.DeterministicFarm = sp.Deterministic
-	mach.FT = exec.FaultTolerance{MaxRetries: sp.MaxRetries, TaskDeadline: sp.TaskDeadline}
+	mach.FT = sp.FT()
 	mach.Pipeline = sp.Pipeline
 	mach.PipelineDepth = sp.PipelineDepth
 	mach.StageLatency = s.stageLat
@@ -693,16 +703,17 @@ func (s *Server) executeJob(st *jobState, placement map[*workerState][]int) ([]t
 
 	for w, procs := range placement {
 		msg := distrib.FleetMsg{
-			Type:           distrib.MsgRun,
-			JobID:          st.id,
-			Salt:           st.salt,
-			Procs:          procs,
-			HubAddr:        s.hub.Addr(),
-			Job:            &st.job,
-			MaxRetries:     s.cfg.MaxRetries,
-			TaskDeadlineMS: s.cfg.TaskDeadline.Milliseconds(),
-			HeartbeatMS:    s.cfg.Heartbeat.Milliseconds(),
-			TimeoutMS:      s.cfg.JobTimeout.Milliseconds(),
+			Type:             distrib.MsgRun,
+			JobID:            st.id,
+			Salt:             st.salt,
+			Procs:            procs,
+			HubAddr:          s.hub.Addr(),
+			Job:              &st.job,
+			MaxRetries:       s.cfg.MaxRetries,
+			TaskDeadlineMS:   s.cfg.TaskDeadline.Milliseconds(),
+			HeartbeatMS:      s.cfg.Heartbeat.Milliseconds(),
+			SpeculateAfterMS: s.cfg.SpeculateAfter.Milliseconds(),
+			TimeoutMS:        s.cfg.JobTimeout.Milliseconds(),
 		}
 		if err := w.send(msg); err != nil {
 			// The worker died between placement and assignment (the
@@ -720,7 +731,14 @@ func (s *Server) executeJob(st *jobState, placement map[*workerState][]int) ([]t
 		}
 	}
 
-	_, runErr := mach.RunWithTimeout(st.job.Iters, s.cfg.JobTimeout)
+	res, runErr := mach.RunWithTimeout(st.job.Iters, s.cfg.JobTimeout)
+	if res != nil {
+		// Speculation runs on the master — hosted here — so the hub machine
+		// holds the whole deployment's straggler accounting.
+		s.mSpeculations.Add(res.Speculations)
+		s.mSpecWins.Add(res.SpeculationWins)
+		s.mFalseSusp.Add(res.FalseSuspicions)
+	}
 	if runErr != nil {
 		// A failed attempt whose deployment never became ready — the
 		// assigned workers died before attaching — never actually started,
